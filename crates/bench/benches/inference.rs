@@ -1,0 +1,66 @@
+//! Criterion bench: per-graph prediction time of ChainNet, GIN and GAT
+//! against ground-truth simulation time, across graph sizes.
+//!
+//! This substantiates the paper's speed claims: "the average prediction
+//! time per graph is approximately 0.01 seconds" (Section VIII-B3) and
+//! the GNN-vs-simulation gap that powers the Fig. 14 fixed-time results.
+
+use chainnet::baselines::{BaselineGnn, BaselineKind};
+use chainnet::config::ModelConfig;
+use chainnet::graph::PlacementGraph;
+use chainnet::model::{ChainNet, Surrogate};
+use chainnet_datagen::typesets::{NetworkGenerator, NetworkParams};
+use chainnet_qsim::sim::{SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn paper_cfg() -> ModelConfig {
+    let mut cfg = ModelConfig::paper_chainnet();
+    cfg.hidden = 64;
+    cfg
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(20);
+
+    for (label, params, seed) in [
+        ("type_i", NetworkParams::type_i(), 7u64),
+        ("type_ii", NetworkParams::type_ii(), 9u64),
+    ] {
+        let gen = NetworkGenerator::new(params);
+        let model = gen.generate(seed).expect("generate");
+        let chainnet = ChainNet::new(paper_cfg(), 0);
+        let gat = BaselineGnn::new(BaselineKind::Gat, paper_cfg(), 0);
+        let gin = BaselineGnn::new(BaselineKind::Gin, ModelConfig::paper_gin(), 0);
+
+        let graph = PlacementGraph::from_model(&model, paper_cfg().feature_mode);
+        group.bench_with_input(
+            BenchmarkId::new("chainnet_predict", label),
+            &graph,
+            |b, g| b.iter(|| chainnet.predict(g)),
+        );
+        group.bench_with_input(BenchmarkId::new("gat_predict", label), &graph, |b, g| {
+            b.iter(|| gat.predict(g))
+        });
+        group.bench_with_input(BenchmarkId::new("gin_predict", label), &graph, |b, g| {
+            b.iter(|| gin.predict(g))
+        });
+        // Ground-truth simulation at the dataset-labeling horizon.
+        group.bench_with_input(BenchmarkId::new("simulate_h2000", label), &model, |b, m| {
+            let cfg = SimConfig::new(2_000.0, 1);
+            b.iter(|| Simulator::new().run(m, &cfg).expect("sim"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let gen = NetworkGenerator::new(NetworkParams::type_ii());
+    let model = gen.generate(3).expect("generate");
+    c.bench_function("graph_construction_type_ii", |b| {
+        b.iter(|| PlacementGraph::from_model(&model, ModelConfig::paper_chainnet().feature_mode))
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_graph_construction);
+criterion_main!(benches);

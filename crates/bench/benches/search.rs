@@ -1,0 +1,54 @@
+//! Criterion bench: simulated-annealing search step rate with GNN vs
+//! simulation evaluators — the mechanism behind the Fig. 14 fixed-time
+//! advantage.
+
+use chainnet::config::ModelConfig;
+use chainnet::model::ChainNet;
+use chainnet_datagen::problems::{ProblemGenerator, ProblemParams};
+use chainnet_placement::evaluator::{ApproxEvaluator, Evaluator, GnnEvaluator, SimEvaluator};
+use chainnet_placement::sa::{SaConfig, SimulatedAnnealing};
+use chainnet_qsim::sim::SimConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sa_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sa_trial_20_steps");
+    group.sample_size(10);
+    let gen = ProblemGenerator::new(ProblemParams::paper_default(20));
+    let problem = gen.generate(0).expect("problem");
+    let initial = problem.initial_placement().expect("initial");
+    let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(20));
+
+    group.bench_function("chainnet_evaluator", |b| {
+        let net = ChainNet::new(ModelConfig::paper_chainnet(), 3);
+        let mut ev = GnnEvaluator::new(net);
+        let x0 = ev.total_throughput(&problem, &initial);
+        b.iter(|| sa.run_trial(&problem, &initial, x0, &mut ev, 1))
+    });
+    group.bench_function("simulation_evaluator_h2000", |b| {
+        let mut ev = SimEvaluator::new(SimConfig::new(2_000.0, 5));
+        let x0 = ev.total_throughput(&problem, &initial);
+        b.iter(|| sa.run_trial(&problem, &initial, x0, &mut ev, 1))
+    });
+    group.bench_function("decomposition_evaluator", |b| {
+        let mut ev = ApproxEvaluator::default();
+        let x0 = ev.total_throughput(&problem, &initial);
+        b.iter(|| sa.run_trial(&problem, &initial, x0, &mut ev, 1))
+    });
+    group.finish();
+}
+
+fn bench_move_generation(c: &mut Criterion) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let gen = ProblemGenerator::new(ProblemParams::paper_default(40));
+    let problem = gen.generate(1).expect("problem");
+    let initial = problem.initial_placement().expect("initial");
+    let sa = SimulatedAnnealing::new(SaConfig::paper_default());
+    c.bench_function("sa_propose_move_d40", |b| {
+        let mut rng = SmallRng::seed_from_u64(0);
+        b.iter(|| sa.propose(&problem, &initial, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_sa_trial, bench_move_generation);
+criterion_main!(benches);

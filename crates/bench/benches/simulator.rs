@@ -1,0 +1,48 @@
+//! Criterion bench: raw event rate of the discrete-event simulator and
+//! simulation cost as a function of horizon — the denominator of every
+//! "GNN is faster than simulation" claim in the paper.
+
+use chainnet_datagen::typesets::{NetworkGenerator, NetworkParams};
+use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+use chainnet_qsim::sim::{SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn mm1k_model(lambda: f64) -> SystemModel {
+    let devices = vec![Device::new(20.0, 1.0).unwrap()];
+    let chains = vec![ServiceChain::new(lambda, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+    SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap()
+}
+
+fn bench_event_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsim_event_rate");
+    let model = mm1k_model(0.9);
+    let cfg = SimConfig::new(50_000.0, 1);
+    // ~2 events per arrival at lambda = 0.9 over the horizon.
+    group.throughput(Throughput::Elements(2 * 45_000));
+    group.sample_size(10);
+    group.bench_function("mm1k_50k_units", |b| {
+        b.iter(|| Simulator::new().run(&model, &cfg).expect("sim"))
+    });
+    group.finish();
+}
+
+fn bench_horizon_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsim_horizon");
+    group.sample_size(10);
+    let gen = NetworkGenerator::new(NetworkParams::type_i());
+    let model = gen.generate(11).expect("generate");
+    for horizon in [500.0, 2_000.0, 8_000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(horizon as u64),
+            &horizon,
+            |b, &h| {
+                let cfg = SimConfig::new(h, 2);
+                b.iter(|| Simulator::new().run(&model, &cfg).expect("sim"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_rate, bench_horizon_scaling);
+criterion_main!(benches);

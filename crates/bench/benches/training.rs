@@ -1,0 +1,57 @@
+//! Criterion bench: one training step (forward + backward + Adam) per
+//! model family, and the autodiff tape's raw op throughput.
+
+use chainnet::baselines::{BaselineGnn, BaselineKind};
+use chainnet::config::ModelConfig;
+use chainnet::data::ChainTargets;
+use chainnet::graph::PlacementGraph;
+use chainnet::model::{ChainNet, Surrogate};
+use chainnet_datagen::typesets::{NetworkGenerator, NetworkParams};
+use chainnet_neural::optim::Adam;
+use chainnet_neural::tape::Tape;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(20);
+    let gen = NetworkGenerator::new(NetworkParams::type_i());
+    let model = gen.generate(5).expect("generate");
+    let cfg = ModelConfig::paper_chainnet();
+    let graph = PlacementGraph::from_model(&model, cfg.feature_mode);
+    let targets: Vec<ChainTargets> = model
+        .chains()
+        .iter()
+        .map(|ch| ChainTargets {
+            throughput: 0.8 * ch.arrival_rate,
+            latency: 2.0,
+        })
+        .collect();
+
+    let mut chainnet = ChainNet::new(cfg, 1);
+    group.bench_function("chainnet", |b| {
+        let mut adam = Adam::new(1e-3);
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let loss = chainnet.loss_on_graph(&mut tape, &graph, &targets);
+            tape.backward(loss);
+            tape.accumulate_param_grads(chainnet.params_mut());
+            adam.step(chainnet.params_mut());
+        })
+    });
+
+    let mut gat = BaselineGnn::new(BaselineKind::Gat, cfg, 1);
+    group.bench_function("gat", |b| {
+        let mut adam = Adam::new(1e-3);
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let loss = gat.loss_on_graph(&mut tape, &graph, &targets);
+            tape.backward(loss);
+            tape.accumulate_param_grads(gat.params_mut());
+            adam.step(gat.params_mut());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

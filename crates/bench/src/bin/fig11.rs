@@ -1,0 +1,107 @@
+//! Reproduces **Fig. 11**: MAPE bars for throughput and latency on the
+//! Type I and Type II test sets (a–b) and the APE distributions (c–d),
+//! printed as percentile tables / CDF points for ChainNet, GIN and GAT.
+
+use chainnet::baselines::BaselineKind;
+use chainnet::metrics::ApeSummary;
+use chainnet::model::Surrogate;
+use chainnet_bench::{print_table, Pipeline};
+use chainnet_qsim::stats::percentile;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ModelResult {
+    model: String,
+    tput_i: ApeSummary,
+    lat_i: ApeSummary,
+    tput_ii: ApeSummary,
+    lat_ii: ApeSummary,
+    /// APE CDF sample points (q, value) on Type II throughput.
+    cdf_tput_ii: Vec<(f64, f64)>,
+}
+
+fn main() {
+    let pipeline = Pipeline::from_env();
+    eprintln!("[fig11] scale = {}", pipeline.scale.name);
+    let datasets = pipeline.datasets();
+
+    let chainnet = pipeline.chainnet(&datasets);
+    let gin = pipeline.baseline(BaselineKind::Gin, false, &datasets);
+    let gat = pipeline.baseline(BaselineKind::Gat, false, &datasets);
+    let models: Vec<&dyn Surrogate> = vec![&chainnet.model, &gin.model, &gat.model];
+
+    let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99];
+    let mut results = Vec::new();
+    for model in models {
+        let apes_i = pipeline.evaluate_dyn(model, &datasets.test_i);
+        let apes_ii = pipeline.evaluate_dyn(model, &datasets.test_ii);
+        let (ti, li) = apes_i.summaries();
+        let (tii, lii) = apes_ii.summaries();
+        let cdf = qs
+            .iter()
+            .map(|&q| (q, percentile(&apes_ii.throughput, q).unwrap_or(f64::NAN)))
+            .collect();
+        results.push(ModelResult {
+            model: model.name().to_string(),
+            tput_i: ti.unwrap(),
+            lat_i: li.unwrap(),
+            tput_ii: tii.unwrap(),
+            lat_ii: lii.unwrap(),
+            cdf_tput_ii: cdf,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.3}", r.tput_i.mape),
+                format!("{:.3}", r.lat_i.mape),
+                format!("{:.3}", r.tput_ii.mape),
+                format!("{:.3}", r.lat_ii.mape),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 11a-b: MAPE (fractions) on Type I and Type II test sets",
+        &["model", "I:tput", "I:lat", "II:tput", "II:lat"],
+        &rows,
+    );
+
+    let cdf_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.model.clone()];
+            row.extend(r.cdf_tput_ii.iter().map(|(_, v)| format!("{v:.3}")));
+            row
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("model".to_string())
+        .chain(qs.iter().map(|q| format!("q{:.0}", q * 100.0)))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Fig 11d: Type II throughput APE distribution (percentile points)",
+        &headers_ref,
+        &cdf_rows,
+    );
+
+    // Paper's headline: ChainNet cuts error by ~48% (tput) / ~64% (lat)
+    // vs the best baseline.
+    let cn = &results[0];
+    let best_tput = results[1..]
+        .iter()
+        .map(|r| r.tput_ii.mape)
+        .fold(f64::INFINITY, f64::min);
+    let best_lat = results[1..]
+        .iter()
+        .map(|r| r.lat_ii.mape)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nType II error reduction vs best baseline: throughput {:.1}%, latency {:.1}%",
+        100.0 * (1.0 - cn.tput_ii.mape / best_tput),
+        100.0 * (1.0 - cn.lat_ii.mape / best_lat)
+    );
+    pipeline.write_result("fig11", &results);
+}

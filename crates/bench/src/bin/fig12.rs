@@ -1,0 +1,105 @@
+//! Reproduces **Fig. 12**: box plots of throughput and latency APE on the
+//! Type II test set, grouped by the number of graph nodes and by the
+//! number of service chains, for ChainNet and GAT (and GIN, whose medians
+//! the paper notes are off the chart).
+
+use chainnet::baselines::BaselineKind;
+use chainnet::graph::PlacementGraph;
+use chainnet::metrics::{ape, bucket_label, BoxStats};
+use chainnet::model::Surrogate;
+use chainnet_bench::{print_table, Pipeline};
+use chainnet_datagen::dataset::RawSample;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Serialize)]
+struct GroupedBox {
+    model: String,
+    group_by: String,
+    group: String,
+    tput: BoxStats,
+    lat: BoxStats,
+}
+
+fn grouped(
+    pipeline: &Pipeline,
+    model: &dyn Surrogate,
+    samples: &[RawSample],
+    by_chains: bool,
+) -> Vec<GroupedBox> {
+    let node_edges = [40usize, 80, 120, 160];
+    let chain_edges = [3usize, 6, 9];
+    let mut tput: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut lat: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for sample in samples {
+        let graph = PlacementGraph::from_model(&sample.model, model.config().feature_mode);
+        let key = if by_chains {
+            bucket_label(graph.num_chains(), &chain_edges)
+        } else {
+            bucket_label(graph.num_nodes(), &node_edges)
+        };
+        let preds = model.predict(&graph);
+        for (p, t) in preds.iter().zip(&sample.targets) {
+            tput.entry(key.clone())
+                .or_default()
+                .push(ape(p.throughput, t.throughput));
+            lat.entry(key.clone())
+                .or_default()
+                .push(ape(p.latency, t.latency));
+        }
+    }
+    let _ = pipeline;
+    tput.iter()
+        .map(|(k, v)| GroupedBox {
+            model: model.name().to_string(),
+            group_by: if by_chains { "chains" } else { "nodes" }.into(),
+            group: k.clone(),
+            tput: BoxStats::from_samples(v).expect("nonempty group"),
+            lat: BoxStats::from_samples(&lat[k]).expect("nonempty group"),
+        })
+        .collect()
+}
+
+fn main() {
+    let pipeline = Pipeline::from_env();
+    eprintln!("[fig12] scale = {}", pipeline.scale.name);
+    let datasets = pipeline.datasets();
+
+    let chainnet = pipeline.chainnet(&datasets);
+    let gat = pipeline.baseline(BaselineKind::Gat, false, &datasets);
+    let gin = pipeline.baseline(BaselineKind::Gin, false, &datasets);
+    let models: Vec<&dyn Surrogate> = vec![&chainnet.model, &gat.model, &gin.model];
+
+    let mut all = Vec::new();
+    for by_chains in [false, true] {
+        for model in &models {
+            all.extend(grouped(&pipeline, *model, &datasets.test_ii, by_chains));
+        }
+    }
+
+    for group_by in ["nodes", "chains"] {
+        let rows: Vec<Vec<String>> = all
+            .iter()
+            .filter(|g| g.group_by == group_by)
+            .map(|g| {
+                vec![
+                    g.model.clone(),
+                    g.group.clone(),
+                    format!("{}", g.tput.count),
+                    format!("{:.3}", g.tput.q1),
+                    format!("{:.3}", g.tput.median),
+                    format!("{:.3}", g.tput.q3),
+                    format!("{:.3}", g.lat.median),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig 12 ({group_by}): Type II APE box statistics"),
+            &[
+                "model", group_by, "n", "tput:q1", "tput:med", "tput:q3", "lat:med",
+            ],
+            &rows,
+        );
+    }
+    pipeline.write_result("fig12", &all);
+}

@@ -1,0 +1,99 @@
+//! Reproduces **Fig. 13**: training loss (Type I) and validation loss
+//! (Type II) curves over epochs for ChainNet and its three ablated
+//! variants, printed as a per-epoch series and saved as JSON.
+
+use chainnet::ablation::AblationVariant;
+use chainnet_bench::{print_table, Pipeline};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct CurveSet {
+    variant: String,
+    epochs: Vec<usize>,
+    train_loss: Vec<f64>,
+    val_loss: Vec<f64>,
+}
+
+fn main() {
+    let pipeline = Pipeline::from_env();
+    eprintln!("[fig13] scale = {}", pipeline.scale.name);
+    let datasets = pipeline.datasets();
+
+    let mut curves = Vec::new();
+    for variant in AblationVariant::ALL {
+        let trained = pipeline.ablation(variant, &datasets);
+        let epochs: Vec<usize> = trained.report.history.iter().map(|e| e.epoch).collect();
+        let train_loss: Vec<f64> = trained
+            .report
+            .history
+            .iter()
+            .map(|e| e.train_loss)
+            .collect();
+        let val_loss: Vec<f64> = trained
+            .report
+            .history
+            .iter()
+            .map(|e| e.val_loss.unwrap_or(f64::NAN))
+            .collect();
+        curves.push(CurveSet {
+            variant: variant.label().to_string(),
+            epochs,
+            train_loss,
+            val_loss,
+        });
+    }
+
+    // Print a subsampled table: every max(1, E/10) epochs.
+    let e = curves[0].epochs.len();
+    let stride = (e / 10).max(1);
+    let mut rows = Vec::new();
+    for idx in (0..e).step_by(stride) {
+        let mut row = vec![format!("{}", curves[0].epochs[idx])];
+        for c in &curves {
+            row.push(format!("{:.4}", c.train_loss[idx]));
+            row.push(format!("{:.4}", c.val_loss[idx]));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["epoch".to_string()];
+    for c in &curves {
+        headers.push(format!("{}:train", c.variant));
+        headers.push(format!("{}:val", c.variant));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Fig 13: train (Type I) and validation (Type II) loss curves",
+        &headers_ref,
+        &rows,
+    );
+
+    // ASCII view of the validation curves (log of the exact data is in
+    // the JSON artifact).
+    let series: Vec<(&str, &[f64])> = curves
+        .iter()
+        .map(|c| (c.variant.as_str(), c.val_loss.as_slice()))
+        .collect();
+    println!(
+        "
+{}",
+        chainnet_bench::plot::ascii_chart("validation loss (Type II) over epochs", &series, 60, 12,)
+    );
+
+    // Shape check: ablated variants end with higher validation loss.
+    let full_val = *curves[0].val_loss.last().unwrap();
+    for c in &curves[1..] {
+        let v = *c.val_loss.last().unwrap();
+        println!(
+            "final val loss {}: {:.4} (full {:.4}) -> {}",
+            c.variant,
+            v,
+            full_val,
+            if full_val <= v + 1e-9 {
+                "full better/equal"
+            } else {
+                "ABLATION BETTER"
+            }
+        );
+    }
+    pipeline.write_result("fig13", &curves);
+}

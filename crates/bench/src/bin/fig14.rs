@@ -1,0 +1,269 @@
+//! Reproduces **Fig. 14**: (a) example SA trajectories over 5 trials,
+//! (b) mean relative loss reduction of ChainNet-based vs simulation-based
+//! search under fixed-time and fixed-steps budgets, (c)–(d) mean loss
+//! probability and relative loss reduction over the fixed time frame
+//! (simulated and ChainNet-estimated curves).
+
+use chainnet_bench::optstudy::{
+    curve_on_grid, linear_grid, mean_curve, run_search, run_search_for, Curve,
+};
+use chainnet_bench::{print_table, Pipeline};
+use chainnet_datagen::problems::{ProblemGenerator, ProblemParams};
+use chainnet_placement::evaluator::{GnnEvaluator, SimEvaluator};
+use chainnet_placement::sa::SaConfig;
+use chainnet_qsim::sim::SimConfig;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Fig14Results {
+    trajectories: Vec<Vec<f64>>,
+    fixed_time: SummaryPair,
+    fixed_steps: SummaryPair,
+    curves_time: CurvePair,
+}
+
+#[derive(Debug, Serialize)]
+struct SummaryPair {
+    chainnet_mean_reduction: f64,
+    baseline_mean_reduction: f64,
+    chainnet_mean_secs: f64,
+    baseline_mean_secs: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct CurvePair {
+    chainnet: Curve,
+    baseline: Curve,
+}
+
+fn main() {
+    let pipeline = Pipeline::from_env();
+    let scale = pipeline.scale.clone();
+    eprintln!("[fig14] scale = {}", scale.name);
+    let datasets = pipeline.datasets();
+    let chainnet = pipeline.chainnet(&datasets);
+
+    let sa_cfg = SaConfig::paper_default().with_max_steps(scale.sa_steps);
+    let eval_h = scale.eval_sim_horizon;
+
+    // ---- Fig 14a: five trials on the first problem, ChainNet surrogate.
+    let gen = ProblemGenerator::new(ProblemParams::paper_default(scale.device_counts[0]));
+    let p0 = gen.generate(0).expect("problem generation");
+    let init0 = p0.initial_placement().expect("initial placement");
+    let mut gnn_ev = GnnEvaluator::new(chainnet.model.clone());
+    let demo = run_search(&p0, &init0, &mut gnn_ev, sa_cfg, 5, eval_h);
+    let lam0 = p0.total_arrival_rate();
+    let trajectories: Vec<Vec<f64>> = demo
+        .sa_result
+        .trials
+        .iter()
+        .map(|t| {
+            t.steps
+                .iter()
+                .map(|s| ((lam0 - s.best_objective) / lam0).clamp(0.0, 1.0))
+                .collect()
+        })
+        .collect();
+    println!("\n== Fig 14a: estimated loss probability per step, 5 trials ==");
+    for (i, traj) in trajectories.iter().enumerate() {
+        let pts: Vec<String> = traj
+            .iter()
+            .step_by((traj.len() / 10).max(1))
+            .map(|v| format!("{v:.3}"))
+            .collect();
+        println!("trial {}: {}", i + 1, pts.join(" "));
+    }
+
+    // ---- Fig 14b-d: sweep problems x device counts.
+    let mut ft_cn = Vec::new();
+    let mut ft_base = Vec::new();
+    let mut fs_cn = Vec::new();
+    let mut fs_base = Vec::new();
+    let mut curves_cn = Vec::new();
+    let mut curves_base = Vec::new();
+
+    for &d in &scale.device_counts {
+        let gen = ProblemGenerator::new(ProblemParams::paper_default(d));
+        for s in 0..scale.sa_problems {
+            let problem = gen.generate(1000 + s as u64).expect("problem");
+            let initial = problem.initial_placement().expect("initial placement");
+            // Only lossy instances are meaningful for loss-aware search
+            // (the paper's instances are overloaded by construction).
+            let x0 =
+                chainnet_bench::optstudy::ground_truth_throughput(&problem, &initial, eval_h, 555);
+            let init_loss =
+                chainnet_placement::evaluator::loss_probability(problem.total_arrival_rate(), x0);
+            if init_loss < 0.02 {
+                eprintln!("[skip] D={d} s={s}: initial loss {init_loss:.4} < 2%");
+                continue;
+            }
+
+            // Fixed-steps: both methods run the full trial budget.
+            let mut sim_ev = SimEvaluator::new(SimConfig::new(eval_h, 7));
+            let base_fs = run_search(
+                &problem,
+                &initial,
+                &mut sim_ev,
+                sa_cfg.with_seed(5 + s as u64),
+                scale.sa_trials,
+                eval_h,
+            );
+            let mut gnn_ev = GnnEvaluator::new(chainnet.model.clone());
+            let cn_fs = run_search(
+                &problem,
+                &initial,
+                &mut gnn_ev,
+                sa_cfg.with_seed(5 + s as u64),
+                scale.sa_trials,
+                eval_h,
+            );
+
+            // Fixed-time: budget = one simulation-based trial's duration.
+            let one_trial_secs = base_fs.search_secs / scale.sa_trials as f64;
+            let mut sim_ev2 = SimEvaluator::new(SimConfig::new(eval_h, 7));
+            let base_ft = run_search(
+                &problem,
+                &initial,
+                &mut sim_ev2,
+                sa_cfg.with_seed(17 + s as u64),
+                1,
+                eval_h,
+            );
+            let mut gnn_ev2 = GnnEvaluator::new(chainnet.model.clone());
+            let cn_ft = run_search_for(
+                &problem,
+                &initial,
+                &mut gnn_ev2,
+                sa_cfg.with_seed(17 + s as u64),
+                one_trial_secs,
+                eval_h,
+            );
+
+            // Curves over the shared time budget.
+            let grid = linear_grid(one_trial_secs.max(1e-3), 10);
+            curves_cn.push(curve_on_grid(
+                &problem,
+                &initial,
+                &cn_ft.improvements,
+                &grid,
+                true,
+                eval_h,
+            ));
+            curves_base.push(curve_on_grid(
+                &problem,
+                &initial,
+                &base_ft.improvements,
+                &grid,
+                true,
+                eval_h,
+            ));
+
+            eprintln!(
+                "[fig14] D={d} s={s}: fixed-time CN {:.3} vs sim {:.3}; fixed-steps CN {:.3} vs sim {:.3}",
+                cn_ft.relative_reduction,
+                base_ft.relative_reduction,
+                cn_fs.relative_reduction,
+                base_fs.relative_reduction
+            );
+            ft_cn.push(cn_ft);
+            ft_base.push(base_ft);
+            fs_cn.push(cn_fs);
+            fs_base.push(base_fs);
+        }
+    }
+
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let fixed_time = SummaryPair {
+        chainnet_mean_reduction: mean(
+            &ft_cn
+                .iter()
+                .map(|o| o.relative_reduction)
+                .collect::<Vec<_>>(),
+        ),
+        baseline_mean_reduction: mean(
+            &ft_base
+                .iter()
+                .map(|o| o.relative_reduction)
+                .collect::<Vec<_>>(),
+        ),
+        chainnet_mean_secs: mean(&ft_cn.iter().map(|o| o.search_secs).collect::<Vec<_>>()),
+        baseline_mean_secs: mean(&ft_base.iter().map(|o| o.search_secs).collect::<Vec<_>>()),
+    };
+    let fixed_steps = SummaryPair {
+        chainnet_mean_reduction: mean(
+            &fs_cn
+                .iter()
+                .map(|o| o.relative_reduction)
+                .collect::<Vec<_>>(),
+        ),
+        baseline_mean_reduction: mean(
+            &fs_base
+                .iter()
+                .map(|o| o.relative_reduction)
+                .collect::<Vec<_>>(),
+        ),
+        chainnet_mean_secs: mean(&fs_cn.iter().map(|o| o.search_secs).collect::<Vec<_>>()),
+        baseline_mean_secs: mean(&fs_base.iter().map(|o| o.search_secs).collect::<Vec<_>>()),
+    };
+
+    print_table(
+        "Fig 14b: mean relative loss reduction (paper: fixed-time 37.6% CN vs 20.5% sim)",
+        &["budget", "ChainNet", "simulation", "CN secs", "sim secs"],
+        &[
+            vec![
+                "fixed-time".into(),
+                format!("{:.3}", fixed_time.chainnet_mean_reduction),
+                format!("{:.3}", fixed_time.baseline_mean_reduction),
+                format!("{:.2}", fixed_time.chainnet_mean_secs),
+                format!("{:.2}", fixed_time.baseline_mean_secs),
+            ],
+            vec![
+                "fixed-steps".into(),
+                format!("{:.3}", fixed_steps.chainnet_mean_reduction),
+                format!("{:.3}", fixed_steps.baseline_mean_reduction),
+                format!("{:.2}", fixed_steps.chainnet_mean_secs),
+                format!("{:.2}", fixed_steps.baseline_mean_secs),
+            ],
+        ],
+    );
+
+    let curve_cn = mean_curve(&curves_cn);
+    let curve_base = mean_curve(&curves_base);
+    let rows: Vec<Vec<String>> = (0..curve_cn.grid.len())
+        .map(|i| {
+            vec![
+                format!("{:.3}", curve_cn.grid[i]),
+                format!("{:.3}", curve_cn.loss_prob[i]),
+                format!("{:.3}", curve_cn.estimated_loss_prob[i]),
+                format!("{:.3}", curve_base.loss_prob[i]),
+                format!("{:.3}", curve_cn.relative_reduction[i]),
+                format!("{:.3}", curve_base.relative_reduction[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 14c-d: mean loss probability / relative reduction over the fixed time frame",
+        &[
+            "t(s)",
+            "CN:loss(sim)",
+            "CN:loss(est)",
+            "sim:loss",
+            "CN:red",
+            "sim:red",
+        ],
+        &rows,
+    );
+
+    pipeline.write_result(
+        "fig14",
+        &Fig14Results {
+            trajectories,
+            fixed_time,
+            fixed_steps,
+            curves_time: CurvePair {
+                chainnet: curve_cn,
+                baseline: curve_base,
+            },
+        },
+    );
+}

@@ -1,0 +1,157 @@
+//! Reproduces **Fig. 15**: mean loss probability and mean relative loss
+//! reduction against the number of search steps when both the
+//! ChainNet-based and the simulation-based programs run the same
+//! multi-trial step budget, plus the wall-clock comparison the paper
+//! reports (90 s vs ~30 h at full scale).
+
+use chainnet_bench::optstudy::{curve_on_grid, linear_grid, mean_curve, run_search, Curve};
+use chainnet_bench::{print_table, Pipeline};
+use chainnet_datagen::problems::{ProblemGenerator, ProblemParams};
+use chainnet_placement::evaluator::{GnnEvaluator, SimEvaluator};
+use chainnet_placement::sa::SaConfig;
+use chainnet_qsim::sim::SimConfig;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Fig15Results {
+    chainnet: Curve,
+    baseline: Curve,
+    chainnet_mean_secs: f64,
+    baseline_mean_secs: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let pipeline = Pipeline::from_env();
+    let scale = pipeline.scale.clone();
+    eprintln!("[fig15] scale = {}", scale.name);
+    let datasets = pipeline.datasets();
+    let chainnet = pipeline.chainnet(&datasets);
+
+    let sa_cfg = SaConfig::paper_default().with_max_steps(scale.sa_steps);
+    let eval_h = scale.eval_sim_horizon;
+    let total_steps = (scale.sa_steps * scale.sa_trials) as f64;
+    let grid = linear_grid(total_steps, 12);
+
+    let mut curves_cn = Vec::new();
+    let mut curves_base = Vec::new();
+    let mut secs_cn = Vec::new();
+    let mut secs_base = Vec::new();
+
+    for &d in &scale.device_counts {
+        let gen = ProblemGenerator::new(ProblemParams::paper_default(d));
+        for s in 0..scale.sa_problems {
+            let problem = gen.generate(2000 + s as u64).expect("problem");
+            let initial = problem.initial_placement().expect("initial placement");
+            let x0 =
+                chainnet_bench::optstudy::ground_truth_throughput(&problem, &initial, eval_h, 555);
+            let init_loss =
+                chainnet_placement::evaluator::loss_probability(problem.total_arrival_rate(), x0);
+            if init_loss < 0.02 {
+                eprintln!("[skip] D={d} s={s}: initial loss {init_loss:.4} < 2%");
+                continue;
+            }
+
+            let mut sim_ev = SimEvaluator::new(SimConfig::new(eval_h, 11));
+            let base = run_search(
+                &problem,
+                &initial,
+                &mut sim_ev,
+                sa_cfg.with_seed(3 + s as u64),
+                scale.sa_trials,
+                eval_h,
+            );
+            let mut gnn_ev = GnnEvaluator::new(chainnet.model.clone());
+            let cn = run_search(
+                &problem,
+                &initial,
+                &mut gnn_ev,
+                sa_cfg.with_seed(3 + s as u64),
+                scale.sa_trials,
+                eval_h,
+            );
+            curves_base.push(curve_on_grid(
+                &problem,
+                &initial,
+                &base.improvements,
+                &grid,
+                false,
+                eval_h,
+            ));
+            curves_cn.push(curve_on_grid(
+                &problem,
+                &initial,
+                &cn.improvements,
+                &grid,
+                false,
+                eval_h,
+            ));
+            secs_base.push(base.search_secs);
+            secs_cn.push(cn.search_secs);
+            eprintln!(
+                "[fig15] D={d} s={s}: CN red {:.3} in {:.2}s; sim red {:.3} in {:.2}s",
+                cn.relative_reduction, cn.search_secs, base.relative_reduction, base.search_secs
+            );
+        }
+    }
+
+    let cn = mean_curve(&curves_cn);
+    let base = mean_curve(&curves_base);
+    let rows: Vec<Vec<String>> = (0..grid.len())
+        .map(|i| {
+            vec![
+                format!("{:.0}", cn.grid[i]),
+                format!("{:.3}", cn.loss_prob[i]),
+                format!("{:.3}", base.loss_prob[i]),
+                format!("{:.3}", cn.relative_reduction[i]),
+                format!("{:.3}", base.relative_reduction[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 15a-b: mean loss probability / relative reduction vs search steps",
+        &["steps", "CN:loss", "sim:loss", "CN:red", "sim:red"],
+        &rows,
+    );
+
+    println!(
+        "\n{}",
+        chainnet_bench::plot::ascii_chart(
+            "mean loss probability vs search steps",
+            &[
+                ("ChainNet", cn.loss_prob.as_slice()),
+                ("simulation", base.loss_prob.as_slice())
+            ],
+            60,
+            12,
+        )
+    );
+
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let (mc, mb) = (mean(&secs_cn), mean(&secs_base));
+    println!(
+        "\nmean optimization time: ChainNet {:.2}s vs simulation {:.2}s (speedup {:.1}x; paper: 90s vs ~30h)",
+        mc,
+        mb,
+        mb / mc.max(1e-9)
+    );
+    let final_cn = *cn.relative_reduction.last().unwrap();
+    let final_base = *base.relative_reduction.last().unwrap();
+    println!(
+        "final relative reduction: ChainNet {:.3} = {:.1}% of simulation's {:.3} (paper: 86.7%)",
+        final_cn,
+        100.0 * final_cn / final_base.max(1e-9),
+        final_base
+    );
+
+    pipeline.write_result(
+        "fig15",
+        &Fig15Results {
+            chainnet: cn,
+            baseline: base,
+            chainnet_mean_secs: mc,
+            baseline_mean_secs: mb,
+            speedup: mb / mc.max(1e-9),
+        },
+    );
+}

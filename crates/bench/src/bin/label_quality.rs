@@ -1,0 +1,95 @@
+//! Label-quality study (beyond the paper): can the surrogate be trained
+//! on *cheap analytic labels* instead of expensive simulations?
+//!
+//! Trains two identical ChainNets — one on simulator-labeled Type I data,
+//! one on decomposition-labeled data of the same systems — and evaluates
+//! both against *simulated* ground truth on the held-out Type I and
+//! Type II test sets. The gap quantifies how much of ChainNet's accuracy
+//! budget is spent compensating for label bias vs learning queueing
+//! structure, and whether analytic labels are a viable bootstrap when
+//! simulation time is scarce.
+
+use chainnet::model::ChainNet;
+use chainnet::train::Trainer;
+use chainnet_bench::{print_table, Pipeline};
+use chainnet_datagen::dataset::{
+    generate_raw_dataset, to_labeled, DatasetConfig, LabelSource,
+};
+use chainnet_datagen::typesets::NetworkParams;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    labels: String,
+    label_secs: f64,
+    mape_i: f64,
+    mape_ii: f64,
+}
+
+fn main() {
+    let pipeline = Pipeline::from_env();
+    let scale = pipeline.scale.clone();
+    eprintln!("[label_quality] scale = {}", scale.name);
+    let datasets = pipeline.datasets(); // simulated train + test sets
+
+    // Re-label the same training systems with the decomposition solver.
+    let t0 = Instant::now();
+    let approx_train = generate_raw_dataset(
+        NetworkParams::type_i(),
+        &DatasetConfig::new(scale.train_samples, 1_000)
+            .with_horizon(scale.sim_horizon)
+            .with_labels(LabelSource::Decomposition),
+    )
+    .expect("approx labels");
+    let approx_secs = t0.elapsed().as_secs_f64();
+
+    let trainer = Trainer::new(scale.train_config());
+    let mut rows = Vec::new();
+    for (name, train_raw, label_secs) in [
+        ("simulation", &datasets.train_i, f64::NAN),
+        ("decomposition", &approx_train, approx_secs),
+    ] {
+        let cfg = scale.model_config();
+        let mut model = ChainNet::new(cfg, 42);
+        let train = to_labeled(train_raw, cfg.feature_mode);
+        eprintln!("[label_quality] training on {name} labels...");
+        trainer.train(&mut model, &train, None);
+        // Both models are judged against *simulated* ground truth.
+        let (ti, _) = pipeline.evaluate(&model, &datasets.test_i).summaries();
+        let (tii, _) = pipeline.evaluate(&model, &datasets.test_ii).summaries();
+        rows.push(Row {
+            labels: name.to_string(),
+            label_secs,
+            mape_i: ti.map(|s| s.mape).unwrap_or(f64::NAN),
+            mape_ii: tii.map(|s| s.mape).unwrap_or(f64::NAN),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.labels.clone(),
+                if r.label_secs.is_nan() {
+                    "(cached)".into()
+                } else {
+                    format!("{:.2}", r.label_secs)
+                },
+                format!("{:.3}", r.mape_i),
+                format!("{:.3}", r.mape_ii),
+            ]
+        })
+        .collect();
+    print_table(
+        "Label-quality study: throughput MAPE vs simulated ground truth",
+        &["label source", "labeling s", "I:MAPE", "II:MAPE"],
+        &table,
+    );
+    println!(
+        "\nlabel-bias penalty: Type I {:+.3}, Type II {:+.3} MAPE",
+        rows[1].mape_i - rows[0].mape_i,
+        rows[1].mape_ii - rows[0].mape_ii
+    );
+    pipeline.write_result("label_quality", &rows);
+}

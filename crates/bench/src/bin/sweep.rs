@@ -1,0 +1,92 @@
+//! Hyperparameter sweep (supports Table IV's "basic hyperparameter
+//! tuning" claim): ChainNet's Type I / Type II accuracy as a function of
+//! hidden width and message-passing iterations, trained on the shared
+//! default dataset.
+
+use chainnet::config::ModelConfig;
+use chainnet::model::ChainNet;
+use chainnet::train::Trainer;
+use chainnet_bench::{print_table, Pipeline};
+use chainnet_datagen::dataset::to_labeled;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    hidden: usize,
+    iterations: usize,
+    params: usize,
+    mape_i: f64,
+    mape_ii: f64,
+    train_secs: f64,
+}
+
+fn main() {
+    let pipeline = Pipeline::from_env();
+    let scale = pipeline.scale.clone();
+    eprintln!("[sweep] scale = {}", scale.name);
+    let datasets = pipeline.datasets();
+
+    // Sweep around the scale's defaults.
+    let hiddens = [scale.hidden / 2, scale.hidden, scale.hidden * 2];
+    let iteration_counts = [
+        (scale.iterations / 2).max(1),
+        scale.iterations,
+        scale.iterations * 2,
+    ];
+
+    let trainer = Trainer::new(scale.train_config());
+    let mut rows = Vec::new();
+    for &hidden in &hiddens {
+        for &iterations in &iteration_counts {
+            let mut cfg = ModelConfig::paper_chainnet();
+            cfg.hidden = hidden.max(4);
+            cfg.iterations = iterations;
+            let mut model = ChainNet::new(cfg, 42);
+            let train = to_labeled(&datasets.train_i, cfg.feature_mode);
+            let test_i = to_labeled(&datasets.test_i, cfg.feature_mode);
+            let test_ii = to_labeled(&datasets.test_ii, cfg.feature_mode);
+            let t0 = Instant::now();
+            trainer.train(&mut model, &train, None);
+            let train_secs = t0.elapsed().as_secs_f64();
+            let (ti, _) = trainer.evaluate_ape(&model, &test_i).summaries();
+            let (tii, _) = trainer.evaluate_ape(&model, &test_ii).summaries();
+            let row = SweepRow {
+                hidden: cfg.hidden,
+                iterations,
+                params: {
+                    use chainnet::model::Surrogate;
+                    model.params().num_scalars()
+                },
+                mape_i: ti.map(|s| s.mape).unwrap_or(f64::NAN),
+                mape_ii: tii.map(|s| s.mape).unwrap_or(f64::NAN),
+                train_secs,
+            };
+            eprintln!(
+                "[sweep] hidden={} iters={} -> MAPE I {:.3}, II {:.3} ({:.1}s)",
+                row.hidden, row.iterations, row.mape_i, row.mape_ii, row.train_secs
+            );
+            rows.push(row);
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.hidden),
+                format!("{}", r.iterations),
+                format!("{}", r.params),
+                format!("{:.3}", r.mape_i),
+                format!("{:.3}", r.mape_ii),
+                format!("{:.1}", r.train_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        "Hyperparameter sweep: ChainNet throughput MAPE vs width/depth",
+        &["hidden", "iters", "params", "I:MAPE", "II:MAPE", "train s"],
+        &table,
+    );
+    pipeline.write_result("sweep", &rows);
+}

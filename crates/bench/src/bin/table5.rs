@@ -1,0 +1,80 @@
+//! Reproduces **Table V**: throughput APE percentiles (75th/95th/99th) of
+//! ChainNet, GIN, GAT (Table II features) and GIN*, GAT* (raw features)
+//! on the Type I and Type II test sets.
+
+use chainnet::baselines::BaselineKind;
+use chainnet::metrics::ApeSummary;
+use chainnet::model::Surrogate;
+use chainnet_bench::{print_table, Pipeline};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    model: String,
+    type_i: ApeSummary,
+    type_ii: ApeSummary,
+}
+
+fn main() {
+    let pipeline = Pipeline::from_env();
+    eprintln!("[table5] scale = {}", pipeline.scale.name);
+    let datasets = pipeline.datasets();
+
+    let chainnet = pipeline.chainnet(&datasets);
+    let gin = pipeline.baseline(BaselineKind::Gin, false, &datasets);
+    let gat = pipeline.baseline(BaselineKind::Gat, false, &datasets);
+    let gin_star = pipeline.baseline(BaselineKind::Gin, true, &datasets);
+    let gat_star = pipeline.baseline(BaselineKind::Gat, true, &datasets);
+
+    let mut rows = Vec::new();
+    let mut eval = |name: &str, model: &dyn Surrogate| {
+        let apes_i = pipeline.evaluate_dyn(model, &datasets.test_i);
+        let apes_ii = pipeline.evaluate_dyn(model, &datasets.test_ii);
+        let (ti, _) = apes_i.summaries();
+        let (tii, _) = apes_ii.summaries();
+        rows.push(Row {
+            model: name.to_string(),
+            type_i: ti.expect("nonempty test I"),
+            type_ii: tii.expect("nonempty test II"),
+        });
+    };
+    eval("ChainNet", &chainnet.model);
+    eval("GIN", &gin.model);
+    eval("GAT", &gat.model);
+    eval("GIN*", &gin_star.model);
+    eval("GAT*", &gat_star.model);
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.3}", r.type_i.p75),
+                format!("{:.3}", r.type_i.p95),
+                format!("{:.3}", r.type_i.p99),
+                format!("{:.3}", r.type_ii.p75),
+                format!("{:.3}", r.type_ii.p95),
+                format!("{:.3}", r.type_ii.p99),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table V: throughput APE percentiles (fractions; paper reports e.g. ChainNet Type II 95th = 0.038)",
+        &["model", "I:75th", "I:95th", "I:99th", "II:75th", "II:95th", "II:99th"],
+        &table_rows,
+    );
+    pipeline.write_result("table5", &rows);
+
+    // Shape check mirrored from the paper: ChainNet beats every baseline.
+    let cn = &rows[0];
+    for r in &rows[1..] {
+        let better = cn.type_ii.p95 <= r.type_ii.p95 + 1e-9;
+        println!(
+            "ChainNet II:95th {:.3} vs {} {:.3} -> {}",
+            cn.type_ii.p95,
+            r.model,
+            r.type_ii.p95,
+            if better { "better/equal" } else { "WORSE" }
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Reproduces **Table VI**: MAPE of ChainNet and its ablated variants
+//! (α: no Table II modifications, β: no output modification, δ: no input
+//! modification) on the Type I and Type II test sets.
+
+use chainnet::ablation::AblationVariant;
+use chainnet::metrics::ApeSummary;
+use chainnet_bench::{print_table, Pipeline};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    variant: String,
+    tput_i: ApeSummary,
+    lat_i: ApeSummary,
+    tput_ii: ApeSummary,
+    lat_ii: ApeSummary,
+}
+
+fn main() {
+    let pipeline = Pipeline::from_env();
+    eprintln!("[table6] scale = {}", pipeline.scale.name);
+    let datasets = pipeline.datasets();
+
+    let mut rows = Vec::new();
+    for variant in AblationVariant::ALL {
+        let trained = pipeline.ablation(variant, &datasets);
+        let apes_i = pipeline.evaluate(&trained.model, &datasets.test_i);
+        let apes_ii = pipeline.evaluate(&trained.model, &datasets.test_ii);
+        let (ti, li) = apes_i.summaries();
+        let (tii, lii) = apes_ii.summaries();
+        rows.push(Row {
+            variant: variant.label().to_string(),
+            tput_i: ti.unwrap(),
+            lat_i: li.unwrap(),
+            tput_ii: tii.unwrap(),
+            lat_ii: lii.unwrap(),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                format!("{:.3}", r.tput_i.mape),
+                format!("{:.3}", r.lat_i.mape),
+                format!("{:.3}", r.tput_ii.mape),
+                format!("{:.3}", r.lat_ii.mape),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table VI: MAPE of ChainNet and ablated variants",
+        &["model", "I:tput", "I:lat", "II:tput", "II:lat"],
+        &table,
+    );
+
+    // Shape check: the full design generalizes best to Type II.
+    let full = &rows[0];
+    for r in &rows[1..] {
+        println!(
+            "{}: II:tput {:.3} (full {:.3}) -> {}",
+            r.variant,
+            r.tput_ii.mape,
+            full.tput_ii.mape,
+            if full.tput_ii.mape <= r.tput_ii.mape + 1e-9 {
+                "full better/equal"
+            } else {
+                "ABLATION BETTER"
+            }
+        );
+    }
+    pipeline.write_result("table6", &rows);
+}

@@ -1,0 +1,333 @@
+//! Shared experiment pipeline: dataset caching, model training with
+//! on-disk caching, and evaluation helpers reused by every table/figure
+//! binary.
+
+use crate::scale::Scale;
+use chainnet::ablation::AblationVariant;
+use chainnet::baselines::{BaselineGnn, BaselineKind};
+use chainnet::config::FeatureMode;
+use chainnet::data::LabeledGraph;
+use chainnet::metrics::ApeCollector;
+use chainnet::model::{ChainNet, Surrogate};
+use chainnet::train::{TrainReport, Trainer};
+use chainnet_datagen::dataset::{generate_raw_dataset, to_labeled, DatasetConfig, RawSample};
+use chainnet_datagen::typesets::NetworkParams;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The three datasets of Section VIII-A: Type I train, Type I test,
+/// Type II test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Datasets {
+    /// Type I training samples.
+    pub train_i: Vec<RawSample>,
+    /// Type I held-out test samples.
+    pub test_i: Vec<RawSample>,
+    /// Type II (larger, out-of-distribution) test samples.
+    pub test_ii: Vec<RawSample>,
+}
+
+impl Datasets {
+    /// Labeled views under one feature mode.
+    pub fn labeled(
+        &self,
+        mode: FeatureMode,
+    ) -> (Vec<LabeledGraph>, Vec<LabeledGraph>, Vec<LabeledGraph>) {
+        (
+            to_labeled(&self.train_i, mode),
+            to_labeled(&self.test_i, mode),
+            to_labeled(&self.test_ii, mode),
+        )
+    }
+}
+
+/// A trained model together with its training history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trained<M> {
+    /// The trained model.
+    pub model: M,
+    /// Per-epoch loss history.
+    pub report: TrainReport,
+    /// Wall-clock training seconds.
+    pub train_secs: f64,
+}
+
+/// Directory helpers and cached artifacts for one experiment scale.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// The active scale.
+    pub scale: Scale,
+}
+
+impl Pipeline {
+    /// Create a pipeline from the environment scale.
+    pub fn from_env() -> Self {
+        Self {
+            scale: Scale::from_env(),
+        }
+    }
+
+    /// Create a pipeline at an explicit scale.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+
+    /// Directory for cached datasets (`CHAINNET_DATA_DIR`, default
+    /// `./data`).
+    pub fn data_dir(&self) -> PathBuf {
+        let dir = std::env::var("CHAINNET_DATA_DIR").unwrap_or_else(|_| "data".into());
+        let p = PathBuf::from(dir);
+        std::fs::create_dir_all(&p).expect("create data dir");
+        p
+    }
+
+    /// Directory for experiment outputs (`CHAINNET_RESULTS_DIR`, default
+    /// `./results`).
+    pub fn results_dir(&self) -> PathBuf {
+        let dir = std::env::var("CHAINNET_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+        let p = PathBuf::from(dir);
+        std::fs::create_dir_all(&p).expect("create results dir");
+        p
+    }
+
+    fn cached<T: Serialize + DeserializeOwned>(
+        &self,
+        path: &PathBuf,
+        build: impl FnOnce() -> T,
+    ) -> T {
+        if let Ok(json) = std::fs::read_to_string(path) {
+            if let Ok(v) = serde_json::from_str(&json) {
+                eprintln!("[pipeline] loaded cache {}", path.display());
+                return v;
+            }
+            eprintln!("[pipeline] stale cache {}, rebuilding", path.display());
+        }
+        let v = build();
+        let json = serde_json::to_string(&v).expect("serialize cache");
+        std::fs::write(path, json).expect("write cache");
+        v
+    }
+
+    /// Generate (or load cached) datasets for this scale.
+    pub fn datasets(&self) -> Datasets {
+        let path = self
+            .data_dir()
+            .join(format!("{}_datasets.json", self.scale.name));
+        self.cached(&path, || {
+            let s = &self.scale;
+            eprintln!(
+                "[pipeline] simulating {} + {} Type I and {} Type II samples (horizon {})",
+                s.train_samples, s.test_i_samples, s.test_ii_samples, s.sim_horizon
+            );
+            let t0 = Instant::now();
+            let train_i = generate_raw_dataset(
+                NetworkParams::type_i(),
+                &DatasetConfig::new(s.train_samples, 1_000).with_horizon(s.sim_horizon),
+            )
+            .expect("generate train I");
+            let test_i = generate_raw_dataset(
+                NetworkParams::type_i(),
+                &DatasetConfig::new(s.test_i_samples, 2_000_000).with_horizon(s.sim_horizon),
+            )
+            .expect("generate test I");
+            let test_ii = generate_raw_dataset(
+                NetworkParams::type_ii(),
+                &DatasetConfig::new(s.test_ii_samples, 3_000_000).with_horizon(s.sim_horizon),
+            )
+            .expect("generate test II");
+            eprintln!(
+                "[pipeline] dataset generation took {:.1}s",
+                t0.elapsed().as_secs_f64()
+            );
+            Datasets {
+                train_i,
+                test_i,
+                test_ii,
+            }
+        })
+    }
+
+    fn train_generic<M: Surrogate + Serialize + DeserializeOwned>(
+        &self,
+        cache_name: &str,
+        datasets: &Datasets,
+        build: impl FnOnce() -> M,
+        with_validation: bool,
+    ) -> Trained<M> {
+        let path = self
+            .results_dir()
+            .join(format!("model_{}_{}.json", self.scale.name, cache_name));
+        self.cached(&path, || {
+            let mut model = build();
+            let mode = model.config().feature_mode;
+            let train = to_labeled(&datasets.train_i, mode);
+            let val = if with_validation {
+                Some(to_labeled(&datasets.test_ii, mode))
+            } else {
+                None
+            };
+            eprintln!(
+                "[pipeline] training {} on {} samples x {} epochs",
+                model.name(),
+                train.len(),
+                self.scale.epochs
+            );
+            let t0 = Instant::now();
+            let trainer = Trainer::new(self.scale.train_config());
+            let report = trainer.train(&mut model, &train, val.as_deref());
+            let train_secs = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "[pipeline] {} trained in {:.1}s (final loss {:.5})",
+                model.name(),
+                train_secs,
+                report.final_train_loss().unwrap_or(f64::NAN)
+            );
+            Trained {
+                model,
+                report,
+                train_secs,
+            }
+        })
+    }
+
+    /// Train (or load) the full ChainNet.
+    pub fn chainnet(&self, datasets: &Datasets) -> Trained<ChainNet> {
+        self.train_generic(
+            "chainnet",
+            datasets,
+            || ChainNet::new(self.scale.model_config(), 42),
+            false,
+        )
+    }
+
+    /// Train (or load) a baseline. `starred` uses original (raw) features
+    /// — the `GIN*` / `GAT*` rows of Table V.
+    pub fn baseline(
+        &self,
+        kind: BaselineKind,
+        starred: bool,
+        datasets: &Datasets,
+    ) -> Trained<BaselineGnn> {
+        let base = match kind {
+            BaselineKind::Gin => self.scale.gin_config(),
+            BaselineKind::Gat => self.scale.model_config(),
+        };
+        let cfg = if starred {
+            base.with_feature_mode(FeatureMode::Original)
+        } else {
+            base
+        };
+        let name = match (kind, starred) {
+            (BaselineKind::Gin, false) => "gin",
+            (BaselineKind::Gin, true) => "gin_star",
+            (BaselineKind::Gat, false) => "gat",
+            (BaselineKind::Gat, true) => "gat_star",
+        };
+        self.train_generic(
+            name,
+            datasets,
+            || {
+                let label = match (kind, starred) {
+                    (BaselineKind::Gin, false) => "GIN",
+                    (BaselineKind::Gin, true) => "GIN*",
+                    (BaselineKind::Gat, false) => "GAT",
+                    (BaselineKind::Gat, true) => "GAT*",
+                };
+                BaselineGnn::new(kind, cfg, 42).with_name(label)
+            },
+            false,
+        )
+    }
+
+    /// Train (or load) an ablation variant, tracking the Type II
+    /// validation loss per epoch (Fig. 13 curves).
+    pub fn ablation(&self, variant: AblationVariant, datasets: &Datasets) -> Trained<ChainNet> {
+        let cache = match variant {
+            AblationVariant::Full => "abl_full",
+            AblationVariant::Alpha => "abl_alpha",
+            AblationVariant::Beta => "abl_beta",
+            AblationVariant::Delta => "abl_delta",
+        };
+        self.train_generic(
+            cache,
+            datasets,
+            || variant.build(self.scale.model_config(), 42),
+            true,
+        )
+    }
+
+    /// Evaluate a model's APEs on raw samples.
+    pub fn evaluate<M: Surrogate + ?Sized>(
+        &self,
+        model: &M,
+        samples: &[RawSample],
+    ) -> ApeCollector {
+        let mode = model.config().feature_mode;
+        let labeled = to_labeled(samples, mode);
+        Trainer::new(self.scale.train_config()).evaluate_ape(model, &labeled)
+    }
+
+    /// Trait-object form of [`Pipeline::evaluate`].
+    pub fn evaluate_dyn(&self, model: &dyn Surrogate, samples: &[RawSample]) -> ApeCollector {
+        self.evaluate(model, samples)
+    }
+
+    /// Write a JSON result artifact under the results directory.
+    pub fn write_result<T: Serialize>(&self, name: &str, value: &T) {
+        let path = self
+            .results_dir()
+            .join(format!("{}_{}.json", self.scale.name, name));
+        let json = serde_json::to_string_pretty(value).expect("serialize result");
+        std::fs::write(&path, json).expect("write result");
+        eprintln!("[pipeline] wrote {}", path.display());
+    }
+}
+
+/// Render an ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["model", "mape"],
+            &[vec!["ChainNet".into(), "0.037".into()]],
+        );
+    }
+}

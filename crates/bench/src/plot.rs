@@ -1,0 +1,128 @@
+//! Minimal ASCII line charts so the figure binaries can show curve
+//! *shapes* directly in the terminal (the JSON artifacts carry the exact
+//! numbers for external plotting).
+
+/// Render one or more series as an ASCII chart.
+///
+/// All series share the x grid implicitly (indices); y is auto-scaled to
+/// the joint min/max. Each series draws with its own glyph, assigned from
+/// `#*o+x%@` in order.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_bench::plot::ascii_chart;
+///
+/// let chart = ascii_chart(
+///     "loss over steps",
+///     &[("sim", &[0.5, 0.4, 0.35][..]), ("gnn", &[0.5, 0.3, 0.2][..])],
+///     40,
+///     8,
+/// );
+/// assert!(chart.contains("loss over steps"));
+/// ```
+pub fn ascii_chart(title: &str, series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 7] = ['#', '*', 'o', '+', 'x', '%', '@'];
+    let width = width.max(8);
+    let height = height.max(3);
+
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .filter(|y| y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let y_min = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let y_max = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (y_max - y_min).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        if ys.is_empty() {
+            continue;
+        }
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (i, &y) in ys.iter().enumerate() {
+            if !y.is_finite() {
+                continue;
+            }
+            let x = if ys.len() <= 1 {
+                0
+            } else {
+                i * (width - 1) / (ys.len() - 1)
+            };
+            let fy = (y - y_min) / span;
+            let row = height - 1 - ((fy * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][x] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:>9.3} |")
+        } else if r == height - 1 {
+            format!("{y_min:>9.3} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{} {}", GLYPHS[si % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("{:>11}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_extremes_and_legend() {
+        let chart = ascii_chart("t", &[("a", &[0.0, 1.0][..])], 20, 5);
+        assert!(chart.contains("1.000"));
+        assert!(chart.contains("0.000"));
+        assert!(chart.contains("# a"));
+    }
+
+    #[test]
+    fn handles_empty_series() {
+        let chart = ascii_chart("t", &[("a", &[][..])], 20, 5);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let chart = ascii_chart("t", &[("a", &[0.5, 0.5, 0.5][..])], 20, 5);
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let chart = ascii_chart(
+            "t",
+            &[("a", &[0.0, 1.0][..]), ("b", &[1.0, 0.0][..])],
+            20,
+            6,
+        );
+        assert!(chart.contains('#'));
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let chart = ascii_chart("t", &[("a", &[0.1, f64::NAN, 0.3][..])], 20, 5);
+        assert!(chart.contains('#'));
+    }
+}

@@ -1,0 +1,189 @@
+//! Experiment scales: the paper's full protocol is a week of simulation
+//! plus GPU training; every harness binary therefore supports three
+//! scales selected by the `CHAINNET_SCALE` environment variable
+//! (`smoke`, `default`, `paper`).
+
+use chainnet::config::{ModelConfig, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// All scale-dependent experiment knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Scale name (used in cache file names).
+    pub name: String,
+    /// Type I training samples.
+    pub train_samples: usize,
+    /// Type I test samples.
+    pub test_i_samples: usize,
+    /// Type II test samples.
+    pub test_ii_samples: usize,
+    /// Simulation horizon for dataset labeling.
+    pub sim_horizon: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Hidden width of all models.
+    pub hidden: usize,
+    /// Message-passing iterations for ChainNet / GAT.
+    pub iterations: usize,
+    /// Layers for GIN.
+    pub gin_iterations: usize,
+    /// Placement problems per device count (Fig. 14/15).
+    pub sa_problems: usize,
+    /// Device counts swept in the optimization study.
+    pub device_counts: Vec<usize>,
+    /// SA trials in the fixed-steps study.
+    pub sa_trials: usize,
+    /// SA steps per trial.
+    pub sa_steps: usize,
+    /// Simulation horizon used inside the simulation-based search and for
+    /// post-processing GNN decisions.
+    pub eval_sim_horizon: f64,
+}
+
+impl Scale {
+    /// Minutes-long scale used by integration tests and CI.
+    pub fn smoke() -> Self {
+        Self {
+            name: "smoke".into(),
+            train_samples: 24,
+            test_i_samples: 12,
+            test_ii_samples: 8,
+            sim_horizon: 300.0,
+            epochs: 4,
+            batch_size: 8,
+            hidden: 16,
+            iterations: 3,
+            gin_iterations: 4,
+            sa_problems: 2,
+            device_counts: vec![8],
+            sa_trials: 2,
+            sa_steps: 10,
+            eval_sim_horizon: 200.0,
+        }
+    }
+
+    /// The default laptop-scale protocol (tens of minutes end to end):
+    /// smaller dataset and hidden width, same structure as the paper.
+    pub fn default_scale() -> Self {
+        Self {
+            name: "default".into(),
+            train_samples: 400,
+            test_i_samples: 150,
+            test_ii_samples: 80,
+            sim_horizon: 1_500.0,
+            epochs: 40,
+            batch_size: 32,
+            hidden: 32,
+            iterations: 4,
+            gin_iterations: 6,
+            sa_problems: 6,
+            device_counts: vec![20, 40],
+            sa_trials: 5,
+            sa_steps: 60,
+            eval_sim_horizon: 4_000.0,
+        }
+    }
+
+    /// The paper's full protocol (Table III/IV/VII parameters verbatim).
+    /// Requires cluster-scale compute.
+    pub fn paper() -> Self {
+        Self {
+            name: "paper".into(),
+            train_samples: 50_000,
+            test_i_samples: 10_000,
+            test_ii_samples: 10_000,
+            sim_horizon: 20_000.0,
+            epochs: 200,
+            batch_size: 128,
+            hidden: 64,
+            iterations: 8,
+            gin_iterations: 12,
+            sa_problems: 25, // per device count: 25 x 4 = 100 problems
+            device_counts: vec![20, 40, 80, 120],
+            sa_trials: 30,
+            sa_steps: 100,
+            eval_sim_horizon: 5_000.0,
+        }
+    }
+
+    /// Read the scale from `CHAINNET_SCALE` (default `default`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown scale name, listing the valid ones.
+    pub fn from_env() -> Self {
+        match std::env::var("CHAINNET_SCALE").as_deref() {
+            Ok("smoke") => Self::smoke(),
+            Ok("paper") => Self::paper(),
+            Ok("default") | Err(_) => Self::default_scale(),
+            Ok(other) => panic!("unknown CHAINNET_SCALE `{other}` (smoke|default|paper)"),
+        }
+    }
+
+    /// The model configuration for ChainNet / GAT at this scale.
+    pub fn model_config(&self) -> ModelConfig {
+        let mut cfg = ModelConfig::paper_chainnet();
+        cfg.hidden = self.hidden;
+        cfg.iterations = self.iterations;
+        cfg
+    }
+
+    /// The model configuration for GIN at this scale.
+    pub fn gin_config(&self) -> ModelConfig {
+        let mut cfg = self.model_config();
+        cfg.iterations = self.gin_iterations;
+        cfg
+    }
+
+    /// The training configuration at this scale.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            learning_rate: 1e-3,
+            lr_decay: 0.9,
+            lr_decay_period: 10,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_tables() {
+        let s = Scale::paper();
+        assert_eq!(s.train_samples, 50_000);
+        assert_eq!(s.test_i_samples, 10_000);
+        assert_eq!(s.test_ii_samples, 10_000);
+        assert_eq!(s.hidden, 64);
+        assert_eq!(s.iterations, 8);
+        assert_eq!(s.gin_iterations, 12);
+        assert_eq!(s.epochs, 200);
+        assert_eq!(s.batch_size, 128);
+        assert_eq!(s.sa_steps, 100);
+        assert_eq!(s.sa_trials, 30);
+        assert_eq!(s.sa_problems * s.device_counts.len(), 100);
+    }
+
+    #[test]
+    fn smoke_is_smaller_than_default() {
+        let s = Scale::smoke();
+        let d = Scale::default_scale();
+        assert!(s.train_samples < d.train_samples);
+        assert!(s.epochs < d.epochs);
+    }
+
+    #[test]
+    fn model_configs_differ_only_in_layers() {
+        let s = Scale::default_scale();
+        let c = s.model_config();
+        let g = s.gin_config();
+        assert_eq!(c.hidden, g.hidden);
+        assert!(g.iterations > c.iterations);
+    }
+}

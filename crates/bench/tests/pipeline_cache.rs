@@ -1,0 +1,54 @@
+//! The pipeline's on-disk caching is load-bearing for every experiment
+//! binary (binaries share datasets and trained models through it), so it
+//! gets its own black-box test with isolated cache directories.
+//!
+//! This file contains a single test because it mutates process-wide
+//! environment variables.
+
+use chainnet_bench::{Pipeline, Scale};
+use std::time::Instant;
+
+#[test]
+fn datasets_and_models_round_trip_through_the_cache() {
+    let root = std::env::temp_dir().join(format!("chainnet_cache_test_{}", std::process::id()));
+    let data_dir = root.join("data");
+    let results_dir = root.join("results");
+    std::env::set_var("CHAINNET_DATA_DIR", &data_dir);
+    std::env::set_var("CHAINNET_RESULTS_DIR", &results_dir);
+
+    let mut scale = Scale::smoke();
+    // Shrink further: this test is about caching, not learning.
+    scale.train_samples = 6;
+    scale.test_i_samples = 3;
+    scale.test_ii_samples = 2;
+    scale.sim_horizon = 120.0;
+    scale.epochs = 1;
+    scale.hidden = 8;
+    scale.iterations = 2;
+    scale.gin_iterations = 2;
+    let pipeline = Pipeline::new(scale);
+
+    // First build simulates and trains...
+    let datasets1 = pipeline.datasets();
+    let model1 = pipeline.chainnet(&datasets1);
+    assert!(data_dir.join("smoke_datasets.json").exists());
+    assert!(results_dir.join("model_smoke_chainnet.json").exists());
+
+    // ...the second build must load identical artifacts, fast.
+    let t0 = Instant::now();
+    let datasets2 = pipeline.datasets();
+    let model2 = pipeline.chainnet(&datasets2);
+    assert!(t0.elapsed().as_secs_f64() < 5.0, "cache load should be fast");
+    assert_eq!(datasets1, datasets2);
+    assert_eq!(model1.model, model2.model);
+    assert_eq!(model1.report, model2.report);
+
+    // Corrupt the dataset cache: the pipeline must rebuild, not crash.
+    std::fs::write(data_dir.join("smoke_datasets.json"), "{not json").unwrap();
+    let datasets3 = pipeline.datasets();
+    assert_eq!(datasets1, datasets3, "rebuild is seed-deterministic");
+
+    std::env::remove_var("CHAINNET_DATA_DIR");
+    std::env::remove_var("CHAINNET_RESULTS_DIR");
+    let _ = std::fs::remove_dir_all(&root);
+}

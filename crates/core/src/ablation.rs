@@ -1,0 +1,110 @@
+//! The ablated ChainNet variants of Table VI / Fig. 13.
+//!
+//! The generalization design has two independent modifications (Table II):
+//! the GNN **output** transform (learn ratios instead of absolutes, mean
+//! instead of sum for the latency latent) and the **input** feature
+//! transform. The variants switch each off:
+//!
+//! | variant      | input features | output targets |
+//! |--------------|----------------|----------------|
+//! | ChainNet     | modified       | ratio          |
+//! | ChainNet-α   | original       | absolute       |
+//! | ChainNet-β   | modified       | absolute       |
+//! | ChainNet-δ   | original       | ratio          |
+
+use crate::config::{FeatureMode, ModelConfig, TargetMode};
+use crate::model::ChainNet;
+use serde::{Deserialize, Serialize};
+
+/// The ablation variants evaluated in Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AblationVariant {
+    /// Full generalization design.
+    Full,
+    /// No Table II modifications at all.
+    Alpha,
+    /// Input modifications only (outputs stay absolute).
+    Beta,
+    /// Output modifications only (inputs stay raw).
+    Delta,
+}
+
+impl AblationVariant {
+    /// All four variants in presentation order.
+    pub const ALL: [AblationVariant; 4] = [
+        AblationVariant::Full,
+        AblationVariant::Alpha,
+        AblationVariant::Beta,
+        AblationVariant::Delta,
+    ];
+
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            AblationVariant::Full => "ChainNet",
+            AblationVariant::Alpha => "ChainNet-alpha",
+            AblationVariant::Beta => "ChainNet-beta",
+            AblationVariant::Delta => "ChainNet-delta",
+        }
+    }
+
+    /// The feature/target modes of this variant applied to `base`.
+    pub fn apply(self, base: ModelConfig) -> ModelConfig {
+        match self {
+            AblationVariant::Full => base
+                .with_feature_mode(FeatureMode::Modified)
+                .with_target_mode(TargetMode::Ratio),
+            AblationVariant::Alpha => base
+                .with_feature_mode(FeatureMode::Original)
+                .with_target_mode(TargetMode::Absolute),
+            AblationVariant::Beta => base
+                .with_feature_mode(FeatureMode::Modified)
+                .with_target_mode(TargetMode::Absolute),
+            AblationVariant::Delta => base
+                .with_feature_mode(FeatureMode::Original)
+                .with_target_mode(TargetMode::Ratio),
+        }
+    }
+
+    /// Build the variant's ChainNet.
+    pub fn build(self, base: ModelConfig, seed: u64) -> ChainNet {
+        ChainNet::new(self.apply(base), seed).with_name(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Surrogate;
+
+    #[test]
+    fn variants_differ_exactly_in_documented_modes() {
+        let base = ModelConfig::small();
+        let full = AblationVariant::Full.apply(base);
+        assert_eq!(full.feature_mode, FeatureMode::Modified);
+        assert_eq!(full.target_mode, TargetMode::Ratio);
+        let alpha = AblationVariant::Alpha.apply(base);
+        assert_eq!(alpha.feature_mode, FeatureMode::Original);
+        assert_eq!(alpha.target_mode, TargetMode::Absolute);
+        let beta = AblationVariant::Beta.apply(base);
+        assert_eq!(beta.feature_mode, FeatureMode::Modified);
+        assert_eq!(beta.target_mode, TargetMode::Absolute);
+        let delta = AblationVariant::Delta.apply(base);
+        assert_eq!(delta.feature_mode, FeatureMode::Original);
+        assert_eq!(delta.target_mode, TargetMode::Ratio);
+    }
+
+    #[test]
+    fn builds_carry_labels() {
+        for v in AblationVariant::ALL {
+            let net = v.build(ModelConfig::small(), 0);
+            assert_eq!(net.name(), v.label());
+        }
+    }
+
+    #[test]
+    fn hidden_size_is_preserved() {
+        let net = AblationVariant::Beta.build(ModelConfig::small(), 0);
+        assert_eq!(net.config().hidden, ModelConfig::small().hidden);
+    }
+}

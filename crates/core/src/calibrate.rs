@@ -1,0 +1,281 @@
+//! Post-hoc surrogate calibration.
+//!
+//! Section VIII-C5 of the paper observes that the GNN's loss estimates
+//! "are often optimistic, though close to the simulated values" — a
+//! systematic bias that post-processing with the simulator works around.
+//! This module offers the cheaper standard remedy: fit an affine
+//! correction `y ↦ a·y + b` per predicted metric on a held-out validation
+//! set (ordinary least squares, closed form) and wrap the surrogate so
+//! downstream users and the search see calibrated outputs.
+
+use crate::config::ModelConfig;
+use crate::data::{ChainTargets, LabeledGraph};
+use crate::graph::PlacementGraph;
+use crate::model::{PerfPrediction, Surrogate};
+use chainnet_neural::params::ParamStore;
+use chainnet_neural::tape::{Tape, Var};
+use serde::{Deserialize, Serialize};
+
+/// An affine output correction `y ↦ scale·y + shift`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AffineCorrection {
+    /// Multiplicative term.
+    pub scale: f64,
+    /// Additive term.
+    pub shift: f64,
+}
+
+impl Default for AffineCorrection {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            shift: 0.0,
+        }
+    }
+}
+
+impl AffineCorrection {
+    /// Identity correction.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Least-squares fit of `target ≈ scale·pred + shift`.
+    ///
+    /// Falls back to the identity when there are fewer than two points or
+    /// the predictions are degenerate (zero variance).
+    pub fn fit(pairs: &[(f64, f64)]) -> Self {
+        if pairs.len() < 2 {
+            return Self::identity();
+        }
+        let n = pairs.len() as f64;
+        let mean_x = pairs.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let mean_y = pairs.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let sxx: f64 = pairs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+        if sxx < 1e-12 {
+            return Self::identity();
+        }
+        let sxy: f64 = pairs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+        let scale = sxy / sxx;
+        let shift = mean_y - scale * mean_x;
+        Self { scale, shift }
+    }
+
+    /// Apply the correction.
+    pub fn apply(&self, y: f64) -> f64 {
+        self.scale * y + self.shift
+    }
+}
+
+/// A surrogate whose natural-unit outputs are affinely recalibrated
+/// against validation data.
+///
+/// # Examples
+///
+/// See [`CalibratedSurrogate::fit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedSurrogate<S> {
+    name: String,
+    inner: S,
+    throughput: AffineCorrection,
+    latency: AffineCorrection,
+}
+
+impl<S: Surrogate> CalibratedSurrogate<S> {
+    /// Fit corrections on a validation set and wrap `inner`.
+    ///
+    /// Throughput corrections are clamped back into `[0, λ_i]` at
+    /// prediction time, and latency corrections to non-negative values,
+    /// so calibration never produces physically impossible outputs.
+    pub fn fit(inner: S, validation: &[LabeledGraph]) -> Self {
+        let mut tput_pairs = Vec::new();
+        let mut lat_pairs = Vec::new();
+        for sample in validation {
+            let preds = inner.predict(&sample.graph);
+            for (p, t) in preds.iter().zip(&sample.targets) {
+                tput_pairs.push((p.throughput, t.throughput));
+                if t.latency > 0.0 {
+                    lat_pairs.push((p.latency, t.latency));
+                }
+            }
+        }
+        let name = format!("{}+cal", inner.name());
+        Self {
+            name,
+            inner,
+            throughput: AffineCorrection::fit(&tput_pairs),
+            latency: AffineCorrection::fit(&lat_pairs),
+        }
+    }
+
+    /// The wrapped surrogate.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The fitted throughput correction.
+    pub fn throughput_correction(&self) -> AffineCorrection {
+        self.throughput
+    }
+
+    /// The fitted latency correction.
+    pub fn latency_correction(&self) -> AffineCorrection {
+        self.latency
+    }
+}
+
+impl<S: Surrogate> Surrogate for CalibratedSurrogate<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn config(&self) -> &ModelConfig {
+        self.inner.config()
+    }
+
+    fn params(&self) -> &ParamStore {
+        self.inner.params()
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        self.inner.params_mut()
+    }
+
+    fn loss_on_graph(
+        &self,
+        tape: &mut Tape,
+        graph: &PlacementGraph,
+        targets: &[ChainTargets],
+    ) -> Var {
+        // Training goes through the raw model; calibration is post-hoc.
+        self.inner.loss_on_graph(tape, graph, targets)
+    }
+
+    fn predict(&self, graph: &PlacementGraph) -> Vec<PerfPrediction> {
+        self.inner
+            .predict(graph)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let lam = graph.chains[i].arrival_rate;
+                PerfPrediction {
+                    throughput: self.throughput.apply(p.throughput).clamp(0.0, lam),
+                    latency: self
+                        .latency
+                        .apply(p.latency)
+                        .max(graph.chains[i].total_processing),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FeatureMode, ModelConfig};
+    use crate::model::ChainNet;
+    use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+
+    #[test]
+    fn fit_recovers_known_affine_map() {
+        let pairs: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                (x, 2.0 * x - 0.5)
+            })
+            .collect();
+        let c = AffineCorrection::fit(&pairs);
+        assert!((c.scale - 2.0).abs() < 1e-9);
+        assert!((c.shift + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_fit_is_identity() {
+        assert_eq!(AffineCorrection::fit(&[]), AffineCorrection::identity());
+        assert_eq!(
+            AffineCorrection::fit(&[(1.0, 2.0)]),
+            AffineCorrection::identity()
+        );
+        // Zero-variance predictions.
+        assert_eq!(
+            AffineCorrection::fit(&[(1.0, 2.0), (1.0, 3.0)]),
+            AffineCorrection::identity()
+        );
+    }
+
+    fn toy_validation(n: usize) -> Vec<LabeledGraph> {
+        (0..n)
+            .map(|s| {
+                let lambda = 0.2 + 0.6 * (s as f64 / n as f64);
+                let devices = vec![
+                    Device::new(10.0, 1.0).unwrap(),
+                    Device::new(10.0, 2.0).unwrap(),
+                ];
+                let chains = vec![ServiceChain::new(
+                    lambda,
+                    vec![
+                        Fragment::new(1.0, 1.0).unwrap(),
+                        Fragment::new(1.0, 1.0).unwrap(),
+                    ],
+                )
+                .unwrap()];
+                let model =
+                    SystemModel::new(devices, chains, Placement::new(vec![vec![0, 1]])).unwrap();
+                let graph = PlacementGraph::from_model(&model, FeatureMode::Modified);
+                let targets = vec![ChainTargets {
+                    throughput: 0.9 * lambda,
+                    latency: 2.0 + lambda,
+                }];
+                LabeledGraph { graph, targets }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_never_worsens_mse_on_fit_set() {
+        let cfg = ModelConfig::small();
+        let net = ChainNet::new(cfg, 3);
+        let val = toy_validation(16);
+        let mse = |model: &dyn Surrogate| -> f64 {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for s in &val {
+                for (p, t) in model.predict(&s.graph).iter().zip(&s.targets) {
+                    total += (p.throughput - t.throughput).powi(2);
+                    n += 1;
+                }
+            }
+            total / n as f64
+        };
+        let raw = mse(&net);
+        let calibrated = CalibratedSurrogate::fit(net, &val);
+        let cal = mse(&calibrated);
+        // OLS on the fit set cannot increase squared error beyond the
+        // clamped-identity baseline by construction (clamping only pulls
+        // predictions toward the feasible region).
+        assert!(cal <= raw + 1e-9, "raw {raw} vs calibrated {cal}");
+    }
+
+    #[test]
+    fn calibrated_outputs_respect_physical_bounds() {
+        let cfg = ModelConfig::small();
+        let net = ChainNet::new(cfg, 5);
+        let val = toy_validation(10);
+        let calibrated = CalibratedSurrogate::fit(net, &val);
+        for s in &val {
+            for (i, p) in calibrated.predict(&s.graph).iter().enumerate() {
+                let lam = s.graph.chains[i].arrival_rate;
+                assert!(p.throughput >= 0.0 && p.throughput <= lam + 1e-12);
+                assert!(p.latency >= s.graph.chains[i].total_processing - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn name_reflects_calibration() {
+        let net = ChainNet::new(ModelConfig::small(), 1);
+        let calibrated = CalibratedSurrogate::fit(net, &toy_validation(4));
+        assert_eq!(calibrated.name(), "ChainNet+cal");
+    }
+}

@@ -1,0 +1,211 @@
+//! Model hyperparameters (Table IV of the paper) and the feature/target
+//! modes that define the generalization design of Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// How input node features are built (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FeatureMode {
+    /// Raw features: `λ_i`, `(t_p, m_{i,j})`, `M_k`.
+    Original,
+    /// Generalization-ready features: `1`, `(t_p·λ_i, t_p/Δt_k, m/M_k)`,
+    /// `Δm_k/M_k`.
+    #[default]
+    Modified,
+}
+
+impl FeatureMode {
+    /// Dimension of service-node features under this mode.
+    pub fn service_dim(self) -> usize {
+        1
+    }
+
+    /// Dimension of fragment-node features under this mode.
+    pub fn fragment_dim(self) -> usize {
+        match self {
+            FeatureMode::Original => 2,
+            FeatureMode::Modified => 3,
+        }
+    }
+
+    /// Dimension of device-node features under this mode.
+    pub fn device_dim(self) -> usize {
+        1
+    }
+}
+
+/// What the prediction heads learn (Table II, "GNN output" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TargetMode {
+    /// Learn `X_i` and `L_i` directly; latency latent is the **sum** of
+    /// fragment embeddings.
+    Absolute,
+    /// Learn the ratios `X_i / λ_i` and `Σ_j t_p / L_i` (both in `(0,1)`);
+    /// latency latent is the **mean** of fragment embeddings. This is the
+    /// full generalization design.
+    #[default]
+    Ratio,
+}
+
+/// Hyperparameters shared by ChainNet and the baselines (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Hidden embedding width (64 in the paper).
+    pub hidden: usize,
+    /// Message-passing iterations/layers (8 for ChainNet and GAT, 12 for
+    /// GIN).
+    pub iterations: usize,
+    /// Attention heads for shared-device aggregation and GAT (2).
+    pub attention_heads: usize,
+    /// Negative slope of the LeakyReLU in attention scoring.
+    pub leaky_slope: f64,
+    /// Feature construction mode.
+    pub feature_mode: FeatureMode,
+    /// Prediction target mode.
+    pub target_mode: TargetMode,
+}
+
+impl ModelConfig {
+    /// The paper's ChainNet configuration: 64 hidden units, 8 iterations,
+    /// 2 attention heads, full Table II generalization design.
+    pub fn paper_chainnet() -> Self {
+        Self {
+            hidden: 64,
+            iterations: 8,
+            attention_heads: 2,
+            leaky_slope: 0.2,
+            feature_mode: FeatureMode::Modified,
+            target_mode: TargetMode::Ratio,
+        }
+    }
+
+    /// The paper's GAT configuration (8 layers, 2 heads).
+    pub fn paper_gat() -> Self {
+        Self::paper_chainnet()
+    }
+
+    /// The paper's GIN configuration (12 layers).
+    pub fn paper_gin() -> Self {
+        Self {
+            iterations: 12,
+            ..Self::paper_chainnet()
+        }
+    }
+
+    /// A reduced configuration for fast tests (16 hidden, 3 iterations).
+    pub fn small() -> Self {
+        Self {
+            hidden: 16,
+            iterations: 3,
+            attention_heads: 2,
+            leaky_slope: 0.2,
+            feature_mode: FeatureMode::Modified,
+            target_mode: TargetMode::Ratio,
+        }
+    }
+
+    /// Override the feature mode (builder-style).
+    #[must_use]
+    pub fn with_feature_mode(mut self, mode: FeatureMode) -> Self {
+        self.feature_mode = mode;
+        self
+    }
+
+    /// Override the target mode (builder-style).
+    #[must_use]
+    pub fn with_target_mode(mut self, mode: TargetMode) -> Self {
+        self.target_mode = mode;
+        self
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self::paper_chainnet()
+    }
+}
+
+/// Training hyperparameters (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Training epochs (200 in the paper).
+    pub epochs: usize,
+    /// Mini-batch size in graphs (128 in the paper).
+    pub batch_size: usize,
+    /// Initial Adam learning rate.
+    pub learning_rate: f64,
+    /// Multiplicative LR decay factor.
+    pub lr_decay: f64,
+    /// Epochs between decays.
+    pub lr_decay_period: u64,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's training configuration.
+    pub fn paper_default() -> Self {
+        Self {
+            epochs: 200,
+            batch_size: 128,
+            learning_rate: 1e-3,
+            lr_decay: 0.9,
+            lr_decay_period: 10,
+            seed: 0,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn small() -> Self {
+        Self {
+            epochs: 30,
+            batch_size: 16,
+            learning_rate: 3e-3,
+            lr_decay: 0.9,
+            lr_decay_period: 10,
+            seed: 0,
+        }
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table_iv() {
+        let c = ModelConfig::paper_chainnet();
+        assert_eq!(c.hidden, 64);
+        assert_eq!(c.iterations, 8);
+        assert_eq!(c.attention_heads, 2);
+        assert_eq!(ModelConfig::paper_gin().iterations, 12);
+        assert_eq!(ModelConfig::paper_gat().iterations, 8);
+        let t = TrainConfig::paper_default();
+        assert_eq!(t.epochs, 200);
+        assert_eq!(t.batch_size, 128);
+        assert!((t.learning_rate - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn feature_dims_by_mode() {
+        assert_eq!(FeatureMode::Original.fragment_dim(), 2);
+        assert_eq!(FeatureMode::Modified.fragment_dim(), 3);
+        assert_eq!(FeatureMode::Modified.service_dim(), 1);
+        assert_eq!(FeatureMode::Modified.device_dim(), 1);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = ModelConfig::paper_chainnet()
+            .with_feature_mode(FeatureMode::Original)
+            .with_target_mode(TargetMode::Absolute);
+        assert_eq!(c.feature_mode, FeatureMode::Original);
+        assert_eq!(c.target_mode, TargetMode::Absolute);
+    }
+}

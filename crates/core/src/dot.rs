@@ -1,0 +1,135 @@
+//! Graphviz (DOT) export of placement graphs, following the visual
+//! conventions of Fig. 4 in the paper: service nodes with red borders,
+//! fragment nodes blue, device nodes dashed green; solid workflow edges
+//! and dashed placement edges.
+
+use crate::graph::PlacementGraph;
+use std::fmt::Write as _;
+
+/// Render a placement graph as Graphviz DOT.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet::config::FeatureMode;
+/// use chainnet::dot::to_dot;
+/// use chainnet::graph::PlacementGraph;
+/// use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+///
+/// # fn main() -> Result<(), chainnet_qsim::QsimError> {
+/// let devices = vec![Device::new(10.0, 1.0)?, Device::new(10.0, 1.0)?];
+/// let chains = vec![ServiceChain::new(
+///     0.5,
+///     vec![Fragment::new(1.0, 1.0)?, Fragment::new(1.0, 1.0)?],
+/// )?];
+/// let model = SystemModel::new(devices, chains, Placement::new(vec![vec![0, 1]]))?;
+/// let graph = PlacementGraph::from_model(&model, FeatureMode::Modified);
+/// let dot = to_dot(&graph);
+/// assert!(dot.starts_with("digraph placement"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(graph: &PlacementGraph) -> String {
+    let mut out = String::from("digraph placement {\n  rankdir=LR;\n  node [fontsize=10];\n");
+
+    // Service nodes: hollow circles with red borders.
+    for (i, chain) in graph.chains.iter().enumerate() {
+        writeln!(
+            out,
+            "  s{i} [label=\"chain {i}\\nλ={:.3}\" shape=circle color=red];",
+            chain.arrival_rate
+        )
+        .expect("write to string");
+    }
+    // Fragment nodes: blue boxes, grouped per chain.
+    for (i, chain) in graph.chains.iter().enumerate() {
+        for (j, step) in chain.steps.iter().enumerate() {
+            writeln!(
+                out,
+                "  f{i}_{j} [label=\"({i},{j})\\nt_p={:.3}\" shape=box color=blue style=filled fillcolor=lightblue];",
+                step.processing_time
+            )
+            .expect("write to string");
+        }
+    }
+    // Device nodes: dashed green.
+    for (k, dev) in graph.devices.iter().enumerate() {
+        writeln!(
+            out,
+            "  d{k} [label=\"device {}\\nF_k={}\" shape=ellipse color=green style=dashed];",
+            dev.global_idx,
+            dev.steps.len()
+        )
+        .expect("write to string");
+    }
+    // Placement edges (dashed) and workflow edges (solid).
+    for (i, chain) in graph.chains.iter().enumerate() {
+        for (j, step) in chain.steps.iter().enumerate() {
+            writeln!(out, "  f{i}_{j} -> d{} [style=dashed];", step.device)
+                .expect("write to string");
+            if j + 1 < chain.steps.len() {
+                writeln!(out, "  d{} -> f{i}_{} [style=solid];", step.device, j + 1)
+                    .expect("write to string");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FeatureMode;
+    use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+
+    fn graph() -> PlacementGraph {
+        let devices = vec![
+            Device::new(10.0, 1.0).unwrap(),
+            Device::new(10.0, 2.0).unwrap(),
+        ];
+        let chains = vec![
+            ServiceChain::new(
+                0.5,
+                vec![
+                    Fragment::new(1.0, 1.0).unwrap(),
+                    Fragment::new(1.0, 2.0).unwrap(),
+                ],
+            )
+            .unwrap(),
+            ServiceChain::new(0.2, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap(),
+        ];
+        let model =
+            SystemModel::new(devices, chains, Placement::new(vec![vec![0, 1], vec![1]])).unwrap();
+        PlacementGraph::from_model(&model, FeatureMode::Modified)
+    }
+
+    #[test]
+    fn dot_declares_every_node() {
+        let dot = to_dot(&graph());
+        assert!(dot.contains("s0 ["));
+        assert!(dot.contains("s1 ["));
+        assert!(dot.contains("f0_0 ["));
+        assert!(dot.contains("f0_1 ["));
+        assert!(dot.contains("f1_0 ["));
+        assert!(dot.contains("d0 ["));
+        assert!(dot.contains("d1 ["));
+    }
+
+    #[test]
+    fn dot_edge_counts_match_graph() {
+        let g = graph();
+        let dot = to_dot(&g);
+        let placement_edges = dot.matches("[style=dashed];").count();
+        let workflow_edges = dot.matches("[style=solid];").count();
+        assert_eq!(placement_edges, g.num_fragments());
+        assert_eq!(workflow_edges, g.num_fragments() - g.num_chains());
+    }
+
+    #[test]
+    fn dot_is_balanced() {
+        let dot = to_dot(&graph());
+        assert!(dot.starts_with("digraph placement {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

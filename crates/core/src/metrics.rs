@@ -1,0 +1,225 @@
+//! Prediction-quality metrics: absolute percentage error (APE), mean APE
+//! (MAPE, Eq. 17), percentiles of the APE distribution, and grouping by
+//! graph size used by Fig. 12.
+
+use chainnet_qsim::stats::percentile;
+use serde::{Deserialize, Serialize};
+
+/// Absolute percentage error `|P - G| / |G|`.
+///
+/// Returns the error as a *fraction* (the paper's tables use the same
+/// convention: e.g. `0.038` = 3.8%). When the ground truth is zero the
+/// absolute error is returned instead, which avoids division blow-ups on
+/// fully-lost chains.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet::metrics::ape;
+///
+/// assert!((ape(0.9, 1.0) - 0.1).abs() < 1e-12);
+/// assert_eq!(ape(0.5, 0.0), 0.5);
+/// ```
+pub fn ape(predicted: f64, ground_truth: f64) -> f64 {
+    if ground_truth.abs() < 1e-12 {
+        predicted.abs()
+    } else {
+        ((predicted - ground_truth) / ground_truth).abs()
+    }
+}
+
+/// Summary of an APE distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApeSummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Mean APE (MAPE, Eq. 17) as a fraction.
+    pub mape: f64,
+    /// 50th percentile.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl ApeSummary {
+    /// Summarize a set of APEs. Returns `None` for an empty slice.
+    pub fn from_apes(apes: &[f64]) -> Option<Self> {
+        if apes.is_empty() {
+            return None;
+        }
+        Some(Self {
+            count: apes.len(),
+            mape: apes.iter().sum::<f64>() / apes.len() as f64,
+            p50: percentile(apes, 0.50)?,
+            p75: percentile(apes, 0.75)?,
+            p95: percentile(apes, 0.95)?,
+            p99: percentile(apes, 0.99)?,
+        })
+    }
+}
+
+/// A pair of APE lists, one per predicted metric.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ApeCollector {
+    /// Throughput APEs.
+    pub throughput: Vec<f64>,
+    /// Latency APEs.
+    pub latency: Vec<f64>,
+}
+
+impl ApeCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one chain's predictions against ground truth.
+    pub fn push(&mut self, pred_tput: f64, gt_tput: f64, pred_lat: f64, gt_lat: f64) {
+        self.throughput.push(ape(pred_tput, gt_tput));
+        self.latency.push(ape(pred_lat, gt_lat));
+    }
+
+    /// Summaries of both distributions (None when empty).
+    pub fn summaries(&self) -> (Option<ApeSummary>, Option<ApeSummary>) {
+        (
+            ApeSummary::from_apes(&self.throughput),
+            ApeSummary::from_apes(&self.latency),
+        )
+    }
+
+    /// Merge another collector.
+    pub fn extend(&mut self, other: &ApeCollector) {
+        self.throughput.extend_from_slice(&other.throughput);
+        self.latency.extend_from_slice(&other.latency);
+    }
+}
+
+/// Box-plot statistics (Fig. 12): quartiles and whiskers at 1.5 IQR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Lower whisker (min observation above `q1 - 1.5 IQR`).
+    pub lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (max observation below `q3 + 1.5 IQR`).
+    pub hi: f64,
+}
+
+impl BoxStats {
+    /// Compute box statistics; `None` on an empty sample.
+    pub fn from_samples(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let q1 = percentile(xs, 0.25)?;
+        let median = percentile(xs, 0.5)?;
+        let q3 = percentile(xs, 0.75)?;
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let lo = xs
+            .iter()
+            .copied()
+            .filter(|&x| x >= lo_fence)
+            .fold(f64::INFINITY, f64::min);
+        let hi = xs
+            .iter()
+            .copied()
+            .filter(|&x| x <= hi_fence)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some(Self {
+            count: xs.len(),
+            lo,
+            q1,
+            median,
+            q3,
+            hi,
+        })
+    }
+}
+
+/// Assign a value to a half-open bucket and return its label, used to
+/// group Fig. 12 results by node count or chain count.
+///
+/// `edges` must be sorted; a value `v` lands in the first bucket with
+/// `v <= edge`, or the overflow bucket.
+pub fn bucket_label(v: usize, edges: &[usize]) -> String {
+    let mut lo = 0usize;
+    for &e in edges {
+        if v <= e {
+            return format!("{}-{}", lo, e);
+        }
+        lo = e + 1;
+    }
+    format!("{lo}+")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_is_mean_of_apes() {
+        let apes = vec![0.1, 0.2, 0.3];
+        let s = ApeSummary::from_apes(&apes).unwrap();
+        assert!((s.mape - 0.2).abs() < 1e-12);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let apes: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let s = ApeSummary::from_apes(&apes).unwrap();
+        assert!(s.p50 <= s.p75 && s.p75 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        assert!(ApeSummary::from_apes(&[]).is_none());
+    }
+
+    #[test]
+    fn collector_tracks_both_metrics() {
+        let mut c = ApeCollector::new();
+        c.push(0.9, 1.0, 2.0, 4.0);
+        assert_eq!(c.throughput.len(), 1);
+        assert!((c.latency[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_quartiles() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let b = BoxStats::from_samples(&xs).unwrap();
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert!(b.lo >= 1.0 && b.hi <= 9.0);
+    }
+
+    #[test]
+    fn box_stats_excludes_outliers_from_whiskers() {
+        let mut xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        xs.push(100.0); // far outlier
+        let b = BoxStats::from_samples(&xs).unwrap();
+        assert!(b.hi < 100.0);
+    }
+
+    #[test]
+    fn bucket_labels() {
+        let edges = [20, 40, 60];
+        assert_eq!(bucket_label(5, &edges), "0-20");
+        assert_eq!(bucket_label(20, &edges), "0-20");
+        assert_eq!(bucket_label(21, &edges), "21-40");
+        assert_eq!(bucket_label(99, &edges), "61+");
+    }
+}

@@ -1,0 +1,264 @@
+//! Mini-batch training loop implementing Eq. 13: joint MSE over predicted
+//! throughput and latency across all chains of a batch, with Adam and the
+//! Table IV step-decay learning-rate schedule.
+
+use crate::config::TrainConfig;
+use crate::data::LabeledGraph;
+use crate::metrics::ApeCollector;
+use crate::model::Surrogate;
+use chainnet_neural::optim::{Adam, StepDecay};
+use chainnet_neural::tape::Tape;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Loss values recorded after one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss (Eq. 13) over the epoch.
+    pub train_loss: f64,
+    /// Validation loss, when a validation set was supplied.
+    pub val_loss: Option<f64>,
+    /// Learning rate used during the epoch.
+    pub lr: f64,
+}
+
+/// Full training history (the data behind Fig. 13).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Per-epoch statistics in order.
+    pub history: Vec<EpochStats>,
+}
+
+impl TrainReport {
+    /// The final training loss.
+    pub fn final_train_loss(&self) -> Option<f64> {
+        self.history.last().map(|e| e.train_loss)
+    }
+
+    /// The final validation loss.
+    pub fn final_val_loss(&self) -> Option<f64> {
+        self.history.last().and_then(|e| e.val_loss)
+    }
+}
+
+/// Trains any [`Surrogate`] on labeled placement graphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Create a trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Mean Eq.-13 loss of `model` over `data`, without touching gradients.
+    pub fn evaluate_loss<S: Surrogate + ?Sized>(&self, model: &S, data: &[LabeledGraph]) -> f64 {
+        let mut total = 0.0;
+        let mut chains = 0usize;
+        for sample in data {
+            let mut tape = Tape::new();
+            let loss = model.loss_on_graph(&mut tape, &sample.graph, &sample.targets);
+            total += tape.value(loss).item();
+            chains += sample.graph.num_chains();
+        }
+        if chains == 0 {
+            0.0
+        } else {
+            total / (2.0 * chains as f64)
+        }
+    }
+
+    /// Collect APEs of natural-unit predictions over `data`.
+    pub fn evaluate_ape<S: Surrogate + ?Sized>(
+        &self,
+        model: &S,
+        data: &[LabeledGraph],
+    ) -> ApeCollector {
+        let mut collector = ApeCollector::new();
+        for sample in data {
+            let preds = model.predict(&sample.graph);
+            for (p, t) in preds.iter().zip(&sample.targets) {
+                collector.push(p.throughput, t.throughput, p.latency, t.latency);
+            }
+        }
+        collector
+    }
+
+    /// Train `model` on `train`, optionally tracking a validation loss
+    /// each epoch (used by the ablation study's Fig. 13 curves).
+    pub fn train<S: Surrogate>(
+        &self,
+        model: &mut S,
+        train: &[LabeledGraph],
+        val: Option<&[LabeledGraph]>,
+    ) -> TrainReport {
+        assert!(!train.is_empty(), "training set is empty");
+        let cfg = self.config;
+        let mut adam = Adam::new(cfg.learning_rate);
+        let schedule = StepDecay {
+            lr0: cfg.learning_rate,
+            factor: cfg.lr_decay,
+            period: cfg.lr_decay_period,
+        };
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut report = TrainReport::default();
+
+        for epoch in 0..cfg.epochs {
+            let lr = schedule.lr_at(epoch as u64);
+            adam.set_lr(lr);
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut epoch_chains = 0usize;
+
+            for batch in order.chunks(cfg.batch_size.max(1)) {
+                // Q = number of chains in this batch (Eq. 13 denominator).
+                let q: usize = batch.iter().map(|&i| train[i].graph.num_chains()).sum();
+                let scale = 1.0 / (2.0 * q.max(1) as f64);
+                for &i in batch {
+                    let sample = &train[i];
+                    let mut tape = Tape::new();
+                    let raw = model.loss_on_graph(&mut tape, &sample.graph, &sample.targets);
+                    let scaled = tape.affine(raw, scale, 0.0);
+                    tape.backward(scaled);
+                    tape.accumulate_param_grads(model.params_mut());
+                    epoch_loss += tape.value(raw).item();
+                }
+                epoch_chains += q;
+                adam.step(model.params_mut());
+            }
+
+            let train_loss = epoch_loss / (2.0 * epoch_chains.max(1) as f64);
+            let val_loss = val.map(|v| self.evaluate_loss(model, v));
+            report.history.push(EpochStats {
+                epoch,
+                train_loss,
+                val_loss,
+                lr,
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, TrainConfig};
+    use crate::data::{ChainTargets, LabeledGraph};
+    use crate::graph::PlacementGraph;
+    use crate::model::ChainNet;
+    use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+
+    fn toy_dataset(n: usize) -> Vec<LabeledGraph> {
+        // Same topology, varying arrival rate; targets follow a smooth
+        // synthetic law so a tiny model can fit them.
+        (0..n)
+            .map(|s| {
+                let lambda = 0.2 + 0.6 * (s as f64 / n as f64);
+                let devices = vec![
+                    Device::new(10.0, 1.0).unwrap(),
+                    Device::new(10.0, 2.0).unwrap(),
+                ];
+                let chains = vec![ServiceChain::new(
+                    lambda,
+                    vec![
+                        Fragment::new(1.0, 1.0).unwrap(),
+                        Fragment::new(1.0, 1.0).unwrap(),
+                    ],
+                )
+                .unwrap()];
+                let model =
+                    SystemModel::new(devices, chains, Placement::new(vec![vec![0, 1]])).unwrap();
+                let graph = PlacementGraph::from_model(&model, ModelConfig::small().feature_mode);
+                let targets = vec![ChainTargets {
+                    throughput: lambda * (1.0 - 0.3 * lambda),
+                    latency: 1.5 / (1.0 - 0.5 * lambda),
+                }];
+                LabeledGraph { graph, targets }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_data() {
+        let data = toy_dataset(16);
+        let mut model = ChainNet::new(ModelConfig::small(), 11);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 15,
+            batch_size: 8,
+            learning_rate: 5e-3,
+            lr_decay: 0.9,
+            lr_decay_period: 10,
+            seed: 1,
+        });
+        let before = trainer.evaluate_loss(&model, &data);
+        let report = trainer.train(&mut model, &data, None);
+        let after = trainer.evaluate_loss(&model, &data);
+        assert!(after < before, "loss {before} -> {after}");
+        assert_eq!(report.history.len(), 15);
+        assert!(report.final_train_loss().unwrap() < before);
+    }
+
+    #[test]
+    fn validation_loss_is_tracked() {
+        let data = toy_dataset(8);
+        let (train, val) = data.split_at(6);
+        let mut model = ChainNet::new(ModelConfig::small(), 5);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            learning_rate: 1e-3,
+            lr_decay: 0.9,
+            lr_decay_period: 10,
+            seed: 2,
+        });
+        let report = trainer.train(&mut model, train, Some(val));
+        assert!(report.history.iter().all(|e| e.val_loss.is_some()));
+    }
+
+    #[test]
+    fn lr_decays_during_training() {
+        let data = toy_dataset(4);
+        let mut model = ChainNet::new(ModelConfig::small(), 5);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 12,
+            batch_size: 4,
+            learning_rate: 1e-3,
+            lr_decay: 0.5,
+            lr_decay_period: 10,
+            seed: 3,
+        });
+        let report = trainer.train(&mut model, &data, None);
+        assert!((report.history[0].lr - 1e-3).abs() < 1e-12);
+        assert!((report.history[11].lr - 5e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ape_evaluation_counts_chains() {
+        let data = toy_dataset(5);
+        let model = ChainNet::new(ModelConfig::small(), 5);
+        let trainer = Trainer::new(TrainConfig::small());
+        let apes = trainer.evaluate_ape(&model, &data);
+        assert_eq!(apes.throughput.len(), 5);
+        assert_eq!(apes.latency.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "training set is empty")]
+    fn empty_training_set_panics() {
+        let mut model = ChainNet::new(ModelConfig::small(), 5);
+        Trainer::new(TrainConfig::small()).train(&mut model, &[], None);
+    }
+}

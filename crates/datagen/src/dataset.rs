@@ -1,0 +1,288 @@
+//! Dataset construction: simulate randomly generated systems to label
+//! placement graphs with ground-truth throughput and latency.
+//!
+//! The paper's dataset is 70,000 JMT simulations (a week on ten
+//! machines); this builder produces the same kind of samples at a
+//! configurable scale, in parallel across threads.
+
+use crate::typesets::{NetworkGenerator, NetworkParams};
+use chainnet::config::FeatureMode;
+use chainnet::data::{ChainTargets, LabeledGraph};
+use chainnet::graph::PlacementGraph;
+use chainnet_qsim::approx::{solve, ApproxConfig};
+use chainnet_qsim::model::SystemModel;
+use chainnet_qsim::sim::{SimConfig, Simulator};
+use chainnet_qsim::Result;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A simulated sample before any feature mode is chosen: the system plus
+/// its measured per-chain performance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawSample {
+    /// The simulated system (devices, chains, placement).
+    pub model: SystemModel,
+    /// Ground-truth targets per chain.
+    pub targets: Vec<ChainTargets>,
+}
+
+impl RawSample {
+    /// Build the labeled graph under a feature mode. Raw samples are kept
+    /// mode-agnostic so the ablation study can reuse one simulation run
+    /// for every variant.
+    pub fn to_labeled(&self, mode: FeatureMode) -> LabeledGraph {
+        LabeledGraph {
+            graph: PlacementGraph::from_model(&self.model, mode),
+            targets: self.targets.clone(),
+        }
+    }
+}
+
+/// Where ground-truth labels come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LabelSource {
+    /// Discrete-event simulation (the paper's ground truth).
+    #[default]
+    Simulation,
+    /// The fixed-point decomposition approximation — orders of magnitude
+    /// cheaper, systematically biased on coupled multi-chain systems.
+    /// Used by the label-quality study (`bench --bin label_quality`).
+    Decomposition,
+}
+
+/// Configuration for dataset generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of samples to generate.
+    pub samples: usize,
+    /// Simulation horizon per sample (time units).
+    pub sim_horizon: f64,
+    /// Base RNG seed; sample `i` uses `seed + i` for both topology and
+    /// simulation.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Label source (simulation by default).
+    #[serde(default)]
+    pub labels: LabelSource,
+}
+
+impl DatasetConfig {
+    /// A configuration generating `samples` samples with a moderate
+    /// simulation horizon.
+    pub fn new(samples: usize, seed: u64) -> Self {
+        Self {
+            samples,
+            sim_horizon: 2_000.0,
+            seed,
+            threads: 0,
+            labels: LabelSource::default(),
+        }
+    }
+
+    /// Override the horizon (builder-style).
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: f64) -> Self {
+        self.sim_horizon = horizon;
+        self
+    }
+
+    /// Override the thread count (builder-style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Override the label source (builder-style).
+    #[must_use]
+    pub fn with_labels(mut self, labels: LabelSource) -> Self {
+        self.labels = labels;
+        self
+    }
+}
+
+/// Generate `config.samples` raw samples from `params`, simulating each
+/// generated system once. Parallelized with scoped threads.
+///
+/// # Errors
+///
+/// Propagates generation or simulation errors from any worker.
+pub fn generate_raw_dataset(
+    params: NetworkParams,
+    config: &DatasetConfig,
+) -> Result<Vec<RawSample>> {
+    let generator = NetworkGenerator::new(params);
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+    let results: Mutex<Vec<Option<RawSample>>> = Mutex::new(vec![None; config.samples]);
+    let next: Mutex<usize> = Mutex::new(0);
+    let first_error: Mutex<Option<chainnet_qsim::QsimError>> = Mutex::new(None);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut n = next.lock();
+                    if *n >= config.samples {
+                        return;
+                    }
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                let seed = config.seed.wrapping_add(i as u64);
+                let outcome = generator.generate(seed).and_then(|model| {
+                    let targets = match config.labels {
+                        LabelSource::Simulation => {
+                            let sim_cfg = SimConfig::new(config.sim_horizon, seed);
+                            let res = Simulator::new().run(&model, &sim_cfg)?;
+                            res.chains
+                                .iter()
+                                .map(|c| ChainTargets {
+                                    throughput: c.throughput,
+                                    latency: c.mean_latency,
+                                })
+                                .collect()
+                        }
+                        LabelSource::Decomposition => {
+                            let res = solve(&model, &ApproxConfig::default());
+                            res.chains
+                                .iter()
+                                .map(|c| ChainTargets {
+                                    throughput: c.throughput,
+                                    latency: c.latency,
+                                })
+                                .collect()
+                        }
+                    };
+                    Ok(RawSample { model, targets })
+                });
+                match outcome {
+                    Ok(sample) => results.lock()[i] = Some(sample),
+                    Err(e) => {
+                        let mut slot = first_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    })
+    .expect("dataset worker panicked");
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(results
+        .into_inner()
+        .into_iter()
+        .map(|s| s.expect("all samples generated"))
+        .collect())
+}
+
+/// Convert raw samples into labeled graphs under one feature mode.
+pub fn to_labeled(samples: &[RawSample], mode: FeatureMode) -> Vec<LabeledGraph> {
+    samples.iter().map(|s| s.to_labeled(mode)).collect()
+}
+
+/// Save raw samples as JSON.
+///
+/// # Errors
+///
+/// Returns I/O or serialization errors.
+pub fn save_raw(samples: &[RawSample], path: &std::path::Path) -> std::io::Result<()> {
+    let json = serde_json::to_string(samples)?;
+    std::fs::write(path, json)
+}
+
+/// Load raw samples from JSON.
+///
+/// # Errors
+///
+/// Returns I/O or deserialization errors.
+pub fn load_raw(path: &std::path::Path) -> std::io::Result<Vec<RawSample>> {
+    let json = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_sample_count() {
+        let cfg = DatasetConfig::new(8, 1).with_horizon(300.0).with_threads(2);
+        let samples = generate_raw_dataset(NetworkParams::type_i(), &cfg).unwrap();
+        assert_eq!(samples.len(), 8);
+        for s in &samples {
+            assert_eq!(s.targets.len(), s.model.chains().len());
+            for t in &s.targets {
+                assert!(t.throughput >= 0.0);
+                assert!(t.latency >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_thread_counts() {
+        let base = DatasetConfig::new(6, 7).with_horizon(200.0);
+        let a = generate_raw_dataset(NetworkParams::type_i(), &base.with_threads(1)).unwrap();
+        let b = generate_raw_dataset(NetworkParams::type_i(), &base.with_threads(4)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labeled_graphs_align_with_targets() {
+        let cfg = DatasetConfig::new(3, 2).with_horizon(200.0).with_threads(1);
+        let samples = generate_raw_dataset(NetworkParams::type_i(), &cfg).unwrap();
+        let labeled = to_labeled(&samples, FeatureMode::Modified);
+        for l in &labeled {
+            assert_eq!(l.graph.num_chains(), l.targets.len());
+        }
+    }
+
+    #[test]
+    fn raw_samples_round_trip_through_json() {
+        let cfg = DatasetConfig::new(2, 3).with_horizon(150.0).with_threads(1);
+        let samples = generate_raw_dataset(NetworkParams::type_i(), &cfg).unwrap();
+        let dir = std::env::temp_dir().join("chainnet_dataset_test.json");
+        save_raw(&samples, &dir).unwrap();
+        let back = load_raw(&dir).unwrap();
+        assert_eq!(samples, back);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn decomposition_labels_are_fast_and_bounded() {
+        let cfg = DatasetConfig::new(6, 9)
+            .with_threads(2)
+            .with_labels(LabelSource::Decomposition);
+        let samples = generate_raw_dataset(NetworkParams::type_i(), &cfg).unwrap();
+        assert_eq!(samples.len(), 6);
+        for s in &samples {
+            for (c, t) in s.model.chains().iter().zip(&s.targets) {
+                assert!(t.throughput <= c.arrival_rate + 1e-9);
+                assert!(t.latency >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_targets_bounded_by_arrival_rates() {
+        let cfg = DatasetConfig::new(5, 4).with_horizon(500.0).with_threads(2);
+        let samples = generate_raw_dataset(NetworkParams::type_i(), &cfg).unwrap();
+        for s in &samples {
+            for (c, t) in s.model.chains().iter().zip(&s.targets) {
+                assert!(t.throughput <= c.arrival_rate * 1.3 + 0.05);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Random placement-problem generation per Table VII: the instances used
+//! to evaluate the surrogate optimization program (Section VIII-C).
+
+use chainnet_placement::problem::PlacementProblem;
+use chainnet_qsim::dist::{sample_truncated, Dist};
+use chainnet_qsim::model::{Device, Fragment, ServiceChain};
+use chainnet_qsim::Result;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProblemParams {
+    /// Number of available devices (20, 40, 80 or 120 in the paper).
+    pub num_devices: usize,
+    /// Number of service chains (12).
+    pub num_chains: usize,
+    /// Maximum fragments per chain (12).
+    pub max_fragments: usize,
+    /// Mean of the exponential distribution of `λ_i^{-1}` (1), floored at
+    /// `interarrival_floor`.
+    pub interarrival_mean: f64,
+    /// Lower bound on sampled interarrival times (0.01).
+    pub interarrival_floor: f64,
+    /// Device service rate range `U(0.5, 1)`.
+    pub service_rate: (f64, f64),
+    /// Maximum memory capacity (100).
+    pub memory_capacity: f64,
+    /// Fragment computational demand range `U(0.01, 0.1)`.
+    pub comp_demand: (f64, f64),
+}
+
+impl ProblemParams {
+    /// Table VII defaults with the given device count.
+    pub fn paper_default(num_devices: usize) -> Self {
+        Self {
+            num_devices,
+            num_chains: 12,
+            max_fragments: 12,
+            interarrival_mean: 1.0,
+            interarrival_floor: 0.01,
+            service_rate: (0.5, 1.0),
+            memory_capacity: 100.0,
+            comp_demand: (0.01, 0.1),
+        }
+    }
+
+    /// A reduced instance for fast tests.
+    pub fn small() -> Self {
+        Self {
+            num_devices: 6,
+            num_chains: 3,
+            max_fragments: 4,
+            interarrival_mean: 1.0,
+            interarrival_floor: 0.01,
+            service_rate: (0.5, 1.0),
+            memory_capacity: 100.0,
+            comp_demand: (0.01, 0.1),
+        }
+    }
+}
+
+/// Generates random [`PlacementProblem`]s from a parameter set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProblemGenerator {
+    params: ProblemParams,
+}
+
+impl ProblemGenerator {
+    /// Create a generator.
+    pub fn new(params: ProblemParams) -> Self {
+        Self { params }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &ProblemParams {
+        &self.params
+    }
+
+    /// Generate one random placement problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution and model-validation errors.
+    pub fn generate(&self, seed: u64) -> Result<PlacementProblem> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = &self.params;
+        let exp = Dist::exp_mean(p.interarrival_mean)?;
+        let devices: Vec<Device> = (0..p.num_devices)
+            .map(|_| {
+                let rate = rng.gen_range(p.service_rate.0..p.service_rate.1);
+                Device::new(p.memory_capacity, rate)
+            })
+            .collect::<Result<_>>()?;
+        let max_len = p.max_fragments.min(p.num_devices);
+        let chains: Vec<ServiceChain> = (0..p.num_chains)
+            .map(|_| {
+                let len = rng.gen_range(1..=max_len);
+                let mean_ia = sample_truncated(&exp, p.interarrival_floor, &mut rng);
+                let fragments: Vec<Fragment> = (0..len)
+                    .map(|_| {
+                        let comp = rng.gen_range(p.comp_demand.0..p.comp_demand.1);
+                        Fragment::new(1.0, comp)
+                    })
+                    .collect::<Result<_>>()?;
+                ServiceChain::new(1.0 / mean_ia, fragments)
+            })
+            .collect::<Result<_>>()?;
+        PlacementProblem::new(devices, chains)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_problem_dimensions() {
+        let g = ProblemGenerator::new(ProblemParams::paper_default(40));
+        let p = g.generate(0).unwrap();
+        assert_eq!(p.num_devices(), 40);
+        assert_eq!(p.num_chains(), 12);
+        for c in &p.chains {
+            assert!(c.len() <= 12 && !c.is_empty());
+        }
+    }
+
+    #[test]
+    fn service_rates_in_range() {
+        let g = ProblemGenerator::new(ProblemParams::paper_default(20));
+        let p = g.generate(3).unwrap();
+        for d in &p.devices {
+            assert!(d.service_rate >= 0.5 && d.service_rate <= 1.0);
+            assert_eq!(d.memory, 100.0);
+        }
+    }
+
+    #[test]
+    fn comp_demands_in_range() {
+        let g = ProblemGenerator::new(ProblemParams::paper_default(20));
+        let p = g.generate(4).unwrap();
+        for c in &p.chains {
+            for f in &c.fragments {
+                assert!(f.comp >= 0.01 && f.comp <= 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn initial_placement_exists_for_generated_problems() {
+        let g = ProblemGenerator::new(ProblemParams::paper_default(20));
+        for seed in 0..10 {
+            let p = g.generate(seed).unwrap();
+            let init = p.initial_placement().unwrap();
+            assert!(p.is_feasible(&init));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = ProblemGenerator::new(ProblemParams::small());
+        assert_eq!(g.generate(9).unwrap(), g.generate(9).unwrap());
+    }
+}

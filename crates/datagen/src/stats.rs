@@ -1,0 +1,192 @@
+//! Dataset health statistics: summarize a generated dataset's workload
+//! and label distributions so a user can judge whether the learning
+//! problem matches the paper's regime (meaningful loss, varied graph
+//! sizes) before spending training time.
+
+use crate::dataset::RawSample;
+use chainnet_qsim::stats::percentile;
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary of one scalar quantity across a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Mean.
+    pub mean: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample; `None` when empty.
+    pub fn from_values(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Self {
+            count: xs.len(),
+            min,
+            median: percentile(xs, 0.5)?,
+            mean: xs.iter().sum::<f64>() / xs.len() as f64,
+            p95: percentile(xs, 0.95)?,
+            max,
+        })
+    }
+}
+
+/// Aggregate statistics of a raw dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of samples (graphs).
+    pub samples: usize,
+    /// Total labeled chains.
+    pub chains: usize,
+    /// Chains per graph.
+    pub chains_per_graph: Summary,
+    /// Fragments per chain.
+    pub fragments_per_chain: Summary,
+    /// Used devices per graph.
+    pub devices_per_graph: Summary,
+    /// Arrival rates `λ_i`.
+    pub arrival_rate: Summary,
+    /// Per-chain loss probabilities `1 - X_i/λ_i`.
+    pub loss_probability: Summary,
+    /// Per-chain mean latencies.
+    pub latency: Summary,
+    /// Fraction of chains with loss probability above 1%.
+    pub lossy_chain_fraction: f64,
+}
+
+/// Compute dataset statistics.
+///
+/// # Panics
+///
+/// Panics on an empty dataset.
+pub fn dataset_stats(samples: &[RawSample]) -> DatasetStats {
+    assert!(!samples.is_empty(), "empty dataset");
+    let mut chains_per_graph = Vec::new();
+    let mut fragments_per_chain = Vec::new();
+    let mut devices_per_graph = Vec::new();
+    let mut arrival = Vec::new();
+    let mut loss = Vec::new();
+    let mut latency = Vec::new();
+    for s in samples {
+        chains_per_graph.push(s.model.chains().len() as f64);
+        devices_per_graph.push(s.model.placement().used_devices().len() as f64);
+        for (chain, t) in s.model.chains().iter().zip(&s.targets) {
+            fragments_per_chain.push(chain.len() as f64);
+            arrival.push(chain.arrival_rate);
+            loss.push((1.0 - t.throughput / chain.arrival_rate).clamp(0.0, 1.0));
+            latency.push(t.latency);
+        }
+    }
+    let lossy = loss.iter().filter(|&&l| l > 0.01).count() as f64 / loss.len() as f64;
+    DatasetStats {
+        samples: samples.len(),
+        chains: arrival.len(),
+        chains_per_graph: Summary::from_values(&chains_per_graph).expect("nonempty"),
+        fragments_per_chain: Summary::from_values(&fragments_per_chain).expect("nonempty"),
+        devices_per_graph: Summary::from_values(&devices_per_graph).expect("nonempty"),
+        arrival_rate: Summary::from_values(&arrival).expect("nonempty"),
+        loss_probability: Summary::from_values(&loss).expect("nonempty"),
+        latency: Summary::from_values(&latency).expect("nonempty"),
+        lossy_chain_fraction: lossy,
+    }
+}
+
+/// Render statistics as a human-readable report.
+pub fn render_stats(stats: &DatasetStats) -> String {
+    let row = |name: &str, s: &Summary| {
+        format!(
+            "  {name:<22} min {:>8.3}  med {:>8.3}  mean {:>8.3}  p95 {:>8.3}  max {:>8.3}\n",
+            s.min, s.median, s.mean, s.p95, s.max
+        )
+    };
+    let mut out = format!(
+        "dataset: {} graphs, {} labeled chains ({:.1}% lossy > 1%)\n",
+        stats.samples,
+        stats.chains,
+        100.0 * stats.lossy_chain_fraction
+    );
+    out.push_str(&row("chains/graph", &stats.chains_per_graph));
+    out.push_str(&row("fragments/chain", &stats.fragments_per_chain));
+    out.push_str(&row("devices/graph", &stats.devices_per_graph));
+    out.push_str(&row("arrival rate", &stats.arrival_rate));
+    out.push_str(&row("loss probability", &stats.loss_probability));
+    out.push_str(&row("latency", &stats.latency));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_raw_dataset, DatasetConfig};
+    use crate::typesets::NetworkParams;
+
+    fn dataset() -> Vec<RawSample> {
+        generate_raw_dataset(
+            NetworkParams::type_i(),
+            &DatasetConfig::new(12, 5)
+                .with_horizon(300.0)
+                .with_threads(2),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_cover_all_chains() {
+        let d = dataset();
+        let stats = dataset_stats(&d);
+        assert_eq!(stats.samples, 12);
+        let total_chains: usize = d.iter().map(|s| s.model.chains().len()).sum();
+        assert_eq!(stats.chains, total_chains);
+    }
+
+    #[test]
+    fn summaries_are_ordered() {
+        let stats = dataset_stats(&dataset());
+        for s in [
+            stats.chains_per_graph,
+            stats.fragments_per_chain,
+            stats.arrival_rate,
+            stats.loss_probability,
+            stats.latency,
+        ] {
+            assert!(s.min <= s.median && s.median <= s.p95 && s.p95 <= s.max);
+        }
+        assert!((0.0..=1.0).contains(&stats.lossy_chain_fraction));
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_counts() {
+        let stats = dataset_stats(&dataset());
+        let text = render_stats(&stats);
+        assert!(text.contains("12 graphs"));
+        assert!(text.contains("loss probability"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        dataset_stats(&[]);
+    }
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert!(Summary::from_values(&[]).is_none());
+    }
+}

@@ -1,0 +1,252 @@
+//! Random network generation per Table III: Type I (small systems,
+//! uniform parameters) and Type II (large systems, APH-distributed
+//! parameters with controlled variance).
+//!
+//! Following the paper's simulation setup, each fragment demands one
+//! memory unit and devices have unit service rate with the sampled
+//! processing time encoded as the fragment's computational demand.
+
+use chainnet_qsim::dist::{sample_truncated, Dist};
+use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+use chainnet_qsim::Result;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How a scalar workload parameter is sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParamDist {
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// APH with the given mean and squared coefficient of variation,
+    /// truncated from below at `lower_bound`.
+    Aph {
+        /// Target mean.
+        mean: f64,
+        /// Target squared coefficient of variation.
+        scv: f64,
+        /// Truncation floor.
+        lower_bound: f64,
+    },
+}
+
+impl ParamDist {
+    /// Draw one value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution-construction errors (invalid parameters).
+    pub fn sample(&self, rng: &mut SmallRng) -> Result<f64> {
+        match *self {
+            ParamDist::Uniform { lo, hi } => Ok(if lo == hi { lo } else { rng.gen_range(lo..hi) }),
+            ParamDist::Aph {
+                mean,
+                scv,
+                lower_bound,
+            } => {
+                let d = Dist::aph(mean, scv)?;
+                Ok(sample_truncated(&d, lower_bound, rng))
+            }
+        }
+    }
+}
+
+/// Parameters controlling random network generation (one column of
+/// Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Maximum number of devices.
+    pub max_devices: usize,
+    /// Maximum number of service chains.
+    pub max_chains: usize,
+    /// Maximum fragments per service chain.
+    pub max_fragments: usize,
+    /// Mean interarrival time `λ_i^{-1}` sampler.
+    pub interarrival: ParamDist,
+    /// Fragment processing time `t_{p_{i,j}}` sampler.
+    pub processing: ParamDist,
+    /// Maximum memory capacity `M_k` (all devices).
+    pub memory_capacity: f64,
+}
+
+impl NetworkParams {
+    /// Table III, Type I: up to 10 devices, 3 chains, 6 fragments/chain,
+    /// `λ^-1 ~ U(0.1, 10)`, `t_p ~ U(0, 2)`, `M_k = 50`.
+    pub fn type_i() -> Self {
+        Self {
+            max_devices: 10,
+            max_chains: 3,
+            max_fragments: 6,
+            interarrival: ParamDist::Uniform { lo: 0.1, hi: 10.0 },
+            processing: ParamDist::Uniform { lo: 1e-3, hi: 2.0 },
+            memory_capacity: 50.0,
+        }
+    }
+
+    /// Table III, Type II: up to 80 devices, 12 chains, 12 fragments/chain,
+    /// `λ^-1 ~ APH(2, 5)` (floor 1), `t_p ~ APH(0.1, 10)` (floor 0.05),
+    /// `M_k = 100`.
+    pub fn type_ii() -> Self {
+        Self {
+            max_devices: 80,
+            max_chains: 12,
+            max_fragments: 12,
+            interarrival: ParamDist::Aph {
+                mean: 2.0,
+                scv: 5.0,
+                lower_bound: 1.0,
+            },
+            processing: ParamDist::Aph {
+                mean: 0.1,
+                scv: 10.0,
+                lower_bound: 0.05,
+            },
+            memory_capacity: 100.0,
+        }
+    }
+}
+
+/// Generates random systems with random placements from a parameter set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkGenerator {
+    params: NetworkParams,
+}
+
+impl NetworkGenerator {
+    /// Create a generator.
+    pub fn new(params: NetworkParams) -> Self {
+        Self { params }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Generate one random system with a random (feasible-by-construction)
+    /// placement. Each chain's fragments land on distinct devices chosen
+    /// uniformly at random.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-sampling and model-validation errors.
+    pub fn generate(&self, seed: u64) -> Result<SystemModel> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = &self.params;
+        let num_chains = rng.gen_range(1..=p.max_chains);
+        // Chain lengths first so the device count can cover the longest.
+        let lengths: Vec<usize> = (0..num_chains)
+            .map(|_| rng.gen_range(1..=p.max_fragments))
+            .collect();
+        let min_devices = lengths.iter().copied().max().unwrap_or(1);
+        let num_devices = rng.gen_range(min_devices..=p.max_devices.max(min_devices));
+
+        let devices: Vec<Device> = (0..num_devices)
+            .map(|_| Device::new(p.memory_capacity, 1.0))
+            .collect::<Result<_>>()?;
+
+        let mut chains = Vec::with_capacity(num_chains);
+        let mut assignment = Vec::with_capacity(num_chains);
+        let device_ids: Vec<usize> = (0..num_devices).collect();
+        for &len in &lengths {
+            let mean_ia = self.params.interarrival.sample(&mut rng)?;
+            let fragments: Vec<Fragment> = (0..len)
+                .map(|_| {
+                    let tp = self.params.processing.sample(&mut rng)?;
+                    // Unit memory demand; unit device rate encodes t_p as
+                    // the computational demand.
+                    Fragment::new(1.0, tp.max(1e-6))
+                })
+                .collect::<Result<_>>()?;
+            chains.push(ServiceChain::new(1.0 / mean_ia, fragments)?);
+            // Distinct devices per chain, uniformly at random.
+            let route: Vec<usize> = device_ids.choose_multiple(&mut rng, len).copied().collect();
+            assignment.push(route);
+        }
+        SystemModel::new(devices, chains, Placement::new(assignment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_i_respects_bounds() {
+        let g = NetworkGenerator::new(NetworkParams::type_i());
+        for seed in 0..50 {
+            let m = g.generate(seed).unwrap();
+            assert!(m.devices().len() <= 10);
+            assert!(m.chains().len() <= 3);
+            for c in m.chains() {
+                assert!(c.len() <= 6);
+                // λ^-1 in [0.1, 10] -> λ in [0.1, 10].
+                assert!(c.arrival_rate >= 0.0999 && c.arrival_rate <= 10.001);
+                for f in &c.fragments {
+                    assert!(f.comp <= 2.0);
+                    assert_eq!(f.mem, 1.0);
+                }
+            }
+            assert!(m.memory_feasible());
+        }
+    }
+
+    #[test]
+    fn type_ii_respects_bounds_and_floors() {
+        let g = NetworkGenerator::new(NetworkParams::type_ii());
+        for seed in 0..30 {
+            let m = g.generate(seed).unwrap();
+            assert!(m.devices().len() <= 80);
+            assert!(m.chains().len() <= 12);
+            for c in m.chains() {
+                assert!(c.len() <= 12);
+                // Floor on λ^-1 is 1 -> λ <= 1.
+                assert!(c.arrival_rate <= 1.0 + 1e-9);
+                for f in &c.fragments {
+                    assert!(f.comp >= 0.05);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_use_distinct_devices() {
+        let g = NetworkGenerator::new(NetworkParams::type_i());
+        for seed in 0..50 {
+            let m = g.generate(seed).unwrap();
+            for i in 0..m.chains().len() {
+                let mut route = m.placement().chain_route(i).to_vec();
+                let n = route.len();
+                route.sort_unstable();
+                route.dedup();
+                assert_eq!(route.len(), n, "duplicate device in chain {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = NetworkGenerator::new(NetworkParams::type_i());
+        assert_eq!(g.generate(42).unwrap(), g.generate(42).unwrap());
+        assert_ne!(g.generate(1).unwrap(), g.generate(2).unwrap());
+    }
+
+    #[test]
+    fn type_ii_is_larger_on_average() {
+        let gi = NetworkGenerator::new(NetworkParams::type_i());
+        let gii = NetworkGenerator::new(NetworkParams::type_ii());
+        let avg = |g: &NetworkGenerator| -> f64 {
+            (0..40)
+                .map(|s| g.generate(s).unwrap().chains().len() as f64)
+                .sum::<f64>()
+                / 40.0
+        };
+        assert!(avg(&gii) > avg(&gi));
+    }
+}

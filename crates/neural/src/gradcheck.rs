@@ -1,0 +1,212 @@
+//! Numerical gradient verification utilities.
+//!
+//! Reverse-mode autodiff bugs are silent — the model still trains, just
+//! badly — so the crate ships a first-class gradient checker that
+//! downstream models can run in their own tests (the ChainNet crate does).
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::Tape;
+
+/// Central-difference gradient of `f` at `x`.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_neural::gradcheck::finite_difference;
+///
+/// let g = finite_difference(&mut |x| x[0] * x[0] + 3.0 * x[1], &[2.0, 1.0], 1e-6);
+/// assert!((g[0] - 4.0).abs() < 1e-5);
+/// assert!((g[1] - 3.0).abs() < 1e-5);
+/// ```
+pub fn finite_difference(f: &mut dyn FnMut(&[f64]) -> f64, x: &[f64], eps: f64) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let orig = xp[i];
+        xp[i] = orig + eps;
+        let fp = f(&xp);
+        xp[i] = orig - eps;
+        let fm = f(&xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * eps);
+    }
+    g
+}
+
+/// Report from [`check_param_gradients`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute deviation between analytic and numeric gradients.
+    pub max_abs_error: f64,
+    /// Parameter (id, flat index) of the worst deviation.
+    pub worst: Option<(ParamId, usize)>,
+    /// Total scalar weights checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether every gradient matched within `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_error <= tol
+    }
+}
+
+/// Verify the analytic gradients of a scalar loss against central finite
+/// differences, for every parameter in `store` (or a capped number of
+/// scalars per parameter via `max_per_param`, since full checks on large
+/// models are O(weights × forward)).
+///
+/// `loss` must rebuild the forward pass from scratch on each call — the
+/// standard define-by-run contract.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_neural::gradcheck::check_param_gradients;
+/// use chainnet_neural::layers::{Activation, Mlp};
+/// use chainnet_neural::params::ParamStore;
+/// use chainnet_neural::tape::Tape;
+/// use chainnet_neural::tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut store = ParamStore::new();
+/// let mlp = Mlp::new(&mut store, "m", &[2, 4, 1], Activation::Tanh, &mut rng);
+/// let report = check_param_gradients(
+///     &mut store,
+///     &mut |tape, store| {
+///         let x = tape.leaf(Tensor::from_vec(vec![0.3, -0.7]));
+///         let y = mlp.forward(tape, store, x);
+///         let t = tape.leaf(Tensor::scalar(0.5));
+///         tape.squared_error(y, t)
+///     },
+///     4,
+///     1e-6,
+/// );
+/// assert!(report.passes(1e-4), "max error {}", report.max_abs_error);
+/// ```
+pub fn check_param_gradients(
+    store: &mut ParamStore,
+    loss: &mut dyn FnMut(&mut Tape, &ParamStore) -> crate::tape::Var,
+    max_per_param: usize,
+    eps: f64,
+) -> GradCheckReport {
+    // Analytic gradients.
+    store.zero_grads();
+    let mut tape = Tape::new();
+    let l = loss(&mut tape, store);
+    tape.backward(l);
+    tape.accumulate_param_grads(store);
+    let analytic: Vec<Vec<f64>> = store
+        .ids()
+        .map(|id| store.grad(id).data().to_vec())
+        .collect();
+
+    let mut max_abs_error = 0.0f64;
+    let mut worst = None;
+    let mut checked = 0usize;
+    let ids: Vec<ParamId> = store.ids().collect();
+    for (pi, id) in ids.iter().enumerate() {
+        let n = store.value(*id).len();
+        #[allow(clippy::needless_range_loop)] // j indexes two parallel views
+        for j in 0..n.min(max_per_param) {
+            let orig = store.value(*id).data()[j];
+            store.value_mut(*id).data_mut()[j] = orig + eps;
+            let mut tp = Tape::new();
+            let lp = loss(&mut tp, store);
+            let fp = tp.value(lp).item();
+            store.value_mut(*id).data_mut()[j] = orig - eps;
+            let mut tm = Tape::new();
+            let lm = loss(&mut tm, store);
+            let fm = tm.value(lm).item();
+            store.value_mut(*id).data_mut()[j] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let err = (numeric - analytic[pi][j]).abs();
+            checked += 1;
+            if err > max_abs_error {
+                max_abs_error = err;
+                worst = Some((*id, j));
+            }
+        }
+    }
+    store.zero_grads();
+    GradCheckReport {
+        max_abs_error,
+        worst,
+        checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, GruCell, Mlp};
+    use crate::tensor::Tensor;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finite_difference_on_quadratic() {
+        let g = finite_difference(&mut |x| x.iter().map(|v| v * v).sum(), &[1.0, -2.0], 1e-6);
+        assert!((g[0] - 2.0).abs() < 1e-5);
+        assert!((g[1] + 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mlp_param_gradients_pass() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[3, 6, 1], Activation::Sigmoid, &mut rng);
+        let report = check_param_gradients(
+            &mut store,
+            &mut |tape, store| {
+                let x = tape.leaf(Tensor::from_vec(vec![0.2, -0.4, 0.9]));
+                let y = mlp.forward(tape, store, x);
+                let t = tape.leaf(Tensor::scalar(-0.3));
+                tape.squared_error(y, t)
+            },
+            6,
+            1e-6,
+        );
+        assert!(report.passes(1e-5), "max err {}", report.max_abs_error);
+        assert!(report.checked > 0);
+    }
+
+    #[test]
+    fn gru_param_gradients_pass() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 2, 3, &mut rng);
+        let report = check_param_gradients(
+            &mut store,
+            &mut |tape, store| {
+                let x = tape.leaf(Tensor::from_vec(vec![0.5, -0.2]));
+                let h = tape.leaf(Tensor::from_vec(vec![0.1, 0.0, -0.3]));
+                let h1 = gru.forward(tape, store, x, h);
+                let h2 = gru.forward(tape, store, x, h1); // reuse across steps
+                tape.sum(h2)
+            },
+            4,
+            1e-6,
+        );
+        assert!(report.passes(1e-5), "max err {}", report.max_abs_error);
+    }
+
+    #[test]
+    fn detects_no_gradient_when_loss_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let _mlp = Mlp::new(&mut store, "m", &[2, 3, 1], Activation::Relu, &mut rng);
+        let report = check_param_gradients(
+            &mut store,
+            &mut |tape, _store| {
+                // Loss ignores the parameters entirely.
+                let c = tape.leaf(Tensor::scalar(1.0));
+                tape.sum(c)
+            },
+            3,
+            1e-6,
+        );
+        assert_eq!(report.max_abs_error, 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Optimizers: Adam with the paper's step-decay learning-rate schedule
+//! (initial 1e-3, multiplied by 0.9 every 10 epochs — Table IV).
+
+use crate::params::ParamStore;
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer (Kingma & Ba, 2014) over every parameter of a store.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_neural::optim::Adam;
+/// use chainnet_neural::params::ParamStore;
+/// use chainnet_neural::tensor::Tensor;
+///
+/// let mut store = ParamStore::new();
+/// let id = store.add("w", Tensor::from_vec(vec![1.0]));
+/// let mut adam = Adam::new(0.1);
+/// // Pretend the gradient of the loss wrt w is 2w (loss = w^2).
+/// for _ in 0..200 {
+///     let w = store.value(id).data()[0];
+///     store.accumulate_grad(id, &Tensor::from_vec(vec![2.0 * w]));
+///     adam.step(&mut store);
+/// }
+/// assert!(store.value(id).data()[0].abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Create Adam with the given learning rate and default betas
+    /// `(0.9, 0.999)`.
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Set the learning rate (used by schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    /// Apply one update from the accumulated gradients, then zero them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        // Lazily size the moment buffers on first use (or if the store grew).
+        while self.m.len() < store.len() {
+            let i = self.m.len();
+            let id = store.ids().nth(i).expect("id in range");
+            let n = store.value(id).len();
+            self.m.push(vec![0.0; n]);
+            self.v.push(vec![0.0; n]);
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, id) in store.ids().enumerate().collect::<Vec<_>>() {
+            let grad = store.grad(id).data().to_vec();
+            let value = store.value_mut(id);
+            for (j, g) in grad.iter().enumerate() {
+                let m = &mut self.m[i][j];
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                let v = &mut self.v[i][j];
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let m_hat = *m / b1t;
+                let v_hat = *v / b2t;
+                value.data_mut()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+/// Step-decay learning-rate schedule: `lr = lr0 * factor^(epoch / period)`,
+/// the "decay 10% per 10 epochs" schedule of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub lr0: f64,
+    /// Multiplicative factor applied every `period` epochs (e.g. 0.9).
+    pub factor: f64,
+    /// Epoch period between decays.
+    pub period: u64,
+}
+
+impl StepDecay {
+    /// The paper's schedule: 1e-3, ×0.9 every 10 epochs.
+    pub fn paper_default() -> Self {
+        Self {
+            lr0: 1e-3,
+            factor: 0.9,
+            period: 10,
+        }
+    }
+
+    /// Learning rate at a given epoch (0-based).
+    pub fn lr_at(&self, epoch: u64) -> f64 {
+        self.lr0 * self.factor.powi((epoch / self.period) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn adam_minimizes_quadratic_bowl() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(vec![3.0, -4.0]));
+        let mut adam = Adam::new(0.05);
+        for _ in 0..500 {
+            let g: Vec<f64> = store.value(id).data().iter().map(|w| 2.0 * w).collect();
+            store.accumulate_grad(id, &Tensor::from_vec(g));
+            adam.step(&mut store);
+        }
+        for &w in store.value(id).data() {
+            assert!(w.abs() < 1e-2, "did not converge: {w}");
+        }
+    }
+
+    #[test]
+    fn adam_handles_params_added_later() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_vec(vec![1.0]));
+        let mut adam = Adam::new(0.1);
+        store.accumulate_grad(a, &Tensor::from_vec(vec![1.0]));
+        adam.step(&mut store);
+        let b = store.add("b", Tensor::from_vec(vec![1.0]));
+        store.accumulate_grad(b, &Tensor::from_vec(vec![1.0]));
+        adam.step(&mut store); // must not panic on the new parameter
+        assert!(store.value(b).data()[0] < 1.0);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(vec![1.0]));
+        store.accumulate_grad(id, &Tensor::from_vec(vec![5.0]));
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut store);
+        assert_eq!(store.grad(id).data(), &[0.0]);
+    }
+
+    #[test]
+    fn step_decay_matches_paper_schedule() {
+        let s = StepDecay::paper_default();
+        assert!((s.lr_at(0) - 1e-3).abs() < 1e-15);
+        assert!((s.lr_at(9) - 1e-3).abs() < 1e-15);
+        assert!((s.lr_at(10) - 9e-4).abs() < 1e-15);
+        assert!((s.lr_at(25) - 8.1e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lr_setter_roundtrips() {
+        let mut adam = Adam::new(0.001);
+        adam.set_lr(0.5);
+        assert_eq!(adam.lr(), 0.5);
+    }
+}

@@ -1,0 +1,220 @@
+//! Trainable parameter storage shared by all layers of a model.
+//!
+//! Layers hold [`ParamId`]s into a [`ParamStore`]; forward passes copy
+//! parameter values into the autodiff tape, and the backward pass
+//! accumulates gradients back into the store. This separation lets a batch
+//! of independently-shaped graphs (define-by-run) share one set of weights.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+/// One trainable tensor with its gradient accumulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (zeroed by the optimizer after each step).
+    pub grad: Tensor,
+    /// Human-readable name for debugging and serialization.
+    pub name: String,
+}
+
+/// The set of all trainable parameters of a model.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_neural::params::ParamStore;
+/// use chainnet_neural::tensor::Tensor;
+///
+/// let mut store = ParamStore::new();
+/// let id = store.add("w", Tensor::from_vec(vec![0.5, -0.5]));
+/// assert_eq!(store.value(id).data(), &[0.5, -0.5]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter and return its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = value.zeros_like();
+        self.params.push(Param {
+            value,
+            grad,
+            name: name.into(),
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Register a Glorot-uniform-initialized matrix parameter.
+    ///
+    /// The Glorot (Xavier) limit is `sqrt(6 / (fan_in + fan_out))`, the
+    /// initialization the paper uses for all five networks.
+    pub fn add_glorot<R: Rng + ?Sized>(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut R,
+    ) -> ParamId {
+        let limit = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        self.add(name, Tensor::matrix(rows, cols, data))
+    }
+
+    /// Register a zero-initialized vector parameter (typical for biases).
+    pub fn add_zeros(&mut self, name: impl Into<String>, n: usize) -> ParamId {
+        self.add(name, Tensor::zeros(n))
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    /// Add `g` into the gradient accumulator of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different shape than the parameter.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Tensor) {
+        self.params[id.0].grad.add_assign(g);
+    }
+
+    /// Zero every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad = p.value.zeros_like();
+        }
+    }
+
+    /// Number of parameters (tensors).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Iterate over ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// L2 norm of the concatenated gradient (diagnostic).
+    pub fn grad_norm(&self) -> f64 {
+        self.params
+            .iter()
+            .flat_map(|p| p.grad.data())
+            .map(|g| g * g)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Serialize the store to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any `serde_json` error.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize a store from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any `serde_json` error.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_respects_limit() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let id = store.add_glorot("w", 8, 8, &mut rng);
+        let limit = (6.0_f64 / 16.0).sqrt();
+        for &x in store.value(id).data() {
+            assert!(x.abs() <= limit);
+        }
+    }
+
+    #[test]
+    fn glorot_is_not_degenerate() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let id = store.add_glorot("w", 16, 16, &mut rng);
+        let data = store.value(id).data();
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        assert!(mean.abs() < 0.1);
+        assert!(data.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn grad_accumulation_and_zeroing() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(vec![1.0, 2.0]));
+        store.accumulate_grad(id, &Tensor::from_vec(vec![0.5, 0.5]));
+        store.accumulate_grad(id, &Tensor::from_vec(vec![0.5, 0.5]));
+        assert_eq!(store.grad(id).data(), &[1.0, 1.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::from_vec(vec![1.0]));
+        store.add("b", Tensor::matrix(1, 2, vec![2.0, 3.0]));
+        let back = ParamStore::from_json(&store.to_json().unwrap()).unwrap();
+        assert_eq!(store, back);
+    }
+
+    #[test]
+    fn num_scalars_counts_all_weights() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::zeros(3));
+        store.add("b", Tensor::zeros_matrix(2, 2));
+        assert_eq!(store.num_scalars(), 7);
+        assert_eq!(store.len(), 2);
+    }
+}

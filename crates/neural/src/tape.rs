@@ -1,0 +1,659 @@
+//! Define-by-run reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records the forward computation as a list of nodes; calling
+//! [`Tape::backward`] propagates gradients from a scalar loss back to every
+//! node, and [`Tape::accumulate_param_grads`] folds gradients of parameter
+//! leaves into a [`ParamStore`]. Because ChainNet processes graphs of
+//! varying topology, a fresh tape is built per sample (define-by-run) while
+//! the parameters persist in the store.
+//!
+//! All operations panic on shape mismatch: shapes are structural
+//! invariants of the model code, not runtime inputs.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    /// `alpha * a + beta` elementwise.
+    Affine(usize, f64, f64),
+    /// `w (m,n) * x (n)`.
+    MatVec(usize, usize),
+    Concat(Vec<usize>),
+    Sigmoid(usize),
+    Tanh(usize),
+    Relu(usize),
+    LeakyRelu(usize, f64),
+    Softmax(usize),
+    /// Sum of all elements to a scalar.
+    Sum(usize),
+    Dot(usize, usize),
+    /// Stack scalar nodes into one vector.
+    StackScalars(Vec<usize>),
+    /// `Σ_t weights[t] * items[t]` for equal-shaped vector items.
+    WeightedSum(usize, Vec<usize>),
+    /// Elementwise mean of equal-shaped vectors.
+    MeanVecs(Vec<usize>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Tensor,
+    op: Op,
+    param: Option<ParamId>,
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_neural::tape::Tape;
+/// use chainnet_neural::tensor::Tensor;
+///
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0]));
+/// let y = tape.mul(x, x);         // y = x^2 elementwise
+/// let loss = tape.sum(y);         // loss = Σ x_i^2
+/// tape.backward(loss);
+/// assert_eq!(tape.grad(x).data(), &[2.0, 4.0]); // d/dx = 2x
+/// ```
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+    param_cache: HashMap<ParamId, Var>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            op,
+            param: None,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Insert a constant (non-parameter) leaf.
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Insert (or reuse) a leaf for a trainable parameter. Repeated calls
+    /// with the same id return the same node, so gradients accumulate.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        if let Some(&v) = self.param_cache.get(&id) {
+            return v;
+        }
+        let v = self.push(store.value(id).clone(), Op::Leaf);
+        self.nodes[v.0].param = Some(id);
+        self.param_cache.insert(id, v);
+        v
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Elementwise addition.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0]
+            .value
+            .zip_map(&self.nodes[b.0].value, |x, y| x + y);
+        self.push(v, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise subtraction `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0]
+            .value
+            .zip_map(&self.nodes[b.0].value, |x, y| x - y);
+        self.push(v, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0]
+            .value
+            .zip_map(&self.nodes[b.0].value, |x, y| x * y);
+        self.push(v, Op::Mul(a.0, b.0))
+    }
+
+    /// Elementwise affine map `alpha * a + beta`.
+    pub fn affine(&mut self, a: Var, alpha: f64, beta: f64) -> Var {
+        let v = self.nodes[a.0].value.map(|x| alpha * x + beta);
+        self.push(v, Op::Affine(a.0, alpha, beta))
+    }
+
+    /// Matrix-vector product; `w` must be a matrix node, `x` a vector node.
+    pub fn matvec(&mut self, w: Var, x: Var) -> Var {
+        let v = self.nodes[w.0].value.matvec(&self.nodes[x.0].value);
+        self.push(v, Op::MatVec(w.0, x.0))
+    }
+
+    /// Concatenate vector nodes.
+    pub fn concat(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
+        let v = Tensor::concat(&tensors);
+        self.push(v, Op::Concat(parts.iter().map(|p| p.0).collect()))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a.0))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f64::tanh);
+        self.push(v, Op::Tanh(a.0))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a.0))
+    }
+
+    /// Leaky ReLU with negative slope `slope`.
+    pub fn leaky_relu(&mut self, a: Var, slope: f64) -> Var {
+        let v = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(v, Op::LeakyRelu(a.0, slope))
+    }
+
+    /// Numerically stable softmax over a vector.
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let x = &self.nodes[a.0].value;
+        let max = x.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = x.data().iter().map(|&v| (v - max).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        let v = Tensor::from_vec(exps.into_iter().map(|e| e / z).collect());
+        self.push(v, Op::Softmax(a.0))
+    }
+
+    /// Sum all elements into a scalar node.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        self.push(v, Op::Sum(a.0))
+    }
+
+    /// Dot product of two vector nodes, as a scalar node.
+    pub fn dot(&mut self, a: Var, b: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.dot(&self.nodes[b.0].value));
+        self.push(v, Op::Dot(a.0, b.0))
+    }
+
+    /// Stack scalar nodes into one vector node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is not a scalar.
+    pub fn stack_scalars(&mut self, parts: &[Var]) -> Var {
+        let data: Vec<f64> = parts.iter().map(|p| self.nodes[p.0].value.item()).collect();
+        self.push(
+            Tensor::from_vec(data),
+            Op::StackScalars(parts.iter().map(|p| p.0).collect()),
+        )
+    }
+
+    /// `Σ_t weights[t] * items[t]` where `weights` is a vector node of the
+    /// same length as `items` and all items share one shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or lengths mismatch.
+    pub fn weighted_sum(&mut self, weights: Var, items: &[Var]) -> Var {
+        assert!(!items.is_empty(), "weighted_sum needs at least one item");
+        let w = &self.nodes[weights.0].value;
+        assert_eq!(w.len(), items.len(), "weights/items length mismatch");
+        let mut acc = self.nodes[items[0].0].value.zeros_like();
+        for (t, item) in items.iter().enumerate() {
+            acc.add_scaled(w.data()[t], &self.nodes[item.0].value);
+        }
+        self.push(
+            acc,
+            Op::WeightedSum(weights.0, items.iter().map(|p| p.0).collect()),
+        )
+    }
+
+    /// Elementwise mean of equal-shaped vector nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn mean_vecs(&mut self, items: &[Var]) -> Var {
+        assert!(!items.is_empty(), "mean_vecs needs at least one item");
+        let mut acc = self.nodes[items[0].0].value.zeros_like();
+        for item in items {
+            acc.add_assign(&self.nodes[item.0].value);
+        }
+        let n = items.len() as f64;
+        let acc = acc.map(|x| x / n);
+        self.push(acc, Op::MeanVecs(items.iter().map(|p| p.0).collect()))
+    }
+
+    /// Convenience: squared error `(a - b)^2` summed to a scalar.
+    pub fn squared_error(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let sq = self.mul(d, d);
+        self.sum(sq)
+    }
+
+    /// Run reverse-mode differentiation from a scalar `loss` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.len(),
+            1,
+            "backward() requires a scalar loss"
+        );
+        self.grads = vec![None; self.nodes.len()];
+        self.grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(g) = self.grads[idx].clone() else {
+                continue;
+            };
+            // Split borrows: read node data, then write parent grads.
+            let op = self.nodes[idx].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    self.bump(a, &g);
+                    self.bump(b, &g);
+                }
+                Op::Sub(a, b) => {
+                    self.bump(a, &g);
+                    let neg = g.map(|x| -x);
+                    self.bump(b, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let da = self.nodes[b].value.zip_map(&g, |x, gg| x * gg);
+                    let db = self.nodes[a].value.zip_map(&g, |x, gg| x * gg);
+                    self.bump(a, &da);
+                    self.bump(b, &db);
+                }
+                Op::Affine(a, alpha, _beta) => {
+                    let da = g.map(|x| alpha * x);
+                    self.bump(a, &da);
+                }
+                Op::MatVec(w, x) => {
+                    let dw = Tensor::outer(&g, &self.nodes[x].value);
+                    let dx = self.nodes[w].value.matvec_t(&g);
+                    self.bump(w, &dw);
+                    self.bump(x, &dx);
+                }
+                Op::Concat(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let len = self.nodes[p].value.len();
+                        let slice = Tensor::from_vec(g.data()[offset..offset + len].to_vec());
+                        self.bump(p, &slice);
+                        offset += len;
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[idx].value;
+                    let da = y.zip_map(&g, |yy, gg| yy * (1.0 - yy) * gg);
+                    self.bump(a, &da);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[idx].value;
+                    let da = y.zip_map(&g, |yy, gg| (1.0 - yy * yy) * gg);
+                    self.bump(a, &da);
+                }
+                Op::Relu(a) => {
+                    let x = &self.nodes[a].value;
+                    let da = x.zip_map(&g, |xx, gg| if xx > 0.0 { gg } else { 0.0 });
+                    self.bump(a, &da);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let x = &self.nodes[a].value;
+                    let da = x.zip_map(&g, |xx, gg| if xx > 0.0 { gg } else { slope * gg });
+                    self.bump(a, &da);
+                }
+                Op::Softmax(a) => {
+                    let y = &self.nodes[idx].value;
+                    let gy = g.dot(y);
+                    let da = y.zip_map(&g, |yy, gg| yy * (gg - gy));
+                    self.bump(a, &da);
+                }
+                Op::Sum(a) => {
+                    let gv = g.item();
+                    let ones = self.nodes[a].value.map(|_| gv);
+                    self.bump(a, &ones);
+                }
+                Op::Dot(a, b) => {
+                    let gv = g.item();
+                    let da = self.nodes[b].value.map(|x| gv * x);
+                    let db = self.nodes[a].value.map(|x| gv * x);
+                    self.bump(a, &da);
+                    self.bump(b, &db);
+                }
+                Op::StackScalars(parts) => {
+                    for (t, p) in parts.into_iter().enumerate() {
+                        self.bump(p, &Tensor::scalar(g.data()[t]));
+                    }
+                }
+                Op::WeightedSum(w, items) => {
+                    let weights = self.nodes[w].value.clone();
+                    let mut dw = vec![0.0; items.len()];
+                    for (t, &item) in items.iter().enumerate() {
+                        let di = g.map(|x| weights.data()[t] * x);
+                        dw[t] = self.nodes[item].value.dot(&g);
+                        self.bump(item, &di);
+                    }
+                    self.bump(w, &Tensor::from_vec(dw));
+                }
+                Op::MeanVecs(items) => {
+                    let n = items.len() as f64;
+                    let di = g.map(|x| x / n);
+                    for item in items {
+                        self.bump(item, &di);
+                    }
+                }
+            }
+        }
+    }
+
+    fn bump(&mut self, node: usize, g: &Tensor) {
+        match &mut self.grads[node] {
+            Some(acc) => acc.add_assign(g),
+            slot => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Gradient of a node after [`Tape::backward`]. Nodes unreachable from
+    /// the loss have zero gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backward` has not been called.
+    pub fn grad(&self, v: Var) -> Tensor {
+        assert!(!self.grads.is_empty(), "call backward() first");
+        self.grads[v.0]
+            .clone()
+            .unwrap_or_else(|| self.nodes[v.0].value.zeros_like())
+    }
+
+    /// Fold parameter-leaf gradients into the store's accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backward` has not been called.
+    pub fn accumulate_param_grads(&self, store: &mut ParamStore) {
+        assert!(!self.grads.is_empty(), "call backward() first");
+        for (&id, &var) in &self.param_cache {
+            if let Some(g) = &self.grads[var.0] {
+                store.accumulate_grad(id, g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+
+    fn finite_diff(f: impl Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+        let eps = 1e-6;
+        let mut g = vec![0.0; x.len()];
+        let mut xp = x.to_vec();
+        for i in 0..x.len() {
+            let orig = xp[i];
+            xp[i] = orig + eps;
+            let fp = f(&xp);
+            xp[i] = orig - eps;
+            let fm = f(&xp);
+            xp[i] = orig;
+            g[i] = (fp - fm) / (2.0 * eps);
+        }
+        g
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn grad_of_sum_of_squares() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, -2.0, 3.0]));
+        let y = tape.mul(x, x);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_close(tape.grad(x).data(), &[2.0, -4.0, 6.0], 1e-12);
+    }
+
+    #[test]
+    fn matvec_gradient_matches_finite_difference() {
+        let w0 = vec![0.3, -0.2, 0.5, 0.1, 0.4, -0.6];
+        let x0 = vec![1.0, -1.5, 0.7];
+        let f = |wx: &[f64]| {
+            let w = Tensor::matrix(2, 3, wx[..6].to_vec());
+            let x = Tensor::from_vec(wx[6..].to_vec());
+            let y = w.matvec(&x);
+            y.data().iter().map(|v| v * v).sum::<f64>()
+        };
+        let mut joint = w0.clone();
+        joint.extend_from_slice(&x0);
+        let num = finite_diff(f, &joint);
+
+        let mut tape = Tape::new();
+        let w = tape.leaf(Tensor::matrix(2, 3, w0));
+        let x = tape.leaf(Tensor::from_vec(x0));
+        let y = tape.matvec(w, x);
+        let y2 = tape.mul(y, y);
+        let loss = tape.sum(y2);
+        tape.backward(loss);
+        let mut ana = tape.grad(w).data().to_vec();
+        ana.extend_from_slice(tape.grad(x).data());
+        assert_close(&ana, &num, 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_tanh_chain_gradient() {
+        let x0 = vec![0.3, -0.8, 1.2];
+        let f = |x: &[f64]| {
+            x.iter()
+                .map(|&v| {
+                    let s = 1.0 / (1.0 + (-v).exp());
+                    s.tanh()
+                })
+                .sum::<f64>()
+        };
+        let num = finite_diff(f, &x0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(x0));
+        let s = tape.sigmoid(x);
+        let t = tape.tanh(s);
+        let loss = tape.sum(t);
+        tape.backward(loss);
+        assert_close(tape.grad(x).data(), &num, 1e-6);
+    }
+
+    #[test]
+    fn softmax_gradient_matches_finite_difference() {
+        let x0 = vec![0.5, -0.5, 1.5, 0.0];
+        let target = [0.1, 0.2, 0.3, 0.4];
+        let f = |x: &[f64]| {
+            let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = x.iter().map(|v| (v - max).exp()).collect();
+            let z: f64 = exps.iter().sum();
+            exps.iter()
+                .zip(&target)
+                .map(|(e, t)| (e / z - t).powi(2))
+                .sum::<f64>()
+        };
+        let num = finite_diff(f, &x0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(x0));
+        let y = tape.softmax(x);
+        let t = tape.leaf(Tensor::from_vec(target.to_vec()));
+        let loss = tape.squared_error(y, t);
+        tape.backward(loss);
+        assert_close(tape.grad(x).data(), &num, 1e-6);
+    }
+
+    #[test]
+    fn concat_routes_gradients() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0]));
+        let b = tape.leaf(Tensor::from_vec(vec![3.0]));
+        let c = tape.concat(&[a, b]);
+        let w = tape.leaf(Tensor::from_vec(vec![10.0, 20.0, 30.0]));
+        let d = tape.mul(c, w);
+        let loss = tape.sum(d);
+        tape.backward(loss);
+        assert_close(tape.grad(a).data(), &[10.0, 20.0], 1e-12);
+        assert_close(tape.grad(b).data(), &[30.0], 1e-12);
+    }
+
+    #[test]
+    fn weighted_sum_gradient_matches_finite_difference() {
+        // 2 items of dim 3 + 2 weights.
+        let flat0 = vec![0.2, -0.3, 0.5, 1.0, 0.8, -0.1, 0.6, 0.4];
+        let f = |v: &[f64]| {
+            let i0 = &v[0..3];
+            let i1 = &v[3..6];
+            let w = &v[6..8];
+            (0..3)
+                .map(|d| {
+                    let s = w[0] * i0[d] + w[1] * i1[d];
+                    s * s
+                })
+                .sum::<f64>()
+        };
+        let num = finite_diff(f, &flat0);
+        let mut tape = Tape::new();
+        let i0 = tape.leaf(Tensor::from_vec(flat0[0..3].to_vec()));
+        let i1 = tape.leaf(Tensor::from_vec(flat0[3..6].to_vec()));
+        let w = tape.leaf(Tensor::from_vec(flat0[6..8].to_vec()));
+        let ws = tape.weighted_sum(w, &[i0, i1]);
+        let sq = tape.mul(ws, ws);
+        let loss = tape.sum(sq);
+        tape.backward(loss);
+        let mut ana = tape.grad(i0).data().to_vec();
+        ana.extend_from_slice(tape.grad(i1).data());
+        ana.extend_from_slice(tape.grad(w).data());
+        assert_close(&ana, &num, 1e-6);
+    }
+
+    #[test]
+    fn mean_vecs_gradient_is_uniform() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![2.0, 4.0]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.0, 0.0]));
+        let m = tape.mean_vecs(&[a, b]);
+        let loss = tape.sum(m);
+        tape.backward(loss);
+        assert_close(tape.grad(a).data(), &[0.5, 0.5], 1e-12);
+        assert_close(tape.grad(b).data(), &[0.5, 0.5], 1e-12);
+    }
+
+    #[test]
+    fn stack_scalars_and_dot_gradients() {
+        let mut tape = Tape::new();
+        let s1 = tape.leaf(Tensor::scalar(2.0));
+        let s2 = tape.leaf(Tensor::scalar(-1.0));
+        let v = tape.stack_scalars(&[s1, s2]);
+        let w = tape.leaf(Tensor::from_vec(vec![3.0, 5.0]));
+        let loss = tape.dot(v, w);
+        tape.backward(loss);
+        assert_close(tape.grad(s1).data(), &[3.0], 1e-12);
+        assert_close(tape.grad(s2).data(), &[5.0], 1e-12);
+        assert_close(tape.grad(w).data(), &[2.0, -1.0], 1e-12);
+    }
+
+    #[test]
+    fn param_reuse_accumulates_gradient() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(vec![1.0, 2.0]));
+        let mut tape = Tape::new();
+        let w1 = tape.param(&store, id);
+        let w2 = tape.param(&store, id);
+        assert_eq!(w1, w2, "same param yields same node");
+        let prod = tape.mul(w1, w2); // w^2
+        let loss = tape.sum(prod);
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut store);
+        // d(w^2)/dw = 2w.
+        assert_close(store.grad(id).data(), &[2.0, 4.0], 1e-12);
+    }
+
+    #[test]
+    fn leaky_relu_gradient() {
+        let x0 = vec![1.0, -2.0];
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(x0));
+        let y = tape.leaky_relu(x, 0.1);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_close(tape.grad(x).data(), &[1.0, 0.1], 1e-12);
+    }
+
+    #[test]
+    fn affine_gradient_scales() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0]));
+        let y = tape.affine(x, -1.0, 1.0); // 1 - x
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_close(tape.grad(x).data(), &[-1.0, -1.0], 1e-12);
+        assert_eq!(tape.value(y).data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_vector_loss() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0]));
+        tape.backward(x);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_zero_grad() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0]));
+        let y = tape.leaf(Tensor::from_vec(vec![5.0]));
+        let loss = tape.sum(x);
+        tape.backward(loss);
+        assert_eq!(tape.grad(y).data(), &[0.0]);
+    }
+}

@@ -1,0 +1,351 @@
+//! A minimal dense tensor over `f64`, sufficient for the small recurrent
+//! GNNs of the paper (vectors and matrices; no broadcasting).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense tensor: a flat buffer plus a shape.
+///
+/// Supported ranks are 1 (vectors) and 2 (row-major matrices); that covers
+/// every operation ChainNet needs. All arithmetic helpers panic on shape
+/// mismatch — shape errors are programming bugs, not runtime conditions.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_neural::tensor::Tensor;
+///
+/// let v = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+/// assert_eq!(v.len(), 3);
+/// let m = Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+/// let mv = m.matvec(&v);
+/// assert_eq!(mv.data(), &[14.0, 32.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// A vector tensor from raw data.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Self {
+            shape: vec![data.len()],
+            data,
+        }
+    }
+
+    /// A vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Self::from_vec(vec![0.0; n])
+    }
+
+    /// A scalar tensor (shape `[1]`).
+    pub fn scalar(x: f64) -> Self {
+        Self::from_vec(vec![x])
+    }
+
+    /// A row-major `rows x cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn matrix(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self {
+            shape: vec![rows, cols],
+            data,
+        }
+    }
+
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros_matrix(rows: usize, cols: usize) -> Self {
+        Self::matrix(rows, cols, vec![0.0; rows * cols])
+    }
+
+    /// A zero tensor with the same shape as `self`.
+    pub fn zeros_like(&self) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: vec![0.0; self.data.len()],
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The flat data buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the flat data buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The single element of a scalar tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f64 {
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on non-scalar of len {}",
+            self.data.len()
+        );
+        self.data[0]
+    }
+
+    /// Whether this is a rank-2 tensor.
+    pub fn is_matrix(&self) -> bool {
+        self.shape.len() == 2
+    }
+
+    /// Rows of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not a matrix.
+    pub fn rows(&self) -> usize {
+        assert!(self.is_matrix(), "rows() on non-matrix");
+        self.shape[0]
+    }
+
+    /// Columns of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not a matrix.
+    pub fn cols(&self) -> usize {
+        assert!(self.is_matrix(), "cols() on non-matrix");
+        self.shape[1]
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `(m, n)` and `x` has length `n`.
+    pub fn matvec(&self, x: &Tensor) -> Tensor {
+        assert!(self.is_matrix(), "matvec on non-matrix");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert_eq!(x.len(), n, "matvec: matrix cols {n} != vec len {}", x.len());
+        let mut out = vec![0.0; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * n..(i + 1) * n];
+            *o = row.iter().zip(&x.data).map(|(a, b)| a * b).sum();
+        }
+        Tensor::from_vec(out)
+    }
+
+    /// Transposed matrix-vector product `self^T * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `(m, n)` and `x` has length `m`.
+    pub fn matvec_t(&self, x: &Tensor) -> Tensor {
+        assert!(self.is_matrix(), "matvec_t on non-matrix");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert_eq!(
+            x.len(),
+            m,
+            "matvec_t: matrix rows {m} != vec len {}",
+            x.len()
+        );
+        let mut out = vec![0.0; n];
+        for i in 0..m {
+            let xi = x.data[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &self.data[i * n..(i + 1) * n];
+            for (o, &r) in out.iter_mut().zip(row) {
+                *o += xi * r;
+            }
+        }
+        Tensor::from_vec(out)
+    }
+
+    /// Outer product `x * y^T` as an `(x.len, y.len)` matrix.
+    pub fn outer(x: &Tensor, y: &Tensor) -> Tensor {
+        let mut data = Vec::with_capacity(x.len() * y.len());
+        for &a in &x.data {
+            for &b in &y.data {
+                data.push(a * b);
+            }
+        }
+        Tensor::matrix(x.len(), y.len(), data)
+    }
+
+    /// Elementwise binary map.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in zip_map");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise unary map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// In-place elementwise accumulation `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled accumulation `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, alpha: f64, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Dot product of two equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn dot(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.len(), other.len(), "length mismatch in dot");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Concatenate vectors.
+    pub fn concat(parts: &[&Tensor]) -> Tensor {
+        let mut data = Vec::with_capacity(parts.iter().map(|t| t.len()).sum());
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(data)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}{:?}", self.shape, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_known_result() {
+        let m = Tensor::matrix(2, 3, vec![1., 0., 2., -1., 1., 0.]);
+        let v = Tensor::from_vec(vec![1., 2., 3.]);
+        assert_eq!(m.matvec(&v).data(), &[7.0, 1.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose() {
+        let m = Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let v = Tensor::from_vec(vec![1., 1.]);
+        assert_eq!(m.matvec_t(&v).data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let x = Tensor::from_vec(vec![1., 2.]);
+        let y = Tensor::from_vec(vec![3., 4., 5.]);
+        let o = Tensor::outer(&x, &y);
+        assert_eq!(o.shape(), &[2, 3]);
+        assert_eq!(o.data(), &[3., 4., 5., 6., 8., 10.]);
+    }
+
+    #[test]
+    fn concat_joins_vectors() {
+        let a = Tensor::from_vec(vec![1., 2.]);
+        let b = Tensor::from_vec(vec![3.]);
+        assert_eq!(Tensor::concat(&[&a, &b]).data(), &[1., 2., 3.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_map_rejects_mismatch() {
+        let a = Tensor::from_vec(vec![1.]);
+        let b = Tensor::from_vec(vec![1., 2.]);
+        let _ = a.zip_map(&b, |x, y| x + y);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec")]
+    fn matvec_rejects_bad_length() {
+        let m = Tensor::matrix(2, 3, vec![0.0; 6]);
+        let v = Tensor::from_vec(vec![1., 2.]);
+        let _ = m.matvec(&v);
+    }
+
+    #[test]
+    fn item_on_scalar() {
+        assert_eq!(Tensor::scalar(4.25).item(), 4.25);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::from_vec(vec![1., 1.]);
+        a.add_scaled(2.0, &Tensor::from_vec(vec![1., 3.]));
+        assert_eq!(a.data(), &[3., 7.]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tensor::matrix(2, 2, vec![1., 2., 3., 4.]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

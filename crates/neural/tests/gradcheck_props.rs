@@ -1,0 +1,177 @@
+//! Property-based gradient checking: every differentiable op's analytic
+//! gradient must match central finite differences on random inputs, and
+//! composite layers must satisfy basic calculus identities.
+
+use chainnet_neural::layers::{Activation, GruCell, Mlp};
+use chainnet_neural::params::ParamStore;
+use chainnet_neural::tape::Tape;
+use chainnet_neural::tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const EPS: f64 = 1e-6;
+const TOL: f64 = 1e-4;
+
+fn finite_diff(f: &mut dyn FnMut(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let orig = xp[i];
+        xp[i] = orig + EPS;
+        let fp = f(&xp);
+        xp[i] = orig - EPS;
+        let fm = f(&xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * EPS);
+    }
+    g
+}
+
+fn small_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// d/dx Σ tanh(sigmoid(x) * x) matches finite differences.
+    #[test]
+    fn composite_elementwise_gradcheck(x0 in small_vec(5)) {
+        let mut f = |x: &[f64]| {
+            x.iter().map(|&v| {
+                let s = 1.0 / (1.0 + (-v).exp());
+                (s * v).tanh()
+            }).sum::<f64>()
+        };
+        let num = finite_diff(&mut f, &x0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(x0.clone()));
+        let s = tape.sigmoid(x);
+        let m = tape.mul(s, x);
+        let t = tape.tanh(m);
+        let loss = tape.sum(t);
+        tape.backward(loss);
+        let ana = tape.grad(x);
+        for (a, n) in ana.data().iter().zip(&num) {
+            prop_assert!((a - n).abs() < TOL, "{a} vs {n}");
+        }
+    }
+
+    /// Softmax-then-dot gradient matches finite differences.
+    #[test]
+    fn softmax_dot_gradcheck(x0 in small_vec(4), w0 in small_vec(4)) {
+        let mut f = |x: &[f64]| {
+            let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let e: Vec<f64> = x.iter().map(|v| (v - max).exp()).collect();
+            let z: f64 = e.iter().sum();
+            e.iter().zip(&w0).map(|(ei, wi)| ei / z * wi).sum::<f64>()
+        };
+        let num = finite_diff(&mut f, &x0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(x0.clone()));
+        let w = tape.leaf(Tensor::from_vec(w0.clone()));
+        let sm = tape.softmax(x);
+        let loss = tape.dot(sm, w);
+        tape.backward(loss);
+        let ana = tape.grad(x);
+        for (a, n) in ana.data().iter().zip(&num) {
+            prop_assert!((a - n).abs() < TOL, "{a} vs {n}");
+        }
+    }
+
+    /// GRU step gradient wrt the input vector matches finite differences.
+    #[test]
+    fn gru_input_gradcheck(seed in 0u64..1000, x0 in small_vec(3), h0 in small_vec(4)) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 3, 4, &mut rng);
+
+        let mut f = |x: &[f64]| {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(Tensor::from_vec(x.to_vec()));
+            let hv = tape.leaf(Tensor::from_vec(h0.clone()));
+            let out = gru.forward(&mut tape, &store, xv, hv);
+            tape.value(out).data().iter().sum::<f64>()
+        };
+        let num = finite_diff(&mut f, &x0);
+
+        let mut tape = Tape::new();
+        let xv = tape.leaf(Tensor::from_vec(x0.clone()));
+        let hv = tape.leaf(Tensor::from_vec(h0.clone()));
+        let out = gru.forward(&mut tape, &store, xv, hv);
+        let loss = tape.sum(out);
+        tape.backward(loss);
+        let ana = tape.grad(xv);
+        for (a, n) in ana.data().iter().zip(&num) {
+            prop_assert!((a - n).abs() < TOL, "{a} vs {n}");
+        }
+    }
+
+    /// MLP gradient wrt input matches finite differences for every
+    /// activation.
+    #[test]
+    fn mlp_input_gradcheck(seed in 0u64..1000, x0 in small_vec(3)) {
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::LeakyRelu] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut store = ParamStore::new();
+            let mlp = Mlp::new(&mut store, "m", &[3, 5, 1], act, &mut rng);
+            // ReLU kinks break finite differences exactly at 0; nudge.
+            let x0n: Vec<f64> = x0.iter().map(|v| v + 0.0123).collect();
+            let mut f = |x: &[f64]| {
+                let mut tape = Tape::new();
+                let xv = tape.leaf(Tensor::from_vec(x.to_vec()));
+                let out = mlp.forward(&mut tape, &store, xv);
+                tape.value(out).item()
+            };
+            let num = finite_diff(&mut f, &x0n);
+            let mut tape = Tape::new();
+            let xv = tape.leaf(Tensor::from_vec(x0n.clone()));
+            let out = mlp.forward(&mut tape, &store, xv);
+            tape.backward(out);
+            let ana = tape.grad(xv);
+            for (a, n) in ana.data().iter().zip(&num) {
+                prop_assert!((a - n).abs() < 1e-3, "{act:?}: {a} vs {n}");
+            }
+        }
+    }
+
+    /// Gradient of a sum of independent terms is additive: running
+    /// backward on (f + g) equals grad f + grad g.
+    #[test]
+    fn gradients_are_additive(x0 in small_vec(4)) {
+        let grad_of = |use_f: bool, use_g: bool| -> Vec<f64> {
+            let mut tape = Tape::new();
+            let x = tape.leaf(Tensor::from_vec(x0.clone()));
+            let f = tape.mul(x, x);
+            let fs = tape.sum(f);
+            let g = tape.tanh(x);
+            let gs = tape.sum(g);
+            let loss = match (use_f, use_g) {
+                (true, true) => tape.add(fs, gs),
+                (true, false) => fs,
+                (false, true) => gs,
+                _ => unreachable!(),
+            };
+            tape.backward(loss);
+            tape.grad(x).data().to_vec()
+        };
+        let both = grad_of(true, true);
+        let f_only = grad_of(true, false);
+        let g_only = grad_of(false, true);
+        for i in 0..x0.len() {
+            prop_assert!((both[i] - (f_only[i] + g_only[i])).abs() < 1e-10);
+        }
+    }
+
+    /// Softmax output is a probability distribution for any input.
+    #[test]
+    fn softmax_is_distribution(x0 in small_vec(6)) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(x0));
+        let y = tape.softmax(x);
+        let data = tape.value(y).data();
+        prop_assert!((data.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        prop_assert!(data.iter().all(|&v| v >= 0.0));
+    }
+}

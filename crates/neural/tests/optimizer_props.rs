@@ -1,0 +1,84 @@
+//! Property tests for the optimizer and parameter store: numerical
+//! robustness under arbitrary gradients, and algebraic identities the
+//! update rule must satisfy.
+
+use chainnet_neural::optim::{Adam, StepDecay};
+use chainnet_neural::params::ParamStore;
+use chainnet_neural::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adam never produces NaN/Inf weights from finite gradients, however
+    /// extreme, and each step moves every coordinate by at most ~lr
+    /// (the bias-corrected Adam step-size bound).
+    #[test]
+    fn adam_is_bounded_and_finite(
+        grads in proptest::collection::vec(-1e6f64..1e6, 4),
+        lr in 1e-4f64..0.5,
+        steps in 1usize..30,
+    ) {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(grads.len()));
+        let mut adam = Adam::new(lr);
+        for _ in 0..steps {
+            let before = store.value(id).data().to_vec();
+            store.accumulate_grad(id, &Tensor::from_vec(grads.clone()));
+            adam.step(&mut store);
+            for (b, a) in before.iter().zip(store.value(id).data()) {
+                prop_assert!(a.is_finite());
+                // |Δw| <= lr * (1 + eps slack): Adam's per-step bound.
+                prop_assert!((a - b).abs() <= lr * 1.2 + 1e-12,
+                    "step {} exceeded bound {}", (a - b).abs(), lr);
+            }
+        }
+    }
+
+    /// Gradient accumulation is linear: accumulating g twice equals
+    /// accumulating 2g once.
+    #[test]
+    fn grad_accumulation_is_linear(g in proptest::collection::vec(-10.0f64..10.0, 3)) {
+        let mut a = ParamStore::new();
+        let ia = a.add("w", Tensor::zeros(3));
+        a.accumulate_grad(ia, &Tensor::from_vec(g.clone()));
+        a.accumulate_grad(ia, &Tensor::from_vec(g.clone()));
+
+        let mut b = ParamStore::new();
+        let ib = b.add("w", Tensor::zeros(3));
+        let doubled: Vec<f64> = g.iter().map(|x| 2.0 * x).collect();
+        b.accumulate_grad(ib, &Tensor::from_vec(doubled));
+
+        for (x, y) in a.grad(ia).data().iter().zip(b.grad(ib).data()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    /// The step-decay schedule is non-increasing and hits the documented
+    /// closed form at every epoch.
+    #[test]
+    fn step_decay_is_monotone(lr0 in 1e-5f64..1.0, period in 1u64..40, epochs in 1u64..200) {
+        let s = StepDecay { lr0, factor: 0.9, period };
+        let mut prev = f64::INFINITY;
+        for e in 0..epochs {
+            let lr = s.lr_at(e);
+            prop_assert!(lr <= prev + 1e-15);
+            prop_assert!(lr > 0.0);
+            let expected = lr0 * 0.9f64.powi((e / period) as i32);
+            prop_assert!((lr - expected).abs() < 1e-12);
+            prev = lr;
+        }
+    }
+
+    /// Zero gradients leave weights untouched by a (bias-corrected) step.
+    #[test]
+    fn zero_gradient_is_a_fixed_point(w0 in proptest::collection::vec(-5.0f64..5.0, 3)) {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(w0.clone()));
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut store); // gradient accumulator is all zeros
+        for (a, b) in store.value(id).data().iter().zip(&w0) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

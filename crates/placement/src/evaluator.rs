@@ -1,0 +1,261 @@
+//! Objective-function evaluators: the search maximizes total throughput
+//! `X_total(p)` (Eq. 2), estimated either by queueing simulation (the
+//! paper's baseline search) or by a GNN surrogate (ChainNet's search).
+
+use crate::problem::PlacementProblem;
+use chainnet::graph::PlacementGraph;
+use chainnet::model::Surrogate;
+use chainnet_qsim::approx::{solve, ApproxConfig};
+use chainnet_qsim::model::Placement;
+use chainnet_qsim::sim::{SimConfig, Simulator};
+
+/// Estimates `X_total(p)` for candidate placements.
+pub trait Evaluator {
+    /// Human-readable evaluator name ("simulation", model name, …).
+    fn name(&self) -> &str;
+
+    /// Estimated total throughput of `placement` for `problem`.
+    ///
+    /// Infeasible placements are never passed here: the search only
+    /// proposes feasible candidates.
+    fn total_throughput(&mut self, problem: &PlacementProblem, placement: &Placement) -> f64;
+
+    /// Number of objective evaluations performed so far.
+    fn evaluations(&self) -> u64;
+}
+
+/// Ground-truth evaluator backed by the discrete-event simulator. The
+/// same seed is reused for every evaluation so the objective is a
+/// deterministic function of the placement.
+#[derive(Debug, Clone)]
+pub struct SimEvaluator {
+    config: SimConfig,
+    count: u64,
+}
+
+impl SimEvaluator {
+    /// Create a simulator-backed evaluator.
+    pub fn new(config: SimConfig) -> Self {
+        Self { config, count: 0 }
+    }
+
+    /// The simulation configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+}
+
+impl Evaluator for SimEvaluator {
+    fn name(&self) -> &str {
+        "simulation"
+    }
+
+    fn total_throughput(&mut self, problem: &PlacementProblem, placement: &Placement) -> f64 {
+        self.count += 1;
+        let model = problem
+            .bind(placement.clone())
+            .expect("search proposes structurally valid placements");
+        Simulator::new()
+            .run(&model, &self.config)
+            .expect("simulation of a valid model succeeds")
+            .total_throughput
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Surrogate evaluator backed by any trained [`Surrogate`] (ChainNet, GIN
+/// or GAT): builds the placement graph with the model's feature mode and
+/// sums the predicted per-chain throughputs.
+#[derive(Debug, Clone)]
+pub struct GnnEvaluator<S> {
+    model: S,
+    count: u64,
+}
+
+impl<S: Surrogate> GnnEvaluator<S> {
+    /// Wrap a trained surrogate model.
+    pub fn new(model: S) -> Self {
+        Self { model, count: 0 }
+    }
+
+    /// Access the wrapped model.
+    pub fn model(&self) -> &S {
+        &self.model
+    }
+
+    /// Unwrap the model.
+    pub fn into_model(self) -> S {
+        self.model
+    }
+}
+
+impl<S: Surrogate> Evaluator for GnnEvaluator<S> {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn total_throughput(&mut self, problem: &PlacementProblem, placement: &Placement) -> f64 {
+        self.count += 1;
+        let model = problem
+            .bind(placement.clone())
+            .expect("search proposes structurally valid placements");
+        let graph = PlacementGraph::from_model(&model, self.model.config().feature_mode);
+        self.model
+            .predict(&graph)
+            .iter()
+            .map(|p| p.throughput)
+            .sum()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Analytic evaluator backed by the fixed-point decomposition
+/// approximation ([`chainnet_qsim::approx`]): orders of magnitude faster
+/// than simulation, coarser than a trained surrogate. Useful as a
+/// zero-training baseline for the search.
+#[derive(Debug, Clone, Default)]
+pub struct ApproxEvaluator {
+    config: ApproxConfig,
+    count: u64,
+}
+
+impl ApproxEvaluator {
+    /// Create an analytic evaluator.
+    pub fn new(config: ApproxConfig) -> Self {
+        Self { config, count: 0 }
+    }
+}
+
+impl Evaluator for ApproxEvaluator {
+    fn name(&self) -> &str {
+        "decomposition"
+    }
+
+    fn total_throughput(&mut self, problem: &PlacementProblem, placement: &Placement) -> f64 {
+        self.count += 1;
+        let model = problem
+            .bind(placement.clone())
+            .expect("search proposes structurally valid placements");
+        solve(&model, &self.config).total_throughput
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Loss probability of a placement given its total throughput (Eq. 18).
+pub fn loss_probability(total_arrival_rate: f64, total_throughput: f64) -> f64 {
+    ((total_arrival_rate - total_throughput) / total_arrival_rate).clamp(0.0, 1.0)
+}
+
+/// Relative loss reduction of an optimized placement vs. the initial one
+/// (Eq. 19). Returns 0 when the initial placement already has zero loss.
+/// Clamped to `[-1, 1]`: with simulated (noisy) throughputs the raw ratio
+/// can explode when the initial loss is tiny, which would let a single
+/// lightly-loaded problem dominate a mean.
+pub fn relative_loss_reduction(
+    total_arrival_rate: f64,
+    initial_throughput: f64,
+    optimized_throughput: f64,
+) -> f64 {
+    let denom = total_arrival_rate - initial_throughput;
+    if denom <= 0.0 {
+        0.0
+    } else {
+        ((optimized_throughput - initial_throughput) / denom).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainnet::config::ModelConfig;
+    use chainnet::model::ChainNet;
+    use chainnet_qsim::model::{Device, Fragment, ServiceChain};
+
+    fn problem() -> PlacementProblem {
+        let devices = vec![
+            Device::new(10.0, 1.0).unwrap(),
+            Device::new(10.0, 2.0).unwrap(),
+        ];
+        let chains = vec![ServiceChain::new(
+            0.5,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()];
+        PlacementProblem::new(devices, chains).unwrap()
+    }
+
+    #[test]
+    fn sim_evaluator_counts_and_estimates() {
+        let p = problem();
+        let placement = Placement::new(vec![vec![0, 1]]);
+        let mut ev = SimEvaluator::new(SimConfig::new(5_000.0, 1));
+        let x = ev.total_throughput(&p, &placement);
+        assert!(x > 0.0 && x <= 0.55);
+        assert_eq!(ev.evaluations(), 1);
+    }
+
+    #[test]
+    fn sim_evaluator_is_deterministic() {
+        let p = problem();
+        let placement = Placement::new(vec![vec![0, 1]]);
+        let mut ev = SimEvaluator::new(SimConfig::new(2_000.0, 7));
+        let a = ev.total_throughput(&p, &placement);
+        let b = ev.total_throughput(&p, &placement);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnn_evaluator_wraps_surrogate() {
+        let p = problem();
+        let placement = Placement::new(vec![vec![0, 1]]);
+        let net = ChainNet::new(ModelConfig::small(), 9);
+        let mut ev = GnnEvaluator::new(net);
+        let x = ev.total_throughput(&p, &placement);
+        assert!((0.0..=0.5 + 1e-9).contains(&x));
+        assert_eq!(ev.evaluations(), 1);
+        assert_eq!(ev.name(), "ChainNet");
+    }
+
+    #[test]
+    fn approx_evaluator_ranks_like_simulation() {
+        let p = problem();
+        let good = Placement::new(vec![vec![1, 0]]); // fast device first
+        let bad = Placement::new(vec![vec![0, 1]]);
+        let mut approx = ApproxEvaluator::default();
+        let (xa_good, xa_bad) = (
+            approx.total_throughput(&p, &good),
+            approx.total_throughput(&p, &bad),
+        );
+        assert_eq!(approx.evaluations(), 2);
+        // Both stations underloaded: throughput near lambda either way,
+        // but the evaluator must stay within the offered rate.
+        assert!(xa_good <= 0.5 + 1e-9 && xa_bad <= 0.5 + 1e-9);
+        assert!(xa_good > 0.0 && xa_bad > 0.0);
+    }
+
+    #[test]
+    fn loss_probability_formula() {
+        assert!((loss_probability(2.0, 1.5) - 0.25).abs() < 1e-12);
+        assert_eq!(loss_probability(2.0, 2.5), 0.0); // clamped
+    }
+
+    #[test]
+    fn relative_reduction_formula() {
+        // Initial X = 1.0 of λ = 2.0 (loss 0.5); optimized X = 1.8
+        // (loss 0.1): reduction = (1.8 - 1.0) / (2.0 - 1.0) = 0.8.
+        assert!((relative_loss_reduction(2.0, 1.0, 1.8) - 0.8).abs() < 1e-12);
+        assert_eq!(relative_loss_reduction(2.0, 2.0, 2.0), 0.0);
+    }
+}

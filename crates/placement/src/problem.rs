@@ -1,0 +1,233 @@
+//! Placement problems: the optimization instances of Eq. 2, and the
+//! ranking-score initial placement of Section VIII-C2.
+
+use chainnet_qsim::model::{Device, Placement, ServiceChain, SystemModel};
+use chainnet_qsim::{QsimError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A placement problem: devices and service chains to be deployed, without
+/// a placement chosen yet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementProblem {
+    /// Available edge devices (`D` of them).
+    pub devices: Vec<Device>,
+    /// Service chains to deploy (`C` of them).
+    pub chains: Vec<ServiceChain>,
+}
+
+impl PlacementProblem {
+    /// Create a problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidModel`] if devices or chains are empty,
+    /// or if some chain has more fragments than there are devices (each
+    /// fragment of a chain must run on a separate device).
+    pub fn new(devices: Vec<Device>, chains: Vec<ServiceChain>) -> Result<Self> {
+        if devices.is_empty() {
+            return Err(QsimError::InvalidModel("no devices".into()));
+        }
+        if chains.is_empty() {
+            return Err(QsimError::InvalidModel("no chains".into()));
+        }
+        for (i, c) in chains.iter().enumerate() {
+            if c.len() > devices.len() {
+                return Err(QsimError::InvalidModel(format!(
+                    "chain {i} has {} fragments but only {} devices exist",
+                    c.len(),
+                    devices.len()
+                )));
+            }
+        }
+        Ok(Self { devices, chains })
+    }
+
+    /// Number of devices `D`.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of chains `C`.
+    pub fn num_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total offered rate `λ_total`.
+    pub fn total_arrival_rate(&self) -> f64 {
+        self.chains.iter().map(|c| c.arrival_rate).sum()
+    }
+
+    /// Bind a placement to this problem, validating structure.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SystemModel::new`].
+    pub fn bind(&self, placement: Placement) -> Result<SystemModel> {
+        SystemModel::new(self.devices.clone(), self.chains.clone(), placement)
+    }
+
+    /// Whether `placement` satisfies the Eq. 2 memory constraint and the
+    /// one-device-per-fragment-of-a-chain rule.
+    pub fn is_feasible(&self, placement: &Placement) -> bool {
+        // Distinct devices within each chain.
+        for i in 0..placement.num_chains() {
+            let route = placement.chain_route(i);
+            let mut seen = route.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != route.len() {
+                return false;
+            }
+        }
+        match self.bind(placement.clone()) {
+            Ok(model) => model.memory_feasible(),
+            Err(_) => false,
+        }
+    }
+
+    /// The ranking-score initial placement (Section VIII-C2): devices are
+    /// ranked with unused devices first, then by remaining memory; each
+    /// fragment is assigned to the top-ranked device (excluding devices
+    /// already used by its own chain), updating scores as we go. The
+    /// intent is a vanilla deployment that spreads load across as many
+    /// devices as possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidPlacement`] if no feasible assignment
+    /// exists for some fragment under the greedy rule.
+    pub fn initial_placement(&self) -> Result<Placement> {
+        let d = self.devices.len();
+        let mut remaining: Vec<f64> = self.devices.iter().map(|dev| dev.memory).collect();
+        let mut used = vec![false; d];
+        let mut assignment: Vec<Vec<usize>> = Vec::with_capacity(self.chains.len());
+
+        for (i, chain) in self.chains.iter().enumerate() {
+            let mut route: Vec<usize> = Vec::with_capacity(chain.len());
+            for (j, frag) in chain.fragments.iter().enumerate() {
+                // Rank: unused first, then larger remaining memory; require
+                // enough memory for the fragment and no reuse within chain.
+                let best = (0..d)
+                    .filter(|k| !route.contains(k))
+                    .filter(|&k| remaining[k] >= frag.mem)
+                    .max_by(|&a, &b| {
+                        let key = |k: usize| (!used[k], remaining[k]);
+                        let (ua, ra) = key(a);
+                        let (ub, rb) = key(b);
+                        ua.cmp(&ub)
+                            .then(ra.partial_cmp(&rb).expect("finite memory"))
+                    });
+                let Some(k) = best else {
+                    return Err(QsimError::InvalidPlacement(format!(
+                        "no device can host fragment {j} of chain {i}"
+                    )));
+                };
+                remaining[k] -= frag.mem;
+                used[k] = true;
+                route.push(k);
+            }
+            assignment.push(route);
+        }
+        Ok(Placement::new(assignment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainnet_qsim::model::Fragment;
+
+    fn problem(nd: usize, lens: &[usize]) -> PlacementProblem {
+        let devices = (0..nd)
+            .map(|k| Device::new(10.0 + k as f64, 1.0).unwrap())
+            .collect();
+        let chains = lens
+            .iter()
+            .map(|&l| {
+                ServiceChain::new(
+                    0.5,
+                    (0..l).map(|_| Fragment::new(1.0, 1.0).unwrap()).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        PlacementProblem::new(devices, chains).unwrap()
+    }
+
+    #[test]
+    fn initial_placement_is_feasible() {
+        let p = problem(6, &[3, 2, 4]);
+        let init = p.initial_placement().unwrap();
+        assert!(p.is_feasible(&init));
+    }
+
+    #[test]
+    fn initial_placement_spreads_across_devices() {
+        // 4 devices, one 2-fragment chain: both fragments land on distinct
+        // unused devices.
+        let p = problem(4, &[2]);
+        let init = p.initial_placement().unwrap();
+        let route = init.chain_route(0);
+        assert_ne!(route[0], route[1]);
+    }
+
+    #[test]
+    fn initial_placement_prefers_unused_devices() {
+        let p = problem(5, &[2, 2]);
+        let init = p.initial_placement().unwrap();
+        // With 5 devices and 4 fragments, the greedy rule touches 4
+        // distinct devices before reusing any.
+        let used = init.used_devices();
+        assert_eq!(used.len(), 4);
+    }
+
+    #[test]
+    fn feasibility_rejects_duplicate_device_in_chain() {
+        let p = problem(3, &[2]);
+        let bad = Placement::new(vec![vec![0, 0]]);
+        assert!(!p.is_feasible(&bad));
+    }
+
+    #[test]
+    fn feasibility_rejects_memory_overflow() {
+        let devices = vec![
+            Device::new(1.5, 1.0).unwrap(),
+            Device::new(10.0, 1.0).unwrap(),
+        ];
+        let chains = vec![
+            ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap(),
+            ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap(),
+        ];
+        let p = PlacementProblem::new(devices, chains).unwrap();
+        // Both fragments on device 0: 2.0 > 1.5.
+        let bad = Placement::new(vec![vec![0], vec![0]]);
+        assert!(!p.is_feasible(&bad));
+        let ok = Placement::new(vec![vec![0], vec![1]]);
+        assert!(p.is_feasible(&ok));
+    }
+
+    #[test]
+    fn rejects_chain_longer_than_device_count() {
+        let devices = vec![Device::new(10.0, 1.0).unwrap()];
+        let chains = vec![ServiceChain::new(
+            0.5,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()];
+        assert!(PlacementProblem::new(devices, chains).is_err());
+    }
+
+    #[test]
+    fn initial_placement_errors_when_memory_exhausted() {
+        let devices = vec![
+            Device::new(0.5, 1.0).unwrap(),
+            Device::new(0.5, 1.0).unwrap(),
+        ];
+        let chains = vec![ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        let p = PlacementProblem::new(devices, chains).unwrap();
+        assert!(p.initial_placement().is_err());
+    }
+}

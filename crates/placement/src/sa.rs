@@ -1,0 +1,456 @@
+//! Simulated-annealing placement search (Section VII): fragment-relocation
+//! moves with swap-back of displaced fragments, geometric cooling, and
+//! multi-trial restarts from a common initial placement.
+
+use crate::evaluator::Evaluator;
+use crate::problem::PlacementProblem;
+use chainnet_qsim::model::Placement;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of the annealing search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Search steps per trial (100 in the paper's experiments).
+    pub max_steps: usize,
+    /// Initial temperature `τ_0`.
+    pub initial_temp: f64,
+    /// Geometric cooling rate `γ ∈ (0, 1)` (0.9 in the paper).
+    pub cooling: f64,
+    /// RNG seed; trial `t` uses `seed + t`.
+    pub seed: u64,
+    /// Attempts at generating a feasible candidate before a step is
+    /// skipped (counts as a non-improving step).
+    pub max_move_attempts: usize,
+}
+
+impl SaConfig {
+    /// The paper's search settings: 100 steps, cooling 0.9.
+    pub fn paper_default() -> Self {
+        Self {
+            max_steps: 100,
+            initial_temp: 0.5,
+            cooling: 0.9,
+            seed: 0,
+            max_move_attempts: 32,
+        }
+    }
+
+    /// Override the seed (builder-style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the step budget (builder-style).
+    #[must_use]
+    pub fn with_max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = steps;
+        self
+    }
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One recorded search step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaStep {
+    /// 0-based step index within the trial.
+    pub step: usize,
+    /// Objective of the candidate proposed this step.
+    pub candidate_objective: f64,
+    /// Objective of the current decision after the accept/reject choice.
+    pub current_objective: f64,
+    /// Best objective seen so far in this trial.
+    pub best_objective: f64,
+    /// Whether the candidate was accepted.
+    pub accepted: bool,
+    /// Wall-clock seconds since the trial started.
+    pub elapsed_secs: f64,
+}
+
+/// A new best-so-far decision found during a trial, with the step index
+/// and wall-clock instant it appeared (used by the post-processed curves
+/// of Figs. 14c-d and 15).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaImprovement {
+    /// 0-based step index within the trial.
+    pub step: usize,
+    /// Seconds since the trial started.
+    pub elapsed_secs: f64,
+    /// The new best placement.
+    pub placement: Placement,
+    /// Its objective value under the search evaluator.
+    pub objective: f64,
+}
+
+/// The outcome of one trial (one cooling trajectory).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaTrial {
+    /// Per-step trajectory (Fig. 14a plots these curves).
+    pub steps: Vec<SaStep>,
+    /// Every strict improvement of the best-so-far decision, in order.
+    pub improvements: Vec<SaImprovement>,
+    /// Best placement found in this trial.
+    pub best_placement: Placement,
+    /// Its objective value.
+    pub best_objective: f64,
+    /// Wall-clock seconds the trial took.
+    pub elapsed_secs: f64,
+}
+
+/// The outcome of a multi-trial search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaResult {
+    /// All trials, in execution order.
+    pub trials: Vec<SaTrial>,
+    /// Best placement across trials.
+    pub best_placement: Placement,
+    /// Its objective value.
+    pub best_objective: f64,
+    /// Objective of the shared initial placement.
+    pub initial_objective: f64,
+    /// Total objective evaluations consumed.
+    pub evaluations: u64,
+    /// Total wall-clock seconds.
+    pub elapsed_secs: f64,
+}
+
+/// The simulated-annealing search driver.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimulatedAnnealing {
+    config: SaConfig,
+}
+
+impl SimulatedAnnealing {
+    /// Create a driver with the given configuration.
+    pub fn new(config: SaConfig) -> Self {
+        Self { config }
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &SaConfig {
+        &self.config
+    }
+
+    /// Generate a candidate move per Section VII: relocate one random
+    /// fragment of a random chain to a device not already used by that
+    /// chain, swapping back `b` random displaced fragments. Returns `None`
+    /// if no feasible candidate is found within the attempt budget.
+    pub fn propose(
+        &self,
+        problem: &PlacementProblem,
+        placement: &Placement,
+        rng: &mut SmallRng,
+    ) -> Option<Placement> {
+        let d = problem.num_devices();
+        'attempts: for _ in 0..self.config.max_move_attempts {
+            let c = rng.gen_range(0..placement.num_chains());
+            let j = rng.gen_range(0..placement.chain_len(c));
+            let k = placement.device_of(c, j);
+            let route = placement.chain_route(c);
+            let candidates: Vec<usize> = (0..d).filter(|k2| !route.contains(k2)).collect();
+            let Some(&k2) = candidates.as_slice().choose(rng) else {
+                continue;
+            };
+            let mut next = placement.clone();
+            next.set_device(c, j, k2);
+
+            // Fragments of *other* chains currently on k2 may be swapped
+            // back to k.
+            let others: Vec<(usize, usize)> = placement
+                .iter()
+                .filter(|&(i, _, kk)| kk == k2 && i != c)
+                .map(|(i, jj, _)| (i, jj))
+                .collect();
+            if !others.is_empty() {
+                let b = rng.gen_range(0..=others.len());
+                let mut shuffled = others;
+                shuffled.shuffle(rng);
+                for &(i, jj) in shuffled.iter().take(b) {
+                    // Swapping would duplicate a device within chain i?
+                    if next.chain_route(i).contains(&k) {
+                        continue 'attempts;
+                    }
+                    next.set_device(i, jj, k);
+                }
+            }
+            if problem.is_feasible(&next) {
+                return Some(next);
+            }
+        }
+        None
+    }
+
+    /// Run one trial from `initial` (assumed feasible), consuming
+    /// objective evaluations from `evaluator`.
+    pub fn run_trial(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        initial_objective: f64,
+        evaluator: &mut dyn Evaluator,
+        trial_seed: u64,
+    ) -> SaTrial {
+        let start = Instant::now();
+        let mut rng = SmallRng::seed_from_u64(trial_seed);
+        let mut current = initial.clone();
+        let mut current_obj = initial_objective;
+        let mut best = current.clone();
+        let mut best_obj = current_obj;
+        let mut temp = self.config.initial_temp;
+        let mut steps = Vec::with_capacity(self.config.max_steps);
+        let mut improvements = Vec::new();
+
+        for step in 0..self.config.max_steps {
+            let (candidate_objective, accepted) = match self.propose(problem, &current, &mut rng) {
+                Some(candidate) => {
+                    let obj = evaluator.total_throughput(problem, &candidate);
+                    let accept = obj > current_obj || {
+                        let p = ((obj - current_obj) / temp.max(1e-12)).exp();
+                        rng.gen::<f64>() < p
+                    };
+                    if accept {
+                        current = candidate;
+                        current_obj = obj;
+                        if obj > best_obj {
+                            best = current.clone();
+                            best_obj = obj;
+                            improvements.push(SaImprovement {
+                                step,
+                                elapsed_secs: start.elapsed().as_secs_f64(),
+                                placement: best.clone(),
+                                objective: best_obj,
+                            });
+                        }
+                    }
+                    (obj, accept)
+                }
+                None => (current_obj, false),
+            };
+            temp *= self.config.cooling;
+            steps.push(SaStep {
+                step,
+                candidate_objective,
+                current_objective: current_obj,
+                best_objective: best_obj,
+                accepted,
+                elapsed_secs: start.elapsed().as_secs_f64(),
+            });
+        }
+        SaTrial {
+            steps,
+            improvements,
+            best_placement: best,
+            best_objective: best_obj,
+            elapsed_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Run `trials` independent trials from the same initial placement
+    /// (the paper's multi-start scheme) and keep the best decision.
+    pub fn optimize(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        evaluator: &mut dyn Evaluator,
+        trials: usize,
+    ) -> SaResult {
+        let start = Instant::now();
+        let initial_objective = evaluator.total_throughput(problem, initial);
+        let mut result_trials = Vec::with_capacity(trials);
+        let mut best = initial.clone();
+        let mut best_obj = initial_objective;
+        for t in 0..trials {
+            let trial = self.run_trial(
+                problem,
+                initial,
+                initial_objective,
+                evaluator,
+                self.config.seed.wrapping_add(t as u64),
+            );
+            if trial.best_objective > best_obj {
+                best = trial.best_placement.clone();
+                best_obj = trial.best_objective;
+            }
+            result_trials.push(trial);
+        }
+        SaResult {
+            trials: result_trials,
+            best_placement: best,
+            best_objective: best_obj,
+            initial_objective,
+            evaluations: evaluator.evaluations(),
+            elapsed_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Run trials until `budget_secs` of wall clock is exhausted (the
+    /// fixed-time comparison of Section VIII-C4a). At least one trial
+    /// always completes.
+    pub fn optimize_for(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        evaluator: &mut dyn Evaluator,
+        budget_secs: f64,
+    ) -> SaResult {
+        let start = Instant::now();
+        let initial_objective = evaluator.total_throughput(problem, initial);
+        let mut result_trials = Vec::new();
+        let mut best = initial.clone();
+        let mut best_obj = initial_objective;
+        let mut t = 0u64;
+        loop {
+            let trial = self.run_trial(
+                problem,
+                initial,
+                initial_objective,
+                evaluator,
+                self.config.seed.wrapping_add(t),
+            );
+            t += 1;
+            if trial.best_objective > best_obj {
+                best = trial.best_placement.clone();
+                best_obj = trial.best_objective;
+            }
+            result_trials.push(trial);
+            if start.elapsed().as_secs_f64() >= budget_secs {
+                break;
+            }
+        }
+        SaResult {
+            trials: result_trials,
+            best_placement: best,
+            best_objective: best_obj,
+            initial_objective,
+            evaluations: evaluator.evaluations(),
+            elapsed_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SimEvaluator;
+    use chainnet_qsim::model::{Device, Fragment, ServiceChain};
+    use chainnet_qsim::sim::SimConfig;
+
+    /// A problem with one obviously bad and one obviously good device.
+    fn lopsided_problem() -> PlacementProblem {
+        let devices = vec![
+            Device::new(3.0, 0.2).unwrap(),  // slow, tiny buffer
+            Device::new(50.0, 3.0).unwrap(), // fast, large buffer
+            Device::new(50.0, 3.0).unwrap(),
+        ];
+        let chains = vec![ServiceChain::new(
+            1.0,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()];
+        PlacementProblem::new(devices, chains).unwrap()
+    }
+
+    #[test]
+    fn proposals_stay_feasible() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            if let Some(cand) = sa.propose(&p, &init, &mut rng) {
+                assert!(p.is_feasible(&cand));
+            }
+        }
+    }
+
+    #[test]
+    fn proposals_change_the_placement() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cand = sa.propose(&p, &init, &mut rng).unwrap();
+        assert_ne!(cand, init);
+    }
+
+    #[test]
+    fn search_improves_a_bad_start() {
+        let p = lopsided_problem();
+        // Worst start: both fragments forced through the slow device pair.
+        let bad = Placement::new(vec![vec![0, 1]]);
+        assert!(p.is_feasible(&bad));
+        let mut ev = SimEvaluator::new(SimConfig::new(2_000.0, 3));
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(40).with_seed(4));
+        let res = sa.optimize(&p, &bad, &mut ev, 2);
+        assert!(
+            res.best_objective > res.initial_objective,
+            "best {} vs initial {}",
+            res.best_objective,
+            res.initial_objective
+        );
+        // The slow device 0 should be avoided in the best placement.
+        assert!(!res.best_placement.chain_route(0).contains(&0));
+    }
+
+    #[test]
+    fn best_objective_is_monotone_within_trial() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let mut ev = SimEvaluator::new(SimConfig::new(1_000.0, 5));
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(30));
+        let res = sa.optimize(&p, &init, &mut ev, 1);
+        let steps = &res.trials[0].steps;
+        for w in steps.windows(2) {
+            assert!(w[1].best_objective >= w[0].best_objective);
+        }
+    }
+
+    #[test]
+    fn trial_count_and_steps_respected() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let mut ev = SimEvaluator::new(SimConfig::new(500.0, 6));
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(10));
+        let res = sa.optimize(&p, &init, &mut ev, 3);
+        assert_eq!(res.trials.len(), 3);
+        assert!(res.trials.iter().all(|t| t.steps.len() == 10));
+        // 1 initial + up to 30 candidate evaluations.
+        assert!(res.evaluations <= 31);
+    }
+
+    #[test]
+    fn fixed_time_runs_at_least_one_trial() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let mut ev = SimEvaluator::new(SimConfig::new(200.0, 7));
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(5));
+        let res = sa.optimize_for(&p, &init, &mut ev, 0.0);
+        assert_eq!(res.trials.len(), 1);
+    }
+
+    #[test]
+    fn same_seed_reproduces_search() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(15));
+        let mut ev1 = SimEvaluator::new(SimConfig::new(500.0, 8));
+        let mut ev2 = SimEvaluator::new(SimConfig::new(500.0, 8));
+        let a = sa.optimize(&p, &init, &mut ev1, 1);
+        let b = sa.optimize(&p, &init, &mut ev2, 1);
+        assert_eq!(a.best_placement, b.best_placement);
+        assert_eq!(a.best_objective, b.best_objective);
+    }
+}

@@ -1,0 +1,187 @@
+//! Alternative search strategies used as ablations for the paper's choice
+//! of simulated annealing (Section VII motivates SA by its ability to
+//! escape local optima): pure random search and greedy hill climbing over
+//! the same move neighborhood.
+
+use crate::evaluator::Evaluator;
+use crate::problem::PlacementProblem;
+use crate::sa::{SaConfig, SimulatedAnnealing};
+use chainnet_qsim::model::Placement;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a baseline search strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyResult {
+    /// Best placement found.
+    pub best_placement: Placement,
+    /// Its objective value under the evaluator.
+    pub best_objective: f64,
+    /// Objective of the initial placement.
+    pub initial_objective: f64,
+    /// Objective evaluations consumed.
+    pub evaluations: u64,
+}
+
+/// Pure random search: each step proposes a random feasible neighbor of
+/// the *initial* placement chain (i.e. an independent random walk restart
+/// from the best-so-far is never taken; candidates are accepted only into
+/// the best-so-far record).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RandomSearch {
+    config: SaConfig,
+}
+
+impl RandomSearch {
+    /// Create a random search reusing the SA move generator / budget.
+    pub fn new(config: SaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run the search.
+    pub fn optimize(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        evaluator: &mut dyn Evaluator,
+    ) -> StrategyResult {
+        let mover = SimulatedAnnealing::new(self.config);
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let initial_objective = evaluator.total_throughput(problem, initial);
+        let mut best = initial.clone();
+        let mut best_obj = initial_objective;
+        // Random walk: wander from the current point regardless of value,
+        // remembering the best. This is SA at infinite temperature.
+        let mut current = initial.clone();
+        for _ in 0..self.config.max_steps {
+            if let Some(candidate) = mover.propose(problem, &current, &mut rng) {
+                let obj = evaluator.total_throughput(problem, &candidate);
+                if obj > best_obj {
+                    best = candidate.clone();
+                    best_obj = obj;
+                }
+                current = candidate;
+            }
+        }
+        StrategyResult {
+            best_placement: best,
+            best_objective: best_obj,
+            initial_objective,
+            evaluations: evaluator.evaluations(),
+        }
+    }
+}
+
+/// Greedy hill climbing: accept a candidate only if it improves the
+/// current objective (SA at zero temperature).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HillClimb {
+    config: SaConfig,
+}
+
+impl HillClimb {
+    /// Create a hill climber reusing the SA move generator / budget.
+    pub fn new(config: SaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run the search.
+    pub fn optimize(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        evaluator: &mut dyn Evaluator,
+    ) -> StrategyResult {
+        let mover = SimulatedAnnealing::new(self.config);
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let initial_objective = evaluator.total_throughput(problem, initial);
+        let mut current = initial.clone();
+        let mut current_obj = initial_objective;
+        for _ in 0..self.config.max_steps {
+            if let Some(candidate) = mover.propose(problem, &current, &mut rng) {
+                let obj = evaluator.total_throughput(problem, &candidate);
+                if obj > current_obj {
+                    current = candidate;
+                    current_obj = obj;
+                }
+            }
+        }
+        StrategyResult {
+            best_placement: current,
+            best_objective: current_obj,
+            initial_objective,
+            evaluations: evaluator.evaluations(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SimEvaluator;
+    use chainnet_qsim::model::{Device, Fragment, ServiceChain};
+    use chainnet_qsim::sim::SimConfig;
+
+    fn lopsided_problem() -> PlacementProblem {
+        let devices = vec![
+            Device::new(3.0, 0.2).unwrap(),
+            Device::new(50.0, 3.0).unwrap(),
+            Device::new(50.0, 3.0).unwrap(),
+        ];
+        let chains = vec![ServiceChain::new(
+            1.0,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()];
+        PlacementProblem::new(devices, chains).unwrap()
+    }
+
+    #[test]
+    fn random_search_never_regresses() {
+        let p = lopsided_problem();
+        let bad = Placement::new(vec![vec![0, 1]]);
+        let mut ev = SimEvaluator::new(SimConfig::new(800.0, 1));
+        let rs = RandomSearch::new(SaConfig::paper_default().with_max_steps(20));
+        let res = rs.optimize(&p, &bad, &mut ev);
+        assert!(res.best_objective >= res.initial_objective);
+        assert!(p.is_feasible(&res.best_placement));
+    }
+
+    #[test]
+    fn hill_climb_improves_bad_start() {
+        let p = lopsided_problem();
+        let bad = Placement::new(vec![vec![0, 1]]);
+        let mut ev = SimEvaluator::new(SimConfig::new(800.0, 2));
+        let hc = HillClimb::new(SaConfig::paper_default().with_max_steps(30));
+        let res = hc.optimize(&p, &bad, &mut ev);
+        assert!(res.best_objective > res.initial_objective);
+        assert!(!res.best_placement.chain_route(0).contains(&0));
+    }
+
+    #[test]
+    fn strategies_count_evaluations() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let mut ev = SimEvaluator::new(SimConfig::new(200.0, 3));
+        let rs = RandomSearch::new(SaConfig::paper_default().with_max_steps(10));
+        let res = rs.optimize(&p, &init, &mut ev);
+        // 1 initial + at most 10 candidates.
+        assert!(res.evaluations >= 1 && res.evaluations <= 11);
+    }
+
+    #[test]
+    fn strategies_are_deterministic() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let cfg = SaConfig::paper_default().with_max_steps(12).with_seed(9);
+        let run = |seed: u64| {
+            let mut ev = SimEvaluator::new(SimConfig::new(300.0, seed));
+            HillClimb::new(cfg).optimize(&p, &init, &mut ev)
+        };
+        assert_eq!(run(4), run(4));
+    }
+}

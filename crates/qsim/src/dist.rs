@@ -1,0 +1,620 @@
+//! Probability distributions used for arrival and service processes.
+//!
+//! The paper generates workloads from uniform distributions (Type I
+//! systems, Table III) and from **acyclic phase-type** (APH) distributions
+//! with a prescribed mean and squared coefficient of variation (Type II
+//! systems). This module implements the standard two-moment APH fit:
+//!
+//! * `scv >= 1` — balanced two-phase hyperexponential (H2);
+//! * `scv < 1`  — mixture of Erlang(k-1) and Erlang(k) with a common rate
+//!   (a "generalized Erlang" fit), where `k = ceil(1 / scv)`.
+//!
+//! All samplers return strictly positive values and expose their first two
+//! moments so tests can verify the fit.
+
+use crate::error::{QsimError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A positive continuous distribution that can be sampled and reports its
+/// first two moments.
+///
+/// This trait is sealed in spirit: the simulator only consumes the
+/// [`Dist`] enum, but the trait keeps the per-distribution logic testable.
+pub trait Sampler {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+    /// The distribution mean.
+    fn mean(&self) -> f64;
+    /// The squared coefficient of variation `Var / mean^2`.
+    fn scv(&self) -> f64;
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `rate` is not finite and
+    /// strictly positive.
+    pub fn new(rate: f64) -> Result<Self> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "rate",
+                format!("must be finite and positive, got {rate}"),
+            ));
+        }
+        Ok(Self { rate })
+    }
+
+    /// Create an exponential distribution from its mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `mean` is not finite and
+    /// strictly positive.
+    pub fn from_mean(mean: f64) -> Result<Self> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "mean",
+                format!("must be finite and positive, got {mean}"),
+            ));
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF sampling; `1 - u` avoids ln(0).
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn scv(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Continuous uniform distribution on `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if the bounds are not finite,
+    /// `lo > hi`, or `lo < 0` (the simulator only handles non-negative
+    /// durations).
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi || lo < 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "bounds",
+                format!("need 0 <= lo <= hi and finite, got [{lo}, {hi}]"),
+            ));
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Sampler for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        rng.gen_range(self.lo..self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn scv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            return 0.0;
+        }
+        let var = (self.hi - self.lo).powi(2) / 12.0;
+        var / (m * m)
+    }
+}
+
+/// Erlang distribution: sum of `k` i.i.d. exponentials with rate `rate`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Erlang {
+    k: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Create an Erlang-`k` distribution with phase rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `k == 0` or the rate is
+    /// not finite and positive.
+    pub fn new(k: u32, rate: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(QsimError::invalid_parameter("k", "must be >= 1"));
+        }
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "rate",
+                format!("must be finite and positive, got {rate}"),
+            ));
+        }
+        Ok(Self { k, rate })
+    }
+
+    /// Number of phases.
+    pub fn phases(&self) -> u32 {
+        self.k
+    }
+}
+
+impl Sampler for Erlang {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Product of uniforms avoids k calls to ln().
+        let mut prod: f64 = 1.0;
+        for _ in 0..self.k {
+            prod *= 1.0 - rng.gen::<f64>();
+        }
+        -prod.ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        f64::from(self.k) / self.rate
+    }
+
+    fn scv(&self) -> f64 {
+        1.0 / f64::from(self.k)
+    }
+}
+
+/// Two-phase hyperexponential distribution: with probability `p` the sample
+/// is `Exp(r1)`, otherwise `Exp(r2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HyperExp2 {
+    p: f64,
+    r1: f64,
+    r2: f64,
+}
+
+impl HyperExp2 {
+    /// Create a two-phase hyperexponential distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `p` is outside `[0, 1]`
+    /// or either rate is not finite and positive.
+    pub fn new(p: f64, r1: f64, r2: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(QsimError::invalid_parameter(
+                "p",
+                format!("must be in [0, 1], got {p}"),
+            ));
+        }
+        for (name, r) in [("r1", r1), ("r2", r2)] {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(QsimError::invalid_parameter(
+                    name,
+                    format!("must be finite and positive, got {r}"),
+                ));
+            }
+        }
+        Ok(Self { p, r1, r2 })
+    }
+
+    /// Probability of branch 1.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Sampler for HyperExp2 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let rate = if rng.gen::<f64>() < self.p {
+            self.r1
+        } else {
+            self.r2
+        };
+        -(1.0 - rng.gen::<f64>()).ln() / rate
+    }
+
+    fn mean(&self) -> f64 {
+        self.p / self.r1 + (1.0 - self.p) / self.r2
+    }
+
+    fn scv(&self) -> f64 {
+        let m1 = self.mean();
+        let m2 = 2.0 * (self.p / (self.r1 * self.r1) + (1.0 - self.p) / (self.r2 * self.r2));
+        m2 / (m1 * m1) - 1.0
+    }
+}
+
+/// Mixture of Erlang(k-1) and Erlang(k) with a common phase rate; the
+/// canonical two-moment fit for `scv < 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErlangMix {
+    /// Probability of using `k - 1` phases.
+    p: f64,
+    k: u32,
+    rate: f64,
+}
+
+impl ErlangMix {
+    /// Create a mixture that uses `k - 1` phases with probability `p` and
+    /// `k` phases otherwise, each phase exponential with `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] on `k < 2`, `p` outside
+    /// `[0, 1]`, or a non-positive rate.
+    pub fn new(p: f64, k: u32, rate: f64) -> Result<Self> {
+        if k < 2 {
+            return Err(QsimError::invalid_parameter("k", "must be >= 2"));
+        }
+        if !(0.0..=1.0).contains(&p) {
+            return Err(QsimError::invalid_parameter(
+                "p",
+                format!("must be in [0, 1], got {p}"),
+            ));
+        }
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "rate",
+                format!("must be finite and positive, got {rate}"),
+            ));
+        }
+        Ok(Self { p, k, rate })
+    }
+}
+
+impl Sampler for ErlangMix {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let phases = if rng.gen::<f64>() < self.p {
+            self.k - 1
+        } else {
+            self.k
+        };
+        let mut prod: f64 = 1.0;
+        for _ in 0..phases {
+            prod *= 1.0 - rng.gen::<f64>();
+        }
+        -prod.ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        (f64::from(self.k) - self.p) / self.rate
+    }
+
+    fn scv(&self) -> f64 {
+        let k = f64::from(self.k);
+        let mean = (k - self.p) / self.rate;
+        // E[X^2] for a mixture of Erlangs with common rate.
+        let m2_k1 = (k - 1.0) * k / (self.rate * self.rate);
+        let m2_k = k * (k + 1.0) / (self.rate * self.rate);
+        let m2 = self.p * m2_k1 + (1.0 - self.p) * m2_k;
+        m2 / (mean * mean) - 1.0
+    }
+}
+
+/// A positive distribution usable as an arrival or service process.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_qsim::dist::{Dist, Sampler};
+/// use rand::SeedableRng;
+///
+/// let d = Dist::aph(2.0, 5.0).unwrap(); // mean 2, scv 5 (Table III, Type II)
+/// assert!((d.mean() - 2.0).abs() < 1e-9);
+/// assert!((d.scv() - 5.0).abs() < 1e-9);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// assert!(d.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Dist {
+    /// Always returns the same value.
+    Deterministic(f64),
+    /// Exponential distribution.
+    Exponential(Exponential),
+    /// Uniform distribution.
+    Uniform(Uniform),
+    /// Erlang distribution.
+    Erlang(Erlang),
+    /// Two-phase hyperexponential distribution.
+    HyperExp2(HyperExp2),
+    /// Erlang mixture (generalized Erlang).
+    ErlangMix(ErlangMix),
+}
+
+impl Dist {
+    /// Deterministic distribution at `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `value` is negative or
+    /// not finite.
+    pub fn deterministic(value: f64) -> Result<Self> {
+        if !value.is_finite() || value < 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "value",
+                format!("must be finite and non-negative, got {value}"),
+            ));
+        }
+        Ok(Dist::Deterministic(value))
+    }
+
+    /// Exponential distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Exponential::from_mean`] errors.
+    pub fn exp_mean(mean: f64) -> Result<Self> {
+        Ok(Dist::Exponential(Exponential::from_mean(mean)?))
+    }
+
+    /// Uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Uniform::new`] errors.
+    pub fn uniform(lo: f64, hi: f64) -> Result<Self> {
+        Ok(Dist::Uniform(Uniform::new(lo, hi)?))
+    }
+
+    /// Fit an acyclic phase-type distribution to a target `mean` and `scv`
+    /// (squared coefficient of variation), matching the first two moments.
+    ///
+    /// * `scv == 1`  → exponential,
+    /// * `scv > 1`   → balanced two-phase hyperexponential,
+    /// * `scv < 1`   → Erlang(k-1)/Erlang(k) mixture with `k = ceil(1/scv)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `mean <= 0` or `scv <= 0`.
+    pub fn aph(mean: f64, scv: f64) -> Result<Self> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "mean",
+                format!("must be finite and positive, got {mean}"),
+            ));
+        }
+        if !scv.is_finite() || scv <= 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "scv",
+                format!("must be finite and positive, got {scv}"),
+            ));
+        }
+        const TOL: f64 = 1e-9;
+        if (scv - 1.0).abs() < TOL {
+            return Dist::exp_mean(mean);
+        }
+        if scv > 1.0 {
+            // Balanced-means H2 fit.
+            let p = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+            let r1 = 2.0 * p / mean;
+            let r2 = 2.0 * (1.0 - p) / mean;
+            return Ok(Dist::HyperExp2(HyperExp2::new(p, r1, r2)?));
+        }
+        // scv < 1: mixture of Erlang(k-1) and Erlang(k).
+        let k = (1.0 / scv).ceil() as u32;
+        let k = k.max(2);
+        let kf = f64::from(k);
+        // Classical fit (Tijms): p solves the second-moment equation.
+        let p = (kf * scv - (kf * (1.0 + scv) - kf * kf * scv).sqrt()) / (1.0 + scv);
+        let p = p.clamp(0.0, 1.0);
+        let rate = (kf - p) / mean;
+        Ok(Dist::ErlangMix(ErlangMix::new(p, k, rate)?))
+    }
+}
+
+impl Sampler for Dist {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Dist::Deterministic(v) => *v,
+            Dist::Exponential(d) => d.sample(rng),
+            Dist::Uniform(d) => d.sample(rng),
+            Dist::Erlang(d) => d.sample(rng),
+            Dist::HyperExp2(d) => d.sample(rng),
+            Dist::ErlangMix(d) => d.sample(rng),
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        match self {
+            Dist::Deterministic(v) => *v,
+            Dist::Exponential(d) => d.mean(),
+            Dist::Uniform(d) => d.mean(),
+            Dist::Erlang(d) => d.mean(),
+            Dist::HyperExp2(d) => d.mean(),
+            Dist::ErlangMix(d) => d.mean(),
+        }
+    }
+
+    fn scv(&self) -> f64 {
+        match self {
+            Dist::Deterministic(_) => 0.0,
+            Dist::Exponential(d) => d.scv(),
+            Dist::Uniform(d) => d.scv(),
+            Dist::Erlang(d) => d.scv(),
+            Dist::HyperExp2(d) => d.scv(),
+            Dist::ErlangMix(d) => d.scv(),
+        }
+    }
+}
+
+/// Draw a sample from `dist`, truncating from below at `lower_bound` as the
+/// paper does for Type II interarrival and processing times (Table III).
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_qsim::dist::{sample_truncated, Dist};
+/// use rand::SeedableRng;
+///
+/// let d = Dist::aph(0.1, 10.0).unwrap();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// for _ in 0..100 {
+///     assert!(sample_truncated(&d, 0.05, &mut rng) >= 0.05);
+/// }
+/// ```
+pub fn sample_truncated<R: Rng + ?Sized>(dist: &Dist, lower_bound: f64, rng: &mut R) -> f64 {
+    dist.sample(rng).max(lower_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical_moments(d: &Dist, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        (mean, var / (mean * mean))
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let d = Dist::exp_mean(2.5).unwrap();
+        assert!((d.mean() - 2.5).abs() < 1e-12);
+        assert!((d.scv() - 1.0).abs() < 1e-12);
+        let (m, c2) = empirical_moments(&d, 200_000, 42);
+        assert!((m - 2.5).abs() / 2.5 < 0.02, "mean {m}");
+        assert!((c2 - 1.0).abs() < 0.05, "scv {c2}");
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let d = Dist::uniform(0.0, 2.0).unwrap();
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        // scv of U(0,2): var = 4/12 = 1/3, mean^2 = 1.
+        assert!((d.scv() - 1.0 / 3.0).abs() < 1e-12);
+        let (m, c2) = empirical_moments(&d, 200_000, 7);
+        assert!((m - 1.0).abs() < 0.01);
+        assert!((c2 - 1.0 / 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn erlang_moments() {
+        let e = Erlang::new(4, 2.0).unwrap();
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+        assert!((e.scv() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aph_high_variance_fit() {
+        // Table III Type II interarrival: APH(2, 5).
+        let d = Dist::aph(2.0, 5.0).unwrap();
+        assert!((d.mean() - 2.0).abs() < 1e-9, "analytic mean {}", d.mean());
+        assert!((d.scv() - 5.0).abs() < 1e-9, "analytic scv {}", d.scv());
+        let (m, c2) = empirical_moments(&d, 400_000, 11);
+        assert!((m - 2.0).abs() / 2.0 < 0.03, "mean {m}");
+        assert!((c2 - 5.0).abs() / 5.0 < 0.1, "scv {c2}");
+    }
+
+    #[test]
+    fn aph_low_variance_fit() {
+        let d = Dist::aph(1.0, 0.3).unwrap();
+        assert!((d.mean() - 1.0).abs() < 1e-9, "analytic mean {}", d.mean());
+        assert!((d.scv() - 0.3).abs() < 1e-9, "analytic scv {}", d.scv());
+        let (m, c2) = empirical_moments(&d, 400_000, 12);
+        assert!((m - 1.0).abs() < 0.02, "mean {m}");
+        assert!((c2 - 0.3).abs() < 0.05, "scv {c2}");
+    }
+
+    #[test]
+    fn aph_scv_one_is_exponential() {
+        let d = Dist::aph(3.0, 1.0).unwrap();
+        assert!(matches!(d, Dist::Exponential(_)));
+    }
+
+    #[test]
+    fn aph_rejects_bad_parameters() {
+        assert!(Dist::aph(0.0, 1.0).is_err());
+        assert!(Dist::aph(1.0, 0.0).is_err());
+        assert!(Dist::aph(-1.0, 2.0).is_err());
+        assert!(Dist::aph(f64::NAN, 2.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let d = Dist::deterministic(1.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(d.sample(&mut rng), 1.5);
+        assert_eq!(d.scv(), 0.0);
+        assert!(Dist::deterministic(-1.0).is_err());
+    }
+
+    #[test]
+    fn hyperexp_rejects_bad_p() {
+        assert!(HyperExp2::new(1.5, 1.0, 1.0).is_err());
+        assert!(HyperExp2::new(0.5, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn truncation_respects_lower_bound() {
+        let d = Dist::aph(0.1, 10.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(sample_truncated(&d, 0.05, &mut rng) >= 0.05);
+        }
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let dists = [
+            Dist::exp_mean(0.2).unwrap(),
+            Dist::aph(0.1, 10.0).unwrap(),
+            Dist::aph(1.0, 0.2).unwrap(),
+            Dist::uniform(0.0, 2.0).unwrap(),
+        ];
+        let mut rng = SmallRng::seed_from_u64(5);
+        for d in &dists {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut rng) >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for the simulator crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or simulating a queueing model.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_qsim::dist::Exponential;
+///
+/// let err = Exponential::new(-1.0).unwrap_err();
+/// assert!(err.to_string().contains("rate"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QsimError {
+    /// A numeric parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A placement refers to a device or fragment that does not exist,
+    /// or violates the static memory constraint of Eq. (2).
+    InvalidPlacement(String),
+    /// The model is structurally inconsistent (e.g. empty chain).
+    InvalidModel(String),
+}
+
+impl QsimError {
+    /// Convenience constructor for [`QsimError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        QsimError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for QsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QsimError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            QsimError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
+            QsimError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl Error for QsimError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QsimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = QsimError::invalid_parameter("rate", "must be positive, got -1");
+        let s = e.to_string();
+        assert!(s.starts_with("invalid parameter"));
+        assert!(s.contains("rate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QsimError>();
+    }
+
+    #[test]
+    fn placement_error_display() {
+        let e = QsimError::InvalidPlacement("device 3 overflows".into());
+        assert_eq!(e.to_string(), "invalid placement: device 3 overflows");
+    }
+
+    #[test]
+    fn model_error_display() {
+        let e = QsimError::InvalidModel("chain 0 has no fragments".into());
+        assert!(e.to_string().contains("chain 0"));
+    }
+}

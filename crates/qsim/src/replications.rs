@@ -1,0 +1,181 @@
+//! Independent replications: run the same model under several seeds and
+//! aggregate per-chain estimates with confidence intervals — the standard
+//! alternative to single-run batch means, and the right tool when a
+//! single horizon is too short for the warm-up to wash out.
+
+use crate::error::Result;
+use crate::model::SystemModel;
+use crate::sim::{SimConfig, SimResult, Simulator};
+use crate::stats::Welford;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated per-chain estimates across replications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedChain {
+    /// Mean throughput across replications.
+    pub throughput: f64,
+    /// 95% CI half-width on the throughput.
+    pub throughput_ci: f64,
+    /// Mean latency across replications.
+    pub latency: f64,
+    /// 95% CI half-width on the latency.
+    pub latency_ci: f64,
+    /// Mean loss probability across replications.
+    pub loss_probability: f64,
+}
+
+/// The aggregate of several independent replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedResult {
+    /// Per-chain aggregates.
+    pub chains: Vec<ReplicatedChain>,
+    /// Mean total throughput.
+    pub total_throughput: f64,
+    /// 95% CI half-width on the total throughput.
+    pub total_throughput_ci: f64,
+    /// Mean overall loss probability (Eq. 18).
+    pub loss_probability: f64,
+    /// Number of replications.
+    pub replications: usize,
+    /// The individual runs, in seed order.
+    pub runs: Vec<SimResult>,
+}
+
+fn ci95(w: &Welford) -> f64 {
+    if w.count() < 2 {
+        0.0
+    } else {
+        1.96 * w.std_dev() / (w.count() as f64).sqrt()
+    }
+}
+
+/// Run `replications` independent simulations with seeds
+/// `config.seed, config.seed + 1, …` and aggregate.
+///
+/// # Errors
+///
+/// Propagates the first simulation error.
+///
+/// # Panics
+///
+/// Panics if `replications == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+/// use chainnet_qsim::replications::replicate;
+/// use chainnet_qsim::sim::SimConfig;
+///
+/// # fn main() -> Result<(), chainnet_qsim::QsimError> {
+/// let devices = vec![Device::new(10.0, 1.0)?];
+/// let chains = vec![ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0)?])?];
+/// let model = SystemModel::new(devices, chains, Placement::new(vec![vec![0]]))?;
+/// let agg = replicate(&model, &SimConfig::new(1_000.0, 7), 5)?;
+/// assert_eq!(agg.replications, 5);
+/// assert!(agg.total_throughput_ci >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn replicate(
+    model: &SystemModel,
+    config: &SimConfig,
+    replications: usize,
+) -> Result<ReplicatedResult> {
+    assert!(replications >= 1, "need at least one replication");
+    let sim = Simulator::new();
+    let mut runs = Vec::with_capacity(replications);
+    for r in 0..replications {
+        let mut cfg = *config;
+        cfg.seed = config.seed.wrapping_add(r as u64);
+        runs.push(sim.run(model, &cfg)?);
+    }
+
+    let num_chains = model.chains().len();
+    let mut tput = vec![Welford::new(); num_chains];
+    let mut lat = vec![Welford::new(); num_chains];
+    let mut loss = vec![Welford::new(); num_chains];
+    let mut total = Welford::new();
+    for run in &runs {
+        total.push(run.total_throughput);
+        for (i, c) in run.chains.iter().enumerate() {
+            tput[i].push(c.throughput);
+            // Latency is unobserved when nothing completed; skip.
+            if c.completions > 0 {
+                lat[i].push(c.mean_latency);
+            }
+            loss[i].push(c.loss_probability);
+        }
+    }
+    let chains = (0..num_chains)
+        .map(|i| ReplicatedChain {
+            throughput: tput[i].mean(),
+            throughput_ci: ci95(&tput[i]),
+            latency: lat[i].mean(),
+            latency_ci: ci95(&lat[i]),
+            loss_probability: loss[i].mean(),
+        })
+        .collect();
+    let lam = model.total_arrival_rate();
+    Ok(ReplicatedResult {
+        chains,
+        total_throughput: total.mean(),
+        total_throughput_ci: ci95(&total),
+        loss_probability: ((lam - total.mean()) / lam).clamp(0.0, 1.0),
+        replications,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic;
+    use crate::model::{Device, Fragment, Placement, ServiceChain};
+
+    fn model(lambda: f64, mu: f64, k: f64) -> SystemModel {
+        let devices = vec![Device::new(k, mu).unwrap()];
+        let chains =
+            vec![ServiceChain::new(lambda, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap()
+    }
+
+    #[test]
+    fn ci_brackets_exact_value() {
+        let m = model(0.9, 1.0, 5.0);
+        let agg = replicate(&m, &SimConfig::new(20_000.0, 3), 8).unwrap();
+        let exact = analytic::mm1k_throughput(0.9, 1.0, 5);
+        assert!(
+            (agg.total_throughput - exact).abs() <= 3.0 * agg.total_throughput_ci + 0.01,
+            "mean {} ci {} exact {exact}",
+            agg.total_throughput,
+            agg.total_throughput_ci
+        );
+    }
+
+    #[test]
+    fn more_replications_never_widen_ci_dramatically() {
+        let m = model(0.7, 1.0, 8.0);
+        let few = replicate(&m, &SimConfig::new(3_000.0, 5), 3).unwrap();
+        let many = replicate(&m, &SimConfig::new(3_000.0, 5), 12).unwrap();
+        assert!(many.total_throughput_ci <= few.total_throughput_ci * 1.5);
+        assert_eq!(many.runs.len(), 12);
+    }
+
+    #[test]
+    fn replications_use_distinct_seeds() {
+        let m = model(0.7, 1.0, 8.0);
+        let agg = replicate(&m, &SimConfig::new(1_000.0, 9), 4).unwrap();
+        let counts: Vec<u64> = agg.runs.iter().map(|r| r.chains[0].completions).collect();
+        let mut unique = counts.clone();
+        unique.dedup();
+        assert!(unique.len() > 1, "replications should differ: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_panics() {
+        let m = model(0.5, 1.0, 5.0);
+        let _ = replicate(&m, &SimConfig::new(100.0, 1), 0);
+    }
+}

@@ -1,0 +1,1041 @@
+//! Discrete-event simulation of finite-buffer multi-chain open queueing
+//! networks.
+//!
+//! Each device is a single-server FCFS station. A job of fragment `(i,j)`
+//! occupies memory at its station from admission until service completion;
+//! an arrival that would exceed the device's memory capacity is dropped and
+//! the whole chain request is lost (the loss semantics of Section II of
+//! the paper). Network transmission time is not modeled, consistent with
+//! the paper's observation that it acts as a pure delay.
+
+use crate::dist::{Dist, Sampler};
+use crate::error::Result;
+use crate::model::{ChainIdx, DeviceIdx, MemoryPolicy, ServicePolicy, SystemModel};
+use crate::stats::{TimeWeighted, Welford};
+use crate::trace::{Trace, TraceKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated time horizon.
+    pub horizon: f64,
+    /// Initial transient discarded from all statistics.
+    pub warmup: f64,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Dynamic memory accounting policy.
+    pub memory_policy: MemoryPolicy,
+    /// Service time policy.
+    pub service_policy: ServicePolicy,
+    /// Hard cap on processed events (guards against runaway models).
+    pub max_events: u64,
+    /// Number of batches for batch-means confidence intervals.
+    pub batches: usize,
+    /// Capacity of the event trace (0 = tracing disabled).
+    pub trace_capacity: usize,
+}
+
+impl SimConfig {
+    /// A configuration with the given horizon, 10% warm-up and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not finite and positive.
+    pub fn new(horizon: f64, seed: u64) -> Self {
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "horizon must be finite and positive"
+        );
+        Self {
+            horizon,
+            warmup: 0.1 * horizon,
+            seed,
+            memory_policy: MemoryPolicy::default(),
+            service_policy: ServicePolicy::default(),
+            max_events: 200_000_000,
+            batches: 20,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Override the warm-up period (builder-style).
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: f64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Override the service policy (builder-style).
+    #[must_use]
+    pub fn with_service_policy(mut self, policy: ServicePolicy) -> Self {
+        self.service_policy = policy;
+        self
+    }
+
+    /// Override the memory policy (builder-style).
+    #[must_use]
+    pub fn with_memory_policy(mut self, policy: MemoryPolicy) -> Self {
+        self.memory_policy = policy;
+        self
+    }
+
+    /// Enable event tracing with the given buffer capacity
+    /// (builder-style).
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::new(20_000.0, 0)
+    }
+}
+
+/// Per-chain steady-state estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChainStats {
+    /// External arrivals within the measurement window.
+    pub arrivals: u64,
+    /// Requests that completed the whole chain within the window.
+    pub completions: u64,
+    /// Requests dropped at some stage within the window.
+    pub losses: u64,
+    /// Estimated system throughput `X_i` (completions per unit time).
+    pub throughput: f64,
+    /// Mean end-to-end latency `L_i` of completed requests.
+    pub mean_latency: f64,
+    /// Loss probability `1 - X_i / λ_i`, clamped to `[0, 1]`.
+    pub loss_probability: f64,
+    /// Half-width of a 95% confidence interval on the throughput,
+    /// computed by the method of batch means over
+    /// [`SimConfig::batches`] equal sub-windows.
+    pub throughput_ci: f64,
+}
+
+/// Per-device steady-state estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Time-average number of jobs at the station (queue + in service).
+    pub mean_jobs: f64,
+    /// Fraction of the window the server was busy.
+    pub utilization: f64,
+    /// Jobs admitted within the window.
+    pub admitted: u64,
+    /// Jobs dropped at this station within the window.
+    pub drops: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Per-chain statistics, indexed like the model's chains.
+    pub chains: Vec<ChainStats>,
+    /// Per-device statistics, indexed like the model's devices.
+    pub devices: Vec<DeviceStats>,
+    /// Total throughput `X_total = Σ X_i`.
+    pub total_throughput: f64,
+    /// Total offered rate `λ_total = Σ λ_i`.
+    pub total_arrival_rate: f64,
+    /// Overall loss probability `(λ_total - X_total) / λ_total` (Eq. 18),
+    /// clamped to `[0, 1]`.
+    pub loss_probability: f64,
+    /// Length of the measurement window.
+    pub measured_time: f64,
+    /// Number of events processed.
+    pub events: u64,
+    /// Recorded event trace (empty unless [`SimConfig::trace_capacity`]
+    /// was set).
+    pub trace: Trace,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    ExternalArrival { chain: ChainIdx },
+    Departure { device: DeviceIdx, job: Job },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (time, seq): BinaryHeap is a max-heap, so reverse.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event time is NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Job {
+    chain: ChainIdx,
+    frag: usize,
+    system_arrival: f64,
+}
+
+#[derive(Debug)]
+struct Station {
+    queue: VecDeque<Job>,
+    /// Jobs currently being served (up to the device's server count).
+    busy: usize,
+    used_mem: f64,
+    jobs_signal: TimeWeighted,
+    busy_signal: TimeWeighted,
+    admitted: u64,
+    drops: u64,
+}
+
+impl Station {
+    fn job_count(&self) -> f64 {
+        (self.queue.len() + self.busy) as f64
+    }
+}
+
+/// The simulator. Holds no state between runs; construct once and reuse.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simulator;
+
+impl Simulator {
+    /// Create a simulator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Run a discrete-event simulation of `model` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an interarrival distribution cannot be built
+    /// from a chain's arrival rate.
+    pub fn run(&self, model: &SystemModel, config: &SimConfig) -> Result<SimResult> {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let num_devices = model.devices().len();
+        let num_chains = model.chains().len();
+
+        let interarrival: Vec<Dist> = model
+            .chains()
+            .iter()
+            .map(|c| match &c.interarrival {
+                Some(d) => Ok(*d),
+                None => Dist::exp_mean(1.0 / c.arrival_rate),
+            })
+            .collect::<Result<_>>()?;
+
+        let mut stations: Vec<Station> = (0..num_devices)
+            .map(|_| Station {
+                queue: VecDeque::new(),
+                busy: 0,
+                used_mem: 0.0,
+                jobs_signal: TimeWeighted::new(config.warmup, config.horizon, 0.0),
+                busy_signal: TimeWeighted::new(config.warmup, config.horizon, 0.0),
+                admitted: 0,
+                drops: 0,
+            })
+            .collect();
+
+        let mut events = EventQueue::new();
+        for (i, d) in interarrival.iter().enumerate() {
+            let t = d.sample(&mut rng);
+            events.schedule(t, EventKind::ExternalArrival { chain: i });
+        }
+
+        let mut arrivals = vec![0u64; num_chains];
+        let mut completions = vec![0u64; num_chains];
+        let mut losses = vec![0u64; num_chains];
+        let mut latency = vec![Welford::new(); num_chains];
+        let batches = config.batches.max(1);
+        let batch_len = (config.horizon - config.warmup).max(f64::EPSILON) / batches as f64;
+        let mut batch_completions = vec![vec![0u64; batches]; num_chains];
+        let mut trace = Trace::with_capacity(config.trace_capacity);
+        let mut processed: u64 = 0;
+
+        // Memory occupied by a queued job under the active policy.
+        let job_mem = |model: &SystemModel, job: &Job, policy: MemoryPolicy| -> f64 {
+            match policy {
+                MemoryPolicy::UnitPerJob => 1.0,
+                MemoryPolicy::DemandPerJob => model.chains()[job.chain].fragments[job.frag].mem,
+            }
+        };
+
+        while let Some(ev) = events.pop() {
+            if ev.time > config.horizon {
+                break;
+            }
+            processed += 1;
+            if processed > config.max_events {
+                break;
+            }
+            let now = ev.time;
+            let in_window = now >= config.warmup;
+
+            match ev.kind {
+                EventKind::ExternalArrival { chain } => {
+                    // Schedule the next arrival of this chain.
+                    let dt = interarrival[chain].sample(&mut rng);
+                    events.schedule(now + dt, EventKind::ExternalArrival { chain });
+                    if in_window {
+                        arrivals[chain] += 1;
+                    }
+                    trace.push(now, TraceKind::ExternalArrival { chain });
+                    let job = Job {
+                        chain,
+                        frag: 0,
+                        system_arrival: now,
+                    };
+                    Self::offer(
+                        model,
+                        config,
+                        &mut stations,
+                        &mut events,
+                        &mut rng,
+                        job,
+                        now,
+                        in_window,
+                        &mut losses,
+                        job_mem,
+                        &mut trace,
+                    );
+                }
+                EventKind::Departure { device, job } => {
+                    let servers = model.devices()[device].servers.max(1);
+                    let station = &mut stations[device];
+                    debug_assert!(station.busy > 0, "departure from idle station");
+                    station.busy -= 1;
+                    let mem = job_mem(model, &job, config.memory_policy);
+                    station.used_mem -= mem;
+                    station
+                        .busy_signal
+                        .update(now, station.busy as f64 / servers as f64);
+                    station.jobs_signal.update(now, station.job_count());
+                    trace.push(
+                        now,
+                        TraceKind::Departure {
+                            chain: job.chain,
+                            frag: job.frag,
+                            device,
+                        },
+                    );
+
+                    let chain_len = model.chains()[job.chain].len();
+                    // Early-exit extension: the request may complete here
+                    // instead of continuing down the chain.
+                    let exit_p = model.chains()[job.chain].exit_probability(job.frag);
+                    let exits_early =
+                        job.frag + 1 < chain_len && exit_p > 0.0 && rng.gen::<f64>() < exit_p;
+                    if job.frag + 1 == chain_len || exits_early {
+                        trace.push(now, TraceKind::Completion { chain: job.chain });
+                        if in_window {
+                            completions[job.chain] += 1;
+                            latency[job.chain].push(now - job.system_arrival);
+                            let b = (((now - config.warmup) / batch_len) as usize).min(batches - 1);
+                            batch_completions[job.chain][b] += 1;
+                        }
+                    } else {
+                        // Link-unreliability extension: the transfer to
+                        // the next device may fail and lose the request.
+                        let success = model.chains()[job.chain].hop_success(job.frag);
+                        if success >= 1.0 || rng.gen::<f64>() < success {
+                            let next = Job {
+                                chain: job.chain,
+                                frag: job.frag + 1,
+                                system_arrival: job.system_arrival,
+                            };
+                            Self::offer(
+                                model,
+                                config,
+                                &mut stations,
+                                &mut events,
+                                &mut rng,
+                                next,
+                                now,
+                                in_window,
+                                &mut losses,
+                                job_mem,
+                                &mut trace,
+                            );
+                        } else {
+                            trace.push(
+                                now,
+                                TraceKind::LinkFailure {
+                                    chain: job.chain,
+                                    hop: job.frag,
+                                },
+                            );
+                            if in_window {
+                                losses[job.chain] += 1;
+                            }
+                        }
+                    }
+                    // Start the next queued job, if any.
+                    Self::start_service(
+                        model,
+                        config,
+                        &mut stations,
+                        &mut events,
+                        &mut rng,
+                        device,
+                        now,
+                        &mut trace,
+                    );
+                }
+            }
+        }
+
+        let window = (config.horizon - config.warmup).max(f64::EPSILON);
+        let chains: Vec<ChainStats> = (0..num_chains)
+            .map(|i| {
+                let x = completions[i] as f64 / window;
+                let lam = model.chains()[i].arrival_rate;
+                // Batch-means 95% CI on the throughput.
+                let mut w = Welford::new();
+                for &c in &batch_completions[i] {
+                    w.push(c as f64 / batch_len);
+                }
+                let ci = if w.count() >= 2 {
+                    1.96 * w.std_dev() / (w.count() as f64).sqrt()
+                } else {
+                    0.0
+                };
+                ChainStats {
+                    arrivals: arrivals[i],
+                    completions: completions[i],
+                    losses: losses[i],
+                    throughput: x,
+                    mean_latency: latency[i].mean(),
+                    loss_probability: (1.0 - x / lam).clamp(0.0, 1.0),
+                    throughput_ci: ci,
+                }
+            })
+            .collect();
+        let devices: Vec<DeviceStats> = stations
+            .iter()
+            .map(|s| DeviceStats {
+                mean_jobs: s.jobs_signal.average(),
+                utilization: s.busy_signal.average(),
+                admitted: s.admitted,
+                drops: s.drops,
+            })
+            .collect();
+        let x_total: f64 = chains.iter().map(|c| c.throughput).sum();
+        let lam_total = model.total_arrival_rate();
+        Ok(SimResult {
+            chains,
+            devices,
+            total_throughput: x_total,
+            total_arrival_rate: lam_total,
+            loss_probability: ((lam_total - x_total) / lam_total).clamp(0.0, 1.0),
+            measured_time: window,
+            events: processed,
+            trace,
+        })
+    }
+
+    /// Offer a job to the station executing its fragment; drop on overflow.
+    #[allow(clippy::too_many_arguments)]
+    fn offer(
+        model: &SystemModel,
+        config: &SimConfig,
+        stations: &mut [Station],
+        events: &mut EventQueue,
+        rng: &mut SmallRng,
+        job: Job,
+        now: f64,
+        in_window: bool,
+        losses: &mut [u64],
+        job_mem: impl Fn(&SystemModel, &Job, MemoryPolicy) -> f64,
+        trace: &mut Trace,
+    ) {
+        let device = model.placement().device_of(job.chain, job.frag);
+        let mem = job_mem(model, &job, config.memory_policy);
+        let station = &mut stations[device];
+        let capacity = model.devices()[device].memory;
+        if station.used_mem + mem > capacity + 1e-12 {
+            station.drops += 1;
+            trace.push(
+                now,
+                TraceKind::Drop {
+                    chain: job.chain,
+                    frag: job.frag,
+                    device,
+                },
+            );
+            if in_window {
+                losses[job.chain] += 1;
+            }
+            return;
+        }
+        station.used_mem += mem;
+        if in_window {
+            station.admitted += 1;
+        }
+        trace.push(
+            now,
+            TraceKind::Admit {
+                chain: job.chain,
+                frag: job.frag,
+                device,
+            },
+        );
+        station.queue.push_back(job);
+        station.jobs_signal.update(now, station.job_count());
+        Self::start_service(model, config, stations, events, rng, device, now, trace);
+    }
+
+    /// If the station is idle and has queued work, begin serving.
+    #[allow(clippy::too_many_arguments)]
+    fn start_service(
+        model: &SystemModel,
+        config: &SimConfig,
+        stations: &mut [Station],
+        events: &mut EventQueue,
+        rng: &mut SmallRng,
+        device: DeviceIdx,
+        now: f64,
+        trace: &mut Trace,
+    ) {
+        let servers = model.devices()[device].servers.max(1);
+        let station = &mut stations[device];
+        while station.busy < servers {
+            let Some(job) = station.queue.pop_front() else {
+                return;
+            };
+            let mean = model.processing_time(job.chain, job.frag);
+            let service = match config.service_policy {
+                ServicePolicy::Deterministic => mean,
+                ServicePolicy::Exponential => {
+                    let u: f64 = rng.gen();
+                    -(1.0 - u).ln() * mean
+                }
+            };
+            station.busy += 1;
+            station
+                .busy_signal
+                .update(now, station.busy as f64 / servers as f64);
+            trace.push(
+                now,
+                TraceKind::StartService {
+                    chain: job.chain,
+                    frag: job.frag,
+                    device,
+                },
+            );
+            events.schedule(now + service, EventKind::Departure { device, job });
+        }
+    }
+}
+
+/// A deterministic min-heap of events: ties in time break by insertion
+/// order so equal-seed runs are bit-identical.
+#[derive(Debug, Default)]
+struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn schedule(&mut self, time: f64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic;
+    use crate::model::{Device, Fragment, Placement, ServiceChain};
+
+    fn single_station(lambda: f64, mu: f64, buffer: f64) -> SystemModel {
+        let devices = vec![Device::new(buffer, mu).unwrap()];
+        let chains =
+            vec![ServiceChain::new(lambda, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap()
+    }
+
+    #[test]
+    fn mm1k_loss_probability_matches_closed_form() {
+        // M/M/1/K with lambda=0.9, mu=1.0, K=5 jobs.
+        let model = single_station(0.9, 1.0, 5.0);
+        let cfg = SimConfig::new(200_000.0, 42);
+        let res = Simulator::new().run(&model, &cfg).unwrap();
+        let exact = analytic::mm1k_loss_probability(0.9, 1.0, 5);
+        assert!(
+            (res.chains[0].loss_probability - exact).abs() < 0.01,
+            "sim {} vs exact {}",
+            res.chains[0].loss_probability,
+            exact
+        );
+    }
+
+    #[test]
+    fn mm1k_mean_jobs_matches_closed_form() {
+        let model = single_station(0.8, 1.0, 4.0);
+        let cfg = SimConfig::new(200_000.0, 7);
+        let res = Simulator::new().run(&model, &cfg).unwrap();
+        let exact = analytic::mm1k_mean_jobs(0.8, 1.0, 4);
+        assert!(
+            (res.devices[0].mean_jobs - exact).abs() < 0.05,
+            "sim {} vs exact {}",
+            res.devices[0].mean_jobs,
+            exact
+        );
+    }
+
+    #[test]
+    fn throughput_never_exceeds_arrival_rate() {
+        let model = single_station(2.0, 1.0, 3.0);
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(50_000.0, 3))
+            .unwrap();
+        assert!(res.chains[0].throughput <= 2.0 + 0.05);
+        assert!(res.loss_probability > 0.3); // heavily overloaded
+    }
+
+    #[test]
+    fn underloaded_system_has_negligible_loss() {
+        let model = single_station(0.1, 1.0, 50.0);
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(100_000.0, 5))
+            .unwrap();
+        assert!(res.loss_probability < 0.01, "{}", res.loss_probability);
+        assert!((res.chains[0].throughput - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn littles_law_holds_for_station() {
+        // L = lambda_eff * W at the station level (M/M/1/K).
+        let model = single_station(0.7, 1.0, 6.0);
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(200_000.0, 11))
+            .unwrap();
+        let l = res.devices[0].mean_jobs;
+        let x = res.chains[0].throughput;
+        let w = res.chains[0].mean_latency;
+        assert!((l - x * w).abs() / l < 0.05, "L={l}, X*W={}", x * w);
+    }
+
+    #[test]
+    fn tandem_throughput_decreases_downstream() {
+        // Two stations in series; second is a bottleneck with tiny buffer.
+        let devices = vec![
+            Device::new(50.0, 2.0).unwrap(),
+            Device::new(2.0, 0.5).unwrap(),
+        ];
+        let chains = vec![ServiceChain::new(
+            1.0,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()];
+        let model = SystemModel::new(devices, chains, Placement::new(vec![vec![0, 1]])).unwrap();
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(100_000.0, 2))
+            .unwrap();
+        // End-to-end throughput limited by the second station's rate 0.5.
+        assert!(res.chains[0].throughput < 0.55);
+        assert!(res.devices[1].drops > 0);
+    }
+
+    #[test]
+    fn deterministic_seeding_is_reproducible() {
+        let model = single_station(0.9, 1.0, 5.0);
+        let cfg = SimConfig::new(5_000.0, 99);
+        let a = Simulator::new().run(&model, &cfg).unwrap();
+        let b = Simulator::new().run(&model, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let model = single_station(0.9, 1.0, 5.0);
+        let a = Simulator::new()
+            .run(&model, &SimConfig::new(5_000.0, 1))
+            .unwrap();
+        let b = Simulator::new()
+            .run(&model, &SimConfig::new(5_000.0, 2))
+            .unwrap();
+        assert_ne!(a.chains[0].completions, b.chains[0].completions);
+    }
+
+    #[test]
+    fn shared_device_serves_multiple_chains() {
+        let devices = vec![Device::new(20.0, 2.0).unwrap()];
+        let chains = vec![
+            ServiceChain::new(0.4, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap(),
+            ServiceChain::new(0.4, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap(),
+        ];
+        let model =
+            SystemModel::new(devices, chains, Placement::new(vec![vec![0], vec![0]])).unwrap();
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(100_000.0, 4))
+            .unwrap();
+        assert!((res.chains[0].throughput - 0.4).abs() < 0.02);
+        assert!((res.chains[1].throughput - 0.4).abs() < 0.02);
+        // Utilization ~ (0.4 + 0.4) * (1/2) = 0.4.
+        assert!((res.devices[0].utilization - 0.4).abs() < 0.03);
+    }
+
+    #[test]
+    fn memory_demand_policy_drops_more_with_big_jobs() {
+        let devices = vec![Device::new(4.0, 1.0).unwrap()];
+        let chains = vec![ServiceChain::new(1.5, vec![Fragment::new(2.0, 1.0).unwrap()]).unwrap()];
+        let model = SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap();
+        let unit = Simulator::new()
+            .run(&model, &SimConfig::new(50_000.0, 8))
+            .unwrap();
+        let demand = Simulator::new()
+            .run(
+                &model,
+                &SimConfig::new(50_000.0, 8).with_memory_policy(MemoryPolicy::DemandPerJob),
+            )
+            .unwrap();
+        // Under DemandPerJob each job takes 2 units: buffer of 2 jobs vs 4.
+        assert!(demand.loss_probability > unit.loss_probability);
+    }
+
+    #[test]
+    fn deterministic_service_has_less_loss_than_exponential() {
+        let model = single_station(0.9, 1.0, 3.0);
+        let exp = Simulator::new()
+            .run(&model, &SimConfig::new(100_000.0, 13))
+            .unwrap();
+        let det = Simulator::new()
+            .run(
+                &model,
+                &SimConfig::new(100_000.0, 13).with_service_policy(ServicePolicy::Deterministic),
+            )
+            .unwrap();
+        assert!(det.loss_probability < exp.loss_probability);
+    }
+
+    #[test]
+    fn latency_includes_queueing() {
+        // Heavily loaded: latency should exceed the bare service time.
+        let model = single_station(0.9, 1.0, 10.0);
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(100_000.0, 17))
+            .unwrap();
+        assert!(res.chains[0].mean_latency > 1.5);
+    }
+
+    #[test]
+    fn unreliable_links_lose_requests() {
+        let devices = vec![
+            Device::new(50.0, 2.0).unwrap(),
+            Device::new(50.0, 2.0).unwrap(),
+        ];
+        let chain = ServiceChain::new(
+            0.5,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()
+        .with_hop_reliability(vec![0.5]);
+        let model =
+            SystemModel::new(devices, vec![chain], Placement::new(vec![vec![0, 1]])).unwrap();
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(100_000.0, 21))
+            .unwrap();
+        // Half the transfers fail: throughput ~ 0.25, loss ~ 0.5.
+        assert!(
+            (res.chains[0].throughput - 0.25).abs() < 0.02,
+            "{}",
+            res.chains[0].throughput
+        );
+        assert!((res.loss_probability - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn perfect_links_match_base_model() {
+        let devices = vec![
+            Device::new(50.0, 2.0).unwrap(),
+            Device::new(50.0, 2.0).unwrap(),
+        ];
+        let base = ServiceChain::new(
+            0.5,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let reliable = base.clone().with_hop_reliability(vec![1.0]);
+        let cfg = SimConfig::new(20_000.0, 33);
+        let m1 = SystemModel::new(
+            devices.clone(),
+            vec![base],
+            Placement::new(vec![vec![0, 1]]),
+        )
+        .unwrap();
+        let m2 =
+            SystemModel::new(devices, vec![reliable], Placement::new(vec![vec![0, 1]])).unwrap();
+        let a = Simulator::new().run(&m1, &cfg).unwrap();
+        let b = Simulator::new().run(&m2, &cfg).unwrap();
+        // hop_success >= 1.0 short-circuits before consuming randomness,
+        // so the runs are bit-identical.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one success probability per hop")]
+    fn hop_reliability_length_is_validated() {
+        let _ = ServiceChain::new(
+            0.5,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()
+        .with_hop_reliability(vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn throughput_ci_shrinks_with_horizon() {
+        let model = single_station(0.8, 1.0, 10.0);
+        let short = Simulator::new()
+            .run(&model, &SimConfig::new(2_000.0, 3))
+            .unwrap();
+        let long = Simulator::new()
+            .run(&model, &SimConfig::new(80_000.0, 3))
+            .unwrap();
+        assert!(long.chains[0].throughput_ci < short.chains[0].throughput_ci);
+        assert!(long.chains[0].throughput_ci > 0.0);
+    }
+
+    #[test]
+    fn throughput_ci_covers_true_rate_in_easy_case() {
+        // Underloaded M/M/1 with huge buffer: X ~= lambda; the CI should
+        // bracket the offered rate.
+        let model = single_station(0.3, 1.0, 100.0);
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(50_000.0, 9))
+            .unwrap();
+        let c = &res.chains[0];
+        assert!(
+            (c.throughput - 0.3).abs() <= c.throughput_ci * 2.0 + 0.005,
+            "X={} ci={}",
+            c.throughput,
+            c.throughput_ci
+        );
+    }
+
+    #[test]
+    fn multi_server_station_matches_mmck() {
+        // M/M/2/6 at lambda=1.5, mu=1 per server.
+        let devices = vec![Device::new(6.0, 1.0).unwrap().with_servers(2)];
+        let chains = vec![ServiceChain::new(1.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        let model = SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap();
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(200_000.0, 6))
+            .unwrap();
+        let exact = analytic::mmck_loss_probability(1.5, 1.0, 2, 6);
+        assert!(
+            (res.chains[0].loss_probability - exact).abs() < 0.01,
+            "sim {} vs exact {}",
+            res.chains[0].loss_probability,
+            exact
+        );
+        let exact_l = analytic::mmck_mean_jobs(1.5, 1.0, 2, 6);
+        assert!(
+            (res.devices[0].mean_jobs - exact_l).abs() < 0.08,
+            "sim {} vs exact {}",
+            res.devices[0].mean_jobs,
+            exact_l
+        );
+    }
+
+    #[test]
+    fn extra_servers_increase_throughput_under_overload() {
+        let build = |servers: usize| {
+            let devices = vec![Device::new(10.0, 1.0).unwrap().with_servers(servers)];
+            let chains =
+                vec![ServiceChain::new(2.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+            SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap()
+        };
+        let cfg = SimConfig::new(50_000.0, 7);
+        let one = Simulator::new().run(&build(1), &cfg).unwrap();
+        let three = Simulator::new().run(&build(3), &cfg).unwrap();
+        assert!(three.chains[0].throughput > one.chains[0].throughput + 0.5);
+    }
+
+    #[test]
+    fn early_exit_raises_throughput_of_congested_tail() {
+        // Second stage is a severe bottleneck; exiting early after the
+        // first fragment bypasses it.
+        let devices = vec![
+            Device::new(50.0, 2.0).unwrap(),
+            Device::new(3.0, 0.2).unwrap(),
+        ];
+        let base = ServiceChain::new(
+            1.0,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let exiting = base.clone().with_early_exit(vec![0.8]);
+        let cfg = SimConfig::new(50_000.0, 14);
+        let strict = SystemModel::new(
+            devices.clone(),
+            vec![base],
+            Placement::new(vec![vec![0, 1]]),
+        )
+        .unwrap();
+        let early =
+            SystemModel::new(devices, vec![exiting], Placement::new(vec![vec![0, 1]])).unwrap();
+        let rs = Simulator::new().run(&strict, &cfg).unwrap();
+        let re = Simulator::new().run(&early, &cfg).unwrap();
+        assert!(
+            re.chains[0].throughput > rs.chains[0].throughput + 0.3,
+            "early {} vs strict {}",
+            re.chains[0].throughput,
+            rs.chains[0].throughput
+        );
+    }
+
+    #[test]
+    fn zero_exit_probability_matches_strict_execution() {
+        let devices = vec![
+            Device::new(20.0, 1.0).unwrap(),
+            Device::new(20.0, 1.0).unwrap(),
+        ];
+        let base = ServiceChain::new(
+            0.5,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let with_zero = base.clone().with_early_exit(vec![0.0]);
+        let cfg = SimConfig::new(5_000.0, 15);
+        let a = Simulator::new()
+            .run(
+                &SystemModel::new(
+                    devices.clone(),
+                    vec![base],
+                    Placement::new(vec![vec![0, 1]]),
+                )
+                .unwrap(),
+                &cfg,
+            )
+            .unwrap();
+        let b = Simulator::new()
+            .run(
+                &SystemModel::new(devices, vec![with_zero], Placement::new(vec![vec![0, 1]]))
+                    .unwrap(),
+                &cfg,
+            )
+            .unwrap();
+        assert_eq!(a.chains[0].completions, b.chains[0].completions);
+    }
+
+    #[test]
+    #[should_panic(expected = "exit probability per non-final fragment")]
+    fn early_exit_length_is_validated() {
+        let _ = ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()])
+            .unwrap()
+            .with_early_exit(vec![0.5]);
+    }
+
+    #[test]
+    fn trace_records_lifecycle_in_order() {
+        use crate::trace::TraceKind;
+        let model = single_station(0.5, 1.0, 10.0);
+        let cfg = SimConfig::new(50.0, 2).with_trace_capacity(10_000);
+        let res = Simulator::new().run(&model, &cfg).unwrap();
+        let events = res.trace.events();
+        assert!(!events.is_empty());
+        // Time-ordered.
+        for w in events.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        // Every completion was preceded by an arrival; counts consistent.
+        let arrivals = res
+            .trace
+            .count_matching(|k| matches!(k, TraceKind::ExternalArrival { .. }));
+        let completions = res
+            .trace
+            .count_matching(|k| matches!(k, TraceKind::Completion { .. }));
+        let drops = res
+            .trace
+            .count_matching(|k| matches!(k, TraceKind::Drop { .. }));
+        assert!(completions + drops <= arrivals + 1);
+        // Admits equal service starts for a single-fragment chain that
+        // drains completely.
+        let admits = res
+            .trace
+            .count_matching(|k| matches!(k, TraceKind::Admit { .. }));
+        let starts = res
+            .trace
+            .count_matching(|k| matches!(k, TraceKind::StartService { .. }));
+        assert!(starts <= admits);
+    }
+
+    #[test]
+    fn tracing_disabled_by_default_and_costless() {
+        let model = single_station(0.5, 1.0, 10.0);
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(100.0, 2))
+            .unwrap();
+        assert!(res.trace.events().is_empty());
+    }
+
+    #[test]
+    fn trace_capacity_is_respected() {
+        let model = single_station(2.0, 1.0, 5.0);
+        let cfg = SimConfig::new(500.0, 2).with_trace_capacity(50);
+        let res = Simulator::new().run(&model, &cfg).unwrap();
+        assert_eq!(res.trace.events().len(), 50);
+        assert!(res.trace.is_truncated());
+    }
+
+    #[test]
+    fn event_cap_stops_simulation() {
+        let model = single_station(1.0, 1.0, 10.0);
+        let mut cfg = SimConfig::new(1_000_000.0, 1);
+        cfg.max_events = 1000;
+        let res = Simulator::new().run(&model, &cfg).unwrap();
+        assert!(res.events <= 1001);
+    }
+}

@@ -1,0 +1,241 @@
+//! Small statistics helpers shared by the simulator and the harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_qsim::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.0);
+/// assert_eq!(w.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let nf = n as f64;
+        self.mean += delta * other.n as f64 / nf;
+        self.m2 += other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / nf;
+        self.n = n;
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, restricted to a
+/// measurement window `[warmup, horizon]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    warmup: f64,
+    horizon: f64,
+    last_t: f64,
+    value: f64,
+    area: f64,
+}
+
+impl TimeWeighted {
+    /// Create an accumulator for the window `[warmup, horizon]` with
+    /// initial signal value `initial`.
+    pub fn new(warmup: f64, horizon: f64, initial: f64) -> Self {
+        Self {
+            warmup,
+            horizon,
+            last_t: 0.0,
+            value: initial,
+            area: 0.0,
+        }
+    }
+
+    /// Record that the signal changes to `value` at time `t`.
+    pub fn update(&mut self, t: f64, value: f64) {
+        let t0 = self.last_t.max(self.warmup);
+        let t1 = t.min(self.horizon);
+        if t1 > t0 {
+            self.area += self.value * (t1 - t0);
+        }
+        self.last_t = t;
+        self.value = value;
+    }
+
+    /// Close the window and return the time average over it.
+    pub fn average(&self) -> f64 {
+        let span = self.horizon - self.warmup;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        // Extend the last value to the horizon.
+        let t0 = self.last_t.max(self.warmup);
+        let tail = if self.horizon > t0 {
+            self.value * (self.horizon - t0)
+        } else {
+            0.0
+        };
+        (self.area + tail) / span
+    }
+}
+
+/// The `q`-quantile (0 <= q <= 1) of a sample, using linear interpolation
+/// between order statistics. Returns `None` for an empty sample.
+///
+/// # Examples
+///
+/// ```
+/// use chainnet_qsim::stats::percentile;
+///
+/// let xs = vec![4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&xs, 0.5), Some(2.5));
+/// assert_eq!(percentile(&xs, 1.0), Some(4.0));
+/// ```
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic sample is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..40] {
+            a.push(x);
+        }
+        for &x in &xs[40..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn time_weighted_simple_window() {
+        // Signal: 0 on [0,1), 2 on [1,3), 4 on [3,4]; window [0,4].
+        let mut tw = TimeWeighted::new(0.0, 4.0, 0.0);
+        tw.update(1.0, 2.0);
+        tw.update(3.0, 4.0);
+        // average = (0*1 + 2*2 + 4*1) / 4 = 2.
+        assert!((tw.average() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_ignores_warmup() {
+        // Same signal, window [2,4]: average = (2*1 + 4*1)/2 = 3.
+        let mut tw = TimeWeighted::new(2.0, 4.0, 0.0);
+        tw.update(1.0, 2.0);
+        tw.update(3.0, 4.0);
+        assert!((tw.average() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let xs = vec![10.0, 20.0, 30.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 1.0), Some(30.0));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&xs, 1.5), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = vec![0.0, 10.0];
+        assert_eq!(percentile(&xs, 0.25), Some(2.5));
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.count(), 0);
+    }
+}

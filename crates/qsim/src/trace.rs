@@ -1,0 +1,169 @@
+//! Event tracing: an optional, bounded log of everything the simulator
+//! does, for debugging models and validating the engine's semantics.
+//!
+//! Tracing is off by default (capacity 0) and has negligible overhead
+//! when disabled. With a capacity set, the simulator records up to that
+//! many events in time order and stops recording (but keeps simulating)
+//! once full.
+
+use crate::model::{ChainIdx, DeviceIdx, FragIdx};
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TraceKind {
+    /// A chain request entered the system.
+    ExternalArrival {
+        /// The chain.
+        chain: ChainIdx,
+    },
+    /// A job was admitted to a device's buffer.
+    Admit {
+        /// The chain.
+        chain: ChainIdx,
+        /// The fragment stage.
+        frag: FragIdx,
+        /// The device.
+        device: DeviceIdx,
+    },
+    /// A job was dropped because the device's memory was exhausted.
+    Drop {
+        /// The chain.
+        chain: ChainIdx,
+        /// The fragment stage.
+        frag: FragIdx,
+        /// The device.
+        device: DeviceIdx,
+    },
+    /// A job began service.
+    StartService {
+        /// The chain.
+        chain: ChainIdx,
+        /// The fragment stage.
+        frag: FragIdx,
+        /// The device.
+        device: DeviceIdx,
+    },
+    /// A job finished service at a device.
+    Departure {
+        /// The chain.
+        chain: ChainIdx,
+        /// The fragment stage.
+        frag: FragIdx,
+        /// The device.
+        device: DeviceIdx,
+    },
+    /// A request was lost to a failed inter-device link (the
+    /// hop-reliability extension).
+    LinkFailure {
+        /// The chain.
+        chain: ChainIdx,
+        /// The hop index (fragment it departed from).
+        hop: FragIdx,
+    },
+    /// A request completed its whole chain.
+    Completion {
+        /// The chain.
+        chain: ChainIdx,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+/// A bounded trace buffer. Capacity 0 disables recording.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    truncated: bool,
+}
+
+impl Trace {
+    /// A buffer that records up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity,
+            truncated: false,
+        }
+    }
+
+    /// A disabled buffer.
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record an event (no-op when disabled or full).
+    #[inline]
+    pub fn push(&mut self, time: f64, kind: TraceKind) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { time, kind });
+        } else if self.capacity > 0 {
+            self.truncated = true;
+        }
+    }
+
+    /// The recorded events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Whether events were dropped because the buffer filled up.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Count events matching a predicate.
+    pub fn count_matching(&self, f: impl Fn(&TraceKind) -> bool) -> usize {
+        self.events.iter().filter(|e| f(&e.kind)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(1.0, TraceKind::ExternalArrival { chain: 0 });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+        assert!(!t.is_truncated());
+    }
+
+    #[test]
+    fn bounded_trace_truncates() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.push(i as f64, TraceKind::Completion { chain: 0 });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(t.is_truncated());
+    }
+
+    #[test]
+    fn count_matching_filters() {
+        let mut t = Trace::with_capacity(10);
+        t.push(0.0, TraceKind::ExternalArrival { chain: 0 });
+        t.push(1.0, TraceKind::Completion { chain: 0 });
+        t.push(2.0, TraceKind::Completion { chain: 1 });
+        assert_eq!(
+            t.count_matching(|k| matches!(k, TraceKind::Completion { .. })),
+            2
+        );
+    }
+}

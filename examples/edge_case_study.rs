@@ -1,0 +1,62 @@
+//! The Section VIII-D scenario as an example: eight partitioned DNNs
+//! (two each of VGG16, VGG19, a 28-layer CNN and an intrusion-detection
+//! CNN) deployed on five single-board computers, optimized with a
+//! simulation-driven annealing search.
+//!
+//! Run with `cargo run --release --example edge_case_study`.
+
+use chainnet_suite::datagen::case_study::{
+    case_study_dnns, case_study_problem, CASE_STUDY_DEVICES,
+};
+use chainnet_suite::placement::evaluator::{loss_probability, SimEvaluator};
+use chainnet_suite::placement::sa::{SaConfig, SimulatedAnnealing};
+use chainnet_suite::qsim::sim::SimConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("devices:");
+    for d in CASE_STUDY_DEVICES {
+        println!(
+            "  {:<22} {:>5} MB RAM, {:.3} GFLOP/s",
+            d.name, d.ram_mb, d.gflops
+        );
+    }
+    println!("\nservices (two instances each):");
+    for dnn in case_study_dnns() {
+        println!(
+            "  {:<34} {} fragments, mean interarrival {:.1}s",
+            dnn.name,
+            dnn.fragments.len(),
+            dnn.mean_interarrival
+        );
+    }
+
+    let problem = case_study_problem()?;
+    let initial = problem.initial_placement()?;
+    let lam = problem.total_arrival_rate();
+
+    let mut evaluator = SimEvaluator::new(SimConfig::new(500.0, 11));
+    let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(60));
+    let result = sa.optimize(&problem, &initial, &mut evaluator, 3);
+
+    println!(
+        "\ninitial loss probability:   {:.3}",
+        loss_probability(lam, result.initial_objective)
+    );
+    println!(
+        "optimized loss probability: {:.3} ({} evaluations, {:.1}s)",
+        loss_probability(lam, result.best_objective),
+        result.evaluations,
+        result.elapsed_secs
+    );
+    println!("\noptimized placement (chain -> device route):");
+    for i in 0..problem.num_chains() {
+        let route: Vec<String> = result
+            .best_placement
+            .chain_route(i)
+            .iter()
+            .map(|&k| CASE_STUDY_DEVICES[k].name.to_string())
+            .collect();
+        println!("  chain {i}: {}", route.join(" -> "));
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: model a small edge AI deployment, simulate its ground
+//! truth, and compare it with an (untrained) ChainNet prediction.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use chainnet_suite::core::config::ModelConfig;
+use chainnet_suite::core::graph::PlacementGraph;
+use chainnet_suite::core::model::{ChainNet, Surrogate};
+use chainnet_suite::qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+use chainnet_suite::qsim::sim::{SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three edge devices: one fast hub and two constrained sensors.
+    let devices = vec![
+        Device::new(30.0, 2.0)?, // memory capacity 30, service rate 2
+        Device::new(10.0, 1.0)?,
+        Device::new(10.0, 0.8)?,
+    ];
+
+    // Two AI services, each a chain of DNN fragments. Chain 0 is an image
+    // pipeline split into three fragments; chain 1 a two-stage detector.
+    let chains = vec![
+        ServiceChain::new(
+            0.6,
+            vec![
+                Fragment::new(1.0, 1.0)?, // memory demand, compute demand
+                Fragment::new(1.0, 0.8)?,
+                Fragment::new(1.0, 0.5)?,
+            ],
+        )?,
+        ServiceChain::new(
+            0.4,
+            vec![Fragment::new(1.0, 0.7)?, Fragment::new(1.0, 1.2)?],
+        )?,
+    ];
+
+    // A placement decision: which device runs each fragment.
+    let placement = Placement::new(vec![vec![0, 1, 2], vec![0, 2]]);
+    let system = SystemModel::new(devices, chains, placement)?;
+    println!(
+        "placement feasible (Eq. 2 memory constraint): {}",
+        system.memory_feasible()
+    );
+
+    // Ground truth from the finite-buffer queueing simulator.
+    let result = Simulator::new().run(&system, &SimConfig::new(20_000.0, 42))?;
+    for (i, c) in result.chains.iter().enumerate() {
+        println!(
+            "chain {i}: throughput {:.3} (offered {:.1}), latency {:.2}, loss {:.1}%",
+            c.throughput,
+            system.chains()[i].arrival_rate,
+            c.mean_latency,
+            100.0 * c.loss_probability
+        );
+    }
+    println!(
+        "system: X_total {:.3}, loss probability {:.1}%",
+        result.total_throughput,
+        100.0 * result.loss_probability
+    );
+
+    // The same placement as a heterogeneous graph (Algorithm 1)...
+    let cfg = ModelConfig::paper_chainnet();
+    let graph = PlacementGraph::from_model(&system, cfg.feature_mode);
+    println!(
+        "graph: {} nodes ({} chains, {} fragments, {} devices), {} edges",
+        graph.num_nodes(),
+        graph.num_chains(),
+        graph.num_fragments(),
+        graph.num_devices(),
+        graph.num_edges()
+    );
+
+    // ...evaluated by ChainNet. Untrained weights — the point here is the
+    // API shape; see the `surrogate_training` example for a trained model.
+    let net = ChainNet::new(cfg, 0);
+    for (i, p) in net.predict(&graph).iter().enumerate() {
+        println!(
+            "chain {i}: ChainNet (untrained) predicts X={:.3}, L={:.2}",
+            p.throughput, p.latency
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Train a ChainNet surrogate end to end on simulator-labeled data and
+//! report its test accuracy — a miniature of the paper's Section VIII-B.
+//!
+//! Run with `cargo run --release --example surrogate_training`.
+
+use chainnet_suite::core::config::{ModelConfig, TrainConfig};
+use chainnet_suite::core::model::ChainNet;
+use chainnet_suite::core::train::Trainer;
+use chainnet_suite::datagen::dataset::{generate_raw_dataset, to_labeled, DatasetConfig};
+use chainnet_suite::datagen::typesets::NetworkParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate a small Type I dataset (Table III parameters).
+    println!("simulating training data...");
+    let train_raw = generate_raw_dataset(
+        NetworkParams::type_i(),
+        &DatasetConfig::new(120, 1).with_horizon(1_000.0),
+    )?;
+    let test_raw = generate_raw_dataset(
+        NetworkParams::type_i(),
+        &DatasetConfig::new(40, 99_999).with_horizon(1_000.0),
+    )?;
+
+    // 2. Build a compact ChainNet (paper architecture, reduced width).
+    let mut cfg = ModelConfig::paper_chainnet();
+    cfg.hidden = 24;
+    cfg.iterations = 4;
+    let mut model = ChainNet::new(cfg, 7);
+
+    // 3. Train with the Eq. 13 joint MSE loss.
+    let train = to_labeled(&train_raw, cfg.feature_mode);
+    let test = to_labeled(&test_raw, cfg.feature_mode);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 25,
+        batch_size: 16,
+        learning_rate: 2e-3,
+        lr_decay: 0.9,
+        lr_decay_period: 10,
+        seed: 0,
+    });
+    let report = trainer.train(&mut model, &train, Some(&test));
+    for e in report.history.iter().step_by(5) {
+        println!(
+            "epoch {:>3}: train loss {:.4}, test loss {:.4}",
+            e.epoch,
+            e.train_loss,
+            e.val_loss.unwrap_or(f64::NAN)
+        );
+    }
+
+    // 4. Report APE statistics on held-out graphs.
+    let apes = trainer.evaluate_ape(&model, &test);
+    let (tput, lat) = apes.summaries();
+    let (tput, lat) = (tput.expect("nonempty"), lat.expect("nonempty"));
+    println!(
+        "\nthroughput APE: MAPE {:.3}, p75 {:.3}, p95 {:.3}",
+        tput.mape, tput.p75, tput.p95
+    );
+    println!(
+        "latency    APE: MAPE {:.3}, p75 {:.3}, p95 {:.3}",
+        lat.mape, lat.p75, lat.p95
+    );
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! The `chainnet` command-line tool: simulate, generate datasets, train,
+//! predict and optimize from JSON files. See `chainnet-cli --help`.
+
+use chainnet_suite::cli::{parse_args, run, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|inv| run(&inv)) {
+        Ok(output) => println!("{output}"),
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

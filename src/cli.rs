@@ -1,0 +1,662 @@
+//! Command-line interface logic for the `chainnet` binary.
+//!
+//! The CLI wires the workspace crates into five file-oriented commands so
+//! the system can be driven without writing Rust:
+//!
+//! * `simulate`    — run the queueing simulator on a system JSON;
+//! * `gen-dataset` — simulate a labeled dataset (Table III generators);
+//! * `train`       — train a ChainNet surrogate on a dataset;
+//! * `predict`     — predict per-chain performance of a system JSON;
+//! * `optimize`    — SA search over a placement problem, GNN- or
+//!   simulation-evaluated.
+//!
+//! All inputs and outputs are the same serde JSON shapes used by the
+//! library, so artifacts interoperate with the experiment harness.
+
+use chainnet::config::{ModelConfig, TrainConfig};
+use chainnet::graph::PlacementGraph;
+use chainnet::model::{ChainNet, Surrogate};
+use chainnet::train::Trainer;
+use chainnet_datagen::dataset::{generate_raw_dataset, to_labeled, DatasetConfig, RawSample};
+use chainnet_datagen::typesets::NetworkParams;
+use chainnet_placement::evaluator::{loss_probability, GnnEvaluator, SimEvaluator};
+use chainnet_placement::problem::PlacementProblem;
+use chainnet_placement::sa::{SaConfig, SimulatedAnnealing};
+use chainnet_qsim::model::SystemModel;
+use chainnet_qsim::sim::{SimConfig, Simulator};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A parsed command line: the subcommand and its `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The subcommand name.
+    pub command: String,
+    /// Options without the `--` prefix.
+    pub options: HashMap<String, String>,
+}
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// Model/simulation error.
+    Qsim(chainnet_qsim::QsimError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Qsim(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+impl From<chainnet_qsim::QsimError> for CliError {
+    fn from(e: chainnet_qsim::QsimError) -> Self {
+        CliError::Qsim(e)
+    }
+}
+
+/// Parse `args` (excluding the program name) into an [`Invocation`].
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] when no subcommand is given or an option
+/// is malformed.
+pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage(usage()));
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        return Err(CliError::Usage(usage()));
+    }
+    let mut options = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = &args[i];
+        let Some(stripped) = key.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("expected --option, got `{key}`")));
+        };
+        let Some(value) = args.get(i + 1) else {
+            return Err(CliError::Usage(format!("missing value for --{stripped}")));
+        };
+        options.insert(stripped.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(Invocation {
+        command: command.clone(),
+        options,
+    })
+}
+
+/// The usage string shown on `--help` and usage errors.
+pub fn usage() -> String {
+    "\
+chainnet — loss-aware edge AI deployment toolkit (DSN 2024 reproduction)
+
+USAGE: chainnet <command> [--option value]...
+
+COMMANDS:
+  simulate     --system s.json [--horizon 20000] [--seed 0] [--trace N]
+  gen-dataset  --out d.json --samples 100 [--type i|ii] [--horizon 2000] [--seed 0]
+  train        --data d.json --out model.json [--epochs 40] [--hidden 32]
+               [--iterations 4] [--batch 32] [--lr 0.001] [--seed 0]
+  predict      --model model.json --system s.json
+  optimize     --problem p.json [--model model.json] [--steps 100]
+               [--trials 5] [--horizon 2000] [--seed 0] [--out placement.json]
+  stats        --data d.json
+  evaluate     --model model.json --data d.json
+  export-dot   --system s.json [--out graph.dot]
+  case-study   [--out problem.json]
+
+All files are the library's serde JSON formats; see the crate docs."
+        .to_string()
+}
+
+fn opt_f64(inv: &Invocation, key: &str, default: f64) -> Result<f64, CliError> {
+    match inv.options.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{key} expects a number, got `{v}`"))),
+    }
+}
+
+fn opt_usize(inv: &Invocation, key: &str, default: usize) -> Result<usize, CliError> {
+    match inv.options.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{key} expects an integer, got `{v}`"))),
+    }
+}
+
+fn opt_u64(inv: &Invocation, key: &str, default: u64) -> Result<u64, CliError> {
+    match inv.options.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{key} expects an integer, got `{v}`"))),
+    }
+}
+
+fn required<'a>(inv: &'a Invocation, key: &str) -> Result<&'a str, CliError> {
+    inv.options
+        .get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::Usage(format!("missing required --{key}")))
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
+    let text = std::fs::read_to_string(Path::new(path))?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+    std::fs::write(Path::new(path), serde_json::to_string_pretty(value)?)?;
+    Ok(())
+}
+
+/// Execute an invocation, returning the text to print on stdout.
+///
+/// # Errors
+///
+/// Any [`CliError`]; callers print it to stderr and exit non-zero.
+pub fn run(inv: &Invocation) -> Result<String, CliError> {
+    match inv.command.as_str() {
+        "simulate" => cmd_simulate(inv),
+        "gen-dataset" => cmd_gen_dataset(inv),
+        "train" => cmd_train(inv),
+        "predict" => cmd_predict(inv),
+        "optimize" => cmd_optimize(inv),
+        "stats" => cmd_stats(inv),
+        "evaluate" => cmd_evaluate(inv),
+        "export-dot" => cmd_export_dot(inv),
+        "case-study" => cmd_case_study(inv),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+fn cmd_simulate(inv: &Invocation) -> Result<String, CliError> {
+    let system: SystemModel = read_json(required(inv, "system")?)?;
+    let horizon = opt_f64(inv, "horizon", 20_000.0)?;
+    let seed = opt_u64(inv, "seed", 0)?;
+    let trace = opt_usize(inv, "trace", 0)?;
+    let cfg = SimConfig::new(horizon, seed).with_trace_capacity(trace);
+    let result = Simulator::new().run(&system, &cfg)?;
+    Ok(serde_json::to_string_pretty(&result)?)
+}
+
+fn cmd_export_dot(inv: &Invocation) -> Result<String, CliError> {
+    let system: SystemModel = read_json(required(inv, "system")?)?;
+    let graph = PlacementGraph::from_model(&system, ModelConfig::paper_chainnet().feature_mode);
+    let dot = chainnet::dot::to_dot(&graph);
+    match inv.options.get("out") {
+        Some(path) => {
+            std::fs::write(Path::new(path), &dot)?;
+            Ok(format!("wrote DOT graph to {path}"))
+        }
+        None => Ok(dot),
+    }
+}
+
+fn cmd_case_study(inv: &Invocation) -> Result<String, CliError> {
+    let problem = chainnet_datagen::case_study::case_study_problem()?;
+    match inv.options.get("out") {
+        Some(path) => {
+            write_json(path, &problem)?;
+            Ok(format!(
+                "wrote the Section VIII-D case study ({} devices, {} chains) to {path}",
+                problem.num_devices(),
+                problem.num_chains()
+            ))
+        }
+        None => Ok(serde_json::to_string_pretty(&problem)?),
+    }
+}
+
+fn cmd_gen_dataset(inv: &Invocation) -> Result<String, CliError> {
+    let out = required(inv, "out")?;
+    let samples = opt_usize(inv, "samples", 100)?;
+    let horizon = opt_f64(inv, "horizon", 2_000.0)?;
+    let seed = opt_u64(inv, "seed", 0)?;
+    let params = match inv.options.get("type").map(|s| s.as_str()).unwrap_or("i") {
+        "i" | "I" => NetworkParams::type_i(),
+        "ii" | "II" => NetworkParams::type_ii(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--type expects `i` or `ii`, got `{other}`"
+            )))
+        }
+    };
+    let cfg = DatasetConfig::new(samples, seed).with_horizon(horizon);
+    let raw = generate_raw_dataset(params, &cfg)?;
+    write_json(out, &raw)?;
+    Ok(format!("wrote {} samples to {out}", raw.len()))
+}
+
+fn cmd_train(inv: &Invocation) -> Result<String, CliError> {
+    let data: Vec<RawSample> = read_json(required(inv, "data")?)?;
+    let out = required(inv, "out")?;
+    let mut model_cfg = ModelConfig::paper_chainnet();
+    model_cfg.hidden = opt_usize(inv, "hidden", 32)?;
+    model_cfg.iterations = opt_usize(inv, "iterations", 4)?;
+    let train_cfg = TrainConfig {
+        epochs: opt_usize(inv, "epochs", 40)?,
+        batch_size: opt_usize(inv, "batch", 32)?,
+        learning_rate: opt_f64(inv, "lr", 1e-3)?,
+        lr_decay: 0.9,
+        lr_decay_period: 10,
+        seed: opt_u64(inv, "seed", 0)?,
+    };
+    let mut model = ChainNet::new(model_cfg, opt_u64(inv, "seed", 0)?);
+    let labeled = to_labeled(&data, model_cfg.feature_mode);
+    let trainer = Trainer::new(train_cfg);
+    let report = trainer.train(&mut model, &labeled, None);
+    write_json(out, &model)?;
+    let mut msg = String::new();
+    writeln!(
+        msg,
+        "trained on {} samples for {} epochs; final loss {:.5}",
+        labeled.len(),
+        train_cfg.epochs,
+        report.final_train_loss().unwrap_or(f64::NAN)
+    )
+    .expect("write to string");
+    write!(msg, "model saved to {out}").expect("write to string");
+    Ok(msg)
+}
+
+fn cmd_predict(inv: &Invocation) -> Result<String, CliError> {
+    let model: ChainNet = read_json(required(inv, "model")?)?;
+    let system: SystemModel = read_json(required(inv, "system")?)?;
+    let graph = PlacementGraph::from_model(&system, model.config().feature_mode);
+    let preds = model.predict(&graph);
+    Ok(serde_json::to_string_pretty(&preds)?)
+}
+
+fn cmd_evaluate(inv: &Invocation) -> Result<String, CliError> {
+    let model: ChainNet = read_json(required(inv, "model")?)?;
+    let data: Vec<RawSample> = read_json(required(inv, "data")?)?;
+    if data.is_empty() {
+        return Err(CliError::Usage("dataset is empty".into()));
+    }
+    let labeled = to_labeled(&data, model.config().feature_mode);
+    let trainer = Trainer::new(TrainConfig::paper_default());
+    let apes = trainer.evaluate_ape(&model, &labeled);
+    let (tput, lat) = apes.summaries();
+    let (tput, lat) = (
+        tput.expect("nonempty dataset"),
+        lat.expect("nonempty dataset"),
+    );
+    let mut msg = String::new();
+    writeln!(
+        msg,
+        "evaluated {} chains across {} graphs",
+        tput.count,
+        data.len()
+    )
+    .expect("write to string");
+    writeln!(
+        msg,
+        "throughput APE: MAPE {:.4}  p50 {:.4}  p75 {:.4}  p95 {:.4}  p99 {:.4}",
+        tput.mape, tput.p50, tput.p75, tput.p95, tput.p99
+    )
+    .expect("write to string");
+    write!(
+        msg,
+        "latency    APE: MAPE {:.4}  p50 {:.4}  p75 {:.4}  p95 {:.4}  p99 {:.4}",
+        lat.mape, lat.p50, lat.p75, lat.p95, lat.p99
+    )
+    .expect("write to string");
+    Ok(msg)
+}
+
+fn cmd_stats(inv: &Invocation) -> Result<String, CliError> {
+    let data: Vec<RawSample> = read_json(required(inv, "data")?)?;
+    if data.is_empty() {
+        return Err(CliError::Usage("dataset is empty".into()));
+    }
+    let stats = chainnet_datagen::stats::dataset_stats(&data);
+    Ok(chainnet_datagen::stats::render_stats(&stats))
+}
+
+fn cmd_optimize(inv: &Invocation) -> Result<String, CliError> {
+    let problem: PlacementProblem = read_json(required(inv, "problem")?)?;
+    let steps = opt_usize(inv, "steps", 100)?;
+    let trials = opt_usize(inv, "trials", 5)?;
+    let horizon = opt_f64(inv, "horizon", 2_000.0)?;
+    let seed = opt_u64(inv, "seed", 0)?;
+    let initial = problem.initial_placement()?;
+    let sa = SimulatedAnnealing::new(
+        SaConfig::paper_default()
+            .with_max_steps(steps)
+            .with_seed(seed),
+    );
+    let result = match inv.options.get("model") {
+        Some(path) => {
+            let model: ChainNet = read_json(path)?;
+            let mut ev = GnnEvaluator::new(model);
+            sa.optimize(&problem, &initial, &mut ev, trials)
+        }
+        None => {
+            let mut ev = SimEvaluator::new(SimConfig::new(horizon, seed));
+            sa.optimize(&problem, &initial, &mut ev, trials)
+        }
+    };
+    // Post-process with the simulator as the paper does.
+    let model = problem.bind(result.best_placement.clone())?;
+    let sim = Simulator::new().run(&model, &SimConfig::new(horizon, seed ^ 0xdead))?;
+    let lam = problem.total_arrival_rate();
+    if let Some(out) = inv.options.get("out") {
+        write_json(out, &result.best_placement)?;
+    }
+    let mut msg = String::new();
+    writeln!(
+        msg,
+        "search: {} evaluations in {:.2}s over {} trials",
+        result.evaluations,
+        result.elapsed_secs,
+        result.trials.len()
+    )
+    .expect("write to string");
+    writeln!(
+        msg,
+        "initial loss probability: {:.4}",
+        loss_probability(lam, result.initial_objective)
+    )
+    .expect("write to string");
+    writeln!(
+        msg,
+        "optimized loss probability (simulated): {:.4}",
+        sim.loss_probability
+    )
+    .expect("write to string");
+    write!(
+        msg,
+        "best placement: {}",
+        serde_json::to_string(&result.best_placement)?
+    )
+    .expect("write to string");
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain};
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_valid_invocation() {
+        let inv = parse_args(&args(&["simulate", "--system", "s.json", "--seed", "7"])).unwrap();
+        assert_eq!(inv.command, "simulate");
+        assert_eq!(inv.options["system"], "s.json");
+        assert_eq!(inv.options["seed"], "7");
+    }
+
+    #[test]
+    fn parse_rejects_missing_value() {
+        let err = parse_args(&args(&["simulate", "--system"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn parse_rejects_bare_option() {
+        let err = parse_args(&args(&["simulate", "system.json"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse_args(&args(&["--help"])).unwrap_err();
+        let CliError::Usage(text) = err else {
+            panic!("expected usage")
+        };
+        assert!(text.contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        let inv = parse_args(&args(&["frobnicate"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::Usage(_))));
+    }
+
+    fn temp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("chainnet_cli_test_{name}_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn simulate_round_trip() {
+        let devices = vec![Device::new(10.0, 1.0).unwrap()];
+        let chains = vec![ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        let system = SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap();
+        let path = temp("system.json");
+        std::fs::write(&path, serde_json::to_string(&system).unwrap()).unwrap();
+        let inv = parse_args(&args(&[
+            "simulate",
+            "--system",
+            &path,
+            "--horizon",
+            "500",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("total_throughput"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn gen_train_predict_pipeline() {
+        let data_path = temp("data.json");
+        let model_path = temp("model.json");
+        // Generate a tiny dataset.
+        let inv = parse_args(&args(&[
+            "gen-dataset",
+            "--out",
+            &data_path,
+            "--samples",
+            "6",
+            "--horizon",
+            "150",
+            "--seed",
+            "4",
+        ]))
+        .unwrap();
+        let msg = run(&inv).unwrap();
+        assert!(msg.contains("6 samples"));
+        // Train a tiny model.
+        let inv = parse_args(&args(&[
+            "train",
+            "--data",
+            &data_path,
+            "--out",
+            &model_path,
+            "--epochs",
+            "2",
+            "--hidden",
+            "8",
+            "--iterations",
+            "2",
+            "--batch",
+            "4",
+        ]))
+        .unwrap();
+        let msg = run(&inv).unwrap();
+        assert!(msg.contains("model saved"));
+        // Predict on one of the dataset systems.
+        let raw: Vec<RawSample> =
+            serde_json::from_str(&std::fs::read_to_string(&data_path).unwrap()).unwrap();
+        let sys_path = temp("sys2.json");
+        std::fs::write(&sys_path, serde_json::to_string(&raw[0].model).unwrap()).unwrap();
+        let inv = parse_args(&args(&[
+            "predict",
+            "--model",
+            &model_path,
+            "--system",
+            &sys_path,
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("throughput"));
+        for p in [&data_path, &model_path, &sys_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn stats_command_summarizes_dataset() {
+        let data_path = temp("stats_data.json");
+        let inv = parse_args(&args(&[
+            "gen-dataset",
+            "--out",
+            &data_path,
+            "--samples",
+            "4",
+            "--horizon",
+            "120",
+        ]))
+        .unwrap();
+        run(&inv).unwrap();
+        let inv = parse_args(&args(&["stats", "--data", &data_path])).unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("4 graphs"));
+        let _ = std::fs::remove_file(&data_path);
+    }
+
+    #[test]
+    fn evaluate_command_reports_ape() {
+        let data_path = temp("eval_data.json");
+        let model_path = temp("eval_model.json");
+        run(&parse_args(&args(&[
+            "gen-dataset",
+            "--out",
+            &data_path,
+            "--samples",
+            "5",
+            "--horizon",
+            "120",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse_args(&args(&[
+            "train",
+            "--data",
+            &data_path,
+            "--out",
+            &model_path,
+            "--epochs",
+            "1",
+            "--hidden",
+            "8",
+            "--iterations",
+            "2",
+        ]))
+        .unwrap())
+        .unwrap();
+        let out = run(&parse_args(&args(&[
+            "evaluate",
+            "--model",
+            &model_path,
+            "--data",
+            &data_path,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("throughput APE"));
+        for p in [&data_path, &model_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn export_dot_emits_digraph() {
+        let devices = vec![Device::new(10.0, 1.0).unwrap()];
+        let chains = vec![ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        let system = SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap();
+        let path = temp("dot_system.json");
+        std::fs::write(&path, serde_json::to_string(&system).unwrap()).unwrap();
+        let out = run(&parse_args(&args(&["export-dot", "--system", &path])).unwrap()).unwrap();
+        assert!(out.starts_with("digraph placement"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn case_study_command_round_trips() {
+        let path = temp("case_problem.json");
+        let msg = run(&parse_args(&args(&["case-study", "--out", &path])).unwrap()).unwrap();
+        assert!(msg.contains("5 devices"));
+        let problem: PlacementProblem =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(problem.num_chains(), 8);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn optimize_with_sim_evaluator() {
+        let devices = vec![
+            Device::new(5.0, 0.3).unwrap(),
+            Device::new(30.0, 2.0).unwrap(),
+            Device::new(30.0, 2.0).unwrap(),
+        ];
+        let chains = vec![ServiceChain::new(
+            1.0,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()];
+        let problem = PlacementProblem::new(devices, chains).unwrap();
+        let path = temp("problem.json");
+        std::fs::write(&path, serde_json::to_string(&problem).unwrap()).unwrap();
+        let inv = parse_args(&args(&[
+            "optimize",
+            "--problem",
+            &path,
+            "--steps",
+            "10",
+            "--trials",
+            "1",
+            "--horizon",
+            "300",
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("optimized loss probability"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

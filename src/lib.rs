@@ -1,0 +1,17 @@
+//! Umbrella crate for the ChainNet reproduction workspace.
+//!
+//! Re-exports the member crates under short names so examples and
+//! integration tests can use a single dependency:
+//!
+//! ```
+//! use chainnet_suite::qsim;
+//! let _exp = qsim::dist::Exponential::new(1.0).unwrap();
+//! ```
+
+pub mod cli;
+
+pub use chainnet as core;
+pub use chainnet_datagen as datagen;
+pub use chainnet_neural as neural;
+pub use chainnet_placement as placement;
+pub use chainnet_qsim as qsim;

@@ -1,0 +1,143 @@
+//! Black-box tests of the `chainnet-cli` binary: spawn the real
+//! executable and check its stdout/stderr/exit codes, covering the full
+//! gen → train → evaluate → optimize workflow a user would run.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_chainnet-cli"))
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chainnet_bin_{name}_{}", std::process::id()))
+}
+
+#[test]
+fn help_exits_with_usage() {
+    let out = bin().arg("--help").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("COMMANDS"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = bin().arg("explode").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_file_is_an_io_error_not_a_panic() {
+    let out = bin()
+        .args(["simulate", "--system", "/nonexistent/nope.json"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let data = temp("wf_data.json");
+    let model = temp("wf_model.json");
+
+    // 1. Generate a small dataset.
+    let out = bin()
+        .args([
+            "gen-dataset",
+            "--out",
+            data.to_str().unwrap(),
+            "--samples",
+            "6",
+            "--horizon",
+            "150",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 2. Dataset statistics.
+    let out = bin()
+        .args(["stats", "--data", data.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("6 graphs"));
+
+    // 3. Train a tiny surrogate.
+    let out = bin()
+        .args([
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--epochs",
+            "2",
+            "--hidden",
+            "8",
+            "--iterations",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 4. Evaluate it on its own training data.
+    let out = bin()
+        .args([
+            "evaluate",
+            "--model",
+            model.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("throughput APE"));
+
+    // 5. Export the case study and optimize it with the model.
+    let problem = temp("wf_problem.json");
+    let out = bin()
+        .args(["case-study", "--out", problem.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let out = bin()
+        .args([
+            "optimize",
+            "--problem",
+            problem.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--steps",
+            "5",
+            "--trials",
+            "1",
+            "--horizon",
+            "120",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("optimized loss probability"));
+
+    for p in [&data, &model, &problem] {
+        let _ = std::fs::remove_file(p);
+    }
+}

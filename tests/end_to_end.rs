@@ -1,0 +1,170 @@
+//! End-to-end integration tests spanning all crates: simulate → label →
+//! train → predict → optimize, the full workflow of Fig. 3 in the paper.
+
+use chainnet_suite::core::config::{ModelConfig, TrainConfig};
+use chainnet_suite::core::model::{ChainNet, Surrogate};
+use chainnet_suite::core::train::Trainer;
+use chainnet_suite::datagen::dataset::{generate_raw_dataset, to_labeled, DatasetConfig};
+use chainnet_suite::datagen::problems::{ProblemGenerator, ProblemParams};
+use chainnet_suite::datagen::typesets::NetworkParams;
+use chainnet_suite::placement::evaluator::{GnnEvaluator, SimEvaluator};
+use chainnet_suite::placement::sa::{SaConfig, SimulatedAnnealing};
+use chainnet_suite::qsim::sim::SimConfig;
+
+fn small_config() -> ModelConfig {
+    let mut cfg = ModelConfig::paper_chainnet();
+    cfg.hidden = 12;
+    cfg.iterations = 3;
+    cfg
+}
+
+fn quick_trainer(epochs: usize) -> Trainer {
+    Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 8,
+        learning_rate: 3e-3,
+        lr_decay: 0.9,
+        lr_decay_period: 10,
+        seed: 0,
+    })
+}
+
+#[test]
+fn training_on_simulated_data_reduces_loss_and_ape() {
+    let raw = generate_raw_dataset(
+        NetworkParams::type_i(),
+        &DatasetConfig::new(30, 11).with_horizon(400.0),
+    )
+    .expect("dataset");
+    let cfg = small_config();
+    let data = to_labeled(&raw, cfg.feature_mode);
+    let (train, test) = data.split_at(22);
+
+    let mut model = ChainNet::new(cfg, 5);
+    let trainer = quick_trainer(8);
+    let loss_before = trainer.evaluate_loss(&model, test);
+    let ape_before = trainer.evaluate_ape(&model, test);
+    trainer.train(&mut model, train, None);
+    let loss_after = trainer.evaluate_loss(&model, test);
+    let ape_after = trainer.evaluate_ape(&model, test);
+
+    assert!(
+        loss_after < loss_before,
+        "test loss should drop: {loss_before} -> {loss_after}"
+    );
+    let mape = |c: &chainnet_suite::core::metrics::ApeCollector| {
+        c.throughput.iter().sum::<f64>() / c.throughput.len() as f64
+    };
+    assert!(
+        mape(&ape_after) < mape(&ape_before),
+        "throughput MAPE should drop: {} -> {}",
+        mape(&ape_before),
+        mape(&ape_after)
+    );
+}
+
+#[test]
+fn trained_surrogate_generalizes_to_unseen_type_i_graphs() {
+    let train_raw = generate_raw_dataset(
+        NetworkParams::type_i(),
+        &DatasetConfig::new(40, 21).with_horizon(400.0),
+    )
+    .expect("train");
+    let test_raw = generate_raw_dataset(
+        NetworkParams::type_i(),
+        &DatasetConfig::new(10, 77_000).with_horizon(400.0),
+    )
+    .expect("test");
+    let cfg = small_config();
+    let mut model = ChainNet::new(cfg, 3);
+    let trainer = quick_trainer(10);
+    trainer.train(&mut model, &to_labeled(&train_raw, cfg.feature_mode), None);
+    let apes = trainer.evaluate_ape(&model, &to_labeled(&test_raw, cfg.feature_mode));
+    let (tput, _) = apes.summaries();
+    let tput = tput.expect("nonempty");
+    // Loose sanity bound: a briefly-trained surrogate is already much
+    // better than chance on small graphs.
+    assert!(
+        tput.mape < 0.8,
+        "unexpectedly poor generalization: MAPE {}",
+        tput.mape
+    );
+}
+
+#[test]
+fn gnn_guided_search_improves_over_initial_placement() {
+    // Train a quick surrogate.
+    let raw = generate_raw_dataset(
+        NetworkParams::type_i(),
+        &DatasetConfig::new(30, 31).with_horizon(400.0),
+    )
+    .expect("dataset");
+    let cfg = small_config();
+    let mut model = ChainNet::new(cfg, 9);
+    quick_trainer(8).train(&mut model, &to_labeled(&raw, cfg.feature_mode), None);
+
+    // Optimize a problem with a deliberately bad initial placement.
+    let mut params = ProblemParams::small();
+    params.num_devices = 8;
+    let problem = ProblemGenerator::new(params).generate(3).expect("problem");
+    let initial = problem.initial_placement().expect("initial");
+
+    let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(20));
+    let mut ev = GnnEvaluator::new(model);
+    let result = sa.optimize(&problem, &initial, &mut ev, 2);
+    // The search must never return something worse than the start, and
+    // the decision must stay feasible.
+    assert!(result.best_objective >= result.initial_objective);
+    assert!(problem.is_feasible(&result.best_placement));
+}
+
+#[test]
+fn simulation_and_gnn_searches_agree_on_feasibility() {
+    let problem = ProblemGenerator::new(ProblemParams::small())
+        .generate(5)
+        .expect("problem");
+    let initial = problem.initial_placement().expect("initial");
+    let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(10));
+
+    let mut sim_ev = SimEvaluator::new(SimConfig::new(150.0, 2));
+    let sim_res = sa.optimize(&problem, &initial, &mut sim_ev, 1);
+    assert!(problem.is_feasible(&sim_res.best_placement));
+
+    let model = ChainNet::new(small_config(), 4);
+    let mut gnn_ev = GnnEvaluator::new(model);
+    let gnn_res = sa.optimize(&problem, &initial, &mut gnn_ev, 1);
+    assert!(problem.is_feasible(&gnn_res.best_placement));
+    // GNN evaluations are pure inference: counts must match the sim run
+    // given identical seeds and step budget.
+    assert_eq!(gnn_res.evaluations, sim_res.evaluations);
+}
+
+#[test]
+fn surrogate_predictions_respect_physical_bounds_after_training() {
+    let raw = generate_raw_dataset(
+        NetworkParams::type_i(),
+        &DatasetConfig::new(25, 41).with_horizon(300.0),
+    )
+    .expect("dataset");
+    let cfg = small_config();
+    let mut model = ChainNet::new(cfg, 6);
+    quick_trainer(6).train(&mut model, &to_labeled(&raw, cfg.feature_mode), None);
+
+    for sample in &raw {
+        let graph = chainnet_suite::core::graph::PlacementGraph::from_model(
+            &sample.model,
+            cfg.feature_mode,
+        );
+        for (i, p) in model.predict(&graph).iter().enumerate() {
+            let lam = sample.model.chains()[i].arrival_rate;
+            assert!(
+                p.throughput <= lam + 1e-9,
+                "throughput prediction above offered rate"
+            );
+            assert!(
+                p.latency >= graph.chains[i].total_processing - 1e-9,
+                "latency prediction below total processing time"
+            );
+        }
+    }
+}

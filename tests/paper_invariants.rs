@@ -1,0 +1,122 @@
+//! Cross-crate property tests of the paper's structural invariants:
+//! Algorithm 1 graph counts, Table II feature algebra, queueing-theoretic
+//! target bounds and SA move feasibility on randomly generated systems.
+
+use chainnet_suite::core::config::FeatureMode;
+use chainnet_suite::core::config::TargetMode;
+use chainnet_suite::core::data::targets_to_learning_space;
+use chainnet_suite::core::graph::{HomoGraph, PlacementGraph};
+use chainnet_suite::datagen::problems::{ProblemGenerator, ProblemParams};
+use chainnet_suite::datagen::typesets::{NetworkGenerator, NetworkParams};
+use chainnet_suite::placement::sa::{SaConfig, SimulatedAnnealing};
+use chainnet_suite::qsim::sim::{SimConfig, Simulator};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Node and edge counts of Algorithm 1: `C + ΣT_i + d` nodes,
+    /// `2ΣT_i − C` edges, for any generated system of either type.
+    #[test]
+    fn graph_counts_match_formula(seed in 0u64..500, type_ii in proptest::bool::ANY) {
+        let params = if type_ii { NetworkParams::type_ii() } else { NetworkParams::type_i() };
+        let model = NetworkGenerator::new(params).generate(seed).unwrap();
+        let graph = PlacementGraph::from_model(&model, FeatureMode::Modified);
+        let c = model.chains().len();
+        let total_frags: usize = model.chains().iter().map(|ch| ch.len()).sum();
+        let d = model.placement().used_devices().len();
+        prop_assert_eq!(graph.num_nodes(), c + total_frags + d);
+        prop_assert_eq!(graph.num_edges(), 2 * total_frags - c);
+        // Execution-step bookkeeping: device F_k counts sum to ΣT_i.
+        let fk_sum: usize = (0..graph.num_devices()).map(|k| graph.device_step_count(k)).sum();
+        prop_assert_eq!(fk_sum, total_frags);
+    }
+
+    /// Table II modified features are scale-free: fragment features lie in
+    /// sensible normalized ranges for any generated system.
+    #[test]
+    fn modified_features_are_normalized(seed in 0u64..300) {
+        let model = NetworkGenerator::new(NetworkParams::type_ii()).generate(seed).unwrap();
+        let graph = PlacementGraph::from_model(&model, FeatureMode::Modified);
+        for chain in &graph.chains {
+            prop_assert_eq!(&chain.service_feat, &vec![1.0]);
+            for step in &chain.steps {
+                // t_p / Δt_k is a share of the device total: in (0, 1].
+                prop_assert!(step.frag_feat[1] > 0.0 && step.frag_feat[1] <= 1.0 + 1e-12);
+                // m / M_k within capacity.
+                prop_assert!(step.frag_feat[2] > 0.0 && step.frag_feat[2] <= 1.0 + 1e-12);
+            }
+        }
+        for dev in &graph.devices {
+            // Δm_k / M_k may exceed 1 only if the random placement
+            // overflows; the generator assigns unit demands within
+            // capacity 100, so it stays in (0, 1].
+            prop_assert!(dev.feat[0] > 0.0 && dev.feat[0] <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Ratio learning targets computed from real simulations are valid
+    /// probabilities/ratios (Table II "GNN output" row).
+    #[test]
+    fn ratio_targets_are_in_unit_interval(seed in 0u64..60) {
+        let model = NetworkGenerator::new(NetworkParams::type_i()).generate(seed).unwrap();
+        let res = Simulator::new().run(&model, &SimConfig::new(400.0, seed)).unwrap();
+        let graph = PlacementGraph::from_model(&model, FeatureMode::Modified);
+        for (i, c) in res.chains.iter().enumerate() {
+            let t = chainnet_suite::core::data::ChainTargets {
+                throughput: c.throughput,
+                latency: c.mean_latency,
+            };
+            let (tr, lr) = targets_to_learning_space(TargetMode::Ratio, &graph, i, t);
+            prop_assert!((0.0..=1.0).contains(&tr), "tput ratio {}", tr);
+            prop_assert!((0.0..=1.0).contains(&lr), "lat ratio {}", lr);
+        }
+    }
+
+    /// The homogeneous baseline view preserves node count and leaves
+    /// service nodes isolated for any generated system.
+    #[test]
+    fn homogeneous_view_is_consistent(seed in 0u64..300) {
+        let model = NetworkGenerator::new(NetworkParams::type_i()).generate(seed).unwrap();
+        let graph = PlacementGraph::from_model(&model, FeatureMode::Modified);
+        let homo = HomoGraph::from_placement(&graph);
+        prop_assert_eq!(homo.num_nodes(), graph.num_nodes());
+        prop_assert_eq!(homo.num_adj_entries(), 2 * graph.num_edges());
+        for &s in &homo.service_nodes {
+            prop_assert!(homo.adj[s].is_empty());
+        }
+        let frag_total: usize = homo.chain_fragments.iter().map(|f| f.len()).sum();
+        prop_assert_eq!(frag_total, graph.num_fragments());
+    }
+
+    /// Every SA proposal on a generated Table VII problem is feasible and
+    /// differs from its parent.
+    #[test]
+    fn sa_moves_preserve_feasibility(seed in 0u64..100, move_seed in 0u64..100) {
+        let problem = ProblemGenerator::new(ProblemParams::small()).generate(seed).unwrap();
+        let initial = problem.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default());
+        let mut rng = SmallRng::seed_from_u64(move_seed);
+        let mut current = initial;
+        for _ in 0..8 {
+            if let Some(next) = sa.propose(&problem, &current, &mut rng) {
+                prop_assert!(problem.is_feasible(&next));
+                prop_assert_ne!(&next, &current);
+                current = next;
+            }
+        }
+    }
+
+    /// Simulated throughput never exceeds offered load, and the Eq. 18
+    /// loss probability is consistent with per-chain losses.
+    #[test]
+    fn simulation_respects_flow_bounds(seed in 0u64..60) {
+        let model = NetworkGenerator::new(NetworkParams::type_i()).generate(seed).unwrap();
+        let res = Simulator::new().run(&model, &SimConfig::new(400.0, seed ^ 0xabcd)).unwrap();
+        let lam: f64 = model.total_arrival_rate();
+        prop_assert!(res.total_throughput <= lam * 1.25 + 0.1);
+        prop_assert!((0.0..=1.0).contains(&res.loss_probability));
+    }
+}
