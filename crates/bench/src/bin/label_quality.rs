@@ -12,9 +12,7 @@
 use chainnet::model::ChainNet;
 use chainnet::train::Trainer;
 use chainnet_bench::{print_table, Pipeline};
-use chainnet_datagen::dataset::{
-    generate_raw_dataset, to_labeled, DatasetConfig, LabelSource,
-};
+use chainnet_datagen::dataset::{generate_raw_dataset, to_labeled, DatasetConfig, LabelSource};
 use chainnet_datagen::typesets::NetworkParams;
 use serde::Serialize;
 use std::time::Instant;

@@ -35,15 +35,14 @@ fn main() {
     let gen = ProblemGenerator::new(ProblemParams::paper_default(scale.device_counts[0]));
 
     let mut acc: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
-    let record =
-        |acc: &mut Vec<(String, Vec<f64>, Vec<f64>)>, name: &str, loss: f64, secs: f64| {
-            if let Some(e) = acc.iter_mut().find(|e| e.0 == name) {
-                e.1.push(loss);
-                e.2.push(secs);
-            } else {
-                acc.push((name.to_string(), vec![loss], vec![secs]));
-            }
-        };
+    let record = |acc: &mut Vec<(String, Vec<f64>, Vec<f64>)>, name: &str, loss: f64, secs: f64| {
+        if let Some(e) = acc.iter_mut().find(|e| e.0 == name) {
+            e.1.push(loss);
+            e.2.push(secs);
+        } else {
+            acc.push((name.to_string(), vec![loss], vec![secs]));
+        }
+    };
 
     for s in 0..scale.sa_problems {
         let problem = gen.generate(4_000 + s as u64).expect("problem");

@@ -38,7 +38,10 @@ fn datasets_and_models_round_trip_through_the_cache() {
     let t0 = Instant::now();
     let datasets2 = pipeline.datasets();
     let model2 = pipeline.chainnet(&datasets2);
-    assert!(t0.elapsed().as_secs_f64() < 5.0, "cache load should be fast");
+    assert!(
+        t0.elapsed().as_secs_f64() < 5.0,
+        "cache load should be fast"
+    );
     assert_eq!(datasets1, datasets2);
     assert_eq!(model1.model, model2.model);
     assert_eq!(model1.report, model2.report);

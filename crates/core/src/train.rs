@@ -8,10 +8,29 @@ use crate::metrics::ApeCollector;
 use crate::model::Surrogate;
 use chainnet_neural::optim::{Adam, StepDecay};
 use chainnet_neural::tape::Tape;
+use chainnet_obs::Obs;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Bucket bounds for the `train.epoch_seconds` histogram (seconds).
+const EPOCH_SECONDS_BUCKETS: &[f64] = &[0.01, 0.1, 1.0, 10.0, 60.0, 600.0];
+
+/// Bucket bounds for the `train.grad_norm` histogram (L2 norm of the
+/// concatenated gradient after each batch).
+const GRAD_NORM_BUCKETS: &[f64] = &[0.01, 0.1, 1.0, 10.0, 100.0, 1000.0];
+
+/// Structured event emitted once per observed epoch.
+#[derive(Debug, Clone, Copy, Serialize)]
+struct EpochEvent {
+    kind: &'static str,
+    epoch: usize,
+    train_loss: f64,
+    val_loss: Option<f64>,
+    lr: f64,
+    wall_seconds: f64,
+}
 
 /// Loss values recorded after one epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -103,7 +122,31 @@ impl Trainer {
         train: &[LabeledGraph],
         val: Option<&[LabeledGraph]>,
     ) -> TrainReport {
+        self.train_observed(model, train, val, &Obs::disabled())
+    }
+
+    /// Like [`Trainer::train`], additionally recording metrics and
+    /// per-epoch events into `obs` when it is enabled:
+    ///
+    /// * `train.epoch_seconds` histogram (RAII-timed wall clock per
+    ///   epoch) and `train.samples_per_sec` gauge;
+    /// * `train.loss` / `train.val_loss` gauges tracking the latest
+    ///   epoch;
+    /// * `train.grad_norm` histogram, observed after each mini-batch;
+    /// * `train.epochs` and `train.batches` counters.
+    ///
+    /// With a disabled `obs` this is exactly [`Trainer::train`].
+    pub fn train_observed<S: Surrogate>(
+        &self,
+        model: &mut S,
+        train: &[LabeledGraph],
+        val: Option<&[LabeledGraph]>,
+        obs: &Obs,
+    ) -> TrainReport {
         assert!(!train.is_empty(), "training set is empty");
+        let grad_norm = obs
+            .is_enabled()
+            .then(|| obs.registry.histogram("train.grad_norm", GRAD_NORM_BUCKETS));
         let cfg = self.config;
         let mut adam = Adam::new(cfg.learning_rate);
         let schedule = StepDecay {
@@ -116,11 +159,17 @@ impl Trainer {
         let mut report = TrainReport::default();
 
         for epoch in 0..cfg.epochs {
+            let epoch_timer = obs.is_enabled().then(|| {
+                obs.registry
+                    .histogram("train.epoch_seconds", EPOCH_SECONDS_BUCKETS)
+                    .start_timer()
+            });
             let lr = schedule.lr_at(epoch as u64);
             adam.set_lr(lr);
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut epoch_chains = 0usize;
+            let mut epoch_batches = 0u64;
 
             for batch in order.chunks(cfg.batch_size.max(1)) {
                 // Q = number of chains in this batch (Eq. 13 denominator).
@@ -136,11 +185,39 @@ impl Trainer {
                     epoch_loss += tape.value(raw).item();
                 }
                 epoch_chains += q;
+                epoch_batches += 1;
+                if let Some(h) = &grad_norm {
+                    h.observe(model.params_mut().grad_norm());
+                }
                 adam.step(model.params_mut());
             }
 
             let train_loss = epoch_loss / (2.0 * epoch_chains.max(1) as f64);
             let val_loss = val.map(|v| self.evaluate_loss(model, v));
+            if let Some(timer) = epoch_timer {
+                let wall = timer.elapsed_secs();
+                timer.stop();
+                let reg = &obs.registry;
+                reg.counter("train.epochs").inc();
+                reg.counter("train.batches").add(epoch_batches);
+                reg.gauge("train.samples_per_sec")
+                    .set(train.len() as f64 / wall.max(1e-9));
+                reg.gauge("train.loss").set(train_loss);
+                if let Some(v) = val_loss {
+                    reg.gauge("train.val_loss").set(v);
+                }
+                obs.events.emit(
+                    "train",
+                    &EpochEvent {
+                        kind: "epoch",
+                        epoch,
+                        train_loss,
+                        val_loss,
+                        lr,
+                        wall_seconds: wall,
+                    },
+                );
+            }
             report.history.push(EpochStats {
                 epoch,
                 train_loss,
@@ -253,6 +330,38 @@ mod tests {
         let apes = trainer.evaluate_ape(&model, &data);
         assert_eq!(apes.throughput.len(), 5);
         assert_eq!(apes.latency.len(), 5);
+    }
+
+    #[test]
+    fn observed_training_matches_plain_and_records_metrics() {
+        let data = toy_dataset(10);
+        let (train, val) = data.split_at(8);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 4,
+            learning_rate: 1e-3,
+            lr_decay: 0.9,
+            lr_decay_period: 10,
+            seed: 7,
+        };
+        let trainer = Trainer::new(cfg);
+        let mut plain_model = ChainNet::new(ModelConfig::small(), 13);
+        let plain = trainer.train(&mut plain_model, train, Some(val));
+        let obs = Obs::enabled();
+        let mut observed_model = ChainNet::new(ModelConfig::small(), 13);
+        let observed = trainer.train_observed(&mut observed_model, train, Some(val), &obs);
+        // Instrumentation must not perturb training.
+        assert_eq!(plain, observed);
+        assert_eq!(plain_model, observed_model);
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["train.epochs"], 4);
+        assert_eq!(snap.counters["train.batches"], 8); // 2 batches x 4 epochs
+        assert_eq!(snap.histograms["train.epoch_seconds"].count, 4);
+        assert_eq!(snap.histograms["train.grad_norm"].count, 8);
+        assert!(snap.gauges["train.samples_per_sec"] > 0.0);
+        let last = observed.history.last().unwrap();
+        assert_eq!(snap.gauges["train.loss"], last.train_loss);
+        assert_eq!(snap.gauges["train.val_loss"], last.val_loss.unwrap());
     }
 
     #[test]

@@ -9,12 +9,26 @@ use crate::typesets::{NetworkGenerator, NetworkParams};
 use chainnet::config::FeatureMode;
 use chainnet::data::{ChainTargets, LabeledGraph};
 use chainnet::graph::PlacementGraph;
+use chainnet_obs::Obs;
 use chainnet_qsim::approx::{solve, ApproxConfig};
 use chainnet_qsim::model::SystemModel;
 use chainnet_qsim::sim::{SimConfig, Simulator};
 use chainnet_qsim::Result;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Telemetry record emitted once per generation run on the `datagen`
+/// component.
+#[derive(Debug, Clone, Copy, Serialize)]
+struct DatagenRunEvent {
+    kind: &'static str,
+    samples: usize,
+    errors: u64,
+    sim_horizon: f64,
+    seed: u64,
+    wall_seconds: f64,
+}
 
 /// A simulated sample before any feature mode is chosen: the system plus
 /// its measured per-chain performance.
@@ -112,6 +126,29 @@ pub fn generate_raw_dataset(
     params: NetworkParams,
     config: &DatasetConfig,
 ) -> Result<Vec<RawSample>> {
+    generate_raw_dataset_observed(params, config, &Obs::disabled())
+}
+
+/// [`generate_raw_dataset`] with pipeline telemetry recorded into `obs`:
+/// `datagen.samples_generated` / `datagen.sample_errors` counters (updated
+/// live from the worker threads), a `datagen.samples_per_sec` gauge, and one
+/// `datagen_run` event when the run completes.
+///
+/// # Errors
+///
+/// Propagates generation or simulation errors from any worker.
+pub fn generate_raw_dataset_observed(
+    params: NetworkParams,
+    config: &DatasetConfig,
+    obs: &Obs,
+) -> Result<Vec<RawSample>> {
+    let start = Instant::now();
+    let sample_counter = obs
+        .is_enabled()
+        .then(|| obs.registry.counter("datagen.samples_generated"));
+    let error_counter = obs
+        .is_enabled()
+        .then(|| obs.registry.counter("datagen.sample_errors"));
     let generator = NetworkGenerator::new(params);
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
@@ -124,9 +161,9 @@ pub fn generate_raw_dataset(
     let next: Mutex<usize> = Mutex::new(0);
     let first_error: Mutex<Option<chainnet_qsim::QsimError>> = Mutex::new(None);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = {
                     let mut n = next.lock();
                     if *n >= config.samples {
@@ -164,8 +201,16 @@ pub fn generate_raw_dataset(
                     Ok(RawSample { model, targets })
                 });
                 match outcome {
-                    Ok(sample) => results.lock()[i] = Some(sample),
+                    Ok(sample) => {
+                        if let Some(c) = &sample_counter {
+                            c.inc();
+                        }
+                        results.lock()[i] = Some(sample);
+                    }
                     Err(e) => {
+                        if let Some(c) = &error_counter {
+                            c.inc();
+                        }
                         let mut slot = first_error.lock();
                         if slot.is_none() {
                             *slot = Some(e);
@@ -175,9 +220,29 @@ pub fn generate_raw_dataset(
                 }
             });
         }
-    })
-    .expect("dataset worker panicked");
+    });
 
+    if obs.is_enabled() {
+        let wall = start.elapsed().as_secs_f64();
+        let generated = sample_counter.as_ref().map_or(0, |c| c.get());
+        let errors = error_counter.as_ref().map_or(0, |c| c.get());
+        if wall > 0.0 {
+            obs.registry
+                .gauge("datagen.samples_per_sec")
+                .set(generated as f64 / wall);
+        }
+        obs.events.emit(
+            "datagen",
+            &DatagenRunEvent {
+                kind: "datagen_run",
+                samples: config.samples,
+                errors,
+                sim_horizon: config.sim_horizon,
+                seed: config.seed,
+                wall_seconds: wall,
+            },
+        );
+    }
     if let Some(e) = first_error.into_inner() {
         return Err(e);
     }
@@ -229,6 +294,19 @@ mod tests {
                 assert!(t.latency >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn observed_generation_matches_plain_and_counts_samples() {
+        let cfg = DatasetConfig::new(6, 5).with_horizon(200.0).with_threads(2);
+        let plain = generate_raw_dataset(NetworkParams::type_i(), &cfg).unwrap();
+        let obs = Obs::enabled();
+        let observed = generate_raw_dataset_observed(NetworkParams::type_i(), &cfg, &obs).unwrap();
+        assert_eq!(plain, observed);
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["datagen.samples_generated"], 6);
+        assert_eq!(snap.counters["datagen.sample_errors"], 0);
+        assert!(snap.gauges["datagen.samples_per_sec"] > 0.0);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Structured event logging: a JSON-lines sink for serde-serializable
+//! records, tagged with a component name and a monotonic sequence
+//! number.
+//!
+//! The default sink is a no-op: [`EventLog::disabled`] costs one branch
+//! per emit call, so instrumented code can log unconditionally. Enabled
+//! sinks serialize each record as one line of JSON:
+//!
+//! ```text
+//! {"seq": 1, "component": "qsim", "event": {...}}
+//! ```
+
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct EventLogInner {
+    seq: AtomicU64,
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for EventLogInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLogInner")
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A shared handle to a JSON-lines event sink (or to nothing).
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    inner: Option<Arc<EventLogInner>>,
+}
+
+impl EventLog {
+    /// The no-op sink: every [`EventLog::emit`] is a cheap branch.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A sink appending one JSON line per event to `writer`.
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            inner: Some(Arc::new(EventLogInner {
+                seq: AtomicU64::new(0),
+                writer: Mutex::new(writer),
+            })),
+        }
+    }
+
+    /// A sink writing to a newly created (truncated) file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the file.
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Whether events are actually recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event under `component`. No-op on a disabled log;
+    /// write errors are ignored (telemetry must never fail the
+    /// workload).
+    pub fn emit<E: Serialize>(&self, component: &str, event: &E) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let record = Value::Map(vec![
+            ("seq".to_string(), Value::UInt(seq)),
+            ("component".to_string(), Value::Str(component.to_string())),
+            ("event".to_string(), event.to_value()),
+        ]);
+        if let Ok(line) = serde_json::to_string(&record) {
+            let mut w = inner.writer.lock();
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    /// Flush the underlying writer (no-op when disabled).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.writer.lock().flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Vec<u8> sink shared with the test through an Arc<Mutex<..>>.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[derive(Serialize)]
+    struct Ping {
+        n: u64,
+    }
+
+    #[test]
+    fn disabled_log_emits_nothing() {
+        let log = EventLog::disabled();
+        assert!(!log.is_enabled());
+        log.emit("test", &Ping { n: 1 });
+        log.flush();
+    }
+
+    #[test]
+    fn emits_json_lines_with_monotonic_seq() {
+        let buf = SharedBuf::default();
+        let log = EventLog::to_writer(Box::new(buf.clone()));
+        assert!(log.is_enabled());
+        log.emit("alpha", &Ping { n: 10 });
+        log.emit("beta", &Ping { n: 20 });
+        log.flush();
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        let second: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(first.get("seq").and_then(Value::as_u64), Some(1));
+        assert_eq!(second.get("seq").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            first.get("component").and_then(Value::as_str),
+            Some("alpha")
+        );
+        assert_eq!(
+            second
+                .get("event")
+                .and_then(|e| e.get("n"))
+                .and_then(Value::as_u64),
+            Some(20)
+        );
+    }
+
+    #[test]
+    fn concurrent_emits_produce_distinct_seqs() {
+        let buf = SharedBuf::default();
+        let log = EventLog::to_writer(Box::new(buf.clone()));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let log = log.clone();
+                scope.spawn(move || {
+                    for n in 0..100 {
+                        log.emit("t", &Ping { n });
+                    }
+                });
+            }
+        });
+        log.flush();
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        let mut seqs: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                let v: Value = serde_json::from_str(l).unwrap();
+                v.get("seq").and_then(Value::as_u64).unwrap()
+            })
+            .collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (1..=400).collect::<Vec<u64>>());
+    }
+}

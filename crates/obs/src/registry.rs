@@ -1,0 +1,362 @@
+//! The metric registry: named counters, gauges and fixed-bucket
+//! histograms behind cheap, cloneable handles.
+//!
+//! Handles obtained from a [`Registry`] are `Arc`-backed: cloning one and
+//! updating it from several threads is safe and lock-free for counters
+//! and gauges (atomics) and a short uncontended lock for histograms.
+//! Re-requesting a metric by name returns a handle to the same
+//! underlying cell, so instrumentation sites never need to coordinate.
+
+use crate::export::{HistogramSnapshot, Snapshot};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A metric holding one instantaneous `f64` value.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bucket bounds, strictly increasing; an implicit `+Inf`
+    /// bucket follows the last bound.
+    bounds: Vec<f64>,
+    state: Mutex<HistogramState>,
+}
+
+#[derive(Debug)]
+struct HistogramState {
+    /// One count per bound plus the `+Inf` overflow bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+/// A fixed-bucket histogram with Prometheus `le` semantics: an observed
+/// value lands in the first bucket whose upper bound is **>=** the value
+/// (bounds are inclusive), or in the implicit `+Inf` bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .0
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.0.bounds.len());
+        let mut s = self.0.state.lock();
+        s.counts[idx] += 1;
+        s.sum += v;
+        s.count += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.state.lock().count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.0.state.lock().sum
+    }
+
+    /// Start a [`ScopedTimer`] recording into this histogram (seconds).
+    #[must_use = "the timer records on drop; dropping it immediately times nothing"]
+    pub fn start_timer(&self) -> ScopedTimer {
+        ScopedTimer {
+            histogram: self.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let s = self.0.state.lock();
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            counts: s.counts.clone(),
+            sum: s.sum,
+            count: s.count,
+        }
+    }
+}
+
+/// RAII timer: measures wall-clock time from creation to drop and
+/// records it, in seconds, into the histogram it was started from.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    histogram: Histogram,
+    started: Instant,
+}
+
+impl ScopedTimer {
+    /// Seconds elapsed so far, without stopping the timer.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Stop and record now instead of at scope end.
+    pub fn stop(self) {
+        drop(self);
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.histogram.observe(self.started.elapsed().as_secs_f64());
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A thread-safe collection of named metrics.
+///
+/// `Registry` is a cheap `Arc` handle: clone it freely into worker
+/// threads and instrumented components. Metric names are dotted paths
+/// (`qsim.device.drops`); per-entity variants append a label block built
+/// with [`labeled`] (`qsim.device.drops{device="3"}`).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it at zero if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// The gauge named `name`, registering it at zero if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))))
+            .clone()
+    }
+
+    /// The histogram named `name`, registering it with `bounds` if
+    /// absent. A histogram's bounds are fixed at first registration;
+    /// later calls return the existing histogram regardless of `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                assert!(!bounds.is_empty(), "histogram needs at least one bound");
+                assert!(
+                    bounds.windows(2).all(|w| w[0] < w[1]),
+                    "histogram bounds must be strictly increasing"
+                );
+                Histogram(Arc::new(HistogramCore {
+                    bounds: bounds.to_vec(),
+                    state: Mutex::new(HistogramState {
+                        counts: vec![0; bounds.len() + 1],
+                        sum: 0.0,
+                        count: 0,
+                    }),
+                }))
+            })
+            .clone()
+    }
+
+    /// A consistent point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Build a labeled metric key: `labeled("qsim.device.drops",
+/// &[("device", "3")])` gives `qsim.device.drops{device="3"}`.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("a.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name -> same cell.
+        assert_eq!(r.counter("a.count").get(), 5);
+        let g = r.gauge("a.value");
+        g.set(-1.25);
+        assert_eq!(r.gauge("a.value").get(), -1.25);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_sum_correctly() {
+        let r = Registry::new();
+        let c = r.counter("hits");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_are_inclusive() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[1.0, 2.0, 4.0]);
+        h.observe(1.0); // exactly on the first bound -> first bucket
+        h.observe(1.0001); // just above -> second bucket
+        h.observe(4.0); // on the last bound -> third bucket
+        h.observe(4.0001); // above every bound -> +Inf bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 1, 1, 1]);
+        assert_eq!(snap.count, 4);
+        assert!((snap.sum - 10.0002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let r = Registry::new();
+        let h = r.histogram("dur", &[0.5, 1.0]);
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.0);
+        h.start_timer().stop();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn concurrent_histogram_observations_all_land() {
+        let r = Registry::new();
+        let h = r.histogram("obs", &[0.5]);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1_000 {
+                        h.observe(if (t + i) % 2 == 0 { 0.25 } else { 0.75 });
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4_000);
+        assert_eq!(snap.counts.iter().sum::<u64>(), 4_000);
+        assert_eq!(snap.counts, vec![2_000, 2_000]);
+    }
+
+    #[test]
+    fn labeled_builds_prometheus_style_keys() {
+        assert_eq!(labeled("x.y", &[]), "x.y");
+        assert_eq!(labeled("x.y", &[("device", "3")]), "x.y{device=\"3\"}");
+        assert_eq!(
+            labeled("x", &[("a", "1"), ("b", "2")]),
+            "x{a=\"1\",b=\"2\"}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_bounds_are_rejected() {
+        Registry::new().histogram("bad", &[2.0, 1.0]);
+    }
+}

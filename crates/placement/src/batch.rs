@@ -40,9 +40,9 @@ where
     let results: Mutex<Vec<Option<Result<SaResult>>>> = Mutex::new(vec![None; problems.len()]);
     let next: Mutex<usize> = Mutex::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = {
                     let mut n = next.lock();
                     if *n >= problems.len() {
@@ -63,8 +63,7 @@ where
                 results.lock()[i] = Some(outcome);
             });
         }
-    })
-    .expect("batch optimization worker panicked");
+    });
 
     results
         .into_inner()

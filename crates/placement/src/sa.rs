@@ -4,12 +4,25 @@
 
 use crate::evaluator::Evaluator;
 use crate::problem::PlacementProblem;
+use chainnet_obs::Obs;
 use chainnet_qsim::model::Placement;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Telemetry record emitted once per completed trial on the `sa` component.
+#[derive(Debug, Clone, Copy, Serialize)]
+struct SaTrialEvent {
+    kind: &'static str,
+    trial: usize,
+    proposals: u64,
+    accepted: u64,
+    improvements: usize,
+    best_objective: f64,
+    elapsed_secs: f64,
+}
 
 /// Configuration of the annealing search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -264,11 +277,30 @@ impl SimulatedAnnealing {
         evaluator: &mut dyn Evaluator,
         trials: usize,
     ) -> SaResult {
+        self.optimize_observed(problem, initial, evaluator, trials, &Obs::disabled())
+    }
+
+    /// [`optimize`](Self::optimize) with search telemetry recorded into
+    /// `obs`: `sa.proposals` / `sa.accepted` / `sa.trials` / `sa.evaluations`
+    /// counters, `sa.accept_rate` / `sa.best_objective` / `sa.temperature` /
+    /// `sa.evals_per_sec` gauges, and one `sa_trial` event per trial.
+    /// Metrics are aggregated after each trial, so the hot accept/reject
+    /// loop is untouched.
+    pub fn optimize_observed(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        evaluator: &mut dyn Evaluator,
+        trials: usize,
+        obs: &Obs,
+    ) -> SaResult {
         let start = Instant::now();
         let initial_objective = evaluator.total_throughput(problem, initial);
         let mut result_trials = Vec::with_capacity(trials);
         let mut best = initial.clone();
         let mut best_obj = initial_objective;
+        let mut proposals_total = 0u64;
+        let mut accepted_total = 0u64;
         for t in 0..trials {
             let trial = self.run_trial(
                 problem,
@@ -281,15 +313,55 @@ impl SimulatedAnnealing {
                 best = trial.best_placement.clone();
                 best_obj = trial.best_objective;
             }
+            if obs.is_enabled() {
+                let proposals = trial.steps.len() as u64;
+                let accepted = trial.steps.iter().filter(|s| s.accepted).count() as u64;
+                proposals_total += proposals;
+                accepted_total += accepted;
+                obs.registry.counter("sa.trials").inc();
+                obs.registry.counter("sa.proposals").add(proposals);
+                obs.registry.counter("sa.accepted").add(accepted);
+                if proposals_total > 0 {
+                    obs.registry
+                        .gauge("sa.accept_rate")
+                        .set(accepted_total as f64 / proposals_total as f64);
+                }
+                obs.registry.gauge("sa.best_objective").set(best_obj);
+                obs.registry.gauge("sa.temperature").set(
+                    self.config.initial_temp * self.config.cooling.powi(trial.steps.len() as i32),
+                );
+                obs.events.emit(
+                    "sa",
+                    &SaTrialEvent {
+                        kind: "sa_trial",
+                        trial: t,
+                        proposals,
+                        accepted,
+                        improvements: trial.improvements.len(),
+                        best_objective: trial.best_objective,
+                        elapsed_secs: trial.elapsed_secs,
+                    },
+                );
+            }
             result_trials.push(trial);
+        }
+        let elapsed_secs = start.elapsed().as_secs_f64();
+        let evaluations = evaluator.evaluations();
+        if obs.is_enabled() {
+            obs.registry.counter("sa.evaluations").add(evaluations);
+            if elapsed_secs > 0.0 {
+                obs.registry
+                    .gauge("sa.evals_per_sec")
+                    .set(evaluations as f64 / elapsed_secs);
+            }
         }
         SaResult {
             trials: result_trials,
             best_placement: best,
             best_objective: best_obj,
             initial_objective,
-            evaluations: evaluator.evaluations(),
-            elapsed_secs: start.elapsed().as_secs_f64(),
+            evaluations,
+            elapsed_secs,
         }
     }
 
@@ -439,6 +511,32 @@ mod tests {
         let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(5));
         let res = sa.optimize_for(&p, &init, &mut ev, 0.0);
         assert_eq!(res.trials.len(), 1);
+    }
+
+    #[test]
+    fn observed_search_matches_plain_and_records_metrics() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(12));
+        let mut ev1 = SimEvaluator::new(SimConfig::new(500.0, 9));
+        let mut ev2 = SimEvaluator::new(SimConfig::new(500.0, 9));
+        let plain = sa.optimize(&p, &init, &mut ev1, 2);
+        let obs = Obs::enabled();
+        let observed = sa.optimize_observed(&p, &init, &mut ev2, 2, &obs);
+        // Instrumentation must not perturb the search.
+        assert_eq!(plain.best_placement, observed.best_placement);
+        assert_eq!(plain.best_objective, observed.best_objective);
+        assert_eq!(plain.evaluations, observed.evaluations);
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["sa.trials"], 2);
+        assert_eq!(snap.counters["sa.proposals"], 24);
+        assert_eq!(snap.counters["sa.evaluations"], observed.evaluations);
+        let accepted = snap.counters["sa.accepted"];
+        assert!(accepted <= 24);
+        assert_eq!(snap.gauges["sa.accept_rate"], accepted as f64 / 24.0);
+        assert_eq!(snap.gauges["sa.best_objective"], observed.best_objective);
+        let expected_temp = 0.5 * 0.9f64.powi(12);
+        assert!((snap.gauges["sa.temperature"] - expected_temp).abs() < 1e-12);
     }
 
     #[test]

@@ -13,11 +13,30 @@ use crate::error::Result;
 use crate::model::{ChainIdx, DeviceIdx, MemoryPolicy, ServicePolicy, SystemModel};
 use crate::stats::{TimeWeighted, Welford};
 use crate::trace::{Trace, TraceKind};
+use chainnet_obs::{labeled, Obs};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Bucket bounds for the `qsim.device.queue_depth` histogram (jobs).
+const QUEUE_DEPTH_BUCKETS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Bucket bounds for the `qsim.run_wall_seconds` histogram (seconds).
+const WALL_SECONDS_BUCKETS: &[f64] = &[0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0];
+
+/// Structured event emitted once per observed run.
+#[derive(Debug, Clone, Copy, Serialize)]
+struct SimRunEvent {
+    kind: &'static str,
+    horizon: f64,
+    seed: u64,
+    events: u64,
+    total_throughput: f64,
+    loss_probability: f64,
+    wall_seconds: f64,
+}
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -230,6 +249,41 @@ impl Simulator {
     /// Returns an error if an interarrival distribution cannot be built
     /// from a chain's arrival rate.
     pub fn run(&self, model: &SystemModel, config: &SimConfig) -> Result<SimResult> {
+        self.run_observed(model, config, &Obs::disabled())
+    }
+
+    /// Like [`Simulator::run`], additionally recording metrics and a
+    /// run-summary event into `obs` when it is enabled:
+    ///
+    /// * `qsim.events_processed` counter and `qsim.events_per_sec` gauge;
+    /// * `qsim.run_wall_seconds` histogram (RAII-timed wall clock);
+    /// * `qsim.device.queue_depth` histogram, sampled at event times;
+    /// * per-device `qsim.device.{admits,drops}{device="k"}` counters,
+    ///   `qsim.device.utilization{device="k"}` gauges, plus unlabeled
+    ///   workspace-wide totals of the two counters.
+    ///
+    /// With a disabled `obs` this is exactly [`Simulator::run`]: the
+    /// instrumentation reduces to one hoisted branch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an interarrival distribution cannot be built
+    /// from a chain's arrival rate.
+    pub fn run_observed(
+        &self,
+        model: &SystemModel,
+        config: &SimConfig,
+        obs: &Obs,
+    ) -> Result<SimResult> {
+        let wall_timer = obs.is_enabled().then(|| {
+            obs.registry
+                .histogram("qsim.run_wall_seconds", WALL_SECONDS_BUCKETS)
+                .start_timer()
+        });
+        let queue_depth = obs.is_enabled().then(|| {
+            obs.registry
+                .histogram("qsim.device.queue_depth", QUEUE_DEPTH_BUCKETS)
+        });
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let num_devices = model.devices().len();
         let num_chains = model.chains().len();
@@ -317,6 +371,10 @@ impl Simulator {
                         job_mem,
                         &mut trace,
                     );
+                    if let Some(h) = &queue_depth {
+                        let first = model.placement().device_of(chain, 0);
+                        h.observe(stations[first].job_count());
+                    }
                 }
                 EventKind::Departure { device, job } => {
                     let servers = model.devices()[device].servers.max(1);
@@ -399,6 +457,9 @@ impl Simulator {
                         now,
                         &mut trace,
                     );
+                    if let Some(h) = &queue_depth {
+                        h.observe(stations[device].job_count());
+                    }
                 }
             }
         }
@@ -440,7 +501,7 @@ impl Simulator {
             .collect();
         let x_total: f64 = chains.iter().map(|c| c.throughput).sum();
         let lam_total = model.total_arrival_rate();
-        Ok(SimResult {
+        let result = SimResult {
             chains,
             devices,
             total_throughput: x_total,
@@ -449,7 +510,42 @@ impl Simulator {
             measured_time: window,
             events: processed,
             trace,
-        })
+        };
+        if let Some(timer) = wall_timer {
+            let wall = timer.elapsed_secs();
+            timer.stop();
+            let reg = &obs.registry;
+            reg.counter("qsim.events_processed").add(processed);
+            reg.gauge("qsim.events_per_sec")
+                .set(processed as f64 / wall.max(1e-9));
+            let (mut admits_total, mut drops_total) = (0u64, 0u64);
+            for (k, d) in result.devices.iter().enumerate() {
+                let id = k.to_string();
+                reg.counter(&labeled("qsim.device.admits", &[("device", &id)]))
+                    .add(d.admitted);
+                reg.counter(&labeled("qsim.device.drops", &[("device", &id)]))
+                    .add(d.drops);
+                reg.gauge(&labeled("qsim.device.utilization", &[("device", &id)]))
+                    .set(d.utilization);
+                admits_total += d.admitted;
+                drops_total += d.drops;
+            }
+            reg.counter("qsim.device.admits").add(admits_total);
+            reg.counter("qsim.device.drops").add(drops_total);
+            obs.events.emit(
+                "qsim",
+                &SimRunEvent {
+                    kind: "sim_run",
+                    horizon: config.horizon,
+                    seed: config.seed,
+                    events: processed,
+                    total_throughput: result.total_throughput,
+                    loss_probability: result.loss_probability,
+                    wall_seconds: wall,
+                },
+            );
+        }
+        Ok(result)
     }
 
     /// Offer a job to the station executing its fragment; drop on overflow.
@@ -1028,6 +1124,80 @@ mod tests {
         let res = Simulator::new().run(&model, &cfg).unwrap();
         assert_eq!(res.trace.events().len(), 50);
         assert!(res.trace.is_truncated());
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_records_metrics() {
+        let model = single_station(0.9, 1.0, 3.0);
+        let cfg = SimConfig::new(2_000.0, 42);
+        let plain = Simulator::new().run(&model, &cfg).unwrap();
+        let obs = Obs::enabled();
+        let observed = Simulator::new().run_observed(&model, &cfg, &obs).unwrap();
+        // Instrumentation must not perturb the simulation.
+        assert_eq!(plain, observed);
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["qsim.events_processed"], observed.events);
+        assert_eq!(
+            snap.counters["qsim.device.drops{device=\"0\"}"],
+            observed.devices[0].drops
+        );
+        assert_eq!(
+            snap.counters["qsim.device.drops"],
+            observed.devices[0].drops
+        );
+        assert!(observed.devices[0].drops > 0, "overloaded station drops");
+        assert!(snap.gauges["qsim.events_per_sec"] > 0.0);
+        assert!(
+            (snap.gauges["qsim.device.utilization{device=\"0\"}"]
+                - observed.devices[0].utilization)
+                .abs()
+                < 1e-12
+        );
+        assert_eq!(snap.histograms["qsim.run_wall_seconds"].count, 1);
+        assert!(snap.histograms["qsim.device.queue_depth"].count > 0);
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let model = single_station(0.5, 1.0, 5.0);
+        let obs = Obs::disabled();
+        Simulator::new()
+            .run_observed(&model, &SimConfig::new(500.0, 1), &obs)
+            .unwrap();
+        let snap = obs.registry.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn trace_buffer_overflow_does_not_perturb_the_simulation() {
+        // A tiny trace capacity fills almost immediately; the simulated
+        // dynamics and statistics must be identical to an untraced run.
+        let model = single_station(0.9, 1.0, 5.0);
+        let untraced = Simulator::new()
+            .run(&model, &SimConfig::new(5_000.0, 31))
+            .unwrap();
+        let traced = Simulator::new()
+            .run(&model, &SimConfig::new(5_000.0, 31).with_trace_capacity(8))
+            .unwrap();
+        assert!(traced.trace.is_truncated());
+        assert_eq!(traced.trace.events().len(), 8);
+        assert_eq!(untraced.chains, traced.chains);
+        assert_eq!(untraced.devices, traced.devices);
+        assert_eq!(untraced.events, traced.events);
+    }
+
+    #[test]
+    fn trace_times_are_non_decreasing_even_when_truncated() {
+        let model = single_station(2.0, 1.0, 4.0);
+        let res = Simulator::new()
+            .run(&model, &SimConfig::new(2_000.0, 9).with_trace_capacity(200))
+            .unwrap();
+        assert!(res.trace.is_truncated());
+        for w in res.trace.events().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let placement = Placement::new(vec![vec![0, 1]]);
     let cfg = SimConfig::new(50_000.0, 7);
-    let run = |chain: ServiceChain, devices: Vec<Device>| -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let run = |chain: ServiceChain,
+               devices: Vec<Device>|
+     -> Result<(f64, f64), Box<dyn std::error::Error>> {
         let model = SystemModel::new(devices, vec![chain], placement.clone())?;
         let res = Simulator::new().run(&model, &cfg)?;
         Ok((res.chains[0].throughput, res.loss_probability))
@@ -27,23 +29,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. The paper's base model: strict forward execution, perfect links.
     let (x, loss) = run(chain.clone(), devices.clone())?;
-    println!("strict forward          : X = {x:.3}, loss = {:.1}%", 100.0 * loss);
+    println!(
+        "strict forward          : X = {x:.3}, loss = {:.1}%",
+        100.0 * loss
+    );
 
     // 2. Unreliable link between the two fragments (90% success).
     let flaky = chain.clone().with_hop_reliability(vec![0.9]);
     let (x, loss) = run(flaky, devices.clone())?;
-    println!("10% link failure        : X = {x:.3}, loss = {:.1}%", 100.0 * loss);
+    println!(
+        "10% link failure        : X = {x:.3}, loss = {:.1}%",
+        100.0 * loss
+    );
 
     // 3. Early-exit network: 40% of requests finish after fragment 1.
     let early = chain.clone().with_early_exit(vec![0.4]);
     let (x, loss) = run(early, devices.clone())?;
-    println!("40% early exit          : X = {x:.3}, loss = {:.1}%", 100.0 * loss);
+    println!(
+        "40% early exit          : X = {x:.3}, loss = {:.1}%",
+        100.0 * loss
+    );
 
     // 4. Upgrade the tail device to two cores (M/M/2/K station).
     let mut upgraded = devices;
     upgraded[1] = Device::new(8.0, 0.5)?.with_servers(2);
     let (x, loss) = run(chain, upgraded)?;
-    println!("dual-core tail device   : X = {x:.3}, loss = {:.1}%", 100.0 * loss);
+    println!(
+        "dual-core tail device   : X = {x:.3}, loss = {:.1}%",
+        100.0 * loss
+    );
 
     Ok(())
 }

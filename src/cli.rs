@@ -17,8 +17,11 @@ use chainnet::config::{ModelConfig, TrainConfig};
 use chainnet::graph::PlacementGraph;
 use chainnet::model::{ChainNet, Surrogate};
 use chainnet::train::Trainer;
-use chainnet_datagen::dataset::{generate_raw_dataset, to_labeled, DatasetConfig, RawSample};
+use chainnet_datagen::dataset::{
+    generate_raw_dataset_observed, to_labeled, DatasetConfig, RawSample,
+};
 use chainnet_datagen::typesets::NetworkParams;
+use chainnet_obs::{EventLog, Obs};
 use chainnet_placement::evaluator::{loss_probability, GnnEvaluator, SimEvaluator};
 use chainnet_placement::problem::PlacementProblem;
 use chainnet_placement::sa::{SaConfig, SimulatedAnnealing};
@@ -79,12 +82,65 @@ impl From<chainnet_qsim::QsimError> for CliError {
     }
 }
 
+/// The options each subcommand accepts, or `None` for unknown commands
+/// (those fail later in [`run`] with the full usage text).
+fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
+    match command {
+        "simulate" => Some(&[
+            "system",
+            "horizon",
+            "seed",
+            "trace",
+            "metrics-out",
+            "log-json",
+        ]),
+        "gen-dataset" => Some(&[
+            "out",
+            "samples",
+            "type",
+            "horizon",
+            "seed",
+            "metrics-out",
+            "log-json",
+        ]),
+        "train" => Some(&[
+            "data",
+            "out",
+            "epochs",
+            "hidden",
+            "iterations",
+            "batch",
+            "lr",
+            "seed",
+            "metrics-out",
+            "log-json",
+        ]),
+        "predict" => Some(&["model", "system"]),
+        "optimize" => Some(&[
+            "problem",
+            "model",
+            "steps",
+            "trials",
+            "horizon",
+            "seed",
+            "out",
+            "metrics-out",
+            "log-json",
+        ]),
+        "stats" => Some(&["data"]),
+        "evaluate" => Some(&["model", "data"]),
+        "export-dot" => Some(&["system", "out"]),
+        "case-study" => Some(&["out"]),
+        _ => None,
+    }
+}
+
 /// Parse `args` (excluding the program name) into an [`Invocation`].
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Usage`] when no subcommand is given or an option
-/// is malformed.
+/// Returns [`CliError::Usage`] when no subcommand is given, an option is
+/// malformed, or an option is not accepted by the subcommand.
 pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::Usage(usage()));
@@ -92,6 +148,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     if command == "--help" || command == "-h" || command == "help" {
         return Err(CliError::Usage(usage()));
     }
+    let allowed = allowed_options(command);
     let mut options = HashMap::new();
     let mut i = 1;
     while i < args.len() {
@@ -99,6 +156,18 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         let Some(stripped) = key.strip_prefix("--") else {
             return Err(CliError::Usage(format!("expected --option, got `{key}`")));
         };
+        if let Some(valid) = allowed {
+            if !valid.contains(&stripped) {
+                return Err(CliError::Usage(format!(
+                    "unknown option --{stripped} for `{command}`; valid options: {}",
+                    valid
+                        .iter()
+                        .map(|o| format!("--{o}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
         let Some(value) = args.get(i + 1) else {
             return Err(CliError::Usage(format!("missing value for --{stripped}")));
         };
@@ -131,8 +200,47 @@ COMMANDS:
   export-dot   --system s.json [--out graph.dot]
   case-study   [--out problem.json]
 
+OBSERVABILITY (simulate, gen-dataset, train, optimize):
+  --metrics-out metrics.json   write a metrics snapshot when the command
+                               finishes (`.prom` extension selects the
+                               Prometheus text format instead of JSON)
+  --log-json events.jsonl      append structured JSON-lines events
+
 All files are the library's serde JSON formats; see the crate docs."
         .to_string()
+}
+
+/// Build the telemetry context from `--metrics-out` / `--log-json`.
+/// Returns the disabled context when neither flag is given, so the
+/// instrumented code paths cost one branch per site.
+fn build_obs(inv: &Invocation) -> Result<Obs, CliError> {
+    let metrics_out = inv.options.get("metrics-out");
+    let log_json = inv.options.get("log-json");
+    if metrics_out.is_none() && log_json.is_none() {
+        return Ok(Obs::disabled());
+    }
+    let mut obs = Obs::enabled();
+    if let Some(path) = log_json {
+        obs = obs.with_events(EventLog::to_file(Path::new(path))?);
+    }
+    Ok(obs)
+}
+
+/// Write the registry snapshot to `--metrics-out` (if given): Prometheus
+/// text when the path ends in `.prom`, pretty JSON otherwise.
+fn write_metrics(inv: &Invocation, obs: &Obs) -> Result<(), CliError> {
+    let Some(path) = inv.options.get("metrics-out") else {
+        return Ok(());
+    };
+    let snapshot = obs.registry.snapshot();
+    let rendered = if path.ends_with(".prom") {
+        snapshot.to_prometheus()
+    } else {
+        snapshot.to_json_pretty()?
+    };
+    std::fs::write(Path::new(path), rendered)?;
+    obs.events.flush();
+    Ok(())
 }
 
 fn opt_f64(inv: &Invocation, key: &str, default: f64) -> Result<f64, CliError> {
@@ -208,7 +316,9 @@ fn cmd_simulate(inv: &Invocation) -> Result<String, CliError> {
     let seed = opt_u64(inv, "seed", 0)?;
     let trace = opt_usize(inv, "trace", 0)?;
     let cfg = SimConfig::new(horizon, seed).with_trace_capacity(trace);
-    let result = Simulator::new().run(&system, &cfg)?;
+    let obs = build_obs(inv)?;
+    let result = Simulator::new().run_observed(&system, &cfg, &obs)?;
+    write_metrics(inv, &obs)?;
     Ok(serde_json::to_string_pretty(&result)?)
 }
 
@@ -255,8 +365,10 @@ fn cmd_gen_dataset(inv: &Invocation) -> Result<String, CliError> {
         }
     };
     let cfg = DatasetConfig::new(samples, seed).with_horizon(horizon);
-    let raw = generate_raw_dataset(params, &cfg)?;
+    let obs = build_obs(inv)?;
+    let raw = generate_raw_dataset_observed(params, &cfg, &obs)?;
     write_json(out, &raw)?;
+    write_metrics(inv, &obs)?;
     Ok(format!("wrote {} samples to {out}", raw.len()))
 }
 
@@ -277,8 +389,10 @@ fn cmd_train(inv: &Invocation) -> Result<String, CliError> {
     let mut model = ChainNet::new(model_cfg, opt_u64(inv, "seed", 0)?);
     let labeled = to_labeled(&data, model_cfg.feature_mode);
     let trainer = Trainer::new(train_cfg);
-    let report = trainer.train(&mut model, &labeled, None);
+    let obs = build_obs(inv)?;
+    let report = trainer.train_observed(&mut model, &labeled, None, &obs);
     write_json(out, &model)?;
+    write_metrics(inv, &obs)?;
     let mut msg = String::new();
     writeln!(
         msg,
@@ -358,20 +472,22 @@ fn cmd_optimize(inv: &Invocation) -> Result<String, CliError> {
             .with_max_steps(steps)
             .with_seed(seed),
     );
+    let obs = build_obs(inv)?;
     let result = match inv.options.get("model") {
         Some(path) => {
             let model: ChainNet = read_json(path)?;
             let mut ev = GnnEvaluator::new(model);
-            sa.optimize(&problem, &initial, &mut ev, trials)
+            sa.optimize_observed(&problem, &initial, &mut ev, trials, &obs)
         }
         None => {
             let mut ev = SimEvaluator::new(SimConfig::new(horizon, seed));
-            sa.optimize(&problem, &initial, &mut ev, trials)
+            sa.optimize_observed(&problem, &initial, &mut ev, trials, &obs)
         }
     };
     // Post-process with the simulator as the paper does.
     let model = problem.bind(result.best_placement.clone())?;
     let sim = Simulator::new().run(&model, &SimConfig::new(horizon, seed ^ 0xdead))?;
+    write_metrics(inv, &obs)?;
     let lam = problem.total_arrival_rate();
     if let Some(out) = inv.options.get("out") {
         write_json(out, &result.best_placement)?;
@@ -421,6 +537,24 @@ mod tests {
         assert_eq!(inv.command, "simulate");
         assert_eq!(inv.options["system"], "s.json");
         assert_eq!(inv.options["seed"], "7");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_option_with_suggestions() {
+        let err = parse_args(&args(&["simulate", "--sytem", "s.json"])).unwrap_err();
+        let CliError::Usage(text) = err else {
+            panic!("expected usage error")
+        };
+        assert!(text.contains("unknown option --sytem for `simulate`"));
+        assert!(text.contains("--system"));
+        assert!(text.contains("--metrics-out"));
+    }
+
+    #[test]
+    fn parse_allows_any_option_for_unknown_command() {
+        // Unknown commands defer to `run` for the full usage message.
+        let inv = parse_args(&args(&["frobnicate", "--whatever", "1"])).unwrap();
+        assert!(matches!(run(&inv), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -477,6 +611,64 @@ mod tests {
         let out = run(&inv).unwrap();
         assert!(out.contains("total_throughput"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_writes_metrics_and_event_log() {
+        let devices = vec![Device::new(10.0, 1.0).unwrap()];
+        let chains = vec![ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        let system = SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap();
+        let sys_path = temp("obs_system.json");
+        let metrics_path = temp("obs_metrics.json");
+        let prom_path = format!("{}.prom", temp("obs_metrics"));
+        let events_path = temp("obs_events.jsonl");
+        std::fs::write(&sys_path, serde_json::to_string(&system).unwrap()).unwrap();
+        let inv = parse_args(&args(&[
+            "simulate",
+            "--system",
+            &sys_path,
+            "--horizon",
+            "500",
+            "--metrics-out",
+            &metrics_path,
+            "--log-json",
+            &events_path,
+        ]))
+        .unwrap();
+        run(&inv).unwrap();
+        let snap =
+            chainnet_obs::Snapshot::from_json(&std::fs::read_to_string(&metrics_path).unwrap())
+                .unwrap();
+        assert!(snap.counters["qsim.events_processed"] > 0);
+        assert!(snap
+            .counters
+            .keys()
+            .any(|k| k.starts_with("qsim.device.drops{device=")));
+        assert_eq!(snap.histograms["qsim.run_wall_seconds"].count, 1);
+        let events = std::fs::read_to_string(&events_path).unwrap();
+        let first: serde_json::Value =
+            serde_json::from_str(events.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            first.get("component").and_then(|v| v.as_str()),
+            Some("qsim")
+        );
+        // A `.prom` extension selects the Prometheus text format.
+        let inv = parse_args(&args(&[
+            "simulate",
+            "--system",
+            &sys_path,
+            "--horizon",
+            "500",
+            "--metrics-out",
+            &prom_path,
+        ]))
+        .unwrap();
+        run(&inv).unwrap();
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("# TYPE qsim_events_processed counter"));
+        for p in [&sys_path, &metrics_path, &prom_path, &events_path] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -65,19 +65,23 @@ fn training_on_simulated_data_reduces_loss_and_ape() {
 
 #[test]
 fn trained_surrogate_generalizes_to_unseen_type_i_graphs() {
+    // A 400-unit horizon gives labels too noisy for a robust
+    // generalization bound: whether MAPE lands under the threshold then
+    // depends on the RNG draw. 80 samples at a 800-unit horizon keeps
+    // the test fast but makes the property hold with a wide margin.
     let train_raw = generate_raw_dataset(
         NetworkParams::type_i(),
-        &DatasetConfig::new(40, 21).with_horizon(400.0),
+        &DatasetConfig::new(80, 21).with_horizon(800.0),
     )
     .expect("train");
     let test_raw = generate_raw_dataset(
         NetworkParams::type_i(),
-        &DatasetConfig::new(10, 77_000).with_horizon(400.0),
+        &DatasetConfig::new(10, 77_000).with_horizon(800.0),
     )
     .expect("test");
     let cfg = small_config();
     let mut model = ChainNet::new(cfg, 3);
-    let trainer = quick_trainer(10);
+    let trainer = quick_trainer(40);
     trainer.train(&mut model, &to_labeled(&train_raw, cfg.feature_mode), None);
     let apes = trainer.evaluate_ape(&model, &to_labeled(&test_raw, cfg.feature_mode));
     let (tput, _) = apes.summaries();
