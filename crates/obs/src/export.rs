@@ -42,6 +42,12 @@ fn split_key(key: &str) -> (&str, Option<&str>) {
 }
 
 /// Sanitize a dotted metric name into the Prometheus charset.
+///
+/// Every non-alphanumeric character maps to `_`, so this is lossy:
+/// distinct registry names like `a.b_c` and `a_b.c` collapse to the
+/// same Prometheus series. Stick to the documented naming scheme
+/// (lowercase segments joined by `.`, no other punctuation) to keep
+/// sanitized names collision-free.
 fn prom_name(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })

@@ -78,7 +78,16 @@ pub struct Histogram(Arc<HistogramCore>);
 
 impl Histogram {
     /// Record one observation.
+    ///
+    /// Non-finite values (NaN, ±Inf) are ignored: they carry no bucket
+    /// information and a single NaN would poison `sum` for the rest of
+    /// the process. A debug assertion flags them so instrumentation
+    /// bugs surface in tests.
     pub fn observe(&self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite histogram observation: {v}");
+        if !v.is_finite() {
+            return;
+        }
         let idx = self
             .0
             .bounds
@@ -221,7 +230,15 @@ impl Registry {
             .clone()
     }
 
-    /// A consistent point-in-time copy of every registered metric.
+    /// An approximately point-in-time copy of every registered metric.
+    ///
+    /// Each metric is read atomically, but the three metric maps are
+    /// locked one after another and values are loaded independently, so
+    /// a writer updating several metrics concurrently may be observed
+    /// mid-update (e.g. a histogram count that disagrees with a counter
+    /// bumped in the same instrumentation block). Cross-metric
+    /// consistency is not guaranteed; quiesce writers first if you need
+    /// it.
     pub fn snapshot(&self) -> Snapshot {
         let counters = self
             .inner
@@ -254,7 +271,25 @@ impl Registry {
 
 /// Build a labeled metric key: `labeled("qsim.device.drops",
 /// &[("device", "3")])` gives `qsim.device.drops{device="3"}`.
+///
+/// Names should be lowercase dotted paths (`[a-z0-9_.]`), and label
+/// values must not contain `,` or `"`: the Prometheus exporter
+/// sanitizes every non-alphanumeric name character to `_` (so
+/// punctuation-only differences collapse to one series) and parses
+/// label blocks by splitting on `,`. All internal metric names follow
+/// this scheme; debug builds assert it.
 pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    debug_assert!(
+        name.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+        "metric name `{name}` outside [a-z0-9_.]"
+    );
+    debug_assert!(
+        labels
+            .iter()
+            .all(|(_, v)| !v.contains(',') && !v.contains('"')),
+        "label value with `,` or `\"` breaks the Prometheus round-trip"
+    );
     if labels.is_empty() {
         return name.to_string();
     }
@@ -358,5 +393,28 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unordered_bounds_are_rejected() {
         Registry::new().histogram("bad", &[2.0, 1.0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite histogram observation")]
+    fn non_finite_observation_asserts_in_debug() {
+        let r = Registry::new();
+        r.histogram("h", &[1.0]).observe(f64::NAN);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn non_finite_observation_is_ignored_in_release() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(0.5);
+        let snap = r.snapshot();
+        let hs = &snap.histograms["h"];
+        assert_eq!(hs.count, 1);
+        assert_eq!(hs.counts, vec![1, 0]);
+        assert!(hs.sum.is_finite());
     }
 }

@@ -1,0 +1,604 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on
+//! `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline).
+//!
+//! Supported shapes — exactly what this workspace declares:
+//!
+//! * structs with named fields, tuple structs (newtype and longer),
+//!   unit structs;
+//! * enums with unit, newtype, tuple, and struct variants, using
+//!   serde's externally tagged representation;
+//! * plain type parameters (`struct Trained<M>`), which receive a
+//!   `Serialize`/`Deserialize` bound;
+//! * field attributes `#[serde(default)]` and
+//!   `#[serde(default = "path")]`.
+//!
+//! Anything else (rename, flatten, skip, lifetimes, where clauses)
+//! panics at macro expansion time with a clear message rather than
+//! silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------
+
+/// How an absent field is filled during deserialization.
+#[derive(Clone, Debug, PartialEq)]
+enum DefaultAttr {
+    /// No `#[serde(default)]`: absent fields go through `from_missing`.
+    None,
+    /// `#[serde(default)]`: `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: DefaultAttr,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Type parameter identifiers, in declaration order.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    /// Clone-on-peek: `TokenTree` is cheap to clone, and returning an
+    /// owned token keeps `self` free for `pos` bumps in the caller.
+    fn peek(&self) -> Option<TokenTree> {
+        self.tokens.get(self.pos).cloned()
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde shim derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skip (and inspect) a `#[...]` attribute; returns the parsed
+    /// serde default attribute if it was `#[serde(...)]`.
+    fn eat_attribute(&mut self) -> Option<DefaultAttr> {
+        if !self.eat_punct('#') {
+            return None;
+        }
+        let group = match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde shim derive: malformed attribute, got {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if !inner.eat_ident("serde") {
+            return Some(DefaultAttr::None); // non-serde attribute (doc, cfg, ...)
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde shim derive: malformed #[serde] attribute, got {other:?}"),
+        };
+        let mut body = Cursor::new(args.stream());
+        if !body.eat_ident("default") {
+            panic!(
+                "serde shim derive: unsupported #[serde(...)] attribute `{}` \
+                 (only `default` and `default = \"path\"` are implemented)",
+                args.stream()
+            );
+        }
+        if body.eat_punct('=') {
+            match body.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    let path = s.trim_matches('"').to_string();
+                    Some(DefaultAttr::Path(path))
+                }
+                other => panic!("serde shim derive: expected \"path\" literal, got {other:?}"),
+            }
+        } else {
+            Some(DefaultAttr::Trait)
+        }
+    }
+
+    /// Consume every leading attribute, folding serde defaults together.
+    fn eat_attributes(&mut self) -> DefaultAttr {
+        let mut default = DefaultAttr::None;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(attr) = self.eat_attribute() {
+                if attr != DefaultAttr::None {
+                    default = attr;
+                }
+            }
+        }
+        default
+    }
+
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+
+    /// Skip a type expression up to a top-level `,` (or end), tracking
+    /// angle-bracket depth. Parens/brackets/braces arrive as single
+    /// groups, so only `<`/`>` need explicit tracking.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Item parser
+// ---------------------------------------------------------------------
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut c = Cursor::new(stream);
+    c.eat_attributes();
+    c.eat_visibility();
+
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!(
+            "serde shim derive: expected `struct` or `enum`, got {:?}",
+            c.peek()
+        );
+    };
+    let name = c.expect_ident();
+
+    let mut generics = Vec::new();
+    if c.eat_punct('<') {
+        let mut depth = 1usize;
+        let mut expecting_param = true;
+        while depth > 0 {
+            match c.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expecting_param = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    panic!("serde shim derive: lifetimes are not supported ({name})");
+                }
+                Some(TokenTree::Ident(i)) if depth == 1 && expecting_param => {
+                    let word = i.to_string();
+                    if word == "const" {
+                        panic!("serde shim derive: const generics are not supported ({name})");
+                    }
+                    generics.push(word);
+                    expecting_param = false;
+                }
+                Some(_) => {}
+                None => panic!("serde shim derive: unterminated generics on {name}"),
+            }
+        }
+    }
+
+    if matches!(c.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        panic!("serde shim derive: where clauses are not supported ({name})");
+    }
+
+    let kind = if is_enum {
+        let body = expect_brace(&mut c, &name);
+        Kind::Enum(parse_variants(body))
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde shim derive: malformed struct body for {name}: {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn expect_brace(c: &mut Cursor, name: &str) -> TokenStream {
+    match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde shim derive: expected `{{` body for {name}, got {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let default = c.eat_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.eat_visibility();
+        let name = c.expect_ident();
+        if !c.eat_punct(':') {
+            panic!("serde shim derive: expected `:` after field `{name}`");
+        }
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    if c.at_end() {
+        return 0;
+    }
+    let mut count = 1;
+    loop {
+        c.eat_attributes();
+        c.eat_visibility();
+        c.skip_type();
+        if c.eat_punct(',') {
+            if c.at_end() {
+                break; // trailing comma
+            }
+            count += 1;
+        } else {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.eat_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident();
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde shim derive: explicit discriminants are not supported ({name})");
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn impl_header(input: &Input, trait_path: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("<{}>", input.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_generics, ty_generics) = impl_header(input, "::serde::Serialize");
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("{ let mut __m: Vec<(String, ::serde::Value)> = Vec::new();");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m) }");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "{ let mut __m: Vec<(String, ::serde::Value)> = Vec::new();",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.push((\"{0}\".to_string(), ::serde::Serialize::to_value({0})));",
+                                f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Map(__m) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_named_field_reads(fields: &[Field], map_var: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let missing = match &f.default {
+            DefaultAttr::None => format!("::serde::Deserialize::from_missing(\"{}\")?", f.name),
+            DefaultAttr::Trait => "::std::default::Default::default()".to_string(),
+            DefaultAttr::Path(path) => format!("{path}()"),
+        };
+        s.push_str(&format!(
+            "{0}: match ::serde::find_field({map_var}, \"{0}\") {{\
+               ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\
+               ::std::option::Option::None => {missing},\
+             }},",
+            f.name
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_generics, ty_generics) = impl_header(input, "::serde::Deserialize");
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                   \"{name}: expected array\"))?;\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                   ::serde::Error::custom(format!(\"{name}: expected {n} elements, got {{}}\", __s.len()))); }}\
+                 ::std::result::Result::Ok({name}({items})) }}",
+                items = items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let reads = gen_named_field_reads(fields, "__m");
+            format!(
+                "{{ let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                   \"{name}: expected object\"))?;\
+                 ::std::result::Result::Ok({name} {{ {reads} }}) }}"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                               ::serde::Deserialize::from_value(__inner)?)),"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __s = __inner.as_seq().ok_or_else(|| \
+                               ::serde::Error::custom(\"{name}::{vn}: expected array\"))?;\
+                             if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                               ::serde::Error::custom(\"{name}::{vn}: wrong arity\")); }}\
+                             ::std::result::Result::Ok({name}::{vn}({items})) }},",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let reads = gen_named_field_reads(fields, "__mm");
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __mm = __inner.as_map().ok_or_else(|| \
+                               ::serde::Error::custom(\"{name}::{vn}: expected object\"))?;\
+                             ::std::result::Result::Ok({name}::{vn} {{ {reads} }}) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\
+                   ::serde::Value::Str(__s) => match __s.as_str() {{\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                       format!(\"unknown variant `{{}}` of {name}\", __other))),\
+                   }},\
+                   ::serde::Value::Map(__m) if __m.len() == 1 => {{\
+                     let (__k, __inner) = &__m[0];\
+                     match __k.as_str() {{\
+                       {payload_arms}\
+                       __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown variant `{{}}` of {name}\", __other))),\
+                     }}\
+                   }},\
+                   __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"{name}: expected externally tagged variant, got {{:?}}\", __other))),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}
