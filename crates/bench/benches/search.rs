@@ -21,17 +21,17 @@ fn bench_sa_trial(c: &mut Criterion) {
     group.bench_function("chainnet_evaluator", |b| {
         let net = ChainNet::new(ModelConfig::paper_chainnet(), 3);
         let mut ev = GnnEvaluator::new(net);
-        let x0 = ev.total_throughput(&problem, &initial);
+        let x0 = ev.total_throughput(&problem, &initial).expect("initial");
         b.iter(|| sa.run_trial(&problem, &initial, x0, &mut ev, 1))
     });
     group.bench_function("simulation_evaluator_h2000", |b| {
         let mut ev = SimEvaluator::new(SimConfig::new(2_000.0, 5));
-        let x0 = ev.total_throughput(&problem, &initial);
+        let x0 = ev.total_throughput(&problem, &initial).expect("initial");
         b.iter(|| sa.run_trial(&problem, &initial, x0, &mut ev, 1))
     });
     group.bench_function("decomposition_evaluator", |b| {
         let mut ev = ApproxEvaluator::default();
-        let x0 = ev.total_throughput(&problem, &initial);
+        let x0 = ev.total_throughput(&problem, &initial).expect("initial");
         b.iter(|| sa.run_trial(&problem, &initial, x0, &mut ev, 1))
     });
     group.finish();

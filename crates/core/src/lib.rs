@@ -57,4 +57,4 @@ pub use data::{ChainTargets, LabeledGraph};
 pub use graph::PlacementGraph;
 pub use metrics::{ApeCollector, ApeSummary};
 pub use model::{AttentionRecord, ChainNet, ForwardTrace, PerfPrediction, Surrogate};
-pub use train::{TrainReport, Trainer};
+pub use train::{GuardConfig, TrainError, TrainReport, Trainer};

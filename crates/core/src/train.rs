@@ -32,6 +32,58 @@ struct EpochEvent {
     wall_seconds: f64,
 }
 
+/// Divergence-guard settings for [`Trainer::train_guarded`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Clip the concatenated gradient to this L2 norm before each
+    /// optimizer step. Non-positive or infinite values disable clipping.
+    pub max_grad_norm: f64,
+    /// Abort with [`TrainError::Diverged`] after this many *consecutive*
+    /// epochs trip the guard (a clean epoch resets the count).
+    pub max_trips: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            max_grad_norm: 100.0,
+            max_trips: 3,
+        }
+    }
+}
+
+/// Typed failure of a guarded training run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// The divergence guard tripped on `max_trips` consecutive epochs;
+    /// the model holds the last known-good parameters.
+    Diverged {
+        /// Epoch on which the final trip occurred.
+        epoch: usize,
+        /// Total number of trips over the whole run.
+        trips: u64,
+    },
+    /// The training set was empty.
+    EmptyTrainingSet,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Diverged { epoch, trips } => write!(
+                f,
+                "training diverged: guard tripped {trips} time(s), \
+                 giving up at epoch {epoch}; model rolled back to the \
+                 last finite checkpoint"
+            ),
+            Self::EmptyTrainingSet => write!(f, "training set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 /// Loss values recorded after one epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EpochStats {
@@ -227,6 +279,181 @@ impl Trainer {
         }
         report
     }
+
+    /// Like [`Trainer::train`], but with a divergence guard: non-finite
+    /// losses, gradients, or parameters roll the model back to the last
+    /// known-good snapshot instead of silently corrupting it.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Diverged`] after `guard.max_trips` consecutive
+    /// tripped epochs (the model is left on the last good parameters),
+    /// or [`TrainError::EmptyTrainingSet`].
+    pub fn train_guarded<S: Surrogate>(
+        &self,
+        model: &mut S,
+        train: &[LabeledGraph],
+        val: Option<&[LabeledGraph]>,
+        guard: &GuardConfig,
+    ) -> Result<TrainReport, TrainError> {
+        self.train_guarded_observed(model, train, val, guard, &Obs::disabled())
+    }
+
+    /// Observed variant of [`Trainer::train_guarded`].
+    ///
+    /// Each epoch runs the usual mini-batch loop, but before every
+    /// optimizer step the batch loss, the accumulated gradients, and —
+    /// after the step — the parameters themselves are checked for
+    /// NaN/inf. Gradients are clipped to `guard.max_grad_norm` (L2).
+    /// A failed check *trips* the guard: the epoch is abandoned, the
+    /// parameters are rolled back to the snapshot taken after the last
+    /// clean epoch (or the initial weights), the Adam moments are reset,
+    /// and the `train.divergence_trips` counter is incremented. After
+    /// `guard.max_trips` consecutive trips the run aborts with
+    /// [`TrainError::Diverged`]; a clean epoch resets the streak.
+    ///
+    /// Tripped epochs contribute no [`EpochStats`], so the report's
+    /// history may be shorter than `config.epochs`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Trainer::train_guarded`].
+    pub fn train_guarded_observed<S: Surrogate>(
+        &self,
+        model: &mut S,
+        train: &[LabeledGraph],
+        val: Option<&[LabeledGraph]>,
+        guard: &GuardConfig,
+        obs: &Obs,
+    ) -> Result<TrainReport, TrainError> {
+        if train.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
+        let grad_norm = obs
+            .is_enabled()
+            .then(|| obs.registry.histogram("train.grad_norm", GRAD_NORM_BUCKETS));
+        let cfg = self.config;
+        let mut adam = Adam::new(cfg.learning_rate);
+        let schedule = StepDecay {
+            lr0: cfg.learning_rate,
+            factor: cfg.lr_decay,
+            period: cfg.lr_decay_period,
+        };
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut report = TrainReport::default();
+
+        // Last known-good snapshot; the initial weights qualify.
+        let mut last_good = model.params().clone();
+        let mut consecutive_trips = 0usize;
+        let mut total_trips = 0u64;
+
+        for epoch in 0..cfg.epochs {
+            let epoch_timer = obs.is_enabled().then(|| {
+                obs.registry
+                    .histogram("train.epoch_seconds", EPOCH_SECONDS_BUCKETS)
+                    .start_timer()
+            });
+            let lr = schedule.lr_at(epoch as u64);
+            adam.set_lr(lr);
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut epoch_chains = 0usize;
+            let mut epoch_batches = 0u64;
+            let mut tripped = false;
+
+            'batches: for batch in order.chunks(cfg.batch_size.max(1)) {
+                let q: usize = batch.iter().map(|&i| train[i].graph.num_chains()).sum();
+                let scale = 1.0 / (2.0 * q.max(1) as f64);
+                for &i in batch {
+                    let sample = &train[i];
+                    let mut tape = Tape::new();
+                    let raw = model.loss_on_graph(&mut tape, &sample.graph, &sample.targets);
+                    let raw_value = tape.value(raw).item();
+                    if !raw_value.is_finite() {
+                        tripped = true;
+                        break 'batches;
+                    }
+                    let scaled = tape.affine(raw, scale, 0.0);
+                    tape.backward(scaled);
+                    tape.accumulate_param_grads(model.params_mut());
+                    epoch_loss += raw_value;
+                }
+                epoch_chains += q;
+                epoch_batches += 1;
+                let pre_clip = model.params_mut().clip_grad_norm(guard.max_grad_norm);
+                if !pre_clip.is_finite() {
+                    tripped = true;
+                    break 'batches;
+                }
+                if let Some(h) = &grad_norm {
+                    h.observe(pre_clip);
+                }
+                adam.step(model.params_mut());
+                if !model.params_mut().values_all_finite() {
+                    tripped = true;
+                    break 'batches;
+                }
+            }
+
+            if tripped {
+                consecutive_trips += 1;
+                total_trips += 1;
+                if obs.is_enabled() {
+                    obs.registry.counter("train.divergence_trips").inc();
+                }
+                *model.params_mut() = last_good.clone();
+                model.params_mut().zero_grads();
+                // Adam's moment estimates were fed non-finite or oversized
+                // gradients; restart them alongside the weights.
+                adam = Adam::new(cfg.learning_rate);
+                adam.set_lr(lr);
+                if consecutive_trips >= guard.max_trips.max(1) {
+                    return Err(TrainError::Diverged {
+                        epoch,
+                        trips: total_trips,
+                    });
+                }
+                continue;
+            }
+
+            consecutive_trips = 0;
+            last_good = model.params().clone();
+            let train_loss = epoch_loss / (2.0 * epoch_chains.max(1) as f64);
+            let val_loss = val.map(|v| self.evaluate_loss(model, v));
+            if let Some(timer) = epoch_timer {
+                let wall = timer.elapsed_secs();
+                timer.stop();
+                let reg = &obs.registry;
+                reg.counter("train.epochs").inc();
+                reg.counter("train.batches").add(epoch_batches);
+                reg.gauge("train.samples_per_sec")
+                    .set(train.len() as f64 / wall.max(1e-9));
+                reg.gauge("train.loss").set(train_loss);
+                if let Some(v) = val_loss {
+                    reg.gauge("train.val_loss").set(v);
+                }
+                obs.events.emit(
+                    "train",
+                    &EpochEvent {
+                        kind: "epoch",
+                        epoch,
+                        train_loss,
+                        val_loss,
+                        lr,
+                        wall_seconds: wall,
+                    },
+                );
+            }
+            report.history.push(EpochStats {
+                epoch,
+                train_loss,
+                val_loss,
+                lr,
+            });
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -369,5 +596,158 @@ mod tests {
     fn empty_training_set_panics() {
         let mut model = ChainNet::new(ModelConfig::small(), 5);
         Trainer::new(TrainConfig::small()).train(&mut model, &[], None);
+    }
+
+    /// Wraps a healthy surrogate and poisons a window of `loss_on_graph`
+    /// calls with a NaN-scaled loss, to exercise the divergence guard.
+    struct Poisoned {
+        inner: ChainNet,
+        calls: std::cell::Cell<usize>,
+        poison_from: usize,
+        poison_count: usize,
+    }
+
+    impl Poisoned {
+        fn new(inner: ChainNet, poison_from: usize, poison_count: usize) -> Self {
+            Self {
+                inner,
+                calls: std::cell::Cell::new(0),
+                poison_from,
+                poison_count,
+            }
+        }
+    }
+
+    impl Surrogate for Poisoned {
+        fn name(&self) -> &str {
+            "poisoned"
+        }
+        fn config(&self) -> &ModelConfig {
+            self.inner.config()
+        }
+        fn params(&self) -> &chainnet_neural::params::ParamStore {
+            self.inner.params()
+        }
+        fn params_mut(&mut self) -> &mut chainnet_neural::params::ParamStore {
+            self.inner.params_mut()
+        }
+        fn loss_on_graph(
+            &self,
+            tape: &mut Tape,
+            graph: &PlacementGraph,
+            targets: &[ChainTargets],
+        ) -> chainnet_neural::tape::Var {
+            let raw = self.inner.loss_on_graph(tape, graph, targets);
+            let n = self.calls.get();
+            self.calls.set(n + 1);
+            if n >= self.poison_from && n < self.poison_from + self.poison_count {
+                tape.affine(raw, f64::NAN, 0.0)
+            } else {
+                raw
+            }
+        }
+        fn predict(&self, graph: &PlacementGraph) -> Vec<crate::model::PerfPrediction> {
+            self.inner.predict(graph)
+        }
+    }
+
+    #[test]
+    fn guarded_training_matches_plain_when_nothing_trips() {
+        let data = toy_dataset(12);
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 4,
+            learning_rate: 1e-3,
+            lr_decay: 0.9,
+            lr_decay_period: 10,
+            seed: 11,
+        };
+        let trainer = Trainer::new(cfg);
+        let mut plain_model = ChainNet::new(ModelConfig::small(), 17);
+        let plain = trainer.train(&mut plain_model, &data, None);
+        let mut guarded_model = ChainNet::new(ModelConfig::small(), 17);
+        // An infinite clip threshold makes the guard purely diagnostic.
+        let guard = GuardConfig {
+            max_grad_norm: f64::INFINITY,
+            max_trips: 3,
+        };
+        let guarded = trainer
+            .train_guarded(&mut guarded_model, &data, None, &guard)
+            .unwrap();
+        assert_eq!(plain, guarded);
+        assert_eq!(plain_model, guarded_model);
+    }
+
+    #[test]
+    fn guarded_training_survives_a_transient_nan_loss() {
+        let data = toy_dataset(16);
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            learning_rate: 5e-3,
+            lr_decay: 0.9,
+            lr_decay_period: 10,
+            seed: 13,
+        };
+        let trainer = Trainer::new(cfg);
+        // Poison one forward pass in the middle of epoch 2 (2 batches of
+        // 8 samples per epoch => calls 32..48 are epoch 2).
+        let mut model = Poisoned::new(ChainNet::new(ModelConfig::small(), 19), 36, 1);
+        let obs = Obs::enabled();
+        let report = trainer
+            .train_guarded_observed(&mut model, &data, None, &GuardConfig::default(), &obs)
+            .expect("a single transient NaN must not abort training");
+        // The tripped epoch is dropped from history; the rest completed.
+        assert_eq!(report.history.len(), 7);
+        assert!(model.params().values_all_finite());
+        assert!(report.final_train_loss().unwrap().is_finite());
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["train.divergence_trips"], 1);
+    }
+
+    #[test]
+    fn guarded_training_aborts_and_rolls_back_under_persistent_nan() {
+        let data = toy_dataset(8);
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 4,
+            learning_rate: 1e-3,
+            lr_decay: 0.9,
+            lr_decay_period: 10,
+            seed: 17,
+        };
+        let trainer = Trainer::new(cfg);
+        // Every forward pass is poisoned: no epoch can ever complete.
+        let mut model = Poisoned::new(ChainNet::new(ModelConfig::small(), 23), 0, usize::MAX);
+        let initial = model.params().clone();
+        let guard = GuardConfig {
+            max_grad_norm: 100.0,
+            max_trips: 3,
+        };
+        let obs = Obs::enabled();
+        let err = trainer
+            .train_guarded_observed(&mut model, &data, None, &guard, &obs)
+            .unwrap_err();
+        assert_eq!(err, TrainError::Diverged { epoch: 2, trips: 3 });
+        // Rolled back: with no clean epoch, the last good checkpoint is
+        // the initial weights (grads zeroed by the rollback).
+        let mut expected = initial;
+        expected.zero_grads();
+        assert_eq!(model.params(), &expected);
+        assert!(model.params().values_all_finite());
+        assert_eq!(
+            obs.registry.snapshot().counters["train.divergence_trips"],
+            3
+        );
+        assert!(err.to_string().contains("diverged"));
+    }
+
+    #[test]
+    fn guarded_training_rejects_empty_training_set() {
+        let mut model = ChainNet::new(ModelConfig::small(), 5);
+        let err = Trainer::new(TrainConfig::small())
+            .train_guarded(&mut model, &[], None, &GuardConfig::default())
+            .unwrap_err();
+        assert_eq!(err, TrainError::EmptyTrainingSet);
     }
 }

@@ -13,7 +13,8 @@ use chainnet_obs::Obs;
 use chainnet_qsim::approx::{solve, ApproxConfig};
 use chainnet_qsim::model::SystemModel;
 use chainnet_qsim::sim::{SimConfig, Simulator};
-use chainnet_qsim::Result;
+
+use crate::error::DatagenError;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -125,7 +126,7 @@ impl DatasetConfig {
 pub fn generate_raw_dataset(
     params: NetworkParams,
     config: &DatasetConfig,
-) -> Result<Vec<RawSample>> {
+) -> Result<Vec<RawSample>, DatagenError> {
     generate_raw_dataset_observed(params, config, &Obs::disabled())
 }
 
@@ -141,7 +142,7 @@ pub fn generate_raw_dataset_observed(
     params: NetworkParams,
     config: &DatasetConfig,
     obs: &Obs,
-) -> Result<Vec<RawSample>> {
+) -> Result<Vec<RawSample>, DatagenError> {
     let start = Instant::now();
     let sample_counter = obs
         .is_enabled()
@@ -244,13 +245,16 @@ pub fn generate_raw_dataset_observed(
         );
     }
     if let Some(e) = first_error.into_inner() {
-        return Err(e);
+        return Err(e.into());
     }
-    Ok(results
-        .into_inner()
-        .into_iter()
-        .map(|s| s.expect("all samples generated"))
-        .collect())
+    // No worker errored, so every slot must have been filled; guard
+    // against early worker termination anyway instead of panicking.
+    let slots = results.into_inner();
+    let missing = slots.iter().filter(|s| s.is_none()).count();
+    if missing > 0 {
+        return Err(DatagenError::Incomplete { missing });
+    }
+    Ok(slots.into_iter().flatten().collect())
 }
 
 /// Convert raw samples into labeled graphs under one feature mode.

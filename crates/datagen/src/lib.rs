@@ -10,7 +10,7 @@
 //! use chainnet_datagen::typesets::NetworkParams;
 //! use chainnet::config::FeatureMode;
 //!
-//! # fn main() -> Result<(), chainnet_qsim::QsimError> {
+//! # fn main() -> Result<(), chainnet_datagen::DatagenError> {
 //! let cfg = DatasetConfig::new(4, 0).with_horizon(200.0).with_threads(1);
 //! let raw = generate_raw_dataset(NetworkParams::type_i(), &cfg)?;
 //! let labeled = to_labeled(&raw, FeatureMode::Modified);
@@ -23,12 +23,14 @@
 
 pub mod case_study;
 pub mod dataset;
+pub mod error;
 pub mod problems;
 pub mod stats;
 pub mod typesets;
 
 pub use case_study::{case_study_dnns, case_study_problem, DeviceSpec, DnnSpec};
 pub use dataset::{generate_raw_dataset, to_labeled, DatasetConfig, LabelSource, RawSample};
+pub use error::DatagenError;
 pub use problems::{ProblemGenerator, ProblemParams};
 pub use stats::{dataset_stats, render_stats, DatasetStats};
 pub use typesets::{NetworkGenerator, NetworkParams, ParamDist};

@@ -4,6 +4,7 @@
 //! sizes) before spending training time.
 
 use crate::dataset::RawSample;
+use crate::error::DatagenError;
 use chainnet_qsim::stats::percentile;
 use serde::{Deserialize, Serialize};
 
@@ -68,11 +69,13 @@ pub struct DatasetStats {
 
 /// Compute dataset statistics.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an empty dataset.
-pub fn dataset_stats(samples: &[RawSample]) -> DatasetStats {
-    assert!(!samples.is_empty(), "empty dataset");
+/// Returns [`DatagenError::EmptyDataset`] when `samples` is empty.
+pub fn dataset_stats(samples: &[RawSample]) -> Result<DatasetStats, DatagenError> {
+    if samples.is_empty() {
+        return Err(DatagenError::EmptyDataset);
+    }
     let mut chains_per_graph = Vec::new();
     let mut fragments_per_chain = Vec::new();
     let mut devices_per_graph = Vec::new();
@@ -90,17 +93,20 @@ pub fn dataset_stats(samples: &[RawSample]) -> DatasetStats {
         }
     }
     let lossy = loss.iter().filter(|&&l| l > 0.01).count() as f64 / loss.len() as f64;
-    DatasetStats {
+    // Each summary input is nonempty: samples is nonempty (checked above) and
+    // model validation guarantees at least one chain per graph.
+    let nonempty = "at least one sample/chain by validation";
+    Ok(DatasetStats {
         samples: samples.len(),
         chains: arrival.len(),
-        chains_per_graph: Summary::from_values(&chains_per_graph).expect("nonempty"),
-        fragments_per_chain: Summary::from_values(&fragments_per_chain).expect("nonempty"),
-        devices_per_graph: Summary::from_values(&devices_per_graph).expect("nonempty"),
-        arrival_rate: Summary::from_values(&arrival).expect("nonempty"),
-        loss_probability: Summary::from_values(&loss).expect("nonempty"),
-        latency: Summary::from_values(&latency).expect("nonempty"),
+        chains_per_graph: Summary::from_values(&chains_per_graph).expect(nonempty),
+        fragments_per_chain: Summary::from_values(&fragments_per_chain).expect(nonempty),
+        devices_per_graph: Summary::from_values(&devices_per_graph).expect(nonempty),
+        arrival_rate: Summary::from_values(&arrival).expect(nonempty),
+        loss_probability: Summary::from_values(&loss).expect(nonempty),
+        latency: Summary::from_values(&latency).expect(nonempty),
         lossy_chain_fraction: lossy,
-    }
+    })
 }
 
 /// Render statistics as a human-readable report.
@@ -145,7 +151,7 @@ mod tests {
     #[test]
     fn stats_cover_all_chains() {
         let d = dataset();
-        let stats = dataset_stats(&d);
+        let stats = dataset_stats(&d).unwrap();
         assert_eq!(stats.samples, 12);
         let total_chains: usize = d.iter().map(|s| s.model.chains().len()).sum();
         assert_eq!(stats.chains, total_chains);
@@ -153,7 +159,7 @@ mod tests {
 
     #[test]
     fn summaries_are_ordered() {
-        let stats = dataset_stats(&dataset());
+        let stats = dataset_stats(&dataset()).unwrap();
         for s in [
             stats.chains_per_graph,
             stats.fragments_per_chain,
@@ -168,16 +174,15 @@ mod tests {
 
     #[test]
     fn render_is_nonempty_and_mentions_counts() {
-        let stats = dataset_stats(&dataset());
+        let stats = dataset_stats(&dataset()).unwrap();
         let text = render_stats(&stats);
         assert!(text.contains("12 graphs"));
         assert!(text.contains("loss probability"));
     }
 
     #[test]
-    #[should_panic(expected = "empty dataset")]
-    fn empty_dataset_panics() {
-        dataset_stats(&[]);
+    fn empty_dataset_is_a_typed_error() {
+        assert_eq!(dataset_stats(&[]), Err(DatagenError::EmptyDataset));
     }
 
     #[test]

@@ -142,6 +142,38 @@ impl ParamStore {
             .sqrt()
     }
 
+    /// Whether every gradient entry is finite (no NaN/inf).
+    pub fn grads_all_finite(&self) -> bool {
+        self.params
+            .iter()
+            .all(|p| p.grad.data().iter().all(|g| g.is_finite()))
+    }
+
+    /// Whether every parameter value is finite (no NaN/inf).
+    pub fn values_all_finite(&self) -> bool {
+        self.params
+            .iter()
+            .all(|p| p.value.data().iter().all(|v| v.is_finite()))
+    }
+
+    /// Clip the concatenated gradient to an L2 norm of at most
+    /// `max_norm`, scaling every gradient entry uniformly. Returns the
+    /// pre-clip norm. A non-finite norm (NaN/inf gradients) is left
+    /// untouched — scaling cannot repair it — and reported as-is so the
+    /// caller can trip its divergence guard.
+    pub fn clip_grad_norm(&mut self, max_norm: f64) -> f64 {
+        let norm = self.grad_norm();
+        if norm.is_finite() && norm > max_norm && max_norm > 0.0 {
+            let scale = max_norm / norm;
+            for p in &mut self.params {
+                for g in p.grad.data_mut() {
+                    *g *= scale;
+                }
+            }
+        }
+        norm
+    }
+
     /// Serialize the store to JSON.
     ///
     /// # Errors
@@ -198,6 +230,51 @@ mod tests {
         assert_eq!(store.grad(id).data(), &[1.0, 1.0]);
         store.zero_grads();
         assert_eq!(store.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_to_the_cap() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(vec![0.0, 0.0]));
+        store.accumulate_grad(id, &Tensor::from_vec(vec![3.0, 4.0]));
+        let pre = store.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-12);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-12);
+        // Direction is preserved.
+        assert!((store.grad(id).data()[0] - 0.6).abs() < 1e-12);
+        assert!((store.grad(id).data()[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_gradients_alone() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(vec![0.0]));
+        store.accumulate_grad(id, &Tensor::from_vec(vec![0.5]));
+        let pre = store.clip_grad_norm(10.0);
+        assert!((pre - 0.5).abs() < 1e-12);
+        assert_eq!(store.grad(id).data(), &[0.5]);
+    }
+
+    #[test]
+    fn clip_grad_norm_reports_non_finite_without_scaling() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(vec![0.0]));
+        store.accumulate_grad(id, &Tensor::from_vec(vec![f64::NAN]));
+        assert!(!store.grads_all_finite());
+        let pre = store.clip_grad_norm(1.0);
+        assert!(pre.is_nan());
+        assert!(store.grad(id).data()[0].is_nan());
+    }
+
+    #[test]
+    fn finiteness_checks_detect_nan_values() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(vec![1.0, 2.0]));
+        assert!(store.values_all_finite());
+        assert!(store.grads_all_finite());
+        let id = store.ids().next().unwrap();
+        store.value_mut(id).data_mut()[1] = f64::INFINITY;
+        assert!(!store.values_all_finite());
     }
 
     #[test]

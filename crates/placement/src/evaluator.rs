@@ -2,12 +2,15 @@
 //! `X_total(p)` (Eq. 2), estimated either by queueing simulation (the
 //! paper's baseline search) or by a GNN surrogate (ChainNet's search).
 
+use crate::error::PlacementError;
 use crate::problem::PlacementProblem;
 use chainnet::graph::PlacementGraph;
 use chainnet::model::Surrogate;
+use chainnet_obs::Obs;
 use chainnet_qsim::approx::{solve, ApproxConfig};
 use chainnet_qsim::model::Placement;
 use chainnet_qsim::sim::{SimConfig, Simulator};
+use chainnet_qsim::QsimError;
 
 /// Estimates `X_total(p)` for candidate placements.
 pub trait Evaluator {
@@ -18,7 +21,19 @@ pub trait Evaluator {
     ///
     /// Infeasible placements are never passed here: the search only
     /// proposes feasible candidates.
-    fn total_throughput(&mut self, problem: &PlacementProblem, placement: &Placement) -> f64;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] when the estimate cannot be produced
+    /// — a structurally invalid binding, a simulation failure, or a
+    /// non-finite prediction. Search drivers treat a failed candidate
+    /// as rejected and keep going; wrap evaluators in a
+    /// [`ResilientEvaluator`] to retry and fall back instead.
+    fn total_throughput(
+        &mut self,
+        problem: &PlacementProblem,
+        placement: &Placement,
+    ) -> Result<f64, PlacementError>;
 
     /// Number of objective evaluations performed so far.
     fn evaluations(&self) -> u64;
@@ -50,15 +65,24 @@ impl Evaluator for SimEvaluator {
         "simulation"
     }
 
-    fn total_throughput(&mut self, problem: &PlacementProblem, placement: &Placement) -> f64 {
+    /// # Errors
+    ///
+    /// Structural binding errors propagate. A run that exhausts its
+    /// simulation budget degrades gracefully: the best-effort partial
+    /// statistics still rank candidates, so their truncated throughput
+    /// is returned instead of an error.
+    fn total_throughput(
+        &mut self,
+        problem: &PlacementProblem,
+        placement: &Placement,
+    ) -> Result<f64, PlacementError> {
         self.count += 1;
-        let model = problem
-            .bind(placement.clone())
-            .expect("search proposes structurally valid placements");
-        Simulator::new()
-            .run(&model, &self.config)
-            .expect("simulation of a valid model succeeds")
-            .total_throughput
+        let model = problem.bind(placement.clone())?;
+        match Simulator::new().run(&model, &self.config) {
+            Ok(result) => Ok(result.total_throughput),
+            Err(QsimError::BudgetExceeded { partial, .. }) => Ok(partial.total_throughput),
+            Err(e) => Err(e.into()),
+        }
     }
 
     fn evaluations(&self) -> u64 {
@@ -97,17 +121,34 @@ impl<S: Surrogate> Evaluator for GnnEvaluator<S> {
         self.model.name()
     }
 
-    fn total_throughput(&mut self, problem: &PlacementProblem, placement: &Placement) -> f64 {
+    /// # Errors
+    ///
+    /// Structural binding errors propagate, and a non-finite prediction
+    /// (a diverged or corrupted surrogate) is reported as
+    /// [`PlacementError::NonFiniteObjective`] rather than poisoning the
+    /// search's best-so-far bookkeeping.
+    fn total_throughput(
+        &mut self,
+        problem: &PlacementProblem,
+        placement: &Placement,
+    ) -> Result<f64, PlacementError> {
         self.count += 1;
-        let model = problem
-            .bind(placement.clone())
-            .expect("search proposes structurally valid placements");
+        let model = problem.bind(placement.clone())?;
         let graph = PlacementGraph::from_model(&model, self.model.config().feature_mode);
-        self.model
+        let total: f64 = self
+            .model
             .predict(&graph)
             .iter()
             .map(|p| p.throughput)
-            .sum()
+            .sum();
+        if total.is_finite() {
+            Ok(total)
+        } else {
+            Err(PlacementError::NonFiniteObjective {
+                evaluator: self.model.name().to_string(),
+                value: total,
+            })
+        }
     }
 
     fn evaluations(&self) -> u64 {
@@ -137,16 +178,122 @@ impl Evaluator for ApproxEvaluator {
         "decomposition"
     }
 
-    fn total_throughput(&mut self, problem: &PlacementProblem, placement: &Placement) -> f64 {
+    /// # Errors
+    ///
+    /// Structural binding errors propagate; a non-finite fixed point
+    /// (the decomposition failing to converge to a number) is reported
+    /// as [`PlacementError::NonFiniteObjective`].
+    fn total_throughput(
+        &mut self,
+        problem: &PlacementProblem,
+        placement: &Placement,
+    ) -> Result<f64, PlacementError> {
         self.count += 1;
-        let model = problem
-            .bind(placement.clone())
-            .expect("search proposes structurally valid placements");
-        solve(&model, &self.config).total_throughput
+        let model = problem.bind(placement.clone())?;
+        let total = solve(&model, &self.config).total_throughput;
+        if total.is_finite() {
+            Ok(total)
+        } else {
+            Err(PlacementError::NonFiniteObjective {
+                evaluator: "decomposition".to_string(),
+                value: total,
+            })
+        }
     }
 
     fn evaluations(&self) -> u64 {
         self.count
+    }
+}
+
+/// Graceful-degradation wrapper: evaluate with `primary`, retry once on
+/// failure, then fall back to `fallback` (typically an analytic or
+/// simulator evaluator backing a possibly-corrupt surrogate). Fallback
+/// evaluations are counted and, with an enabled [`Obs`], recorded on the
+/// `sa.fallback_evals` counter.
+#[derive(Debug, Clone)]
+pub struct ResilientEvaluator<P, F> {
+    primary: P,
+    fallback: F,
+    obs: Obs,
+    name: String,
+    retries: u64,
+    fallback_evals: u64,
+}
+
+impl<P: Evaluator, F: Evaluator> ResilientEvaluator<P, F> {
+    /// Wrap `primary` with a `fallback`, without telemetry.
+    pub fn new(primary: P, fallback: F) -> Self {
+        Self::new_observed(primary, fallback, Obs::disabled())
+    }
+
+    /// Like [`ResilientEvaluator::new`], recording `sa.fallback_evals`
+    /// into `obs` whenever the fallback is consulted.
+    pub fn new_observed(primary: P, fallback: F, obs: Obs) -> Self {
+        let name = format!("resilient({} -> {})", primary.name(), fallback.name());
+        Self {
+            primary,
+            fallback,
+            obs,
+            name,
+            retries: 0,
+            fallback_evals: 0,
+        }
+    }
+
+    /// The wrapped primary evaluator.
+    pub fn primary(&self) -> &P {
+        &self.primary
+    }
+
+    /// The wrapped fallback evaluator.
+    pub fn fallback(&self) -> &F {
+        &self.fallback
+    }
+
+    /// How many times a failed primary evaluation succeeded on retry.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// How many evaluations were answered by the fallback.
+    pub fn fallback_evals(&self) -> u64 {
+        self.fallback_evals
+    }
+}
+
+impl<P: Evaluator, F: Evaluator> Evaluator for ResilientEvaluator<P, F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// # Errors
+    ///
+    /// Fails only when the primary fails twice *and* the fallback also
+    /// fails for the same candidate.
+    fn total_throughput(
+        &mut self,
+        problem: &PlacementProblem,
+        placement: &Placement,
+    ) -> Result<f64, PlacementError> {
+        if let Ok(x) = self.primary.total_throughput(problem, placement) {
+            return Ok(x);
+        }
+        // Retry once: transient failures (e.g. a wall-clock budget trip
+        // under load) can clear; deterministic ones fail fast again.
+        if let Ok(x) = self.primary.total_throughput(problem, placement) {
+            self.retries += 1;
+            return Ok(x);
+        }
+        self.fallback_evals += 1;
+        if self.obs.is_enabled() {
+            self.obs.registry.counter("sa.fallback_evals").inc();
+        }
+        self.fallback.total_throughput(problem, placement)
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.primary.evaluations() + self.fallback.evaluations()
     }
 }
 
@@ -201,7 +348,7 @@ mod tests {
         let p = problem();
         let placement = Placement::new(vec![vec![0, 1]]);
         let mut ev = SimEvaluator::new(SimConfig::new(5_000.0, 1));
-        let x = ev.total_throughput(&p, &placement);
+        let x = ev.total_throughput(&p, &placement).unwrap();
         assert!(x > 0.0 && x <= 0.55);
         assert_eq!(ev.evaluations(), 1);
     }
@@ -211,9 +358,20 @@ mod tests {
         let p = problem();
         let placement = Placement::new(vec![vec![0, 1]]);
         let mut ev = SimEvaluator::new(SimConfig::new(2_000.0, 7));
-        let a = ev.total_throughput(&p, &placement);
-        let b = ev.total_throughput(&p, &placement);
+        let a = ev.total_throughput(&p, &placement).unwrap();
+        let b = ev.total_throughput(&p, &placement).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sim_evaluator_degrades_to_partial_stats_on_budget_trip() {
+        let p = problem();
+        let placement = Placement::new(vec![vec![0, 1]]);
+        // A tiny event cap trips on every run; the evaluator still
+        // produces a usable (truncated-window) estimate.
+        let mut ev = SimEvaluator::new(SimConfig::new(1_000_000.0, 1).with_max_events(2_000));
+        let x = ev.total_throughput(&p, &placement).unwrap();
+        assert!(x.is_finite() && x >= 0.0);
     }
 
     #[test]
@@ -222,7 +380,7 @@ mod tests {
         let placement = Placement::new(vec![vec![0, 1]]);
         let net = ChainNet::new(ModelConfig::small(), 9);
         let mut ev = GnnEvaluator::new(net);
-        let x = ev.total_throughput(&p, &placement);
+        let x = ev.total_throughput(&p, &placement).unwrap();
         assert!((0.0..=0.5 + 1e-9).contains(&x));
         assert_eq!(ev.evaluations(), 1);
         assert_eq!(ev.name(), "ChainNet");
@@ -235,14 +393,76 @@ mod tests {
         let bad = Placement::new(vec![vec![0, 1]]);
         let mut approx = ApproxEvaluator::default();
         let (xa_good, xa_bad) = (
-            approx.total_throughput(&p, &good),
-            approx.total_throughput(&p, &bad),
+            approx.total_throughput(&p, &good).unwrap(),
+            approx.total_throughput(&p, &bad).unwrap(),
         );
         assert_eq!(approx.evaluations(), 2);
         // Both stations underloaded: throughput near lambda either way,
         // but the evaluator must stay within the offered rate.
         assert!(xa_good <= 0.5 + 1e-9 && xa_bad <= 0.5 + 1e-9);
         assert!(xa_good > 0.0 && xa_bad > 0.0);
+    }
+
+    /// Always fails, as a rigged "corrupted surrogate" stand-in.
+    struct AlwaysFails {
+        count: u64,
+    }
+
+    impl Evaluator for AlwaysFails {
+        fn name(&self) -> &str {
+            "always-fails"
+        }
+        fn total_throughput(
+            &mut self,
+            _problem: &PlacementProblem,
+            _placement: &Placement,
+        ) -> Result<f64, PlacementError> {
+            self.count += 1;
+            Err(PlacementError::NonFiniteObjective {
+                evaluator: "always-fails".into(),
+                value: f64::NAN,
+            })
+        }
+        fn evaluations(&self) -> u64 {
+            self.count
+        }
+    }
+
+    #[test]
+    fn resilient_evaluator_falls_back_after_one_retry() {
+        let p = problem();
+        let placement = Placement::new(vec![vec![0, 1]]);
+        let obs = chainnet_obs::Obs::enabled();
+        let mut ev = ResilientEvaluator::new_observed(
+            AlwaysFails { count: 0 },
+            SimEvaluator::new(SimConfig::new(1_000.0, 3)),
+            obs.clone(),
+        );
+        let x = ev.total_throughput(&p, &placement).unwrap();
+        assert!(x.is_finite() && x > 0.0);
+        // Primary tried twice (initial + one retry), fallback once.
+        assert_eq!(ev.primary().evaluations(), 2);
+        assert_eq!(ev.fallback().evaluations(), 1);
+        assert_eq!(ev.fallback_evals(), 1);
+        assert_eq!(ev.retries(), 0);
+        assert_eq!(obs.registry.snapshot().counters["sa.fallback_evals"], 1);
+        assert!(ev.name().contains("always-fails") && ev.name().contains("simulation"));
+    }
+
+    #[test]
+    fn resilient_evaluator_passes_healthy_primary_through() {
+        let p = problem();
+        let placement = Placement::new(vec![vec![0, 1]]);
+        let mut plain = SimEvaluator::new(SimConfig::new(1_000.0, 5));
+        let expected = plain.total_throughput(&p, &placement).unwrap();
+        let mut ev = ResilientEvaluator::new(
+            SimEvaluator::new(SimConfig::new(1_000.0, 5)),
+            ApproxEvaluator::default(),
+        );
+        let x = ev.total_throughput(&p, &placement).unwrap();
+        assert_eq!(x, expected);
+        assert_eq!(ev.fallback_evals(), 0);
+        assert_eq!(ev.fallback().evaluations(), 0);
     }
 
     #[test]

@@ -35,16 +35,18 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod error;
 pub mod evaluator;
 pub mod problem;
 pub mod sa;
 pub mod strategies;
 
 pub use batch::optimize_batch;
+pub use error::PlacementError;
 pub use evaluator::{
     loss_probability, relative_loss_reduction, ApproxEvaluator, Evaluator, GnnEvaluator,
-    SimEvaluator,
+    ResilientEvaluator, SimEvaluator,
 };
 pub use problem::PlacementProblem;
-pub use sa::{SaConfig, SaImprovement, SaResult, SaTrial, SimulatedAnnealing};
+pub use sa::{SaConfig, SaImprovement, SaResult, SaTrial, SimulatedAnnealing, TerminationReason};
 pub use strategies::{HillClimb, RandomSearch, StrategyResult};

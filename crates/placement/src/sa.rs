@@ -38,6 +38,17 @@ pub struct SaConfig {
     /// Attempts at generating a feasible candidate before a step is
     /// skipped (counts as a non-improving step).
     pub max_move_attempts: usize,
+    /// Hard cap on objective evaluations across the whole search; when
+    /// hit, the search stops mid-trial and returns the best-so-far with
+    /// [`TerminationReason::MaxEvaluations`]. `None` (default) is
+    /// unlimited.
+    #[serde(default)]
+    pub max_evaluations: Option<u64>,
+    /// Wall-clock deadline in seconds for the whole search; when hit,
+    /// the search stops mid-trial and returns the best-so-far with
+    /// [`TerminationReason::WallClock`]. `None` (default) is unlimited.
+    #[serde(default)]
+    pub max_wall_secs: Option<f64>,
 }
 
 impl SaConfig {
@@ -49,6 +60,8 @@ impl SaConfig {
             cooling: 0.9,
             seed: 0,
             max_move_attempts: 32,
+            max_evaluations: None,
+            max_wall_secs: None,
         }
     }
 
@@ -65,11 +78,48 @@ impl SaConfig {
         self.max_steps = steps;
         self
     }
+
+    /// Cap total objective evaluations (builder-style).
+    #[must_use]
+    pub fn with_max_evaluations(mut self, evals: u64) -> Self {
+        self.max_evaluations = Some(evals);
+        self
+    }
+
+    /// Set a wall-clock deadline in seconds (builder-style). Non-finite
+    /// or non-positive values are ignored.
+    #[must_use]
+    pub fn with_max_wall_secs(mut self, secs: f64) -> Self {
+        self.max_wall_secs = Some(secs);
+        self
+    }
 }
 
 impl Default for SaConfig {
     fn default() -> Self {
         Self::paper_default()
+    }
+}
+
+/// Why a multi-trial search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TerminationReason {
+    /// Every requested trial ran to its full step count.
+    #[default]
+    Completed,
+    /// The [`SaConfig::max_evaluations`] cap was reached.
+    MaxEvaluations,
+    /// The [`SaConfig::max_wall_secs`] deadline passed.
+    WallClock,
+}
+
+impl std::fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Completed => "completed",
+            Self::MaxEvaluations => "evaluation cap reached",
+            Self::WallClock => "wall-clock deadline reached",
+        })
     }
 }
 
@@ -118,6 +168,10 @@ pub struct SaTrial {
     pub best_objective: f64,
     /// Wall-clock seconds the trial took.
     pub elapsed_secs: f64,
+    /// Candidate evaluations that failed (the candidate was treated as
+    /// rejected and the search continued).
+    #[serde(default)]
+    pub eval_failures: u64,
 }
 
 /// The outcome of a multi-trial search.
@@ -135,6 +189,10 @@ pub struct SaResult {
     pub evaluations: u64,
     /// Total wall-clock seconds.
     pub elapsed_secs: f64,
+    /// Why the search stopped. Budget-bounded searches still return the
+    /// best decision found so far.
+    #[serde(default)]
+    pub termination_reason: TerminationReason,
 }
 
 /// The simulated-annealing search driver.
@@ -205,6 +263,10 @@ impl SimulatedAnnealing {
 
     /// Run one trial from `initial` (assumed feasible), consuming
     /// objective evaluations from `evaluator`.
+    ///
+    /// A failed candidate evaluation is treated as a rejected move
+    /// (recorded with a `-inf` candidate objective and counted in
+    /// [`SaTrial::eval_failures`]); the trial keeps going.
     pub fn run_trial(
         &self,
         problem: &PlacementProblem,
@@ -213,6 +275,31 @@ impl SimulatedAnnealing {
         evaluator: &mut dyn Evaluator,
         trial_seed: u64,
     ) -> SaTrial {
+        self.run_trial_budgeted(
+            problem,
+            initial,
+            initial_objective,
+            evaluator,
+            trial_seed,
+            None,
+        )
+        .0
+    }
+
+    /// [`run_trial`](Self::run_trial) that additionally stops early when
+    /// the search-wide budget (deadline / evaluation cap, measured from
+    /// `budget`'s start instant) is exhausted. Returns the trial —
+    /// best-so-far even when truncated — and the reason it stopped
+    /// early, if any.
+    fn run_trial_budgeted(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        initial_objective: f64,
+        evaluator: &mut dyn Evaluator,
+        trial_seed: u64,
+        budget: Option<(Instant, Option<f64>, Option<u64>)>,
+    ) -> (SaTrial, Option<TerminationReason>) {
         let start = Instant::now();
         let mut rng = SmallRng::seed_from_u64(trial_seed);
         let mut current = initial.clone();
@@ -222,31 +309,55 @@ impl SimulatedAnnealing {
         let mut temp = self.config.initial_temp;
         let mut steps = Vec::with_capacity(self.config.max_steps);
         let mut improvements = Vec::new();
+        let mut eval_failures = 0u64;
+        let mut stopped: Option<TerminationReason> = None;
 
         for step in 0..self.config.max_steps {
-            let (candidate_objective, accepted) = match self.propose(problem, &current, &mut rng) {
-                Some(candidate) => {
-                    let obj = evaluator.total_throughput(problem, &candidate);
-                    let accept = obj > current_obj || {
-                        let p = ((obj - current_obj) / temp.max(1e-12)).exp();
-                        rng.gen::<f64>() < p
-                    };
-                    if accept {
-                        current = candidate;
-                        current_obj = obj;
-                        if obj > best_obj {
-                            best = current.clone();
-                            best_obj = obj;
-                            improvements.push(SaImprovement {
-                                step,
-                                elapsed_secs: start.elapsed().as_secs_f64(),
-                                placement: best.clone(),
-                                objective: best_obj,
-                            });
-                        }
+            if let Some((search_start, deadline, max_evals)) = budget {
+                if let Some(secs) = deadline.filter(|s| s.is_finite() && *s >= 0.0) {
+                    if search_start.elapsed().as_secs_f64() >= secs {
+                        stopped = Some(TerminationReason::WallClock);
+                        break;
                     }
-                    (obj, accept)
                 }
+                if let Some(cap) = max_evals {
+                    if evaluator.evaluations() >= cap {
+                        stopped = Some(TerminationReason::MaxEvaluations);
+                        break;
+                    }
+                }
+            }
+            let (candidate_objective, accepted) = match self.propose(problem, &current, &mut rng) {
+                Some(candidate) => match evaluator.total_throughput(problem, &candidate) {
+                    Ok(obj) => {
+                        let accept = obj > current_obj || {
+                            let p = ((obj - current_obj) / temp.max(1e-12)).exp();
+                            rng.gen::<f64>() < p
+                        };
+                        if accept {
+                            current = candidate;
+                            current_obj = obj;
+                            if obj > best_obj {
+                                best = current.clone();
+                                best_obj = obj;
+                                improvements.push(SaImprovement {
+                                    step,
+                                    elapsed_secs: start.elapsed().as_secs_f64(),
+                                    placement: best.clone(),
+                                    objective: best_obj,
+                                });
+                            }
+                        }
+                        (obj, accept)
+                    }
+                    Err(_) => {
+                        // Graceful degradation: an unevaluable candidate
+                        // is simply rejected; the decision state and the
+                        // best-so-far record stay intact.
+                        eval_failures += 1;
+                        (f64::NEG_INFINITY, false)
+                    }
+                },
                 None => (current_obj, false),
             };
             temp *= self.config.cooling;
@@ -259,13 +370,17 @@ impl SimulatedAnnealing {
                 elapsed_secs: start.elapsed().as_secs_f64(),
             });
         }
-        SaTrial {
-            steps,
-            improvements,
-            best_placement: best,
-            best_objective: best_obj,
-            elapsed_secs: start.elapsed().as_secs_f64(),
-        }
+        (
+            SaTrial {
+                steps,
+                improvements,
+                best_placement: best,
+                best_objective: best_obj,
+                elapsed_secs: start.elapsed().as_secs_f64(),
+                eval_failures,
+            },
+            stopped,
+        )
     }
 
     /// Run `trials` independent trials from the same initial placement
@@ -295,19 +410,31 @@ impl SimulatedAnnealing {
         obs: &Obs,
     ) -> SaResult {
         let start = Instant::now();
-        let initial_objective = evaluator.total_throughput(problem, initial);
+        // Graceful degradation: if even the initial placement cannot be
+        // evaluated, the search still runs — any successfully evaluated
+        // candidate beats `-inf` and becomes the best-so-far.
+        let initial_objective = evaluator
+            .total_throughput(problem, initial)
+            .unwrap_or(f64::NEG_INFINITY);
+        let budget = Some((
+            start,
+            self.config.max_wall_secs,
+            self.config.max_evaluations,
+        ));
+        let mut termination_reason = TerminationReason::Completed;
         let mut result_trials = Vec::with_capacity(trials);
         let mut best = initial.clone();
         let mut best_obj = initial_objective;
         let mut proposals_total = 0u64;
         let mut accepted_total = 0u64;
         for t in 0..trials {
-            let trial = self.run_trial(
+            let (trial, stopped) = self.run_trial_budgeted(
                 problem,
                 initial,
                 initial_objective,
                 evaluator,
                 self.config.seed.wrapping_add(t as u64),
+                budget,
             );
             if trial.best_objective > best_obj {
                 best = trial.best_placement.clone();
@@ -321,6 +448,11 @@ impl SimulatedAnnealing {
                 obs.registry.counter("sa.trials").inc();
                 obs.registry.counter("sa.proposals").add(proposals);
                 obs.registry.counter("sa.accepted").add(accepted);
+                if trial.eval_failures > 0 {
+                    obs.registry
+                        .counter("sa.eval_failures")
+                        .add(trial.eval_failures);
+                }
                 if proposals_total > 0 {
                     obs.registry
                         .gauge("sa.accept_rate")
@@ -344,6 +476,10 @@ impl SimulatedAnnealing {
                 );
             }
             result_trials.push(trial);
+            if let Some(reason) = stopped {
+                termination_reason = reason;
+                break;
+            }
         }
         let elapsed_secs = start.elapsed().as_secs_f64();
         let evaluations = evaluator.evaluations();
@@ -362,6 +498,7 @@ impl SimulatedAnnealing {
             initial_objective,
             evaluations,
             elapsed_secs,
+            termination_reason,
         }
     }
 
@@ -376,7 +513,9 @@ impl SimulatedAnnealing {
         budget_secs: f64,
     ) -> SaResult {
         let start = Instant::now();
-        let initial_objective = evaluator.total_throughput(problem, initial);
+        let initial_objective = evaluator
+            .total_throughput(problem, initial)
+            .unwrap_or(f64::NEG_INFINITY);
         let mut result_trials = Vec::new();
         let mut best = initial.clone();
         let mut best_obj = initial_objective;
@@ -406,6 +545,9 @@ impl SimulatedAnnealing {
             initial_objective,
             evaluations: evaluator.evaluations(),
             elapsed_secs: start.elapsed().as_secs_f64(),
+            // Exhausting the requested time budget *is* this entry
+            // point's normal completion.
+            termination_reason: TerminationReason::Completed,
         }
     }
 }
@@ -537,6 +679,165 @@ mod tests {
         assert_eq!(snap.gauges["sa.best_objective"], observed.best_objective);
         let expected_temp = 0.5 * 0.9f64.powi(12);
         assert!((snap.gauges["sa.temperature"] - expected_temp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn search_with_budget_exceeding_needs_runs_to_completion() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let cfg = SaConfig::paper_default()
+            .with_max_steps(8)
+            .with_max_evaluations(10_000)
+            .with_max_wall_secs(3_600.0);
+        let mut ev = SimEvaluator::new(SimConfig::new(200.0, 1));
+        let res = SimulatedAnnealing::new(cfg).optimize(&p, &init, &mut ev, 2);
+        assert_eq!(res.termination_reason, TerminationReason::Completed);
+        assert_eq!(res.trials.len(), 2);
+    }
+
+    #[test]
+    fn evaluation_cap_stops_early_with_best_so_far() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let cfg = SaConfig::paper_default()
+            .with_max_steps(50)
+            .with_max_evaluations(7);
+        let mut ev = SimEvaluator::new(SimConfig::new(200.0, 2));
+        let res = SimulatedAnnealing::new(cfg).optimize(&p, &init, &mut ev, 5);
+        assert_eq!(res.termination_reason, TerminationReason::MaxEvaluations);
+        // The cap is checked before each candidate: at most one overshoot.
+        assert!(res.evaluations <= 8, "evaluations {}", res.evaluations);
+        assert!(res.trials.len() < 5);
+        assert!(res.best_objective >= res.initial_objective);
+        assert!(p.is_feasible(&res.best_placement));
+    }
+
+    #[test]
+    fn wall_clock_deadline_stops_early_with_best_so_far() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let cfg = SaConfig::paper_default()
+            .with_max_steps(50)
+            .with_max_wall_secs(0.0);
+        let mut ev = SimEvaluator::new(SimConfig::new(200.0, 3));
+        let res = SimulatedAnnealing::new(cfg).optimize(&p, &init, &mut ev, 3);
+        assert_eq!(res.termination_reason, TerminationReason::WallClock);
+        // Deadline already passed: only the initial evaluation happened,
+        // and the initial placement is returned as best-so-far.
+        assert_eq!(res.evaluations, 1);
+        assert_eq!(res.best_placement, init);
+    }
+
+    #[test]
+    fn search_survives_a_nan_rigged_surrogate_via_fallback() {
+        use crate::evaluator::{GnnEvaluator, ResilientEvaluator};
+        use chainnet::config::ModelConfig;
+        use chainnet::graph::PlacementGraph;
+        use chainnet::model::{ChainNet, PerfPrediction, Surrogate};
+        use chainnet_obs::Obs;
+
+        /// A surrogate whose predictions are rigged to NaN.
+        struct NanRigged(ChainNet);
+        impl Surrogate for NanRigged {
+            fn name(&self) -> &str {
+                "nan-rigged"
+            }
+            fn config(&self) -> &ModelConfig {
+                self.0.config()
+            }
+            fn params(&self) -> &chainnet_neural::params::ParamStore {
+                self.0.params()
+            }
+            fn params_mut(&mut self) -> &mut chainnet_neural::params::ParamStore {
+                self.0.params_mut()
+            }
+            fn loss_on_graph(
+                &self,
+                tape: &mut chainnet_neural::tape::Tape,
+                graph: &PlacementGraph,
+                targets: &[chainnet::data::ChainTargets],
+            ) -> chainnet_neural::tape::Var {
+                self.0.loss_on_graph(tape, graph, targets)
+            }
+            fn predict(&self, graph: &PlacementGraph) -> Vec<PerfPrediction> {
+                self.0
+                    .predict(graph)
+                    .into_iter()
+                    .map(|mut p| {
+                        p.throughput = f64::NAN;
+                        p
+                    })
+                    .collect()
+            }
+        }
+
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let obs = Obs::enabled();
+        let rigged = GnnEvaluator::new(NanRigged(ChainNet::new(ModelConfig::small(), 7)));
+        let mut ev = ResilientEvaluator::new_observed(
+            rigged,
+            SimEvaluator::new(SimConfig::new(500.0, 4)),
+            obs.clone(),
+        );
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(10));
+        let res = sa.optimize_observed(&p, &init, &mut ev, 1, &obs);
+        // The search completed on fallback evaluations alone: the best
+        // decision is valid and every evaluation was answered.
+        assert_eq!(res.termination_reason, TerminationReason::Completed);
+        assert!(res.best_objective.is_finite());
+        assert!(res.best_objective > 0.0);
+        assert!(p.is_feasible(&res.best_placement));
+        assert!(ev.fallback_evals() > 0);
+        let snap = obs.registry.snapshot();
+        assert!(snap.counters["sa.fallback_evals"] > 0);
+        // Every candidate was answered by the fallback, so the SA loop
+        // itself saw no failures.
+        assert_eq!(res.trials[0].eval_failures, 0);
+    }
+
+    #[test]
+    fn search_skips_failing_candidates_without_a_fallback() {
+        use crate::error::PlacementError;
+
+        /// Fails on every candidate except the very first evaluation.
+        struct FailAfterFirst {
+            count: u64,
+        }
+        impl Evaluator for FailAfterFirst {
+            fn name(&self) -> &str {
+                "fail-after-first"
+            }
+            fn total_throughput(
+                &mut self,
+                _problem: &PlacementProblem,
+                _placement: &Placement,
+            ) -> Result<f64, PlacementError> {
+                self.count += 1;
+                if self.count == 1 {
+                    Ok(0.5)
+                } else {
+                    Err(PlacementError::NonFiniteObjective {
+                        evaluator: "fail-after-first".into(),
+                        value: f64::NAN,
+                    })
+                }
+            }
+            fn evaluations(&self) -> u64 {
+                self.count
+            }
+        }
+
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let mut ev = FailAfterFirst { count: 0 };
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(10));
+        let res = sa.optimize(&p, &init, &mut ev, 1);
+        // All candidates failed: the initial placement survives as best.
+        assert_eq!(res.best_placement, init);
+        assert_eq!(res.best_objective, 0.5);
+        assert!(res.trials[0].eval_failures > 0);
+        assert!(res.trials[0].steps.iter().all(|s| !s.accepted));
     }
 
     #[test]

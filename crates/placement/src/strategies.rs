@@ -22,6 +22,9 @@ pub struct StrategyResult {
     pub initial_objective: f64,
     /// Objective evaluations consumed.
     pub evaluations: u64,
+    /// Candidate evaluations that failed and were skipped.
+    #[serde(default)]
+    pub eval_failures: u64,
 }
 
 /// Pure random search: each step proposes a random feasible neighbor of
@@ -39,7 +42,9 @@ impl RandomSearch {
         Self { config }
     }
 
-    /// Run the search.
+    /// Run the search. Failed candidate evaluations are skipped (the
+    /// walk does not move onto an unevaluable point) and counted in
+    /// [`StrategyResult::eval_failures`].
     pub fn optimize(
         &self,
         problem: &PlacementProblem,
@@ -48,15 +53,21 @@ impl RandomSearch {
     ) -> StrategyResult {
         let mover = SimulatedAnnealing::new(self.config);
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let initial_objective = evaluator.total_throughput(problem, initial);
+        let initial_objective = evaluator
+            .total_throughput(problem, initial)
+            .unwrap_or(f64::NEG_INFINITY);
         let mut best = initial.clone();
         let mut best_obj = initial_objective;
+        let mut eval_failures = 0u64;
         // Random walk: wander from the current point regardless of value,
         // remembering the best. This is SA at infinite temperature.
         let mut current = initial.clone();
         for _ in 0..self.config.max_steps {
             if let Some(candidate) = mover.propose(problem, &current, &mut rng) {
-                let obj = evaluator.total_throughput(problem, &candidate);
+                let Ok(obj) = evaluator.total_throughput(problem, &candidate) else {
+                    eval_failures += 1;
+                    continue;
+                };
                 if obj > best_obj {
                     best = candidate.clone();
                     best_obj = obj;
@@ -69,6 +80,7 @@ impl RandomSearch {
             best_objective: best_obj,
             initial_objective,
             evaluations: evaluator.evaluations(),
+            eval_failures,
         }
     }
 }
@@ -86,7 +98,9 @@ impl HillClimb {
         Self { config }
     }
 
-    /// Run the search.
+    /// Run the search. Failed candidate evaluations are treated as
+    /// non-improving (skipped) and counted in
+    /// [`StrategyResult::eval_failures`].
     pub fn optimize(
         &self,
         problem: &PlacementProblem,
@@ -95,12 +109,18 @@ impl HillClimb {
     ) -> StrategyResult {
         let mover = SimulatedAnnealing::new(self.config);
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let initial_objective = evaluator.total_throughput(problem, initial);
+        let initial_objective = evaluator
+            .total_throughput(problem, initial)
+            .unwrap_or(f64::NEG_INFINITY);
         let mut current = initial.clone();
         let mut current_obj = initial_objective;
+        let mut eval_failures = 0u64;
         for _ in 0..self.config.max_steps {
             if let Some(candidate) = mover.propose(problem, &current, &mut rng) {
-                let obj = evaluator.total_throughput(problem, &candidate);
+                let Ok(obj) = evaluator.total_throughput(problem, &candidate) else {
+                    eval_failures += 1;
+                    continue;
+                };
                 if obj > current_obj {
                     current = candidate;
                     current_obj = obj;
@@ -112,6 +132,7 @@ impl HillClimb {
             best_objective: current_obj,
             initial_objective,
             evaluations: evaluator.evaluations(),
+            eval_failures,
         }
     }
 }

@@ -16,6 +16,23 @@ use crate::error::{QsimError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Smallest `u` such that `1.0 - u < 1.0` in f64 arithmetic (2⁻⁵³).
+const UNIT_LO: f64 = f64::EPSILON / 2.0;
+/// Largest f64 strictly below 1.0 (`1 - 2⁻⁵³`).
+const UNIT_HI: f64 = 1.0 - f64::EPSILON / 2.0;
+
+/// Draw from the *open* unit interval `(0, 1)`.
+///
+/// Inverse-transform samplers take `ln(1 - u)` (or `ln` of a product of
+/// such terms), so both endpoints must be excluded: `u == 1` would give
+/// `ln(0) = -inf` (an infinite service/interarrival time that wedges the
+/// event loop), and `u == 0` a zero-length sample. Generic `Rng`
+/// implementations are not guaranteed to avoid the endpoints, so the
+/// draw is clamped to `[2⁻⁵³, 1 - 2⁻⁵³]`.
+fn unit_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.gen::<f64>().clamp(UNIT_LO, UNIT_HI)
+}
+
 /// A positive continuous distribution that can be sampled and reports its
 /// first two moments.
 ///
@@ -77,8 +94,9 @@ impl Exponential {
 
 impl Sampler for Exponential {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        // Inverse-CDF sampling; `1 - u` avoids ln(0).
-        let u: f64 = rng.gen::<f64>();
+        // Inverse-CDF sampling; the open-interval draw keeps `1 - u`
+        // away from both 0 (infinite sample) and 1 (zero sample).
+        let u = unit_open(rng);
         -(1.0 - u).ln() / self.rate
     }
 
@@ -184,12 +202,14 @@ impl Erlang {
 
 impl Sampler for Erlang {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        // Product of uniforms avoids k calls to ln().
+        // Product of uniforms avoids k calls to ln(). Each factor is in
+        // (0, 1) via `unit_open`, and the final product is clamped away
+        // from 0 in case many small factors underflow it.
         let mut prod: f64 = 1.0;
         for _ in 0..self.k {
-            prod *= 1.0 - rng.gen::<f64>();
+            prod *= 1.0 - unit_open(rng);
         }
-        -prod.ln() / self.rate
+        -prod.max(f64::MIN_POSITIVE).ln() / self.rate
     }
 
     fn mean(&self) -> f64 {
@@ -248,7 +268,7 @@ impl Sampler for HyperExp2 {
         } else {
             self.r2
         };
-        -(1.0 - rng.gen::<f64>()).ln() / rate
+        -(1.0 - unit_open(rng)).ln() / rate
     }
 
     fn mean(&self) -> f64 {
@@ -309,9 +329,9 @@ impl Sampler for ErlangMix {
         };
         let mut prod: f64 = 1.0;
         for _ in 0..phases {
-            prod *= 1.0 - rng.gen::<f64>();
+            prod *= 1.0 - unit_open(rng);
         }
-        -prod.ln() / self.rate
+        -prod.max(f64::MIN_POSITIVE).ln() / self.rate
     }
 
     fn mean(&self) -> f64 {
@@ -600,6 +620,84 @@ mod tests {
         for _ in 0..1000 {
             assert!(sample_truncated(&d, 0.05, &mut rng) >= 0.05);
         }
+    }
+
+    /// An RNG pinned to one 64-bit word, driving `gen::<f64>()` to an
+    /// exact boundary of the unit interval.
+    struct PinnedRng(u64);
+
+    impl rand::RngCore for PinnedRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    /// `gen::<f64>()` == 0.0 — the `u == 0` boundary.
+    fn zero_rng() -> PinnedRng {
+        PinnedRng(0)
+    }
+
+    /// `gen::<f64>()` == 1 - 2⁻⁵³, the largest value the generator can
+    /// produce — the `u -> 1` boundary.
+    fn max_rng() -> PinnedRng {
+        PinnedRng(u64::MAX)
+    }
+
+    #[test]
+    fn unit_open_excludes_both_endpoints() {
+        assert!(unit_open(&mut zero_rng()) > 0.0);
+        assert!(unit_open(&mut max_rng()) < 1.0);
+        assert_eq!(unit_open(&mut zero_rng()), UNIT_LO);
+        assert_eq!(unit_open(&mut max_rng()), UNIT_HI);
+    }
+
+    #[test]
+    fn exponential_is_finite_and_positive_at_u_boundaries() {
+        let d = Exponential::new(2.0).unwrap();
+        let at_zero = d.sample(&mut zero_rng());
+        let at_max = d.sample(&mut max_rng());
+        for x in [at_zero, at_max] {
+            assert!(x.is_finite(), "sample {x} must be finite");
+            assert!(x > 0.0, "sample {x} must be strictly positive");
+        }
+        // The u -> 1 boundary is the heavy tail, not infinity.
+        assert!(at_max > at_zero);
+    }
+
+    #[test]
+    fn erlang_is_finite_and_positive_at_u_boundaries() {
+        let d = Erlang::new(4, 1.0).unwrap();
+        for rng in [&mut zero_rng(), &mut max_rng()] {
+            let x = d.sample(rng);
+            assert!(x.is_finite() && x > 0.0, "sample {x}");
+        }
+    }
+
+    #[test]
+    fn hyperexp_is_finite_and_positive_at_u_boundaries() {
+        let d = HyperExp2::new(0.5, 1.0, 3.0).unwrap();
+        for rng in [&mut zero_rng(), &mut max_rng()] {
+            let x = d.sample(rng);
+            assert!(x.is_finite() && x > 0.0, "sample {x}");
+        }
+    }
+
+    #[test]
+    fn erlang_mix_is_finite_and_positive_at_u_boundaries() {
+        let d = ErlangMix::new(0.3, 3, 2.0).unwrap();
+        for rng in [&mut zero_rng(), &mut max_rng()] {
+            let x = d.sample(rng);
+            assert!(x.is_finite() && x > 0.0, "sample {x}");
+        }
+    }
+
+    #[test]
+    fn huge_phase_counts_do_not_underflow_to_infinity() {
+        // A tiny scv gives a very large phase count; the product of
+        // uniforms can underflow to 0, which must not become ln(0).
+        let d = Dist::aph(1.0, 1e-4).unwrap();
+        let x = d.sample(&mut max_rng());
+        assert!(x.is_finite(), "sample {x}");
     }
 
     #[test]

@@ -1,7 +1,28 @@
 //! Error types for the simulator crate.
 
+use crate::sim::SimResult;
 use std::error::Error;
 use std::fmt;
+
+/// Which simulation budget was exhausted first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BudgetReason {
+    /// The event cap [`crate::sim::SimConfig::max_events`] was reached.
+    MaxEvents,
+    /// The wall-clock deadline
+    /// [`crate::sim::SimConfig::max_wall_secs`] expired.
+    WallClock,
+}
+
+impl fmt::Display for BudgetReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetReason::MaxEvents => write!(f, "event cap"),
+            BudgetReason::WallClock => write!(f, "wall-clock deadline"),
+        }
+    }
+}
 
 /// Errors produced while building or simulating a queueing model.
 ///
@@ -28,6 +49,20 @@ pub enum QsimError {
     InvalidPlacement(String),
     /// The model is structurally inconsistent (e.g. empty chain).
     InvalidModel(String),
+    /// A fault schedule refers to entities outside the model or has
+    /// non-finite/negative times or factors.
+    InvalidFaultSchedule(String),
+    /// The simulation exhausted its budget (event cap or wall-clock
+    /// deadline) before reaching the horizon. Carries the best-effort
+    /// partial statistics accumulated up to the point of interruption so
+    /// callers can degrade gracefully instead of losing the run.
+    BudgetExceeded {
+        /// Which budget tripped.
+        reason: BudgetReason,
+        /// Best-effort statistics over the simulated prefix; its
+        /// `measured_time` reflects the actually simulated window.
+        partial: Box<SimResult>,
+    },
 }
 
 impl QsimError {
@@ -48,6 +83,15 @@ impl fmt::Display for QsimError {
             }
             QsimError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
             QsimError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            QsimError::InvalidFaultSchedule(msg) => {
+                write!(f, "invalid fault schedule: {msg}")
+            }
+            QsimError::BudgetExceeded { reason, partial } => write!(
+                f,
+                "simulation budget exceeded ({reason}) after {} events \
+                 ({:.1} simulated time units); partial statistics available",
+                partial.events, partial.measured_time
+            ),
         }
     }
 }
@@ -79,6 +123,29 @@ mod tests {
     fn placement_error_display() {
         let e = QsimError::InvalidPlacement("device 3 overflows".into());
         assert_eq!(e.to_string(), "invalid placement: device 3 overflows");
+    }
+
+    #[test]
+    fn budget_error_display_mentions_reason_and_partials() {
+        let partial = Box::new(SimResult {
+            chains: Vec::new(),
+            devices: Vec::new(),
+            total_throughput: 0.0,
+            total_arrival_rate: 1.0,
+            loss_probability: 1.0,
+            measured_time: 12.5,
+            events: 1000,
+            trace: crate::trace::Trace::disabled(),
+        });
+        let e = QsimError::BudgetExceeded {
+            reason: BudgetReason::MaxEvents,
+            partial,
+        };
+        let s = e.to_string();
+        assert!(s.contains("event cap"), "{s}");
+        assert!(s.contains("1000 events"), "{s}");
+        let e2 = QsimError::InvalidFaultSchedule("device 9 out of range".into());
+        assert!(e2.to_string().contains("device 9"));
     }
 
     #[test]

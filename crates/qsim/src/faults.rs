@@ -1,0 +1,370 @@
+//! Deterministic fault injection for the discrete-event simulator.
+//!
+//! A [`FaultSchedule`] is a time-ordered list of [`FaultEvent`]s applied
+//! by the simulator at exact simulated times: device crashes and
+//! recoveries, transient service-rate degradations, and arrival-rate
+//! bursts. The schedule is pure data — building or applying it consumes
+//! no randomness from the simulation RNG, so a run with an *empty*
+//! schedule is bit-identical to a run without the fault machinery, and
+//! two runs with the same seed and the same schedule are bit-identical
+//! to each other.
+//!
+//! Crash semantics extend the paper's loss model (Section II): every job
+//! queued or in service on a crashed device is counted as a lost chain
+//! request, exactly as a finite-buffer drop is; while a device is down,
+//! every job offered to it is dropped. Recovery brings the device back
+//! empty.
+//!
+//! # Examples
+//!
+//! ```
+//! use chainnet_qsim::faults::FaultSchedule;
+//!
+//! let schedule = FaultSchedule::new()
+//!     .crash(100.0, 0)
+//!     .recover(150.0, 0)
+//!     .degrade(200.0, 1, 0.5)
+//!     .restore(300.0, 1);
+//! assert_eq!(schedule.len(), 4);
+//! ```
+
+use crate::error::{QsimError, Result};
+use crate::model::{ChainIdx, DeviceIdx, SystemModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The device fails: all resident jobs are lost and subsequent
+    /// offers are dropped until it recovers.
+    DeviceCrash {
+        /// The failing device.
+        device: DeviceIdx,
+    },
+    /// The device comes back up, empty.
+    DeviceRecover {
+        /// The recovering device.
+        device: DeviceIdx,
+    },
+    /// The device's effective service rate is multiplied by `factor`
+    /// (`0 < factor`; values below 1 slow it down). Applies to services
+    /// started after the event.
+    ServiceDegrade {
+        /// The affected device.
+        device: DeviceIdx,
+        /// Multiplier on the service rate.
+        factor: f64,
+    },
+    /// The device's service rate returns to nominal.
+    ServiceRestore {
+        /// The affected device.
+        device: DeviceIdx,
+    },
+    /// The chain's arrival rate is multiplied by `factor` (`factor > 0`;
+    /// values above 1 are a burst). Applies to interarrival samples
+    /// drawn after the event.
+    ArrivalBurst {
+        /// The affected chain.
+        chain: ChainIdx,
+        /// Multiplier on the arrival rate.
+        factor: f64,
+    },
+    /// The chain's arrival rate returns to nominal.
+    ArrivalCalm {
+        /// The affected chain.
+        chain: ChainIdx,
+    },
+}
+
+/// A fault applied at an exact simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulated time at which the fault takes effect.
+    pub time: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered, deterministic schedule of injected faults.
+///
+/// The builder methods keep the list sorted by time (stable for equal
+/// times, so the injection order of simultaneous faults is the order
+/// they were added).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled fault events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Add a fault at `time` (builder-style; keeps the list sorted).
+    #[must_use]
+    pub fn at(mut self, time: f64, kind: FaultKind) -> Self {
+        let pos = self.events.partition_point(|e| e.time <= time);
+        self.events.insert(pos, FaultEvent { time, kind });
+        self
+    }
+
+    /// Crash `device` at `time`.
+    #[must_use]
+    pub fn crash(self, time: f64, device: DeviceIdx) -> Self {
+        self.at(time, FaultKind::DeviceCrash { device })
+    }
+
+    /// Recover `device` at `time`.
+    #[must_use]
+    pub fn recover(self, time: f64, device: DeviceIdx) -> Self {
+        self.at(time, FaultKind::DeviceRecover { device })
+    }
+
+    /// Multiply `device`'s service rate by `factor` from `time` on.
+    #[must_use]
+    pub fn degrade(self, time: f64, device: DeviceIdx, factor: f64) -> Self {
+        self.at(time, FaultKind::ServiceDegrade { device, factor })
+    }
+
+    /// Restore `device`'s nominal service rate at `time`.
+    #[must_use]
+    pub fn restore(self, time: f64, device: DeviceIdx) -> Self {
+        self.at(time, FaultKind::ServiceRestore { device })
+    }
+
+    /// Multiply `chain`'s arrival rate by `factor` from `time` on.
+    #[must_use]
+    pub fn burst(self, time: f64, chain: ChainIdx, factor: f64) -> Self {
+        self.at(time, FaultKind::ArrivalBurst { chain, factor })
+    }
+
+    /// Restore `chain`'s nominal arrival rate at `time`.
+    #[must_use]
+    pub fn calm(self, time: f64, chain: ChainIdx) -> Self {
+        self.at(time, FaultKind::ArrivalCalm { chain })
+    }
+
+    /// A seeded random schedule of `count` crash/recover pairs over
+    /// `[0, horizon]`, each outage lasting `mean_outage` on average
+    /// (exponential), targeting uniformly random devices among
+    /// `num_devices`. Deterministic in `seed`; uses its own RNG, never
+    /// the simulation's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `num_devices == 0`,
+    /// `horizon` is not positive and finite, or `mean_outage` is not
+    /// positive and finite.
+    pub fn random_crashes(
+        seed: u64,
+        horizon: f64,
+        num_devices: usize,
+        count: usize,
+        mean_outage: f64,
+    ) -> Result<Self> {
+        if num_devices == 0 {
+            return Err(QsimError::invalid_parameter("num_devices", "must be >= 1"));
+        }
+        if !horizon.is_finite() || horizon <= 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "horizon",
+                format!("must be finite and positive, got {horizon}"),
+            ));
+        }
+        if !mean_outage.is_finite() || mean_outage <= 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "mean_outage",
+                format!("must be finite and positive, got {mean_outage}"),
+            ));
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut schedule = Self::new();
+        for _ in 0..count {
+            let device = rng.gen_range(0..num_devices);
+            let start = rng.gen::<f64>() * horizon;
+            let u: f64 = rng.gen();
+            // u is in [0, 1), so 1 - u is in (0, 1]; clamp away the
+            // zero-length outage at u == 0.
+            let outage = (-(1.0 - u).ln() * mean_outage).max(1e-9);
+            schedule = schedule
+                .crash(start, device)
+                .recover(start + outage, device);
+        }
+        Ok(schedule)
+    }
+
+    /// Check the schedule against a model: every referenced device and
+    /// chain must exist, every time must be finite and non-negative, and
+    /// every factor finite and strictly positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidFaultSchedule`] describing the first
+    /// violation found.
+    pub fn validate(&self, model: &SystemModel) -> Result<()> {
+        let num_devices = model.devices().len();
+        let num_chains = model.chains().len();
+        let check_device = |device: DeviceIdx| -> Result<()> {
+            if device >= num_devices {
+                return Err(QsimError::InvalidFaultSchedule(format!(
+                    "device {device} out of range (model has {num_devices} devices)"
+                )));
+            }
+            Ok(())
+        };
+        let check_chain = |chain: ChainIdx| -> Result<()> {
+            if chain >= num_chains {
+                return Err(QsimError::InvalidFaultSchedule(format!(
+                    "chain {chain} out of range (model has {num_chains} chains)"
+                )));
+            }
+            Ok(())
+        };
+        let check_factor = |factor: f64| -> Result<()> {
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(QsimError::InvalidFaultSchedule(format!(
+                    "factor must be finite and positive, got {factor}"
+                )));
+            }
+            Ok(())
+        };
+        for ev in &self.events {
+            if !ev.time.is_finite() || ev.time < 0.0 {
+                return Err(QsimError::InvalidFaultSchedule(format!(
+                    "fault time must be finite and non-negative, got {}",
+                    ev.time
+                )));
+            }
+            match ev.kind {
+                FaultKind::DeviceCrash { device }
+                | FaultKind::DeviceRecover { device }
+                | FaultKind::ServiceRestore { device } => check_device(device)?,
+                FaultKind::ServiceDegrade { device, factor } => {
+                    check_device(device)?;
+                    check_factor(factor)?;
+                }
+                FaultKind::ArrivalBurst { chain, factor } => {
+                    check_chain(chain)?;
+                    check_factor(factor)?;
+                }
+                FaultKind::ArrivalCalm { chain } => check_chain(chain)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Device, Fragment, Placement, ServiceChain};
+
+    fn tiny_model() -> SystemModel {
+        let devices = vec![Device::new(10.0, 1.0).unwrap()];
+        let chains = vec![ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap()
+    }
+
+    #[test]
+    fn builder_keeps_events_sorted_by_time() {
+        let s = FaultSchedule::new()
+            .crash(50.0, 0)
+            .recover(75.0, 0)
+            .crash(10.0, 0)
+            .recover(20.0, 0);
+        let times: Vec<f64> = s.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![10.0, 20.0, 50.0, 75.0]);
+    }
+
+    #[test]
+    fn simultaneous_faults_keep_insertion_order() {
+        let s = FaultSchedule::new().crash(5.0, 0).recover(5.0, 0);
+        assert!(matches!(s.events()[0].kind, FaultKind::DeviceCrash { .. }));
+        assert!(matches!(
+            s.events()[1].kind,
+            FaultKind::DeviceRecover { .. }
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_entities() {
+        let m = tiny_model();
+        assert!(FaultSchedule::new().crash(1.0, 0).validate(&m).is_ok());
+        let bad_device = FaultSchedule::new().crash(1.0, 7).validate(&m);
+        assert!(matches!(
+            bad_device,
+            Err(QsimError::InvalidFaultSchedule(_))
+        ));
+        let bad_chain = FaultSchedule::new().burst(1.0, 3, 2.0).validate(&m);
+        assert!(matches!(bad_chain, Err(QsimError::InvalidFaultSchedule(_))));
+    }
+
+    #[test]
+    fn validation_rejects_bad_times_and_factors() {
+        let m = tiny_model();
+        assert!(FaultSchedule::new().crash(-1.0, 0).validate(&m).is_err());
+        assert!(FaultSchedule::new()
+            .crash(f64::NAN, 0)
+            .validate(&m)
+            .is_err());
+        assert!(FaultSchedule::new()
+            .degrade(1.0, 0, 0.0)
+            .validate(&m)
+            .is_err());
+        assert!(FaultSchedule::new()
+            .burst(1.0, 0, f64::INFINITY)
+            .validate(&m)
+            .is_err());
+        assert!(FaultSchedule::new()
+            .degrade(1.0, 0, 0.25)
+            .validate(&m)
+            .is_ok());
+    }
+
+    #[test]
+    fn random_crashes_is_deterministic_in_seed() {
+        let a = FaultSchedule::random_crashes(9, 1_000.0, 4, 5, 20.0).unwrap();
+        let b = FaultSchedule::random_crashes(9, 1_000.0, 4, 5, 20.0).unwrap();
+        let c = FaultSchedule::random_crashes(10, 1_000.0, 4, 5, 20.0).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 10); // crash + recover per outage
+    }
+
+    #[test]
+    fn random_crashes_validates_inputs() {
+        assert!(FaultSchedule::random_crashes(1, 100.0, 0, 1, 1.0).is_err());
+        assert!(FaultSchedule::random_crashes(1, -1.0, 2, 1, 1.0).is_err());
+        assert!(FaultSchedule::random_crashes(1, 100.0, 2, 1, 0.0).is_err());
+    }
+
+    #[test]
+    fn schedule_round_trips_through_json() {
+        let s = FaultSchedule::new()
+            .crash(10.0, 1)
+            .degrade(20.0, 0, 0.5)
+            .burst(30.0, 0, 3.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

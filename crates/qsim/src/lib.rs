@@ -37,12 +37,14 @@ pub mod analytic;
 pub mod approx;
 pub mod dist;
 pub mod error;
+pub mod faults;
 pub mod model;
 pub mod replications;
 pub mod sim;
 pub mod stats;
 pub mod trace;
 
-pub use error::{QsimError, Result};
+pub use error::{BudgetReason, QsimError, Result};
+pub use faults::{FaultEvent, FaultKind, FaultSchedule};
 pub use model::{Device, Fragment, Placement, ServiceChain, SystemModel};
 pub use sim::{SimConfig, SimResult, Simulator};

@@ -54,7 +54,13 @@ fn ci95(w: &Welford) -> f64 {
 ///
 /// # Errors
 ///
-/// Propagates the first simulation error.
+/// Propagates the first simulation error. In particular, a replication
+/// that exhausts its budget surfaces
+/// [`QsimError::BudgetExceeded`](crate::QsimError::BudgetExceeded) —
+/// carrying that replication's partial statistics — rather than being
+/// silently averaged into the aggregate: a truncated run estimates a
+/// different (shorter-window) quantity than its siblings, so mixing it
+/// in would bias every aggregate.
 ///
 /// # Panics
 ///
@@ -177,5 +183,35 @@ mod tests {
     fn zero_replications_panics() {
         let m = model(0.5, 1.0, 5.0);
         let _ = replicate(&m, &SimConfig::new(100.0, 1), 0);
+    }
+
+    #[test]
+    fn budget_exceeded_replication_surfaces_typed_error_with_partials() {
+        use crate::error::{BudgetReason, QsimError};
+        // Every replication blows the tiny event budget; the aggregate
+        // must not silently average truncated runs.
+        let m = model(1.0, 1.0, 10.0);
+        let cfg = SimConfig::new(1_000_000.0, 4).with_max_events(500);
+        let err = replicate(&m, &cfg, 3).unwrap_err();
+        let QsimError::BudgetExceeded { reason, partial } = err else {
+            panic!("expected BudgetExceeded, got a different error");
+        };
+        assert_eq!(reason, BudgetReason::MaxEvents);
+        assert!(partial.events > 0 && partial.events <= 501);
+        assert!(partial.chains[0].throughput.is_finite());
+    }
+
+    #[test]
+    fn healthy_replications_are_unaffected_by_budget_fields() {
+        // A generous budget never trips: identical to the default path.
+        let m = model(0.5, 1.0, 5.0);
+        let plain = replicate(&m, &SimConfig::new(1_000.0, 2), 3).unwrap();
+        let budgeted = replicate(
+            &m,
+            &SimConfig::new(1_000.0, 2).with_max_wall_secs(3_600.0),
+            3,
+        )
+        .unwrap();
+        assert_eq!(plain.runs, budgeted.runs);
     }
 }

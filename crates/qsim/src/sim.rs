@@ -9,7 +9,8 @@
 //! the paper's observation that it acts as a pure delay.
 
 use crate::dist::{Dist, Sampler};
-use crate::error::Result;
+use crate::error::{BudgetReason, QsimError, Result};
+use crate::faults::{FaultKind, FaultSchedule};
 use crate::model::{ChainIdx, DeviceIdx, MemoryPolicy, ServicePolicy, SystemModel};
 use crate::stats::{TimeWeighted, Welford};
 use crate::trace::{Trace, TraceKind};
@@ -19,6 +20,10 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::time::Instant;
+
+/// How often (in processed events) the wall-clock watchdog is polled.
+const WALL_CHECK_INTERVAL: u64 = 1024;
 
 /// Bucket bounds for the `qsim.device.queue_depth` histogram (jobs).
 const QUEUE_DEPTH_BUCKETS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
@@ -52,11 +57,19 @@ pub struct SimConfig {
     /// Service time policy.
     pub service_policy: ServicePolicy,
     /// Hard cap on processed events (guards against runaway models).
+    /// Exceeding it aborts the run with
+    /// [`QsimError::BudgetExceeded`] carrying partial statistics.
     pub max_events: u64,
     /// Number of batches for batch-means confidence intervals.
     pub batches: usize,
     /// Capacity of the event trace (0 = tracing disabled).
     pub trace_capacity: usize,
+    /// Optional wall-clock deadline in seconds. A run that has not
+    /// reached the horizon when the deadline expires aborts with
+    /// [`QsimError::BudgetExceeded`] carrying partial statistics.
+    /// `None` (the default) disables the watchdog.
+    #[serde(default)]
+    pub max_wall_secs: Option<f64>,
 }
 
 impl SimConfig {
@@ -66,11 +79,24 @@ impl SimConfig {
     ///
     /// Panics if `horizon` is not finite and positive.
     pub fn new(horizon: f64, seed: u64) -> Self {
-        assert!(
-            horizon.is_finite() && horizon > 0.0,
-            "horizon must be finite and positive"
-        );
-        Self {
+        Self::try_new(horizon, seed).expect("horizon must be finite and positive")
+    }
+
+    /// Non-panicking constructor: a configuration with the given
+    /// horizon, 10% warm-up and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `horizon` is not
+    /// finite and positive.
+    pub fn try_new(horizon: f64, seed: u64) -> Result<Self> {
+        if !horizon.is_finite() || horizon <= 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "horizon",
+                format!("must be finite and positive, got {horizon}"),
+            ));
+        }
+        Ok(Self {
             horizon,
             warmup: 0.1 * horizon,
             seed,
@@ -79,7 +105,8 @@ impl SimConfig {
             max_events: 200_000_000,
             batches: 20,
             trace_capacity: 0,
-        }
+            max_wall_secs: None,
+        })
     }
 
     /// Override the warm-up period (builder-style).
@@ -108,6 +135,20 @@ impl SimConfig {
     #[must_use]
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Override the event cap (builder-style).
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Set a wall-clock deadline in seconds (builder-style).
+    #[must_use]
+    pub fn with_max_wall_secs(mut self, secs: f64) -> Self {
+        self.max_wall_secs = Some(secs);
         self
     }
 }
@@ -177,8 +218,21 @@ pub struct SimResult {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
-    ExternalArrival { chain: ChainIdx },
-    Departure { device: DeviceIdx, job: Job },
+    ExternalArrival {
+        chain: ChainIdx,
+    },
+    Departure {
+        device: DeviceIdx,
+        job: Job,
+        /// Station epoch when the service started. A crash bumps the
+        /// epoch, invalidating departures of jobs that were lost with
+        /// the device.
+        epoch: u64,
+    },
+    /// An injected fault (index into the run's [`FaultSchedule`]).
+    Fault {
+        fault: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -212,6 +266,9 @@ struct Job {
     chain: ChainIdx,
     frag: usize,
     system_arrival: f64,
+    /// Unique id of the chain request, kept across fragments; lets a
+    /// crash identify which in-service jobs it killed.
+    serial: u64,
 }
 
 #[derive(Debug)]
@@ -219,7 +276,16 @@ struct Station {
     queue: VecDeque<Job>,
     /// Jobs currently being served (up to the device's server count).
     busy: usize,
+    /// The jobs behind `busy`, tracked so a crash can count them lost.
+    in_service: Vec<Job>,
     used_mem: f64,
+    /// Whether the device is up; a crashed device drops every offer.
+    up: bool,
+    /// Multiplier on the nominal service rate (1.0 = healthy).
+    rate_factor: f64,
+    /// Bumped on every crash; departures scheduled under an older epoch
+    /// are stale (their job was already counted lost at crash time).
+    epoch: u64,
     jobs_signal: TimeWeighted,
     busy_signal: TimeWeighted,
     admitted: u64,
@@ -247,9 +313,31 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns an error if an interarrival distribution cannot be built
-    /// from a chain's arrival rate.
+    /// from a chain's arrival rate, or [`QsimError::BudgetExceeded`]
+    /// (with partial statistics) if the event cap or wall-clock
+    /// deadline trips before the horizon.
     pub fn run(&self, model: &SystemModel, config: &SimConfig) -> Result<SimResult> {
-        self.run_observed(model, config, &Obs::disabled())
+        self.run_faulted_observed(model, config, &FaultSchedule::new(), &Obs::disabled())
+    }
+
+    /// Run a simulation with an injected [`FaultSchedule`].
+    ///
+    /// Fault handling consumes no randomness, so a run with an empty
+    /// schedule is bit-identical to [`Simulator::run`] with the same
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// Like [`Simulator::run`], plus
+    /// [`QsimError::InvalidFaultSchedule`] if the schedule references
+    /// entities outside the model or has invalid times/factors.
+    pub fn run_faulted(
+        &self,
+        model: &SystemModel,
+        config: &SimConfig,
+        faults: &FaultSchedule,
+    ) -> Result<SimResult> {
+        self.run_faulted_observed(model, config, faults, &Obs::disabled())
     }
 
     /// Like [`Simulator::run`], additionally recording metrics and a
@@ -268,13 +356,33 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns an error if an interarrival distribution cannot be built
-    /// from a chain's arrival rate.
+    /// from a chain's arrival rate, or [`QsimError::BudgetExceeded`]
+    /// (with partial statistics) if a budget trips.
     pub fn run_observed(
         &self,
         model: &SystemModel,
         config: &SimConfig,
         obs: &Obs,
     ) -> Result<SimResult> {
+        self.run_faulted_observed(model, config, &FaultSchedule::new(), obs)
+    }
+
+    /// The full-featured entry point: fault injection plus
+    /// observability. Additionally records `faults.injected` and (on a
+    /// budget trip) `sim.budget_exceeded` counters.
+    ///
+    /// # Errors
+    ///
+    /// The union of [`Simulator::run_faulted`]'s and
+    /// [`Simulator::run_observed`]'s error conditions.
+    pub fn run_faulted_observed(
+        &self,
+        model: &SystemModel,
+        config: &SimConfig,
+        faults: &FaultSchedule,
+        obs: &Obs,
+    ) -> Result<SimResult> {
+        faults.validate(model)?;
         let wall_timer = obs.is_enabled().then(|| {
             obs.registry
                 .histogram("qsim.run_wall_seconds", WALL_SECONDS_BUCKETS)
@@ -301,7 +409,11 @@ impl Simulator {
             .map(|_| Station {
                 queue: VecDeque::new(),
                 busy: 0,
+                in_service: Vec::new(),
                 used_mem: 0.0,
+                up: true,
+                rate_factor: 1.0,
+                epoch: 0,
                 jobs_signal: TimeWeighted::new(config.warmup, config.horizon, 0.0),
                 busy_signal: TimeWeighted::new(config.warmup, config.horizon, 0.0),
                 admitted: 0,
@@ -314,6 +426,16 @@ impl Simulator {
             let t = d.sample(&mut rng);
             events.schedule(t, EventKind::ExternalArrival { chain: i });
         }
+        // Fault events are scheduled after the initial arrivals; with an
+        // empty schedule the sequence numbering — and hence every
+        // tie-break — is identical to a run without fault injection.
+        for idx in 0..faults.len() {
+            events.schedule(faults.events()[idx].time, EventKind::Fault { fault: idx });
+        }
+        // Per-chain arrival-rate multipliers (ArrivalBurst/ArrivalCalm).
+        let mut arrival_factor = vec![1.0f64; num_chains];
+        let mut faults_injected: u64 = 0;
+        let mut next_serial: u64 = 0;
 
         let mut arrivals = vec![0u64; num_chains];
         let mut completions = vec![0u64; num_chains];
@@ -324,6 +446,10 @@ impl Simulator {
         let mut batch_completions = vec![vec![0u64; batches]; num_chains];
         let mut trace = Trace::with_capacity(config.trace_capacity);
         let mut processed: u64 = 0;
+        let start_wall = Instant::now();
+        let mut budget_tripped: Option<BudgetReason> = None;
+        // End of the actually simulated window (shrinks on a budget trip).
+        let mut sim_end = config.horizon;
 
         // Memory occupied by a queued job under the active policy.
         let job_mem = |model: &SystemModel, job: &Job, policy: MemoryPolicy| -> f64 {
@@ -339,24 +465,40 @@ impl Simulator {
             }
             processed += 1;
             if processed > config.max_events {
+                budget_tripped = Some(BudgetReason::MaxEvents);
+                sim_end = ev.time.min(config.horizon);
                 break;
+            }
+            if let Some(deadline) = config.max_wall_secs {
+                if processed.is_multiple_of(WALL_CHECK_INTERVAL)
+                    && start_wall.elapsed().as_secs_f64() > deadline
+                {
+                    budget_tripped = Some(BudgetReason::WallClock);
+                    sim_end = ev.time.min(config.horizon);
+                    break;
+                }
             }
             let now = ev.time;
             let in_window = now >= config.warmup;
 
             match ev.kind {
                 EventKind::ExternalArrival { chain } => {
-                    // Schedule the next arrival of this chain.
-                    let dt = interarrival[chain].sample(&mut rng);
+                    // Schedule the next arrival of this chain. Division
+                    // by a factor of exactly 1.0 is an identity, so the
+                    // healthy path is bit-identical to the pre-fault
+                    // engine.
+                    let dt = interarrival[chain].sample(&mut rng) / arrival_factor[chain];
                     events.schedule(now + dt, EventKind::ExternalArrival { chain });
                     if in_window {
                         arrivals[chain] += 1;
                     }
                     trace.push(now, TraceKind::ExternalArrival { chain });
+                    next_serial += 1;
                     let job = Job {
                         chain,
                         frag: 0,
                         system_arrival: now,
+                        serial: next_serial,
                     };
                     Self::offer(
                         model,
@@ -376,11 +518,24 @@ impl Simulator {
                         h.observe(stations[first].job_count());
                     }
                 }
-                EventKind::Departure { device, job } => {
+                EventKind::Departure { device, job, epoch } => {
                     let servers = model.devices()[device].servers.max(1);
                     let station = &mut stations[device];
+                    if station.epoch != epoch {
+                        // The device crashed after this service started:
+                        // the job was already counted lost at crash time
+                        // and the station state was reset, so the
+                        // departure is stale.
+                        continue;
+                    }
                     debug_assert!(station.busy > 0, "departure from idle station");
                     station.busy -= 1;
+                    let slot = station
+                        .in_service
+                        .iter()
+                        .position(|j| j.serial == job.serial)
+                        .expect("a departing job with a live epoch is registered in-service");
+                    station.in_service.swap_remove(slot);
                     let mem = job_mem(model, &job, config.memory_policy);
                     station.used_mem -= mem;
                     station
@@ -419,6 +574,7 @@ impl Simulator {
                                 chain: job.chain,
                                 frag: job.frag + 1,
                                 system_arrival: job.system_arrival,
+                                serial: job.serial,
                             };
                             Self::offer(
                                 model,
@@ -461,10 +617,71 @@ impl Simulator {
                         h.observe(stations[device].job_count());
                     }
                 }
+                EventKind::Fault { fault } => {
+                    faults_injected += 1;
+                    match faults.events()[fault].kind {
+                        FaultKind::DeviceCrash { device } => {
+                            let station = &mut stations[device];
+                            if station.up {
+                                // Everything resident on the device is
+                                // lost — the paper's loss semantics
+                                // extended to failures.
+                                let mut lost = 0usize;
+                                for job in
+                                    station.queue.drain(..).chain(station.in_service.drain(..))
+                                {
+                                    lost += 1;
+                                    if in_window {
+                                        losses[job.chain] += 1;
+                                    }
+                                }
+                                station.drops += lost as u64;
+                                station.up = false;
+                                station.epoch += 1;
+                                station.busy = 0;
+                                station.used_mem = 0.0;
+                                station.busy_signal.update(now, 0.0);
+                                station.jobs_signal.update(now, 0.0);
+                                trace.push(now, TraceKind::DeviceCrash { device, lost });
+                            }
+                        }
+                        FaultKind::DeviceRecover { device } => {
+                            let station = &mut stations[device];
+                            if !station.up {
+                                station.up = true;
+                                trace.push(now, TraceKind::DeviceRecover { device });
+                            }
+                        }
+                        FaultKind::ServiceDegrade { device, factor } => {
+                            stations[device].rate_factor = factor;
+                            trace.push(now, TraceKind::ServiceRateChange { device, factor });
+                        }
+                        FaultKind::ServiceRestore { device } => {
+                            stations[device].rate_factor = 1.0;
+                            trace.push(
+                                now,
+                                TraceKind::ServiceRateChange {
+                                    device,
+                                    factor: 1.0,
+                                },
+                            );
+                        }
+                        FaultKind::ArrivalBurst { chain, factor } => {
+                            arrival_factor[chain] = factor;
+                            trace.push(now, TraceKind::ArrivalRateChange { chain, factor });
+                        }
+                        FaultKind::ArrivalCalm { chain } => {
+                            arrival_factor[chain] = 1.0;
+                            trace.push(now, TraceKind::ArrivalRateChange { chain, factor: 1.0 });
+                        }
+                    }
+                }
             }
         }
 
-        let window = (config.horizon - config.warmup).max(f64::EPSILON);
+        // On a budget trip the window closes at the last event time, so
+        // partial rates are estimated over the actually simulated span.
+        let window = (sim_end - config.warmup).max(f64::EPSILON);
         let chains: Vec<ChainStats> = (0..num_chains)
             .map(|i| {
                 let x = completions[i] as f64 / window;
@@ -493,8 +710,8 @@ impl Simulator {
         let devices: Vec<DeviceStats> = stations
             .iter()
             .map(|s| DeviceStats {
-                mean_jobs: s.jobs_signal.average(),
-                utilization: s.busy_signal.average(),
+                mean_jobs: s.jobs_signal.average_until(sim_end),
+                utilization: s.busy_signal.average_until(sim_end),
                 admitted: s.admitted,
                 drops: s.drops,
             })
@@ -515,6 +732,10 @@ impl Simulator {
             let wall = timer.elapsed_secs();
             timer.stop();
             let reg = &obs.registry;
+            reg.counter("faults.injected").add(faults_injected);
+            if budget_tripped.is_some() {
+                reg.counter("sim.budget_exceeded").add(1);
+            }
             reg.counter("qsim.events_processed").add(processed);
             reg.gauge("qsim.events_per_sec")
                 .set(processed as f64 / wall.max(1e-9));
@@ -545,7 +766,13 @@ impl Simulator {
                 },
             );
         }
-        Ok(result)
+        match budget_tripped {
+            None => Ok(result),
+            Some(reason) => Err(QsimError::BudgetExceeded {
+                reason,
+                partial: Box::new(result),
+            }),
+        }
     }
 
     /// Offer a job to the station executing its fragment; drop on overflow.
@@ -567,7 +794,8 @@ impl Simulator {
         let mem = job_mem(model, &job, config.memory_policy);
         let station = &mut stations[device];
         let capacity = model.devices()[device].memory;
-        if station.used_mem + mem > capacity + 1e-12 {
+        // A crashed device drops every offer, like a full buffer.
+        if !station.up || station.used_mem + mem > capacity + 1e-12 {
             station.drops += 1;
             trace.push(
                 now,
@@ -613,11 +841,16 @@ impl Simulator {
     ) {
         let servers = model.devices()[device].servers.max(1);
         let station = &mut stations[device];
+        if !station.up {
+            return;
+        }
         while station.busy < servers {
             let Some(job) = station.queue.pop_front() else {
                 return;
             };
-            let mean = model.processing_time(job.chain, job.frag);
+            // A degraded rate factor stretches the mean service time;
+            // division by exactly 1.0 is an identity on the healthy path.
+            let mean = model.processing_time(job.chain, job.frag) / station.rate_factor;
             let service = match config.service_policy {
                 ServicePolicy::Deterministic => mean,
                 ServicePolicy::Exponential => {
@@ -626,6 +859,7 @@ impl Simulator {
                 }
             };
             station.busy += 1;
+            station.in_service.push(job);
             station
                 .busy_signal
                 .update(now, station.busy as f64 / servers as f64);
@@ -637,7 +871,14 @@ impl Simulator {
                     device,
                 },
             );
-            events.schedule(now + service, EventKind::Departure { device, job });
+            events.schedule(
+                now + service,
+                EventKind::Departure {
+                    device,
+                    job,
+                    epoch: station.epoch,
+                },
+            );
         }
     }
 }
@@ -1201,11 +1442,217 @@ mod tests {
     }
 
     #[test]
-    fn event_cap_stops_simulation() {
+    fn event_cap_returns_budget_error_with_partial_stats() {
         let model = single_station(1.0, 1.0, 10.0);
-        let mut cfg = SimConfig::new(1_000_000.0, 1);
-        cfg.max_events = 1000;
-        let res = Simulator::new().run(&model, &cfg).unwrap();
-        assert!(res.events <= 1001);
+        let cfg = SimConfig::new(1_000_000.0, 1).with_max_events(1000);
+        let err = Simulator::new().run(&model, &cfg).unwrap_err();
+        match err {
+            QsimError::BudgetExceeded { reason, partial } => {
+                assert_eq!(reason, BudgetReason::MaxEvents);
+                assert!(partial.events <= 1001);
+                assert!(partial.events > 0);
+                // Partial rates are estimated over the simulated prefix,
+                // not the unreached horizon.
+                assert!(partial.measured_time < 1_000_000.0);
+                assert!(partial.chains[0].throughput.is_finite());
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saturated_model_under_small_budget_fails_fast() {
+        // Heavily overloaded station with a huge horizon: without the
+        // budget this run would take a very long time; with it, we get a
+        // typed error and meaningful partial statistics quickly.
+        let model = single_station(50.0, 1.0, 100.0);
+        let cfg = SimConfig::new(1e9, 3).with_max_events(20_000);
+        let start = std::time::Instant::now();
+        let err = Simulator::new().run(&model, &cfg).unwrap_err();
+        assert!(start.elapsed().as_secs_f64() < 1.0, "watchdog too slow");
+        let QsimError::BudgetExceeded { partial, .. } = err else {
+            panic!("expected BudgetExceeded");
+        };
+        // The overload is visible even in the truncated window.
+        assert!(partial.devices[0].drops > 0);
+    }
+
+    #[test]
+    fn wall_clock_deadline_trips() {
+        let model = single_station(50.0, 1.0, 100.0);
+        // A deadline of zero trips at the first poll.
+        let cfg = SimConfig::new(1e9, 3).with_max_wall_secs(0.0);
+        let err = Simulator::new().run(&model, &cfg).unwrap_err();
+        let QsimError::BudgetExceeded { reason, .. } = err else {
+            panic!("expected BudgetExceeded");
+        };
+        assert_eq!(reason, BudgetReason::WallClock);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_plain_run() {
+        let model = single_station(0.9, 1.0, 5.0);
+        let cfg = SimConfig::new(5_000.0, 77);
+        let plain = Simulator::new().run(&model, &cfg).unwrap();
+        let faulted = Simulator::new()
+            .run_faulted(&model, &cfg, &FaultSchedule::new())
+            .unwrap();
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let model = single_station(0.9, 1.0, 5.0);
+        let cfg = SimConfig::new(5_000.0, 42);
+        let schedule = FaultSchedule::new()
+            .crash(1_000.0, 0)
+            .recover(1_500.0, 0)
+            .degrade(2_000.0, 0, 0.5)
+            .restore(3_000.0, 0);
+        let a = Simulator::new()
+            .run_faulted(&model, &cfg, &schedule)
+            .unwrap();
+        let b = Simulator::new()
+            .run_faulted(&model, &cfg, &schedule)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_loses_resident_jobs_and_drops_offers_while_down() {
+        // Crash for the middle half of the run: arrivals during the
+        // outage are lost, so the loss probability is roughly the outage
+        // fraction of the window.
+        let model = single_station(1.0, 2.0, 10.0);
+        let cfg = SimConfig::new(10_000.0, 7).with_warmup(0.0);
+        let schedule = FaultSchedule::new().crash(2_500.0, 0).recover(7_500.0, 0);
+        let res = Simulator::new()
+            .run_faulted(&model, &cfg, &schedule)
+            .unwrap();
+        assert!(
+            (res.loss_probability - 0.5).abs() < 0.05,
+            "loss {} should reflect the 50% outage",
+            res.loss_probability
+        );
+        let healthy = Simulator::new().run(&model, &cfg).unwrap();
+        assert!(healthy.loss_probability < 0.01);
+    }
+
+    #[test]
+    fn crash_without_recovery_kills_all_remaining_traffic() {
+        let model = single_station(1.0, 2.0, 10.0);
+        let cfg = SimConfig::new(1_000.0, 9).with_warmup(0.0);
+        let schedule = FaultSchedule::new().crash(0.0, 0);
+        let res = Simulator::new()
+            .run_faulted(&model, &cfg, &schedule)
+            .unwrap();
+        assert_eq!(res.chains[0].completions, 0);
+        assert!(res.loss_probability > 0.99, "{}", res.loss_probability);
+    }
+
+    #[test]
+    fn service_degradation_reduces_throughput() {
+        // Saturate a slow station: throughput tracks the service rate,
+        // so halving the rate must cut completions.
+        let model = single_station(2.0, 1.0, 5.0);
+        let cfg = SimConfig::new(20_000.0, 11);
+        let schedule = FaultSchedule::new().degrade(0.0, 0, 0.5);
+        let healthy = Simulator::new().run(&model, &cfg).unwrap();
+        let degraded = Simulator::new()
+            .run_faulted(&model, &cfg, &schedule)
+            .unwrap();
+        assert!(
+            degraded.chains[0].throughput < healthy.chains[0].throughput * 0.7,
+            "degraded {} vs healthy {}",
+            degraded.chains[0].throughput,
+            healthy.chains[0].throughput
+        );
+    }
+
+    #[test]
+    fn arrival_burst_overloads_the_station() {
+        let model = single_station(0.5, 1.0, 4.0);
+        let cfg = SimConfig::new(20_000.0, 13);
+        let schedule = FaultSchedule::new().burst(0.0, 0, 6.0);
+        let calm = Simulator::new().run(&model, &cfg).unwrap();
+        let burst = Simulator::new()
+            .run_faulted(&model, &cfg, &schedule)
+            .unwrap();
+        // Note: `loss_probability` is Eq. 18 against the *nominal* rate,
+        // so burst-induced overload shows up in the raw loss counts.
+        assert!(burst.chains[0].losses > calm.chains[0].losses + 1_000);
+        assert!(burst.chains[0].losses > burst.chains[0].completions);
+        // Arrivals during the burst come roughly 6x as fast.
+        assert!(burst.chains[0].arrivals > calm.chains[0].arrivals * 4);
+    }
+
+    #[test]
+    fn faults_beyond_the_horizon_change_nothing() {
+        let model = single_station(0.9, 1.0, 5.0);
+        let cfg = SimConfig::new(2_000.0, 21);
+        let schedule = FaultSchedule::new().crash(5_000.0, 0);
+        let plain = Simulator::new().run(&model, &cfg).unwrap();
+        let faulted = Simulator::new()
+            .run_faulted(&model, &cfg, &schedule)
+            .unwrap();
+        assert_eq!(plain.chains, faulted.chains);
+        assert_eq!(plain.devices, faulted.devices);
+    }
+
+    #[test]
+    fn invalid_fault_schedule_is_rejected() {
+        let model = single_station(0.5, 1.0, 5.0);
+        let schedule = FaultSchedule::new().crash(10.0, 3);
+        let err = Simulator::new()
+            .run_faulted(&model, &SimConfig::new(100.0, 1), &schedule)
+            .unwrap_err();
+        assert!(matches!(err, QsimError::InvalidFaultSchedule(_)));
+    }
+
+    #[test]
+    fn observed_faulted_run_records_fault_metrics() {
+        let model = single_station(0.9, 1.0, 5.0);
+        let cfg = SimConfig::new(2_000.0, 5);
+        let schedule = FaultSchedule::new().crash(500.0, 0).recover(600.0, 0);
+        let obs = Obs::enabled();
+        Simulator::new()
+            .run_faulted_observed(&model, &cfg, &schedule, &obs)
+            .unwrap();
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["faults.injected"], 2);
+        assert!(!snap.counters.contains_key("sim.budget_exceeded"));
+    }
+
+    #[test]
+    fn observed_budget_trip_records_counter() {
+        let model = single_station(1.0, 1.0, 10.0);
+        let cfg = SimConfig::new(1_000_000.0, 1).with_max_events(500);
+        let obs = Obs::enabled();
+        let err = Simulator::new()
+            .run_observed(&model, &cfg, &obs)
+            .unwrap_err();
+        assert!(matches!(err, QsimError::BudgetExceeded { .. }));
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["sim.budget_exceeded"], 1);
+    }
+
+    #[test]
+    fn crash_events_are_traced() {
+        let model = single_station(1.0, 1.0, 5.0);
+        let cfg = SimConfig::new(1_000.0, 3).with_trace_capacity(100_000);
+        let schedule = FaultSchedule::new().crash(100.0, 0).recover(200.0, 0);
+        let res = Simulator::new()
+            .run_faulted(&model, &cfg, &schedule)
+            .unwrap();
+        assert_eq!(
+            res.trace
+                .count_matching(|k| matches!(k, TraceKind::DeviceCrash { .. })),
+            1
+        );
+        assert_eq!(
+            res.trace
+                .count_matching(|k| matches!(k, TraceKind::DeviceRecover { .. })),
+            1
+        );
     }
 }

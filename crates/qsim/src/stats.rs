@@ -116,14 +116,23 @@ impl TimeWeighted {
 
     /// Close the window and return the time average over it.
     pub fn average(&self) -> f64 {
-        let span = self.horizon - self.warmup;
+        self.average_until(self.horizon)
+    }
+
+    /// Close the window early at `end` (clamped to the horizon) and
+    /// return the time average over `[warmup, end]` — used when a
+    /// simulation is interrupted by its budget before the horizon.
+    pub fn average_until(&self, end: f64) -> f64 {
+        let end = end.min(self.horizon);
+        let span = end - self.warmup;
         if span <= 0.0 {
             return 0.0;
         }
-        // Extend the last value to the horizon.
+        // Extend the last value to the end of the (possibly shortened)
+        // window.
         let t0 = self.last_t.max(self.warmup);
-        let tail = if self.horizon > t0 {
-            self.value * (self.horizon - t0)
+        let tail = if end > t0 {
+            self.value * (end - t0)
         } else {
             0.0
         };

@@ -67,6 +67,34 @@ pub enum TraceKind {
         /// The chain.
         chain: ChainIdx,
     },
+    /// An injected fault crashed a device, losing its resident jobs.
+    DeviceCrash {
+        /// The device.
+        device: DeviceIdx,
+        /// Number of jobs (queued + in service) lost with it.
+        lost: usize,
+    },
+    /// An injected fault brought a crashed device back up, empty.
+    DeviceRecover {
+        /// The device.
+        device: DeviceIdx,
+    },
+    /// An injected fault changed a device's service-rate multiplier
+    /// (1.0 restores the nominal rate).
+    ServiceRateChange {
+        /// The device.
+        device: DeviceIdx,
+        /// The new multiplier on the service rate.
+        factor: f64,
+    },
+    /// An injected fault changed a chain's arrival-rate multiplier
+    /// (1.0 restores the nominal rate).
+    ArrivalRateChange {
+        /// The chain.
+        chain: ChainIdx,
+        /// The new multiplier on the arrival rate.
+        factor: f64,
+    },
 }
 
 /// One trace record.

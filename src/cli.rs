@@ -20,11 +20,13 @@ use chainnet::train::Trainer;
 use chainnet_datagen::dataset::{
     generate_raw_dataset_observed, to_labeled, DatasetConfig, RawSample,
 };
+use chainnet_datagen::error::DatagenError;
 use chainnet_datagen::typesets::NetworkParams;
 use chainnet_obs::{EventLog, Obs};
 use chainnet_placement::evaluator::{loss_probability, GnnEvaluator, SimEvaluator};
 use chainnet_placement::problem::PlacementProblem;
 use chainnet_placement::sa::{SaConfig, SimulatedAnnealing};
+use chainnet_qsim::faults::FaultSchedule;
 use chainnet_qsim::model::SystemModel;
 use chainnet_qsim::sim::{SimConfig, Simulator};
 use std::collections::HashMap;
@@ -51,6 +53,8 @@ pub enum CliError {
     Json(serde_json::Error),
     /// Model/simulation error.
     Qsim(chainnet_qsim::QsimError),
+    /// Dataset generation or statistics error.
+    Datagen(DatagenError),
 }
 
 impl std::fmt::Display for CliError {
@@ -60,6 +64,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
             CliError::Qsim(e) => write!(f, "model error: {e}"),
+            CliError::Datagen(e) => write!(f, "dataset error: {e}"),
         }
     }
 }
@@ -81,6 +86,11 @@ impl From<chainnet_qsim::QsimError> for CliError {
         CliError::Qsim(e)
     }
 }
+impl From<DatagenError> for CliError {
+    fn from(e: DatagenError) -> Self {
+        CliError::Datagen(e)
+    }
+}
 
 /// The options each subcommand accepts, or `None` for unknown commands
 /// (those fail later in [`run`] with the full usage text).
@@ -91,6 +101,9 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "horizon",
             "seed",
             "trace",
+            "fault-schedule",
+            "sim-budget",
+            "sim-deadline",
             "metrics-out",
             "log-json",
         ]),
@@ -189,6 +202,8 @@ USAGE: chainnet <command> [--option value]...
 
 COMMANDS:
   simulate     --system s.json [--horizon 20000] [--seed 0] [--trace N]
+               [--fault-schedule faults.json] [--sim-budget MAX_EVENTS]
+               [--sim-deadline SECS]
   gen-dataset  --out d.json --samples 100 [--type i|ii] [--horizon 2000] [--seed 0]
   train        --data d.json --out model.json [--epochs 40] [--hidden 32]
                [--iterations 4] [--batch 32] [--lr 0.001] [--seed 0]
@@ -315,9 +330,36 @@ fn cmd_simulate(inv: &Invocation) -> Result<String, CliError> {
     let horizon = opt_f64(inv, "horizon", 20_000.0)?;
     let seed = opt_u64(inv, "seed", 0)?;
     let trace = opt_usize(inv, "trace", 0)?;
-    let cfg = SimConfig::new(horizon, seed).with_trace_capacity(trace);
+    let mut cfg = SimConfig::try_new(horizon, seed)?.with_trace_capacity(trace);
+    if let Some(v) = inv.options.get("sim-budget") {
+        let budget = v
+            .parse::<u64>()
+            .map_err(|_| CliError::Usage(format!("--sim-budget expects an integer, got `{v}`")))?;
+        if budget == 0 {
+            return Err(CliError::Usage("--sim-budget must be positive".into()));
+        }
+        cfg = cfg.with_max_events(budget);
+    }
+    if let Some(v) = inv.options.get("sim-deadline") {
+        let secs = v
+            .parse::<f64>()
+            .map_err(|_| CliError::Usage(format!("--sim-deadline expects seconds, got `{v}`")))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(CliError::Usage(
+                "--sim-deadline must be finite and non-negative".into(),
+            ));
+        }
+        cfg = cfg.with_max_wall_secs(secs);
+    }
+    let faults: FaultSchedule = match inv.options.get("fault-schedule") {
+        Some(path) => read_json(path)?,
+        None => FaultSchedule::new(),
+    };
     let obs = build_obs(inv)?;
-    let result = Simulator::new().run_observed(&system, &cfg, &obs)?;
+    // `run_faulted_observed` validates the schedule against the system,
+    // so a schedule referencing unknown devices/chains exits non-zero
+    // with a model error instead of panicking mid-run.
+    let result = Simulator::new().run_faulted_observed(&system, &cfg, &faults, &obs)?;
     write_metrics(inv, &obs)?;
     Ok(serde_json::to_string_pretty(&result)?)
 }
@@ -453,10 +495,7 @@ fn cmd_evaluate(inv: &Invocation) -> Result<String, CliError> {
 
 fn cmd_stats(inv: &Invocation) -> Result<String, CliError> {
     let data: Vec<RawSample> = read_json(required(inv, "data")?)?;
-    if data.is_empty() {
-        return Err(CliError::Usage("dataset is empty".into()));
-    }
-    let stats = chainnet_datagen::stats::dataset_stats(&data);
+    let stats = chainnet_datagen::stats::dataset_stats(&data)?;
     Ok(chainnet_datagen::stats::render_stats(&stats))
 }
 
@@ -610,6 +649,83 @@ mod tests {
         .unwrap();
         let out = run(&inv).unwrap();
         assert!(out.contains("total_throughput"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_with_fault_schedule_and_budget() {
+        let devices = vec![
+            Device::new(10.0, 1.0).unwrap(),
+            Device::new(10.0, 1.0).unwrap(),
+        ];
+        let chains = vec![ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        let system = SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap();
+        let sys_path = temp("fault_system.json");
+        let sched_path = temp("fault_schedule.json");
+        let metrics_path = temp("fault_metrics.json");
+        std::fs::write(&sys_path, serde_json::to_string(&system).unwrap()).unwrap();
+        let schedule = FaultSchedule::new().crash(100.0, 0).recover(300.0, 0);
+        std::fs::write(&sched_path, serde_json::to_string(&schedule).unwrap()).unwrap();
+        let inv = parse_args(&args(&[
+            "simulate",
+            "--system",
+            &sys_path,
+            "--horizon",
+            "500",
+            "--fault-schedule",
+            &sched_path,
+            "--sim-budget",
+            "1000000",
+            "--metrics-out",
+            &metrics_path,
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("total_throughput"));
+        let snap =
+            chainnet_obs::Snapshot::from_json(&std::fs::read_to_string(&metrics_path).unwrap())
+                .unwrap();
+        assert_eq!(snap.counters["faults.injected"], 2);
+        // A schedule referencing a device outside the system exits with a
+        // model error rather than a panic.
+        let bad = FaultSchedule::new().crash(10.0, 99);
+        std::fs::write(&sched_path, serde_json::to_string(&bad).unwrap()).unwrap();
+        let err = run(&inv).unwrap_err();
+        assert!(matches!(err, CliError::Qsim(_)));
+        for p in [&sys_path, &sched_path, &metrics_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_invalid_budget_deadline_and_horizon() {
+        let devices = vec![Device::new(10.0, 1.0).unwrap()];
+        let chains = vec![ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        let system = SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap();
+        let path = temp("bad_opts_system.json");
+        std::fs::write(&path, serde_json::to_string(&system).unwrap()).unwrap();
+        let run_with = |extra: &[&str]| {
+            let mut argv = vec!["simulate", "--system", path.as_str()];
+            argv.extend_from_slice(extra);
+            run(&parse_args(&args(&argv)).unwrap())
+        };
+        assert!(matches!(
+            run_with(&["--sim-budget", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_with(&["--sim-budget", "many"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_with(&["--sim-deadline", "-1"]),
+            Err(CliError::Usage(_))
+        ));
+        // A bad horizon is a typed error (non-zero exit), not a panic.
+        assert!(matches!(
+            run_with(&["--horizon", "-5"]),
+            Err(CliError::Qsim(_))
+        ));
         let _ = std::fs::remove_file(&path);
     }
 

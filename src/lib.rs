@@ -13,5 +13,6 @@ pub mod cli;
 pub use chainnet as core;
 pub use chainnet_datagen as datagen;
 pub use chainnet_neural as neural;
+pub use chainnet_obs as obs;
 pub use chainnet_placement as placement;
 pub use chainnet_qsim as qsim;
