@@ -291,6 +291,7 @@ impl Surrogate for BaselineGnn {
                 None => s,
             });
         }
+        // lint:allow(panic): SystemModel validation rejects graphs with zero chains
         total.expect("graph has at least one chain")
     }
 

@@ -30,7 +30,15 @@ use std::fmt::Write as _;
 /// # }
 /// ```
 pub fn to_dot(graph: &PlacementGraph) -> String {
-    let mut out = String::from("digraph placement {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    let mut out = String::new();
+    // `fmt::Write` for `String` is infallible, so the `fmt::Result`
+    // threaded through the writer can be discarded.
+    let _ = write_dot(graph, &mut out);
+    out
+}
+
+fn write_dot(graph: &PlacementGraph, out: &mut String) -> std::fmt::Result {
+    out.push_str("digraph placement {\n  rankdir=LR;\n  node [fontsize=10];\n");
 
     // Service nodes: hollow circles with red borders.
     for (i, chain) in graph.chains.iter().enumerate() {
@@ -38,8 +46,7 @@ pub fn to_dot(graph: &PlacementGraph) -> String {
             out,
             "  s{i} [label=\"chain {i}\\nλ={:.3}\" shape=circle color=red];",
             chain.arrival_rate
-        )
-        .expect("write to string");
+        )?;
     }
     // Fragment nodes: blue boxes, grouped per chain.
     for (i, chain) in graph.chains.iter().enumerate() {
@@ -48,8 +55,7 @@ pub fn to_dot(graph: &PlacementGraph) -> String {
                 out,
                 "  f{i}_{j} [label=\"({i},{j})\\nt_p={:.3}\" shape=box color=blue style=filled fillcolor=lightblue];",
                 step.processing_time
-            )
-            .expect("write to string");
+            )?;
         }
     }
     // Device nodes: dashed green.
@@ -59,22 +65,19 @@ pub fn to_dot(graph: &PlacementGraph) -> String {
             "  d{k} [label=\"device {}\\nF_k={}\" shape=ellipse color=green style=dashed];",
             dev.global_idx,
             dev.steps.len()
-        )
-        .expect("write to string");
+        )?;
     }
     // Placement edges (dashed) and workflow edges (solid).
     for (i, chain) in graph.chains.iter().enumerate() {
         for (j, step) in chain.steps.iter().enumerate() {
-            writeln!(out, "  f{i}_{j} -> d{} [style=dashed];", step.device)
-                .expect("write to string");
+            writeln!(out, "  f{i}_{j} -> d{} [style=dashed];", step.device)?;
             if j + 1 < chain.steps.len() {
-                writeln!(out, "  d{} -> f{i}_{} [style=solid];", step.device, j + 1)
-                    .expect("write to string");
+                writeln!(out, "  d{} -> f{i}_{} [style=solid];", step.device, j + 1)?;
             }
         }
     }
     out.push_str("}\n");
-    out
+    Ok(())
 }
 
 #[cfg(test)]

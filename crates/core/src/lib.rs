@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 //! **ChainNet** — a customized graph neural network surrogate for
 //! loss-aware edge AI service deployment (Niu, Roveri, Casale, DSN 2024),
 //! reproduced from scratch in Rust.

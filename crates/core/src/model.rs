@@ -435,6 +435,7 @@ impl Surrogate for ChainNet {
                 None => s,
             });
         }
+        // lint:allow(panic): SystemModel validation rejects graphs with zero chains
         total.expect("graph has at least one chain")
     }
 

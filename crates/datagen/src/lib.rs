@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 //! Workload and dataset generation for the ChainNet experiments: the
 //! Table III network generators (Type I and Type II), the Table VII
 //! placement-problem generator, the Section VIII-D real-world case study,

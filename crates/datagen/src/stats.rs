@@ -93,18 +93,19 @@ pub fn dataset_stats(samples: &[RawSample]) -> Result<DatasetStats, DatagenError
         }
     }
     let lossy = loss.iter().filter(|&&l| l > 0.01).count() as f64 / loss.len() as f64;
-    // Each summary input is nonempty: samples is nonempty (checked above) and
-    // model validation guarantees at least one chain per graph.
-    let nonempty = "at least one sample/chain by validation";
+    // Each summary input is nonempty in practice: samples is nonempty
+    // (checked above) and model validation guarantees at least one chain
+    // per graph. Surface a typed error rather than panicking regardless.
+    let summary = |xs: &[f64]| Summary::from_values(xs).ok_or(DatagenError::EmptyDataset);
     Ok(DatasetStats {
         samples: samples.len(),
         chains: arrival.len(),
-        chains_per_graph: Summary::from_values(&chains_per_graph).expect(nonempty),
-        fragments_per_chain: Summary::from_values(&fragments_per_chain).expect(nonempty),
-        devices_per_graph: Summary::from_values(&devices_per_graph).expect(nonempty),
-        arrival_rate: Summary::from_values(&arrival).expect(nonempty),
-        loss_probability: Summary::from_values(&loss).expect(nonempty),
-        latency: Summary::from_values(&latency).expect(nonempty),
+        chains_per_graph: summary(&chains_per_graph)?,
+        fragments_per_chain: summary(&fragments_per_chain)?,
+        devices_per_graph: summary(&devices_per_graph)?,
+        arrival_rate: summary(&arrival)?,
+        loss_probability: summary(&loss)?,
+        latency: summary(&latency)?,
         lossy_chain_fraction: lossy,
     })
 }

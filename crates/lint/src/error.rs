@@ -1,0 +1,49 @@
+//! Typed errors for the lint library (the lint holds itself to R5).
+
+use std::fmt;
+use std::path::Path;
+
+/// Everything that can go wrong while scanning a workspace.
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem error while reading sources or the metric README.
+    Io {
+        /// The path being accessed.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The workspace root does not look like a lintable workspace.
+    BadWorkspace(String),
+    /// The JSON report could not be serialised.
+    Report(serde_json::Error),
+}
+
+impl LintError {
+    pub(crate) fn io(path: &Path, source: std::io::Error) -> Self {
+        LintError::Io {
+            path: path.display().to_string(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "io error at {path}: {source}"),
+            LintError::BadWorkspace(msg) => write!(f, "bad workspace: {msg}"),
+            LintError::Report(e) => write!(f, "report serialisation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io { source, .. } => Some(source),
+            LintError::Report(e) => Some(e),
+            LintError::BadWorkspace(_) => None,
+        }
+    }
+}

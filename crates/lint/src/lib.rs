@@ -1,0 +1,123 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+//! `chainnet-lint` — the workspace's static-analysis gate.
+//!
+//! The ChainNet reproduction rests on invariants `rustc` cannot check:
+//! label generation and the Table V/VI results replay only if the
+//! simulator, trainer and SA search are deterministic given a seed;
+//! the resilience layer promises panic-free library crates with typed
+//! errors; and the observability layer promises a consistent,
+//! documented metric namespace. This crate makes those promises
+//! machine-checked on every commit:
+//!
+//! * **R1 `panic`** — no `.unwrap()` / `.expect(` / `panic!` /
+//!   `todo!` / `unimplemented!` in library code (tests, benches,
+//!   examples and binary entry points are exempt);
+//! * **R2 `determinism`** — no `Instant::now` / `SystemTime::now` /
+//!   `thread_rng` / `HashMap` / `HashSet` in the hot-path crates
+//!   (`qsim`, `neural`, `placement`, `core`);
+//! * **R3 `unsafe`** — `#![forbid(unsafe_code)]` on every crate root
+//!   and no `unsafe` token anywhere first-party;
+//! * **R4 `obs_schema`** — metric names at obs call sites match the
+//!   `[a-z0-9_.]` charset and agree, both directions, with the table
+//!   in `crates/obs/README.md`;
+//! * **R5 `error_hygiene`** — public `Result` APIs in library crates
+//!   use the crate's typed error, not `String` or `Box<dyn Error>`.
+//!
+//! A violation is suppressed only by an inline annotation on the same
+//! or the preceding line:
+//!
+//! ```text
+//! // lint:allow(determinism): wall-clock budget watchdog, results
+//! // are not derived from this read
+//! let start_wall = Instant::now();
+//! ```
+//!
+//! Malformed annotations (unknown rule, missing reason) are themselves
+//! violations, so a typo cannot silently disable a rule. See
+//! `docs/lint_rules.md` for the full contract.
+//!
+//! Scanning is a hand-rolled masking pass (no external parser — the
+//! build is offline, see `vendor/README.md`): comment and string
+//! bodies are blanked before any pattern matching, so a banned token
+//! in a doc comment or an error message never false-positives.
+
+pub mod error;
+pub mod report;
+pub mod rules;
+pub mod tokenizer;
+pub mod workspace;
+
+pub use error::LintError;
+pub use report::{Report, Rule, Violation};
+pub use workspace::{CrateKind, CrateSpec, WorkspaceSpec};
+
+use std::collections::BTreeMap;
+
+/// Lint every crate in `spec`. Violations are ordered by
+/// `(file, line, rule)`; the report is JSON-serialisable.
+pub fn run(spec: &WorkspaceSpec) -> Result<Report, LintError> {
+    let mut report = Report::default();
+    // metric name -> every (file, line) that registers it
+    let mut used_metrics: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
+
+    for crate_spec in &spec.crates {
+        for file in workspace::crate_sources(&spec.root, crate_spec)? {
+            let src = std::fs::read_to_string(&file.abs_path)
+                .map_err(|e| LintError::io(&file.abs_path, e))?;
+            let masked = tokenizer::mask(&src);
+            let (suppressed, used) =
+                rules::scan_file(crate_spec, &file, &masked, &mut report.violations);
+            report.suppressed += suppressed;
+            report.files_scanned += 1;
+            for (name, line) in used {
+                used_metrics
+                    .entry(name)
+                    .or_default()
+                    .push((file.rel_path.clone(), line));
+            }
+        }
+    }
+
+    // R4 cross-check: code vs the obs README metric table.
+    if let Some(readme_rel) = &spec.obs_readme {
+        let readme_path = spec.root.join(readme_rel);
+        let readme =
+            std::fs::read_to_string(&readme_path).map_err(|e| LintError::io(&readme_path, e))?;
+        let documented = rules::readme_metric_names(&readme);
+        let readme_disp = readme_rel.to_string_lossy().replace('\\', "/");
+        for (name, sites) in &used_metrics {
+            if !documented.contains_key(name) {
+                for (file, line) in sites {
+                    report.violations.push(Violation::new(
+                        Rule::ObsSchema,
+                        file,
+                        *line,
+                        format!("metric `{name}` is not documented in {readme_disp}"),
+                    ));
+                }
+            }
+        }
+        for (name, line) in &documented {
+            if !rules::valid_metric_charset(name) {
+                report.violations.push(Violation::new(
+                    Rule::ObsSchema,
+                    &readme_disp,
+                    *line,
+                    format!("documented metric `{name}` violates the [a-z0-9_.] charset"),
+                ));
+            } else if !used_metrics.contains_key(name) {
+                report.violations.push(Violation::new(
+                    Rule::ObsSchema,
+                    &readme_disp,
+                    *line,
+                    format!("documented metric `{name}` is registered nowhere in code"),
+                ));
+            }
+        }
+    }
+
+    report.finish();
+    Ok(report)
+}

@@ -1,0 +1,129 @@
+//! CLI for `chainnet-lint`.
+//!
+//! ```console
+//! $ cargo run -p chainnet-lint -- --workspace
+//! $ cargo run -p chainnet-lint -- --workspace --root /path/to/repo --json report.json
+//! $ cargo run -p chainnet-lint -- --fixture-root crates/lint/tests/fixtures/violations
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed violations, `2` usage or
+//! I/O error.
+
+use chainnet_lint::{run, WorkspaceSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    workspace: bool,
+    fixture_root: Option<PathBuf>,
+    root: PathBuf,
+    json_out: Option<PathBuf>,
+}
+
+const USAGE: &str = "\
+usage: chainnet-lint (--workspace | --fixture-root <dir>) [options]
+
+modes:
+  --workspace           lint the ChainNet workspace layout (six library
+                        crates + bench/suite harnesses, obs README schema)
+  --fixture-root <dir>  lint an arbitrary crates/ tree with every crate
+                        held to the strictest (library + hot-path) profile
+
+options:
+  --root <dir>          workspace root for --workspace (default: .)
+  --json <file>         also write the machine-readable JSON report
+  --help                print this help
+";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        fixture_root: None,
+        root: PathBuf::from("."),
+        json_out: None,
+    };
+    let mut i = 0usize;
+    let value = |i: &mut usize, flag: &str| -> Result<PathBuf, String> {
+        *i += 1;
+        args.get(*i)
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => opts.workspace = true,
+            "--fixture-root" => opts.fixture_root = Some(value(&mut i, "--fixture-root")?),
+            "--root" => opts.root = value(&mut i, "--root")?,
+            "--json" => opts.json_out = Some(value(&mut i, "--json")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.workspace == opts.fixture_root.is_some() {
+        return Err("exactly one of --workspace or --fixture-root is required".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("chainnet-lint: {msg}");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let spec = if let Some(fixture_root) = &opts.fixture_root {
+        match WorkspaceSpec::discover(fixture_root) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("chainnet-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        if !opts.root.join("Cargo.toml").is_file() {
+            eprintln!(
+                "chainnet-lint: {} does not contain a Cargo.toml (use --root)",
+                opts.root.display()
+            );
+            return ExitCode::from(2);
+        }
+        WorkspaceSpec::chainnet(&opts.root)
+    };
+
+    let report = match run(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chainnet-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.json_out {
+        let json = match report.to_json() {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("chainnet-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("chainnet-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    eprint!("{}", report.render_human());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,649 @@
+//! The rule set (R1–R5) and the `lint:allow` suppression machinery.
+//!
+//! All rules run on [`Masked`](crate::tokenizer::Masked) text, so
+//! banned patterns inside comments and string literals never fire.
+//! Code under a `#[cfg(test)]` attribute (the attribute through the
+//! close of the following brace block) is skipped by every rule.
+
+use crate::report::{Rule, Violation};
+use crate::tokenizer::{is_ident_byte, Masked};
+use crate::workspace::{CrateKind, CrateSpec, SourceFile};
+use std::collections::BTreeMap;
+
+/// R1 — method/macro patterns that can panic in library code.
+const PANIC_PATTERNS: &[(&str, bool)] = &[
+    // (pattern, needs identifier boundary before first byte)
+    (".unwrap()", false),
+    (".expect(", false),
+    ("panic!", true),
+    ("todo!", true),
+    ("unimplemented!", true),
+];
+
+/// R2 — sources of nondeterminism banned in hot-path crates. The wall
+/// clock breaks replayability; `thread_rng` is ambient (unseeded)
+/// randomness; `HashMap`/`HashSet` have nondeterministic iteration
+/// order (use `BTreeMap`/`BTreeSet`, or annotate a keyed-lookup-only
+/// use with `lint:allow(determinism)`).
+const DETERMINISM_PATTERNS: &[(&str, &str)] = &[
+    ("Instant::now", "wall-clock read in a hot path"),
+    ("SystemTime::now", "wall-clock read in a hot path"),
+    ("thread_rng", "ambient (unseeded) RNG"),
+    (
+        "HashMap",
+        "unordered map (iteration order is nondeterministic)",
+    ),
+    (
+        "HashSet",
+        "unordered set (iteration order is nondeterministic)",
+    ),
+];
+
+/// A parsed `lint:allow(<rule>): <reason>` annotation.
+#[derive(Debug, Clone)]
+struct Allow {
+    line: usize,
+    rule: Rule,
+    /// A comment-only line covers the next line too; a trailing
+    /// annotation covers only its own line.
+    standalone: bool,
+    used: bool,
+}
+
+/// Scan state for one source file.
+pub struct FileScan<'a> {
+    masked: &'a Masked,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+    allows: Vec<Allow>,
+    /// Violations before suppression.
+    candidates: Vec<(Rule, usize, String)>,
+    /// Malformed annotations (never suppressible).
+    syntax_errors: Vec<(usize, String)>,
+}
+
+impl<'a> FileScan<'a> {
+    /// Prepare a scan: locate test regions and parse annotations.
+    pub fn new(masked: &'a Masked) -> Self {
+        let mut scan = FileScan {
+            masked,
+            test_regions: test_regions(&masked.code),
+            allows: Vec::new(),
+            candidates: Vec::new(),
+            syntax_errors: Vec::new(),
+        };
+        scan.parse_allows();
+        scan
+    }
+
+    fn parse_allows(&mut self) {
+        // Blank lines in the masked text are comment-only (or empty)
+        // in the original: comment bodies mask to spaces.
+        let line_blank: Vec<bool> = self
+            .masked
+            .code
+            .lines()
+            .map(|l| l.trim().is_empty())
+            .collect();
+        for c in &self.masked.comments {
+            // Doc comments (`///`, `//!`) are documentation, not
+            // annotations — prose may mention the syntax freely.
+            if c.text.starts_with('/') || c.text.starts_with('!') {
+                continue;
+            }
+            let Some(pos) = c.text.find("lint:allow(") else {
+                continue;
+            };
+            let rest = &c.text[pos + "lint:allow".len()..];
+            let parsed = (|| {
+                let rest = rest.strip_prefix('(')?;
+                let close = rest.find(')')?;
+                let rule = Rule::from_slug(rest[..close].trim())?;
+                let after = rest[close + 1..].trim_start();
+                let reason = after.strip_prefix(':')?.trim();
+                (!reason.is_empty()).then_some(rule)
+            })();
+            match parsed {
+                Some(rule) => self.allows.push(Allow {
+                    line: c.line,
+                    rule,
+                    standalone: line_blank.get(c.line - 1).copied().unwrap_or(false),
+                    used: false,
+                }),
+                None => self.syntax_errors.push((
+                    c.line,
+                    format!(
+                        "malformed lint:allow annotation (expected \
+                         `lint:allow(<rule>): <reason>` with a known rule \
+                         and a non-empty reason): `//{}`",
+                        c.text.trim_end()
+                    ),
+                )),
+            }
+        }
+    }
+
+    fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    fn push(&mut self, rule: Rule, offset: usize, message: String) {
+        let line = self.masked.line_of(offset);
+        self.candidates.push((rule, line, message));
+    }
+
+    /// R1 — panic-freedom.
+    pub fn rule_panic(&mut self) {
+        for &(pat, boundary) in PANIC_PATTERNS {
+            for off in find_all(&self.masked.code, pat, boundary) {
+                if self.in_test_region(off) {
+                    continue;
+                }
+                self.push(
+                    Rule::Panic,
+                    off,
+                    format!(
+                        "`{}` can panic; return the crate's typed error instead \
+                         (or annotate an invariant with lint:allow(panic))",
+                        pat.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                );
+            }
+        }
+    }
+
+    /// R2 — determinism.
+    pub fn rule_determinism(&mut self) {
+        for &(pat, why) in DETERMINISM_PATTERNS {
+            for off in find_all(&self.masked.code, pat, true) {
+                if self.in_test_region(off) {
+                    continue;
+                }
+                self.push(
+                    Rule::Determinism,
+                    off,
+                    format!("`{pat}` in a hot-path crate: {why}; seeded results must replay"),
+                );
+            }
+        }
+    }
+
+    /// R3 (token half) — no `unsafe` anywhere in first-party code.
+    pub fn rule_unsafe_tokens(&mut self) {
+        for off in find_all(&self.masked.code, "unsafe", true) {
+            // `#![forbid(unsafe_code)]` itself mentions the word.
+            if self.masked.code[..off].ends_with("forbid(")
+                || self.masked.code[off..].starts_with("unsafe_code")
+            {
+                continue;
+            }
+            self.push(
+                Rule::UnsafeCode,
+                off,
+                "`unsafe` is banned workspace-wide".to_string(),
+            );
+        }
+    }
+
+    /// R3 (attribute half) — the crate root must opt in to the ban.
+    pub fn rule_forbid_attr(&mut self, rel_path: &str) {
+        if !self.masked.code.contains("#![forbid(unsafe_code)]") {
+            self.candidates.push((
+                Rule::UnsafeCode,
+                1,
+                format!("{rel_path} is a crate root without `#![forbid(unsafe_code)]`"),
+            ));
+        }
+    }
+
+    /// R4 (collection half) — metric-name literals at obs call sites.
+    /// Returns `(name, line)` pairs for the workspace-level reverse
+    /// check; charset violations are recorded immediately.
+    pub fn rule_obs_collect(&mut self) -> Vec<(String, usize)> {
+        let code = &self.masked.code;
+        let mut used = Vec::new();
+        for pat in [".counter(", ".gauge(", ".histogram(", "labeled("] {
+            for off in find_all(code, pat, pat == "labeled(") {
+                if self.in_test_region(off) {
+                    continue;
+                }
+                // Skip the definition site `pub fn labeled(`.
+                if pat == "labeled(" && prev_word(code, off) == Some("fn") {
+                    continue;
+                }
+                // First argument: skip whitespace and a leading `&`.
+                let mut j = off + pat.len();
+                let b = code.as_bytes();
+                while j < b.len() && (b[j].is_ascii_whitespace() || b[j] == b'&') {
+                    j += 1;
+                }
+                if j >= b.len() || b[j] != b'"' {
+                    continue; // dynamic name (a variable or nested call)
+                }
+                let Some(lit) = self.masked.string_at(j) else {
+                    continue;
+                };
+                let name = lit.value.clone();
+                if !valid_metric_charset(&name) {
+                    self.push(
+                        Rule::ObsSchema,
+                        off,
+                        format!(
+                            "metric name `{name}` violates the [a-z0-9_.] naming charset \
+                             (see crates/obs/README.md)"
+                        ),
+                    );
+                } else {
+                    used.push((name, self.masked.line_of(off)));
+                }
+            }
+        }
+        used
+    }
+
+    /// R5 — public `Result` APIs must use a typed error.
+    pub fn rule_error_hygiene(&mut self) {
+        let code = &self.masked.code;
+        for off in find_all(code, "pub fn ", true) {
+            if self.in_test_region(off) {
+                continue;
+            }
+            let Some(sig) = signature_at(code, off) else {
+                continue;
+            };
+            let Some(ret) = return_type(&sig) else {
+                continue;
+            };
+            if let Some(err_ty) = stringly_error(&ret) {
+                self.push(
+                    Rule::ErrorHygiene,
+                    off,
+                    format!(
+                        "public API returns `Result<_, {err_ty}>`; use the crate's \
+                         typed error so callers can match on failure modes"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Apply suppressions and drain results into the caller's buffers.
+    /// Returns the number of suppressed violations.
+    pub fn finish(mut self, rel_path: &str, out: &mut Vec<Violation>) -> usize {
+        let mut suppressed = 0usize;
+        for (rule, line, message) in std::mem::take(&mut self.candidates) {
+            let allow = self.allows.iter_mut().find(|a| {
+                a.rule == rule && (a.line == line || (a.standalone && a.line + 1 == line))
+            });
+            if let Some(a) = allow {
+                a.used = true;
+                suppressed += 1;
+            } else {
+                out.push(Violation::new(rule, rel_path, line, message));
+            }
+        }
+        for (line, message) in self.syntax_errors {
+            out.push(Violation::new(Rule::AllowSyntax, rel_path, line, message));
+        }
+        suppressed
+    }
+}
+
+/// Run every rule applicable to `file` given its crate's profile.
+/// Returns `(suppressed_count, used_metric_names)`.
+pub fn scan_file(
+    spec: &CrateSpec,
+    file: &SourceFile,
+    masked: &Masked,
+    out: &mut Vec<Violation>,
+) -> (usize, Vec<(String, usize)>) {
+    let mut scan = FileScan::new(masked);
+    let lib_rules = spec.kind == CrateKind::Library && !file.is_bin;
+    if lib_rules {
+        scan.rule_panic();
+        scan.rule_error_hygiene();
+    }
+    if spec.hot_path && !file.is_bin {
+        scan.rule_determinism();
+    }
+    scan.rule_unsafe_tokens();
+    if file.is_lib_root {
+        scan.rule_forbid_attr(&file.rel_path);
+    }
+    let used = scan.rule_obs_collect();
+    (scan.finish(&file.rel_path, out), used)
+}
+
+/// Parse the metric table of the obs README: the first cell of each
+/// `|`-delimited row, backtick spans only, label blocks stripped.
+/// Returns `name -> line`.
+pub fn readme_metric_names(readme: &str) -> BTreeMap<String, usize> {
+    let mut names = BTreeMap::new();
+    for (idx, line) in readme.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = trimmed.split('|').nth(1) else {
+            continue;
+        };
+        let mut rest = cell;
+        while let Some(open) = rest.find('`') {
+            let Some(close_rel) = rest[open + 1..].find('`') else {
+                break;
+            };
+            let span = &rest[open + 1..open + 1 + close_rel];
+            let name = span.split('{').next().unwrap_or(span).trim();
+            if !name.is_empty() {
+                names.entry(name.to_string()).or_insert(idx + 1);
+            }
+            rest = &rest[open + 1 + close_rel + 1..];
+        }
+    }
+    names
+}
+
+/// `[a-z0-9_.]+`, per the obs naming contract.
+pub fn valid_metric_charset(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_' || c == b'.')
+}
+
+/// All occurrences of `pat` in `code`, optionally requiring a
+/// non-identifier byte immediately before, and always requiring a
+/// non-identifier byte immediately after the pattern's last
+/// identifier character (so `HashMap` does not match `HashMapShim`).
+fn find_all(code: &str, pat: &str, boundary_before: bool) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut start = 0usize;
+    while let Some(rel) = code[start..].find(pat) {
+        let off = start + rel;
+        start = off + 1;
+        if boundary_before && off > 0 && is_ident_byte(bytes[off - 1]) {
+            continue;
+        }
+        let last = pat.as_bytes()[pat.len() - 1];
+        if is_ident_byte(last) {
+            let after = off + pat.len();
+            if after < bytes.len() && is_ident_byte(bytes[after]) {
+                continue;
+            }
+        }
+        out.push(off);
+    }
+    out
+}
+
+/// The whitespace-separated word ending just before `off`, if any.
+fn prev_word(code: &str, off: usize) -> Option<&str> {
+    let head = code[..off].trim_end();
+    let start = head
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let w = &head[start..];
+    (!w.is_empty()).then_some(w)
+}
+
+/// Byte ranges of `#[cfg(test)]` items: from the attribute through the
+/// matching close brace of the next `{` block.
+fn test_regions(code: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let bytes = code.as_bytes();
+    let mut start = 0usize;
+    while let Some(rel) = code[start..].find("#[cfg(test)]") {
+        let attr = start + rel;
+        let Some(open_rel) = code[attr..].find('{') else {
+            regions.push((attr, code.len()));
+            break;
+        };
+        let open = attr + open_rel;
+        let mut depth = 0i64;
+        let mut end = code.len();
+        for (k, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        regions.push((attr, end));
+        start = end;
+    }
+    regions
+}
+
+/// The signature starting at a `pub fn ` match: text up to the first
+/// `{` or `;` at zero bracket depth, or `None` if the file ends first.
+fn signature_at(code: &str, off: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut depth = 0i64;
+    for (k, &b) in bytes[off..].iter().enumerate() {
+        match b {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'<' if k > 0 && bytes[off + k - 1] != b'<' => depth += 1,
+            b'>' if k > 0 && bytes[off + k - 1] != b'-' && bytes[off + k - 1] != b'=' => {
+                depth -= 1;
+            }
+            b'{' | b';' if depth <= 0 => return Some(code[off..off + k].to_string()),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The return type of a signature: text after the first `->` that sits
+/// at zero parenthesis depth (so `fn(u8) -> u8` parameters don't
+/// confuse it).
+fn return_type(sig: &str) -> Option<String> {
+    let bytes = sig.as_bytes();
+    let mut depth = 0i64;
+    let mut k = 0usize;
+    while k + 1 < bytes.len() {
+        match bytes[k] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            b'-' if depth == 0 && bytes[k + 1] == b'>' => {
+                return Some(sig[k + 2..].trim().to_string());
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// If `ret` is a two-argument `Result` whose error type is stringly
+/// (`String` or a `Box<dyn ... Error ...>` trait object), return the
+/// offending error type.
+fn stringly_error(ret: &str) -> Option<String> {
+    let pos = find_all(ret, "Result", true)
+        .into_iter()
+        .find(|&p| ret[p + "Result".len()..].trim_start().starts_with('<'))?;
+    let after = &ret[pos + "Result".len()..];
+    let open = after.find('<')?;
+    let body = &after[open + 1..];
+    // Split the generic args at top-level commas.
+    let mut depth = 0i64;
+    let mut args = Vec::new();
+    let mut cur = String::new();
+    let bytes = body.as_bytes();
+    let mut k = 0usize;
+    while k < bytes.len() {
+        let b = bytes[k];
+        match b {
+            b'<' | b'(' | b'[' => depth += 1,
+            b'>' if k > 0 && bytes[k - 1] == b'-' => {}
+            b'>' | b')' | b']' => {
+                if depth == 0 && b == b'>' {
+                    break; // close of the Result's generics
+                }
+                depth -= 1;
+            }
+            b',' if depth == 0 => {
+                args.push(cur.trim().to_string());
+                cur.clear();
+                k += 1;
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(b as char);
+        k += 1;
+    }
+    if !cur.trim().is_empty() {
+        args.push(cur.trim().to_string());
+    }
+    if args.len() < 2 {
+        return None; // an alias like `serde_json::Result<T>` — typed already
+    }
+    let err = collapse_ws(&args[1]);
+    let is_string = matches!(
+        err.as_str(),
+        "String" | "std::string::String" | "alloc::string::String"
+    );
+    let is_boxed_err = err.starts_with("Box<dyn") && err.contains("Error");
+    (is_string || is_boxed_err).then_some(err)
+}
+
+fn collapse_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::mask;
+
+    fn scan_candidates(src: &str, f: impl Fn(&mut FileScan<'_>)) -> Vec<(Rule, usize, String)> {
+        let m = mask(src);
+        let mut s = FileScan::new(&m);
+        f(&mut s);
+        s.candidates.clone()
+    }
+
+    #[test]
+    fn panic_rule_fires_outside_tests_only() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn b() { y.unwrap(); } }\n";
+        let v = scan_candidates(src, |s| s.rule_panic());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn a() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }";
+        assert!(scan_candidates(src, |s| s.rule_panic()).is_empty());
+    }
+
+    #[test]
+    fn expect_err_and_should_panic_do_not_fire() {
+        let src = "fn a() { r.expect_err(\"no\"); } // #[should_panic] mentioned\n";
+        assert!(scan_candidates(src, |s| s.rule_panic()).is_empty());
+    }
+
+    #[test]
+    fn determinism_rule_catches_hashmap_but_not_btreemap() {
+        let src = "use std::collections::{BTreeMap, HashMap};\nfn f(m: &HashMap<u8, u8>) {}\n";
+        let v = scan_candidates(src, |s| s.rule_determinism());
+        assert_eq!(v.len(), 2);
+        let src2 = "use std::collections::BTreeMap;\nstruct MyHashMapLike;";
+        assert!(scan_candidates(src2, |s| s.rule_determinism()).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line() {
+        let src = "\
+fn a() {
+    // lint:allow(panic): documented invariant, validated upstream
+    x.unwrap();
+    y.expect(\"boom\"); // lint:allow(panic): second documented invariant
+    z.unwrap();
+}
+";
+        let m = mask(src);
+        let mut s = FileScan::new(&m);
+        s.rule_panic();
+        let mut out = Vec::new();
+        let suppressed = s.finish("f.rs", &mut out);
+        assert_eq!(suppressed, 2);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 5);
+    }
+
+    #[test]
+    fn malformed_allow_is_reported() {
+        let src = "// lint:allow(panic) no colon reason\nfn a() {}\n";
+        let m = mask(src);
+        let s = FileScan::new(&m);
+        let mut out = Vec::new();
+        s.finish("f.rs", &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "R0");
+    }
+
+    #[test]
+    fn error_hygiene_flags_string_and_boxed_errors_only() {
+        let src = "\
+pub fn bad1(x: u8) -> Result<u8, String> { Ok(x) }
+pub fn bad2() -> Result<(), Box<dyn std::error::Error>> { Ok(()) }
+pub fn good(x: u8) -> Result<u8, MyError> { Ok(x) }
+pub fn alias() -> serde_json::Result<String> { todo()
+}
+pub fn strings() -> Result<Vec<String>, MyError> { Ok(vec![]) }
+";
+        let v = scan_candidates(src, |s| s.rule_error_hygiene());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].1, 1);
+        assert_eq!(v[1].1, 2);
+    }
+
+    #[test]
+    fn readme_table_parse_strips_labels_and_splits_spans() {
+        let md = "\
+| Metric | Kind | Meaning |
+|---|---|---|
+| `a.count` | counter | things |
+| `dev.admits{device=\"k\"}` / `dev.drops{device=\"k\"}` | counter | per-device |
+";
+        let names = readme_metric_names(md);
+        assert_eq!(
+            names.keys().cloned().collect::<Vec<_>>(),
+            vec!["a.count", "dev.admits", "dev.drops"]
+        );
+        assert_eq!(names["a.count"], 3);
+    }
+
+    #[test]
+    fn obs_collect_reads_literal_names_and_charset() {
+        let src = "\
+fn f(r: &Registry) {
+    r.counter(\"ok.name\").inc();
+    r.gauge(\"Bad-Name\").set(1.0);
+    r.counter(&labeled(\"dev.drops\", &[(\"device\", \"0\")])).inc();
+    let dynamic = name();
+    r.counter(&dynamic).inc();
+}
+";
+        let m = mask(src);
+        let mut s = FileScan::new(&m);
+        let used = s.rule_obs_collect();
+        let names: Vec<_> = used.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"ok.name"));
+        assert!(names.contains(&"dev.drops"));
+        assert_eq!(s.candidates.len(), 1); // Bad-Name charset
+        assert!(s.candidates[0].2.contains("Bad-Name"));
+    }
+}

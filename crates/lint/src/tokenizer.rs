@@ -1,0 +1,459 @@
+//! A hand-rolled Rust source masker.
+//!
+//! The lint rules operate on a *masked* copy of each source file in
+//! which the contents of comments, string literals and char literals
+//! are replaced by spaces (newlines are preserved, so byte offsets and
+//! line numbers are stable). This is what makes a textual rule such as
+//! "no `.unwrap()` in library code" safe: the pattern cannot
+//! false-positive inside a doc comment, an error message or a test
+//! fixture embedded as a string.
+//!
+//! The masker is not a full lexer — it only needs to classify four
+//! region kinds correctly:
+//!
+//! * line comments (`//`, `///`, `//!`), captured for
+//!   `lint:allow(...)` annotations;
+//! * block comments (`/* ... */`), including nesting;
+//! * string literals: `"..."`, `b"..."`, raw `r"..."` / `r#"..."#`
+//!   with any number of hashes (and `br` variants), with escape
+//!   handling in the cooked forms;
+//! * char literals `'x'` / `'\n'`, distinguished from lifetimes
+//!   (`'a`) by look-ahead.
+//!
+//! String literal *values* are additionally recorded with their byte
+//! offset so schema rules (R4) can recover the metric name passed at a
+//! call site the mask has blanked.
+
+/// A string literal found in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// Byte offset of the opening quote (`"`) in the masked text. For
+    /// raw/byte strings this is still the position of the `"` itself,
+    /// not of the `r`/`b` prefix.
+    pub offset: usize,
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// The literal's raw contents (escapes are *not* processed; rules
+    /// that care about charsets treat a `\` as just another byte).
+    pub value: String,
+}
+
+/// A line comment found in the source (block comments are masked but
+/// not captured; `lint:allow` annotations must be line comments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment text after the `//` introducer (including any further
+    /// `/` or `!` doc markers).
+    pub text: String,
+}
+
+/// Result of masking one source file.
+#[derive(Debug, Clone)]
+pub struct Masked {
+    /// The source with comment and literal contents blanked. Same byte
+    /// length as the input; string/char literal delimiters are kept as
+    /// `"` so call-site scanners can recognise "a literal starts here".
+    pub code: String,
+    /// All string literals in source order.
+    pub strings: Vec<StrLit>,
+    /// All line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+impl Masked {
+    /// The string literal whose opening quote sits at `offset`, if any.
+    pub fn string_at(&self, offset: usize) -> Option<&StrLit> {
+        self.strings.iter().find(|s| s.offset == offset)
+    }
+
+    /// 1-based line number of a byte offset into the masked text.
+    pub fn line_of(&self, offset: usize) -> usize {
+        1 + self.code.as_bytes()[..offset.min(self.code.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+}
+
+/// Mask `src`: blank comments and literal bodies, record literals and
+/// line comments. Never fails — unterminated regions extend to EOF.
+pub fn mask(src: &str) -> Masked {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = vec![0u8; n];
+    let mut strings = Vec::new();
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Copy a byte through to the mask verbatim.
+    macro_rules! keep {
+        ($idx:expr) => {
+            out[$idx] = b[$idx];
+        };
+    }
+    // Blank a byte (newlines always survive so line numbers hold).
+    macro_rules! blank {
+        ($idx:expr) => {
+            out[$idx] = if b[$idx] == b'\n' { b'\n' } else { b' ' };
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                keep!(i);
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                // Line comment: blank to end of line, capture text.
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    blank!(i);
+                    i += 1;
+                }
+                comments.push(LineComment {
+                    line,
+                    text: src[start + 2..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Block comment with nesting.
+                let mut depth = 1usize;
+                blank!(i);
+                blank!(i + 1);
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        blank!(i);
+                        blank!(i + 1);
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        blank!(i);
+                        blank!(i + 1);
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        blank!(i);
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = cooked_string(src, b, i, &mut out, &mut line, &mut strings);
+            }
+            b'r' | b'b' if starts_string_prefix(b, i) => {
+                // r"...", r#"..."#, b"...", br#"..."# — find the quote.
+                let mut j = i;
+                while j < n && (b[j] == b'r' || b[j] == b'b') {
+                    keep!(j);
+                    j += 1;
+                }
+                let raw = src[i..j].contains('r');
+                if raw {
+                    let mut hashes = 0usize;
+                    while j < n && b[j] == b'#' {
+                        keep!(j);
+                        hashes += 1;
+                        j += 1;
+                    }
+                    i = raw_string(src, b, j, hashes, &mut out, &mut line, &mut strings);
+                } else {
+                    i = cooked_string(src, b, j, &mut out, &mut line, &mut strings);
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                if let Some(end) = char_literal_end(b, i) {
+                    keep!(i);
+                    out[end] = b'\''; // keep closing delimiter too
+                    for k in i + 1..end {
+                        blank!(k);
+                        if b[k] == b'\n' {
+                            line += 1;
+                        }
+                    }
+                    i = end + 1;
+                } else {
+                    keep!(i); // lifetime tick: plain code
+                    i += 1;
+                }
+            }
+            _ => {
+                keep!(i);
+                i += 1;
+            }
+        }
+    }
+
+    // The output is the input with some bytes replaced by ASCII spaces.
+    // Multi-byte UTF-8 sequences are either copied whole or blanked
+    // whole-by-byte, so the result is valid UTF-8.
+    let code = String::from_utf8_lossy(&out).into_owned();
+    Masked {
+        code,
+        strings,
+        comments,
+    }
+}
+
+/// Does `b[i..]` start a raw/byte string prefix (`r"`, `r#`, `b"`,
+/// `br"`, `rb` is not a thing) as opposed to an identifier like `req`?
+fn starts_string_prefix(b: &[u8], i: usize) -> bool {
+    // Identifier context disqualifies: `var"` cannot occur, but `burn`
+    // must not be read as b + urn. Require the previous byte to not be
+    // part of an identifier.
+    if i > 0 && is_ident_byte(b[i - 1]) {
+        return false;
+    }
+    let n = b.len();
+    let mut j = i;
+    // At most two prefix letters (b, r / br).
+    let mut letters = 0;
+    while j < n && (b[j] == b'r' || b[j] == b'b') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    if j < n && b[j] == b'"' {
+        return true;
+    }
+    // Raw strings may carry hashes: r#"..."#.
+    if j > i && b[j - 1] == b'r' {
+        let mut k = j;
+        while k < n && b[k] == b'#' {
+            k += 1;
+        }
+        return k > j && k < n && b[k] == b'"';
+    }
+    false
+}
+
+/// Is `c` an identifier byte (`[A-Za-z0-9_]` or any non-ASCII byte)?
+pub fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Mask a cooked (escaped) string starting at the `"` at `qi`; returns
+/// the index just past the closing quote.
+fn cooked_string(
+    src: &str,
+    b: &[u8],
+    qi: usize,
+    out: &mut [u8],
+    line: &mut usize,
+    strings: &mut Vec<StrLit>,
+) -> usize {
+    let n = b.len();
+    out[qi] = b'"';
+    let start_line = *line;
+    let mut i = qi + 1;
+    while i < n {
+        match b[i] {
+            b'\\' if i + 1 < n => {
+                out[i] = b' ';
+                out[i + 1] = if b[i + 1] == b'\n' { b'\n' } else { b' ' };
+                if b[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => {
+                out[i] = b'"';
+                strings.push(StrLit {
+                    offset: qi,
+                    line: start_line,
+                    value: src[qi + 1..i].to_string(),
+                });
+                return i + 1;
+            }
+            c => {
+                out[i] = if c == b'\n' { b'\n' } else { b' ' };
+                if c == b'\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    // Unterminated: treat the rest of the file as the literal.
+    strings.push(StrLit {
+        offset: qi,
+        line: start_line,
+        value: src[qi + 1..].to_string(),
+    });
+    n
+}
+
+/// Mask a raw string whose opening `"` is at `qi` with `hashes` hash
+/// marks; returns the index just past the closing delimiter.
+fn raw_string(
+    src: &str,
+    b: &[u8],
+    qi: usize,
+    hashes: usize,
+    out: &mut [u8],
+    line: &mut usize,
+    strings: &mut Vec<StrLit>,
+) -> usize {
+    let n = b.len();
+    if qi >= n {
+        return n;
+    }
+    out[qi] = b'"';
+    let start_line = *line;
+    let mut i = qi + 1;
+    while i < n {
+        if b[i] == b'"' {
+            // Candidate close: `"` followed by `hashes` hash marks.
+            let close_ok = (1..=hashes).all(|k| i + k < n && b[i + k] == b'#');
+            if close_ok && i + hashes < n + 1 {
+                out[i] = b'"';
+                for k in 1..=hashes {
+                    if i + k < n {
+                        out[i + k] = b'#';
+                    }
+                }
+                strings.push(StrLit {
+                    offset: qi,
+                    line: start_line,
+                    value: src[qi + 1..i].to_string(),
+                });
+                return i + hashes + 1;
+            }
+        }
+        out[i] = if b[i] == b'\n' { b'\n' } else { b' ' };
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    strings.push(StrLit {
+        offset: qi,
+        line: start_line,
+        value: src[qi + 1..].to_string(),
+    });
+    n
+}
+
+/// If a char literal starts at the `'` at `i`, return the index of its
+/// closing `'`; otherwise (a lifetime such as `'a` or `'static`) `None`.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if b[i + 1] == b'\\' {
+        // Escaped char: the byte after the backslash is the escape body
+        // (or its first byte, for `\u{..}` / `\x41`); skip it, then the
+        // next quote closes the literal. This handles `'\\'` and `'\''`.
+        let mut j = i + 3;
+        while j < n && b[j] != b'\'' {
+            j += 1;
+        }
+        return if j < n { Some(j) } else { None };
+    }
+    // Unescaped: `'x'` where x is one (possibly multi-byte) char. Find
+    // the end of the first char after the quote.
+    let mut j = i + 2;
+    while j < n && b[j] >= 0x80 && b[j] < 0xC0 {
+        j += 1; // UTF-8 continuation bytes
+    }
+    if j < n && b[j] == b'\'' {
+        Some(j)
+    } else {
+        None // `'a` (lifetime) or `''` (invalid) — not a char literal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_doc_comments() {
+        let m = mask("let x = 1; // call .unwrap() here\n/// docs panic!\nlet y = 2;\n");
+        assert!(!m.code.contains("unwrap"));
+        assert!(!m.code.contains("panic"));
+        assert!(m.code.contains("let x = 1;"));
+        assert!(m.code.contains("let y = 2;"));
+        assert_eq!(m.comments.len(), 2);
+        assert!(m.comments[0].text.contains(".unwrap()"));
+        assert_eq!(m.comments[0].line, 1);
+        assert_eq!(m.comments[1].line, 2);
+    }
+
+    #[test]
+    fn masks_nested_block_comments_and_keeps_lines() {
+        let src = "a /* outer /* .expect( */ still\ncomment */ b\nc";
+        let m = mask(src);
+        assert!(!m.code.contains("expect"));
+        assert!(m.code.contains('a'));
+        assert!(m.code.contains('b'));
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(m.line_of(m.code.find('c').unwrap()), 3);
+    }
+
+    #[test]
+    fn masks_string_contents_but_keeps_delimiters() {
+        let src = r#"let s = "x.unwrap() and panic!";"#;
+        let m = mask(src);
+        assert!(!m.code.contains("unwrap"));
+        assert_eq!(m.code.matches('"').count(), 2);
+        assert_eq!(m.strings.len(), 1);
+        assert_eq!(m.strings[0].value, "x.unwrap() and panic!");
+        assert_eq!(m.strings[0].offset, src.find('"').unwrap());
+    }
+
+    #[test]
+    fn handles_escapes_and_raw_strings() {
+        let src = "let a = \"quote \\\" .expect( end\"; let b = r#\"raw \"panic!\" body\"#;";
+        let m = mask(src);
+        assert!(!m.code.contains("expect"));
+        assert!(!m.code.contains("panic"));
+        assert_eq!(m.strings.len(), 2);
+        assert_eq!(m.strings[0].value, "quote \\\" .expect( end");
+        assert_eq!(m.strings[1].value, "raw \"panic!\" body");
+    }
+
+    #[test]
+    fn distinguishes_char_literals_from_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '\\''; let d = 'x'; c.min(d) }";
+        let m = mask(src);
+        // Lifetimes survive as code; char literal bodies are blanked.
+        assert!(m.code.contains("<'a>"));
+        assert!(m.code.contains("&'a str"));
+        assert!(!m.code.contains("'x'"));
+        assert!(m.code.contains("'"));
+    }
+
+    #[test]
+    fn byte_strings_are_masked() {
+        let m = mask(r#"let b = b"thread_rng bytes";"#);
+        assert!(!m.code.contains("thread_rng"));
+        assert_eq!(m.strings.len(), 1);
+    }
+
+    #[test]
+    fn multiline_string_preserves_line_numbers() {
+        let src = "let s = \"line one\nInstant::now()\nlast\";\nlet t = 3;";
+        let m = mask(src);
+        assert!(!m.code.contains("Instant"));
+        assert_eq!(m.line_of(m.code.find("let t").unwrap()), 4);
+    }
+
+    #[test]
+    fn identifier_starting_with_r_or_b_is_not_a_string_prefix() {
+        let src = "let run = 1; let bun = 2; let brr = run + bun;";
+        let m = mask(src);
+        assert_eq!(m.code, src);
+        assert!(m.strings.is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+//! Fixture crate where every would-be violation carries a well-formed
+//! `lint:allow` annotation — must contribute zero violations and a
+//! positive suppressed count.
+
+pub fn allowed_panics(x: Option<u8>) -> u8 {
+    // lint:allow(panic): fixture — invariant documented here
+    let a = x.unwrap();
+    let b = x.expect("boom"); // lint:allow(panic): fixture — trailing annotation form
+    a.max(b)
+}
+
+pub fn allowed_clock() -> std::time::Instant {
+    // lint:allow(determinism): fixture — watchdog-style wall-clock read
+    std::time::Instant::now()
+}
+
+// lint:allow(error_hygiene): fixture — legacy API kept for compatibility
+pub fn allowed_stringly() -> Result<(), String> {
+    Ok(())
+}

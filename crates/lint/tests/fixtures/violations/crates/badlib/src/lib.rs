@@ -1,0 +1,67 @@
+//! Fixture crate that violates every rule. Never compiled — only
+//! scanned by the chainnet-lint integration tests. The crate root
+//! deliberately lacks `#![forbid(unsafe_code)]` (R3).
+
+use std::collections::HashMap; // R2: unordered map in a hot-path crate
+use std::time::Instant;
+
+pub struct Registry;
+
+pub fn r1_panics(x: Option<u8>) -> u8 {
+    let a = x.unwrap(); // R1
+    let b = x.expect("boom"); // R1
+    if a > b {
+        panic!("nope"); // R1
+    }
+    todo!() // R1
+}
+
+pub fn r1_unimplemented() {
+    unimplemented!() // R1
+}
+
+pub fn r2_nondeterminism(m: &HashMap<u8, u8>) -> usize {
+    let _t = Instant::now(); // R2
+    let _rng = thread_rng(); // R2
+    m.len()
+}
+
+pub fn r3_unsafe_token(p: *const u8) -> u8 {
+    unsafe { *p } // R3
+}
+
+pub fn r4_metrics(r: &Registry) {
+    r.counter("code.only_metric").inc(); // R4: not in the README table
+    r.gauge("Bad-Name").set(1.0); // R4: charset violation
+}
+
+pub fn r5_stringly() -> Result<(), String> {
+    // R5
+    Err("stringly".to_string())
+}
+
+pub fn r5_boxed() -> Result<(), Box<dyn std::error::Error>> {
+    // R5
+    Ok(())
+}
+
+// lint:allow(panic) missing the colon-reason — R0 malformed annotation
+pub fn r0_bad_annotation() {}
+
+pub fn masked_patterns_do_not_fire() -> &'static str {
+    // None of the banned tokens below may produce a violation: they
+    // sit in comments and string literals. `.unwrap()` / panic! /
+    // Instant::now / HashMap / unsafe (comment mentions).
+    "contains .unwrap() and .expect( and panic! and Instant::now and HashMap and unsafe"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+        std::time::Instant::now();
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+//! Fixture obs crate: registers one properly documented metric.
+
+pub struct Registry;
+
+pub fn documented_metric(r: &Registry) {
+    r.counter("ok.documented").inc();
+}

@@ -1,0 +1,91 @@
+//! Property test: the masking tokenizer never lets a banned pattern
+//! that appears only inside string literals, doc comments or block
+//! comments produce a rule violation, no matter how the fragments are
+//! interleaved.
+
+use chainnet_lint::rules::FileScan;
+use chainnet_lint::tokenizer::mask;
+use proptest::prelude::*;
+
+/// Source fragments that *mention* every banned pattern but only in
+/// masked positions (comments, strings, raw strings, char literals).
+const MASKED_FRAGMENTS: &[&str] = &[
+    "// line comment with .unwrap() and panic! and todo!\n",
+    "/// doc comment: .expect(\"x\") and unimplemented! here\n",
+    "//! inner doc: Instant::now() SystemTime::now thread_rng\n",
+    "/* block with .unwrap() and HashMap and unsafe */\n",
+    "/* nested /* .expect( SystemTime::now */ HashSet */\n",
+    "let s = \".unwrap() panic! todo! unimplemented! unsafe\";\n",
+    "let e = \"escaped quote \\\" then .expect( and more\";\n",
+    "let r = r#\"raw \"quoted\" .unwrap() Instant::now\"#;\n",
+    "let r2 = r\"raw no-hash thread_rng HashMap\";\n",
+    "let b = b\"byte string with panic! inside\";\n",
+    "let multi = \"line one\n.unwrap() on line two\npanic! on three\";\n",
+    "let msg = format!(\"metric {} .expect( {}\", name, value);\n",
+];
+
+/// Benign code fragments (no banned patterns at all) used as filler,
+/// including the look-alikes that must never fire.
+const CLEAN_FRAGMENTS: &[&str] = &[
+    "fn helper<'a>(x: &'a str) -> usize { x.len() }\n",
+    "let v = items.iter().map(|i| i + 1).collect::<Vec<_>>();\n",
+    "let d = value.unwrap_or_default();\n",
+    "let e = value.unwrap_or_else(|| 3);\n",
+    "let f = result.expect_err;\n",
+    "let c = 'x'; let q = '\\''; let bs = '\\\\';\n",
+    "let map = std::collections::BTreeMap::<u8, u8>::new();\n",
+    "struct MyHashMapAdapter;\n",
+    "if depth > 0 { depth -= 1; }\n",
+];
+
+fn assemble(choices: &[(bool, usize)]) -> String {
+    let mut src = String::from("pub fn generated() {\n");
+    for &(masked, idx) in choices {
+        if masked {
+            src.push_str(MASKED_FRAGMENTS[idx % MASKED_FRAGMENTS.len()]);
+        } else {
+            src.push_str(CLEAN_FRAGMENTS[idx % CLEAN_FRAGMENTS.len()]);
+        }
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// Count the violations the panic/determinism/unsafe rules produce.
+fn violation_count(src: &str) -> usize {
+    let masked = mask(src);
+    let mut scan = FileScan::new(&masked);
+    scan.rule_panic();
+    scan.rule_determinism();
+    scan.rule_unsafe_tokens();
+    let mut out = Vec::new();
+    scan.finish("generated.rs", &mut out);
+    out.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any interleaving of masked-position mentions and clean filler
+    /// must produce zero violations.
+    #[test]
+    fn no_false_positives_in_masked_positions(
+        choices in proptest::collection::vec((proptest::bool::ANY, 0usize..64), 0..24)
+    ) {
+        let src = assemble(&choices);
+        let n = violation_count(&src);
+        prop_assert!(n == 0, "false positives in:\n{src}");
+    }
+
+    /// Sanity (detector is alive): appending one *real* violation to
+    /// any generated body yields exactly one more violation.
+    #[test]
+    fn real_violation_still_detected(
+        choices in proptest::collection::vec((proptest::bool::ANY, 0usize..64), 0..16)
+    ) {
+        let mut src = assemble(&choices);
+        src.push_str("pub fn tail(v: Option<u8>) -> u8 { v.unwrap() }\n");
+        let n = violation_count(&src);
+        prop_assert!(n == 1, "expected exactly 1 violation in:\n{src}");
+    }
+}

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 //! A self-contained tensor / reverse-mode autodiff / neural layer stack,
 //! built from scratch as the substrate for the ChainNet reproduction.
 //!

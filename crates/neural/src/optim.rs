@@ -63,9 +63,8 @@ impl Adam {
     /// Apply one update from the accumulated gradients, then zero them.
     pub fn step(&mut self, store: &mut ParamStore) {
         // Lazily size the moment buffers on first use (or if the store grew).
-        while self.m.len() < store.len() {
-            let i = self.m.len();
-            let id = store.ids().nth(i).expect("id in range");
+        let sized = self.m.len();
+        for id in store.ids().skip(sized) {
             let n = store.value(id).len();
             self.m.push(vec![0.0; n]);
             self.v.push(vec![0.0; n]);

@@ -12,7 +12,7 @@
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,7 +71,7 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
-    param_cache: HashMap<ParamId, Var>,
+    param_cache: BTreeMap<ParamId, Var>,
 }
 
 impl Tape {

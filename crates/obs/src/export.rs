@@ -33,6 +33,27 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+/// Parse failure from [`Snapshot::from_prometheus`]: describes the
+/// first malformed line encountered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromParseError {
+    msg: String,
+}
+
+impl PromParseError {
+    fn new(msg: impl Into<String>) -> Self {
+        PromParseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for PromParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid Prometheus text: {}", self.msg)
+    }
+}
+
+impl std::error::Error for PromParseError {}
+
 /// Split `key` into its metric name and optional `{...}` label block.
 fn split_key(key: &str) -> (&str, Option<&str>) {
     match key.find('{') {
@@ -92,18 +113,24 @@ impl Snapshot {
     /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        // `fmt::Write` for `String` is infallible, so the `fmt::Result`
+        // threaded through the writer can be discarded.
+        let _ = self.write_prometheus(&mut out);
+        out
+    }
+
+    fn write_prometheus(&self, out: &mut String) -> std::fmt::Result {
         for (key, v) in &self.counters {
             let (name, labels) = split_key(key);
             let name = prom_name(name);
-            writeln!(out, "# TYPE {name} counter").expect("write to string");
-            writeln!(out, "{name}{} {v}", labels.unwrap_or("")).expect("write to string");
+            writeln!(out, "# TYPE {name} counter")?;
+            writeln!(out, "{name}{} {v}", labels.unwrap_or(""))?;
         }
         for (key, v) in &self.gauges {
             let (name, labels) = split_key(key);
             let name = prom_name(name);
-            writeln!(out, "# TYPE {name} gauge").expect("write to string");
-            writeln!(out, "{name}{} {}", labels.unwrap_or(""), prom_f64(*v))
-                .expect("write to string");
+            writeln!(out, "# TYPE {name} gauge")?;
+            writeln!(out, "{name}{} {}", labels.unwrap_or(""), prom_f64(*v))?;
         }
         for (key, h) in &self.histograms {
             let (name, labels) = split_key(key);
@@ -111,7 +138,7 @@ impl Snapshot {
             // Inner label block without braces, to merge with `le`.
             let inner = labels.map(|l| &l[1..l.len() - 1]).unwrap_or("");
             let sep = if inner.is_empty() { "" } else { "," };
-            writeln!(out, "# TYPE {name} histogram").expect("write to string");
+            writeln!(out, "# TYPE {name} histogram")?;
             let mut cumulative = 0u64;
             for (bound, count) in h.bounds.iter().zip(&h.counts) {
                 cumulative += count;
@@ -119,22 +146,18 @@ impl Snapshot {
                     out,
                     "{name}_bucket{{{inner}{sep}le=\"{}\"}} {cumulative}",
                     prom_f64(*bound)
-                )
-                .expect("write to string");
+                )?;
             }
-            writeln!(out, "{name}_bucket{{{inner}{sep}le=\"+Inf\"}} {}", h.count)
-                .expect("write to string");
+            writeln!(out, "{name}_bucket{{{inner}{sep}le=\"+Inf\"}} {}", h.count)?;
             writeln!(
                 out,
                 "{name}_sum{} {}",
                 labels.unwrap_or(""),
                 prom_f64(h.sum)
-            )
-            .expect("write to string");
-            writeln!(out, "{name}_count{} {}", labels.unwrap_or(""), h.count)
-                .expect("write to string");
+            )?;
+            writeln!(out, "{name}_count{} {}", labels.unwrap_or(""), h.count)?;
         }
-        out
+        Ok(())
     }
 
     /// Parse Prometheus text produced by [`Snapshot::to_prometheus`]
@@ -142,8 +165,8 @@ impl Snapshot {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
-    pub fn from_prometheus(text: &str) -> Result<Self, String> {
+    /// Returns a [`PromParseError`] describing the first malformed line.
+    pub fn from_prometheus(text: &str) -> Result<Self, PromParseError> {
         let mut kinds: BTreeMap<String, &str> = BTreeMap::new();
         let mut snap = Snapshot::default();
         // Histogram accumulators: key -> (bounds, cumulative counts).
@@ -160,13 +183,19 @@ impl Snapshot {
             if let Some(rest) = line.strip_prefix("# TYPE ") {
                 let mut it = rest.split_whitespace();
                 let (Some(name), Some(kind)) = (it.next(), it.next()) else {
-                    return Err(format!("malformed TYPE line: `{line}`"));
+                    return Err(PromParseError::new(format!(
+                        "malformed TYPE line: `{line}`"
+                    )));
                 };
                 let kind = match kind {
                     "counter" => "counter",
                     "gauge" => "gauge",
                     "histogram" => "histogram",
-                    other => return Err(format!("unknown metric type `{other}`")),
+                    other => {
+                        return Err(PromParseError::new(format!(
+                            "unknown metric type `{other}`"
+                        )))
+                    }
                 };
                 kinds.insert(name.to_string(), kind);
                 continue;
@@ -175,14 +204,18 @@ impl Snapshot {
                 continue;
             }
             let Some((key, value)) = line.rsplit_once(' ') else {
-                return Err(format!("malformed sample line: `{line}`"));
+                return Err(PromParseError::new(format!(
+                    "malformed sample line: `{line}`"
+                )));
             };
             let (name, labels) = split_key(key);
-            let parse_f64 = |v: &str| -> Result<f64, String> {
+            let parse_f64 = |v: &str| -> Result<f64, PromParseError> {
                 match v {
                     "+Inf" => Ok(f64::INFINITY),
                     "-Inf" => Ok(f64::NEG_INFINITY),
-                    _ => v.parse().map_err(|_| format!("bad float `{v}`")),
+                    _ => v
+                        .parse()
+                        .map_err(|_| PromParseError::new(format!("bad float `{v}`"))),
                 }
             };
             // Histogram series lines use suffixed names.
@@ -193,8 +226,9 @@ impl Snapshot {
             if let Some((base, suffix)) = base_and_suffix {
                 match suffix {
                     "_bucket" => {
-                        let labels =
-                            labels.ok_or_else(|| format!("bucket without labels: `{line}`"))?;
+                        let labels = labels.ok_or_else(|| {
+                            PromParseError::new(format!("bucket without labels: `{line}`"))
+                        })?;
                         let inner = &labels[1..labels.len() - 1];
                         let mut le = None;
                         let mut others = Vec::new();
@@ -204,13 +238,17 @@ impl Snapshot {
                                 None => others.push(part),
                             }
                         }
-                        let le = le.ok_or_else(|| format!("bucket without le: `{line}`"))?;
+                        let le = le.ok_or_else(|| {
+                            PromParseError::new(format!("bucket without le: `{line}`"))
+                        })?;
                         let series = if others.is_empty() {
                             base.to_string()
                         } else {
                             format!("{base}{{{}}}", others.join(","))
                         };
-                        let c: u64 = value.parse().map_err(|_| format!("bad count `{value}`"))?;
+                        let c: u64 = value
+                            .parse()
+                            .map_err(|_| PromParseError::new(format!("bad count `{value}`")))?;
                         if le == "+Inf" {
                             hist_inf.insert(series, c);
                         } else {
@@ -226,8 +264,12 @@ impl Snapshot {
                     }
                     _ => {
                         let series = format!("{base}{}", labels.unwrap_or(""));
-                        hist_count
-                            .insert(series, value.parse().map_err(|_| "bad count".to_string())?);
+                        hist_count.insert(
+                            series,
+                            value
+                                .parse()
+                                .map_err(|_| PromParseError::new("bad count"))?,
+                        );
                     }
                 }
                 continue;
@@ -236,13 +278,17 @@ impl Snapshot {
                 Some("counter") => {
                     let v: u64 = value
                         .parse()
-                        .map_err(|_| format!("bad counter value `{value}`"))?;
+                        .map_err(|_| PromParseError::new(format!("bad counter value `{value}`")))?;
                     snap.counters.insert(key.to_string(), v);
                 }
                 Some("gauge") => {
                     snap.gauges.insert(key.to_string(), parse_f64(value)?);
                 }
-                _ => return Err(format!("sample without TYPE: `{line}`")),
+                _ => {
+                    return Err(PromParseError::new(format!(
+                        "sample without TYPE: `{line}`"
+                    )))
+                }
             }
         }
 

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 //! Observability layer for the ChainNet workspace: metrics, scoped
 //! timers and structured event logging with zero external dependencies
 //! beyond the vendored `parking_lot`/`serde` shims.
@@ -50,7 +53,7 @@ pub mod export;
 pub mod registry;
 
 pub use events::EventLog;
-pub use export::{HistogramSnapshot, Snapshot};
+pub use export::{HistogramSnapshot, PromParseError, Snapshot};
 pub use registry::{labeled, Counter, Gauge, Histogram, Registry, ScopedTimer};
 
 /// The observability context handed to instrumented components: a

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 //! Loss-aware placement optimization: the simulated-annealing search of
 //! Section VII of the ChainNet paper, generic over an objective evaluator
 //! (queueing simulation or a trained GNN surrogate).

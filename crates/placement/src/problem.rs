@@ -114,8 +114,7 @@ impl PlacementProblem {
                         let key = |k: usize| (!used[k], remaining[k]);
                         let (ua, ra) = key(a);
                         let (ub, rb) = key(b);
-                        ua.cmp(&ub)
-                            .then(ra.partial_cmp(&rb).expect("finite memory"))
+                        ua.cmp(&ub).then(ra.total_cmp(&rb))
                     });
                 let Some(k) = best else {
                     return Err(QsimError::InvalidPlacement(format!(

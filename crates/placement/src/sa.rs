@@ -300,6 +300,7 @@ impl SimulatedAnnealing {
         trial_seed: u64,
         budget: Option<(Instant, Option<f64>, Option<u64>)>,
     ) -> (SaTrial, Option<TerminationReason>) {
+        // lint:allow(determinism): wall-clock budget watchdog (bounds runtime; never feeds results)
         let start = Instant::now();
         let mut rng = SmallRng::seed_from_u64(trial_seed);
         let mut current = initial.clone();
@@ -409,6 +410,7 @@ impl SimulatedAnnealing {
         trials: usize,
         obs: &Obs,
     ) -> SaResult {
+        // lint:allow(determinism): wall-clock budget watchdog (bounds runtime; never feeds results)
         let start = Instant::now();
         // Graceful degradation: if even the initial placement cannot be
         // evaluated, the search still runs — any successfully evaluated
@@ -512,6 +514,7 @@ impl SimulatedAnnealing {
         evaluator: &mut dyn Evaluator,
         budget_secs: f64,
     ) -> SaResult {
+        // lint:allow(determinism): wall-clock budget watchdog (bounds runtime; never feeds results)
         let start = Instant::now();
         let initial_objective = evaluator
             .total_throughput(problem, initial)

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 //! Discrete-event simulator for finite-buffer, multi-chain open queueing
 //! networks — the ground-truth substrate of the ChainNet reproduction.
 //!

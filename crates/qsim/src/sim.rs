@@ -79,6 +79,7 @@ impl SimConfig {
     ///
     /// Panics if `horizon` is not finite and positive.
     pub fn new(horizon: f64, seed: u64) -> Self {
+        // lint:allow(panic): documented panic contract; try_new is the fallible path
         Self::try_new(horizon, seed).expect("horizon must be finite and positive")
     }
 
@@ -247,10 +248,11 @@ impl Eq for Event {}
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on (time, seq): BinaryHeap is a max-heap, so reverse.
+        // total_cmp keeps the heap order total (and deterministic) even
+        // for pathological times; event times are validated finite.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event time is NaN")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -446,6 +448,7 @@ impl Simulator {
         let mut batch_completions = vec![vec![0u64; batches]; num_chains];
         let mut trace = Trace::with_capacity(config.trace_capacity);
         let mut processed: u64 = 0;
+        // lint:allow(determinism): wall-clock budget watchdog (bounds runtime; never feeds results)
         let start_wall = Instant::now();
         let mut budget_tripped: Option<BudgetReason> = None;
         // End of the actually simulated window (shrinks on a budget trip).
@@ -534,6 +537,7 @@ impl Simulator {
                         .in_service
                         .iter()
                         .position(|j| j.serial == job.serial)
+                        // lint:allow(panic): scheduler invariant — every departure with a live epoch was admitted
                         .expect("a departing job with a live epoch is registered in-service");
                     station.in_service.swap_remove(slot);
                     let mem = job_mem(model, &job, config.memory_policy);

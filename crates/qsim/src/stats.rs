@@ -157,7 +157,7 @@ pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut v: Vec<f64> = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(f64::total_cmp);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
