@@ -106,7 +106,9 @@ impl Pipeline {
         }
         let v = build();
         let json = serde_json::to_string(&v).expect("serialize cache");
-        std::fs::write(path, json).expect("write cache");
+        // Atomic, so a crash mid-write never leaves a torn cache that a
+        // later run would half-parse.
+        chainnet_ckpt::atomic_write(path, json.as_bytes()).expect("write cache");
         v
     }
 
@@ -280,7 +282,7 @@ impl Pipeline {
             .results_dir()
             .join(format!("{}_{}.json", self.scale.name, name));
         let json = serde_json::to_string_pretty(value).expect("serialize result");
-        std::fs::write(&path, json).expect("write result");
+        chainnet_ckpt::atomic_write(&path, json.as_bytes()).expect("write result");
         eprintln!("[pipeline] wrote {}", path.display());
     }
 }

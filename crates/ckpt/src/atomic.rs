@@ -1,0 +1,109 @@
+//! Crash-safe file replacement: temp file + fsync + rename.
+//!
+//! The invariant: at every instant, `path` either holds its previous
+//! complete contents or the new complete contents — never a torn
+//! prefix. A crash mid-write leaves at worst a stale `.tmp` sibling,
+//! which later writes overwrite.
+
+use crate::error::CkptError;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Atomically replace `path` with `bytes`.
+///
+/// Writes to a hidden temp file in the same directory (same
+/// filesystem, so the rename is atomic), fsyncs the file, renames it
+/// over `path`, then fsyncs the parent directory so the rename itself
+/// is durable. The parent-directory fsync is best-effort: some
+/// platforms refuse to open directories, and the rename is already
+/// atomic without it.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
+    let tmp = temp_sibling(path)?;
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| CkptError::io("create temp file", &tmp, &e))?;
+    file.write_all(bytes)
+        .map_err(|e| CkptError::io("write temp file", &tmp, &e))?;
+    file.sync_all()
+        .map_err(|e| CkptError::io("fsync temp file", &tmp, &e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| CkptError::io("rename temp file", path, &e))?;
+    if let Some(parent) = nonempty_parent(path) {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The temp-file path used for an atomic write of `path`:
+/// `.<file_name>.tmp.<pid>` in the same directory. The pid suffix
+/// keeps concurrent processes writing the same target from clobbering
+/// each other's temp files.
+fn temp_sibling(path: &Path) -> Result<PathBuf, CkptError> {
+    let name = path.file_name().ok_or_else(|| CkptError::Io {
+        op: "resolve temp file",
+        path: path.to_path_buf(),
+        kind: std::io::ErrorKind::InvalidInput,
+        message: "target path has no file name".to_string(),
+    })?;
+    let tmp_name = format!(".{}.tmp.{}", name.to_string_lossy(), std::process::id());
+    Ok(match nonempty_parent(path) {
+        Some(parent) => parent.join(tmp_name),
+        None => PathBuf::from(tmp_name),
+    })
+}
+
+fn nonempty_parent(path: &Path) -> Option<&Path> {
+    path.parent().filter(|p| !p.as_os_str().is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chainnet-ckpt-atomic-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        // No temp litter after a successful write.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_a_typed_error() {
+        let dir = tmp_dir("missing");
+        let path = dir.join("no-such-subdir").join("out.bin");
+        let err = atomic_write(&path, b"x").unwrap_err();
+        assert!(matches!(err, CkptError::Io { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rootless_path_errors_cleanly() {
+        let err = atomic_write(Path::new("/"), b"x").unwrap_err();
+        assert!(matches!(err, CkptError::Io { .. }));
+    }
+}

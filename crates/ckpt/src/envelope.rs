@@ -1,0 +1,187 @@
+//! The self-describing on-disk envelope wrapping every checkpoint.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic            b"CNCKPT01"
+//! 8       4     schema_version   u32
+//! 12      8     payload_len      u64
+//! 20      4     crc32            u32, IEEE, over bytes 8..20 ++ payload
+//! 24      n     payload
+//! ```
+//!
+//! The CRC covers the version and length fields in addition to the
+//! payload, so *any* single-bit corruption outside the magic itself is
+//! caught by either the length check or the checksum — a flipped bit
+//! in the magic is caught by the magic check. See
+//! `docs/checkpointing.md` for the compatibility policy.
+
+use crate::error::EnvelopeError;
+
+/// Leading magic bytes of every checkpoint file.
+pub const MAGIC: [u8; 8] = *b"CNCKPT01";
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// IEEE CRC-32 lookup table (polynomial `0xEDB88320`), built at
+/// compile time so the crate stays dependency-free.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of `bytes` (as used by zip/png/ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        let idx = ((state ^ b as u32) & 0xFF) as usize;
+        state = (state >> 8) ^ CRC_TABLE[idx];
+    }
+    state
+}
+
+/// CRC over the checked region: header bytes 8..20 then the payload.
+fn envelope_crc(version_and_len: &[u8; 12], payload: &[u8]) -> u32 {
+    let state = crc32_update(0xFFFF_FFFF, version_and_len);
+    crc32_update(state, payload) ^ 0xFFFF_FFFF
+}
+
+/// Wrap `payload` in a checksummed envelope.
+pub fn encode(schema_version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut mid = [0u8; 12];
+    mid[..4].copy_from_slice(&schema_version.to_le_bytes());
+    mid[4..].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    let crc = envelope_crc(&mid, payload);
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&mid);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verify an envelope and return `(schema_version, payload)`.
+///
+/// Verification is strict: magic, exact length, and checksum must all
+/// hold, otherwise the corresponding [`EnvelopeError`] is returned and
+/// no payload byte is ever handed to a decoder.
+pub fn decode(bytes: &[u8]) -> Result<(u32, &[u8]), EnvelopeError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(EnvelopeError::TooShort { len: bytes.len() });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(EnvelopeError::BadMagic);
+    }
+    let mut mid = [0u8; 12];
+    mid.copy_from_slice(&bytes[8..20]);
+    let mut v4 = [0u8; 4];
+    v4.copy_from_slice(&mid[..4]);
+    let schema_version = u32::from_le_bytes(v4);
+    let mut l8 = [0u8; 8];
+    l8.copy_from_slice(&mid[4..]);
+    let payload_len = u64::from_le_bytes(l8);
+
+    let actual = (bytes.len() - HEADER_LEN) as u64;
+    if payload_len != actual {
+        return Err(EnvelopeError::LengthMismatch {
+            header: payload_len,
+            actual,
+        });
+    }
+    let mut c4 = [0u8; 4];
+    c4.copy_from_slice(&bytes[20..24]);
+    let stored = u32::from_le_bytes(c4);
+    let payload = &bytes[HEADER_LEN..];
+    let computed = envelope_crc(&mid, payload);
+    if stored != computed {
+        return Err(EnvelopeError::CrcMismatch { stored, computed });
+    }
+    Ok((schema_version, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for payload in [&b""[..], b"x", b"{\"epoch\":3}", &[0u8; 1024][..]] {
+            let enc = encode(7, payload);
+            assert_eq!(enc.len(), HEADER_LEN + payload.len());
+            let (v, p) = decode(&enc).unwrap();
+            assert_eq!(v, 7);
+            assert_eq!(p, payload);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let enc = encode(1, b"hello world payload");
+        for cut in 0..enc.len() {
+            let err = decode(&enc[..cut]).unwrap_err();
+            match err {
+                EnvelopeError::TooShort { .. } | EnvelopeError::LengthMismatch { .. } => {}
+                other => panic!("truncation at {cut} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let enc = encode(1, b"some payload bytes");
+        for i in 0..enc.len() {
+            for bit in 0..8 {
+                let mut bad = enc.clone();
+                bad[i] ^= 1 << bit;
+                assert!(
+                    decode(&bad).is_err(),
+                    "flip of bit {bit} at byte {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut enc = encode(1, b"payload");
+        enc.push(0);
+        assert!(matches!(
+            decode(&enc),
+            Err(EnvelopeError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,241 @@
+//! Typed errors for the checkpoint layer.
+//!
+//! `CkptError` is `Clone + PartialEq + Eq` on purpose: the error enums
+//! of the crates that embed it (`TrainError`, `PlacementError`,
+//! `DatagenError`) derive those traits, so the checkpoint layer must
+//! not drag a non-comparable `std::io::Error` into them. I/O failures
+//! are captured as the stable `(operation, path, ErrorKind, message)`
+//! quadruple instead.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Why a checkpoint file's envelope could not be accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnvelopeError {
+    /// The file is shorter than the fixed-size header.
+    TooShort {
+        /// Observed file length in bytes.
+        len: usize,
+    },
+    /// The leading magic bytes are not `CNCKPT01`.
+    BadMagic,
+    /// The header's payload length disagrees with the bytes on disk.
+    LengthMismatch {
+        /// Payload length claimed by the header.
+        header: u64,
+        /// Payload bytes actually present after the header.
+        actual: u64,
+    },
+    /// The CRC32 over the header fields and payload does not match.
+    CrcMismatch {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum recomputed from the bytes on disk.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvelopeError::TooShort { len } => {
+                write!(f, "file too short for checkpoint header ({len} bytes)")
+            }
+            EnvelopeError::BadMagic => write!(f, "bad magic (not a ChainNet checkpoint)"),
+            EnvelopeError::LengthMismatch { header, actual } => write!(
+                f,
+                "payload length mismatch (header says {header}, found {actual})"
+            ),
+            EnvelopeError::CrcMismatch { stored, computed } => write!(
+                f,
+                "CRC32 mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+        }
+    }
+}
+
+/// Errors produced by the checkpoint layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CkptError {
+    /// An I/O operation failed. The original `std::io::Error` is
+    /// flattened to its kind and message so this enum stays `Eq`.
+    Io {
+        /// What the layer was doing (`"create dir"`, `"write"`, ...).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// Kind of the underlying I/O error.
+        kind: io::ErrorKind,
+        /// Display form of the underlying I/O error.
+        message: String,
+    },
+    /// The configured checkpoint directory exists but is not a
+    /// directory (e.g. `--checkpoint-dir` pointing at a file).
+    NotADirectory {
+        /// The offending path.
+        path: PathBuf,
+    },
+    /// `--resume` was requested but the directory holds no usable
+    /// checkpoint for the store's prefix.
+    NoCheckpoint {
+        /// The directory that was scanned.
+        dir: PathBuf,
+    },
+    /// A checkpoint cadence or shard size of zero was requested
+    /// (`--checkpoint-every 0`).
+    InvalidCadence,
+    /// A specific file failed envelope verification.
+    Corrupt {
+        /// The file that failed verification.
+        path: PathBuf,
+        /// What the envelope check found.
+        reason: EnvelopeError,
+    },
+    /// The envelope verified but carries a schema version this build
+    /// does not understand.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this store reads and writes.
+        supported: u32,
+    },
+    /// The payload passed its CRC but could not be decoded into the
+    /// expected state type.
+    Decode {
+        /// The file whose payload failed to decode.
+        path: PathBuf,
+        /// Decoder error message.
+        message: String,
+    },
+    /// A state value could not be serialized for writing.
+    Encode {
+        /// Serializer error message.
+        message: String,
+    },
+    /// The checkpoint decoded fine but describes a different run than
+    /// the one being resumed (changed config, dataset size, ...).
+    ResumeMismatch {
+        /// Human-readable description of the disagreement.
+        reason: String,
+    },
+}
+
+impl CkptError {
+    /// Flatten an `io::Error` into the comparable `Io` variant.
+    pub fn io(op: &'static str, path: &Path, err: &io::Error) -> Self {
+        CkptError::Io {
+            op,
+            path: path.to_path_buf(),
+            kind: err.kind(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io {
+                op,
+                path,
+                kind,
+                message,
+            } => write!(f, "{op} {} failed ({kind:?}): {message}", path.display()),
+            CkptError::NotADirectory { path } => {
+                write!(f, "checkpoint path {} is not a directory", path.display())
+            }
+            CkptError::NoCheckpoint { dir } => {
+                write!(f, "no checkpoint found in {}", dir.display())
+            }
+            CkptError::InvalidCadence => {
+                write!(f, "checkpoint cadence must be at least 1 (got 0)")
+            }
+            CkptError::Corrupt { path, reason } => {
+                write!(f, "corrupt checkpoint {}: {reason}", path.display())
+            }
+            CkptError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint schema version {found} (this build reads {supported})"
+            ),
+            CkptError::Decode { path, message } => {
+                write!(f, "undecodable checkpoint {}: {message}", path.display())
+            }
+            CkptError::Encode { message } => {
+                write!(f, "checkpoint state failed to serialize: {message}")
+            }
+            CkptError::ResumeMismatch { reason } => {
+                write!(f, "checkpoint does not match this run: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_flattening_is_comparable() {
+        let a = CkptError::io(
+            "write",
+            Path::new("/tmp/x"),
+            &io::Error::new(io::ErrorKind::PermissionDenied, "denied"),
+        );
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(a.to_string().contains("/tmp/x"));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<CkptError> = vec![
+            CkptError::NotADirectory {
+                path: PathBuf::from("f"),
+            },
+            CkptError::NoCheckpoint {
+                dir: PathBuf::from("d"),
+            },
+            CkptError::InvalidCadence,
+            CkptError::Corrupt {
+                path: PathBuf::from("c"),
+                reason: EnvelopeError::BadMagic,
+            },
+            CkptError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            CkptError::Decode {
+                path: PathBuf::from("p"),
+                message: "eof".into(),
+            },
+            CkptError::Encode {
+                message: "nan".into(),
+            },
+            CkptError::ResumeMismatch {
+                reason: "seed".into(),
+            },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+        for e in [
+            EnvelopeError::TooShort { len: 3 },
+            EnvelopeError::LengthMismatch {
+                header: 4,
+                actual: 2,
+            },
+            EnvelopeError::CrcMismatch {
+                stored: 1,
+                computed: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! A directory of sequenced, checksummed checkpoints for one job.
+//!
+//! Files are named `<prefix>-<seq>.ckpt`, where `seq` is a
+//! monotonically increasing u64 chosen by the caller (epoch number,
+//! global SA step, shard index). Recovery scans in descending
+//! sequence order: a file that fails envelope verification or payload
+//! decoding is **quarantined** (renamed to `<name>.corrupt`) and the
+//! scan falls back to the next most recent checkpoint — it never
+//! panics, never deletes data, and never decodes unverified bytes.
+
+use crate::atomic::atomic_write;
+use crate::envelope;
+use crate::error::CkptError;
+use chainnet_obs::Obs;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Suffix appended to quarantined files.
+pub const CORRUPT_SUFFIX: &str = ".corrupt";
+
+/// File extension of live checkpoints.
+pub const CKPT_EXTENSION: &str = "ckpt";
+
+/// A checkpoint store bound to one directory, file prefix and schema
+/// version.
+///
+/// Different jobs sharing a directory use different prefixes
+/// (`train`, `sa`, `shard`); each job bumps its own schema version
+/// when its state layout changes.
+#[derive(Debug, Clone)]
+pub struct CkptStore {
+    dir: PathBuf,
+    prefix: String,
+    schema_version: u32,
+    obs: Obs,
+}
+
+impl CkptStore {
+    /// Open (creating if needed) a store without instrumentation.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        prefix: &str,
+        schema_version: u32,
+    ) -> Result<Self, CkptError> {
+        Self::open_observed(dir, prefix, schema_version, &Obs::disabled())
+    }
+
+    /// Open (creating if needed) a store that reports `ckpt.*`
+    /// metrics through `obs`.
+    pub fn open_observed(
+        dir: impl Into<PathBuf>,
+        prefix: &str,
+        schema_version: u32,
+        obs: &Obs,
+    ) -> Result<Self, CkptError> {
+        let dir = dir.into();
+        if dir.exists() {
+            if !dir.is_dir() {
+                return Err(CkptError::NotADirectory { path: dir });
+            }
+        } else {
+            fs::create_dir_all(&dir).map_err(|e| CkptError::io("create dir", &dir, &e))?;
+        }
+        Ok(CkptStore {
+            dir,
+            prefix: prefix.to_string(),
+            schema_version,
+            obs: obs.clone(),
+        })
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The schema version this store writes and accepts.
+    pub fn schema_version(&self) -> u32 {
+        self.schema_version
+    }
+
+    /// Path of the checkpoint with sequence number `seq`.
+    pub fn path_of(&self, seq: u64) -> PathBuf {
+        self.dir
+            .join(format!("{}-{seq:08}.{CKPT_EXTENSION}", self.prefix))
+    }
+
+    /// Record that a run successfully resumed from this store
+    /// (`ckpt.resumes`). Called internally by [`Self::load_latest_state`];
+    /// shard-style consumers that use per-sequence loads call it once
+    /// per resumed run instead.
+    pub fn note_resume(&self) {
+        if self.obs.is_enabled() {
+            self.obs.registry.counter("ckpt.resumes").inc();
+        }
+    }
+
+    /// Durably write checkpoint `seq` with a raw payload.
+    pub fn save(&self, seq: u64, payload: &[u8]) -> Result<PathBuf, CkptError> {
+        let bytes = envelope::encode(self.schema_version, payload);
+        let path = self.path_of(seq);
+        atomic_write(&path, &bytes)?;
+        if self.obs.is_enabled() {
+            self.obs.registry.counter("ckpt.writes").inc();
+            self.obs
+                .registry
+                .counter("ckpt.bytes_written")
+                .add(bytes.len() as u64);
+        }
+        Ok(path)
+    }
+
+    /// Durably write checkpoint `seq` with a JSON-serialized state.
+    pub fn save_state<T: Serialize>(&self, seq: u64, state: &T) -> Result<PathBuf, CkptError> {
+        let payload = serde_json::to_string(state).map_err(|e| CkptError::Encode {
+            message: e.to_string(),
+        })?;
+        self.save(seq, payload.as_bytes())
+    }
+
+    /// Sequence numbers of live checkpoints in ascending order.
+    ///
+    /// Files that do not match `<prefix>-<seq>.ckpt` (quarantined
+    /// files, temp litter, other prefixes) are ignored. The listing
+    /// is sorted numerically so recovery order is deterministic
+    /// regardless of directory iteration order.
+    pub fn list(&self) -> Result<Vec<u64>, CkptError> {
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| CkptError::io("read dir", &self.dir, &e))?;
+        let mut seqs = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| CkptError::io("read dir entry", &self.dir, &e))?;
+            let name = entry.file_name();
+            if let Some(seq) = self.parse_seq(&name.to_string_lossy()) {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable();
+        seqs.dedup();
+        Ok(seqs)
+    }
+
+    fn parse_seq(&self, name: &str) -> Option<u64> {
+        let stem = name
+            .strip_prefix(self.prefix.as_str())?
+            .strip_prefix('-')?
+            .strip_suffix(".ckpt")?;
+        if stem.is_empty() || !stem.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        stem.parse::<u64>().ok()
+    }
+
+    /// Load and verify checkpoint `seq`, decoding its payload into `T`.
+    ///
+    /// Returns `Ok(None)` when the file is absent, or when it exists
+    /// but is unusable — corrupt (quarantined to `*.corrupt`),
+    /// undecodable (also quarantined), or written by a different
+    /// schema version (left in place, skipped). Only environmental
+    /// I/O failures surface as errors.
+    pub fn load_state<T: DeserializeOwned>(&self, seq: u64) -> Result<Option<T>, CkptError> {
+        let path = self.path_of(seq);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CkptError::io("read", &path, &e)),
+        };
+        match self.verify_and_decode::<T>(&bytes) {
+            Verified::Good(state) => Ok(Some(state)),
+            Verified::Corrupt => {
+                self.quarantine(&path);
+                Ok(None)
+            }
+            Verified::WrongVersion => Ok(None),
+        }
+    }
+
+    /// Load the most recent verified checkpoint, decoding into `T`.
+    ///
+    /// Scans sequence numbers in descending order; corrupt or
+    /// undecodable files are quarantined and the scan falls back to
+    /// the next most recent candidate. Returns `Ok(None)` when no
+    /// usable checkpoint remains. On success the `ckpt.resumes`
+    /// counter is bumped.
+    pub fn load_latest_state<T: DeserializeOwned>(&self) -> Result<Option<(u64, T)>, CkptError> {
+        let mut seqs = self.list()?;
+        while let Some(seq) = seqs.pop() {
+            let path = self.path_of(seq);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                // Vanished between listing and reading: fall back.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(CkptError::io("read", &path, &e)),
+            };
+            match self.verify_and_decode::<T>(&bytes) {
+                Verified::Good(state) => {
+                    self.note_resume();
+                    return Ok(Some((seq, state)));
+                }
+                Verified::Corrupt => self.quarantine(&path),
+                Verified::WrongVersion => {}
+            }
+        }
+        Ok(None)
+    }
+
+    /// Like [`Self::load_latest_state`] but an absent checkpoint is the
+    /// typed [`CkptError::NoCheckpoint`] — the right shape for
+    /// `--resume`, where "nothing to resume" is a user-facing error.
+    pub fn resume_latest_state<T: DeserializeOwned>(&self) -> Result<(u64, T), CkptError> {
+        self.load_latest_state()?.ok_or(CkptError::NoCheckpoint {
+            dir: self.dir.clone(),
+        })
+    }
+
+    fn verify_and_decode<T: DeserializeOwned>(&self, bytes: &[u8]) -> Verified<T> {
+        let (version, payload) = match envelope::decode(bytes) {
+            Ok(v) => v,
+            Err(_reason) => return Verified::Corrupt,
+        };
+        if version != self.schema_version {
+            return Verified::WrongVersion;
+        }
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(_e) => return Verified::Corrupt,
+        };
+        match serde_json::from_str::<T>(text) {
+            Ok(state) => Verified::Good(state),
+            Err(_e) => Verified::Corrupt,
+        }
+    }
+
+    /// Rename a bad file to `<name>.corrupt` so it is preserved for
+    /// inspection but never re-read. Best-effort: if the rename
+    /// itself fails the file is simply skipped this run.
+    fn quarantine(&self, path: &Path) {
+        if self.obs.is_enabled() {
+            self.obs.registry.counter("ckpt.corrupt_detected").inc();
+        }
+        let mut quarantined = path.as_os_str().to_os_string();
+        quarantined.push(CORRUPT_SUFFIX);
+        let _ = fs::rename(path, PathBuf::from(quarantined));
+    }
+}
+
+enum Verified<T> {
+    Good(T),
+    Corrupt,
+    WrongVersion,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct DemoState {
+        epoch: u64,
+        loss: f64,
+        tag: String,
+    }
+
+    fn demo(epoch: u64) -> DemoState {
+        DemoState {
+            epoch,
+            loss: 0.5 / (epoch + 1) as f64,
+            tag: "demo".to_string(),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chainnet-ckpt-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip_and_listing() {
+        let dir = tmp_dir("roundtrip");
+        let store = CkptStore::open(&dir, "train", 1).unwrap();
+        assert_eq!(store.list().unwrap(), Vec::<u64>::new());
+        for e in [1u64, 2, 3] {
+            store.save_state(e, &demo(e)).unwrap();
+        }
+        assert_eq!(store.list().unwrap(), vec![1, 2, 3]);
+        let (seq, state): (u64, DemoState) = store.load_latest_state().unwrap().unwrap();
+        assert_eq!(seq, 3);
+        assert_eq!(state, demo(3));
+        let two: DemoState = store.load_state(2).unwrap().unwrap();
+        assert_eq!(two, demo(2));
+        assert!(store.load_state::<DemoState>(9).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn opening_a_file_path_is_not_a_directory() {
+        let dir = tmp_dir("notadir");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("plain.txt");
+        fs::write(&file, b"x").unwrap();
+        let err = CkptStore::open(&file, "train", 1).unwrap_err();
+        assert!(matches!(err, CkptError::NotADirectory { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_empty_dir_is_typed_no_checkpoint() {
+        let dir = tmp_dir("empty");
+        let store = CkptStore::open(&dir, "train", 1).unwrap();
+        let err = store.resume_latest_state::<DemoState>().unwrap_err();
+        assert!(matches!(err, CkptError::NoCheckpoint { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_quarantines_and_falls_back() {
+        let dir = tmp_dir("bitflip");
+        let obs = Obs::enabled();
+        let store = CkptStore::open_observed(&dir, "train", 1, &obs).unwrap();
+        store.save_state(1, &demo(1)).unwrap();
+        store.save_state(2, &demo(2)).unwrap();
+
+        // Flip one payload bit in the newest checkpoint.
+        let latest = store.path_of(2);
+        let mut bytes = fs::read(&latest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&latest, &bytes).unwrap();
+
+        let (seq, state): (u64, DemoState) = store.load_latest_state().unwrap().unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(state, demo(1));
+        // The bad file was preserved under quarantine, not deleted.
+        assert!(!latest.exists());
+        let mut q = latest.into_os_string();
+        q.push(CORRUPT_SUFFIX);
+        assert!(PathBuf::from(q).exists());
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["ckpt.corrupt_detected"], 1);
+        assert_eq!(snap.counters["ckpt.resumes"], 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_quarantines_and_falls_back() {
+        let dir = tmp_dir("truncate");
+        let store = CkptStore::open(&dir, "sa", 3).unwrap();
+        store.save_state(10, &demo(10)).unwrap();
+        store.save_state(20, &demo(20)).unwrap();
+        let latest = store.path_of(20);
+        let bytes = fs::read(&latest).unwrap();
+        fs::write(&latest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (seq, state): (u64, DemoState) = store.load_latest_state().unwrap().unwrap();
+        assert_eq!(seq, 10);
+        assert_eq!(state, demo(10));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_checkpoints_corrupt_returns_none_never_panics() {
+        let dir = tmp_dir("allbad");
+        let store = CkptStore::open(&dir, "train", 1).unwrap();
+        for e in [1u64, 2] {
+            store.save_state(e, &demo(e)).unwrap();
+            let p = store.path_of(e);
+            fs::write(&p, b"garbage").unwrap();
+        }
+        assert!(store.load_latest_state::<DemoState>().unwrap().is_none());
+        assert!(matches!(
+            store.resume_latest_state::<DemoState>(),
+            Err(CkptError::NoCheckpoint { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_schema_version_is_skipped_not_quarantined() {
+        let dir = tmp_dir("version");
+        let v1 = CkptStore::open(&dir, "train", 1).unwrap();
+        v1.save_state(5, &demo(5)).unwrap();
+        let v2 = CkptStore::open(&dir, "train", 2).unwrap();
+        v2.save_state(6, &demo(6)).unwrap();
+
+        // A v1 reader skips the v2 file and lands on its own.
+        let (seq, state): (u64, DemoState) = v1.load_latest_state().unwrap().unwrap();
+        assert_eq!(seq, 5);
+        assert_eq!(state, demo(5));
+        // The skipped file is untouched.
+        assert!(v2.path_of(6).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefixes_are_isolated() {
+        let dir = tmp_dir("prefix");
+        let train = CkptStore::open(&dir, "train", 1).unwrap();
+        let sa = CkptStore::open(&dir, "sa", 1).unwrap();
+        train.save_state(7, &demo(7)).unwrap();
+        assert!(sa.load_latest_state::<DemoState>().unwrap().is_none());
+        assert_eq!(train.list().unwrap(), vec![7]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_metrics_are_counted() {
+        let dir = tmp_dir("metrics");
+        let obs = Obs::enabled();
+        let store = CkptStore::open_observed(&dir, "train", 1, &obs).unwrap();
+        let p1 = store.save_state(1, &demo(1)).unwrap();
+        let p2 = store.save_state(2, &demo(2)).unwrap();
+        let expect = (fs::metadata(&p1).unwrap().len() + fs::metadata(&p2).unwrap().len()) as u64;
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["ckpt.writes"], 2);
+        assert_eq!(snap.counters["ckpt.bytes_written"], expect);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn weird_file_names_are_ignored() {
+        let dir = tmp_dir("names");
+        let store = CkptStore::open(&dir, "train", 1).unwrap();
+        store.save_state(3, &demo(3)).unwrap();
+        for name in [
+            "train-0000000x.ckpt",
+            "train-.ckpt",
+            "train-00000003.ckpt.corrupt",
+            "other-00000001.ckpt",
+            ".train-00000009.ckpt.tmp.123",
+            "train.ckpt",
+        ] {
+            fs::write(dir.join(name), b"junk").unwrap();
+        }
+        assert_eq!(store.list().unwrap(), vec![3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the checkpoint envelope (satellite of ISSUE 4):
+//! encode → decode is the identity for arbitrary payloads, and any
+//! single-byte corruption anywhere in the file — header or payload —
+//! is detected before a single payload byte reaches a decoder.
+
+use chainnet_ckpt::envelope::{decode, encode, HEADER_LEN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round trip: decode(encode(v, p)) == (v, p) for arbitrary
+    /// versions and payload bytes (including empty payloads).
+    #[test]
+    fn encode_decode_round_trip(
+        version in 0u32..0xFFFF_FFFF,
+        payload in proptest::collection::vec(0u16..256, 0..512)
+    ) {
+        let payload: Vec<u8> = payload.into_iter().map(|b| b as u8).collect();
+        let enc = encode(version, &payload);
+        prop_assert_eq!(enc.len(), HEADER_LEN + payload.len());
+        match decode(&enc) {
+            Ok((v, p)) => {
+                prop_assert_eq!(v, version);
+                prop_assert_eq!(p, &payload[..]);
+            }
+            Err(e) => prop_assert!(false, "fresh envelope rejected: {e}"),
+        }
+    }
+
+    /// Corrupting any single byte (any nonzero xor mask, so all 255
+    /// possible single-byte changes are reachable) makes decode fail:
+    /// the payload is never handed back as if valid.
+    #[test]
+    fn any_single_byte_corruption_is_detected(
+        version in 0u32..0xFFFF_FFFF,
+        payload in proptest::collection::vec(0u16..256, 0..256),
+        pos_seed in 0u64..u64::MAX,
+        mask in 1u16..256
+    ) {
+        let payload: Vec<u8> = payload.into_iter().map(|b| b as u8).collect();
+        let enc = encode(version, &payload);
+        let pos = (pos_seed % enc.len() as u64) as usize;
+        let mut bad = enc.clone();
+        bad[pos] ^= mask as u8;
+        prop_assert!(
+            decode(&bad).is_err(),
+            "xor {mask:#04x} at byte {pos} of {} went undetected",
+            enc.len()
+        );
+    }
+
+    /// Truncating the file at any point is detected.
+    #[test]
+    fn any_truncation_is_detected(
+        version in 0u32..0xFFFF_FFFF,
+        payload in proptest::collection::vec(0u16..256, 1..256),
+        cut_seed in 0u64..u64::MAX
+    ) {
+        let payload: Vec<u8> = payload.into_iter().map(|b| b as u8).collect();
+        let enc = encode(version, &payload);
+        let cut = (cut_seed % enc.len() as u64) as usize;
+        prop_assert!(decode(&enc[..cut]).is_err(), "truncation at {cut} went undetected");
+    }
+}

@@ -6,13 +6,19 @@ use crate::config::TrainConfig;
 use crate::data::LabeledGraph;
 use crate::metrics::ApeCollector;
 use crate::model::Surrogate;
+use chainnet_ckpt::{CkptError, CkptStore};
 use chainnet_neural::optim::{Adam, StepDecay};
+use chainnet_neural::params::ParamStore;
 use chainnet_neural::tape::Tape;
 use chainnet_obs::Obs;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Schema version written by [`Trainer::train_checkpointed`]. Bump on
+/// any change to [`TrainCheckpoint`]'s layout.
+pub const TRAIN_CKPT_SCHEMA: u32 = 1;
 
 /// Bucket bounds for the `train.epoch_seconds` histogram (seconds).
 const EPOCH_SECONDS_BUCKETS: &[f64] = &[0.01, 0.1, 1.0, 10.0, 60.0, 600.0];
@@ -66,6 +72,14 @@ pub enum TrainError {
     },
     /// The training set was empty.
     EmptyTrainingSet,
+    /// A checkpoint could not be written, read, or matched to this run.
+    Checkpoint(CkptError),
+}
+
+impl From<CkptError> for TrainError {
+    fn from(e: CkptError) -> Self {
+        TrainError::Checkpoint(e)
+    }
 }
 
 impl std::fmt::Display for TrainError {
@@ -78,8 +92,44 @@ impl std::fmt::Display for TrainError {
                  last finite checkpoint"
             ),
             Self::EmptyTrainingSet => write!(f, "training set is empty"),
+            Self::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
+}
+
+/// Complete resumable state of a (guarded) training run, written after
+/// clean epochs and after rolled-back (tripped) epochs at the
+/// configured cadence. Restoring every field — including the shuffle
+/// permutation and the raw RNG state — is what makes a killed-and-
+/// resumed run bit-identical to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Trainer configuration the run was started with (validated on
+    /// resume).
+    pub config: TrainConfig,
+    /// Guard configuration the run was started with (validated on
+    /// resume).
+    pub guard: GuardConfig,
+    /// Number of training samples (validated on resume).
+    pub num_samples: usize,
+    /// First epoch still to run.
+    pub epoch_next: usize,
+    /// Model parameters after the last completed epoch.
+    pub params: ParamStore,
+    /// Adam moment estimates and step counter.
+    pub adam: Adam,
+    /// Raw xoshiro256++ state of the shuffle RNG.
+    pub rng: [u64; 4],
+    /// The sample permutation (shuffled cumulatively in place).
+    pub order: Vec<usize>,
+    /// Divergence-guard rollback target (last known-good parameters).
+    pub last_good: ParamStore,
+    /// Consecutive tripped epochs so far.
+    pub consecutive_trips: usize,
+    /// Total tripped epochs over the whole run.
+    pub total_trips: u64,
+    /// Per-epoch history accumulated so far.
+    pub history: TrainReport,
 }
 
 impl std::error::Error for TrainError {}
@@ -326,9 +376,97 @@ impl Trainer {
         guard: &GuardConfig,
         obs: &Obs,
     ) -> Result<TrainReport, TrainError> {
+        self.run_guarded(model, train, val, guard, None, obs)
+    }
+
+    /// [`Trainer::train_checkpointed_observed`] without instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Trainer::train_checkpointed_observed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_checkpointed<S: Surrogate>(
+        &self,
+        model: &mut S,
+        train: &[LabeledGraph],
+        val: Option<&[LabeledGraph]>,
+        guard: &GuardConfig,
+        store: &CkptStore,
+        every: usize,
+        resume: bool,
+    ) -> Result<TrainReport, TrainError> {
+        self.train_checkpointed_observed(
+            model,
+            train,
+            val,
+            guard,
+            store,
+            every,
+            resume,
+            &Obs::disabled(),
+        )
+    }
+
+    /// Guarded training with crash-safe on-disk checkpoints.
+    ///
+    /// Every `every` epochs (and always after the final epoch) the
+    /// complete resumable state — parameters, Adam moments, RNG state,
+    /// shuffle permutation, guard counters, history — is written
+    /// durably through `store` as a [`TrainCheckpoint`]. Tripped
+    /// (rolled-back) epochs also checkpoint at the cadence, so the
+    /// divergence fallback is the on-disk last-good as well.
+    ///
+    /// With `resume` the run restarts from the most recent verified
+    /// checkpoint instead of epoch 0 and — because the workspace RNG
+    /// is deterministic — produces **bit-identical** final parameters
+    /// and history to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Checkpoint`] on cadence 0, save/load failures, a
+    /// missing checkpoint under `resume`, or a checkpoint recorded for
+    /// a different config/dataset; otherwise as
+    /// [`Trainer::train_guarded`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_checkpointed_observed<S: Surrogate>(
+        &self,
+        model: &mut S,
+        train: &[LabeledGraph],
+        val: Option<&[LabeledGraph]>,
+        guard: &GuardConfig,
+        store: &CkptStore,
+        every: usize,
+        resume: bool,
+        obs: &Obs,
+    ) -> Result<TrainReport, TrainError> {
+        self.run_guarded(model, train, val, guard, Some((store, every, resume)), obs)
+    }
+
+    fn run_guarded<S: Surrogate>(
+        &self,
+        model: &mut S,
+        train: &[LabeledGraph],
+        val: Option<&[LabeledGraph]>,
+        guard: &GuardConfig,
+        ckpt: Option<(&CkptStore, usize, bool)>,
+        obs: &Obs,
+    ) -> Result<TrainReport, TrainError> {
         if train.is_empty() {
             return Err(TrainError::EmptyTrainingSet);
         }
+        // An infinite clip threshold and a non-positive one both disable
+        // clipping, but the JSON checkpoint payload cannot represent
+        // non-finite floats; normalize so the guard round-trips on resume.
+        let normalized;
+        let guard = if ckpt.is_some() && !guard.max_grad_norm.is_finite() {
+            normalized = GuardConfig {
+                max_grad_norm: 0.0,
+                ..*guard
+            };
+            &normalized
+        } else {
+            guard
+        };
         let grad_norm = obs
             .is_enabled()
             .then(|| obs.registry.histogram("train.grad_norm", GRAD_NORM_BUCKETS));
@@ -347,8 +485,29 @@ impl Trainer {
         let mut last_good = model.params().clone();
         let mut consecutive_trips = 0usize;
         let mut total_trips = 0u64;
+        let mut start_epoch = 0usize;
 
-        for epoch in 0..cfg.epochs {
+        if let Some((store, every, resume)) = ckpt {
+            if every == 0 {
+                return Err(TrainError::Checkpoint(CkptError::InvalidCadence));
+            }
+            if resume {
+                let (_seq, ck) = store.resume_latest_state::<TrainCheckpoint>()?;
+                self.validate_checkpoint(&ck, guard, train.len())?;
+                *model.params_mut() = ck.params;
+                model.params_mut().zero_grads();
+                adam = ck.adam;
+                rng = SmallRng::from_state(ck.rng);
+                order = ck.order;
+                last_good = ck.last_good;
+                consecutive_trips = ck.consecutive_trips;
+                total_trips = ck.total_trips;
+                report = ck.history;
+                start_epoch = ck.epoch_next;
+            }
+        }
+
+        for epoch in start_epoch..cfg.epochs {
             let epoch_timer = obs.is_enabled().then(|| {
                 obs.registry
                     .histogram("train.epoch_seconds", EPOCH_SECONDS_BUCKETS)
@@ -414,6 +573,27 @@ impl Trainer {
                         trips: total_trips,
                     });
                 }
+                // Checkpoint the rolled-back state at the cadence so the
+                // on-disk last-good tracks the in-memory one.
+                if let Some((store, every, _)) = ckpt {
+                    if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                        let state = TrainCheckpoint {
+                            config: cfg,
+                            guard: *guard,
+                            num_samples: train.len(),
+                            epoch_next: epoch + 1,
+                            params: model.params().clone(),
+                            adam: adam.clone(),
+                            rng: rng.state(),
+                            order: order.clone(),
+                            last_good: last_good.clone(),
+                            consecutive_trips,
+                            total_trips,
+                            history: report.clone(),
+                        };
+                        store.save_state((epoch + 1) as u64, &state)?;
+                    }
+                }
                 continue;
             }
 
@@ -451,8 +631,52 @@ impl Trainer {
                 val_loss,
                 lr,
             });
+            if let Some((store, every, _)) = ckpt {
+                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                    let state = TrainCheckpoint {
+                        config: cfg,
+                        guard: *guard,
+                        num_samples: train.len(),
+                        epoch_next: epoch + 1,
+                        params: model.params().clone(),
+                        adam: adam.clone(),
+                        rng: rng.state(),
+                        order: order.clone(),
+                        last_good: last_good.clone(),
+                        consecutive_trips,
+                        total_trips,
+                        history: report.clone(),
+                    };
+                    store.save_state((epoch + 1) as u64, &state)?;
+                }
+            }
         }
         Ok(report)
+    }
+
+    fn validate_checkpoint(
+        &self,
+        ck: &TrainCheckpoint,
+        guard: &GuardConfig,
+        num_samples: usize,
+    ) -> Result<(), TrainError> {
+        let reason = if ck.config != self.config {
+            Some("trainer configuration differs from the checkpointed run")
+        } else if ck.guard != *guard {
+            Some("guard configuration differs from the checkpointed run")
+        } else if ck.num_samples != num_samples || ck.order.len() != num_samples {
+            Some("training-set size differs from the checkpointed run")
+        } else if ck.epoch_next > self.config.epochs {
+            Some("checkpoint is ahead of the configured epoch count")
+        } else {
+            None
+        };
+        match reason {
+            Some(r) => Err(TrainError::Checkpoint(CkptError::ResumeMismatch {
+                reason: r.to_string(),
+            })),
+            None => Ok(()),
+        }
     }
 }
 
@@ -749,5 +973,258 @@ mod tests {
             .train_guarded(&mut model, &[], None, &GuardConfig::default())
             .unwrap_err();
         assert_eq!(err, TrainError::EmptyTrainingSet);
+    }
+
+    fn ckpt_tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chainnet-train-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn diag_guard() -> GuardConfig {
+        GuardConfig {
+            max_grad_norm: f64::INFINITY,
+            max_trips: 3,
+        }
+    }
+
+    fn ckpt_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 6,
+            batch_size: 4,
+            learning_rate: 2e-3,
+            lr_decay: 0.9,
+            lr_decay_period: 10,
+            seed: 29,
+        }
+    }
+
+    #[test]
+    fn checkpointed_training_matches_plain_guarded() {
+        let data = toy_dataset(10);
+        let trainer = Trainer::new(ckpt_cfg());
+        let mut plain_model = ChainNet::new(ModelConfig::small(), 31);
+        let plain = trainer
+            .train_guarded(&mut plain_model, &data, None, &diag_guard())
+            .unwrap();
+
+        let dir = ckpt_tmp_dir("matches");
+        let store = CkptStore::open(&dir, "train", TRAIN_CKPT_SCHEMA).unwrap();
+        let mut ckpt_model = ChainNet::new(ModelConfig::small(), 31);
+        let ckpted = trainer
+            .train_checkpointed(
+                &mut ckpt_model,
+                &data,
+                None,
+                &diag_guard(),
+                &store,
+                2,
+                false,
+            )
+            .unwrap();
+        assert_eq!(plain, ckpted);
+        assert_eq!(plain_model, ckpt_model);
+        // Cadence 2 over 6 epochs: checkpoints after epochs 2, 4, 6.
+        assert_eq!(store.list().unwrap(), vec![2, 4, 6]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_and_resumed_training_is_bit_identical() {
+        let data = toy_dataset(10);
+        let trainer = Trainer::new(ckpt_cfg());
+
+        // Uninterrupted checkpointed run: the reference result.
+        let dir_full = ckpt_tmp_dir("full");
+        let store_full = CkptStore::open(&dir_full, "train", TRAIN_CKPT_SCHEMA).unwrap();
+        let mut full_model = ChainNet::new(ModelConfig::small(), 37);
+        let full = trainer
+            .train_checkpointed(
+                &mut full_model,
+                &data,
+                None,
+                &diag_guard(),
+                &store_full,
+                1,
+                false,
+            )
+            .unwrap();
+
+        // Simulate a SIGKILL after epoch 3: a fresh directory holding
+        // only the checkpoints that existed at that moment is exactly
+        // the state a killed process leaves behind.
+        let dir_cut = ckpt_tmp_dir("cut");
+        std::fs::create_dir_all(&dir_cut).unwrap();
+        for seq in [1u64, 2, 3] {
+            std::fs::copy(
+                store_full.path_of(seq),
+                dir_cut.join(store_full.path_of(seq).file_name().unwrap()),
+            )
+            .unwrap();
+        }
+        let store_cut = CkptStore::open(&dir_cut, "train", TRAIN_CKPT_SCHEMA).unwrap();
+        // The model passed in is a *fresh* one: everything that matters
+        // must come from the checkpoint.
+        let mut resumed_model = ChainNet::new(ModelConfig::small(), 999);
+        let resumed = trainer
+            .train_checkpointed(
+                &mut resumed_model,
+                &data,
+                None,
+                &diag_guard(),
+                &store_cut,
+                1,
+                true,
+            )
+            .unwrap();
+
+        assert_eq!(full, resumed);
+        assert_eq!(full_model.params(), resumed_model.params());
+        // Byte-level identity of the serialized parameters.
+        assert_eq!(
+            serde_json::to_string(full_model.params()).unwrap(),
+            serde_json::to_string(resumed_model.params()).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir_full);
+        let _ = std::fs::remove_dir_all(&dir_cut);
+    }
+
+    #[test]
+    fn resume_of_completed_run_returns_final_state() {
+        let data = toy_dataset(8);
+        let trainer = Trainer::new(ckpt_cfg());
+        let dir = ckpt_tmp_dir("complete");
+        let store = CkptStore::open(&dir, "train", TRAIN_CKPT_SCHEMA).unwrap();
+        let mut model = ChainNet::new(ModelConfig::small(), 41);
+        let full = trainer
+            .train_checkpointed(&mut model, &data, None, &diag_guard(), &store, 2, false)
+            .unwrap();
+        let mut resumed_model = ChainNet::new(ModelConfig::small(), 999);
+        let resumed = trainer
+            .train_checkpointed(
+                &mut resumed_model,
+                &data,
+                None,
+                &diag_guard(),
+                &store,
+                2,
+                true,
+            )
+            .unwrap();
+        assert_eq!(full, resumed);
+        assert_eq!(model.params(), resumed_model.params());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_latest_checkpoint_falls_back_and_still_matches() {
+        let data = toy_dataset(10);
+        let trainer = Trainer::new(ckpt_cfg());
+        let dir_full = ckpt_tmp_dir("corrupt-ref");
+        let store_full = CkptStore::open(&dir_full, "train", TRAIN_CKPT_SCHEMA).unwrap();
+        let mut full_model = ChainNet::new(ModelConfig::small(), 43);
+        let full = trainer
+            .train_checkpointed(
+                &mut full_model,
+                &data,
+                None,
+                &diag_guard(),
+                &store_full,
+                1,
+                false,
+            )
+            .unwrap();
+
+        // Interrupted at epoch 4, with the epoch-4 checkpoint bit-flipped
+        // (e.g. a torn disk): resume must quarantine it, fall back to
+        // epoch 3, and still converge to the identical final state.
+        let dir_cut = ckpt_tmp_dir("corrupt-cut");
+        std::fs::create_dir_all(&dir_cut).unwrap();
+        for seq in [1u64, 2, 3, 4] {
+            std::fs::copy(
+                store_full.path_of(seq),
+                dir_cut.join(store_full.path_of(seq).file_name().unwrap()),
+            )
+            .unwrap();
+        }
+        let store_cut = CkptStore::open(&dir_cut, "train", TRAIN_CKPT_SCHEMA).unwrap();
+        let bad = store_cut.path_of(4);
+        let mut bytes = std::fs::read(&bad).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&bad, &bytes).unwrap();
+
+        let mut resumed_model = ChainNet::new(ModelConfig::small(), 999);
+        let resumed = trainer
+            .train_checkpointed(
+                &mut resumed_model,
+                &data,
+                None,
+                &diag_guard(),
+                &store_cut,
+                1,
+                true,
+            )
+            .unwrap();
+        assert_eq!(full, resumed);
+        assert_eq!(full_model.params(), resumed_model.params());
+        // The bad file was quarantined for inspection; the resumed run
+        // then re-wrote a fresh, valid epoch-4 checkpoint in its place.
+        assert!(dir_cut.join("train-00000004.ckpt.corrupt").exists());
+        let rewritten = std::fs::read(&bad).unwrap();
+        assert!(chainnet_ckpt::decode(&rewritten).is_ok());
+        let _ = std::fs::remove_dir_all(&dir_full);
+        let _ = std::fs::remove_dir_all(&dir_cut);
+    }
+
+    #[test]
+    fn checkpoint_cadence_zero_is_a_typed_error() {
+        let data = toy_dataset(4);
+        let dir = ckpt_tmp_dir("zero");
+        let store = CkptStore::open(&dir, "train", TRAIN_CKPT_SCHEMA).unwrap();
+        let mut model = ChainNet::new(ModelConfig::small(), 5);
+        let err = Trainer::new(ckpt_cfg())
+            .train_checkpointed(&mut model, &data, None, &diag_guard(), &store, 0, false)
+            .unwrap_err();
+        assert_eq!(err, TrainError::Checkpoint(CkptError::InvalidCadence));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_is_a_typed_error() {
+        let data = toy_dataset(4);
+        let dir = ckpt_tmp_dir("nockpt");
+        let store = CkptStore::open(&dir, "train", TRAIN_CKPT_SCHEMA).unwrap();
+        let mut model = ChainNet::new(ModelConfig::small(), 5);
+        let err = Trainer::new(ckpt_cfg())
+            .train_checkpointed(&mut model, &data, None, &diag_guard(), &store, 1, true)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TrainError::Checkpoint(CkptError::NoCheckpoint { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_changed_config_is_a_mismatch() {
+        let data = toy_dataset(6);
+        let dir = ckpt_tmp_dir("mismatch");
+        let store = CkptStore::open(&dir, "train", TRAIN_CKPT_SCHEMA).unwrap();
+        let mut model = ChainNet::new(ModelConfig::small(), 5);
+        Trainer::new(ckpt_cfg())
+            .train_checkpointed(&mut model, &data, None, &diag_guard(), &store, 2, false)
+            .unwrap();
+        let mut other_cfg = ckpt_cfg();
+        other_cfg.seed = 999;
+        let err = Trainer::new(other_cfg)
+            .train_checkpointed(&mut model, &data, None, &diag_guard(), &store, 2, true)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TrainError::Checkpoint(CkptError::ResumeMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -15,6 +15,7 @@ use chainnet_qsim::model::SystemModel;
 use chainnet_qsim::sim::{SimConfig, Simulator};
 
 use crate::error::DatagenError;
+use chainnet_ckpt::{CkptError, CkptStore};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -257,19 +258,154 @@ pub fn generate_raw_dataset_observed(
     Ok(slots.into_iter().flatten().collect())
 }
 
+/// Schema version of serialized [`ShardCheckpoint`] payloads; bump on
+/// any layout change so stale shards are regenerated instead of misread.
+pub const DATAGEN_CKPT_SCHEMA: u32 = 1;
+
+/// One completed shard of a sharded generation sweep: the contiguous
+/// sample range `[start, start + samples.len())` of the full dataset.
+/// Because sample `i` is seeded `config.seed + i` independently of its
+/// neighbours, a shard regenerates bit-identically in isolation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardCheckpoint {
+    /// Network generator parameters of the sweep (must match at resume).
+    pub params: NetworkParams,
+    /// Full-sweep configuration (must match at resume, thread count
+    /// excepted — generation is thread-count invariant).
+    pub config: DatasetConfig,
+    /// Global index of the shard's first sample.
+    pub start: usize,
+    /// The shard's simulated samples.
+    pub samples: Vec<RawSample>,
+}
+
+/// Whether two configurations describe the same sweep. The thread count
+/// is an execution detail: generation is deterministic across thread
+/// counts, so resuming on a different machine layout is fine.
+fn same_sweep(a: &DatasetConfig, b: &DatasetConfig) -> bool {
+    a.samples == b.samples
+        && a.sim_horizon == b.sim_horizon
+        && a.seed == b.seed
+        && a.labels == b.labels
+}
+
+/// [`generate_raw_dataset`] with crash-safe shard checkpointing and no
+/// telemetry; see
+/// [`generate_raw_dataset_sharded_observed`].
+///
+/// # Errors
+///
+/// See [`generate_raw_dataset_sharded_observed`].
+pub fn generate_raw_dataset_sharded(
+    params: NetworkParams,
+    config: &DatasetConfig,
+    shard_size: usize,
+    store: &CkptStore,
+    resume: bool,
+) -> Result<Vec<RawSample>, DatagenError> {
+    generate_raw_dataset_sharded_observed(
+        params,
+        config,
+        shard_size,
+        store,
+        resume,
+        &Obs::disabled(),
+    )
+}
+
+/// [`generate_raw_dataset_observed`] split into shards of `shard_size`
+/// samples, each persisted to `store` as soon as it completes (shard
+/// `s` is checkpoint sequence `s + 1`). A sweep killed partway and
+/// rerun with `resume = true` loads every verified completed shard
+/// from disk and only simulates the rest; corrupt or stale shard files
+/// are quarantined/ignored and regenerated bit-identically, because
+/// sample `i` depends only on `config.seed + i`.
+///
+/// # Errors
+///
+/// [`CkptError::InvalidCadence`] when `shard_size == 0`;
+/// [`CkptError::NoCheckpoint`] when `resume` is set but `store` holds
+/// no shards at all; [`CkptError::ResumeMismatch`] when a stored shard
+/// belongs to a different sweep (params, seed, horizon, sample count,
+/// or label source differ); plus any generation or I/O failure.
+pub fn generate_raw_dataset_sharded_observed(
+    params: NetworkParams,
+    config: &DatasetConfig,
+    shard_size: usize,
+    store: &CkptStore,
+    resume: bool,
+    obs: &Obs,
+) -> Result<Vec<RawSample>, DatagenError> {
+    if shard_size == 0 {
+        return Err(DatagenError::Checkpoint(CkptError::InvalidCadence));
+    }
+    if resume {
+        if store.list()?.is_empty() {
+            return Err(DatagenError::Checkpoint(CkptError::NoCheckpoint {
+                dir: store.dir().to_path_buf(),
+            }));
+        }
+        store.note_resume();
+    }
+    let num_shards = config.samples.div_ceil(shard_size);
+    let mut all = Vec::with_capacity(config.samples);
+    for shard in 0..num_shards {
+        let start = shard * shard_size;
+        let len = shard_size.min(config.samples - start);
+        let seq = shard as u64 + 1;
+        if resume {
+            if let Some(ck) = store.load_state::<ShardCheckpoint>(seq)? {
+                if ck.params != params || !same_sweep(&ck.config, config) {
+                    return Err(DatagenError::Checkpoint(CkptError::ResumeMismatch {
+                        reason: format!(
+                            "stored shard {shard} belongs to a different generation sweep"
+                        ),
+                    }));
+                }
+                if ck.start == start && ck.samples.len() == len {
+                    all.extend(ck.samples);
+                    continue;
+                }
+                // Same sweep but a different shard layout (the shard
+                // size changed): fall through and regenerate this range.
+            }
+        }
+        let sub = DatasetConfig {
+            samples: len,
+            seed: config.seed.wrapping_add(start as u64),
+            ..*config
+        };
+        let samples = generate_raw_dataset_observed(params, &sub, obs)?;
+        let ck = ShardCheckpoint {
+            params,
+            config: *config,
+            start,
+            samples,
+        };
+        store.save_state(seq, &ck)?;
+        all.extend(ck.samples);
+    }
+    Ok(all)
+}
+
 /// Convert raw samples into labeled graphs under one feature mode.
 pub fn to_labeled(samples: &[RawSample], mode: FeatureMode) -> Vec<LabeledGraph> {
     samples.iter().map(|s| s.to_labeled(mode)).collect()
 }
 
-/// Save raw samples as JSON.
+/// Save raw samples as JSON, atomically: the bytes land in a temp file
+/// that is fsynced and renamed over `path`, so a crash mid-export can
+/// never leave a torn dataset behind.
 ///
 /// # Errors
 ///
 /// Returns I/O or serialization errors.
 pub fn save_raw(samples: &[RawSample], path: &std::path::Path) -> std::io::Result<()> {
     let json = serde_json::to_string(samples)?;
-    std::fs::write(path, json)
+    chainnet_ckpt::atomic_write(path, json.as_bytes()).map_err(|e| match &e {
+        CkptError::Io { kind, .. } => std::io::Error::new(*kind, e.to_string()),
+        _ => std::io::Error::other(e.to_string()),
+    })
 }
 
 /// Load raw samples from JSON.
@@ -340,6 +476,132 @@ mod tests {
         let back = load_raw(&dir).unwrap();
         assert_eq!(samples, back);
         let _ = std::fs::remove_file(&dir);
+    }
+
+    /// A fresh (removed-if-present) per-process temp dir for shards.
+    fn ckpt_tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "chainnet-datagen-ckpt-{}-{}",
+            tag,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sharded_generation_matches_unsharded() {
+        let cfg = DatasetConfig::new(10, 21)
+            .with_horizon(200.0)
+            .with_threads(2);
+        let plain = generate_raw_dataset(NetworkParams::type_i(), &cfg).unwrap();
+        let dir = ckpt_tmp_dir("plain");
+        let store = CkptStore::open(&dir, "shard", DATAGEN_CKPT_SCHEMA).unwrap();
+        let sharded =
+            generate_raw_dataset_sharded(NetworkParams::type_i(), &cfg, 4, &store, false).unwrap();
+        assert_eq!(plain, sharded);
+        assert_eq!(store.list().unwrap(), vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_sweep_skips_completed_shards() {
+        let cfg = DatasetConfig::new(10, 23)
+            .with_horizon(200.0)
+            .with_threads(2);
+        let dir_full = ckpt_tmp_dir("skip-full");
+        let full_store = CkptStore::open(&dir_full, "shard", DATAGEN_CKPT_SCHEMA).unwrap();
+        let full =
+            generate_raw_dataset_sharded(NetworkParams::type_i(), &cfg, 4, &full_store, false)
+                .unwrap();
+
+        // A kill after two shards leaves exactly those files behind.
+        let dir_cut = ckpt_tmp_dir("skip-cut");
+        let obs = Obs::enabled();
+        let cut_store =
+            CkptStore::open_observed(&dir_cut, "shard", DATAGEN_CKPT_SCHEMA, &obs).unwrap();
+        for seq in [1, 2] {
+            std::fs::copy(full_store.path_of(seq), cut_store.path_of(seq)).unwrap();
+        }
+        let resumed = generate_raw_dataset_sharded_observed(
+            NetworkParams::type_i(),
+            &cfg,
+            4,
+            &cut_store,
+            true,
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(full, resumed);
+        // Only the missing third shard (2 samples) was simulated; the
+        // first 8 samples were loaded from disk.
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["datagen.samples_generated"], 2);
+        assert_eq!(snap.counters["ckpt.writes"], 1);
+        assert_eq!(snap.counters["ckpt.resumes"], 1);
+        let _ = std::fs::remove_dir_all(&dir_full);
+        let _ = std::fs::remove_dir_all(&dir_cut);
+    }
+
+    #[test]
+    fn corrupt_shard_is_quarantined_and_regenerated() {
+        let cfg = DatasetConfig::new(6, 27)
+            .with_horizon(150.0)
+            .with_threads(2);
+        let dir = ckpt_tmp_dir("corrupt");
+        let store = CkptStore::open(&dir, "shard", DATAGEN_CKPT_SCHEMA).unwrap();
+        let full =
+            generate_raw_dataset_sharded(NetworkParams::type_i(), &cfg, 3, &store, false).unwrap();
+        // Flip one payload bit in shard 1.
+        let path = store.path_of(1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let resumed =
+            generate_raw_dataset_sharded(NetworkParams::type_i(), &cfg, 3, &store, true).unwrap();
+        assert_eq!(full, resumed);
+        assert!(
+            dir.join("shard-00000001.ckpt.corrupt").exists(),
+            "corrupt shard not quarantined"
+        );
+        // The regenerated shard at the original path verifies cleanly.
+        let reloaded = store.load_state::<ShardCheckpoint>(1).unwrap().unwrap();
+        assert_eq!(reloaded.samples[..], full[..3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_resume_errors_are_typed() {
+        let cfg = DatasetConfig::new(4, 31)
+            .with_horizon(150.0)
+            .with_threads(1);
+        let dir = ckpt_tmp_dir("typed");
+        let store = CkptStore::open(&dir, "shard", DATAGEN_CKPT_SCHEMA).unwrap();
+        // Zero shard size.
+        let err = generate_raw_dataset_sharded(NetworkParams::type_i(), &cfg, 0, &store, false)
+            .unwrap_err();
+        assert_eq!(err, DatagenError::Checkpoint(CkptError::InvalidCadence));
+        // Resume with no shards on disk.
+        let err = generate_raw_dataset_sharded(NetworkParams::type_i(), &cfg, 2, &store, true)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DatagenError::Checkpoint(CkptError::NoCheckpoint { .. })
+        ));
+        // Resume of a different sweep (changed seed).
+        generate_raw_dataset_sharded(NetworkParams::type_i(), &cfg, 2, &store, false).unwrap();
+        let other = DatasetConfig::new(4, 32)
+            .with_horizon(150.0)
+            .with_threads(1);
+        let err = generate_raw_dataset_sharded(NetworkParams::type_i(), &other, 2, &store, true)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DatagenError::Checkpoint(CkptError::ResumeMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

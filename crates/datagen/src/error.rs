@@ -1,5 +1,6 @@
 //! Typed errors for dataset generation and statistics.
 
+use chainnet_ckpt::CkptError;
 use chainnet_qsim::QsimError;
 
 /// A dataset-generation failure.
@@ -16,6 +17,10 @@ pub enum DatagenError {
     },
     /// Statistics were requested over an empty dataset.
     EmptyDataset,
+    /// A shard checkpoint could not be saved, loaded, or matched to the
+    /// requested sweep (see
+    /// [`generate_raw_dataset_sharded`](crate::dataset::generate_raw_dataset_sharded)).
+    Checkpoint(CkptError),
 }
 
 impl std::fmt::Display for DatagenError {
@@ -29,6 +34,7 @@ impl std::fmt::Display for DatagenError {
                 )
             }
             Self::EmptyDataset => write!(f, "dataset is empty"),
+            Self::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
@@ -37,6 +43,7 @@ impl std::error::Error for DatagenError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Qsim(e) => Some(e),
+            Self::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -45,6 +52,12 @@ impl std::error::Error for DatagenError {
 impl From<QsimError> for DatagenError {
     fn from(e: QsimError) -> Self {
         Self::Qsim(e)
+    }
+}
+
+impl From<CkptError> for DatagenError {
+    fn from(e: CkptError) -> Self {
+        Self::Checkpoint(e)
     }
 }
 

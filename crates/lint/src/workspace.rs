@@ -76,6 +76,7 @@ impl WorkspaceSpec {
             root: root.into(),
             crates: vec![
                 CrateSpec::new("chainnet-obs", "crates/obs", Library, false),
+                CrateSpec::new("chainnet-ckpt", "crates/ckpt", Library, false),
                 CrateSpec::new("chainnet-qsim", "crates/qsim", Library, true),
                 CrateSpec::new("chainnet-neural", "crates/neural", Library, true),
                 CrateSpec::new("chainnet", "crates/core", Library, true),

@@ -6,6 +6,7 @@
 //! fall back (see [`ResilientEvaluator`](crate::ResilientEvaluator))
 //! and always return a best-so-far decision.
 
+use chainnet_ckpt::CkptError;
 use chainnet_qsim::QsimError;
 
 /// An evaluator or search-plumbing failure.
@@ -22,6 +23,10 @@ pub enum PlacementError {
         /// The non-finite value it produced.
         value: f64,
     },
+    /// A checkpoint could not be saved, loaded, or matched to the
+    /// requested search (see
+    /// [`SimulatedAnnealing::optimize_checkpointed`](crate::sa::SimulatedAnnealing::optimize_checkpointed)).
+    Checkpoint(CkptError),
 }
 
 impl std::fmt::Display for PlacementError {
@@ -32,6 +37,7 @@ impl std::fmt::Display for PlacementError {
                 f,
                 "evaluator '{evaluator}' produced a non-finite objective ({value})"
             ),
+            Self::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
@@ -41,6 +47,7 @@ impl std::error::Error for PlacementError {
         match self {
             Self::Qsim(e) => Some(e),
             Self::NonFiniteObjective { .. } => None,
+            Self::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -48,6 +55,12 @@ impl std::error::Error for PlacementError {
 impl From<QsimError> for PlacementError {
     fn from(e: QsimError) -> Self {
         Self::Qsim(e)
+    }
+}
+
+impl From<CkptError> for PlacementError {
+    fn from(e: CkptError) -> Self {
+        Self::Checkpoint(e)
     }
 }
 

@@ -51,5 +51,8 @@ pub use evaluator::{
     ResilientEvaluator, SimEvaluator,
 };
 pub use problem::PlacementProblem;
-pub use sa::{SaConfig, SaImprovement, SaResult, SaTrial, SimulatedAnnealing, TerminationReason};
+pub use sa::{
+    SaCheckpoint, SaConfig, SaImprovement, SaResult, SaTrial, SimulatedAnnealing,
+    TerminationReason, SA_CKPT_SCHEMA,
+};
 pub use strategies::{HillClimb, RandomSearch, StrategyResult};

@@ -2,8 +2,10 @@
 //! moves with swap-back of displaced fragments, geometric cooling, and
 //! multi-trial restarts from a common initial placement.
 
+use crate::error::PlacementError;
 use crate::evaluator::Evaluator;
 use crate::problem::PlacementProblem;
+use chainnet_ckpt::{CkptError, CkptStore};
 use chainnet_obs::Obs;
 use chainnet_qsim::model::Placement;
 use rand::rngs::SmallRng;
@@ -195,6 +197,141 @@ pub struct SaResult {
     pub termination_reason: TerminationReason,
 }
 
+/// Schema version of serialized [`SaCheckpoint`] payloads; bump on any
+/// layout change so stale checkpoints are skipped instead of misread.
+pub const SA_CKPT_SCHEMA: u32 = 1;
+
+/// The complete resumable state of a checkpointed multi-trial search.
+///
+/// Holds both search-level state (best-so-far decision, completed
+/// trials, cumulative evaluation count) and mid-trial state (current
+/// decision, temperature, raw RNG words), so a search killed between
+/// steps resumes on the exact annealing trajectory. `step_next == 0`
+/// marks a trial boundary: trial [`SaCheckpoint::trial`] has not
+/// consumed any randomness yet and is restarted from its seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaCheckpoint {
+    /// Configuration of the checkpointed search (must match at resume).
+    pub config: SaConfig,
+    /// Requested trial count (must match at resume).
+    pub trials: usize,
+    /// The shared initial placement (must match at resume).
+    pub initial: Placement,
+    /// Objective of the initial placement (never re-evaluated at resume).
+    pub initial_objective: f64,
+    /// Objective evaluations consumed so far, across all processes.
+    pub evaluations: u64,
+    /// Best placement across all completed work.
+    pub best: Placement,
+    /// Its objective value.
+    pub best_objective: f64,
+    /// Fully (or budget-) completed trials, in execution order.
+    pub completed: Vec<SaTrial>,
+    /// 0-based index of the in-flight trial.
+    pub trial: usize,
+    /// Next step of the in-flight trial; 0 means the trial has not
+    /// started and the mid-trial fields below are placeholders.
+    pub step_next: usize,
+    /// Raw xoshiro256++ state of the in-flight trial's RNG.
+    pub rng: [u64; 4],
+    /// Current decision of the in-flight trial.
+    pub current: Placement,
+    /// Its objective value.
+    pub current_objective: f64,
+    /// Best placement of the in-flight trial.
+    pub trial_best: Placement,
+    /// Its objective value.
+    pub trial_best_objective: f64,
+    /// Current temperature of the in-flight trial.
+    pub temp: f64,
+    /// Steps recorded so far in the in-flight trial.
+    pub steps: Vec<SaStep>,
+    /// Improvements recorded so far in the in-flight trial.
+    pub improvements: Vec<SaImprovement>,
+    /// Failed candidate evaluations so far in the in-flight trial.
+    pub eval_failures: u64,
+}
+
+/// Clamp non-finite objectives to `f64::MIN` before persisting. They
+/// arise only from failed evaluations (recorded as `-inf`); the
+/// vendored JSON layer maps non-finite floats to `null`, which would
+/// not round-trip. `f64::MIN` orders identically against every real
+/// objective, so resumed accept/reject decisions are unchanged.
+fn finite_or_min(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        f64::MIN
+    }
+}
+
+fn sanitize_step(s: &SaStep) -> SaStep {
+    SaStep {
+        candidate_objective: finite_or_min(s.candidate_objective),
+        current_objective: finite_or_min(s.current_objective),
+        best_objective: finite_or_min(s.best_objective),
+        ..*s
+    }
+}
+
+fn sanitize_improvement(i: &SaImprovement) -> SaImprovement {
+    SaImprovement {
+        objective: finite_or_min(i.objective),
+        ..i.clone()
+    }
+}
+
+fn sanitize_trial(t: &SaTrial) -> SaTrial {
+    SaTrial {
+        steps: t.steps.iter().map(sanitize_step).collect(),
+        improvements: t.improvements.iter().map(sanitize_improvement).collect(),
+        best_placement: t.best_placement.clone(),
+        best_objective: finite_or_min(t.best_objective),
+        elapsed_secs: t.elapsed_secs,
+        eval_failures: t.eval_failures,
+    }
+}
+
+/// In-flight accept/reject state of one annealing trial, shared by the
+/// plain and checkpointed drivers so both walk the exact same RNG and
+/// decision sequence.
+struct TrialCore {
+    current: Placement,
+    current_obj: f64,
+    best: Placement,
+    best_obj: f64,
+    temp: f64,
+    steps: Vec<SaStep>,
+    improvements: Vec<SaImprovement>,
+    eval_failures: u64,
+}
+
+impl TrialCore {
+    fn fresh(initial: &Placement, initial_objective: f64, initial_temp: f64, cap: usize) -> Self {
+        Self {
+            current: initial.clone(),
+            current_obj: initial_objective,
+            best: initial.clone(),
+            best_obj: initial_objective,
+            temp: initial_temp,
+            steps: Vec::with_capacity(cap),
+            improvements: Vec::new(),
+            eval_failures: 0,
+        }
+    }
+
+    fn into_trial(self, elapsed_secs: f64) -> SaTrial {
+        SaTrial {
+            steps: self.steps,
+            improvements: self.improvements,
+            best_placement: self.best,
+            best_objective: self.best_obj,
+            elapsed_secs,
+            eval_failures: self.eval_failures,
+        }
+    }
+}
+
 /// The simulated-annealing search driver.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimulatedAnnealing {
@@ -303,14 +440,12 @@ impl SimulatedAnnealing {
         // lint:allow(determinism): wall-clock budget watchdog (bounds runtime; never feeds results)
         let start = Instant::now();
         let mut rng = SmallRng::seed_from_u64(trial_seed);
-        let mut current = initial.clone();
-        let mut current_obj = initial_objective;
-        let mut best = current.clone();
-        let mut best_obj = current_obj;
-        let mut temp = self.config.initial_temp;
-        let mut steps = Vec::with_capacity(self.config.max_steps);
-        let mut improvements = Vec::new();
-        let mut eval_failures = 0u64;
+        let mut core = TrialCore::fresh(
+            initial,
+            initial_objective,
+            self.config.initial_temp,
+            self.config.max_steps,
+        );
         let mut stopped: Option<TerminationReason> = None;
 
         for step in 0..self.config.max_steps {
@@ -328,60 +463,67 @@ impl SimulatedAnnealing {
                     }
                 }
             }
-            let (candidate_objective, accepted) = match self.propose(problem, &current, &mut rng) {
-                Some(candidate) => match evaluator.total_throughput(problem, &candidate) {
-                    Ok(obj) => {
-                        let accept = obj > current_obj || {
-                            let p = ((obj - current_obj) / temp.max(1e-12)).exp();
-                            rng.gen::<f64>() < p
-                        };
-                        if accept {
-                            current = candidate;
-                            current_obj = obj;
-                            if obj > best_obj {
-                                best = current.clone();
-                                best_obj = obj;
-                                improvements.push(SaImprovement {
-                                    step,
-                                    elapsed_secs: start.elapsed().as_secs_f64(),
-                                    placement: best.clone(),
-                                    objective: best_obj,
-                                });
-                            }
-                        }
-                        (obj, accept)
-                    }
-                    Err(_) => {
-                        // Graceful degradation: an unevaluable candidate
-                        // is simply rejected; the decision state and the
-                        // best-so-far record stay intact.
-                        eval_failures += 1;
-                        (f64::NEG_INFINITY, false)
-                    }
-                },
-                None => (current_obj, false),
-            };
-            temp *= self.config.cooling;
-            steps.push(SaStep {
-                step,
-                candidate_objective,
-                current_objective: current_obj,
-                best_objective: best_obj,
-                accepted,
-                elapsed_secs: start.elapsed().as_secs_f64(),
-            });
+            self.anneal_step(problem, evaluator, &mut rng, &mut core, step, start);
         }
-        (
-            SaTrial {
-                steps,
-                improvements,
-                best_placement: best,
-                best_objective: best_obj,
-                elapsed_secs: start.elapsed().as_secs_f64(),
-                eval_failures,
+        (core.into_trial(start.elapsed().as_secs_f64()), stopped)
+    }
+
+    /// Execute one accept/reject step of a trial, mutating `core` in
+    /// place. The RNG call order — propose, evaluate, then a Metropolis
+    /// draw only when the candidate does not improve — is the
+    /// bit-identity contract between the plain and checkpointed
+    /// drivers; do not reorder.
+    fn anneal_step(
+        &self,
+        problem: &PlacementProblem,
+        evaluator: &mut dyn Evaluator,
+        rng: &mut SmallRng,
+        core: &mut TrialCore,
+        step: usize,
+        trial_start: Instant,
+    ) {
+        let (candidate_objective, accepted) = match self.propose(problem, &core.current, rng) {
+            Some(candidate) => match evaluator.total_throughput(problem, &candidate) {
+                Ok(obj) => {
+                    let accept = obj > core.current_obj || {
+                        let p = ((obj - core.current_obj) / core.temp.max(1e-12)).exp();
+                        rng.gen::<f64>() < p
+                    };
+                    if accept {
+                        core.current = candidate;
+                        core.current_obj = obj;
+                        if obj > core.best_obj {
+                            core.best = core.current.clone();
+                            core.best_obj = obj;
+                            core.improvements.push(SaImprovement {
+                                step,
+                                elapsed_secs: trial_start.elapsed().as_secs_f64(),
+                                placement: core.best.clone(),
+                                objective: core.best_obj,
+                            });
+                        }
+                    }
+                    (obj, accept)
+                }
+                Err(_) => {
+                    // Graceful degradation: an unevaluable candidate
+                    // is simply rejected; the decision state and the
+                    // best-so-far record stay intact.
+                    core.eval_failures += 1;
+                    (f64::NEG_INFINITY, false)
+                }
             },
-            stopped,
-        )
+            None => (core.current_obj, false),
+        };
+        core.temp *= self.config.cooling;
+        core.steps.push(SaStep {
+            step,
+            candidate_objective,
+            current_objective: core.current_obj,
+            best_objective: core.best_obj,
+            accepted,
+            elapsed_secs: trial_start.elapsed().as_secs_f64(),
+        });
     }
 
     /// Run `trials` independent trials from the same initial placement
@@ -502,6 +644,346 @@ impl SimulatedAnnealing {
             elapsed_secs,
             termination_reason,
         }
+    }
+
+    /// [`optimize`](Self::optimize) with crash-safe checkpointing and
+    /// no telemetry; see
+    /// [`optimize_checkpointed_observed`](Self::optimize_checkpointed_observed).
+    ///
+    /// # Errors
+    ///
+    /// See [`optimize_checkpointed_observed`](Self::optimize_checkpointed_observed).
+    #[allow(clippy::too_many_arguments)]
+    pub fn optimize_checkpointed(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        evaluator: &mut dyn Evaluator,
+        trials: usize,
+        store: &CkptStore,
+        every: usize,
+        resume: bool,
+    ) -> Result<SaResult, PlacementError> {
+        self.optimize_checkpointed_observed(
+            problem,
+            initial,
+            evaluator,
+            trials,
+            store,
+            every,
+            resume,
+            &Obs::disabled(),
+        )
+    }
+
+    /// [`optimize_observed`](Self::optimize_observed) with crash-safe
+    /// checkpointing: the complete search state — best-so-far placement,
+    /// current/best objectives, temperature, raw RNG words, and the
+    /// cumulative evaluation count — is persisted to `store` every
+    /// `every` steps and at every trial boundary, so a search killed at
+    /// any point and rerun with `resume = true` continues the exact
+    /// annealing trajectory and lands on a bit-identical best placement.
+    ///
+    /// The initial placement is evaluated exactly once per search, in
+    /// the first process; resumed processes restore its stored
+    /// objective. Wall-clock budgets restart at resume (time spent in a
+    /// killed process is not carried over), while the evaluation cap
+    /// counts evaluations across all processes.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::InvalidCadence`] when `every == 0`;
+    /// [`CkptError::NoCheckpoint`] when `resume` is set but `store`
+    /// holds no usable checkpoint; [`CkptError::ResumeMismatch`] when
+    /// the latest checkpoint belongs to a different configuration,
+    /// trial count, or initial placement; and any I/O failure while
+    /// saving.
+    #[allow(clippy::too_many_arguments)]
+    pub fn optimize_checkpointed_observed(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        evaluator: &mut dyn Evaluator,
+        trials: usize,
+        store: &CkptStore,
+        every: usize,
+        resume: bool,
+        obs: &Obs,
+    ) -> Result<SaResult, PlacementError> {
+        // lint:allow(determinism): wall-clock budget watchdog (bounds runtime; never feeds results)
+        let start = Instant::now();
+        if every == 0 {
+            return Err(PlacementError::Checkpoint(CkptError::InvalidCadence));
+        }
+
+        let mut next_seq: u64 = 1;
+        let initial_objective: f64;
+        let eval_offset: u64;
+        let mut completed: Vec<SaTrial>;
+        let mut best: Placement;
+        let mut best_obj: f64;
+        let start_trial: usize;
+        let mut mid: Option<SaCheckpoint> = None;
+        if resume {
+            let (seq, ck) = store.resume_latest_state::<SaCheckpoint>()?;
+            self.validate_sa_checkpoint(&ck, trials, initial)?;
+            next_seq = seq + 1;
+            initial_objective = ck.initial_objective;
+            eval_offset = ck.evaluations;
+            completed = ck.completed.clone();
+            best = ck.best.clone();
+            best_obj = ck.best_objective;
+            start_trial = ck.trial;
+            if ck.step_next > 0 {
+                mid = Some(ck);
+            }
+        } else {
+            // Graceful degradation: if even the initial placement cannot
+            // be evaluated, the search still runs — any successfully
+            // evaluated candidate beats `-inf` and becomes the best.
+            initial_objective = evaluator
+                .total_throughput(problem, initial)
+                .unwrap_or(f64::NEG_INFINITY);
+            eval_offset = 0;
+            completed = Vec::with_capacity(trials);
+            best = initial.clone();
+            best_obj = initial_objective;
+            start_trial = 0;
+        }
+
+        let mut termination_reason = TerminationReason::Completed;
+        let mut proposals_total = 0u64;
+        let mut accepted_total = 0u64;
+        for t in start_trial..trials {
+            // lint:allow(determinism): wall-clock trial timer (telemetry only; never feeds results)
+            let trial_start = Instant::now();
+            let (mut rng, mut core, first_step) = match mid.take() {
+                Some(ck) => (
+                    SmallRng::from_state(ck.rng),
+                    TrialCore {
+                        current: ck.current,
+                        current_obj: ck.current_objective,
+                        best: ck.trial_best,
+                        best_obj: ck.trial_best_objective,
+                        temp: ck.temp,
+                        steps: ck.steps,
+                        improvements: ck.improvements,
+                        eval_failures: ck.eval_failures,
+                    },
+                    ck.step_next,
+                ),
+                None => (
+                    SmallRng::seed_from_u64(self.config.seed.wrapping_add(t as u64)),
+                    TrialCore::fresh(
+                        initial,
+                        initial_objective,
+                        self.config.initial_temp,
+                        self.config.max_steps,
+                    ),
+                    0,
+                ),
+            };
+            let mut stopped: Option<TerminationReason> = None;
+            for step in first_step..self.config.max_steps {
+                if let Some(secs) = self
+                    .config
+                    .max_wall_secs
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                {
+                    if start.elapsed().as_secs_f64() >= secs {
+                        stopped = Some(TerminationReason::WallClock);
+                        break;
+                    }
+                }
+                if let Some(cap) = self.config.max_evaluations {
+                    if eval_offset + evaluator.evaluations() >= cap {
+                        stopped = Some(TerminationReason::MaxEvaluations);
+                        break;
+                    }
+                }
+                self.anneal_step(problem, evaluator, &mut rng, &mut core, step, trial_start);
+                let done = step + 1;
+                // Mid-trial checkpoints at the cadence; the final step of
+                // a trial is covered by the boundary checkpoint below.
+                if done % every == 0 && done < self.config.max_steps {
+                    let ck = self.checkpoint_state(
+                        trials,
+                        initial,
+                        initial_objective,
+                        eval_offset + evaluator.evaluations(),
+                        &best,
+                        best_obj,
+                        &completed,
+                        t,
+                        done,
+                        rng.state(),
+                        &core,
+                    );
+                    store.save_state(next_seq, &ck)?;
+                    next_seq += 1;
+                }
+            }
+            let trial = core.into_trial(trial_start.elapsed().as_secs_f64());
+            if trial.best_objective > best_obj {
+                best = trial.best_placement.clone();
+                best_obj = trial.best_objective;
+            }
+            if obs.is_enabled() {
+                let proposals = trial.steps.len() as u64;
+                let accepted = trial.steps.iter().filter(|s| s.accepted).count() as u64;
+                proposals_total += proposals;
+                accepted_total += accepted;
+                obs.registry.counter("sa.trials").inc();
+                obs.registry.counter("sa.proposals").add(proposals);
+                obs.registry.counter("sa.accepted").add(accepted);
+                if trial.eval_failures > 0 {
+                    obs.registry
+                        .counter("sa.eval_failures")
+                        .add(trial.eval_failures);
+                }
+                if proposals_total > 0 {
+                    obs.registry
+                        .gauge("sa.accept_rate")
+                        .set(accepted_total as f64 / proposals_total as f64);
+                }
+                obs.registry.gauge("sa.best_objective").set(best_obj);
+                obs.registry.gauge("sa.temperature").set(
+                    self.config.initial_temp * self.config.cooling.powi(trial.steps.len() as i32),
+                );
+                obs.events.emit(
+                    "sa",
+                    &SaTrialEvent {
+                        kind: "sa_trial",
+                        trial: t,
+                        proposals,
+                        accepted,
+                        improvements: trial.improvements.len(),
+                        best_objective: trial.best_objective,
+                        elapsed_secs: trial.elapsed_secs,
+                    },
+                );
+            }
+            completed.push(trial);
+            if let Some(reason) = stopped {
+                termination_reason = reason;
+            }
+            // Trial-boundary checkpoint (step_next == 0): always saved,
+            // so a completed search leaves a final `trial == trials`
+            // record and a resume returns the stored result directly.
+            let boundary = self.checkpoint_state(
+                trials,
+                initial,
+                initial_objective,
+                eval_offset + evaluator.evaluations(),
+                &best,
+                best_obj,
+                &completed,
+                t + 1,
+                0,
+                SmallRng::seed_from_u64(self.config.seed.wrapping_add(t as u64 + 1)).state(),
+                &TrialCore::fresh(initial, initial_objective, self.config.initial_temp, 0),
+            );
+            store.save_state(next_seq, &boundary)?;
+            next_seq += 1;
+            if termination_reason != TerminationReason::Completed {
+                break;
+            }
+        }
+
+        let elapsed_secs = start.elapsed().as_secs_f64();
+        let process_evals = evaluator.evaluations();
+        if obs.is_enabled() {
+            obs.registry.counter("sa.evaluations").add(process_evals);
+            if elapsed_secs > 0.0 {
+                obs.registry
+                    .gauge("sa.evals_per_sec")
+                    .set(process_evals as f64 / elapsed_secs);
+            }
+        }
+        Ok(SaResult {
+            trials: completed,
+            best_placement: best,
+            best_objective: best_obj,
+            initial_objective,
+            evaluations: eval_offset + process_evals,
+            elapsed_secs,
+            termination_reason,
+        })
+    }
+
+    /// Snapshot the full search state into a [`SaCheckpoint`], clamping
+    /// non-finite objectives so the payload round-trips through JSON.
+    #[allow(clippy::too_many_arguments)]
+    fn checkpoint_state(
+        &self,
+        trials: usize,
+        initial: &Placement,
+        initial_objective: f64,
+        evaluations: u64,
+        best: &Placement,
+        best_objective: f64,
+        completed: &[SaTrial],
+        trial: usize,
+        step_next: usize,
+        rng: [u64; 4],
+        core: &TrialCore,
+    ) -> SaCheckpoint {
+        SaCheckpoint {
+            config: self.config,
+            trials,
+            initial: initial.clone(),
+            initial_objective: finite_or_min(initial_objective),
+            evaluations,
+            best: best.clone(),
+            best_objective: finite_or_min(best_objective),
+            completed: completed.iter().map(sanitize_trial).collect(),
+            trial,
+            step_next,
+            rng,
+            current: core.current.clone(),
+            current_objective: finite_or_min(core.current_obj),
+            trial_best: core.best.clone(),
+            trial_best_objective: finite_or_min(core.best_obj),
+            temp: core.temp,
+            steps: core.steps.iter().map(sanitize_step).collect(),
+            improvements: core.improvements.iter().map(sanitize_improvement).collect(),
+            eval_failures: core.eval_failures,
+        }
+    }
+
+    /// Reject a checkpoint that does not belong to this exact search:
+    /// resuming it would silently change the annealing trajectory.
+    fn validate_sa_checkpoint(
+        &self,
+        ck: &SaCheckpoint,
+        trials: usize,
+        initial: &Placement,
+    ) -> Result<(), PlacementError> {
+        let mismatch = |reason: &str| {
+            PlacementError::Checkpoint(CkptError::ResumeMismatch {
+                reason: reason.to_string(),
+            })
+        };
+        if ck.config != self.config {
+            return Err(mismatch(
+                "search configuration differs from the checkpointed run",
+            ));
+        }
+        if ck.trials != trials {
+            return Err(mismatch("trial count differs from the checkpointed run"));
+        }
+        if ck.initial != *initial {
+            return Err(mismatch(
+                "initial placement differs from the checkpointed run",
+            ));
+        }
+        if ck.trial > trials || (ck.trial == trials && ck.step_next != 0) {
+            return Err(mismatch("checkpoint is beyond the requested trial count"));
+        }
+        if ck.step_next > self.config.max_steps {
+            return Err(mismatch("checkpoint is beyond the configured step count"));
+        }
+        Ok(())
     }
 
     /// Run trials until `budget_secs` of wall clock is exhausted (the
@@ -841,6 +1323,217 @@ mod tests {
         assert_eq!(res.best_objective, 0.5);
         assert!(res.trials[0].eval_failures > 0);
         assert!(res.trials[0].steps.iter().all(|s| !s.accepted));
+    }
+
+    /// A fresh (removed-if-present) per-process temp dir for checkpoints.
+    fn ckpt_tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chainnet-sa-ckpt-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Zero out all wall-clock fields: everything else in a search
+    /// result must be bit-identical across kill/resume boundaries.
+    fn strip_time(mut r: SaResult) -> SaResult {
+        r.elapsed_secs = 0.0;
+        for t in &mut r.trials {
+            t.elapsed_secs = 0.0;
+            for s in &mut t.steps {
+                s.elapsed_secs = 0.0;
+            }
+            for i in &mut t.improvements {
+                i.elapsed_secs = 0.0;
+            }
+        }
+        r
+    }
+
+    /// Copy checkpoints `1..=upto` from one store's dir to another's,
+    /// simulating exactly what a killed process leaves behind.
+    fn copy_ckpt_prefix(src: &chainnet_ckpt::CkptStore, dst: &chainnet_ckpt::CkptStore, upto: u64) {
+        for seq in src.list().unwrap() {
+            if seq <= upto {
+                std::fs::copy(src.path_of(seq), dst.path_of(seq)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_search_matches_plain_and_writes_at_cadence() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(12));
+        let mut ev1 = SimEvaluator::new(SimConfig::new(500.0, 9));
+        let mut ev2 = SimEvaluator::new(SimConfig::new(500.0, 9));
+        let plain = sa.optimize(&p, &init, &mut ev1, 2);
+        let dir = ckpt_tmp_dir("plain");
+        let obs = Obs::enabled();
+        let store =
+            chainnet_ckpt::CkptStore::open_observed(&dir, "sa", SA_CKPT_SCHEMA, &obs).unwrap();
+        let ckpt = sa
+            .optimize_checkpointed_observed(&p, &init, &mut ev2, 2, &store, 5, false, &obs)
+            .unwrap();
+        assert_eq!(strip_time(plain), strip_time(ckpt));
+        // Two mid-trial saves (steps 5 and 10) plus one boundary save
+        // per trial.
+        assert_eq!(store.list().unwrap(), vec![1, 2, 3, 4, 5, 6]);
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["ckpt.writes"], 6);
+        assert_eq!(snap.counters["sa.trials"], 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_and_resumed_search_is_bit_identical() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(12).with_seed(3));
+        let dir_full = ckpt_tmp_dir("kill-full");
+        let dir_cut = ckpt_tmp_dir("kill-cut");
+        let full_store = chainnet_ckpt::CkptStore::open(&dir_full, "sa", SA_CKPT_SCHEMA).unwrap();
+        let mut ev_full = SimEvaluator::new(SimConfig::new(500.0, 11));
+        let full = sa
+            .optimize_checkpointed(&p, &init, &mut ev_full, 2, &full_store, 3, false)
+            .unwrap();
+
+        // A kill mid-trial-1 leaves checkpoints 1..=4 behind (three
+        // mid-trial saves at steps 3/6/9, one boundary for trial 0).
+        let cut_store = chainnet_ckpt::CkptStore::open(&dir_cut, "sa", SA_CKPT_SCHEMA).unwrap();
+        copy_ckpt_prefix(&full_store, &cut_store, 4);
+        let mut ev_cut = SimEvaluator::new(SimConfig::new(500.0, 11));
+        let resumed = sa
+            .optimize_checkpointed(&p, &init, &mut ev_cut, 2, &cut_store, 3, true)
+            .unwrap();
+
+        assert_eq!(full.evaluations, resumed.evaluations);
+        assert_eq!(strip_time(full), strip_time(resumed));
+        let _ = std::fs::remove_dir_all(&dir_full);
+        let _ = std::fs::remove_dir_all(&dir_cut);
+    }
+
+    #[test]
+    fn corrupt_latest_checkpoint_falls_back_and_still_matches() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(10).with_seed(5));
+        let dir_full = ckpt_tmp_dir("corrupt-full");
+        let dir_cut = ckpt_tmp_dir("corrupt-cut");
+        let full_store = chainnet_ckpt::CkptStore::open(&dir_full, "sa", SA_CKPT_SCHEMA).unwrap();
+        let mut ev_full = SimEvaluator::new(SimConfig::new(500.0, 13));
+        let full = sa
+            .optimize_checkpointed(&p, &init, &mut ev_full, 1, &full_store, 2, false)
+            .unwrap();
+
+        let cut_store = chainnet_ckpt::CkptStore::open(&dir_cut, "sa", SA_CKPT_SCHEMA).unwrap();
+        copy_ckpt_prefix(&full_store, &cut_store, 3);
+        // Flip one payload bit in the newest surviving checkpoint.
+        let newest = cut_store.path_of(3);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let mut ev_cut = SimEvaluator::new(SimConfig::new(500.0, 13));
+        let resumed = sa
+            .optimize_checkpointed(&p, &init, &mut ev_cut, 1, &cut_store, 2, true)
+            .unwrap();
+        // The corrupt file was quarantined and the run fell back to
+        // checkpoint 2 — still landing on the identical result.
+        assert_eq!(strip_time(full), strip_time(resumed));
+        let quarantined = dir_cut.join("sa-00000003.ckpt.corrupt");
+        assert!(quarantined.exists(), "corrupt checkpoint not quarantined");
+        let _ = std::fs::remove_dir_all(&dir_full);
+        let _ = std::fs::remove_dir_all(&dir_cut);
+    }
+
+    #[test]
+    fn resume_of_completed_search_returns_final_state() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(8).with_seed(7));
+        let dir = ckpt_tmp_dir("completed");
+        let store = chainnet_ckpt::CkptStore::open(&dir, "sa", SA_CKPT_SCHEMA).unwrap();
+        let mut ev1 = SimEvaluator::new(SimConfig::new(500.0, 17));
+        let first = sa
+            .optimize_checkpointed(&p, &init, &mut ev1, 2, &store, 4, false)
+            .unwrap();
+        // No work left: the resumed run restores the stored result
+        // without consuming a single evaluation.
+        let mut ev2 = SimEvaluator::new(SimConfig::new(500.0, 17));
+        let resumed = sa
+            .optimize_checkpointed(&p, &init, &mut ev2, 2, &store, 4, true)
+            .unwrap();
+        assert_eq!(ev2.evaluations(), 0);
+        assert_eq!(first.evaluations, resumed.evaluations);
+        assert_eq!(first.best_placement, resumed.best_placement);
+        assert_eq!(first.best_objective, resumed.best_objective);
+        assert_eq!(strip_time(first).trials, strip_time(resumed).trials);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_cadence_zero_is_a_typed_error() {
+        use crate::error::PlacementError;
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default());
+        let dir = ckpt_tmp_dir("cadence");
+        let store = chainnet_ckpt::CkptStore::open(&dir, "sa", SA_CKPT_SCHEMA).unwrap();
+        let mut ev = SimEvaluator::new(SimConfig::new(200.0, 1));
+        let err = sa
+            .optimize_checkpointed(&p, &init, &mut ev, 1, &store, 0, false)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlacementError::Checkpoint(chainnet_ckpt::CkptError::InvalidCadence)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_is_a_typed_error() {
+        use crate::error::PlacementError;
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default());
+        let dir = ckpt_tmp_dir("empty");
+        let store = chainnet_ckpt::CkptStore::open(&dir, "sa", SA_CKPT_SCHEMA).unwrap();
+        let mut ev = SimEvaluator::new(SimConfig::new(200.0, 1));
+        let err = sa
+            .optimize_checkpointed(&p, &init, &mut ev, 1, &store, 5, true)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PlacementError::Checkpoint(chainnet_ckpt::CkptError::NoCheckpoint { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_changed_config_is_a_mismatch() {
+        use crate::error::PlacementError;
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let dir = ckpt_tmp_dir("mismatch");
+        let store = chainnet_ckpt::CkptStore::open(&dir, "sa", SA_CKPT_SCHEMA).unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(6).with_seed(1));
+        let mut ev = SimEvaluator::new(SimConfig::new(200.0, 2));
+        sa.optimize_checkpointed(&p, &init, &mut ev, 1, &store, 3, false)
+            .unwrap();
+        // Same store, different seed: resuming would silently change
+        // the trajectory, so it must be refused.
+        let other =
+            SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(6).with_seed(2));
+        let mut ev2 = SimEvaluator::new(SimConfig::new(200.0, 2));
+        let err = other
+            .optimize_checkpointed(&p, &init, &mut ev2, 1, &store, 3, true)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PlacementError::Checkpoint(chainnet_ckpt::CkptError::ResumeMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

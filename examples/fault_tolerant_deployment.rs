@@ -1,6 +1,6 @@
 //! Fault-tolerant deployment demo: the resilience layer end to end.
 //!
-//! Four short acts:
+//! Five short acts:
 //!
 //! 1. simulate a deployment healthy, then under an injected device
 //!    crash-and-recover schedule, and compare the realized loss;
@@ -9,10 +9,21 @@
 //! 3. run a budget-bounded simulated-annealing search that stops at an
 //!    evaluation cap and still reports its best-so-far placement;
 //! 4. rig the GNN surrogate to emit NaN predictions and watch the
-//!    search degrade gracefully to its simulation fallback.
+//!    search degrade gracefully to its simulation fallback;
+//! 5. checkpoint a search, "crash" it (keep only the earliest
+//!    checkpoints), resume, and verify the recovered result is
+//!    bit-identical to the uninterrupted run.
 //!
 //! Run with `cargo run --release --example fault_tolerant_deployment`.
+//!
+//! With `CKPT_SMOKE_DIR=<dir>` set, the binary instead runs *only* a
+//! checkpointed search in that directory (continuing from its latest
+//! checkpoint when `CKPT_SMOKE_RESUME=1`) and prints one canonical
+//! result line. CI uses this to SIGKILL a live run after its first
+//! checkpoint lands and assert the resumed process finishes with the
+//! same result as an uninterrupted reference run.
 
+use chainnet_suite::ckpt::CkptStore;
 use chainnet_suite::core::config::ModelConfig;
 use chainnet_suite::core::data::ChainTargets;
 use chainnet_suite::core::graph::PlacementGraph;
@@ -24,7 +35,10 @@ use chainnet_suite::obs::Obs;
 use chainnet_suite::placement::evaluator::{
     loss_probability, GnnEvaluator, ResilientEvaluator, SimEvaluator,
 };
-use chainnet_suite::placement::sa::{SaConfig, SimulatedAnnealing, TerminationReason};
+use chainnet_suite::placement::problem::PlacementProblem;
+use chainnet_suite::placement::sa::{
+    SaConfig, SimulatedAnnealing, TerminationReason, SA_CKPT_SCHEMA,
+};
 use chainnet_suite::qsim::faults::FaultSchedule;
 use chainnet_suite::qsim::sim::{SimConfig, Simulator};
 use chainnet_suite::qsim::QsimError;
@@ -61,13 +75,42 @@ impl Surrogate for NanRigged {
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Build the demo's deterministic deployment problem.
+fn demo_problem() -> Result<PlacementProblem, Box<dyn std::error::Error>> {
     // A small, moderately loaded deployment problem: healthy losses stay
     // low so the injected faults are clearly visible against them.
     let mut params = ProblemParams::paper_default(6);
     params.num_chains = 4;
     params.interarrival_mean = 2.5;
-    let problem = ProblemGenerator::new(params).generate(11)?;
+    Ok(ProblemGenerator::new(params).generate(11)?)
+}
+
+/// CI smoke mode: one checkpointed search in `dir`, slow enough that the
+/// workflow can SIGKILL it after the first checkpoint file appears. The
+/// single printed line is what the reference and resumed runs compare.
+fn ckpt_smoke(dir: &std::path::Path, resume: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let problem = demo_problem()?;
+    let initial = problem.initial_placement()?;
+    let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(300).with_seed(5));
+    let store = CkptStore::open(dir, "sa", SA_CKPT_SCHEMA)?;
+    let mut ev = SimEvaluator::new(SimConfig::new(20_000.0, 7));
+    let result = sa.optimize_checkpointed(&problem, &initial, &mut ev, 2, &store, 5, resume)?;
+    println!(
+        "smoke: objective_bits={:016x} evaluations={} placement={}",
+        result.best_objective.to_bits(),
+        result.evaluations,
+        serde_json::to_string(&result.best_placement)?
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if let Ok(dir) = std::env::var("CKPT_SMOKE_DIR") {
+        let resume = std::env::var("CKPT_SMOKE_RESUME").is_ok();
+        return ckpt_smoke(std::path::Path::new(&dir), resume);
+    }
+
+    let problem = demo_problem()?;
     let initial = problem.initial_placement()?;
     let lam = problem.total_arrival_rate();
     let system = problem.bind(initial.clone())?;
@@ -152,5 +195,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  metrics: sa.fallback_evals = {}",
         obs.registry.snapshot().counters["sa.fallback_evals"]
     );
+
+    // --- Act 5: checkpointed search, crash, bit-identical resume.
+    let base = std::env::temp_dir().join(format!("chainnet_ckpt_demo_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(60).with_seed(5));
+    let full_store = CkptStore::open(base.join("full"), "sa", SA_CKPT_SCHEMA)?;
+    let mut ev = SimEvaluator::new(SimConfig::new(1_000.0, 7));
+    let full = sa.optimize_checkpointed(&problem, &initial, &mut ev, 2, &full_store, 8, false)?;
+    // Simulate a crash: only the two earliest checkpoints survive, then
+    // a fresh process resumes from what is left on disk.
+    let cut_store = CkptStore::open(base.join("cut"), "sa", SA_CKPT_SCHEMA)?;
+    let survived = full_store.list()?.into_iter().take(2).collect::<Vec<_>>();
+    for &seq in &survived {
+        std::fs::copy(full_store.path_of(seq), cut_store.path_of(seq))?;
+    }
+    let mut ev = SimEvaluator::new(SimConfig::new(1_000.0, 7));
+    let resumed = sa.optimize_checkpointed(&problem, &initial, &mut ev, 2, &cut_store, 8, true)?;
+    assert_eq!(full.best_placement, resumed.best_placement);
+    assert_eq!(
+        full.best_objective.to_bits(),
+        resumed.best_objective.to_bits()
+    );
+    assert_eq!(full.evaluations, resumed.evaluations);
+    println!("act 5: checkpointed search killed and resumed");
+    println!(
+        "  crash left {} of {} checkpoints; resume replayed to the same \
+         best placement in {} total evaluations (objective bits match)",
+        survived.len(),
+        full_store.list()?.len(),
+        resumed.evaluations
+    );
+    let _ = std::fs::remove_dir_all(&base);
     Ok(())
 }

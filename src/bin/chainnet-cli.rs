@@ -1,6 +1,7 @@
 //! The `chainnet` command-line tool: simulate, generate datasets, train,
 //! predict and optimize from JSON files. See `chainnet-cli --help`.
 
+use chainnet_suite::ckpt::CkptError;
 use chainnet_suite::cli::{parse_args, run, CliError};
 
 fn main() {
@@ -10,6 +11,16 @@ fn main() {
         Err(CliError::Usage(msg)) => {
             eprintln!("{msg}");
             std::process::exit(2);
+        }
+        Err(CliError::Ckpt(e)) => {
+            eprintln!("error: checkpoint error: {e}");
+            // `--resume` with nothing to resume from is its own exit code
+            // so scripts can distinguish "start fresh" from real failures.
+            let code = match e {
+                CkptError::NoCheckpoint { .. } => 4,
+                _ => 3,
+            };
+            std::process::exit(code);
         }
         Err(e) => {
             eprintln!("error: {e}");

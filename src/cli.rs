@@ -16,16 +16,19 @@
 use chainnet::config::{ModelConfig, TrainConfig};
 use chainnet::graph::PlacementGraph;
 use chainnet::model::{ChainNet, Surrogate};
-use chainnet::train::Trainer;
+use chainnet::train::{GuardConfig, TrainError, Trainer, TRAIN_CKPT_SCHEMA};
+use chainnet_ckpt::{CkptError, CkptStore};
 use chainnet_datagen::dataset::{
-    generate_raw_dataset_observed, to_labeled, DatasetConfig, RawSample,
+    generate_raw_dataset_observed, generate_raw_dataset_sharded_observed, to_labeled,
+    DatasetConfig, RawSample, DATAGEN_CKPT_SCHEMA,
 };
 use chainnet_datagen::error::DatagenError;
 use chainnet_datagen::typesets::NetworkParams;
 use chainnet_obs::{EventLog, Obs};
-use chainnet_placement::evaluator::{loss_probability, GnnEvaluator, SimEvaluator};
+use chainnet_placement::error::PlacementError;
+use chainnet_placement::evaluator::{loss_probability, Evaluator, GnnEvaluator, SimEvaluator};
 use chainnet_placement::problem::PlacementProblem;
-use chainnet_placement::sa::{SaConfig, SimulatedAnnealing};
+use chainnet_placement::sa::{SaConfig, SaResult, SimulatedAnnealing, SA_CKPT_SCHEMA};
 use chainnet_qsim::faults::FaultSchedule;
 use chainnet_qsim::model::SystemModel;
 use chainnet_qsim::sim::{SimConfig, Simulator};
@@ -55,6 +58,13 @@ pub enum CliError {
     Qsim(chainnet_qsim::QsimError),
     /// Dataset generation or statistics error.
     Datagen(DatagenError),
+    /// Surrogate training error.
+    Train(TrainError),
+    /// Placement search error.
+    Placement(PlacementError),
+    /// Checkpoint save/load/resume failure (distinct exit codes: 4 for
+    /// a missing checkpoint on `--resume`, 3 otherwise).
+    Ckpt(CkptError),
 }
 
 impl std::fmt::Display for CliError {
@@ -65,6 +75,9 @@ impl std::fmt::Display for CliError {
             CliError::Json(e) => write!(f, "json error: {e}"),
             CliError::Qsim(e) => write!(f, "model error: {e}"),
             CliError::Datagen(e) => write!(f, "dataset error: {e}"),
+            CliError::Train(e) => write!(f, "training error: {e}"),
+            CliError::Placement(e) => write!(f, "search error: {e}"),
+            CliError::Ckpt(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -88,7 +101,31 @@ impl From<chainnet_qsim::QsimError> for CliError {
 }
 impl From<DatagenError> for CliError {
     fn from(e: DatagenError) -> Self {
-        CliError::Datagen(e)
+        match e {
+            DatagenError::Checkpoint(c) => CliError::Ckpt(c),
+            other => CliError::Datagen(other),
+        }
+    }
+}
+impl From<TrainError> for CliError {
+    fn from(e: TrainError) -> Self {
+        match e {
+            TrainError::Checkpoint(c) => CliError::Ckpt(c),
+            other => CliError::Train(other),
+        }
+    }
+}
+impl From<PlacementError> for CliError {
+    fn from(e: PlacementError) -> Self {
+        match e {
+            PlacementError::Checkpoint(c) => CliError::Ckpt(c),
+            other => CliError::Placement(other),
+        }
+    }
+}
+impl From<CkptError> for CliError {
+    fn from(e: CkptError) -> Self {
+        CliError::Ckpt(e)
     }
 }
 
@@ -115,6 +152,9 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "seed",
             "metrics-out",
             "log-json",
+            "checkpoint-dir",
+            "checkpoint-every",
+            "resume",
         ]),
         "train" => Some(&[
             "data",
@@ -127,6 +167,9 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "seed",
             "metrics-out",
             "log-json",
+            "checkpoint-dir",
+            "checkpoint-every",
+            "resume",
         ]),
         "predict" => Some(&["model", "system"]),
         "optimize" => Some(&[
@@ -139,6 +182,9 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "out",
             "metrics-out",
             "log-json",
+            "checkpoint-dir",
+            "checkpoint-every",
+            "resume",
         ]),
         "stats" => Some(&["data"]),
         "evaluate" => Some(&["model", "data"]),
@@ -147,6 +193,9 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
         _ => None,
     }
 }
+
+/// Options that are boolean flags: present or absent, no value follows.
+const FLAG_OPTIONS: &[&str] = &["resume"];
 
 /// Parse `args` (excluding the program name) into an [`Invocation`].
 ///
@@ -180,6 +229,11 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
                         .join(", ")
                 )));
             }
+        }
+        if FLAG_OPTIONS.contains(&stripped) {
+            options.insert(stripped.to_string(), String::new());
+            i += 1;
+            continue;
         }
         let Some(value) = args.get(i + 1) else {
             return Err(CliError::Usage(format!("missing value for --{stripped}")));
@@ -221,8 +275,43 @@ OBSERVABILITY (simulate, gen-dataset, train, optimize):
                                Prometheus text format instead of JSON)
   --log-json events.jsonl      append structured JSON-lines events
 
+CHECKPOINTING (gen-dataset, train, optimize):
+  --checkpoint-dir DIR         persist crash-safe, checksummed state so a
+                               killed run can continue where it left off
+  --checkpoint-every N         checkpoint cadence: epochs for train (1),
+                               search steps for optimize (10), samples
+                               per shard for gen-dataset (64)
+  --resume                     continue from the newest verified
+                               checkpoint in --checkpoint-dir; the result
+                               is bit-identical to an uninterrupted run.
+                               Exit codes: 4 when no checkpoint exists,
+                               3 for any other checkpoint error
+
 All files are the library's serde JSON formats; see the crate docs."
         .to_string()
+}
+
+/// Resolve `--checkpoint-dir` / `--checkpoint-every` / `--resume` into
+/// an opened store, or `None` when checkpointing is off.
+fn checkpoint_options(
+    inv: &Invocation,
+    prefix: &str,
+    schema: u32,
+    default_every: usize,
+    obs: &Obs,
+) -> Result<Option<(CkptStore, usize, bool)>, CliError> {
+    let resume = inv.options.contains_key("resume");
+    let Some(dir) = inv.options.get("checkpoint-dir") else {
+        if resume || inv.options.contains_key("checkpoint-every") {
+            return Err(CliError::Usage(
+                "--checkpoint-every and --resume require --checkpoint-dir".into(),
+            ));
+        }
+        return Ok(None);
+    };
+    let every = opt_usize(inv, "checkpoint-every", default_every)?;
+    let store = CkptStore::open_observed(Path::new(dir), prefix, schema, obs)?;
+    Ok(Some((store, every, resume)))
 }
 
 /// Build the telemetry context from `--metrics-out` / `--log-json`.
@@ -242,7 +331,9 @@ fn build_obs(inv: &Invocation) -> Result<Obs, CliError> {
 }
 
 /// Write the registry snapshot to `--metrics-out` (if given): Prometheus
-/// text when the path ends in `.prom`, pretty JSON otherwise.
+/// text when the path ends in `.prom`, pretty JSON otherwise. The write
+/// is atomic (temp file + fsync + rename) so scrapers never observe a
+/// torn snapshot.
 fn write_metrics(inv: &Invocation, obs: &Obs) -> Result<(), CliError> {
     let Some(path) = inv.options.get("metrics-out") else {
         return Ok(());
@@ -253,7 +344,7 @@ fn write_metrics(inv: &Invocation, obs: &Obs) -> Result<(), CliError> {
     } else {
         snapshot.to_json_pretty()?
     };
-    std::fs::write(Path::new(path), rendered)?;
+    chainnet_ckpt::atomic_write(Path::new(path), rendered.as_bytes())?;
     obs.events.flush();
     Ok(())
 }
@@ -297,8 +388,11 @@ fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> 
     Ok(serde_json::from_str(&text)?)
 }
 
+/// Serialize `value` as pretty JSON and write it atomically, so a crash
+/// mid-write can never leave a torn artifact at `path`.
 fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
-    std::fs::write(Path::new(path), serde_json::to_string_pretty(value)?)?;
+    let json = serde_json::to_string_pretty(value)?;
+    chainnet_ckpt::atomic_write(Path::new(path), json.as_bytes())?;
     Ok(())
 }
 
@@ -308,6 +402,15 @@ fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError
 ///
 /// Any [`CliError`]; callers print it to stderr and exit non-zero.
 pub fn run(inv: &Invocation) -> Result<String, CliError> {
+    // Reject dangling checkpoint flags before any file I/O so the
+    // usage error is not masked by a missing input file.
+    if (inv.options.contains_key("resume") || inv.options.contains_key("checkpoint-every"))
+        && !inv.options.contains_key("checkpoint-dir")
+    {
+        return Err(CliError::Usage(
+            "--checkpoint-every and --resume require --checkpoint-dir".into(),
+        ));
+    }
     match inv.command.as_str() {
         "simulate" => cmd_simulate(inv),
         "gen-dataset" => cmd_gen_dataset(inv),
@@ -408,7 +511,13 @@ fn cmd_gen_dataset(inv: &Invocation) -> Result<String, CliError> {
     };
     let cfg = DatasetConfig::new(samples, seed).with_horizon(horizon);
     let obs = build_obs(inv)?;
-    let raw = generate_raw_dataset_observed(params, &cfg, &obs)?;
+    let ckpt = checkpoint_options(inv, "shard", DATAGEN_CKPT_SCHEMA, 64, &obs)?;
+    let raw = match &ckpt {
+        Some((store, every, resume)) => {
+            generate_raw_dataset_sharded_observed(params, &cfg, *every, store, *resume, &obs)?
+        }
+        None => generate_raw_dataset_observed(params, &cfg, &obs)?,
+    };
     write_json(out, &raw)?;
     write_metrics(inv, &obs)?;
     Ok(format!("wrote {} samples to {out}", raw.len()))
@@ -432,7 +541,22 @@ fn cmd_train(inv: &Invocation) -> Result<String, CliError> {
     let labeled = to_labeled(&data, model_cfg.feature_mode);
     let trainer = Trainer::new(train_cfg);
     let obs = build_obs(inv)?;
-    let report = trainer.train_observed(&mut model, &labeled, None, &obs);
+    let ckpt = checkpoint_options(inv, "train", TRAIN_CKPT_SCHEMA, 1, &obs)?;
+    let report = match &ckpt {
+        Some((store, every, resume)) => {
+            // No gradient clipping (max_grad_norm = 0), so a healthy
+            // checkpointed run stays bit-identical to the plain path; the
+            // guard still rolls back on non-finite loss/grads/params.
+            let guard = GuardConfig {
+                max_grad_norm: 0.0,
+                max_trips: 3,
+            };
+            trainer.train_checkpointed_observed(
+                &mut model, &labeled, None, &guard, store, *every, *resume, &obs,
+            )?
+        }
+        None => trainer.train_observed(&mut model, &labeled, None, &obs),
+    };
     write_json(out, &model)?;
     write_metrics(inv, &obs)?;
     let mut msg = String::new();
@@ -499,6 +623,25 @@ fn cmd_stats(inv: &Invocation) -> Result<String, CliError> {
     Ok(chainnet_datagen::stats::render_stats(&stats))
 }
 
+/// Run the SA search with or without checkpointing, depending on
+/// whether `--checkpoint-dir` was given.
+fn run_sa(
+    sa: &SimulatedAnnealing,
+    problem: &PlacementProblem,
+    initial: &chainnet_qsim::model::Placement,
+    ev: &mut dyn Evaluator,
+    trials: usize,
+    ckpt: &Option<(CkptStore, usize, bool)>,
+    obs: &Obs,
+) -> Result<SaResult, CliError> {
+    match ckpt {
+        Some((store, every, resume)) => Ok(sa.optimize_checkpointed_observed(
+            problem, initial, ev, trials, store, *every, *resume, obs,
+        )?),
+        None => Ok(sa.optimize_observed(problem, initial, ev, trials, obs)),
+    }
+}
+
 fn cmd_optimize(inv: &Invocation) -> Result<String, CliError> {
     let problem: PlacementProblem = read_json(required(inv, "problem")?)?;
     let steps = opt_usize(inv, "steps", 100)?;
@@ -512,15 +655,16 @@ fn cmd_optimize(inv: &Invocation) -> Result<String, CliError> {
             .with_seed(seed),
     );
     let obs = build_obs(inv)?;
+    let ckpt = checkpoint_options(inv, "sa", SA_CKPT_SCHEMA, 10, &obs)?;
     let result = match inv.options.get("model") {
         Some(path) => {
             let model: ChainNet = read_json(path)?;
             let mut ev = GnnEvaluator::new(model);
-            sa.optimize_observed(&problem, &initial, &mut ev, trials, &obs)
+            run_sa(&sa, &problem, &initial, &mut ev, trials, &ckpt, &obs)?
         }
         None => {
             let mut ev = SimEvaluator::new(SimConfig::new(horizon, seed));
-            sa.optimize_observed(&problem, &initial, &mut ev, trials, &obs)
+            run_sa(&sa, &problem, &initial, &mut ev, trials, &ckpt, &obs)?
         }
     };
     // Post-process with the simulator as the paper does.
@@ -966,5 +1110,266 @@ mod tests {
         let out = run(&inv).unwrap();
         assert!(out.contains("optimized loss probability"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Fresh, empty directory for checkpoint tests (removed by callers).
+    fn temp_dir(name: &str) -> String {
+        let dir = temp(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parse_resume_is_a_boolean_flag() {
+        // `--resume` consumes no value: `--epochs` after it must still
+        // bind to `2`.
+        let inv = parse_args(&args(&[
+            "train", "--data", "d.json", "--out", "m.json", "--resume", "--epochs", "2",
+        ]))
+        .unwrap();
+        assert!(inv.options.contains_key("resume"));
+        assert_eq!(inv.options["epochs"], "2");
+    }
+
+    #[test]
+    fn checkpoint_flags_require_checkpoint_dir() {
+        for argv in [
+            vec!["train", "--data", "d.json", "--out", "m.json", "--resume"],
+            vec!["gen-dataset", "--out", "d.json", "--checkpoint-every", "4"],
+            vec!["optimize", "--problem", "p.json", "--resume"],
+        ] {
+            let err = run(&parse_args(&args(&argv)).unwrap()).unwrap_err();
+            let CliError::Usage(text) = err else {
+                panic!("expected usage error for {argv:?}")
+            };
+            assert!(text.contains("--checkpoint-dir"));
+        }
+    }
+
+    #[test]
+    fn checkpoint_flag_errors_are_typed() {
+        // Cadence of zero.
+        let dir = temp_dir("cli_ckpt_zero");
+        let out = temp("cli_ckpt_zero_out.json");
+        let err = run(&parse_args(&args(&[
+            "gen-dataset",
+            "--out",
+            &out,
+            "--samples",
+            "2",
+            "--horizon",
+            "100",
+            "--checkpoint-dir",
+            &dir,
+            "--checkpoint-every",
+            "0",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(err, CliError::Ckpt(CkptError::InvalidCadence)));
+        // `--checkpoint-dir` pointing at a regular file.
+        let file = temp("cli_ckpt_not_a_dir");
+        std::fs::write(&file, b"x").unwrap();
+        let err = run(&parse_args(&args(&[
+            "gen-dataset",
+            "--out",
+            &out,
+            "--samples",
+            "2",
+            "--horizon",
+            "100",
+            "--checkpoint-dir",
+            &file,
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Ckpt(CkptError::NotADirectory { .. })
+        ));
+        // `--resume` over an empty directory.
+        let err = run(&parse_args(&args(&[
+            "gen-dataset",
+            "--out",
+            &out,
+            "--samples",
+            "2",
+            "--horizon",
+            "100",
+            "--checkpoint-dir",
+            &dir,
+            "--resume",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Ckpt(CkptError::NoCheckpoint { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&file);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn gen_dataset_checkpointed_resume_reuses_shards() {
+        let dir = temp_dir("cli_gen_resume");
+        let out1 = temp("cli_gen_resume_1.json");
+        let out2 = temp("cli_gen_resume_2.json");
+        let metrics = temp("cli_gen_resume_metrics.json");
+        let base = |out: &str| {
+            args(&[
+                "gen-dataset",
+                "--out",
+                out,
+                "--samples",
+                "6",
+                "--horizon",
+                "120",
+                "--seed",
+                "9",
+                "--checkpoint-dir",
+                &dir,
+                "--checkpoint-every",
+                "4",
+            ])
+        };
+        run(&parse_args(&base(&out1)).unwrap()).unwrap();
+        let mut argv = base(&out2);
+        argv.push("--resume".into());
+        argv.extend(["--metrics-out".into(), metrics.clone()]);
+        run(&parse_args(&argv).unwrap()).unwrap();
+        // The resumed run reuses every completed shard: identical output,
+        // no new checkpoint writes, one resume recorded.
+        assert_eq!(
+            std::fs::read_to_string(&out1).unwrap(),
+            std::fs::read_to_string(&out2).unwrap()
+        );
+        let snap =
+            chainnet_obs::Snapshot::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert_eq!(snap.counters["ckpt.resumes"], 1);
+        assert_eq!(snap.counters.get("ckpt.writes").copied().unwrap_or(0), 0);
+        for p in [&out1, &out2, &metrics] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_checkpointed_matches_plain_run() {
+        let data = temp("cli_train_ckpt_data.json");
+        let plain = temp("cli_train_plain_model.json");
+        let ckpt = temp("cli_train_ckpt_model.json");
+        let dir = temp_dir("cli_train_ckpt");
+        run(&parse_args(&args(&[
+            "gen-dataset",
+            "--out",
+            &data,
+            "--samples",
+            "4",
+            "--horizon",
+            "120",
+        ]))
+        .unwrap())
+        .unwrap();
+        let train = |out: &str, extra: &[&str]| {
+            let mut argv = vec![
+                "train",
+                "--data",
+                &data,
+                "--out",
+                out,
+                "--epochs",
+                "2",
+                "--hidden",
+                "8",
+                "--iterations",
+                "2",
+                "--batch",
+                "4",
+            ];
+            argv.extend_from_slice(extra);
+            run(&parse_args(&args(&argv)).unwrap()).unwrap()
+        };
+        train(&plain, &[]);
+        train(&ckpt, &["--checkpoint-dir", &dir]);
+        // The unclipped guard makes the checkpointed path bit-identical
+        // to the plain trainer on a healthy run.
+        assert_eq!(
+            std::fs::read_to_string(&plain).unwrap(),
+            std::fs::read_to_string(&ckpt).unwrap()
+        );
+        assert!(std::path::Path::new(&dir)
+            .join("train-00000002.ckpt")
+            .exists());
+        for p in [&data, &plain, &ckpt] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn optimize_checkpointed_resume_round_trip() {
+        let devices = vec![
+            Device::new(5.0, 0.3).unwrap(),
+            Device::new(30.0, 2.0).unwrap(),
+            Device::new(30.0, 2.0).unwrap(),
+        ];
+        let chains = vec![ServiceChain::new(
+            1.0,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()];
+        let problem = PlacementProblem::new(devices, chains).unwrap();
+        let path = temp("cli_opt_ckpt_problem.json");
+        let dir = temp_dir("cli_opt_ckpt");
+        std::fs::write(&path, serde_json::to_string(&problem).unwrap()).unwrap();
+        let argv = |extra: &[&str]| {
+            let mut v = vec![
+                "optimize",
+                "--problem",
+                &path,
+                "--steps",
+                "10",
+                "--trials",
+                "1",
+                "--horizon",
+                "300",
+                "--checkpoint-dir",
+                &dir,
+                "--checkpoint-every",
+                "4",
+            ];
+            v.extend_from_slice(extra);
+            args(&v)
+        };
+        let full = run(&parse_args(&argv(&[])).unwrap()).unwrap();
+        // Resuming a finished search replays the stored result: same best
+        // placement, same cumulative evaluation count (nothing re-run).
+        let resumed = run(&parse_args(&argv(&["--resume"])).unwrap()).unwrap();
+        let line = |msg: &str, prefix: &str| {
+            msg.lines()
+                .find(|l| l.starts_with(prefix))
+                .map(str::to_owned)
+                .unwrap()
+        };
+        assert_eq!(
+            line(&full, "best placement:"),
+            line(&resumed, "best placement:")
+        );
+        let evals = |msg: &str| {
+            line(msg, "search:")
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(evals(&full), evals(&resumed));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

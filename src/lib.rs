@@ -14,6 +14,7 @@
 pub mod cli;
 
 pub use chainnet as core;
+pub use chainnet_ckpt as ckpt;
 pub use chainnet_datagen as datagen;
 pub use chainnet_neural as neural;
 pub use chainnet_obs as obs;

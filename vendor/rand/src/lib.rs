@@ -176,6 +176,31 @@ pub mod rngs {
     }
 
     impl SmallRng {
+        /// Snapshot the internal xoshiro256++ state (for checkpointing).
+        ///
+        /// Restoring this state with [`SmallRng::from_state`] continues
+        /// the stream exactly where the snapshot was taken, which is
+        /// what makes killed-and-resumed runs bit-identical.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`SmallRng::state`] snapshot.
+        ///
+        /// The all-zero state is the one invalid xoshiro state (the
+        /// stream would be constant zero); it is mapped to the same
+        /// fallback state `seed_from_u64` uses, so a corrupted snapshot
+        /// can never wedge the generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                SmallRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                }
+            } else {
+                SmallRng { s }
+            }
+        }
+
         fn splitmix64(state: &mut u64) -> u64 {
             *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = *state;
