@@ -1,0 +1,129 @@
+//! Criterion benches for the three PR-5 hot paths: the zero-alloc qsim
+//! event loop, the blocked matmul kernel (against the retained naive
+//! reference), and SA candidate evaluation (sequential vs the batched
+//! neighborhood driver). `CRITERION_QUICK=1` shortens every run for CI
+//! smoke mode; the machine-readable numbers live in `BENCH_PR5.json`
+//! (see `hotpath_report`).
+
+use chainnet::config::ModelConfig;
+use chainnet::model::ChainNet;
+use chainnet_neural::tensor::Tensor;
+use chainnet_obs::Obs;
+use chainnet_placement::evaluator::GnnEvaluator;
+use chainnet_placement::problem::PlacementProblem;
+use chainnet_placement::sa::{SaConfig, SimulatedAnnealing};
+use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+use chainnet_qsim::sim::{SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The shared-device multi-chain scenario from `hotpath_report`.
+fn scenario() -> SystemModel {
+    let devices = vec![
+        Device::new(6.0, 1.0).unwrap(),
+        Device::new(4.0, 2.0).unwrap(),
+        Device::new(5.0, 1.5).unwrap(),
+    ];
+    let chains = vec![
+        ServiceChain::new(
+            0.6,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(2.0, 2.0).unwrap(),
+            ],
+        )
+        .unwrap(),
+        ServiceChain::new(
+            0.4,
+            vec![
+                Fragment::new(1.0, 1.5).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(2.0, 0.5).unwrap(),
+            ],
+        )
+        .unwrap(),
+    ];
+    SystemModel::new(
+        devices,
+        chains,
+        Placement::new(vec![vec![0, 1], vec![1, 2, 0]]),
+    )
+    .unwrap()
+}
+
+fn bench_sim_step_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_sim_events");
+    group.sample_size(10);
+    let model = scenario();
+    let horizon = 10_000.0;
+    let cfg = SimConfig::new(horizon, 42);
+    let events = Simulator::new().run(&model, &cfg).expect("sim").events;
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("multi_chain_10k_units", |b| {
+        b.iter(|| Simulator::new().run(&model, &cfg).expect("sim"))
+    });
+    group.finish();
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut SmallRng) -> Tensor {
+    Tensor::matrix(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_matmul");
+    group.sample_size(10);
+    let n = 256;
+    let mut rng = SmallRng::seed_from_u64(1);
+    let a = random_matrix(n, n, &mut rng);
+    let b = random_matrix(n, n, &mut rng);
+    // Elements = FLOPs so criterion's element rate reads as FLOP/s.
+    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    group.bench_function("naive_256", |bch| bch.iter(|| a.matmul_naive(&b)));
+    group.bench_function("blocked_256", |bch| bch.iter(|| a.matmul(&b)));
+    group.finish();
+}
+
+fn bench_sa_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_sa_evals");
+    group.sample_size(10);
+    let model = scenario();
+    let problem = PlacementProblem::new(model.devices().to_vec(), model.chains().to_vec()).unwrap();
+    let initial = problem.initial_placement().expect("feasible");
+    let net = ChainNet::new(ModelConfig::small(), 3);
+    let steps = 20;
+    let cfg = SaConfig::paper_default().with_max_steps(steps).with_seed(9);
+    group.throughput(Throughput::Elements(steps as u64));
+    group.bench_function("surrogate_sequential", |b| {
+        b.iter(|| {
+            let mut evaluator = GnnEvaluator::new(net.clone());
+            SimulatedAnnealing::new(cfg).optimize(&problem, &initial, &mut evaluator, 1)
+        })
+    });
+    group.bench_function("surrogate_batched_k8", |b| {
+        b.iter(|| {
+            let mut evaluator = GnnEvaluator::new(net.clone());
+            SimulatedAnnealing::new(cfg).optimize_neighborhood_observed(
+                &problem,
+                &initial,
+                &mut evaluator,
+                1,
+                8,
+                &Obs::disabled(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_step_throughput,
+    bench_matmul,
+    bench_sa_evaluation
+);
+criterion_main!(benches);

@@ -66,6 +66,19 @@ fn main() {
             t0.elapsed().as_secs_f64(),
         );
 
+        // Batched neighborhood driver: same surrogate, but each step
+        // scores a whole candidate set in one batched forward.
+        let t0 = std::time::Instant::now();
+        let mut ev = GnnEvaluator::new(chainnet.model.clone());
+        let res = sa.optimize_neighborhood(&problem, &initial, &mut ev, 1, 8);
+        let x = ground_truth_throughput(&problem, &res.best_placement, eval_h, 777);
+        record(
+            &mut acc,
+            "SA(nbhd k=8) + ChainNet",
+            loss_probability(lam, x),
+            t0.elapsed().as_secs_f64(),
+        );
+
         let t0 = std::time::Instant::now();
         let mut ev = GnnEvaluator::new(chainnet.model.clone());
         let hc = HillClimb::new(sa_cfg.with_seed(s as u64));

@@ -1,0 +1,304 @@
+//! Batched, tape-free ChainNet inference.
+//!
+//! [`predict_batch_chainnet`] evaluates a whole batch of placement graphs
+//! in one vectorized forward pass: every algorithm slot (per-chain service
+//! state, per-step fragment state, per-device state) becomes a `(B, h)`
+//! matrix with one row per graph, and each GRU/linear application turns
+//! into a single cache-blocked [`Tensor::matmul_bt`] over all rows instead
+//! of `B` separate matvecs. This is the hot path behind
+//! [`Surrogate::predict_batch`](crate::model::Surrogate::predict_batch) and
+//! the SA neighborhood search.
+//!
+//! # Bit-identity contract
+//!
+//! Every arithmetic expression below replicates the corresponding tape op
+//! *exactly* (same summation order, same literal expressions such as
+//! `alpha * x + beta` and `if x > 0.0 { x } else { slope * x }`), so each
+//! output row is bit-identical to a sequential
+//! [`Surrogate::predict`](crate::model::Surrogate::predict) call on that
+//! graph. `tests/batched_inference.rs` enforces this with exact equality.
+//!
+//! # Structural uniformity
+//!
+//! Rows can only be stacked when the graphs share a skeleton: the same
+//! feature mode, chain count, per-chain step counts, and (local) device
+//! count. The per-step *device wiring* may differ per graph — messages
+//! gather the right `h_dev` row per graph — which is exactly the shape of
+//! an SA neighborhood where moves reassign fragments among an unchanged
+//! device set. Mixed-structure batches fall back to the sequential loop.
+
+use crate::data::outputs_to_natural_units;
+use crate::graph::PlacementGraph;
+use crate::model::{ChainNet, PerfPrediction, Surrogate};
+use chainnet_neural::tensor::Tensor;
+
+/// Evaluate `graphs` with stacked matrix kernels when their structure
+/// allows it, falling back to per-graph [`Surrogate::predict`] otherwise.
+/// Returns one prediction vector per graph, in input order.
+pub(crate) fn predict_batch_chainnet(
+    net: &ChainNet,
+    graphs: &[PlacementGraph],
+) -> Vec<Vec<PerfPrediction>> {
+    if graphs.len() <= 1 || !uniform_structure(graphs) {
+        return graphs.iter().map(|g| net.predict(g)).collect();
+    }
+
+    let store = &net.store;
+    let bsz = graphs.len();
+    let h = net.config.hidden;
+    let num_chains = graphs[0].chains.len();
+    let num_devices = graphs[0].devices.len();
+    let steps_len: Vec<usize> = graphs[0].chains.iter().map(|c| c.steps.len()).collect();
+
+    // Algorithm 2, line 1: encode input features, one (B, h) matrix per
+    // slot. Each encoder runs one blocked matmul over all graphs.
+    let mut h_service: Vec<Tensor> = (0..num_chains)
+        .map(|i| {
+            let feats = stack_rows(graphs, |g| &g.chains[i].service_feat);
+            net.enc_service.forward_batched(store, &feats)
+        })
+        .collect();
+    let mut h_frag: Vec<Vec<Tensor>> = (0..num_chains)
+        .map(|i| {
+            (0..steps_len[i])
+                .map(|j| {
+                    let feats = stack_rows(graphs, |g| &g.chains[i].steps[j].frag_feat);
+                    net.enc_frag.forward_batched(store, &feats)
+                })
+                .collect()
+        })
+        .collect();
+    let mut h_dev: Vec<Tensor> = (0..num_devices)
+        .map(|k| {
+            let feats = stack_rows(graphs, |g| &g.devices[k].feat);
+            net.enc_dev.forward_batched(store, &feats)
+        })
+        .collect();
+
+    // Lines 2-16: N message-passing iterations.
+    for _n in 0..net.config.iterations {
+        // Snapshot h_j^{(n-1)} (Eqs. 6 and 10).
+        let frag_prev = h_frag.clone();
+        let mut step_service: Vec<Vec<Tensor>> = steps_len
+            .iter()
+            .map(|&len| Vec::with_capacity(len))
+            .collect();
+
+        // Lines 3-11: traverse each execution sequence.
+        for i in 0..num_chains {
+            let mut h_i = h_service[i].clone();
+            for j in 0..steps_len[i] {
+                // Eq. 6: m_C = [h_j^(n-1) || h_k^(n-1)], gathering each
+                // graph's own device row.
+                let m_c = gather_message(&frag_prev[i][j], &h_dev, graphs, i, j, h);
+                // Eq. 4.
+                h_i = net.phi_c.forward_batched(store, &m_c, &h_i);
+                // Eq. 8: m_F = [h_i^(n),j || h_k^(n-1)].
+                let m_f = gather_message(&h_i, &h_dev, graphs, i, j, h);
+                // Eq. 7.
+                h_frag[i][j] = net.phi_f.forward_batched(store, &m_f, &frag_prev[i][j]);
+                step_service[i].push(h_i.clone());
+            }
+            // Eq. 5.
+            h_service[i] = h_i;
+        }
+
+        // Lines 12-15: device updates, after all chains. The step list
+        // of device k differs per graph, so m_D rows are assembled per
+        // (graph, device) pair; the GRU update itself is batched.
+        for (k, h_dev_k) in h_dev.iter_mut().enumerate() {
+            let mut md_data = Vec::with_capacity(bsz * 2 * h);
+            for (b, graph) in graphs.iter().enumerate() {
+                let steps = &graph.devices[k].steps;
+                if steps.len() == 1 {
+                    // Eq. 10 verbatim: the lone message needs no attention.
+                    let (i, j) = steps[0];
+                    md_data.extend_from_slice(row(&step_service[i][j], b, h));
+                    md_data.extend_from_slice(row(&frag_prev[i][j], b, h));
+                } else {
+                    // Eqs. 14-16: attention over the shared steps.
+                    let msgs: Vec<Vec<f64>> = steps
+                        .iter()
+                        .map(|&(i, j)| {
+                            let mut m = Vec::with_capacity(2 * h);
+                            m.extend_from_slice(row(&step_service[i][j], b, h));
+                            m.extend_from_slice(row(&frag_prev[i][j], b, h));
+                            m
+                        })
+                        .collect();
+                    md_data.extend_from_slice(&aggregate_row(net, row(h_dev_k, b, h), &msgs));
+                }
+            }
+            let m_d = Tensor::matrix(bsz, 2 * h, md_data);
+            // Eq. 9.
+            *h_dev_k = net.phi_d.forward_batched(store, &m_d, h_dev_k);
+        }
+    }
+
+    // Line 17 / Eq. 12: prediction heads, one batched MLP per chain.
+    let mut tput_cols: Vec<Tensor> = Vec::with_capacity(num_chains);
+    let mut lat_cols: Vec<Tensor> = Vec::with_capacity(num_chains);
+    for i in 0..num_chains {
+        let lat_latent = latency_latent(net, &h_frag[i], bsz, h);
+        let mut t_raw = net.mlp_tput.forward_batched(store, &h_service[i]);
+        let mut l_raw = net.mlp_latency.forward_batched(store, &lat_latent);
+        if matches!(net.config.target_mode, crate::config::TargetMode::Ratio) {
+            for v in t_raw.data_mut() {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+            for v in l_raw.data_mut() {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+        }
+        tput_cols.push(t_raw);
+        lat_cols.push(l_raw);
+    }
+
+    graphs
+        .iter()
+        .enumerate()
+        .map(|(b, graph)| {
+            (0..num_chains)
+                .map(|i| {
+                    let t_val = tput_cols[i].data()[b];
+                    let l_val = lat_cols[i].data()[b];
+                    let (throughput, latency) =
+                        outputs_to_natural_units(net.config.target_mode, graph, i, t_val, l_val);
+                    PerfPrediction {
+                        throughput,
+                        latency,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Whether all graphs share the skeleton the stacked representation needs.
+fn uniform_structure(graphs: &[PlacementGraph]) -> bool {
+    let g0 = &graphs[0];
+    graphs[1..].iter().all(|g| {
+        g.feature_mode == g0.feature_mode
+            && g.devices.len() == g0.devices.len()
+            && g.chains.len() == g0.chains.len()
+            && g.chains
+                .iter()
+                .zip(&g0.chains)
+                .all(|(a, b)| a.steps.len() == b.steps.len())
+    })
+}
+
+/// Row `b` of a `(B, w)` matrix.
+#[inline]
+fn row(t: &Tensor, b: usize, w: usize) -> &[f64] {
+    &t.data()[b * w..(b + 1) * w]
+}
+
+/// Stack one feature vector per graph into a `(B, dim)` matrix.
+fn stack_rows<'g>(
+    graphs: &'g [PlacementGraph],
+    f: impl Fn(&'g PlacementGraph) -> &'g [f64],
+) -> Tensor {
+    let dim = f(&graphs[0]).len();
+    let mut data = Vec::with_capacity(graphs.len() * dim);
+    for g in graphs {
+        data.extend_from_slice(f(g));
+    }
+    Tensor::matrix(graphs.len(), dim, data)
+}
+
+/// Build the `(B, 2h)` message `[left_b || h_dev[device_b(i, j)]_b]` where
+/// each graph contributes its own placement's device row (Eqs. 6 and 8).
+fn gather_message(
+    left: &Tensor,
+    h_dev: &[Tensor],
+    graphs: &[PlacementGraph],
+    i: usize,
+    j: usize,
+    h: usize,
+) -> Tensor {
+    let bsz = graphs.len();
+    let mut data = Vec::with_capacity(bsz * 2 * h);
+    for (b, graph) in graphs.iter().enumerate() {
+        data.extend_from_slice(row(left, b, h));
+        data.extend_from_slice(row(&h_dev[graph.chains[i].steps[j].device], b, h));
+    }
+    Tensor::matrix(bsz, 2 * h, data)
+}
+
+/// Attention aggregation `f_multi` (Eqs. 14-16) for one (graph, device)
+/// pair, with the per-message matvecs of every head batched into `(T, ·)`
+/// matmuls. Mirrors `ChainNet::aggregate_device_messages` expression for
+/// expression.
+fn aggregate_row(net: &ChainNet, h_dev_row: &[f64], msgs: &[Vec<f64>]) -> Vec<f64> {
+    let store = &net.store;
+    let t_cnt = msgs.len();
+    let msg_w = 2 * h_dev_row.len();
+    let mut m_data = Vec::with_capacity(t_cnt * msg_w);
+    let mut c_data = Vec::with_capacity(t_cnt * (h_dev_row.len() + msg_w));
+    for m in msgs {
+        m_data.extend_from_slice(m);
+        c_data.extend_from_slice(h_dev_row);
+        c_data.extend_from_slice(m);
+    }
+    let m_mat = Tensor::matrix(t_cnt, msg_w, m_data);
+    let c_mat = Tensor::matrix(t_cnt, h_dev_row.len() + msg_w, c_data);
+
+    let mut out = Vec::with_capacity(msg_w);
+    for head in &net.attention {
+        // e_t = a^T LeakyReLU(W [h_k || m_t]), all T score rows at once.
+        let mut act = c_mat.matmul_bt(store.value(head.w_score));
+        let slope = net.config.leaky_slope;
+        for v in act.data_mut() {
+            *v = if *v > 0.0 { *v } else { slope * *v };
+        }
+        let scores = act.matmul_bt(store.value(head.a));
+        // Softmax in the tape's exact evaluation order: max-subtract,
+        // exp in index order, sum, divide.
+        let max = scores
+            .data()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut weights: Vec<f64> = scores.data().iter().map(|&v| (v - max).exp()).collect();
+        let z: f64 = weights.iter().sum();
+        for e in &mut weights {
+            *e /= z;
+        }
+        // Σ_t α_t (W_msg m_t), accumulated in ascending t like the tape's
+        // weighted_sum.
+        let transformed = m_mat.matmul_bt(store.value(head.w_msg));
+        let head_w = transformed.cols();
+        let base = out.len();
+        out.resize(base + head_w, 0.0);
+        for (tr, &alpha) in transformed.data().chunks_exact(head_w).zip(&weights) {
+            for (o, &v) in out[base..].iter_mut().zip(tr) {
+                *o += alpha * v;
+            }
+        }
+    }
+    out
+}
+
+/// The latency head input (Eq. 12): elementwise mean of the chain's
+/// fragment states, scaled by the step count in `Absolute` mode — each
+/// expression matching the tape's `mean_vecs` / `affine` ops exactly.
+fn latency_latent(net: &ChainNet, frags: &[Tensor], bsz: usize, h: usize) -> Tensor {
+    let mut buf = vec![0.0; bsz * h];
+    for f in frags {
+        for (a, b) in buf.iter_mut().zip(f.data()) {
+            *a += b;
+        }
+    }
+    let n = frags.len() as f64;
+    for x in &mut buf {
+        *x /= n;
+    }
+    if matches!(net.config.target_mode, crate::config::TargetMode::Absolute) {
+        let alpha = frags.len() as f64;
+        for x in &mut buf {
+            *x = alpha * *x + 0.0;
+        }
+    }
+    Tensor::matrix(bsz, h, buf)
+}

@@ -43,6 +43,7 @@
 
 pub mod ablation;
 pub mod baselines;
+mod batch_infer;
 pub mod calibrate;
 pub mod config;
 pub mod data;

@@ -53,6 +53,19 @@ pub trait Surrogate {
 
     /// Predict per-chain performance in natural units.
     fn predict(&self, graph: &PlacementGraph) -> Vec<PerfPrediction>;
+
+    /// Predict a whole batch of graphs at once, returning one prediction
+    /// vector per graph, in input order.
+    ///
+    /// The default implementation simply loops over [`Surrogate::predict`];
+    /// models with a vectorized forward pass (ChainNet) override it to
+    /// evaluate all graphs in stacked matrix operations. Implementations
+    /// must return results **bit-identical** to the sequential loop — the
+    /// SA neighborhood search depends on batched and sequential scoring
+    /// being interchangeable.
+    fn predict_batch(&self, graphs: &[PlacementGraph]) -> Vec<Vec<PerfPrediction>> {
+        graphs.iter().map(|g| self.predict(g)).collect()
+    }
 }
 
 /// Attention weights recorded for one shared device at one iteration.
@@ -76,13 +89,13 @@ pub struct ForwardTrace {
 
 /// One attention head for shared-device message aggregation (Eqs. 14–16).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-struct AttentionHead {
+pub(crate) struct AttentionHead {
     /// Scoring matrix `W` applied to `[h_k || m_t]` (hidden × 3·hidden).
-    w_score: ParamId,
+    pub(crate) w_score: ParamId,
     /// Scoring vector `a` (hidden).
-    a: ParamId,
+    pub(crate) a: ParamId,
     /// Value transform applied to each message (2·hidden/heads × 2·hidden).
-    w_msg: ParamId,
+    pub(crate) w_msg: ParamId,
 }
 
 /// The ChainNet surrogate model.
@@ -114,17 +127,17 @@ struct AttentionHead {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChainNet {
     name: String,
-    config: ModelConfig,
-    store: ParamStore,
-    enc_service: Linear,
-    enc_frag: Linear,
-    enc_dev: Linear,
-    phi_c: GruCell,
-    phi_f: GruCell,
-    phi_d: GruCell,
-    attention: Vec<AttentionHead>,
-    mlp_tput: Mlp,
-    mlp_latency: Mlp,
+    pub(crate) config: ModelConfig,
+    pub(crate) store: ParamStore,
+    pub(crate) enc_service: Linear,
+    pub(crate) enc_frag: Linear,
+    pub(crate) enc_dev: Linear,
+    pub(crate) phi_c: GruCell,
+    pub(crate) phi_f: GruCell,
+    pub(crate) phi_d: GruCell,
+    pub(crate) attention: Vec<AttentionHead>,
+    pub(crate) mlp_tput: Mlp,
+    pub(crate) mlp_latency: Mlp,
 }
 
 impl ChainNet {
@@ -456,6 +469,17 @@ impl Surrogate for ChainNet {
                 }
             })
             .collect()
+    }
+
+    /// Vectorized batch inference: structurally uniform graphs (equal
+    /// chain/step/device counts and feature mode — e.g. an SA
+    /// neighborhood of one problem) are evaluated with one stacked
+    /// matrix multiplication per weight per algorithm step instead of B
+    /// separate matvecs. Mixed-structure batches fall back to the
+    /// sequential loop. Outputs are bit-identical either way (see
+    /// `tests/batched_inference.rs`).
+    fn predict_batch(&self, graphs: &[PlacementGraph]) -> Vec<Vec<PerfPrediction>> {
+        crate::batch_infer::predict_batch_chainnet(self, graphs)
     }
 }
 

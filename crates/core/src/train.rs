@@ -187,8 +187,10 @@ impl Trainer {
     pub fn evaluate_loss<S: Surrogate + ?Sized>(&self, model: &S, data: &[LabeledGraph]) -> f64 {
         let mut total = 0.0;
         let mut chains = 0usize;
+        // One pooled tape for the whole pass; reset recycles buffers.
+        let mut tape = Tape::new();
         for sample in data {
-            let mut tape = Tape::new();
+            tape.reset();
             let loss = model.loss_on_graph(&mut tape, &sample.graph, &sample.targets);
             total += tape.value(loss).item();
             chains += sample.graph.num_chains();
@@ -259,6 +261,10 @@ impl Trainer {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut order: Vec<usize> = (0..train.len()).collect();
         let mut report = TrainReport::default();
+        // One pooled tape reused across every sample of every epoch:
+        // Tape::reset recycles forward/gradient buffers, so steady-state
+        // training steps perform no tape allocations.
+        let mut tape = Tape::new();
 
         for epoch in 0..cfg.epochs {
             let epoch_timer = obs.is_enabled().then(|| {
@@ -279,7 +285,7 @@ impl Trainer {
                 let scale = 1.0 / (2.0 * q.max(1) as f64);
                 for &i in batch {
                     let sample = &train[i];
-                    let mut tape = Tape::new();
+                    tape.reset();
                     let raw = model.loss_on_graph(&mut tape, &sample.graph, &sample.targets);
                     let scaled = tape.affine(raw, scale, 0.0);
                     tape.backward(scaled);
@@ -507,6 +513,10 @@ impl Trainer {
             }
         }
 
+        // One pooled tape reused across every sample of every epoch (see
+        // train_observed).
+        let mut tape = Tape::new();
+
         for epoch in start_epoch..cfg.epochs {
             let epoch_timer = obs.is_enabled().then(|| {
                 obs.registry
@@ -526,7 +536,7 @@ impl Trainer {
                 let scale = 1.0 / (2.0 * q.max(1) as f64);
                 for &i in batch {
                     let sample = &train[i];
-                    let mut tape = Tape::new();
+                    tape.reset();
                     let raw = model.loss_on_graph(&mut tape, &sample.graph, &sample.targets);
                     let raw_value = tape.value(raw).item();
                     if !raw_value.is_finite() {

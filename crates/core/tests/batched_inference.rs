@@ -1,0 +1,137 @@
+//! Batched inference must be **bit-identical** to the sequential
+//! `predict` loop: the SA neighborhood search treats the two paths as
+//! interchangeable, so any drift — even one ULP — would silently change
+//! search trajectories.
+
+use chainnet::config::{FeatureMode, ModelConfig, TargetMode};
+use chainnet::graph::PlacementGraph;
+use chainnet::model::{ChainNet, Surrogate};
+use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+
+fn devices() -> Vec<Device> {
+    vec![
+        Device::new(20.0, 1.0).unwrap(),
+        Device::new(18.0, 2.0).unwrap(),
+        Device::new(22.0, 1.5).unwrap(),
+    ]
+}
+
+fn chains() -> Vec<ServiceChain> {
+    vec![
+        ServiceChain::new(
+            0.5,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 2.0).unwrap(),
+            ],
+        )
+        .unwrap(),
+        ServiceChain::new(
+            0.3,
+            vec![
+                Fragment::new(1.0, 0.5).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.5).unwrap(),
+            ],
+        )
+        .unwrap(),
+    ]
+}
+
+fn graph_for(placement: Vec<Vec<usize>>, mode: FeatureMode) -> PlacementGraph {
+    let model = SystemModel::new(devices(), chains(), Placement::new(placement)).unwrap();
+    PlacementGraph::from_model(&model, mode)
+}
+
+/// An SA-neighborhood-shaped batch: same problem, different placements,
+/// all touching the full device set (uniform structure, varied wiring,
+/// shared devices exercising the attention path).
+fn neighborhood(mode: FeatureMode) -> Vec<PlacementGraph> {
+    [
+        vec![vec![0, 1], vec![1, 2, 0]],
+        vec![vec![1, 0], vec![2, 1, 0]],
+        vec![vec![2, 1], vec![0, 1, 2]],
+        vec![vec![0, 2], vec![1, 0, 2]],
+        vec![vec![1, 2], vec![0, 2, 1]],
+    ]
+    .into_iter()
+    .map(|p| graph_for(p, mode))
+    .collect()
+}
+
+fn assert_bitwise_equal(
+    batched: &[Vec<chainnet::PerfPrediction>],
+    net: &ChainNet,
+    graphs: &[PlacementGraph],
+) {
+    assert_eq!(batched.len(), graphs.len());
+    for (b, graph) in graphs.iter().enumerate() {
+        let seq = net.predict(graph);
+        assert_eq!(batched[b].len(), seq.len());
+        for (i, (got, want)) in batched[b].iter().zip(&seq).enumerate() {
+            assert_eq!(
+                got.throughput.to_bits(),
+                want.throughput.to_bits(),
+                "graph {b} chain {i} throughput: {} vs {}",
+                got.throughput,
+                want.throughput
+            );
+            assert_eq!(
+                got.latency.to_bits(),
+                want.latency.to_bits(),
+                "graph {b} chain {i} latency: {} vs {}",
+                got.latency,
+                want.latency
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_matches_sequential_ratio_mode() {
+    let net = ChainNet::new(ModelConfig::small(), 7);
+    let graphs = neighborhood(net.config().feature_mode);
+    assert_bitwise_equal(&net.predict_batch(&graphs), &net, &graphs);
+}
+
+#[test]
+fn batched_matches_sequential_absolute_original_mode() {
+    let cfg = ModelConfig::small()
+        .with_feature_mode(FeatureMode::Original)
+        .with_target_mode(TargetMode::Absolute);
+    let net = ChainNet::new(cfg, 13);
+    let graphs = neighborhood(cfg.feature_mode);
+    assert_bitwise_equal(&net.predict_batch(&graphs), &net, &graphs);
+}
+
+#[test]
+fn batched_matches_sequential_paper_config() {
+    let net = ChainNet::new(ModelConfig::paper_chainnet(), 3);
+    let graphs = neighborhood(net.config().feature_mode);
+    assert_bitwise_equal(&net.predict_batch(&graphs), &net, &graphs);
+}
+
+/// Placements using different device subsets produce different local
+/// device counts; the batch must fall back to the sequential path and
+/// still return correct, ordered results.
+#[test]
+fn mixed_structure_batch_falls_back_to_sequential() {
+    let net = ChainNet::new(ModelConfig::small(), 7);
+    let mode = net.config().feature_mode;
+    let graphs = vec![
+        graph_for(vec![vec![0, 1], vec![1, 2, 0]], mode),
+        // Only devices 0 and 1 used: two local devices, not three.
+        graph_for(vec![vec![0, 1], vec![1, 0, 1]], mode),
+        graph_for(vec![vec![2, 0], vec![0, 1, 2]], mode),
+    ];
+    assert_bitwise_equal(&net.predict_batch(&graphs), &net, &graphs);
+}
+
+#[test]
+fn empty_and_singleton_batches() {
+    let net = ChainNet::new(ModelConfig::small(), 7);
+    assert!(net.predict_batch(&[]).is_empty());
+    let g = graph_for(vec![vec![0, 1], vec![1, 2, 0]], net.config().feature_mode);
+    let out = net.predict_batch(std::slice::from_ref(&g));
+    assert_eq!(out, vec![net.predict(&g)]);
+}

@@ -646,4 +646,38 @@ fn f(r: &Registry) {
         assert_eq!(s.candidates.len(), 1); // Bad-Name charset
         assert!(s.candidates[0].2.contains("Bad-Name"));
     }
+
+    /// The PR-5 hot-path metrics must stay in the canonical schema:
+    /// collected from code by R4, charset-clean, and documented in the
+    /// workspace obs README.
+    #[test]
+    fn hotpath_bench_metrics_are_in_the_canonical_schema() {
+        let src = "\
+fn f(r: &Registry, obs: &Obs) {
+    r.gauge(\"sim.events_per_sec\").set(1.0);
+    r.gauge(\"neural.matmul_ns\").set(2.0);
+    obs.registry.counter(\"sa.batch_evals\").inc();
+}
+";
+        let m = mask(src);
+        let mut s = FileScan::new(&m);
+        let used = s.rule_obs_collect();
+        let names: Vec<_> = used.iter().map(|(n, _)| n.as_str()).collect();
+        for name in ["sim.events_per_sec", "neural.matmul_ns", "sa.batch_evals"] {
+            assert!(names.contains(&name), "{name} not collected");
+            assert!(valid_metric_charset(name), "{name} charset");
+        }
+        assert!(s.candidates.is_empty(), "{:?}", s.candidates);
+
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../obs/README.md"))
+                .expect("workspace obs README");
+        let documented = readme_metric_names(&readme);
+        for name in ["sim.events_per_sec", "neural.matmul_ns", "sa.batch_evals"] {
+            assert!(
+                documented.contains_key(name),
+                "{name} missing from crates/obs/README.md metric table"
+            );
+        }
+    }
 }

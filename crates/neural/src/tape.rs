@@ -4,8 +4,16 @@
 //! [`Tape::backward`] propagates gradients from a scalar loss back to every
 //! node, and [`Tape::accumulate_param_grads`] folds gradients of parameter
 //! leaves into a [`ParamStore`]. Because ChainNet processes graphs of
-//! varying topology, a fresh tape is built per sample (define-by-run) while
+//! varying topology, a tape is rebuilt per sample (define-by-run) while
 //! the parameters persist in the store.
+//!
+//! Rebuilding does not mean reallocating: [`Tape::reset`] returns every
+//! forward-value and gradient buffer to an internal pool, and all tape
+//! operations draw their output buffers from that pool, so a training
+//! loop that calls `reset` between samples reaches a steady state with
+//! no per-step heap traffic. Pooling only recycles allocations — the
+//! arithmetic (and therefore every value and gradient, bit for bit) is
+//! identical to a fresh tape.
 //!
 //! All operations panic on shape mismatch: shapes are structural
 //! invariants of the model code, not runtime inputs.
@@ -72,12 +80,89 @@ pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
     param_cache: BTreeMap<ParamId, Var>,
+    /// Recycled `f64` buffers harvested by [`Tape::reset`] and the
+    /// backward pass; every op draws its output storage from here.
+    pool: Vec<Vec<f64>>,
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clear the recorded computation, returning every forward-value and
+    /// gradient buffer to the internal pool for reuse by the next
+    /// forward/backward pass. Node and gradient list capacities are
+    /// retained, so a steady-state training loop allocates nothing.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            let (_, data) = node.value.into_parts();
+            if data.capacity() > 0 {
+                self.pool.push(data);
+            }
+        }
+        for g in self.grads.drain(..).flatten() {
+            let (_, data) = g.into_parts();
+            if data.capacity() > 0 {
+                self.pool.push(data);
+            }
+        }
+        self.param_cache.clear();
+    }
+
+    /// Number of recycled buffers currently pooled (diagnostics/tests).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// An empty buffer, recycled from the pool when one is available.
+    fn take_buf(&mut self) -> Vec<f64> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Return a temporary tensor's storage to the pool.
+    fn recycle(&mut self, t: Tensor) {
+        let (_, data) = t.into_parts();
+        if data.capacity() > 0 {
+            self.pool.push(data);
+        }
+    }
+
+    /// Pooled elementwise zip of two node values.
+    fn pooled_zip_nodes(&mut self, a: usize, b: usize, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        let mut buf = self.take_buf();
+        let x = &self.nodes[a].value;
+        let y = &self.nodes[b].value;
+        assert_eq!(x.shape(), y.shape(), "shape mismatch in zip_map");
+        buf.extend(x.data().iter().zip(y.data()).map(|(&p, &q)| f(p, q)));
+        Tensor::from_shape_data(x.shape().to_vec(), buf)
+    }
+
+    /// Pooled elementwise zip of a node value with an external tensor.
+    fn pooled_zip_node(&mut self, node: usize, t: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        let mut buf = self.take_buf();
+        let x = &self.nodes[node].value;
+        assert_eq!(x.shape(), t.shape(), "shape mismatch in zip_map");
+        buf.extend(x.data().iter().zip(t.data()).map(|(&p, &q)| f(p, q)));
+        Tensor::from_shape_data(x.shape().to_vec(), buf)
+    }
+
+    /// Pooled elementwise map of a node value.
+    fn pooled_map_node(&mut self, node: usize, f: impl Fn(f64) -> f64) -> Tensor {
+        let mut buf = self.take_buf();
+        let x = &self.nodes[node].value;
+        buf.extend(x.data().iter().map(|&p| f(p)));
+        Tensor::from_shape_data(x.shape().to_vec(), buf)
+    }
+
+    /// Pooled elementwise map of an external tensor (gradient temporaries).
+    fn pooled_map(&mut self, src: &Tensor, f: impl Fn(f64) -> f64) -> Tensor {
+        let mut buf = self.take_buf();
+        buf.extend(src.data().iter().map(|&x| f(x)));
+        Tensor::from_shape_data(src.shape().to_vec(), buf)
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -110,7 +195,11 @@ impl Tape {
         if let Some(&v) = self.param_cache.get(&id) {
             return v;
         }
-        let v = self.push(store.value(id).clone(), Op::Leaf);
+        let mut buf = self.take_buf();
+        let src = store.value(id);
+        buf.extend_from_slice(src.data());
+        let value = Tensor::from_shape_data(src.shape().to_vec(), buf);
+        let v = self.push(value, Op::Leaf);
         self.nodes[v.0].param = Some(id);
         self.param_cache.insert(id, v);
         v
@@ -123,80 +212,95 @@ impl Tape {
 
     /// Elementwise addition.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .zip_map(&self.nodes[b.0].value, |x, y| x + y);
+        let v = self.pooled_zip_nodes(a.0, b.0, |x, y| x + y);
         self.push(v, Op::Add(a.0, b.0))
     }
 
     /// Elementwise subtraction `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .zip_map(&self.nodes[b.0].value, |x, y| x - y);
+        let v = self.pooled_zip_nodes(a.0, b.0, |x, y| x - y);
         self.push(v, Op::Sub(a.0, b.0))
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .zip_map(&self.nodes[b.0].value, |x, y| x * y);
+        let v = self.pooled_zip_nodes(a.0, b.0, |x, y| x * y);
         self.push(v, Op::Mul(a.0, b.0))
     }
 
     /// Elementwise affine map `alpha * a + beta`.
     pub fn affine(&mut self, a: Var, alpha: f64, beta: f64) -> Var {
-        let v = self.nodes[a.0].value.map(|x| alpha * x + beta);
+        let v = self.pooled_map_node(a.0, |x| alpha * x + beta);
         self.push(v, Op::Affine(a.0, alpha, beta))
     }
 
     /// Matrix-vector product; `w` must be a matrix node, `x` a vector node.
     pub fn matvec(&mut self, w: Var, x: Var) -> Var {
-        let v = self.nodes[w.0].value.matvec(&self.nodes[x.0].value);
-        self.push(v, Op::MatVec(w.0, x.0))
+        let mut buf = self.take_buf();
+        let wv = &self.nodes[w.0].value;
+        let xv = &self.nodes[x.0].value;
+        assert!(wv.is_matrix(), "matvec on non-matrix");
+        let (m, n) = (wv.rows(), wv.cols());
+        assert_eq!(
+            xv.len(),
+            n,
+            "matvec: matrix cols {n} != vec len {}",
+            xv.len()
+        );
+        // Same inner expression as Tensor::matvec — bit-identical output.
+        buf.extend(
+            wv.data()
+                .chunks_exact(n)
+                .map(|row| row.iter().zip(xv.data()).map(|(a, b)| a * b).sum::<f64>()),
+        );
+        self.push(Tensor::from_shape_data(vec![m], buf), Op::MatVec(w.0, x.0))
     }
 
     /// Concatenate vector nodes.
     pub fn concat(&mut self, parts: &[Var]) -> Var {
-        let tensors: Vec<&Tensor> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
-        let v = Tensor::concat(&tensors);
+        let mut buf = self.take_buf();
+        for p in parts {
+            buf.extend_from_slice(self.nodes[p.0].value.data());
+        }
+        let v = Tensor::from_shape_data(vec![buf.len()], buf);
         self.push(v, Op::Concat(parts.iter().map(|p| p.0).collect()))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.pooled_map_node(a.0, |x| 1.0 / (1.0 + (-x).exp()));
         self.push(v, Op::Sigmoid(a.0))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f64::tanh);
+        let v = self.pooled_map_node(a.0, f64::tanh);
         self.push(v, Op::Tanh(a.0))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let v = self.pooled_map_node(a.0, |x| x.max(0.0));
         self.push(v, Op::Relu(a.0))
     }
 
     /// Leaky ReLU with negative slope `slope`.
     pub fn leaky_relu(&mut self, a: Var, slope: f64) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.pooled_map_node(a.0, |x| if x > 0.0 { x } else { slope * x });
         self.push(v, Op::LeakyRelu(a.0, slope))
     }
 
     /// Numerically stable softmax over a vector.
     pub fn softmax(&mut self, a: Var) -> Var {
+        let mut buf = self.take_buf();
         let x = &self.nodes[a.0].value;
         let max = x.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = x.data().iter().map(|&v| (v - max).exp()).collect();
-        let z: f64 = exps.iter().sum();
-        let v = Tensor::from_vec(exps.into_iter().map(|e| e / z).collect());
+        buf.extend(x.data().iter().map(|&v| (v - max).exp()));
+        let z: f64 = buf.iter().sum();
+        for e in &mut buf {
+            *e /= z;
+        }
+        let v = Tensor::from_shape_data(vec![buf.len()], buf);
         self.push(v, Op::Softmax(a.0))
     }
 
@@ -218,9 +322,10 @@ impl Tape {
     ///
     /// Panics if any input is not a scalar.
     pub fn stack_scalars(&mut self, parts: &[Var]) -> Var {
-        let data: Vec<f64> = parts.iter().map(|p| self.nodes[p.0].value.item()).collect();
+        let mut buf = self.take_buf();
+        buf.extend(parts.iter().map(|p| self.nodes[p.0].value.item()));
         self.push(
-            Tensor::from_vec(data),
+            Tensor::from_shape_data(vec![buf.len()], buf),
             Op::StackScalars(parts.iter().map(|p| p.0).collect()),
         )
     }
@@ -233,14 +338,21 @@ impl Tape {
     /// Panics if `items` is empty or lengths mismatch.
     pub fn weighted_sum(&mut self, weights: Var, items: &[Var]) -> Var {
         assert!(!items.is_empty(), "weighted_sum needs at least one item");
+        let mut buf = self.take_buf();
         let w = &self.nodes[weights.0].value;
         assert_eq!(w.len(), items.len(), "weights/items length mismatch");
-        let mut acc = self.nodes[items[0].0].value.zeros_like();
+        let shape = self.nodes[items[0].0].value.shape().to_vec();
+        buf.resize(self.nodes[items[0].0].value.len(), 0.0);
         for (t, item) in items.iter().enumerate() {
-            acc.add_scaled(w.data()[t], &self.nodes[item.0].value);
+            let it = &self.nodes[item.0].value;
+            assert_eq!(it.shape(), &shape[..], "shape mismatch in add_scaled");
+            let alpha = w.data()[t];
+            for (a, b) in buf.iter_mut().zip(it.data()) {
+                *a += alpha * b;
+            }
         }
         self.push(
-            acc,
+            Tensor::from_shape_data(shape, buf),
             Op::WeightedSum(weights.0, items.iter().map(|p| p.0).collect()),
         )
     }
@@ -252,13 +364,24 @@ impl Tape {
     /// Panics if `items` is empty.
     pub fn mean_vecs(&mut self, items: &[Var]) -> Var {
         assert!(!items.is_empty(), "mean_vecs needs at least one item");
-        let mut acc = self.nodes[items[0].0].value.zeros_like();
+        let mut buf = self.take_buf();
+        let shape = self.nodes[items[0].0].value.shape().to_vec();
+        buf.resize(self.nodes[items[0].0].value.len(), 0.0);
         for item in items {
-            acc.add_assign(&self.nodes[item.0].value);
+            let it = &self.nodes[item.0].value;
+            assert_eq!(it.shape(), &shape[..], "shape mismatch in add_assign");
+            for (a, b) in buf.iter_mut().zip(it.data()) {
+                *a += b;
+            }
         }
         let n = items.len() as f64;
-        let acc = acc.map(|x| x / n);
-        self.push(acc, Op::MeanVecs(items.iter().map(|p| p.0).collect()))
+        for x in &mut buf {
+            *x /= n;
+        }
+        self.push(
+            Tensor::from_shape_data(shape, buf),
+            Op::MeanVecs(items.iter().map(|p| p.0).collect()),
+        )
     }
 
     /// Convenience: squared error `(a - b)^2` summed to a scalar.
@@ -279,119 +402,194 @@ impl Tape {
             1,
             "backward() requires a scalar loss"
         );
-        self.grads = vec![None; self.nodes.len()];
-        self.grads[loss.0] = Some(Tensor::scalar(1.0));
+        // Recycle gradient storage from a previous backward pass (if
+        // `reset` was not called in between) and re-arm the slots. The
+        // outer Vec keeps its capacity across steps.
+        for stale in self.grads.drain(..).flatten() {
+            let (_, data) = stale.into_parts();
+            if data.capacity() > 0 {
+                self.pool.push(data);
+            }
+        }
+        self.grads.resize(self.nodes.len(), None);
+        let mut seed = self.take_buf();
+        seed.push(1.0);
+        self.grads[loss.0] = Some(Tensor::from_shape_data(vec![1], seed));
 
         for idx in (0..self.nodes.len()).rev() {
-            let Some(g) = self.grads[idx].clone() else {
+            // Take the gradient out of its slot (restored below) so the
+            // hot loop never clones it. Parents always precede children
+            // on the tape, so no arm can touch slot `idx`.
+            let Some(g) = self.grads[idx].take() else {
                 continue;
             };
-            // Split borrows: read node data, then write parent grads.
-            let op = self.nodes[idx].op.clone();
-            match op {
+            // Detach the op descriptor the same way (restored below) to
+            // avoid cloning index lists on every node.
+            let op = std::mem::replace(&mut self.nodes[idx].op, Op::Leaf);
+            match &op {
                 Op::Leaf => {}
                 Op::Add(a, b) => {
-                    self.bump(a, &g);
-                    self.bump(b, &g);
+                    self.bump(*a, &g);
+                    self.bump(*b, &g);
                 }
                 Op::Sub(a, b) => {
-                    self.bump(a, &g);
-                    let neg = g.map(|x| -x);
-                    self.bump(b, &neg);
+                    self.bump(*a, &g);
+                    let neg = self.pooled_map(&g, |x| -x);
+                    self.bump(*b, &neg);
+                    self.recycle(neg);
                 }
                 Op::Mul(a, b) => {
-                    let da = self.nodes[b].value.zip_map(&g, |x, gg| x * gg);
-                    let db = self.nodes[a].value.zip_map(&g, |x, gg| x * gg);
-                    self.bump(a, &da);
-                    self.bump(b, &db);
+                    let da = self.pooled_zip_node(*b, &g, |x, gg| x * gg);
+                    let db = self.pooled_zip_node(*a, &g, |x, gg| x * gg);
+                    self.bump(*a, &da);
+                    self.bump(*b, &db);
+                    self.recycle(da);
+                    self.recycle(db);
                 }
                 Op::Affine(a, alpha, _beta) => {
-                    let da = g.map(|x| alpha * x);
-                    self.bump(a, &da);
+                    let alpha = *alpha;
+                    let da = self.pooled_map(&g, |x| alpha * x);
+                    self.bump(*a, &da);
+                    self.recycle(da);
                 }
                 Op::MatVec(w, x) => {
-                    let dw = Tensor::outer(&g, &self.nodes[x].value);
-                    let dx = self.nodes[w].value.matvec_t(&g);
-                    self.bump(w, &dw);
-                    self.bump(x, &dx);
+                    let dw = {
+                        let mut buf = self.take_buf();
+                        let xv = &self.nodes[*x].value;
+                        for &a in g.data() {
+                            for &b in xv.data() {
+                                buf.push(a * b);
+                            }
+                        }
+                        Tensor::from_shape_data(vec![g.len(), xv.len()], buf)
+                    };
+                    let dx = {
+                        let mut buf = self.take_buf();
+                        let wv = &self.nodes[*w].value;
+                        let (m, n) = (wv.rows(), wv.cols());
+                        buf.resize(n, 0.0);
+                        for i in 0..m {
+                            let gi = g.data()[i];
+                            if gi == 0.0 {
+                                continue;
+                            }
+                            let row = &wv.data()[i * n..(i + 1) * n];
+                            for (o, &r) in buf.iter_mut().zip(row) {
+                                *o += gi * r;
+                            }
+                        }
+                        Tensor::from_shape_data(vec![n], buf)
+                    };
+                    self.bump(*w, &dw);
+                    self.bump(*x, &dx);
+                    self.recycle(dw);
+                    self.recycle(dx);
                 }
                 Op::Concat(parts) => {
                     let mut offset = 0;
-                    for p in parts {
+                    for &p in parts {
                         let len = self.nodes[p].value.len();
-                        let slice = Tensor::from_vec(g.data()[offset..offset + len].to_vec());
+                        let mut buf = self.take_buf();
+                        buf.extend_from_slice(&g.data()[offset..offset + len]);
+                        let slice = Tensor::from_shape_data(vec![len], buf);
                         self.bump(p, &slice);
+                        self.recycle(slice);
                         offset += len;
                     }
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.nodes[idx].value;
-                    let da = y.zip_map(&g, |yy, gg| yy * (1.0 - yy) * gg);
-                    self.bump(a, &da);
+                    let da = self.pooled_zip_node(idx, &g, |yy, gg| yy * (1.0 - yy) * gg);
+                    self.bump(*a, &da);
+                    self.recycle(da);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[idx].value;
-                    let da = y.zip_map(&g, |yy, gg| (1.0 - yy * yy) * gg);
-                    self.bump(a, &da);
+                    let da = self.pooled_zip_node(idx, &g, |yy, gg| (1.0 - yy * yy) * gg);
+                    self.bump(*a, &da);
+                    self.recycle(da);
                 }
                 Op::Relu(a) => {
-                    let x = &self.nodes[a].value;
-                    let da = x.zip_map(&g, |xx, gg| if xx > 0.0 { gg } else { 0.0 });
-                    self.bump(a, &da);
+                    let da = self.pooled_zip_node(*a, &g, |xx, gg| if xx > 0.0 { gg } else { 0.0 });
+                    self.bump(*a, &da);
+                    self.recycle(da);
                 }
                 Op::LeakyRelu(a, slope) => {
-                    let x = &self.nodes[a].value;
-                    let da = x.zip_map(&g, |xx, gg| if xx > 0.0 { gg } else { slope * gg });
-                    self.bump(a, &da);
+                    let slope = *slope;
+                    let da = self.pooled_zip_node(
+                        *a,
+                        &g,
+                        |xx, gg| if xx > 0.0 { gg } else { slope * gg },
+                    );
+                    self.bump(*a, &da);
+                    self.recycle(da);
                 }
                 Op::Softmax(a) => {
-                    let y = &self.nodes[idx].value;
-                    let gy = g.dot(y);
-                    let da = y.zip_map(&g, |yy, gg| yy * (gg - gy));
-                    self.bump(a, &da);
+                    let gy = g.dot(&self.nodes[idx].value);
+                    let da = self.pooled_zip_node(idx, &g, |yy, gg| yy * (gg - gy));
+                    self.bump(*a, &da);
+                    self.recycle(da);
                 }
                 Op::Sum(a) => {
                     let gv = g.item();
-                    let ones = self.nodes[a].value.map(|_| gv);
-                    self.bump(a, &ones);
+                    let ones = self.pooled_map_node(*a, |_| gv);
+                    self.bump(*a, &ones);
+                    self.recycle(ones);
                 }
                 Op::Dot(a, b) => {
                     let gv = g.item();
-                    let da = self.nodes[b].value.map(|x| gv * x);
-                    let db = self.nodes[a].value.map(|x| gv * x);
-                    self.bump(a, &da);
-                    self.bump(b, &db);
+                    let da = self.pooled_map_node(*b, |x| gv * x);
+                    let db = self.pooled_map_node(*a, |x| gv * x);
+                    self.bump(*a, &da);
+                    self.bump(*b, &db);
+                    self.recycle(da);
+                    self.recycle(db);
                 }
                 Op::StackScalars(parts) => {
-                    for (t, p) in parts.into_iter().enumerate() {
-                        self.bump(p, &Tensor::scalar(g.data()[t]));
+                    for (t, &p) in parts.iter().enumerate() {
+                        let mut buf = self.take_buf();
+                        buf.push(g.data()[t]);
+                        let s = Tensor::from_shape_data(vec![1], buf);
+                        self.bump(p, &s);
+                        self.recycle(s);
                     }
                 }
                 Op::WeightedSum(w, items) => {
-                    let weights = self.nodes[w].value.clone();
-                    let mut dw = vec![0.0; items.len()];
+                    let mut wvals = self.take_buf();
+                    wvals.extend_from_slice(self.nodes[*w].value.data());
+                    let mut dw = self.take_buf();
+                    dw.resize(items.len(), 0.0);
                     for (t, &item) in items.iter().enumerate() {
-                        let di = g.map(|x| weights.data()[t] * x);
+                        let wt = wvals[t];
+                        let di = self.pooled_map(&g, |x| wt * x);
                         dw[t] = self.nodes[item].value.dot(&g);
                         self.bump(item, &di);
+                        self.recycle(di);
                     }
-                    self.bump(w, &Tensor::from_vec(dw));
+                    let dw = Tensor::from_shape_data(vec![items.len()], dw);
+                    self.bump(*w, &dw);
+                    self.recycle(dw);
+                    self.pool.push(wvals);
                 }
                 Op::MeanVecs(items) => {
                     let n = items.len() as f64;
-                    let di = g.map(|x| x / n);
-                    for item in items {
+                    let di = self.pooled_map(&g, |x| x / n);
+                    for &item in items {
                         self.bump(item, &di);
                     }
+                    self.recycle(di);
                 }
             }
+            self.nodes[idx].op = op;
+            self.grads[idx] = Some(g);
         }
     }
 
     fn bump(&mut self, node: usize, g: &Tensor) {
-        match &mut self.grads[node] {
-            Some(acc) => acc.add_assign(g),
-            slot => *slot = Some(g.clone()),
+        if let Some(acc) = &mut self.grads[node] {
+            acc.add_assign(g);
+        } else {
+            let mut buf = self.take_buf();
+            buf.extend_from_slice(g.data());
+            self.grads[node] = Some(Tensor::from_shape_data(g.shape().to_vec(), buf));
         }
     }
 
@@ -645,6 +843,60 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0]));
         tape.backward(x);
+    }
+
+    /// A reused (reset-between-steps) tape must produce bit-identical
+    /// values and gradients to a fresh tape per step: pooling recycles
+    /// allocations, never arithmetic.
+    #[test]
+    fn reset_tape_matches_fresh_tape_bitwise() {
+        let mut store = ParamStore::new();
+        let w_id = store.add(
+            "w",
+            Tensor::matrix(2, 3, vec![0.3, -0.2, 0.5, 0.1, 0.4, -0.6]),
+        );
+        let b_id = store.add("b", Tensor::from_vec(vec![0.05, -0.9]));
+
+        let inputs: Vec<Vec<f64>> = vec![
+            vec![1.0, -1.5, 0.7],
+            vec![0.2, 0.9, -0.3],
+            vec![-2.0, 0.0, 1.25],
+        ];
+        // One step of the little model: loss = Σ softmax(tanh(Wx + b))^2.
+        let run = |tape: &mut Tape, store: &ParamStore, x0: &[f64]| -> (f64, Tensor, Tensor) {
+            let w = tape.param(store, w_id);
+            let b = tape.param(store, b_id);
+            let x = tape.leaf(Tensor::from_vec(x0.to_vec()));
+            let wx = tape.matvec(w, x);
+            let pre = tape.add(wx, b);
+            let t = tape.tanh(pre);
+            let sm = tape.softmax(t);
+            let sq = tape.mul(sm, sm);
+            let loss = tape.sum(sq);
+            tape.backward(loss);
+            (tape.value(loss).item(), tape.grad(w), tape.grad(b))
+        };
+
+        let mut reused = Tape::new();
+        for x0 in &inputs {
+            reused.reset();
+            let (loss_r, gw_r, gb_r) = run(&mut reused, &store, x0);
+            let mut fresh = Tape::new();
+            let (loss_f, gw_f, gb_f) = run(&mut fresh, &store, x0);
+            assert_eq!(loss_r.to_bits(), loss_f.to_bits());
+            for (a, b) in gw_r.data().iter().zip(gw_f.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in gb_r.data().iter().zip(gb_f.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let before = reused.pooled_buffers();
+        reused.reset();
+        assert!(
+            reused.pooled_buffers() > before,
+            "reset harvests node and gradient buffers into the pool"
+        );
     }
 
     #[test]

@@ -271,6 +271,177 @@ impl Tensor {
         }
         Tensor::from_vec(data)
     }
+
+    /// A tensor from an explicit shape and flat buffer, reusing the
+    /// buffer's allocation (the tape's gradient pool depends on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_shape_data(shape: Vec<usize>, data: Vec<f64>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} does not match data length {}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// Decompose into `(shape, data)`, surrendering both allocations.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<f64>) {
+        (self.shape, self.data)
+    }
+
+    /// Reference matrix product `self * b` via the textbook triple loop.
+    ///
+    /// Kept as the differential-testing oracle for [`matmul`](Self::matmul):
+    /// each output element is a single ascending-`k` accumulation, which is
+    /// the exact summation order the optimized kernels must reproduce.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `(m, k)` and `b` is `(k, n)`.
+    pub fn matmul_naive(&self, b: &Tensor) -> Tensor {
+        assert!(
+            self.is_matrix() && b.is_matrix(),
+            "matmul_naive on non-matrix"
+        );
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (bk, n) = (b.shape[0], b.shape[1]);
+        assert_eq!(k, bk, "matmul_naive: inner dims {k} != {bk}");
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (kk, &a) in a_row.iter().enumerate() {
+                    acc += a * b.data[kk * n + j];
+                }
+                *o = acc;
+            }
+        }
+        Tensor::matrix(m, n, out)
+    }
+
+    /// Matrix product with the right operand pre-transposed:
+    /// `self (m, k) * bt^T` where `bt` is `(n, k)`, yielding `(m, n)`.
+    ///
+    /// This is the workhorse kernel: every B "column" is a contiguous
+    /// row of `bt`, so the inner dot product streams both operands
+    /// sequentially. The `(i, j)` space is walked in cache-sized tiles
+    /// so the active rows of `bt` stay resident while a tile of A rows
+    /// is swept. Each output element is still one ascending-`k`
+    /// accumulation into a single scalar — bit-identical to
+    /// [`matmul_naive`](Self::matmul_naive).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `(m, k)` and `bt` is `(n, k)`.
+    pub fn matmul_bt(&self, bt: &Tensor) -> Tensor {
+        assert!(
+            self.is_matrix() && bt.is_matrix(),
+            "matmul_bt on non-matrix"
+        );
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, btk) = (bt.shape[0], bt.shape[1]);
+        assert_eq!(k, btk, "matmul_bt: inner dims {k} != {btk}");
+        let mut out = vec![0.0; m * n];
+
+        // Tile sizes chosen so one A tile + one B tile of rows fit in a
+        // typical 32 KiB L1d: 32 rows x 64 columns x 8 bytes = 16 KiB each
+        // when k <= 64; larger k simply spills to L2, which still beats
+        // the naive kernel's column-strided walk of B.
+        const TILE_I: usize = 32;
+        const TILE_J: usize = 64;
+
+        // Small-matrix fast path: when everything fits in a couple of
+        // cache lines the tiling bookkeeping costs more than it saves.
+        if m * k <= 64 * 64 && n * k <= 64 * 64 {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, b_row) in out_row.iter_mut().zip(bt.data.chunks_exact(k)) {
+                    *o = dot_slices(a_row, b_row);
+                }
+            }
+            return Tensor::matrix(m, n, out);
+        }
+
+        for i0 in (0..m).step_by(TILE_I) {
+            let i1 = (i0 + TILE_I).min(m);
+            for j0 in (0..n).step_by(TILE_J) {
+                let j1 = (j0 + TILE_J).min(n);
+                for i in i0..i1 {
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    let out_row = &mut out[i * n + j0..i * n + j1];
+                    let bt_rows = &bt.data[j0 * k..j1 * k];
+                    for (o, b_row) in out_row.iter_mut().zip(bt_rows.chunks_exact(k)) {
+                        *o = dot_slices(a_row, b_row);
+                    }
+                }
+            }
+        }
+        Tensor::matrix(m, n, out)
+    }
+
+    /// Optimized matrix product `self * b`.
+    ///
+    /// Packs `b` into transposed (row-contiguous columns) layout once,
+    /// then runs the cache-blocked [`matmul_bt`](Self::matmul_bt) kernel.
+    /// Bit-identical to [`matmul_naive`](Self::matmul_naive) — proven by
+    /// the property tests in this module.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `(m, k)` and `b` is `(k, n)`.
+    pub fn matmul(&self, b: &Tensor) -> Tensor {
+        assert!(self.is_matrix() && b.is_matrix(), "matmul on non-matrix");
+        let (k, n) = (b.shape[0], b.shape[1]);
+        assert_eq!(
+            self.shape[1], k,
+            "matmul: inner dims {} != {k}",
+            self.shape[1]
+        );
+        let mut bt = vec![0.0; n * k];
+        for (kk, b_row) in b.data.chunks_exact(n).enumerate() {
+            for (j, &v) in b_row.iter().enumerate() {
+                bt[j * k + kk] = v;
+            }
+        }
+        self.matmul_bt(&Tensor::matrix(n, k, bt))
+    }
+
+    /// Transpose of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not a matrix.
+    pub fn transposed(&self) -> Tensor {
+        assert!(self.is_matrix(), "transposed() on non-matrix");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; n * m];
+        for (i, row) in self.data.chunks_exact(n).enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                out[j * m + i] = v;
+            }
+        }
+        Tensor::matrix(n, m, out)
+    }
+}
+
+/// Ascending-order dot product of two equal-length slices: a single
+/// accumulator updated left to right, matching the naive kernels' (and
+/// `matvec`'s) summation order exactly.
+#[inline]
+fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
 }
 
 impl fmt::Display for Tensor {

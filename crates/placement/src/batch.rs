@@ -7,7 +7,8 @@ use crate::evaluator::Evaluator;
 use crate::problem::PlacementProblem;
 use crate::sa::{SaConfig, SaResult, SimulatedAnnealing};
 use chainnet_qsim::{QsimError, Result};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Solve every problem with its own evaluator, in parallel.
 ///
@@ -15,6 +16,11 @@ use parking_lot::Mutex;
 /// simulator config or a clone of a trained surrogate — so no state is
 /// shared across threads. Results keep problem order. Problems whose
 /// initial placement cannot be constructed produce an `Err` entry.
+///
+/// Work is distributed by a lock-free atomic index and each finished
+/// `(index, result)` pair flows back over a channel to be reassembled in
+/// problem order on the calling thread — workers never contend on a
+/// shared results collection.
 ///
 /// # Panics
 ///
@@ -37,22 +43,21 @@ where
     } else {
         threads
     };
-    let results: Mutex<Vec<Option<Result<SaResult>>>> = Mutex::new(vec![None; problems.len()]);
-    let next: Mutex<usize> = Mutex::new(0);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<SaResult>>> = Vec::new();
+    slots.resize_with(problems.len(), || None);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = {
-                    let mut n = next.lock();
-                    if *n >= problems.len() {
-                        return;
-                    }
-                    let i = *n;
-                    *n += 1;
-                    i
+        let (tx, rx) = mpsc::channel::<(usize, Result<SaResult>)>();
+        for _ in 0..threads.max(1).min(problems.len().max(1)) {
+            let tx = tx.clone();
+            let next = &next;
+            let make_evaluator = &make_evaluator;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(problem) = problems.get(i) else {
+                    return;
                 };
-                let problem = &problems[i];
                 let outcome = problem.initial_placement().map(|initial| {
                     let mut evaluator = make_evaluator(i);
                     let sa = SimulatedAnnealing::new(
@@ -60,13 +65,21 @@ where
                     );
                     sa.optimize(problem, &initial, &mut evaluator, trials)
                 });
-                results.lock()[i] = Some(outcome);
+                // The receiver outlives every worker inside this scope;
+                // a send can only fail after a receiver-side panic, which
+                // already aborts the batch when the scope joins.
+                let _ = tx.send((i, outcome));
             });
+        }
+        drop(tx);
+        // Reassemble in problem order as results stream in; each index
+        // arrives exactly once.
+        for (i, outcome) in rx {
+            slots[i] = Some(outcome);
         }
     });
 
-    results
-        .into_inner()
+    slots
         .into_iter()
         .map(|slot| {
             slot.unwrap_or_else(|| {

@@ -39,6 +39,35 @@ pub trait Evaluator {
     fn evaluations(&self) -> u64;
 }
 
+/// An [`Evaluator`] that can score a whole set of candidate placements at
+/// once. The neighborhood SA driver
+/// ([`SimulatedAnnealing::optimize_neighborhood_observed`](crate::sa::SimulatedAnnealing::optimize_neighborhood_observed))
+/// hands it every candidate of a step in one call, letting surrogate
+/// backends amortize a single batched forward pass over the neighborhood.
+///
+/// The provided default simply loops over
+/// [`Evaluator::total_throughput`]; [`GnnEvaluator`] overrides it with
+/// [`Surrogate::predict_batch`], which is bit-identical to the loop, so
+/// callers may treat the two paths as interchangeable.
+pub trait BatchEvaluator: Evaluator {
+    /// Estimate `X_total` for each placement, in input order. Per-candidate
+    /// failures are per-slot `Err`s; one bad candidate never poisons the
+    /// rest of the batch.
+    fn total_throughput_batch(
+        &mut self,
+        problem: &PlacementProblem,
+        placements: &[Placement],
+    ) -> Vec<Result<f64, PlacementError>> {
+        placements
+            .iter()
+            .map(|p| self.total_throughput(problem, p))
+            .collect()
+    }
+}
+
+impl BatchEvaluator for SimEvaluator {}
+impl BatchEvaluator for ApproxEvaluator {}
+
 /// Ground-truth evaluator backed by the discrete-event simulator. The
 /// same seed is reused for every evaluation so the objective is a
 /// deterministic function of the placement.
@@ -153,6 +182,56 @@ impl<S: Surrogate> Evaluator for GnnEvaluator<S> {
 
     fn evaluations(&self) -> u64 {
         self.count
+    }
+}
+
+impl<S: Surrogate> BatchEvaluator for GnnEvaluator<S> {
+    /// One batched surrogate forward pass over the whole candidate set
+    /// (bit-identical to the per-candidate loop — see
+    /// [`Surrogate::predict_batch`]). Candidates that fail to bind get a
+    /// per-slot error; the rest are still evaluated together.
+    fn total_throughput_batch(
+        &mut self,
+        problem: &PlacementProblem,
+        placements: &[Placement],
+    ) -> Vec<Result<f64, PlacementError>> {
+        self.count += placements.len() as u64;
+        let mode = self.model.config().feature_mode;
+        let mut graphs = Vec::with_capacity(placements.len());
+        let bind_errs: Vec<Option<PlacementError>> = placements
+            .iter()
+            .map(|p| match problem.bind(p.clone()) {
+                Ok(model) => {
+                    graphs.push(PlacementGraph::from_model(&model, mode));
+                    None
+                }
+                Err(e) => Some(e.into()),
+            })
+            .collect();
+        let mut totals = self
+            .model
+            .predict_batch(&graphs)
+            .into_iter()
+            .map(|preds| preds.iter().map(|p| p.throughput).sum::<f64>());
+        bind_errs
+            .into_iter()
+            .map(|err| match err {
+                Some(e) => Err(e),
+                None => {
+                    // One prediction per bound graph, in order; a missing
+                    // slot cannot happen but degrades to a typed error.
+                    let total = totals.next().unwrap_or(f64::NAN);
+                    if total.is_finite() {
+                        Ok(total)
+                    } else {
+                        Err(PlacementError::NonFiniteObjective {
+                            evaluator: self.model.name().to_string(),
+                            value: total,
+                        })
+                    }
+                }
+            })
+            .collect()
     }
 }
 
@@ -297,6 +376,10 @@ impl<P: Evaluator, F: Evaluator> Evaluator for ResilientEvaluator<P, F> {
     }
 }
 
+// Batch calls go through the default per-candidate loop so the
+// retry-then-fall-back policy applies to each candidate individually.
+impl<P: Evaluator, F: Evaluator> BatchEvaluator for ResilientEvaluator<P, F> {}
+
 /// Loss probability of a placement given its total throughput (Eq. 18).
 pub fn loss_probability(total_arrival_rate: f64, total_throughput: f64) -> f64 {
     ((total_arrival_rate - total_throughput) / total_arrival_rate).clamp(0.0, 1.0)
@@ -384,6 +467,59 @@ mod tests {
         assert!((0.0..=0.5 + 1e-9).contains(&x));
         assert_eq!(ev.evaluations(), 1);
         assert_eq!(ev.name(), "ChainNet");
+    }
+
+    #[test]
+    fn gnn_batch_matches_sequential_bitwise() {
+        let p = problem();
+        let placements = vec![
+            Placement::new(vec![vec![0, 1]]),
+            Placement::new(vec![vec![1, 0]]),
+        ];
+        let net = ChainNet::new(ModelConfig::small(), 9);
+        let mut seq = GnnEvaluator::new(net.clone());
+        let mut bat = GnnEvaluator::new(net);
+        let batched = bat.total_throughput_batch(&p, &placements);
+        for (placement, b) in placements.iter().zip(&batched) {
+            let s = seq.total_throughput(&p, placement).unwrap();
+            assert_eq!(s.to_bits(), b.as_ref().unwrap().to_bits());
+        }
+        // Batched calls count one evaluation per candidate.
+        assert_eq!(bat.evaluations(), 2);
+    }
+
+    #[test]
+    fn gnn_batch_isolates_unbindable_candidates() {
+        let p = problem();
+        let placements = vec![
+            Placement::new(vec![vec![0, 1]]),
+            // Device index out of range: cannot bind.
+            Placement::new(vec![vec![0, 7]]),
+            Placement::new(vec![vec![1, 0]]),
+        ];
+        let mut ev = GnnEvaluator::new(ChainNet::new(ModelConfig::small(), 9));
+        let out = ev.total_throughput_batch(&p, &placements);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert!(out[2].is_ok());
+        assert_eq!(ev.evaluations(), 3);
+    }
+
+    #[test]
+    fn default_batch_impl_loops_over_candidates() {
+        let p = problem();
+        let placements = vec![
+            Placement::new(vec![vec![0, 1]]),
+            Placement::new(vec![vec![1, 0]]),
+        ];
+        let mut ev = SimEvaluator::new(SimConfig::new(1_000.0, 3));
+        let batched = ev.total_throughput_batch(&p, &placements);
+        let mut fresh = SimEvaluator::new(SimConfig::new(1_000.0, 3));
+        for (placement, b) in placements.iter().zip(&batched) {
+            let s = fresh.total_throughput(&p, placement).unwrap();
+            assert_eq!(s, *b.as_ref().unwrap());
+        }
+        assert_eq!(ev.evaluations(), 2);
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub mod strategies;
 pub use batch::optimize_batch;
 pub use error::PlacementError;
 pub use evaluator::{
-    loss_probability, relative_loss_reduction, ApproxEvaluator, Evaluator, GnnEvaluator,
-    ResilientEvaluator, SimEvaluator,
+    loss_probability, relative_loss_reduction, ApproxEvaluator, BatchEvaluator, Evaluator,
+    GnnEvaluator, ResilientEvaluator, SimEvaluator,
 };
 pub use problem::PlacementProblem;
 pub use sa::{

@@ -3,7 +3,7 @@
 //! multi-trial restarts from a common initial placement.
 
 use crate::error::PlacementError;
-use crate::evaluator::Evaluator;
+use crate::evaluator::{BatchEvaluator, Evaluator};
 use crate::problem::PlacementProblem;
 use chainnet_ckpt::{CkptError, CkptStore};
 use chainnet_obs::Obs;
@@ -265,6 +265,15 @@ fn finite_or_min(x: f64) -> f64 {
     }
 }
 
+/// The one wall-clock read in this crate. Every budget watchdog and
+/// telemetry timer routes through here so determinism review has a
+/// single audited site; elapsed time bounds runtime and feeds metrics
+/// but never feeds search results.
+fn wall_timer() -> Instant {
+    // lint:allow(determinism): wall-clock budget watchdog / telemetry timer (never feeds results)
+    Instant::now()
+}
+
 fn sanitize_step(s: &SaStep) -> SaStep {
     SaStep {
         candidate_objective: finite_or_min(s.candidate_objective),
@@ -437,8 +446,7 @@ impl SimulatedAnnealing {
         trial_seed: u64,
         budget: Option<(Instant, Option<f64>, Option<u64>)>,
     ) -> (SaTrial, Option<TerminationReason>) {
-        // lint:allow(determinism): wall-clock budget watchdog (bounds runtime; never feeds results)
-        let start = Instant::now();
+        let start = wall_timer();
         let mut rng = SmallRng::seed_from_u64(trial_seed);
         let mut core = TrialCore::fresh(
             initial,
@@ -552,8 +560,7 @@ impl SimulatedAnnealing {
         trials: usize,
         obs: &Obs,
     ) -> SaResult {
-        // lint:allow(determinism): wall-clock budget watchdog (bounds runtime; never feeds results)
-        let start = Instant::now();
+        let start = wall_timer();
         // Graceful degradation: if even the initial placement cannot be
         // evaluated, the search still runs — any successfully evaluated
         // candidate beats `-inf` and becomes the best-so-far.
@@ -646,6 +653,203 @@ impl SimulatedAnnealing {
         }
     }
 
+    /// [`optimize_neighborhood_observed`](Self::optimize_neighborhood_observed)
+    /// without telemetry.
+    pub fn optimize_neighborhood(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        evaluator: &mut dyn BatchEvaluator,
+        trials: usize,
+        neighborhood: usize,
+    ) -> SaResult {
+        self.optimize_neighborhood_observed(
+            problem,
+            initial,
+            evaluator,
+            trials,
+            neighborhood,
+            &Obs::disabled(),
+        )
+    }
+
+    /// Neighborhood-batched annealing: each step proposes up to
+    /// `neighborhood` candidates from the current decision, scores them
+    /// all in **one** [`BatchEvaluator::total_throughput_batch`] call
+    /// (one batched surrogate forward pass for [`GnnEvaluator`]), and
+    /// runs the Metropolis accept/reject test against the best-scoring
+    /// candidate. Failed candidate evaluations are counted in
+    /// [`SaTrial::eval_failures`] and skipped; a step whose whole
+    /// neighborhood fails (or yields no feasible proposal) is a rejected
+    /// step, exactly like [`optimize`](Self::optimize)'s treatment.
+    ///
+    /// With an enabled `obs`, each batch call increments the
+    /// `sa.batch_evals` counter, and the usual `sa.trials` /
+    /// `sa.evaluations` counters and `sa.best_objective` /
+    /// `sa.evals_per_sec` gauges are recorded.
+    ///
+    /// # RNG contract
+    ///
+    /// This driver consumes randomness on its own schedule —
+    /// `neighborhood` proposals, then at most one Metropolis draw, per
+    /// step — so its trajectories are **not** comparable with
+    /// [`optimize`](Self::optimize) (one proposal per step). They are,
+    /// however, deterministic in `(config.seed, neighborhood)` and
+    /// identical across batched and per-candidate evaluator backends,
+    /// because [`GnnEvaluator`]'s batch path is bit-identical to its
+    /// sequential path.
+    ///
+    /// [`GnnEvaluator`]: crate::evaluator::GnnEvaluator
+    pub fn optimize_neighborhood_observed(
+        &self,
+        problem: &PlacementProblem,
+        initial: &Placement,
+        evaluator: &mut dyn BatchEvaluator,
+        trials: usize,
+        neighborhood: usize,
+        obs: &Obs,
+    ) -> SaResult {
+        let start = wall_timer();
+        let neighborhood = neighborhood.max(1);
+        let initial_objective = evaluator
+            .total_throughput(problem, initial)
+            .unwrap_or(f64::NEG_INFINITY);
+        let mut result_trials = Vec::with_capacity(trials);
+        let mut best = initial.clone();
+        let mut best_obj = initial_objective;
+        for t in 0..trials {
+            let trial_start = wall_timer();
+            let mut rng = SmallRng::seed_from_u64(self.config.seed.wrapping_add(t as u64));
+            let mut core = TrialCore::fresh(
+                initial,
+                initial_objective,
+                self.config.initial_temp,
+                self.config.max_steps,
+            );
+            for step in 0..self.config.max_steps {
+                self.neighborhood_step(
+                    problem,
+                    evaluator,
+                    &mut rng,
+                    &mut core,
+                    step,
+                    neighborhood,
+                    trial_start,
+                    obs,
+                );
+            }
+            let trial = core.into_trial(trial_start.elapsed().as_secs_f64());
+            if trial.best_objective > best_obj {
+                best = trial.best_placement.clone();
+                best_obj = trial.best_objective;
+            }
+            if obs.is_enabled() {
+                obs.registry.counter("sa.trials").inc();
+                if trial.eval_failures > 0 {
+                    obs.registry
+                        .counter("sa.eval_failures")
+                        .add(trial.eval_failures);
+                }
+                obs.registry.gauge("sa.best_objective").set(best_obj);
+            }
+            result_trials.push(trial);
+        }
+        let elapsed_secs = start.elapsed().as_secs_f64();
+        let evaluations = evaluator.evaluations();
+        if obs.is_enabled() {
+            obs.registry.counter("sa.evaluations").add(evaluations);
+            if elapsed_secs > 0.0 {
+                obs.registry
+                    .gauge("sa.evals_per_sec")
+                    .set(evaluations as f64 / elapsed_secs);
+            }
+        }
+        SaResult {
+            trials: result_trials,
+            best_placement: best,
+            best_objective: best_obj,
+            initial_objective,
+            evaluations,
+            elapsed_secs,
+            termination_reason: TerminationReason::Completed,
+        }
+    }
+
+    /// One neighborhood step: propose, batch-evaluate, accept/reject the
+    /// best candidate.
+    #[allow(clippy::too_many_arguments)]
+    fn neighborhood_step(
+        &self,
+        problem: &PlacementProblem,
+        evaluator: &mut dyn BatchEvaluator,
+        rng: &mut SmallRng,
+        core: &mut TrialCore,
+        step: usize,
+        neighborhood: usize,
+        trial_start: Instant,
+        obs: &Obs,
+    ) {
+        let mut candidates = Vec::with_capacity(neighborhood);
+        for _ in 0..neighborhood {
+            if let Some(c) = self.propose(problem, &core.current, rng) {
+                candidates.push(c);
+            }
+        }
+        let (candidate_objective, accepted) = if candidates.is_empty() {
+            (core.current_obj, false)
+        } else {
+            let scores = evaluator.total_throughput_batch(problem, &candidates);
+            if obs.is_enabled() {
+                obs.registry.counter("sa.batch_evals").inc();
+            }
+            core.eval_failures += scores.iter().filter(|r| r.is_err()).count() as u64;
+            // Best evaluable candidate wins the neighborhood; ties keep
+            // the earliest proposal for determinism.
+            let mut chosen: Option<(usize, f64)> = None;
+            for (idx, score) in scores.iter().enumerate() {
+                if let Ok(obj) = score {
+                    if chosen.is_none_or(|(_, top)| *obj > top) {
+                        chosen = Some((idx, *obj));
+                    }
+                }
+            }
+            match chosen {
+                Some((idx, obj)) => {
+                    let accept = obj > core.current_obj || {
+                        let p = ((obj - core.current_obj) / core.temp.max(1e-12)).exp();
+                        rng.gen::<f64>() < p
+                    };
+                    if accept {
+                        core.current = candidates.swap_remove(idx);
+                        core.current_obj = obj;
+                        if obj > core.best_obj {
+                            core.best = core.current.clone();
+                            core.best_obj = obj;
+                            core.improvements.push(SaImprovement {
+                                step,
+                                elapsed_secs: trial_start.elapsed().as_secs_f64(),
+                                placement: core.best.clone(),
+                                objective: core.best_obj,
+                            });
+                        }
+                    }
+                    (obj, accept)
+                }
+                // The whole neighborhood failed to evaluate: rejected step.
+                None => (f64::NEG_INFINITY, false),
+            }
+        };
+        core.temp *= self.config.cooling;
+        core.steps.push(SaStep {
+            step,
+            candidate_objective,
+            current_objective: core.current_obj,
+            best_objective: core.best_obj,
+            accepted,
+            elapsed_secs: trial_start.elapsed().as_secs_f64(),
+        });
+    }
+
     /// [`optimize`](Self::optimize) with crash-safe checkpointing and
     /// no telemetry; see
     /// [`optimize_checkpointed_observed`](Self::optimize_checkpointed_observed).
@@ -710,8 +914,7 @@ impl SimulatedAnnealing {
         resume: bool,
         obs: &Obs,
     ) -> Result<SaResult, PlacementError> {
-        // lint:allow(determinism): wall-clock budget watchdog (bounds runtime; never feeds results)
-        let start = Instant::now();
+        let start = wall_timer();
         if every == 0 {
             return Err(PlacementError::Checkpoint(CkptError::InvalidCadence));
         }
@@ -755,8 +958,7 @@ impl SimulatedAnnealing {
         let mut proposals_total = 0u64;
         let mut accepted_total = 0u64;
         for t in start_trial..trials {
-            // lint:allow(determinism): wall-clock trial timer (telemetry only; never feeds results)
-            let trial_start = Instant::now();
+            let trial_start = wall_timer();
             let (mut rng, mut core, first_step) = match mid.take() {
                 Some(ck) => (
                     SmallRng::from_state(ck.rng),
@@ -996,8 +1198,7 @@ impl SimulatedAnnealing {
         evaluator: &mut dyn Evaluator,
         budget_secs: f64,
     ) -> SaResult {
-        // lint:allow(determinism): wall-clock budget watchdog (bounds runtime; never feeds results)
-        let start = Instant::now();
+        let start = wall_timer();
         let initial_objective = evaluator
             .total_throughput(problem, initial)
             .unwrap_or(f64::NEG_INFINITY);
@@ -1534,6 +1735,100 @@ mod tests {
             PlacementError::Checkpoint(chainnet_ckpt::CkptError::ResumeMismatch { .. })
         ));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn neighborhood_search_improves_a_bad_start() {
+        let p = lopsided_problem();
+        let bad = Placement::new(vec![vec![0, 1]]);
+        let mut ev = SimEvaluator::new(SimConfig::new(1_000.0, 3));
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(15).with_seed(4));
+        let res = sa.optimize_neighborhood(&p, &bad, &mut ev, 1, 4);
+        assert!(res.best_objective > res.initial_objective);
+        assert!(p.is_feasible(&res.best_placement));
+        assert_eq!(res.trials[0].steps.len(), 15);
+    }
+
+    #[test]
+    fn neighborhood_search_is_deterministic() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(10).with_seed(2));
+        let mut ev1 = SimEvaluator::new(SimConfig::new(500.0, 8));
+        let mut ev2 = SimEvaluator::new(SimConfig::new(500.0, 8));
+        let a = sa.optimize_neighborhood(&p, &init, &mut ev1, 2, 3);
+        let b = sa.optimize_neighborhood(&p, &init, &mut ev2, 2, 3);
+        assert_eq!(a.best_placement, b.best_placement);
+        assert_eq!(a.best_objective, b.best_objective);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    /// The batched surrogate backend and a sequential-only backend must
+    /// walk the exact same trajectory: the batch path is bit-identical
+    /// per candidate, and the driver consumes RNG identically.
+    #[test]
+    fn neighborhood_trajectory_identical_across_batched_and_sequential_backends() {
+        use crate::evaluator::{BatchEvaluator, GnnEvaluator};
+        use chainnet::config::ModelConfig;
+        use chainnet::model::ChainNet;
+
+        /// A GnnEvaluator stripped of its batch override: scores each
+        /// candidate with a separate sequential forward pass.
+        struct SequentialOnly(GnnEvaluator<ChainNet>);
+        impl Evaluator for SequentialOnly {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn total_throughput(
+                &mut self,
+                problem: &PlacementProblem,
+                placement: &Placement,
+            ) -> Result<f64, PlacementError> {
+                self.0.total_throughput(problem, placement)
+            }
+            fn evaluations(&self) -> u64 {
+                self.0.evaluations()
+            }
+        }
+        impl BatchEvaluator for SequentialOnly {}
+
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let net = ChainNet::new(ModelConfig::small(), 21);
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(12).with_seed(6));
+        let mut batched = GnnEvaluator::new(net.clone());
+        let mut sequential = SequentialOnly(GnnEvaluator::new(net));
+        let a = sa.optimize_neighborhood(&p, &init, &mut batched, 2, 4);
+        let b = sa.optimize_neighborhood(&p, &init, &mut sequential, 2, 4);
+        assert_eq!(a.best_placement, b.best_placement);
+        assert_eq!(a.best_objective.to_bits(), b.best_objective.to_bits());
+        assert_eq!(a.evaluations, b.evaluations);
+        for (ta, tb) in a.trials.iter().zip(&b.trials) {
+            for (sa_step, sb_step) in ta.steps.iter().zip(&tb.steps) {
+                assert_eq!(
+                    sa_step.candidate_objective.to_bits(),
+                    sb_step.candidate_objective.to_bits()
+                );
+                assert_eq!(sa_step.accepted, sb_step.accepted);
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_search_records_batch_metrics() {
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let mut ev = SimEvaluator::new(SimConfig::new(500.0, 9));
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(8));
+        let obs = Obs::enabled();
+        let res = sa.optimize_neighborhood_observed(&p, &init, &mut ev, 2, 3, &obs);
+        let snap = obs.registry.snapshot();
+        assert_eq!(snap.counters["sa.trials"], 2);
+        // One batch call per step that produced at least one proposal.
+        let batches = snap.counters["sa.batch_evals"];
+        assert!((1..=16).contains(&batches), "batches {batches}");
+        assert_eq!(snap.counters["sa.evaluations"], res.evaluations);
+        assert_eq!(snap.gauges["sa.best_objective"], res.best_objective);
     }
 
     #[test]

@@ -300,6 +300,106 @@ impl Station {
     }
 }
 
+/// Per-run constants flattened into dense arrays so the event loop does
+/// plain indexed loads instead of nested `model` lookups, plus the
+/// buffer bounds that let every queue be pre-sized. Fragment `(i, j)`
+/// lives at slot `frag_base[i] + j`.
+///
+/// Every value is computed by the exact expression the event loop used
+/// to evaluate inline, so a run over these tables is bit-identical to
+/// one over the model.
+#[derive(Debug)]
+struct RunTables {
+    /// First slot of each chain's fragments.
+    frag_base: Vec<usize>,
+    /// `T_i` per chain.
+    chain_len: Vec<usize>,
+    /// Device executing each fragment slot (the placement, flattened).
+    device: Vec<DeviceIdx>,
+    /// Mean service time of each fragment slot on its device.
+    svc_mean: Vec<f64>,
+    /// Memory a job of this slot occupies under the active policy.
+    mem_need: Vec<f64>,
+    /// Early-exit probability after each fragment slot.
+    exit_p: Vec<f64>,
+    /// Link success probability of the hop leaving each slot (1.0 for
+    /// the final fragment, which has no outgoing hop).
+    hop_p: Vec<f64>,
+    /// Server count per device (clamped to at least 1).
+    servers: Vec<usize>,
+    /// Memory capacity per device.
+    capacity: Vec<f64>,
+    service_policy: ServicePolicy,
+}
+
+impl RunTables {
+    fn build(model: &SystemModel, config: &SimConfig) -> Self {
+        let chains = model.chains();
+        let total: usize = chains.iter().map(|c| c.len()).sum();
+        let mut frag_base = Vec::with_capacity(chains.len());
+        let mut chain_len = Vec::with_capacity(chains.len());
+        let mut device = Vec::with_capacity(total);
+        let mut svc_mean = Vec::with_capacity(total);
+        let mut mem_need = Vec::with_capacity(total);
+        let mut exit_p = Vec::with_capacity(total);
+        let mut hop_p = Vec::with_capacity(total);
+        for (i, c) in chains.iter().enumerate() {
+            frag_base.push(device.len());
+            chain_len.push(c.len());
+            for j in 0..c.len() {
+                device.push(model.placement().device_of(i, j));
+                svc_mean.push(model.processing_time(i, j));
+                mem_need.push(match config.memory_policy {
+                    MemoryPolicy::UnitPerJob => 1.0,
+                    MemoryPolicy::DemandPerJob => c.fragments[j].mem,
+                });
+                exit_p.push(c.exit_probability(j));
+                hop_p.push(if j + 1 < c.len() {
+                    c.hop_success(j)
+                } else {
+                    1.0
+                });
+            }
+        }
+        Self {
+            frag_base,
+            chain_len,
+            device,
+            svc_mean,
+            mem_need,
+            exit_p,
+            hop_p,
+            servers: model.devices().iter().map(|d| d.servers.max(1)).collect(),
+            capacity: model.devices().iter().map(|d| d.memory).collect(),
+            service_policy: config.service_policy,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, chain: ChainIdx, frag: usize) -> usize {
+        self.frag_base[chain] + frag
+    }
+
+    /// Upper bound on jobs concurrently admitted at `device`: memory
+    /// capacity over the smallest per-job demand of any fragment placed
+    /// there (capped so a pathological model cannot pre-allocate
+    /// gigabytes of queue).
+    fn admitted_bound(&self, device: DeviceIdx) -> usize {
+        let min_mem = self
+            .device
+            .iter()
+            .zip(&self.mem_need)
+            .filter(|(d, _)| **d == device)
+            .map(|(_, m)| *m)
+            .fold(f64::INFINITY, f64::min);
+        if min_mem.is_finite() && min_mem > 0.0 {
+            (self.capacity[device] / min_mem).ceil().min(65_536.0) as usize + 1
+        } else {
+            0
+        }
+    }
+}
+
 /// The simulator. Holds no state between runs; construct once and reuse.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Simulator;
@@ -397,7 +497,9 @@ impl Simulator {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let num_devices = model.devices().len();
         let num_chains = model.chains().len();
+        let tables = RunTables::build(model, config);
 
+        // Samplers are built once per run and reused for every arrival.
         let interarrival: Vec<Dist> = model
             .chains()
             .iter()
@@ -407,11 +509,14 @@ impl Simulator {
             })
             .collect::<Result<_>>()?;
 
+        // Stations are pre-sized from the memory bound so the event loop
+        // never grows a queue: admitted jobs can never exceed
+        // `admitted_bound`, and at most `servers` of them are in service.
         let mut stations: Vec<Station> = (0..num_devices)
-            .map(|_| Station {
-                queue: VecDeque::new(),
+            .map(|k| Station {
+                queue: VecDeque::with_capacity(tables.admitted_bound(k)),
                 busy: 0,
-                in_service: Vec::new(),
+                in_service: Vec::with_capacity(tables.servers[k]),
                 used_mem: 0.0,
                 up: true,
                 rate_factor: 1.0,
@@ -423,7 +528,12 @@ impl Simulator {
             })
             .collect();
 
-        let mut events = EventQueue::new();
+        // In-flight events are bounded: one pending arrival per chain,
+        // at most one departure per busy server, plus the fault schedule.
+        // (Crash-heavy schedules can briefly exceed this via stale
+        // departures; the heap then grows once and stays.)
+        let total_servers: usize = tables.servers.iter().sum();
+        let mut events = EventQueue::with_capacity(num_chains + total_servers + faults.len() + 1);
         for (i, d) in interarrival.iter().enumerate() {
             let t = d.sample(&mut rng);
             events.schedule(t, EventKind::ExternalArrival { chain: i });
@@ -453,14 +563,6 @@ impl Simulator {
         let mut budget_tripped: Option<BudgetReason> = None;
         // End of the actually simulated window (shrinks on a budget trip).
         let mut sim_end = config.horizon;
-
-        // Memory occupied by a queued job under the active policy.
-        let job_mem = |model: &SystemModel, job: &Job, policy: MemoryPolicy| -> f64 {
-            match policy {
-                MemoryPolicy::UnitPerJob => 1.0,
-                MemoryPolicy::DemandPerJob => model.chains()[job.chain].fragments[job.frag].mem,
-            }
-        };
 
         while let Some(ev) = events.pop() {
             if ev.time > config.horizon {
@@ -504,8 +606,7 @@ impl Simulator {
                         serial: next_serial,
                     };
                     Self::offer(
-                        model,
-                        config,
+                        &tables,
                         &mut stations,
                         &mut events,
                         &mut rng,
@@ -513,16 +614,15 @@ impl Simulator {
                         now,
                         in_window,
                         &mut losses,
-                        job_mem,
                         &mut trace,
                     );
                     if let Some(h) = &queue_depth {
-                        let first = model.placement().device_of(chain, 0);
+                        let first = tables.device[tables.slot(chain, 0)];
                         h.observe(stations[first].job_count());
                     }
                 }
                 EventKind::Departure { device, job, epoch } => {
-                    let servers = model.devices()[device].servers.max(1);
+                    let servers = tables.servers[device];
                     let station = &mut stations[device];
                     if station.epoch != epoch {
                         // The device crashed after this service started:
@@ -540,7 +640,7 @@ impl Simulator {
                         // lint:allow(panic): scheduler invariant — every departure with a live epoch was admitted
                         .expect("a departing job with a live epoch is registered in-service");
                     station.in_service.swap_remove(slot);
-                    let mem = job_mem(model, &job, config.memory_policy);
+                    let mem = tables.mem_need[tables.slot(job.chain, job.frag)];
                     station.used_mem -= mem;
                     station
                         .busy_signal
@@ -555,10 +655,10 @@ impl Simulator {
                         },
                     );
 
-                    let chain_len = model.chains()[job.chain].len();
+                    let chain_len = tables.chain_len[job.chain];
                     // Early-exit extension: the request may complete here
                     // instead of continuing down the chain.
-                    let exit_p = model.chains()[job.chain].exit_probability(job.frag);
+                    let exit_p = tables.exit_p[tables.slot(job.chain, job.frag)];
                     let exits_early =
                         job.frag + 1 < chain_len && exit_p > 0.0 && rng.gen::<f64>() < exit_p;
                     if job.frag + 1 == chain_len || exits_early {
@@ -572,7 +672,7 @@ impl Simulator {
                     } else {
                         // Link-unreliability extension: the transfer to
                         // the next device may fail and lose the request.
-                        let success = model.chains()[job.chain].hop_success(job.frag);
+                        let success = tables.hop_p[tables.slot(job.chain, job.frag)];
                         if success >= 1.0 || rng.gen::<f64>() < success {
                             let next = Job {
                                 chain: job.chain,
@@ -581,8 +681,7 @@ impl Simulator {
                                 serial: job.serial,
                             };
                             Self::offer(
-                                model,
-                                config,
+                                &tables,
                                 &mut stations,
                                 &mut events,
                                 &mut rng,
@@ -590,7 +689,6 @@ impl Simulator {
                                 now,
                                 in_window,
                                 &mut losses,
-                                job_mem,
                                 &mut trace,
                             );
                         } else {
@@ -608,8 +706,7 @@ impl Simulator {
                     }
                     // Start the next queued job, if any.
                     Self::start_service(
-                        model,
-                        config,
+                        &tables,
                         &mut stations,
                         &mut events,
                         &mut rng,
@@ -782,8 +879,7 @@ impl Simulator {
     /// Offer a job to the station executing its fragment; drop on overflow.
     #[allow(clippy::too_many_arguments)]
     fn offer(
-        model: &SystemModel,
-        config: &SimConfig,
+        tables: &RunTables,
         stations: &mut [Station],
         events: &mut EventQueue,
         rng: &mut SmallRng,
@@ -791,13 +887,13 @@ impl Simulator {
         now: f64,
         in_window: bool,
         losses: &mut [u64],
-        job_mem: impl Fn(&SystemModel, &Job, MemoryPolicy) -> f64,
         trace: &mut Trace,
     ) {
-        let device = model.placement().device_of(job.chain, job.frag);
-        let mem = job_mem(model, &job, config.memory_policy);
+        let slot = tables.slot(job.chain, job.frag);
+        let device = tables.device[slot];
+        let mem = tables.mem_need[slot];
         let station = &mut stations[device];
-        let capacity = model.devices()[device].memory;
+        let capacity = tables.capacity[device];
         // A crashed device drops every offer, like a full buffer.
         if !station.up || station.used_mem + mem > capacity + 1e-12 {
             station.drops += 1;
@@ -828,14 +924,12 @@ impl Simulator {
         );
         station.queue.push_back(job);
         station.jobs_signal.update(now, station.job_count());
-        Self::start_service(model, config, stations, events, rng, device, now, trace);
+        Self::start_service(tables, stations, events, rng, device, now, trace);
     }
 
     /// If the station is idle and has queued work, begin serving.
-    #[allow(clippy::too_many_arguments)]
     fn start_service(
-        model: &SystemModel,
-        config: &SimConfig,
+        tables: &RunTables,
         stations: &mut [Station],
         events: &mut EventQueue,
         rng: &mut SmallRng,
@@ -843,7 +937,7 @@ impl Simulator {
         now: f64,
         trace: &mut Trace,
     ) {
-        let servers = model.devices()[device].servers.max(1);
+        let servers = tables.servers[device];
         let station = &mut stations[device];
         if !station.up {
             return;
@@ -854,8 +948,8 @@ impl Simulator {
             };
             // A degraded rate factor stretches the mean service time;
             // division by exactly 1.0 is an identity on the healthy path.
-            let mean = model.processing_time(job.chain, job.frag) / station.rate_factor;
-            let service = match config.service_policy {
+            let mean = tables.svc_mean[tables.slot(job.chain, job.frag)] / station.rate_factor;
+            let service = match tables.service_policy {
                 ServicePolicy::Deterministic => mean,
                 ServicePolicy::Exponential => {
                     let u: f64 = rng.gen();
@@ -896,8 +990,11 @@ struct EventQueue {
 }
 
 impl EventQueue {
-    fn new() -> Self {
-        Self::default()
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
     }
 
     fn schedule(&mut self, time: f64, kind: EventKind) {

@@ -179,6 +179,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "trials",
             "horizon",
             "seed",
+            "neighborhood",
             "out",
             "metrics-out",
             "log-json",
@@ -264,6 +265,9 @@ COMMANDS:
   predict      --model model.json --system s.json
   optimize     --problem p.json [--model model.json] [--steps 100]
                [--trials 5] [--horizon 2000] [--seed 0] [--out placement.json]
+               [--neighborhood K]  score K candidates per SA step in one
+                                   batched evaluator call (incompatible
+                                   with --checkpoint-dir)
   stats        --data d.json
   evaluate     --model model.json --data d.json
   export-dot   --system s.json [--out graph.dot]
@@ -643,6 +647,14 @@ fn run_sa(
 }
 
 fn cmd_optimize(inv: &Invocation) -> Result<String, CliError> {
+    let neighborhood = opt_usize(inv, "neighborhood", 0)?;
+    if neighborhood > 0 && inv.options.contains_key("checkpoint-dir") {
+        return Err(CliError::Usage(
+            "--neighborhood is incompatible with --checkpoint-dir: the \
+             batched neighborhood driver has no checkpoint schema"
+                .to_string(),
+        ));
+    }
     let problem: PlacementProblem = read_json(required(inv, "problem")?)?;
     let steps = opt_usize(inv, "steps", 100)?;
     let trials = opt_usize(inv, "trials", 5)?;
@@ -660,11 +672,33 @@ fn cmd_optimize(inv: &Invocation) -> Result<String, CliError> {
         Some(path) => {
             let model: ChainNet = read_json(path)?;
             let mut ev = GnnEvaluator::new(model);
-            run_sa(&sa, &problem, &initial, &mut ev, trials, &ckpt, &obs)?
+            if neighborhood > 0 {
+                sa.optimize_neighborhood_observed(
+                    &problem,
+                    &initial,
+                    &mut ev,
+                    trials,
+                    neighborhood,
+                    &obs,
+                )
+            } else {
+                run_sa(&sa, &problem, &initial, &mut ev, trials, &ckpt, &obs)?
+            }
         }
         None => {
             let mut ev = SimEvaluator::new(SimConfig::new(horizon, seed));
-            run_sa(&sa, &problem, &initial, &mut ev, trials, &ckpt, &obs)?
+            if neighborhood > 0 {
+                sa.optimize_neighborhood_observed(
+                    &problem,
+                    &initial,
+                    &mut ev,
+                    trials,
+                    neighborhood,
+                    &obs,
+                )
+            } else {
+                run_sa(&sa, &problem, &initial, &mut ev, trials, &ckpt, &obs)?
+            }
         }
     };
     // Post-process with the simulator as the paper does.
@@ -1110,6 +1144,71 @@ mod tests {
         let out = run(&inv).unwrap();
         assert!(out.contains("optimized loss probability"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn optimize_neighborhood_batched_path() {
+        let devices = vec![
+            Device::new(5.0, 0.3).unwrap(),
+            Device::new(30.0, 2.0).unwrap(),
+            Device::new(30.0, 2.0).unwrap(),
+        ];
+        let chains = vec![ServiceChain::new(
+            1.0,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()];
+        let problem = PlacementProblem::new(devices, chains).unwrap();
+        let path = temp("problem_nbhd.json");
+        std::fs::write(&path, serde_json::to_string(&problem).unwrap()).unwrap();
+        let metrics = temp("problem_nbhd_metrics.json");
+        let inv = parse_args(&args(&[
+            "optimize",
+            "--problem",
+            &path,
+            "--steps",
+            "10",
+            "--trials",
+            "1",
+            "--horizon",
+            "300",
+            "--neighborhood",
+            "4",
+            "--metrics-out",
+            &metrics,
+        ]))
+        .unwrap();
+        let out = run(&inv).unwrap();
+        assert!(out.contains("optimized loss probability"));
+        // The batched driver must have routed through
+        // BatchEvaluator::total_throughput_batch.
+        let snap =
+            chainnet_obs::Snapshot::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(snap.counters["sa.batch_evals"] > 0);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn optimize_neighborhood_rejects_checkpointing() {
+        let err = run(&parse_args(&args(&[
+            "optimize",
+            "--problem",
+            "p.json",
+            "--neighborhood",
+            "4",
+            "--checkpoint-dir",
+            "ck",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        let CliError::Usage(text) = err else {
+            panic!("expected usage error")
+        };
+        assert!(text.contains("--neighborhood"));
     }
 
     /// Fresh, empty directory for checkpoint tests (removed by callers).
