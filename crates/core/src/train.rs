@@ -265,8 +265,10 @@ impl Trainer {
         // Tape::reset recycles forward/gradient buffers, so steady-state
         // training steps perform no tape allocations.
         let mut tape = Tape::new();
+        tape.set_tracer(obs.tracer.clone());
 
         for epoch in 0..cfg.epochs {
+            let _epoch_span = obs.tracer.span("train.epoch");
             let epoch_timer = obs.is_enabled().then(|| {
                 obs.registry
                     .histogram("train.epoch_seconds", EPOCH_SECONDS_BUCKETS)
@@ -280,13 +282,16 @@ impl Trainer {
             let mut epoch_batches = 0u64;
 
             for batch in order.chunks(cfg.batch_size.max(1)) {
+                let _step_span = obs.tracer.span("train.step");
                 // Q = number of chains in this batch (Eq. 13 denominator).
                 let q: usize = batch.iter().map(|&i| train[i].graph.num_chains()).sum();
                 let scale = 1.0 / (2.0 * q.max(1) as f64);
                 for &i in batch {
                     let sample = &train[i];
                     tape.reset();
+                    let fwd_span = obs.tracer.span("neural.forward");
                     let raw = model.loss_on_graph(&mut tape, &sample.graph, &sample.targets);
+                    fwd_span.close();
                     let scaled = tape.affine(raw, scale, 0.0);
                     tape.backward(scaled);
                     tape.accumulate_param_grads(model.params_mut());

@@ -176,6 +176,7 @@ pub fn generate_raw_dataset_observed(
                     i
                 };
                 let seed = config.seed.wrapping_add(i as u64);
+                let _sample_span = obs.tracer.span("datagen.sample");
                 let outcome = generator.generate(seed).and_then(|model| {
                     let targets = match config.labels {
                         LabelSource::Simulation => {
@@ -375,7 +376,9 @@ pub fn generate_raw_dataset_sharded_observed(
             seed: config.seed.wrapping_add(start as u64),
             ..*config
         };
+        let shard_span = obs.tracer.span("datagen.shard");
         let samples = generate_raw_dataset_observed(params, &sub, obs)?;
+        shard_span.close();
         let ck = ShardCheckpoint {
             params,
             config: *config,

@@ -19,9 +19,10 @@
 //!   (`qsim`, `neural`, `placement`, `core`);
 //! * **R3 `unsafe`** — `#![forbid(unsafe_code)]` on every crate root
 //!   and no `unsafe` token anywhere first-party;
-//! * **R4 `obs_schema`** — metric names at obs call sites match the
-//!   `[a-z0-9_.]` charset and agree, both directions, with the table
-//!   in `crates/obs/README.md`;
+//! * **R4 `obs_schema`** — metric names at obs call sites and span
+//!   names at tracer call sites match the `[a-z0-9_.]` charset and
+//!   agree, both directions, with the metric and span tables in
+//!   `crates/obs/README.md`;
 //! * **R5 `error_hygiene`** — public `Result` APIs in library crates
 //!   use the crate's typed error, not `String` or `Box<dyn Error>`.
 //!
@@ -59,20 +60,26 @@ use std::collections::BTreeMap;
 /// `(file, line, rule)`; the report is JSON-serialisable.
 pub fn run(spec: &WorkspaceSpec) -> Result<Report, LintError> {
     let mut report = Report::default();
-    // metric name -> every (file, line) that registers it
+    // metric/span name -> every (file, line) that registers it
     let mut used_metrics: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
+    let mut used_spans: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
 
     for crate_spec in &spec.crates {
         for file in workspace::crate_sources(&spec.root, crate_spec)? {
             let src = std::fs::read_to_string(&file.abs_path)
                 .map_err(|e| LintError::io(&file.abs_path, e))?;
             let masked = tokenizer::mask(&src);
-            let (suppressed, used) =
-                rules::scan_file(crate_spec, &file, &masked, &mut report.violations);
-            report.suppressed += suppressed;
+            let scanned = rules::scan_file(crate_spec, &file, &masked, &mut report.violations);
+            report.suppressed += scanned.suppressed;
             report.files_scanned += 1;
-            for (name, line) in used {
+            for (name, line) in scanned.metrics {
                 used_metrics
+                    .entry(name)
+                    .or_default()
+                    .push((file.rel_path.clone(), line));
+            }
+            for (name, line) in scanned.spans {
+                used_spans
                     .entry(name)
                     .or_default()
                     .push((file.rel_path.clone(), line));
@@ -80,40 +87,45 @@ pub fn run(spec: &WorkspaceSpec) -> Result<Report, LintError> {
         }
     }
 
-    // R4 cross-check: code vs the obs README metric table.
+    // R4 cross-check: code vs the obs README metric and span tables.
     if let Some(readme_rel) = &spec.obs_readme {
         let readme_path = spec.root.join(readme_rel);
         let readme =
             std::fs::read_to_string(&readme_path).map_err(|e| LintError::io(&readme_path, e))?;
-        let documented = rules::readme_metric_names(&readme);
         let readme_disp = readme_rel.to_string_lossy().replace('\\', "/");
-        for (name, sites) in &used_metrics {
-            if !documented.contains_key(name) {
-                for (file, line) in sites {
-                    report.violations.push(Violation::new(
-                        Rule::ObsSchema,
-                        file,
-                        *line,
-                        format!("metric `{name}` is not documented in {readme_disp}"),
-                    ));
+        let checks = [
+            ("metric", rules::readme_metric_names(&readme), &used_metrics),
+            ("span", rules::readme_span_names(&readme), &used_spans),
+        ];
+        for (kind, documented, used) in &checks {
+            for (name, sites) in *used {
+                if !documented.contains_key(name) {
+                    for (file, line) in sites {
+                        report.violations.push(Violation::new(
+                            Rule::ObsSchema,
+                            file,
+                            *line,
+                            format!("{kind} `{name}` is not documented in {readme_disp}"),
+                        ));
+                    }
                 }
             }
-        }
-        for (name, line) in &documented {
-            if !rules::valid_metric_charset(name) {
-                report.violations.push(Violation::new(
-                    Rule::ObsSchema,
-                    &readme_disp,
-                    *line,
-                    format!("documented metric `{name}` violates the [a-z0-9_.] charset"),
-                ));
-            } else if !used_metrics.contains_key(name) {
-                report.violations.push(Violation::new(
-                    Rule::ObsSchema,
-                    &readme_disp,
-                    *line,
-                    format!("documented metric `{name}` is registered nowhere in code"),
-                ));
+            for (name, line) in documented {
+                if !rules::valid_metric_charset(name) {
+                    report.violations.push(Violation::new(
+                        Rule::ObsSchema,
+                        &readme_disp,
+                        *line,
+                        format!("documented {kind} `{name}` violates the [a-z0-9_.] charset"),
+                    ));
+                } else if !used.contains_key(name) {
+                    report.violations.push(Violation::new(
+                        Rule::ObsSchema,
+                        &readme_disp,
+                        *line,
+                        format!("documented {kind} `{name}` is registered nowhere in code"),
+                    ));
+                }
             }
         }
     }

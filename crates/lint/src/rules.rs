@@ -243,6 +243,48 @@ impl<'a> FileScan<'a> {
         used
     }
 
+    /// R4 (collection half, spans) — span-name literals at tracer call
+    /// sites (`.span("name")`). Span names share the metric charset;
+    /// violations are recorded immediately, valid names are returned
+    /// for the workspace-level cross-check against the README span
+    /// table.
+    pub fn rule_span_collect(&mut self) -> Vec<(String, usize)> {
+        let code = &self.masked.code;
+        let mut used = Vec::new();
+        for off in find_all(code, ".span(", false) {
+            if self.in_test_region(off) {
+                continue;
+            }
+            // First argument must be a string literal; dynamic names
+            // (e.g. the tracer's own `span(name)` plumbing) are skipped.
+            let mut j = off + ".span(".len();
+            let b = code.as_bytes();
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != b'"' {
+                continue;
+            }
+            let Some(lit) = self.masked.string_at(j) else {
+                continue;
+            };
+            let name = lit.value.clone();
+            if !valid_metric_charset(&name) {
+                self.push(
+                    Rule::ObsSchema,
+                    off,
+                    format!(
+                        "span name `{name}` violates the [a-z0-9_.] naming charset \
+                         (see crates/obs/README.md)"
+                    ),
+                );
+            } else {
+                used.push((name, self.masked.line_of(off)));
+            }
+        }
+        used
+    }
+
     /// R5 — public `Result` APIs must use a typed error.
     pub fn rule_error_hygiene(&mut self) {
         let code = &self.masked.code;
@@ -291,14 +333,24 @@ impl<'a> FileScan<'a> {
     }
 }
 
+/// Names collected from one source file for the workspace-level R4
+/// cross-checks, plus the file's suppression count.
+pub struct ScanOutput {
+    /// Suppressed violation count.
+    pub suppressed: usize,
+    /// Metric-name literals at obs call sites, with their lines.
+    pub metrics: Vec<(String, usize)>,
+    /// Span-name literals at tracer call sites, with their lines.
+    pub spans: Vec<(String, usize)>,
+}
+
 /// Run every rule applicable to `file` given its crate's profile.
-/// Returns `(suppressed_count, used_metric_names)`.
 pub fn scan_file(
     spec: &CrateSpec,
     file: &SourceFile,
     masked: &Masked,
     out: &mut Vec<Violation>,
-) -> (usize, Vec<(String, usize)>) {
+) -> ScanOutput {
     let mut scan = FileScan::new(masked);
     let lib_rules = spec.kind == CrateKind::Library && !file.is_bin;
     if lib_rules {
@@ -312,16 +364,25 @@ pub fn scan_file(
     if file.is_lib_root {
         scan.rule_forbid_attr(&file.rel_path);
     }
-    let used = scan.rule_obs_collect();
-    (scan.finish(&file.rel_path, out), used)
+    let metrics = scan.rule_obs_collect();
+    let spans = scan.rule_span_collect();
+    ScanOutput {
+        suppressed: scan.finish(&file.rel_path, out),
+        metrics,
+        spans,
+    }
 }
 
-/// Parse the metric table of the obs README: the first cell of each
-/// `|`-delimited row, backtick spans only, label blocks stripped.
-/// Returns `name -> line`.
-pub fn readme_metric_names(readme: &str) -> BTreeMap<String, usize> {
+/// The heading that separates the metric table from the span table in
+/// the obs README. Metric rows live above it, span rows below.
+pub const SPAN_TABLE_HEADING: &str = "## Span table";
+
+/// Parse backticked names from `|`-delimited table rows: the first
+/// cell of each row, backtick spans only, label blocks stripped.
+/// Returns `name -> line`, with lines offset by `first_line` (1-based).
+fn table_names(section: &str, first_line: usize) -> BTreeMap<String, usize> {
     let mut names = BTreeMap::new();
-    for (idx, line) in readme.lines().enumerate() {
+    for (idx, line) in section.lines().enumerate() {
         let trimmed = line.trim_start();
         if !trimmed.starts_with('|') {
             continue;
@@ -337,12 +398,39 @@ pub fn readme_metric_names(readme: &str) -> BTreeMap<String, usize> {
             let span = &rest[open + 1..open + 1 + close_rel];
             let name = span.split('{').next().unwrap_or(span).trim();
             if !name.is_empty() {
-                names.entry(name.to_string()).or_insert(idx + 1);
+                names.entry(name.to_string()).or_insert(first_line + idx);
             }
             rest = &rest[open + 1 + close_rel + 1..];
         }
     }
     names
+}
+
+/// Split the obs README at [`SPAN_TABLE_HEADING`]: everything before
+/// it holds the metric table, everything after it the span table (an
+/// absent heading means no span table).
+fn split_readme(readme: &str) -> (&str, &str, usize) {
+    match readme.find(SPAN_TABLE_HEADING) {
+        Some(pos) => {
+            let line = readme[..pos].lines().count() + 1;
+            (&readme[..pos], &readme[pos..], line)
+        }
+        None => (readme, "", 1),
+    }
+}
+
+/// Parse the metric table of the obs README (rows above the span-table
+/// heading). Returns `name -> line`.
+pub fn readme_metric_names(readme: &str) -> BTreeMap<String, usize> {
+    let (metrics, _, _) = split_readme(readme);
+    table_names(metrics, 1)
+}
+
+/// Parse the span table of the obs README (rows below the span-table
+/// heading). Returns `name -> line`, empty when there is no heading.
+pub fn readme_span_names(readme: &str) -> BTreeMap<String, usize> {
+    let (_, spans, first_line) = split_readme(readme);
+    table_names(spans, first_line)
 }
 
 /// `[a-z0-9_.]+`, per the obs naming contract.
@@ -645,6 +733,81 @@ fn f(r: &Registry) {
         assert!(names.contains(&"dev.drops"));
         assert_eq!(s.candidates.len(), 1); // Bad-Name charset
         assert!(s.candidates[0].2.contains("Bad-Name"));
+    }
+
+    #[test]
+    fn span_collect_reads_literal_names_and_charset() {
+        let src = "\
+fn f(t: &Tracer, obs: &Obs) {
+    let _a = t.span(\"qsim.run\");
+    let _b = obs.tracer.span(\"Bad Span\");
+    let _c = t.span(name); // dynamic: skipped
+}
+";
+        let m = mask(src);
+        let mut s = FileScan::new(&m);
+        let used = s.rule_span_collect();
+        let names: Vec<_> = used.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["qsim.run"]);
+        assert_eq!(s.candidates.len(), 1);
+        assert!(s.candidates[0].2.contains("Bad Span"));
+    }
+
+    #[test]
+    fn readme_split_separates_metric_and_span_tables() {
+        let md = "\
+| Metric | Kind |
+|---|---|
+| `a.count` | counter |
+
+## Span table
+
+| Span | Where |
+|---|---|
+| `qsim.run` | simulator |
+| `sa.trial` | search |
+";
+        let metrics = readme_metric_names(md);
+        let spans = readme_span_names(md);
+        assert_eq!(metrics.keys().cloned().collect::<Vec<_>>(), vec!["a.count"]);
+        assert_eq!(
+            spans.keys().cloned().collect::<Vec<_>>(),
+            vec!["qsim.run", "sa.trial"]
+        );
+        // Span names must not leak into the metric check or vice versa.
+        assert!(!metrics.contains_key("qsim.run"));
+        assert!(!spans.contains_key("a.count"));
+        assert_eq!(spans["qsim.run"], 9);
+    }
+
+    /// Every span name the tentpole wires through the stack must be
+    /// charset-clean and documented in the workspace README span table.
+    #[test]
+    fn canonical_span_names_are_in_the_readme_span_table() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../obs/README.md"))
+                .expect("workspace obs README");
+        let documented = readme_span_names(&readme);
+        for name in [
+            "qsim.run",
+            "qsim.replication",
+            "neural.forward",
+            "neural.backward",
+            "neural.matmul",
+            "train.epoch",
+            "train.step",
+            "sa.trial",
+            "sa.iteration",
+            "sa.batch_eval",
+            "datagen.sample",
+            "datagen.shard",
+        ] {
+            assert!(valid_metric_charset(name), "{name} charset");
+            assert!(
+                documented.contains_key(name),
+                "{name} missing from crates/obs/README.md span table"
+            );
+        }
     }
 
     /// The PR-5 hot-path metrics must stay in the canonical schema:

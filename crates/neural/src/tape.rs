@@ -20,6 +20,7 @@
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
+use chainnet_obs::Tracer;
 use std::collections::BTreeMap;
 
 /// Handle to a node on a [`Tape`].
@@ -83,6 +84,9 @@ pub struct Tape {
     /// Recycled `f64` buffers harvested by [`Tape::reset`] and the
     /// backward pass; every op draws its output storage from here.
     pool: Vec<Vec<f64>>,
+    /// Span tracer for the backward pass; disabled (one branch) unless
+    /// installed with [`Tape::set_tracer`].
+    tracer: Tracer,
 }
 
 impl Tape {
@@ -114,6 +118,13 @@ impl Tape {
     /// Number of recycled buffers currently pooled (diagnostics/tests).
     pub fn pooled_buffers(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Install a span tracer: each [`Tape::backward`] call records a
+    /// `neural.backward` span. Tracing never touches the arithmetic, so
+    /// gradients are bit-identical with or without it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// An empty buffer, recycled from the pool when one is available.
@@ -397,6 +408,7 @@ impl Tape {
     ///
     /// Panics if `loss` is not a scalar.
     pub fn backward(&mut self, loss: Var) {
+        let _span = self.tracer.span("neural.backward");
         assert_eq!(
             self.nodes[loss.0].value.len(),
             1,

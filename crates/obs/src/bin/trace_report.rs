@@ -1,0 +1,88 @@
+//! `trace-report` — diff two ChainNet trace files and print a
+//! per-phase wall-time regression table.
+//!
+//! ```text
+//! trace-report <baseline> <new> [--max-regress PCT]
+//! ```
+//!
+//! Both files may be JSON-lines span logs or Chrome `trace_event`
+//! JSON, as written by the CLI's `--trace-out` (the format is sniffed
+//! per file). With `--max-regress PCT` the process exits 2 when any
+//! phase's total wall time regressed by more than `PCT` percent —
+//! the machine-checkable cross-run comparison used by CI.
+
+use chainnet_obs::report::{diff_traces, parse_trace, render_diff_table, worst_regression_pct};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace-report <baseline> <new> [--max-regress PCT]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut max_regress: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--max-regress" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("missing value for --max-regress\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse::<f64>() {
+                    Ok(p) if p.is_finite() && p >= 0.0 => max_regress = Some(p),
+                    _ => {
+                        eprintln!("--max-regress expects a non-negative percent, got `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => {
+                paths.push(other);
+                i += 1;
+            }
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let load = |path: &str| -> Result<chainnet_obs::Trace, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rows = diff_traces(&base, &new);
+    print!("{}", render_diff_table(&rows));
+    let worst = worst_regression_pct(&rows);
+    println!(
+        "worst regression: {worst:+.1}% ({} phases compared)",
+        rows.len()
+    );
+    if let Some(limit) = max_regress {
+        if worst > limit {
+            eprintln!(
+                "FAIL: worst per-phase regression {worst:+.1}% exceeds --max-regress {limit}%"
+            );
+            return ExitCode::from(2);
+        }
+        println!("OK: within --max-regress {limit}%");
+    }
+    ExitCode::SUCCESS
+}

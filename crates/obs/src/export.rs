@@ -383,6 +383,44 @@ mod tests {
         assert!(text.contains("d_count 3"));
     }
 
+    /// Labeled metrics must survive the dot-to-underscore name mapping
+    /// with their label blocks intact, for every metric kind.
+    #[test]
+    fn labeled_metrics_round_trip_through_prometheus() {
+        let r = Registry::new();
+        r.counter(&labeled("qsim.device.drops", &[("device", "3")]))
+            .add(11);
+        r.gauge(&labeled(
+            "qsim.device.utilization",
+            &[("device", "3"), ("site", "edge")],
+        ))
+        .set(0.75);
+        let h = r.histogram(
+            &labeled("qsim.device.wait_seconds", &[("device", "3")]),
+            &[0.1, 1.0],
+        );
+        h.observe(0.05);
+        h.observe(2.0);
+        let text = r.snapshot().to_prometheus();
+        // The name is sanitized; the label block passes through verbatim.
+        assert!(text.contains("qsim_device_drops{device=\"3\"} 11"));
+        assert!(text.contains("qsim_device_utilization{device=\"3\",site=\"edge\"} 0.75"));
+        // Histogram buckets merge the series labels with `le`.
+        assert!(text.contains("qsim_device_wait_seconds_bucket{device=\"3\",le=\"0.1\"} 1"));
+        assert!(text.contains("qsim_device_wait_seconds_bucket{device=\"3\",le=\"+Inf\"} 2"));
+        assert!(text.contains("qsim_device_wait_seconds_count{device=\"3\"} 2"));
+        let parsed = Snapshot::from_prometheus(&text).unwrap();
+        assert_eq!(parsed.to_prometheus(), text);
+        assert_eq!(parsed.counters["qsim_device_drops{device=\"3\"}"], 11);
+        assert_eq!(
+            parsed.gauges["qsim_device_utilization{device=\"3\",site=\"edge\"}"],
+            0.75
+        );
+        let hist = &parsed.histograms["qsim_device_wait_seconds{device=\"3\"}"];
+        assert_eq!(hist.counts, vec![1, 0, 1]);
+        assert_eq!(hist.count, 2);
+    }
+
     #[test]
     fn malformed_prometheus_is_rejected() {
         assert!(Snapshot::from_prometheus("no_type_line 3").is_err());

@@ -14,7 +14,12 @@
 //!   with a monotonic sequence number and a component tag, no-op by
 //!   default;
 //! * [`Snapshot`] — a frozen copy of a registry exportable as a JSON
-//!   report or Prometheus text (and parseable back, for tests).
+//!   report or Prometheus text (and parseable back, for tests);
+//! * [`Tracer`] — causal span tracing ([`trace`]): RAII [`SpanGuard`]s
+//!   with parent/child links and monotonic timestamps, exportable as
+//!   JSON lines, Chrome `trace_event` JSON, or collapsed flamegraph
+//!   stacks, and diffable across runs via the [`report`] module (the
+//!   `trace-report` binary).
 //!
 //! Instrumented components take an [`Obs`] context. The disabled
 //! context reduces every instrumentation site to a hoisted branch, so
@@ -51,17 +56,24 @@
 pub mod events;
 pub mod export;
 pub mod registry;
+pub mod report;
+pub mod trace;
 
 pub use events::EventLog;
 pub use export::{HistogramSnapshot, PromParseError, Snapshot};
 pub use registry::{labeled, Counter, Gauge, Histogram, Registry, ScopedTimer};
+pub use trace::{SpanGuard, SpanRecord, Trace, TraceError, Tracer};
 
 /// The observability context handed to instrumented components: a
-/// metric registry plus an event sink, with a master enable switch.
+/// metric registry plus an event sink and a span tracer, with a master
+/// enable switch.
 ///
-/// Cloning is cheap (two `Arc`s and a bool); instrumented call paths
+/// Cloning is cheap (a few `Arc`s and a bool); instrumented call paths
 /// check [`Obs::is_enabled`] once and skip all metric work when the
 /// context is disabled, keeping the uninstrumented fast path intact.
+/// The tracer stays disabled unless explicitly attached with
+/// [`Obs::with_tracer`] — span collection has its own memory cost, so
+/// it is opt-in even on an enabled context.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// Metric registry. Always safe to use; only consulted by
@@ -69,6 +81,8 @@ pub struct Obs {
     pub registry: Registry,
     /// Structured event sink (no-op unless explicitly attached).
     pub events: EventLog,
+    /// Span tracer (no-op unless explicitly attached).
+    pub tracer: Tracer,
     enabled: bool,
 }
 
@@ -78,11 +92,13 @@ impl Obs {
         Self::default()
     }
 
-    /// An enabled context with a fresh registry and no event sink.
+    /// An enabled context with a fresh registry, no event sink, and a
+    /// disabled tracer.
     pub fn enabled() -> Self {
         Self {
             registry: Registry::new(),
             events: EventLog::disabled(),
+            tracer: Tracer::disabled(),
             enabled: true,
         }
     }
@@ -92,6 +108,14 @@ impl Obs {
     pub fn with_events(mut self, events: EventLog) -> Self {
         self.enabled = true;
         self.events = events;
+        self
+    }
+
+    /// Attach a span tracer (builder-style); implies enabled.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.enabled = true;
+        self.tracer = tracer;
         self
     }
 
@@ -113,6 +137,19 @@ mod tests {
         assert!(Obs::disabled()
             .with_events(EventLog::disabled())
             .is_enabled());
+    }
+
+    #[test]
+    fn with_tracer_implies_enabled_and_collects_spans() {
+        let obs = Obs::disabled().with_tracer(Tracer::enabled());
+        assert!(obs.is_enabled());
+        assert!(obs.tracer.is_enabled());
+        obs.tracer.span("demo.phase").close();
+        let trace = obs.tracer.take();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "demo.phase");
+        // The default context keeps the tracer off.
+        assert!(!Obs::enabled().tracer.is_enabled());
     }
 
     #[test]

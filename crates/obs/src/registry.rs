@@ -359,6 +359,34 @@ mod tests {
         assert_eq!(h.count(), 2);
     }
 
+    /// Regression test: a timer held across an early `return` or a
+    /// `?`-propagated error must still record its histogram sample on
+    /// drop — explicit `stop()` is optional, not load-bearing.
+    #[test]
+    fn scoped_timer_records_on_early_return_and_error_paths() {
+        fn early_return(h: &Histogram, bail: bool) -> u32 {
+            let _t = h.start_timer();
+            if bail {
+                return 0; // timer dropped here, sample recorded
+            }
+            1
+        }
+        fn propagates(h: &Histogram) -> Result<(), std::num::ParseIntError> {
+            let _t = h.start_timer();
+            let _n: u32 = "not a number".parse()?; // drops the timer
+            Ok(())
+        }
+        let r = Registry::new();
+        let h = r.histogram("dur.early", &[0.5, 1.0]);
+        early_return(&h, true);
+        assert_eq!(h.count(), 1, "early return must record a sample");
+        early_return(&h, false);
+        assert_eq!(h.count(), 2);
+        assert!(propagates(&h).is_err());
+        assert_eq!(h.count(), 3, "`?` propagation must record a sample");
+        assert!(h.sum() >= 0.0);
+    }
+
     #[test]
     fn concurrent_histogram_observations_all_land() {
         let r = Registry::new();

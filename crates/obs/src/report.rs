@@ -1,0 +1,220 @@
+//! Cross-run performance comparison: load two traces, aggregate them
+//! per phase (span name), and render a regression table.
+//!
+//! This is the library behind the `trace-report` binary: given a
+//! baseline trace and a new trace — JSON-lines or Chrome `trace_event`
+//! format, as produced by `--trace-out` — it emits a per-phase
+//! wall-time table with deltas, and can gate on a maximum allowed
+//! regression percentage for CI.
+
+use crate::trace::{PhaseStats, Trace, TraceError};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One row of the regression table: a phase present in either trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDiff {
+    /// Span name (the phase).
+    pub name: String,
+    /// Aggregates in the baseline trace, if the phase appears there.
+    pub base: Option<PhaseStats>,
+    /// Aggregates in the new trace, if the phase appears there.
+    pub new: Option<PhaseStats>,
+}
+
+impl PhaseDiff {
+    /// Relative total-time change in percent (`+` = slower), when the
+    /// phase appears in both traces with nonzero baseline time.
+    pub fn delta_pct(&self) -> Option<f64> {
+        match (&self.base, &self.new) {
+            (Some(b), Some(n)) if b.total_ns > 0 => {
+                Some((n.total_ns as f64 / b.total_ns as f64 - 1.0) * 100.0)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parse a trace file's text, auto-detecting the format: Chrome
+/// `trace_event` JSON (an object with `traceEvents`) or the JSON-lines
+/// span log.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] when neither format parses.
+pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
+    let head = text.trim_start();
+    if head.starts_with('{') && text.contains("traceEvents") {
+        Trace::from_chrome_trace(text)
+    } else {
+        Trace::from_json_lines(text)
+    }
+}
+
+/// Compare two traces phase by phase. Rows are sorted by baseline
+/// total time, descending (phases only in the new trace come last).
+pub fn diff_traces(base: &Trace, new: &Trace) -> Vec<PhaseDiff> {
+    let base_stats = base.phase_stats();
+    let new_stats = new.phase_stats();
+    let names: BTreeSet<&String> = base_stats.keys().chain(new_stats.keys()).collect();
+    let mut rows: Vec<PhaseDiff> = names
+        .into_iter()
+        .map(|name| PhaseDiff {
+            name: name.clone(),
+            base: base_stats.get(name).copied(),
+            new: new_stats.get(name).copied(),
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        let (ta, tb) = (
+            a.base.map_or(0, |s| s.total_ns),
+            b.base.map_or(0, |s| s.total_ns),
+        );
+        tb.cmp(&ta).then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Render the per-phase wall-time table:
+///
+/// ```text
+/// phase            count(base->new)  base_ms     new_ms      delta
+/// train.epoch      4->4              12.001      12.310      +2.6%
+/// ```
+pub fn render_diff_table(rows: &[PhaseDiff]) -> String {
+    let mut cells: Vec<[String; 5]> = vec![[
+        "phase".to_string(),
+        "count(base->new)".to_string(),
+        "base_ms".to_string(),
+        "new_ms".to_string(),
+        "delta".to_string(),
+    ]];
+    for row in rows {
+        let count = format!(
+            "{}->{}",
+            row.base.map_or(0, |s| s.count),
+            row.new.map_or(0, |s| s.count)
+        );
+        let base_ms = row
+            .base
+            .map_or_else(|| "-".to_string(), |s| fmt_ms(s.total_ns));
+        let new_ms = row
+            .new
+            .map_or_else(|| "-".to_string(), |s| fmt_ms(s.total_ns));
+        let delta = match row.delta_pct() {
+            Some(d) => format!("{d:+.1}%"),
+            None => "-".to_string(),
+        };
+        cells.push([row.name.clone(), count, base_ms, new_ms, delta]);
+    }
+    let mut widths = [0usize; 5];
+    for row in &cells {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in &cells {
+        let mut line = String::new();
+        for (w, cell) in widths.iter().zip(row) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// The largest total-time regression (positive delta) across all rows,
+/// in percent; 0 when nothing regressed or nothing is comparable.
+pub fn worst_regression_pct(rows: &[PhaseDiff]) -> f64 {
+    rows.iter()
+        .filter_map(PhaseDiff::delta_pct)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanRecord;
+
+    fn trace_of(phases: &[(&str, u64)]) -> Trace {
+        let mut spans = Vec::new();
+        let mut t = 0u64;
+        for (i, (name, dur)) in phases.iter().enumerate() {
+            spans.push(SpanRecord {
+                id: i as u64 + 1,
+                parent: 0,
+                name: (*name).to_string(),
+                tid: 1,
+                start_ns: t,
+                end_ns: t + dur,
+            });
+            t += dur;
+        }
+        Trace { spans, dropped: 0 }
+    }
+
+    #[test]
+    fn diff_pairs_phases_and_computes_delta() {
+        let base = trace_of(&[("train.epoch", 1_000_000), ("qsim.run", 2_000_000)]);
+        let new = trace_of(&[("train.epoch", 1_500_000), ("sa.trial", 400_000)]);
+        let rows = diff_traces(&base, &new);
+        assert_eq!(rows.len(), 3);
+        // Sorted by baseline total, descending.
+        assert_eq!(rows[0].name, "qsim.run");
+        assert_eq!(rows[1].name, "train.epoch");
+        assert_eq!(rows[2].name, "sa.trial");
+        let epoch = &rows[1];
+        assert!((epoch.delta_pct().unwrap() - 50.0).abs() < 1e-9);
+        assert!(rows[0].delta_pct().is_none()); // vanished phase
+        assert!(rows[2].delta_pct().is_none()); // new phase
+    }
+
+    #[test]
+    fn table_renders_every_phase_row() {
+        let base = trace_of(&[("a.phase", 1_000_000)]);
+        let new = trace_of(&[("a.phase", 2_000_000), ("b.phase", 5_000)]);
+        let table = render_diff_table(&diff_traces(&base, &new));
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("phase"));
+        assert!(lines[1].contains("a.phase"));
+        assert!(lines[1].contains("+100.0%"));
+        assert!(lines[1].contains("1->1"));
+        assert!(lines[2].contains("b.phase"));
+        assert!(lines[2].contains('-'));
+    }
+
+    #[test]
+    fn worst_regression_picks_largest_positive_delta() {
+        let base = trace_of(&[("a", 1_000), ("b", 1_000)]);
+        let new = trace_of(&[("a", 1_100), ("b", 900)]);
+        let rows = diff_traces(&base, &new);
+        let worst = worst_regression_pct(&rows);
+        assert!((worst - 10.0).abs() < 1e-6, "worst {worst}");
+        // All-improved runs report no regression.
+        let improved = diff_traces(&new, &base);
+        let relaxed = worst_regression_pct(
+            &improved
+                .into_iter()
+                .filter(|r| r.name == "b")
+                .collect::<Vec<_>>(),
+        );
+        assert!(relaxed > 0.0); // b got slower in reverse direction
+    }
+
+    #[test]
+    fn parse_trace_sniffs_both_formats() {
+        let t = trace_of(&[("x.y", 1_000)]);
+        let from_lines = parse_trace(&t.to_json_lines()).unwrap();
+        assert_eq!(from_lines.spans.len(), 1);
+        let from_chrome = parse_trace(&t.to_chrome_trace()).unwrap();
+        assert_eq!(from_chrome.spans.len(), 1);
+        assert!(parse_trace("not json at all").is_err());
+    }
+}

@@ -6,7 +6,7 @@ use crate::error::PlacementError;
 use crate::problem::PlacementProblem;
 use chainnet::graph::PlacementGraph;
 use chainnet::model::Surrogate;
-use chainnet_obs::Obs;
+use chainnet_obs::{Obs, Tracer};
 use chainnet_qsim::approx::{solve, ApproxConfig};
 use chainnet_qsim::model::Placement;
 use chainnet_qsim::sim::{SimConfig, Simulator};
@@ -37,6 +37,13 @@ pub trait Evaluator {
 
     /// Number of objective evaluations performed so far.
     fn evaluations(&self) -> u64;
+
+    /// Install a span tracer for self-profiling. Evaluators that do
+    /// interesting work record phase spans (`neural.forward`,
+    /// `neural.matmul`) under the driver's `sa.*` spans; the default is
+    /// a no-op, and tracing never changes any computed value. Wrappers
+    /// forward the tracer to their inner evaluators.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }
 
 /// An [`Evaluator`] that can score a whole set of candidate placements at
@@ -126,12 +133,17 @@ impl Evaluator for SimEvaluator {
 pub struct GnnEvaluator<S> {
     model: S,
     count: u64,
+    tracer: Tracer,
 }
 
 impl<S: Surrogate> GnnEvaluator<S> {
     /// Wrap a trained surrogate model.
     pub fn new(model: S) -> Self {
-        Self { model, count: 0 }
+        Self {
+            model,
+            count: 0,
+            tracer: Tracer::disabled(),
+        }
     }
 
     /// Access the wrapped model.
@@ -164,12 +176,10 @@ impl<S: Surrogate> Evaluator for GnnEvaluator<S> {
         self.count += 1;
         let model = problem.bind(placement.clone())?;
         let graph = PlacementGraph::from_model(&model, self.model.config().feature_mode);
-        let total: f64 = self
-            .model
-            .predict(&graph)
-            .iter()
-            .map(|p| p.throughput)
-            .sum();
+        let fwd_span = self.tracer.span("neural.forward");
+        let preds = self.model.predict(&graph);
+        fwd_span.close();
+        let total: f64 = preds.iter().map(|p| p.throughput).sum();
         if total.is_finite() {
             Ok(total)
         } else {
@@ -182,6 +192,10 @@ impl<S: Surrogate> Evaluator for GnnEvaluator<S> {
 
     fn evaluations(&self) -> u64 {
         self.count
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -208,9 +222,11 @@ impl<S: Surrogate> BatchEvaluator for GnnEvaluator<S> {
                 Err(e) => Some(e.into()),
             })
             .collect();
-        let mut totals = self
-            .model
-            .predict_batch(&graphs)
+        // The stacked blocked-matmul kernel phase of batched inference.
+        let matmul_span = self.tracer.span("neural.matmul");
+        let batch_preds = self.model.predict_batch(&graphs);
+        matmul_span.close();
+        let mut totals = batch_preds
             .into_iter()
             .map(|preds| preds.iter().map(|p| p.throughput).sum::<f64>());
         bind_errs
@@ -373,6 +389,11 @@ impl<P: Evaluator, F: Evaluator> Evaluator for ResilientEvaluator<P, F> {
 
     fn evaluations(&self) -> u64 {
         self.primary.evaluations() + self.fallback.evaluations()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.primary.set_tracer(tracer.clone());
+        self.fallback.set_tracer(tracer);
     }
 }
 

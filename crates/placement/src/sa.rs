@@ -561,6 +561,7 @@ impl SimulatedAnnealing {
         obs: &Obs,
     ) -> SaResult {
         let start = wall_timer();
+        evaluator.set_tracer(obs.tracer.clone());
         // Graceful degradation: if even the initial placement cannot be
         // evaluated, the search still runs — any successfully evaluated
         // candidate beats `-inf` and becomes the best-so-far.
@@ -579,6 +580,7 @@ impl SimulatedAnnealing {
         let mut proposals_total = 0u64;
         let mut accepted_total = 0u64;
         for t in 0..trials {
+            let trial_span = obs.tracer.span("sa.trial");
             let (trial, stopped) = self.run_trial_budgeted(
                 problem,
                 initial,
@@ -587,6 +589,7 @@ impl SimulatedAnnealing {
                 self.config.seed.wrapping_add(t as u64),
                 budget,
             );
+            trial_span.close();
             if trial.best_objective > best_obj {
                 best = trial.best_placement.clone();
                 best_obj = trial.best_objective;
@@ -710,6 +713,7 @@ impl SimulatedAnnealing {
         obs: &Obs,
     ) -> SaResult {
         let start = wall_timer();
+        evaluator.set_tracer(obs.tracer.clone());
         let neighborhood = neighborhood.max(1);
         let initial_objective = evaluator
             .total_throughput(problem, initial)
@@ -718,6 +722,7 @@ impl SimulatedAnnealing {
         let mut best = initial.clone();
         let mut best_obj = initial_objective;
         for t in 0..trials {
+            let _trial_span = obs.tracer.span("sa.trial");
             let trial_start = wall_timer();
             let mut rng = SmallRng::seed_from_u64(self.config.seed.wrapping_add(t as u64));
             let mut core = TrialCore::fresh(
@@ -789,6 +794,7 @@ impl SimulatedAnnealing {
         trial_start: Instant,
         obs: &Obs,
     ) {
+        let _iter_span = obs.tracer.span("sa.iteration");
         let mut candidates = Vec::with_capacity(neighborhood);
         for _ in 0..neighborhood {
             if let Some(c) = self.propose(problem, &core.current, rng) {
@@ -798,7 +804,9 @@ impl SimulatedAnnealing {
         let (candidate_objective, accepted) = if candidates.is_empty() {
             (core.current_obj, false)
         } else {
+            let batch_span = obs.tracer.span("sa.batch_eval");
             let scores = evaluator.total_throughput_batch(problem, &candidates);
+            batch_span.close();
             if obs.is_enabled() {
                 obs.registry.counter("sa.batch_evals").inc();
             }
@@ -1365,6 +1373,48 @@ mod tests {
         assert_eq!(snap.gauges["sa.best_objective"], observed.best_objective);
         let expected_temp = 0.5 * 0.9f64.powi(12);
         assert!((snap.gauges["sa.temperature"] - expected_temp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_search_is_bit_identical_and_records_causal_spans() {
+        use chainnet_obs::Tracer;
+        let p = lopsided_problem();
+        let init = p.initial_placement().unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig::paper_default().with_max_steps(6));
+        let mut ev1 = SimEvaluator::new(SimConfig::new(300.0, 11));
+        let mut ev2 = SimEvaluator::new(SimConfig::new(300.0, 11));
+        let plain = sa.optimize_neighborhood(&p, &init, &mut ev1, 2, 3);
+        let obs = Obs::enabled().with_tracer(Tracer::enabled());
+        let traced = sa.optimize_neighborhood_observed(&p, &init, &mut ev2, 2, 3, &obs);
+        // Span tracing must not perturb the trajectory in any way.
+        assert_eq!(plain.best_placement, traced.best_placement);
+        assert_eq!(plain.best_objective, traced.best_objective);
+        assert_eq!(plain.evaluations, traced.evaluations);
+        // Per-step trajectory must be bit-identical under tracing
+        // (`elapsed_secs` is wall clock, so it differs between any two
+        // runs — compare the decision fields).
+        assert_eq!(plain.trials[0].steps.len(), traced.trials[0].steps.len());
+        for (a, b) in plain.trials[0].steps.iter().zip(&traced.trials[0].steps) {
+            assert_eq!(a.candidate_objective, b.candidate_objective);
+            assert_eq!(a.current_objective, b.current_objective);
+            assert_eq!(a.best_objective, b.best_objective);
+            assert_eq!(a.accepted, b.accepted);
+        }
+        let trace = obs.tracer.take();
+        trace.validate().unwrap();
+        let stats = trace.phase_stats();
+        assert_eq!(stats["sa.trial"].count, 2);
+        assert_eq!(stats["sa.iteration"].count, 12);
+        // Iterations are children of trials, batch evals of iterations.
+        let trial_ids: Vec<u64> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "sa.trial")
+            .map(|s| s.id)
+            .collect();
+        for s in trace.spans.iter().filter(|s| s.name == "sa.iteration") {
+            assert!(trial_ids.contains(&s.parent));
+        }
     }
 
     #[test]

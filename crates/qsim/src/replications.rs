@@ -4,9 +4,11 @@
 //! single horizon is too short for the warm-up to wash out.
 
 use crate::error::Result;
+use crate::faults::FaultSchedule;
 use crate::model::SystemModel;
 use crate::sim::{SimConfig, SimResult, Simulator};
 use crate::stats::Welford;
+use chainnet_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated per-chain estimates across replications.
@@ -88,13 +90,37 @@ pub fn replicate(
     config: &SimConfig,
     replications: usize,
 ) -> Result<ReplicatedResult> {
+    replicate_observed(model, config, replications, &Obs::disabled())
+}
+
+/// [`replicate`] with observability: each replication is wrapped in a
+/// `qsim.replication` span (nesting the simulator's own `qsim.run`
+/// span), so a trace shows per-seed wall time and causality. With a
+/// disabled `obs` this is exactly [`replicate`].
+///
+/// # Errors
+///
+/// Same as [`replicate`].
+///
+/// # Panics
+///
+/// Panics if `replications == 0`.
+pub fn replicate_observed(
+    model: &SystemModel,
+    config: &SimConfig,
+    replications: usize,
+    obs: &Obs,
+) -> Result<ReplicatedResult> {
     assert!(replications >= 1, "need at least one replication");
     let sim = Simulator::new();
     let mut runs = Vec::with_capacity(replications);
     for r in 0..replications {
+        let span = obs.tracer.span("qsim.replication");
         let mut cfg = *config;
         cfg.seed = config.seed.wrapping_add(r as u64);
-        runs.push(sim.run(model, &cfg)?);
+        let run = sim.run_faulted_observed(model, &cfg, &FaultSchedule::new(), obs);
+        span.close();
+        runs.push(run?);
     }
 
     let num_chains = model.chains().len();

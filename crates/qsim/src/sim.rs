@@ -484,6 +484,7 @@ impl Simulator {
         faults: &FaultSchedule,
         obs: &Obs,
     ) -> Result<SimResult> {
+        let _span = obs.tracer.span("qsim.run");
         faults.validate(model)?;
         let wall_timer = obs.is_enabled().then(|| {
             obs.registry
@@ -1497,6 +1498,22 @@ mod tests {
         );
         assert_eq!(snap.histograms["qsim.run_wall_seconds"].count, 1);
         assert!(snap.histograms["qsim.device.queue_depth"].count > 0);
+    }
+
+    #[test]
+    fn span_traced_run_is_bit_identical_and_records_qsim_run_span() {
+        use chainnet_obs::Tracer;
+        let model = single_station(0.9, 1.0, 3.0);
+        let cfg = SimConfig::new(2_000.0, 42);
+        let plain = Simulator::new().run(&model, &cfg).unwrap();
+        let obs = Obs::enabled().with_tracer(Tracer::enabled());
+        let traced = Simulator::new().run_observed(&model, &cfg, &obs).unwrap();
+        // Span tracing must not perturb the simulation: every event,
+        // statistic, and golden trace entry stays bit-identical.
+        assert_eq!(plain, traced);
+        let spans = obs.tracer.take();
+        spans.validate().unwrap();
+        assert_eq!(spans.phase_stats()["qsim.run"].count, 1);
     }
 
     #[test]

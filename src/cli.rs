@@ -24,7 +24,7 @@ use chainnet_datagen::dataset::{
 };
 use chainnet_datagen::error::DatagenError;
 use chainnet_datagen::typesets::NetworkParams;
-use chainnet_obs::{EventLog, Obs};
+use chainnet_obs::{EventLog, Obs, Tracer};
 use chainnet_placement::error::PlacementError;
 use chainnet_placement::evaluator::{loss_probability, Evaluator, GnnEvaluator, SimEvaluator};
 use chainnet_placement::problem::PlacementProblem;
@@ -143,6 +143,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "sim-deadline",
             "metrics-out",
             "log-json",
+            "trace-out",
         ]),
         "gen-dataset" => Some(&[
             "out",
@@ -152,6 +153,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "seed",
             "metrics-out",
             "log-json",
+            "trace-out",
             "checkpoint-dir",
             "checkpoint-every",
             "resume",
@@ -167,6 +169,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "seed",
             "metrics-out",
             "log-json",
+            "trace-out",
             "checkpoint-dir",
             "checkpoint-every",
             "resume",
@@ -183,6 +186,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "out",
             "metrics-out",
             "log-json",
+            "trace-out",
             "checkpoint-dir",
             "checkpoint-every",
             "resume",
@@ -278,6 +282,14 @@ OBSERVABILITY (simulate, gen-dataset, train, optimize):
                                finishes (`.prom` extension selects the
                                Prometheus text format instead of JSON)
   --log-json events.jsonl      append structured JSON-lines events
+  --trace-out trace.json       record causal spans (qsim.run, train.epoch,
+                               sa.batch_eval, …) and write them when the
+                               command finishes: Chrome trace_event JSON
+                               by default (loadable in chrome://tracing or
+                               Perfetto), a raw span log with `.jsonl` /
+                               `.spans`, collapsed flamegraph stacks with
+                               `.folded` / `.collapsed`; diff two trace
+                               files with the `trace-report` binary
 
 CHECKPOINTING (gen-dataset, train, optimize):
   --checkpoint-dir DIR         persist crash-safe, checksummed state so a
@@ -318,18 +330,22 @@ fn checkpoint_options(
     Ok(Some((store, every, resume)))
 }
 
-/// Build the telemetry context from `--metrics-out` / `--log-json`.
-/// Returns the disabled context when neither flag is given, so the
-/// instrumented code paths cost one branch per site.
+/// Build the telemetry context from `--metrics-out` / `--log-json` /
+/// `--trace-out`. Returns the disabled context when no flag is given, so
+/// the instrumented code paths cost one branch per site.
 fn build_obs(inv: &Invocation) -> Result<Obs, CliError> {
     let metrics_out = inv.options.get("metrics-out");
     let log_json = inv.options.get("log-json");
-    if metrics_out.is_none() && log_json.is_none() {
+    let trace_out = inv.options.get("trace-out");
+    if metrics_out.is_none() && log_json.is_none() && trace_out.is_none() {
         return Ok(Obs::disabled());
     }
     let mut obs = Obs::enabled();
     if let Some(path) = log_json {
         obs = obs.with_events(EventLog::to_file(Path::new(path))?);
+    }
+    if trace_out.is_some() {
+        obs = obs.with_tracer(Tracer::enabled());
     }
     Ok(obs)
 }
@@ -350,6 +366,27 @@ fn write_metrics(inv: &Invocation, obs: &Obs) -> Result<(), CliError> {
     };
     chainnet_ckpt::atomic_write(Path::new(path), rendered.as_bytes())?;
     obs.events.flush();
+    Ok(())
+}
+
+/// Drain the span tracer and write the trace to `--trace-out` (if
+/// given). The extension picks the format: `.jsonl`/`.spans` for the
+/// raw JSON-lines span log, `.folded`/`.collapsed` for flamegraph
+/// collapsed stacks, anything else for Chrome `trace_event` JSON. The
+/// write is atomic like [`write_metrics`].
+fn write_trace(inv: &Invocation, obs: &Obs) -> Result<(), CliError> {
+    let Some(path) = inv.options.get("trace-out") else {
+        return Ok(());
+    };
+    let trace = obs.tracer.take();
+    let rendered = if path.ends_with(".jsonl") || path.ends_with(".spans") {
+        trace.to_json_lines()
+    } else if path.ends_with(".folded") || path.ends_with(".collapsed") {
+        trace.to_collapsed_stacks()
+    } else {
+        trace.to_chrome_trace()
+    };
+    chainnet_ckpt::atomic_write(Path::new(path), rendered.as_bytes())?;
     Ok(())
 }
 
@@ -468,6 +505,7 @@ fn cmd_simulate(inv: &Invocation) -> Result<String, CliError> {
     // with a model error instead of panicking mid-run.
     let result = Simulator::new().run_faulted_observed(&system, &cfg, &faults, &obs)?;
     write_metrics(inv, &obs)?;
+    write_trace(inv, &obs)?;
     Ok(serde_json::to_string_pretty(&result)?)
 }
 
@@ -524,6 +562,7 @@ fn cmd_gen_dataset(inv: &Invocation) -> Result<String, CliError> {
     };
     write_json(out, &raw)?;
     write_metrics(inv, &obs)?;
+    write_trace(inv, &obs)?;
     Ok(format!("wrote {} samples to {out}", raw.len()))
 }
 
@@ -563,6 +602,7 @@ fn cmd_train(inv: &Invocation) -> Result<String, CliError> {
     };
     write_json(out, &model)?;
     write_metrics(inv, &obs)?;
+    write_trace(inv, &obs)?;
     let mut msg = String::new();
     writeln!(
         msg,
@@ -705,6 +745,7 @@ fn cmd_optimize(inv: &Invocation) -> Result<String, CliError> {
     let model = problem.bind(result.best_placement.clone())?;
     let sim = Simulator::new().run(&model, &SimConfig::new(horizon, seed ^ 0xdead))?;
     write_metrics(inv, &obs)?;
+    write_trace(inv, &obs)?;
     let lam = problem.total_arrival_rate();
     if let Some(out) = inv.options.get("out") {
         write_json(out, &result.best_placement)?;
@@ -1190,6 +1231,175 @@ mod tests {
         assert!(snap.counters["sa.batch_evals"] > 0);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn train_trace_out_writes_valid_chrome_trace() {
+        let data_path = temp("trace_train_data.json");
+        let model_path = temp("trace_train_model.json");
+        let trace_path = temp("trace_train.json");
+        run(&parse_args(&args(&[
+            "gen-dataset",
+            "--out",
+            &data_path,
+            "--samples",
+            "3",
+            "--horizon",
+            "120",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse_args(&args(&[
+            "train",
+            "--data",
+            &data_path,
+            "--out",
+            &model_path,
+            "--epochs",
+            "2",
+            "--hidden",
+            "8",
+            "--iterations",
+            "2",
+            "--trace-out",
+            &trace_path,
+        ]))
+        .unwrap())
+        .unwrap();
+        // The file is well-formed Chrome trace_event JSON...
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let json: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(json
+            .get("traceEvents")
+            .and_then(|v| v.as_seq())
+            .is_some_and(|events| !events.is_empty()));
+        // ...that parses back into a structurally valid trace
+        // (unique ids, live parents, children nested inside parents).
+        let trace = chainnet_obs::report::parse_trace(&text).unwrap();
+        trace.validate().unwrap();
+        let stats = trace.phase_stats();
+        assert_eq!(stats["train.epoch"].count, 2);
+        assert!(stats["train.step"].count >= 2);
+        assert!(stats["neural.forward"].count >= stats["train.step"].count);
+        assert_eq!(
+            stats["neural.forward"].count,
+            stats["neural.backward"].count
+        );
+        // Forward spans nest under steps, steps under epochs.
+        let step_ids: Vec<u64> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "train.step")
+            .map(|s| s.id)
+            .collect();
+        let epoch_ids: Vec<u64> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "train.epoch")
+            .map(|s| s.id)
+            .collect();
+        for s in &trace.spans {
+            match s.name.as_str() {
+                "train.step" => assert!(epoch_ids.contains(&s.parent)),
+                "neural.forward" | "neural.backward" => {
+                    assert!(step_ids.contains(&s.parent), "{} under step", s.name)
+                }
+                _ => {}
+            }
+        }
+        for p in [&data_path, &model_path, &trace_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn optimize_neighborhood_trace_has_sa_spans_and_diffs() {
+        let devices = vec![
+            Device::new(5.0, 0.3).unwrap(),
+            Device::new(30.0, 2.0).unwrap(),
+            Device::new(30.0, 2.0).unwrap(),
+        ];
+        let chains = vec![ServiceChain::new(
+            1.0,
+            vec![
+                Fragment::new(1.0, 1.0).unwrap(),
+                Fragment::new(1.0, 1.0).unwrap(),
+            ],
+        )
+        .unwrap()];
+        let problem = PlacementProblem::new(devices, chains).unwrap();
+        let path = temp("trace_nbhd_problem.json");
+        std::fs::write(&path, serde_json::to_string(&problem).unwrap()).unwrap();
+        let trace_path = temp("trace_nbhd.json");
+        run(&parse_args(&args(&[
+            "optimize",
+            "--problem",
+            &path,
+            "--steps",
+            "5",
+            "--trials",
+            "2",
+            "--horizon",
+            "300",
+            "--neighborhood",
+            "4",
+            "--trace-out",
+            &trace_path,
+        ]))
+        .unwrap())
+        .unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let trace = chainnet_obs::report::parse_trace(&text).unwrap();
+        trace.validate().unwrap();
+        let stats = trace.phase_stats();
+        assert_eq!(stats["sa.trial"].count, 2);
+        assert_eq!(stats["sa.iteration"].count, 10);
+        assert!(stats["sa.batch_eval"].count >= 1);
+        // The cross-run diff emits one table row per phase.
+        let rows = chainnet_obs::report::diff_traces(&trace, &trace);
+        let table = chainnet_obs::report::render_diff_table(&rows);
+        for phase in ["sa.trial", "sa.iteration", "sa.batch_eval"] {
+            assert!(table.contains(phase), "diff table should list {phase}");
+        }
+        assert_eq!(chainnet_obs::report::worst_regression_pct(&rows), 0.0);
+        for p in [&path, &trace_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn trace_out_extension_selects_format() {
+        let devices = vec![Device::new(10.0, 1.0).unwrap()];
+        let chains = vec![ServiceChain::new(0.5, vec![Fragment::new(1.0, 1.0).unwrap()]).unwrap()];
+        let system = SystemModel::new(devices, chains, Placement::new(vec![vec![0]])).unwrap();
+        let sys_path = temp("trace_fmt_system.json");
+        std::fs::write(&sys_path, serde_json::to_string(&system).unwrap()).unwrap();
+        let folded_path = format!("{}.folded", temp("trace_fmt"));
+        let spans_path = format!("{}.jsonl", temp("trace_fmt"));
+        for trace_path in [&folded_path, &spans_path] {
+            run(&parse_args(&args(&[
+                "simulate",
+                "--system",
+                &sys_path,
+                "--horizon",
+                "500",
+                "--trace-out",
+                trace_path,
+            ]))
+            .unwrap())
+            .unwrap();
+        }
+        // Collapsed stacks: `name value` lines, rooted at qsim.run.
+        let folded = std::fs::read_to_string(&folded_path).unwrap();
+        assert!(folded.lines().any(|l| l.starts_with("qsim.run ")));
+        // JSON-lines span log round-trips through the typed parser.
+        let spans = std::fs::read_to_string(&spans_path).unwrap();
+        let trace = chainnet_obs::Trace::from_json_lines(&spans).unwrap();
+        trace.validate().unwrap();
+        assert_eq!(trace.phase_stats()["qsim.run"].count, 1);
+        for p in [&sys_path, &folded_path, &spans_path] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]
