@@ -152,6 +152,14 @@ pub struct EpochStats {
 pub struct TrainReport {
     /// Per-epoch statistics in order.
     pub history: Vec<EpochStats>,
+    /// Set when the run wound down early because cooperative
+    /// cancellation (`obs.cancel`, e.g. a SIGTERM handler) was
+    /// requested. The history up to the cancellation point is complete,
+    /// and — for checkpointed runs — a final checkpoint was flushed at
+    /// the epoch boundary so `--resume` continues exactly where the
+    /// interrupted run stopped.
+    #[serde(default)]
+    pub interrupted: bool,
 }
 
 impl TrainReport {
@@ -268,6 +276,13 @@ impl Trainer {
         tape.set_tracer(obs.tracer.clone());
 
         for epoch in 0..cfg.epochs {
+            // Cooperative cancellation at the epoch boundary, mirroring
+            // the guarded/checkpointed path: the history so far is
+            // complete and `interrupted` records the early exit.
+            if obs.cancel.is_set() {
+                report.interrupted = true;
+                break;
+            }
             let _epoch_span = obs.tracer.span("train.epoch");
             let epoch_timer = obs.is_enabled().then(|| {
                 obs.registry
@@ -523,6 +538,37 @@ impl Trainer {
         let mut tape = Tape::new();
 
         for epoch in start_epoch..cfg.epochs {
+            // Cooperative cancellation: wind down at the epoch boundary.
+            // The state at the top of epoch `e` (pre-shuffle RNG, order)
+            // is bit-identical to the end-of-epoch `e-1` state, so the
+            // flushed checkpoint reuses sequence number `e` and a later
+            // `--resume` replays the exact trajectory the uninterrupted
+            // run would have taken.
+            if obs.cancel.is_set() {
+                // The checkpointed history stays clean: `interrupted`
+                // describes this process's exit, not the state on disk.
+                if let Some((store, _, _)) = ckpt {
+                    if epoch > 0 {
+                        let state = TrainCheckpoint {
+                            config: cfg,
+                            guard: *guard,
+                            num_samples: train.len(),
+                            epoch_next: epoch,
+                            params: model.params().clone(),
+                            adam: adam.clone(),
+                            rng: rng.state(),
+                            order: order.clone(),
+                            last_good: last_good.clone(),
+                            consecutive_trips,
+                            total_trips,
+                            history: report.clone(),
+                        };
+                        store.save_state(epoch as u64, &state)?;
+                    }
+                }
+                report.interrupted = true;
+                return Ok(report);
+            }
             let epoch_timer = obs.is_enabled().then(|| {
                 obs.registry
                     .histogram("train.epoch_seconds", EPOCH_SECONDS_BUCKETS)

@@ -351,6 +351,15 @@ pub fn generate_raw_dataset_sharded_observed(
     let num_shards = config.samples.div_ceil(shard_size);
     let mut all = Vec::with_capacity(config.samples);
     for shard in 0..num_shards {
+        // Cooperative cancellation at the shard boundary: everything
+        // generated so far is already durable, so stopping here loses
+        // no work — the typed error tells the caller to resume later.
+        if obs.cancel.is_set() {
+            return Err(DatagenError::Interrupted {
+                shards_done: shard,
+                shards_total: num_shards,
+            });
+        }
         let start = shard * shard_size;
         let len = shard_size.min(config.samples - start);
         let seq = shard as u64 + 1;

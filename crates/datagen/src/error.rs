@@ -21,6 +21,16 @@ pub enum DatagenError {
     /// requested sweep (see
     /// [`generate_raw_dataset_sharded`](crate::dataset::generate_raw_dataset_sharded)).
     Checkpoint(CkptError),
+    /// Cooperative cancellation (`obs.cancel`, e.g. a SIGTERM handler)
+    /// stopped a sharded sweep at a shard boundary. Every shard
+    /// completed so far is already checkpointed on disk; rerunning with
+    /// `resume = true` picks up exactly where the sweep stopped.
+    Interrupted {
+        /// Shards fully generated and persisted before the stop.
+        shards_done: usize,
+        /// Total shards the sweep was asked for.
+        shards_total: usize,
+    },
 }
 
 impl std::fmt::Display for DatagenError {
@@ -35,6 +45,14 @@ impl std::fmt::Display for DatagenError {
             }
             Self::EmptyDataset => write!(f, "dataset is empty"),
             Self::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            Self::Interrupted {
+                shards_done,
+                shards_total,
+            } => write!(
+                f,
+                "generation cancelled after {shards_done}/{shards_total} shard(s); \
+                 completed shards are checkpointed — rerun with resume to continue"
+            ),
         }
     }
 }

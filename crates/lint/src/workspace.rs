@@ -82,6 +82,7 @@ impl WorkspaceSpec {
                 CrateSpec::new("chainnet", "crates/core", Library, true),
                 CrateSpec::new("chainnet-placement", "crates/placement", Library, true),
                 CrateSpec::new("chainnet-datagen", "crates/datagen", Library, false),
+                CrateSpec::new("chainnet-serve", "crates/serve", Library, false),
                 CrateSpec::new("chainnet-lint", "crates/lint", Library, false),
                 CrateSpec::new("chainnet-bench", "crates/bench", Harness, false),
                 CrateSpec::new("chainnet-suite", ".", Harness, false),

@@ -1,0 +1,80 @@
+//! Cooperative cancellation: a cloneable boolean flag that long-running
+//! loops poll at deterministic boundaries (epoch start, SA step-budget
+//! check, datagen shard start) so a SIGTERM/SIGINT can be turned into
+//! "finish the current unit, flush a checkpoint, exit cleanly" instead
+//! of dying mid-write.
+//!
+//! The flag rides on [`crate::Obs`] (`obs.cancel`) so every
+//! `*_observed` entry point already has access to it without new
+//! parameters. A default-constructed flag is never set, which keeps
+//! uninstrumented callers unaffected: the poll is a single relaxed-ish
+//! atomic load.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning shares the underlying bit.
+///
+/// Setting is one-way: there is deliberately no `clear()` — a run that
+/// observed cancellation must wind down, not resume. Create a fresh
+/// flag for a fresh run.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag {
+    inner: Arc<AtomicBool>,
+}
+
+impl CancelFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn set(&self) {
+        self.inner.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_set(&self) -> bool {
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    /// The shared atomic, for wiring into signal handlers
+    /// (`signal_hook::flag::register` wants an `Arc<AtomicBool>`).
+    pub fn shared(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_bit() {
+        let a = CancelFlag::new();
+        let b = a.clone();
+        assert!(!a.is_set() && !b.is_set());
+        b.set();
+        assert!(a.is_set() && b.is_set());
+        // Idempotent.
+        a.set();
+        assert!(a.is_set());
+    }
+
+    #[test]
+    fn shared_atomic_feeds_back_into_the_flag() {
+        let flag = CancelFlag::new();
+        let shared = flag.shared();
+        shared.store(true, Ordering::SeqCst);
+        assert!(flag.is_set());
+    }
+
+    #[test]
+    fn fresh_flags_are_independent() {
+        let a = CancelFlag::new();
+        a.set();
+        let b = CancelFlag::new();
+        assert!(!b.is_set());
+    }
+}

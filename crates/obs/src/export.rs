@@ -19,6 +19,79 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the bucket
+    /// counts, Prometheus `histogram_quantile` style: find the bucket
+    /// containing the target rank `q * count` and interpolate linearly
+    /// between the bucket's lower and upper bound.
+    ///
+    /// Edge cases are deliberately well-defined rather than surprising
+    /// (an empty `serve.request_seconds` histogram must not report a
+    /// p99 of `0.0` or `+Inf` in a soak report):
+    ///
+    /// * **Empty histogram** (`count == 0`) → `None`. There is no data;
+    ///   callers must render "n/a", not a number.
+    /// * **Invalid `q`** (NaN or outside `[0, 1]`) → `None`.
+    /// * **Single observation** → every quantile returns the upper
+    ///   bound of the one occupied bucket (a finite, honest "at most
+    ///   this much" answer — within a bucket there is no finer
+    ///   information).
+    /// * **Overflow (`+Inf`) bucket** → clamps to the largest finite
+    ///   bound; the estimate is a lower bound and the caller can detect
+    ///   the case via `counts.last()`.
+    /// * `q == 0.0` returns the lower edge of the first occupied
+    ///   bucket (0 for the first bucket, mirroring Prometheus).
+    ///
+    /// The estimate is monotone non-decreasing in `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        if self.count == 1 {
+            // One observation: every quantile is the same point. The
+            // bucket's upper bound is the only honest finite answer
+            // (interpolating would invent sub-bucket precision that a
+            // single sample cannot support).
+            let occupied = self.counts.iter().position(|&c| c > 0)?;
+            return Some(match self.bounds.get(occupied) {
+                Some(&b) => b,
+                // Overflow bucket: clamp to the largest finite bound.
+                None => self.bounds.last().copied().unwrap_or(0.0),
+            });
+        }
+        // Rank in [0, count]; the observation we want is the smallest
+        // cumulative count ≥ target.
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        let mut lower = 0.0_f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let upper = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            let next = cumulative + c;
+            if c > 0 && target <= next as f64 {
+                if upper.is_infinite() {
+                    // Overflow bucket: clamp to the largest finite
+                    // bound (or the lower edge if there are no finite
+                    // bounds at all).
+                    return Some(self.bounds.last().copied().unwrap_or(lower));
+                }
+                // Linear interpolation within [lower, upper]. With
+                // target ≤ cumulative (bucket fully below the rank,
+                // q == 0 case) this clamps to the lower edge.
+                let into = (target - cumulative as f64).max(0.0);
+                let frac = if c == 0 { 0.0 } else { into / c as f64 };
+                return Some(lower + (upper - lower) * frac.min(1.0));
+            }
+            cumulative = next;
+            if upper.is_finite() {
+                lower = upper;
+            }
+        }
+        // count > 0 guarantees some bucket matched above; the final
+        // bucket's cumulative equals count and target ≤ count.
+        None
+    }
+}
+
 /// A point-in-time copy of every metric in a registry.
 ///
 /// Keys are the registry's metric names, including any
@@ -425,5 +498,91 @@ mod tests {
     fn malformed_prometheus_is_rejected() {
         assert!(Snapshot::from_prometheus("no_type_line 3").is_err());
         assert!(Snapshot::from_prometheus("# TYPE x widget\nx 1").is_err());
+    }
+
+    fn hist(bounds: &[f64], counts: &[u64]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts: counts.to_vec(),
+            sum: 0.0,
+            count: counts.iter().sum(),
+        }
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        let h = hist(&[0.1, 1.0], &[0, 0, 0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.99), None);
+        assert_eq!(h.quantile(0.0), None);
+    }
+
+    #[test]
+    fn quantile_rejects_invalid_q() {
+        let h = hist(&[0.1, 1.0], &[1, 1, 0]);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn quantile_single_observation_is_its_bucket_bound() {
+        // One observation in the second bucket: every quantile reports
+        // that bucket's upper bound.
+        let h = hist(&[0.1, 1.0, 10.0], &[0, 1, 0, 0]);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(1.0), "q={q}");
+        }
+        // One observation in the overflow bucket clamps to the largest
+        // finite bound.
+        let h = hist(&[0.1, 1.0], &[0, 0, 1]);
+        assert_eq!(h.quantile(0.99), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_and_is_monotone() {
+        // 10 observations spread over buckets (0, 1], (1, 2].
+        let h = hist(&[1.0, 2.0], &[5, 5, 0]);
+        // Median sits exactly at the bucket boundary.
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        // p90 is 4/5 into the second bucket: 1 + 0.8 = 1.8.
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p90 - 1.8).abs() < 1e-12, "p90={p90}");
+        // q = 0 is the lower edge of the first occupied bucket.
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        // Monotone non-decreasing as q sweeps.
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let v = h.quantile(i as f64 / 100.0).unwrap();
+            assert!(v >= last, "not monotone at q={}", i as f64 / 100.0);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_clamps_to_largest_finite_bound() {
+        let h = hist(&[0.5, 5.0], &[1, 1, 8]);
+        // p99 lands in the +Inf bucket → clamps to 5.0, and the caller
+        // can see the clamp via the overflow count.
+        assert_eq!(h.quantile(0.99), Some(5.0));
+        assert_eq!(*h.counts.last().unwrap(), 8);
+    }
+
+    #[test]
+    fn quantile_from_live_registry_roundtrip() {
+        let r = Registry::new();
+        let h = r.histogram("demo.latency_seconds", &[0.01, 0.1, 1.0]);
+        for _ in 0..99 {
+            h.observe(0.05);
+        }
+        h.observe(0.5);
+        let snap = r.snapshot();
+        let hs = &snap.histograms["demo.latency_seconds"];
+        // p50 interpolates within (0.01, 0.1]; p995 reaches the
+        // (0.1, 1.0] bucket.
+        let p50 = hs.quantile(0.5).unwrap();
+        assert!(p50 > 0.01 && p50 <= 0.1, "p50={p50}");
+        let p995 = hs.quantile(0.995).unwrap();
+        assert!(p995 > 0.1 && p995 <= 1.0, "p995={p995}");
     }
 }

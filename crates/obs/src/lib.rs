@@ -53,12 +53,14 @@
 //! println!("{}", snapshot.to_prometheus());
 //! ```
 
+pub mod cancel;
 pub mod events;
 pub mod export;
 pub mod registry;
 pub mod report;
 pub mod trace;
 
+pub use cancel::CancelFlag;
 pub use events::EventLog;
 pub use export::{HistogramSnapshot, PromParseError, Snapshot};
 pub use registry::{labeled, Counter, Gauge, Histogram, Registry, ScopedTimer};
@@ -83,6 +85,12 @@ pub struct Obs {
     pub events: EventLog,
     /// Span tracer (no-op unless explicitly attached).
     pub tracer: Tracer,
+    /// Cooperative cancellation flag. Long-running loops (training
+    /// epochs, SA step budget checks, datagen shards) poll this at
+    /// deterministic boundaries and wind down cleanly — flushing a
+    /// final checkpoint — when it is set. Never set on a default
+    /// context, so uninstrumented callers are unaffected.
+    pub cancel: CancelFlag,
     enabled: bool,
 }
 
@@ -99,8 +107,19 @@ impl Obs {
             registry: Registry::new(),
             events: EventLog::disabled(),
             tracer: Tracer::disabled(),
+            cancel: CancelFlag::new(),
             enabled: true,
         }
+    }
+
+    /// Attach a shared cancellation flag (builder-style). Unlike the
+    /// event/tracer builders this does **not** imply enabled:
+    /// cancellation is control flow, not telemetry, and must work on a
+    /// metrics-disabled context too.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelFlag) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Attach an event sink (builder-style); implies enabled.
@@ -150,6 +169,16 @@ mod tests {
         assert_eq!(trace.spans[0].name, "demo.phase");
         // The default context keeps the tracer off.
         assert!(!Obs::enabled().tracer.is_enabled());
+    }
+
+    #[test]
+    fn with_cancel_shares_the_flag_without_enabling() {
+        let flag = CancelFlag::new();
+        let obs = Obs::disabled().with_cancel(flag.clone());
+        assert!(!obs.is_enabled());
+        assert!(!obs.cancel.is_set());
+        flag.set();
+        assert!(obs.cancel.is_set());
     }
 
     #[test]

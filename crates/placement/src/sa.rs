@@ -6,7 +6,7 @@ use crate::error::PlacementError;
 use crate::evaluator::{BatchEvaluator, Evaluator};
 use crate::problem::PlacementProblem;
 use chainnet_ckpt::{CkptError, CkptStore};
-use chainnet_obs::Obs;
+use chainnet_obs::{CancelFlag, Obs};
 use chainnet_qsim::model::Placement;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -113,6 +113,10 @@ pub enum TerminationReason {
     MaxEvaluations,
     /// The [`SaConfig::max_wall_secs`] deadline passed.
     WallClock,
+    /// Cooperative cancellation (`obs.cancel`, typically a
+    /// SIGTERM/SIGINT handler) was requested; the search stopped at the
+    /// next step boundary and returned the best-so-far.
+    Cancelled,
 }
 
 impl std::fmt::Display for TerminationReason {
@@ -121,6 +125,7 @@ impl std::fmt::Display for TerminationReason {
             Self::Completed => "completed",
             Self::MaxEvaluations => "evaluation cap reached",
             Self::WallClock => "wall-clock deadline reached",
+            Self::Cancelled => "cancelled",
         })
     }
 }
@@ -428,15 +433,17 @@ impl SimulatedAnnealing {
             evaluator,
             trial_seed,
             None,
+            &CancelFlag::default(),
         )
         .0
     }
 
     /// [`run_trial`](Self::run_trial) that additionally stops early when
     /// the search-wide budget (deadline / evaluation cap, measured from
-    /// `budget`'s start instant) is exhausted. Returns the trial —
-    /// best-so-far even when truncated — and the reason it stopped
-    /// early, if any.
+    /// `budget`'s start instant) is exhausted or cooperative
+    /// cancellation is requested. Returns the trial — best-so-far even
+    /// when truncated — and the reason it stopped early, if any.
+    #[allow(clippy::too_many_arguments)]
     fn run_trial_budgeted(
         &self,
         problem: &PlacementProblem,
@@ -445,6 +452,7 @@ impl SimulatedAnnealing {
         evaluator: &mut dyn Evaluator,
         trial_seed: u64,
         budget: Option<(Instant, Option<f64>, Option<u64>)>,
+        cancel: &CancelFlag,
     ) -> (SaTrial, Option<TerminationReason>) {
         let start = wall_timer();
         let mut rng = SmallRng::seed_from_u64(trial_seed);
@@ -457,6 +465,12 @@ impl SimulatedAnnealing {
         let mut stopped: Option<TerminationReason> = None;
 
         for step in 0..self.config.max_steps {
+            // Cancellation beats budget: a SIGTERM'd search should say
+            // so even if the deadline lapsed at the same instant.
+            if cancel.is_set() {
+                stopped = Some(TerminationReason::Cancelled);
+                break;
+            }
             if let Some((search_start, deadline, max_evals)) = budget {
                 if let Some(secs) = deadline.filter(|s| s.is_finite() && *s >= 0.0) {
                     if search_start.elapsed().as_secs_f64() >= secs {
@@ -588,6 +602,7 @@ impl SimulatedAnnealing {
                 evaluator,
                 self.config.seed.wrapping_add(t as u64),
                 budget,
+                &obs.cancel,
             );
             trial_span.close();
             if trial.best_objective > best_obj {
@@ -721,6 +736,7 @@ impl SimulatedAnnealing {
         let mut result_trials = Vec::with_capacity(trials);
         let mut best = initial.clone();
         let mut best_obj = initial_objective;
+        let mut termination_reason = TerminationReason::Completed;
         for t in 0..trials {
             let _trial_span = obs.tracer.span("sa.trial");
             let trial_start = wall_timer();
@@ -732,6 +748,10 @@ impl SimulatedAnnealing {
                 self.config.max_steps,
             );
             for step in 0..self.config.max_steps {
+                if obs.cancel.is_set() {
+                    termination_reason = TerminationReason::Cancelled;
+                    break;
+                }
                 self.neighborhood_step(
                     problem,
                     evaluator,
@@ -758,6 +778,9 @@ impl SimulatedAnnealing {
                 obs.registry.gauge("sa.best_objective").set(best_obj);
             }
             result_trials.push(trial);
+            if termination_reason != TerminationReason::Completed {
+                break;
+            }
         }
         let elapsed_secs = start.elapsed().as_secs_f64();
         let evaluations = evaluator.evaluations();
@@ -776,7 +799,7 @@ impl SimulatedAnnealing {
             initial_objective,
             evaluations,
             elapsed_secs,
-            termination_reason: TerminationReason::Completed,
+            termination_reason,
         }
     }
 
@@ -995,6 +1018,14 @@ impl SimulatedAnnealing {
             };
             let mut stopped: Option<TerminationReason> = None;
             for step in first_step..self.config.max_steps {
+                // A cancelled (SIGTERM'd) search stops at the step
+                // boundary and falls through to the trial-boundary
+                // checkpoint below, so the flushed state is exactly the
+                // budget-stop shape a later `--resume` understands.
+                if obs.cancel.is_set() {
+                    stopped = Some(TerminationReason::Cancelled);
+                    break;
+                }
                 if let Some(secs) = self
                     .config
                     .max_wall_secs

@@ -1,0 +1,282 @@
+//! Property tests for the resilience layer (satellite of the serving
+//! PR): [`ResilientEvaluator`] retry ordering and budget, and
+//! [`TerminationReason`] propagation through budget-bounded searches
+//! running over a transiently failing primary evaluator.
+
+use chainnet_placement::error::PlacementError;
+use chainnet_placement::evaluator::{ApproxEvaluator, Evaluator, ResilientEvaluator};
+use chainnet_placement::problem::PlacementProblem;
+use chainnet_placement::sa::{SaConfig, SimulatedAnnealing, TerminationReason};
+use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Who handled one evaluator attempt, in global order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Who {
+    Primary { ok: bool },
+    Fallback,
+}
+
+type CallLog = Arc<Mutex<Vec<Who>>>;
+
+/// A deterministic, transiently failing evaluator: attempt `i` fails
+/// iff `(i * 2654435761 + seed) % 101 < fail_mod`. Failures are
+/// per-attempt (not per-candidate), so a retry of the same candidate
+/// can succeed — exactly the transient shape `ResilientEvaluator`'s
+/// retry-once policy targets.
+struct Flaky {
+    inner: ApproxEvaluator,
+    seed: u64,
+    fail_mod: u64,
+    attempts: u64,
+    log: CallLog,
+}
+
+impl Flaky {
+    fn new(seed: u64, fail_mod: u64, log: CallLog) -> Self {
+        Self {
+            inner: ApproxEvaluator::default(),
+            seed,
+            fail_mod,
+            attempts: 0,
+            log,
+        }
+    }
+
+    fn fails_now(&self) -> bool {
+        (self
+            .attempts
+            .wrapping_mul(2_654_435_761)
+            .wrapping_add(self.seed))
+            % 101
+            < self.fail_mod
+    }
+}
+
+impl Evaluator for Flaky {
+    fn name(&self) -> &str {
+        "flaky"
+    }
+
+    fn total_throughput(
+        &mut self,
+        problem: &PlacementProblem,
+        placement: &Placement,
+    ) -> Result<f64, PlacementError> {
+        let fail = self.fails_now();
+        self.attempts += 1;
+        if let Ok(mut log) = self.log.lock() {
+            log.push(Who::Primary { ok: !fail });
+        }
+        if fail {
+            return Err(PlacementError::NonFiniteObjective {
+                evaluator: "flaky".to_string(),
+                value: f64::NAN,
+            });
+        }
+        self.inner.total_throughput(problem, placement)
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.attempts
+    }
+}
+
+/// Fallback that records its calls and delegates to the analytic model.
+struct LoggedFallback {
+    inner: ApproxEvaluator,
+    log: CallLog,
+}
+
+impl Evaluator for LoggedFallback {
+    fn name(&self) -> &str {
+        "logged-fallback"
+    }
+
+    fn total_throughput(
+        &mut self,
+        problem: &PlacementProblem,
+        placement: &Placement,
+    ) -> Result<f64, PlacementError> {
+        if let Ok(mut log) = self.log.lock() {
+            log.push(Who::Fallback);
+        }
+        self.inner.total_throughput(problem, placement)
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.inner.evaluations()
+    }
+}
+
+fn problem() -> PlacementProblem {
+    let devices = vec![
+        Device::new(10.0, 3.0).expect("device"),
+        Device::new(10.0, 2.0).expect("device"),
+        Device::new(8.0, 1.5).expect("device"),
+    ];
+    let chains = vec![
+        ServiceChain::new(
+            0.8,
+            vec![
+                Fragment::new(2.0, 1.0).expect("frag"),
+                Fragment::new(1.0, 1.0).expect("frag"),
+            ],
+        )
+        .expect("chain"),
+        ServiceChain::new(0.5, vec![Fragment::new(1.0, 0.8).expect("frag")]).expect("chain"),
+    ];
+    PlacementProblem::new(devices, chains).expect("problem")
+}
+
+/// Split a global call log back into per-request attempt groups: each
+/// request starts with a primary attempt; retries and fallback belong
+/// to the same group.
+fn groups(log: &[Who]) -> Vec<Vec<Who>> {
+    let mut out: Vec<Vec<Who>> = Vec::new();
+    let mut i = 0;
+    while i < log.len() {
+        // A group is: P(ok) | P(fail) P(ok) | P(fail) P(fail) F.
+        match log[i] {
+            Who::Primary { ok: true } => {
+                out.push(vec![log[i]]);
+                i += 1;
+            }
+            Who::Primary { ok: false } => match log.get(i + 1) {
+                Some(&Who::Primary { ok: true }) => {
+                    out.push(log[i..i + 2].to_vec());
+                    i += 2;
+                }
+                Some(&Who::Primary { ok: false }) => {
+                    assert_eq!(
+                        log.get(i + 2),
+                        Some(&Who::Fallback),
+                        "double primary failure must be followed by the fallback"
+                    );
+                    out.push(log[i..i + 3].to_vec());
+                    i += 3;
+                }
+                other => panic!("dangling primary failure followed by {other:?}"),
+            },
+            Who::Fallback => panic!("fallback consulted before the primary failed twice"),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-request contract: the primary is always tried first, retried
+    /// at most once, and the fallback consulted only after two primary
+    /// failures — never more than 3 attempts for one candidate.
+    #[test]
+    fn retry_ordering_and_budget(seed in 0u64..10_000, fail_mod in 0u64..102, requests in 1usize..40) {
+        let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+        let problem = problem();
+        let placement = problem.initial_placement().expect("feasible initial");
+        let mut resilient = ResilientEvaluator::new(
+            Flaky::new(seed, fail_mod, Arc::clone(&log)),
+            LoggedFallback { inner: ApproxEvaluator::default(), log: Arc::clone(&log) },
+        );
+        let mut failures = 0usize;
+        for _ in 0..requests {
+            if resilient.total_throughput(&problem, &placement).is_err() {
+                failures += 1;
+            }
+        }
+        let log = log.lock().expect("log lock");
+        let groups = groups(&log);
+        prop_assert_eq!(groups.len(), requests);
+        for g in &groups {
+            prop_assert!(g.len() <= 3, "attempt budget exceeded: {g:?}");
+        }
+        // The analytic fallback never fails on a feasible placement, so
+        // every request with a fallback group succeeded.
+        prop_assert_eq!(failures, 0);
+        // The wrapper's own accounting agrees with the log.
+        let retried = groups.iter()
+            .filter(|g| matches!(g[..], [Who::Primary { ok: false }, Who::Primary { ok: true }]))
+            .count() as u64;
+        let fell_back = groups.iter().filter(|g| g.len() == 3).count() as u64;
+        prop_assert_eq!(resilient.retries(), retried);
+        prop_assert_eq!(resilient.fallback_evals(), fell_back);
+    }
+
+    /// An evaluation-capped search over a flaky resilient stack stops
+    /// with `MaxEvaluations` and never overshoots the cap by more than
+    /// one request's worth of attempts (primary + retry + fallback).
+    #[test]
+    fn evaluation_cap_terminates_flaky_search(seed in 0u64..10_000, fail_mod in 0u64..60, cap in 1u64..40) {
+        let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+        let problem = problem();
+        let initial = problem.initial_placement().expect("feasible initial");
+        let mut ev = ResilientEvaluator::new(
+            Flaky::new(seed, fail_mod, Arc::clone(&log)),
+            LoggedFallback { inner: ApproxEvaluator::default(), log },
+        );
+        let sa = SimulatedAnnealing::new(
+            SaConfig::paper_default()
+                .with_max_steps(500)
+                .with_seed(seed)
+                .with_max_evaluations(cap),
+        );
+        let result = sa.optimize(&problem, &initial, &mut ev, 3);
+        prop_assert_eq!(result.termination_reason, TerminationReason::MaxEvaluations);
+        // The cap is checked before each step; one step spends at most
+        // 3 attempts (and the fallback's count rides on top).
+        prop_assert!(
+            result.evaluations <= cap + 3,
+            "evaluations {} overshot cap {}", result.evaluations, cap
+        );
+    }
+
+    /// A flaky primary does not break determinism: the injected failure
+    /// pattern is part of the seed, so the same seed replays the same
+    /// search — bit-identical best placement and objective.
+    #[test]
+    fn flaky_search_is_deterministic_given_seed(seed in 0u64..10_000, fail_mod in 0u64..60) {
+        let problem = problem();
+        let initial = problem.initial_placement().expect("feasible initial");
+        let run = || {
+            let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+            let mut ev = ResilientEvaluator::new(
+                Flaky::new(seed, fail_mod, Arc::clone(&log)),
+                LoggedFallback { inner: ApproxEvaluator::default(), log },
+            );
+            let sa = SimulatedAnnealing::new(
+                SaConfig::paper_default().with_max_steps(40).with_seed(seed),
+            );
+            sa.optimize(&problem, &initial, &mut ev, 2)
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.best_placement, b.best_placement);
+        prop_assert_eq!(a.best_objective.to_bits(), b.best_objective.to_bits());
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        prop_assert_eq!(a.termination_reason, b.termination_reason);
+    }
+
+    /// Pre-set cancellation propagates `Cancelled` out of the search no
+    /// matter how flaky the evaluator stack is, and the result still
+    /// carries a valid (initial) placement.
+    #[test]
+    fn cancellation_propagates_through_flaky_stack(seed in 0u64..10_000, fail_mod in 0u64..102) {
+        use chainnet_obs::Obs;
+        let problem = problem();
+        let initial = problem.initial_placement().expect("feasible initial");
+        let log: CallLog = Arc::new(Mutex::new(Vec::new()));
+        let mut ev = ResilientEvaluator::new(
+            Flaky::new(seed, fail_mod, Arc::clone(&log)),
+            LoggedFallback { inner: ApproxEvaluator::default(), log },
+        );
+        let sa = SimulatedAnnealing::new(
+            SaConfig::paper_default().with_max_steps(50).with_seed(seed),
+        );
+        let obs = Obs::disabled();
+        obs.cancel.set();
+        let result = sa.optimize_observed(&problem, &initial, &mut ev, 2, &obs);
+        prop_assert_eq!(result.termination_reason, TerminationReason::Cancelled);
+        prop_assert!(problem.is_feasible(&result.best_placement));
+    }
+}

@@ -212,6 +212,136 @@ impl FaultSchedule {
         Ok(schedule)
     }
 
+    /// Normalize the schedule against a simulation `horizon`,
+    /// deterministically: the result depends only on the input events
+    /// and `horizon`, and normalizing twice is the identity.
+    ///
+    /// The following are **rejected** (typed error, nothing silently
+    /// "fixed" that the caller should know about):
+    ///
+    /// * a non-finite or non-positive `horizon`
+    ///   ([`QsimError::InvalidParameter`]);
+    /// * events with non-finite or negative times, or degrade/burst
+    ///   factors that are not finite and strictly positive
+    ///   ([`QsimError::InvalidFaultSchedule`]).
+    ///
+    /// The following are **normalized away** (dropped):
+    ///
+    /// * events strictly past the horizon — the simulator would never
+    ///   apply them;
+    /// * redundant transitions: crashing a device that is already down,
+    ///   recovering one that is up, restoring/calming an entity already
+    ///   at nominal, or re-degrading/re-bursting to the factor already
+    ///   in effect;
+    /// * zero-duration degrade/burst windows starting from nominal (a
+    ///   degrade and its restore at the identical time): no
+    ///   service/arrival sample can fall between two same-time events,
+    ///   so the pair is unobservable. A same-time restore that ends an
+    ///   *older* (observable) degrade window is kept.
+    ///
+    /// Zero-duration **crash** windows (crash + recover at the same
+    /// time) are deliberately kept: a crash drops resident jobs the
+    /// instant it fires, so the pair is observable even with no time
+    /// between the events.
+    ///
+    /// # Errors
+    ///
+    /// See above; the first violation found is reported.
+    pub fn normalized(&self, horizon: f64) -> Result<Self> {
+        use std::collections::BTreeMap;
+        if !horizon.is_finite() || horizon <= 0.0 {
+            return Err(QsimError::invalid_parameter(
+                "horizon",
+                format!("must be finite and positive, got {horizon}"),
+            ));
+        }
+        let check_factor = |factor: f64| -> Result<()> {
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(QsimError::InvalidFaultSchedule(format!(
+                    "factor must be finite and positive, got {factor}"
+                )));
+            }
+            Ok(())
+        };
+        // Output slots; a later zero-duration restore may tombstone an
+        // earlier same-time setter, so slots are optional until the end.
+        let mut out: Vec<Option<FaultEvent>> = Vec::with_capacity(self.events.len());
+        // Per-device up/down state.
+        let mut down: BTreeMap<DeviceIdx, bool> = BTreeMap::new();
+        // Active degrade per device / burst per chain: (factor, time it
+        // took effect, index of the setter in `out`, whether the entity
+        // was at nominal before the setter).
+        let mut degrade: BTreeMap<DeviceIdx, (f64, f64, usize, bool)> = BTreeMap::new();
+        let mut burst: BTreeMap<ChainIdx, (f64, f64, usize, bool)> = BTreeMap::new();
+        for ev in &self.events {
+            if !ev.time.is_finite() || ev.time < 0.0 {
+                return Err(QsimError::InvalidFaultSchedule(format!(
+                    "fault time must be finite and non-negative, got {}",
+                    ev.time
+                )));
+            }
+            match ev.kind {
+                FaultKind::ServiceDegrade { factor, .. }
+                | FaultKind::ArrivalBurst { factor, .. } => check_factor(factor)?,
+                _ => {}
+            }
+            if ev.time > horizon {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::DeviceCrash { device } => {
+                    if !down.get(&device).copied().unwrap_or(false) {
+                        down.insert(device, true);
+                        out.push(Some(*ev));
+                    }
+                }
+                FaultKind::DeviceRecover { device } => {
+                    if down.get(&device).copied().unwrap_or(false) {
+                        down.insert(device, false);
+                        out.push(Some(*ev));
+                    }
+                }
+                FaultKind::ServiceDegrade { device, factor } => {
+                    if degrade.get(&device).map(|&(f, _, _, _)| f) == Some(factor) {
+                        continue;
+                    }
+                    let nominal_before = !degrade.contains_key(&device);
+                    degrade.insert(device, (factor, ev.time, out.len(), nominal_before));
+                    out.push(Some(*ev));
+                }
+                FaultKind::ServiceRestore { device } => {
+                    if let Some((_, since, idx, nominal_before)) = degrade.remove(&device) {
+                        if since == ev.time && nominal_before {
+                            out[idx] = None; // unobservable zero-duration window
+                        } else {
+                            out.push(Some(*ev));
+                        }
+                    }
+                }
+                FaultKind::ArrivalBurst { chain, factor } => {
+                    if burst.get(&chain).map(|&(f, _, _, _)| f) == Some(factor) {
+                        continue;
+                    }
+                    let nominal_before = !burst.contains_key(&chain);
+                    burst.insert(chain, (factor, ev.time, out.len(), nominal_before));
+                    out.push(Some(*ev));
+                }
+                FaultKind::ArrivalCalm { chain } => {
+                    if let Some((_, since, idx, nominal_before)) = burst.remove(&chain) {
+                        if since == ev.time && nominal_before {
+                            out[idx] = None; // unobservable zero-duration window
+                        } else {
+                            out.push(Some(*ev));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            events: out.into_iter().flatten().collect(),
+        })
+    }
+
     /// Check the schedule against a model: every referenced device and
     /// chain must exist, every time must be finite and non-negative, and
     /// every factor finite and strictly positive.
@@ -355,6 +485,81 @@ mod tests {
         assert!(FaultSchedule::random_crashes(1, 100.0, 0, 1, 1.0).is_err());
         assert!(FaultSchedule::random_crashes(1, -1.0, 2, 1, 1.0).is_err());
         assert!(FaultSchedule::random_crashes(1, 100.0, 2, 1, 0.0).is_err());
+    }
+
+    #[test]
+    fn normalized_drops_events_past_horizon() {
+        let s = FaultSchedule::new()
+            .crash(10.0, 0)
+            .recover(20.0, 0)
+            .crash(150.0, 0);
+        let n = s.normalized(100.0).unwrap();
+        assert_eq!(n.len(), 2);
+        assert!(n.events().iter().all(|e| e.time <= 100.0));
+    }
+
+    #[test]
+    fn normalized_drops_redundant_transitions() {
+        // Overlapping crash windows: the second crash and the second
+        // recover are redundant.
+        let s = FaultSchedule::new()
+            .crash(10.0, 0)
+            .crash(15.0, 0)
+            .recover(20.0, 0)
+            .recover(25.0, 0);
+        let n = s.normalized(100.0).unwrap();
+        let times: Vec<f64> = n.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![10.0, 20.0]);
+        // Restore/calm with nothing active, and re-degrading to the
+        // active factor, all vanish.
+        let s = FaultSchedule::new()
+            .restore(1.0, 0)
+            .calm(2.0, 0)
+            .degrade(5.0, 0, 0.5)
+            .degrade(6.0, 0, 0.5);
+        let n = s.normalized(100.0).unwrap();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.events()[0].time, 5.0);
+    }
+
+    #[test]
+    fn normalized_elides_zero_duration_degrades_but_keeps_crashes() {
+        // Degrade + restore at the same instant from nominal: no sample
+        // can observe it.
+        let s = FaultSchedule::new().degrade(5.0, 0, 0.5).restore(5.0, 0);
+        assert!(s.normalized(100.0).unwrap().is_empty());
+        let s = FaultSchedule::new().burst(5.0, 0, 2.0).calm(5.0, 0);
+        assert!(s.normalized(100.0).unwrap().is_empty());
+        // A same-time crash/recover pair still drops resident jobs, so
+        // it survives normalization.
+        let s = FaultSchedule::new().crash(5.0, 0).recover(5.0, 0);
+        assert_eq!(s.normalized(100.0).unwrap().len(), 2);
+        // A same-time restore ending an *older* window is observable.
+        let s = FaultSchedule::new().degrade(5.0, 0, 0.5).restore(9.0, 0);
+        assert_eq!(s.normalized(100.0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn normalized_is_idempotent_and_rejects_bad_inputs() {
+        let s = FaultSchedule::new()
+            .crash(10.0, 0)
+            .crash(11.0, 0)
+            .degrade(5.0, 1, 0.5)
+            .restore(5.0, 1)
+            .recover(200.0, 0);
+        let once = s.normalized(100.0).unwrap();
+        let twice = once.normalized(100.0).unwrap();
+        assert_eq!(once, twice);
+        assert!(s.normalized(f64::NAN).is_err());
+        assert!(s.normalized(0.0).is_err());
+        assert!(FaultSchedule::new()
+            .crash(f64::NAN, 0)
+            .normalized(100.0)
+            .is_err());
+        assert!(FaultSchedule::new()
+            .degrade(1.0, 0, -2.0)
+            .normalized(100.0)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Property tests for [`FaultSchedule::normalized`] (satellite of the
+//! serving PR): for arbitrary generated schedules, normalization is
+//! idempotent, keeps only in-horizon events, emits no redundant
+//! transitions, preserves event order as a subsequence of the input,
+//! and never changes the fault state the simulator would end up in at
+//! the horizon. Invalid times and factors are always rejected, even on
+//! events the horizon would have dropped.
+
+use chainnet_qsim::faults::{FaultKind, FaultSchedule};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Build a schedule from generated tuples: `(dt, kind, entity, factor
+/// step)`. Times are accumulated so they are non-decreasing, factors
+/// are always valid here (validity is a separate property).
+fn build(raw: &[(u32, u32, u32, u32)]) -> FaultSchedule {
+    let mut schedule = FaultSchedule::new();
+    let mut t = 0.0_f64;
+    for &(dt, kind, entity, fstep) in raw {
+        t += dt as f64;
+        let id = entity as usize;
+        let factor = 0.25 + fstep as f64 * 0.25; // 0.25 ..= 2.0
+        schedule = match kind % 6 {
+            0 => schedule.crash(t, id),
+            1 => schedule.recover(t, id),
+            2 => schedule.degrade(t, id, factor),
+            3 => schedule.restore(t, id),
+            4 => schedule.burst(t, id, factor),
+            _ => schedule.calm(t, id),
+        };
+    }
+    schedule
+}
+
+/// The fault state at the end of a replay: which devices are down,
+/// which degrade factors and burst factors are active.
+#[derive(Debug, Default, PartialEq)]
+struct FaultState {
+    down: BTreeMap<usize, bool>,
+    degrade: BTreeMap<usize, f64>,
+    burst: BTreeMap<usize, f64>,
+}
+
+fn replay(schedule: &FaultSchedule, horizon: f64) -> FaultState {
+    let mut st = FaultState::default();
+    for ev in schedule.events() {
+        if ev.time > horizon {
+            continue;
+        }
+        match ev.kind {
+            FaultKind::DeviceCrash { device } => {
+                st.down.insert(device, true);
+            }
+            FaultKind::DeviceRecover { device } => {
+                st.down.insert(device, false);
+            }
+            FaultKind::ServiceDegrade { device, factor } => {
+                st.degrade.insert(device, factor);
+            }
+            FaultKind::ServiceRestore { device } => {
+                st.degrade.remove(&device);
+            }
+            FaultKind::ArrivalBurst { chain, factor } => {
+                st.burst.insert(chain, factor);
+            }
+            FaultKind::ArrivalCalm { chain } => {
+                st.burst.remove(&chain);
+            }
+            _ => {}
+        }
+    }
+    // `down: false` entries are equivalent to absent ones.
+    st.down.retain(|_, v| *v);
+    st
+}
+
+/// `true` when `ev` changes `st` (a normalized schedule must contain
+/// only such events).
+fn is_effective(st: &FaultState, kind: &FaultKind) -> bool {
+    match *kind {
+        FaultKind::DeviceCrash { device } => !st.down.get(&device).copied().unwrap_or(false),
+        FaultKind::DeviceRecover { device } => st.down.get(&device).copied().unwrap_or(false),
+        FaultKind::ServiceDegrade { device, factor } => {
+            st.degrade.get(&device).copied() != Some(factor)
+        }
+        FaultKind::ServiceRestore { device } => st.degrade.contains_key(&device),
+        FaultKind::ArrivalBurst { chain, factor } => st.burst.get(&chain).copied() != Some(factor),
+        FaultKind::ArrivalCalm { chain } => st.burst.contains_key(&chain),
+        _ => true,
+    }
+}
+
+fn apply(st: &mut FaultState, kind: &FaultKind) {
+    match *kind {
+        FaultKind::DeviceCrash { device } => {
+            st.down.insert(device, true);
+        }
+        FaultKind::DeviceRecover { device } => {
+            st.down.remove(&device);
+        }
+        FaultKind::ServiceDegrade { device, factor } => {
+            st.degrade.insert(device, factor);
+        }
+        FaultKind::ServiceRestore { device } => {
+            st.degrade.remove(&device);
+        }
+        FaultKind::ArrivalBurst { chain, factor } => {
+            st.burst.insert(chain, factor);
+        }
+        FaultKind::ArrivalCalm { chain } => {
+            st.burst.remove(&chain);
+        }
+        _ => {}
+    }
+}
+
+fn raw_events() -> impl Strategy<Value = Vec<(u32, u32, u32, u32)>> {
+    proptest::collection::vec((0u32..30, 0u32..6, 0u32..3, 0u32..8), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normalization is idempotent: a normalized schedule passes
+    /// through unchanged.
+    #[test]
+    fn normalized_is_idempotent(raw in raw_events(), h in 1u32..200) {
+        let horizon = h as f64;
+        let once = build(&raw).normalized(horizon).expect("valid schedule");
+        let twice = once.normalized(horizon).expect("normalized stays valid");
+        prop_assert_eq!(once.events(), twice.events());
+    }
+
+    /// Every surviving event is inside the horizon, in non-decreasing
+    /// time order, and a subsequence of the input.
+    #[test]
+    fn normalized_is_an_in_horizon_subsequence(raw in raw_events(), h in 1u32..200) {
+        let horizon = h as f64;
+        let schedule = build(&raw);
+        let n = schedule.normalized(horizon).expect("valid schedule");
+        prop_assert!(n.events().iter().all(|e| e.time <= horizon));
+        prop_assert!(n.events().windows(2).all(|w| w[0].time <= w[1].time));
+        // Subsequence: each output event matches a distinct input event
+        // at or after the previous match.
+        let mut inputs = schedule.events().iter();
+        for out in n.events() {
+            prop_assert!(
+                inputs.any(|i| i.time == out.time && i.kind == out.kind),
+                "normalized event not a subsequence of the input"
+            );
+        }
+    }
+
+    /// No redundant transitions survive: replaying the normalized
+    /// schedule, every event changes the fault state.
+    #[test]
+    fn normalized_has_no_redundant_transitions(raw in raw_events(), h in 1u32..200) {
+        let horizon = h as f64;
+        let n = build(&raw).normalized(horizon).expect("valid schedule");
+        let mut st = FaultState::default();
+        for ev in n.events() {
+            prop_assert!(
+                is_effective(&st, &ev.kind),
+                "redundant event survived normalization: {ev:?}"
+            );
+            apply(&mut st, &ev.kind);
+        }
+    }
+
+    /// Normalization never changes the fault state at the horizon: the
+    /// simulator ends in the same world either way.
+    #[test]
+    fn normalized_preserves_final_state(raw in raw_events(), h in 1u32..200) {
+        let horizon = h as f64;
+        let schedule = build(&raw);
+        let n = schedule.normalized(horizon).expect("valid schedule");
+        prop_assert_eq!(replay(&schedule, horizon), replay(&n, horizon));
+    }
+
+    /// A single invalid event anywhere in the schedule — NaN/negative
+    /// time, or a NaN/zero/negative/infinite factor — fails validation
+    /// even when it lies beyond the horizon.
+    #[test]
+    fn invalid_events_are_always_rejected(
+        raw in raw_events(),
+        pos_seed in 0u64..u64::MAX,
+        bad in 0u32..5,
+        h in 1u32..200
+    ) {
+        let horizon = h as f64;
+        let schedule = build(&raw);
+        let slot = (pos_seed % (raw.len() as u64 + 1)) as usize;
+        // Rebuild with one poisoned event spliced in at `slot`.
+        let mut poisoned = FaultSchedule::new();
+        let mut inserted = false;
+        let inject = |s: FaultSchedule| match bad {
+            0 => s.crash(f64::NAN, 0),
+            1 => s.crash(-1.0, 0),
+            2 => s.degrade(horizon + 1.0, 0, f64::NAN),
+            3 => s.degrade(horizon + 1.0, 0, 0.0),
+            _ => s.burst(horizon + 1.0, 0, f64::INFINITY),
+        };
+        for (i, ev) in schedule.events().iter().enumerate() {
+            if i == slot {
+                poisoned = inject(poisoned);
+                inserted = true;
+            }
+            poisoned = poisoned.at(ev.time, ev.kind);
+        }
+        if !inserted {
+            poisoned = inject(poisoned);
+        }
+        prop_assert!(poisoned.normalized(horizon).is_err());
+    }
+
+    /// Bad horizons are rejected regardless of schedule contents.
+    #[test]
+    fn invalid_horizon_is_rejected(raw in raw_events(), pick in 0u32..4) {
+        let schedule = build(&raw);
+        let horizon = match pick {
+            0 => f64::NAN,
+            1 => 0.0,
+            2 => -10.0,
+            _ => f64::INFINITY,
+        };
+        prop_assert!(schedule.normalized(horizon).is_err());
+    }
+}

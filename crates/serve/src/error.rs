@@ -1,0 +1,125 @@
+//! Typed errors for the placement service.
+
+use chainnet_ckpt::CkptError;
+use chainnet_placement::error::PlacementError;
+use chainnet_qsim::QsimError;
+
+/// A service-layer failure. Every rejection a client can receive maps
+/// to one of these variants, so the daemon's behavior under pressure is
+/// typed, not stringly: deadline misses are [`ServeError::DeadlineExceeded`],
+/// admission-control sheds are [`ServeError::Overloaded`], and each is
+/// reported to the client with a matching
+/// [`RejectKind`](crate::protocol::RejectKind).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request line could not be parsed or referenced something the
+    /// current topology does not have.
+    InvalidRequest(String),
+    /// A placement was requested before any topology was installed.
+    NoTopology,
+    /// Every rung of the degradation ladder failed and no cached
+    /// placement exists to fall back on.
+    NoPlacement,
+    /// The request's deadline expired before a response could be
+    /// produced (including time spent queued).
+    DeadlineExceeded {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The bounded request queue was full; the request was shed at
+    /// admission without queuing (load-shedding, never unbounded
+    /// buffering).
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// A fault event failed validation against the installed topology.
+    Fault(QsimError),
+    /// The placement layer failed (evaluator error, infeasible bind…).
+    Placement(PlacementError),
+    /// Persisting or restoring service state failed.
+    Checkpoint(CkptError),
+    /// Transport-level I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            Self::NoTopology => write!(f, "no topology installed; send a Topology request first"),
+            Self::NoPlacement => {
+                write!(
+                    f,
+                    "no placement available: search failed and nothing is cached"
+                )
+            }
+            Self::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded")
+            }
+            Self::Overloaded { capacity } => {
+                write!(f, "request queue full (capacity {capacity}); request shed")
+            }
+            Self::Fault(e) => write!(f, "invalid fault event: {e}"),
+            Self::Placement(e) => write!(f, "placement failure: {e}"),
+            Self::Checkpoint(e) => write!(f, "state persistence failure: {e}"),
+            Self::Io(e) => write!(f, "transport I/O failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Fault(e) => Some(e),
+            Self::Placement(e) => Some(e),
+            Self::Checkpoint(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QsimError> for ServeError {
+    fn from(e: QsimError) -> Self {
+        Self::Fault(e)
+    }
+}
+
+impl From<PlacementError> for ServeError {
+    fn from(e: PlacementError) -> Self {
+        Self::Placement(e)
+    }
+}
+
+impl From<CkptError> for ServeError {
+    fn from(e: CkptError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(ServeError::NoTopology.to_string().contains("Topology"));
+        assert!(ServeError::DeadlineExceeded { deadline_ms: 50 }
+            .to_string()
+            .contains("50 ms"));
+        assert!(ServeError::Overloaded { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        let e: ServeError = QsimError::InvalidFaultSchedule("device 9".into()).into();
+        assert!(e.to_string().contains("device 9"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

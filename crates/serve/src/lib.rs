@@ -1,0 +1,33 @@
+//! Placement-as-a-service for ChainNet: a long-running daemon that
+//! keeps trained surrogate weights warm and answers loss-aware
+//! placement queries over a JSON-lines protocol, staying useful while
+//! the edge fails underneath it.
+//!
+//! The crate is organized as three layers:
+//!
+//! * [`protocol`] — the typed request/response vocabulary, including
+//!   the [`protocol::DegradationLevel`] ladder every answer reports.
+//! * [`engine`] — the single-threaded deterministic core: topology +
+//!   fault state, the full-search → local-repair → cached degradation
+//!   ladder, incremental re-optimization on fault events, and
+//!   crash-safe state persistence through `chainnet-ckpt`.
+//! * [`daemon`] — transports (stdin lines or TCP), bounded-queue
+//!   admission control with typed `Overloaded` shedding, and
+//!   drain-on-shutdown so accepted requests are never dropped.
+//!
+//! See `docs/serving.md` for the protocol reference and operational
+//! semantics, and `examples/soak.rs` (workspace root) for the chaos
+//! harness that exercises all of it.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod daemon;
+pub mod engine;
+pub mod error;
+pub mod protocol;
+
+pub use daemon::Daemon;
+pub use engine::{Engine, EngineConfig, ServeState, SERVE_CKPT_SCHEMA};
+pub use error::ServeError;
+pub use protocol::{DegradationLevel, Outcome, RejectKind, Request, RequestBody, Response};

@@ -1,0 +1,174 @@
+//! `chainnet-serve` — the fault-tolerant placement daemon.
+//!
+//! ```text
+//! chainnet-serve [--bind ADDR] [--state-dir DIR] [--model model.json]
+//!                [--queue N] [--seed N] [--sa-steps N] [--trials N]
+//!                [--repair-steps N] [--checkpoint-every N]
+//!                [--artifacts-dir DIR] [--quiet]
+//! ```
+//!
+//! Without `--bind` the daemon speaks JSON lines on stdin/stdout
+//! (serial mode, for tests and scripting). With `--bind HOST:PORT` it
+//! serves TCP with bounded-queue admission control; `PORT` may be `0`
+//! for an ephemeral port, announced on stdout as
+//! `chainnet-serve listening on <addr>`.
+//!
+//! Exit codes: `0` graceful shutdown (SIGTERM/SIGINT or a `Shutdown`
+//! request, state + artifacts flushed), `1` runtime failure, `2` usage
+//! error. SIGKILL obviously flushes nothing — that is what the
+//! checkpoint store is for: restart with the same `--state-dir` and the
+//! daemon resumes from the last persisted serving state.
+
+use chainnet::model::ChainNet;
+use chainnet_ckpt::CkptStore;
+use chainnet_obs::Obs;
+use chainnet_serve::engine::{Engine, EngineConfig, SERVE_CKPT_SCHEMA};
+use chainnet_serve::Daemon;
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: chainnet-serve [--bind ADDR] [--state-dir DIR] [--model FILE]
+                      [--queue N] [--seed N] [--sa-steps N] [--trials N]
+                      [--repair-steps N] [--checkpoint-every N]
+                      [--artifacts-dir DIR] [--quiet]";
+
+struct Args {
+    bind: Option<String>,
+    state_dir: Option<PathBuf>,
+    artifacts_dir: Option<PathBuf>,
+    model: Option<PathBuf>,
+    queue: usize,
+    quiet: bool,
+    engine: EngineConfig,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        bind: None,
+        state_dir: None,
+        artifacts_dir: None,
+        model: None,
+        queue: 64,
+        quiet: false,
+        engine: EngineConfig::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .map(String::from)
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--bind" => args.bind = Some(value("--bind")?),
+            "--state-dir" => args.state_dir = Some(PathBuf::from(value("--state-dir")?)),
+            "--artifacts-dir" => {
+                args.artifacts_dir = Some(PathBuf::from(value("--artifacts-dir")?))
+            }
+            "--model" => args.model = Some(PathBuf::from(value("--model")?)),
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--seed" => {
+                args.engine.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--sa-steps" => {
+                args.engine.sa_steps = value("--sa-steps")?
+                    .parse()
+                    .map_err(|e| format!("--sa-steps: {e}"))?
+            }
+            "--trials" => {
+                args.engine.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?
+            }
+            "--repair-steps" => {
+                args.engine.repair_steps = value("--repair-steps")?
+                    .parse()
+                    .map_err(|e| format!("--repair-steps: {e}"))?
+            }
+            "--checkpoint-every" => {
+                args.engine.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
+    // Metrics and spans both on: the tracer is capacity-bounded (drops
+    // past its cap rather than growing), so a long-lived daemon can
+    // afford it, and shutdown then flushes a real `serve-trace.jsonl`.
+    let obs = Obs::enabled().with_tracer(chainnet_obs::Tracer::enabled());
+
+    // SIGTERM/SIGINT set the shared cancel flag; every blocking loop in
+    // the daemon polls it, so shutdown always goes through the same
+    // drain-flush-exit path.
+    signal_hook::flag::register(signal_hook::consts::SIGTERM, obs.cancel.shared())?;
+    signal_hook::flag::register(signal_hook::consts::SIGINT, obs.cancel.shared())?;
+
+    let mut engine = Engine::new(args.engine, obs);
+    if let Some(path) = &args.model {
+        let text = std::fs::read_to_string(path)?;
+        let model: ChainNet = serde_json::from_str(&text)?;
+        engine = engine.with_surrogate(model);
+        if !args.quiet {
+            eprintln!("chainnet-serve: surrogate loaded from {}", path.display());
+        }
+    }
+    if let Some(dir) = &args.state_dir {
+        let store = CkptStore::open_observed(dir, "serve", SERVE_CKPT_SCHEMA, engine.obs())?;
+        engine = engine.with_store(store);
+        if engine.resume()? && !args.quiet {
+            eprintln!(
+                "chainnet-serve: resumed serving state from {} ({} requests handled)",
+                dir.display(),
+                engine.state().requests_handled
+            );
+        }
+    }
+
+    let mut daemon = Daemon::new(engine).with_queue_capacity(args.queue);
+    if let Some(dir) = args
+        .artifacts_dir
+        .clone()
+        .or_else(|| args.state_dir.clone())
+    {
+        daemon = daemon.with_artifacts_dir(dir);
+    }
+
+    match &args.bind {
+        Some(addr) => daemon.run_tcp(addr, &mut std::io::stdout())?,
+        None => daemon.run_lines(std::io::stdin().lock(), std::io::stdout().lock())?,
+    }
+    if !args.quiet {
+        eprintln!("chainnet-serve: shut down cleanly (state and artifacts flushed)");
+    }
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("chainnet-serve: {msg}");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(args) {
+        eprintln!("chainnet-serve: fatal: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,277 @@
+//! The JSON-lines wire protocol of `chainnet-serve`.
+//!
+//! One request per line, one response line per accepted request, in
+//! order. Requests and responses are externally-tagged serde values
+//! (the vendored serde's only enum representation), e.g.:
+//!
+//! ```json
+//! {"id":1,"deadline_ms":null,"body":{"Place":{"hint":null}}}
+//! {"id":1,"outcome":{"Placed":{"placement":...,"objective":3.1,"loss":0.02,
+//!   "degradation":"FullSearch","evaluations":420}}}
+//! ```
+//!
+//! Every response carries the request's `id`, so clients may pipeline.
+//! Rejections are typed ([`RejectKind`]): a client can distinguish
+//! "you missed your deadline" from "the service shed your request under
+//! load" without string matching. See `docs/serving.md` for the full
+//! protocol and semantics.
+
+use chainnet_obs::Snapshot;
+use chainnet_placement::problem::PlacementProblem;
+use chainnet_qsim::faults::FaultEvent;
+use chainnet_qsim::model::Placement;
+use serde::{Deserialize, Serialize};
+
+/// One client request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// Optional per-request deadline in milliseconds, measured from the
+    /// moment the daemon reads the request. Expired requests receive a
+    /// typed [`RejectKind::DeadlineExceeded`] rejection; a still-live
+    /// but tight deadline bounds the placement search budget and may
+    /// degrade the answer (see [`DegradationLevel`]).
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// What to do.
+    pub body: RequestBody,
+}
+
+/// The request vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RequestBody {
+    /// Install (or replace) the nominal topology: devices and chains to
+    /// serve placements for. Resets accumulated fault state.
+    Topology {
+        /// The placement problem to serve.
+        problem: PlacementProblem,
+    },
+    /// Compute a loss-aware placement for the current effective
+    /// topology (nominal minus accumulated faults).
+    Place {
+        /// Optional starting placement; when omitted the daemon starts
+        /// from its last-known-good placement or the ranking-score
+        /// greedy initial placement.
+        #[serde(default)]
+        hint: Option<Placement>,
+    },
+    /// Apply one fault event (FaultSchedule vocabulary: crash, recover,
+    /// degrade, restore, burst, calm). The daemon incrementally
+    /// re-optimizes the chains the event affects.
+    Fault {
+        /// The event; its `time` field is ignored (events are applied
+        /// when received).
+        event: FaultEvent,
+    },
+    /// Ask for the daemon's metric snapshot and serving state summary.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Graceful shutdown: the daemon stops accepting, drains its queue,
+    /// flushes state + metrics, and exits.
+    Shutdown,
+}
+
+/// How degraded the answer is — the robustness ladder, best first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationLevel {
+    /// Full budget-bounded simulated-annealing search ran.
+    FullSearch,
+    /// The deadline or a search failure only allowed a bounded
+    /// neighborhood repair around the last-known-good placement.
+    LocalRepair,
+    /// Nothing could be computed in time; the cached last-known-good
+    /// placement was returned as-is (it may predate recent faults).
+    Cached,
+}
+
+impl DegradationLevel {
+    /// Ladder position: 0 is best (full search), higher is more
+    /// degraded. Useful for monotonicity assertions in harnesses.
+    pub fn rank(self) -> u8 {
+        match self {
+            Self::FullSearch => 0,
+            Self::LocalRepair => 1,
+            Self::Cached => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::FullSearch => "full_search",
+            Self::LocalRepair => "local_repair",
+            Self::Cached => "cached",
+        })
+    }
+}
+
+/// Typed rejection categories, mirroring
+/// [`ServeError`](crate::error::ServeError).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectKind {
+    /// The request's deadline expired (possibly while queued).
+    DeadlineExceeded,
+    /// The bounded queue was full; the request was shed at admission.
+    Overloaded,
+    /// The request was malformed or referenced unknown entities.
+    Invalid,
+    /// No topology installed yet.
+    NoTopology,
+    /// The whole degradation ladder failed and nothing was cached.
+    NoPlacement,
+    /// An internal failure (placement layer, persistence, …).
+    Internal,
+}
+
+/// One response line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// The request's correlation id.
+    pub id: u64,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// The response vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Outcome {
+    /// A placement was produced.
+    Placed {
+        /// The chosen placement.
+        placement: Placement,
+        /// Its objective (total throughput) under the serving evaluator.
+        objective: f64,
+        /// The paper's loss probability for that throughput (Eq. 18).
+        loss: f64,
+        /// Which rung of the robustness ladder produced the answer.
+        degradation: DegradationLevel,
+        /// Objective evaluations spent on this request.
+        evaluations: u64,
+    },
+    /// A topology was installed.
+    TopologyInstalled {
+        /// Device count of the installed problem.
+        devices: usize,
+        /// Chain count of the installed problem.
+        chains: usize,
+    },
+    /// A fault event was applied.
+    FaultApplied {
+        /// Chains whose routes the event touched.
+        affected_chains: usize,
+        /// Whether an incremental repair ran (false when nothing was
+        /// affected or no placement was cached yet).
+        repaired: bool,
+    },
+    /// Metric snapshot plus serving-state summary.
+    Stats {
+        /// Frozen copy of the daemon's metric registry.
+        snapshot: Snapshot,
+        /// Requests handled since the state was created (survives
+        /// restarts via checkpoints).
+        requests_handled: u64,
+        /// Devices currently marked crashed.
+        crashed_devices: usize,
+        /// Whether a last-known-good placement is cached.
+        has_cached_placement: bool,
+    },
+    /// Liveness answer.
+    Pong,
+    /// Graceful shutdown acknowledged; this is the last response on the
+    /// connection.
+    ShuttingDown,
+    /// The request was rejected; `kind` is the typed category and
+    /// `error` a human-readable detail.
+    Rejected {
+        /// Typed rejection category.
+        kind: RejectKind,
+        /// Human-readable detail.
+        error: String,
+    },
+}
+
+impl Response {
+    /// Shorthand for a rejection response.
+    pub fn rejected(id: u64, kind: RejectKind, error: impl Into<String>) -> Self {
+        Self {
+            id,
+            outcome: Outcome::Rejected {
+                kind,
+                error: error.into(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let reqs = [
+            Request {
+                id: 1,
+                deadline_ms: Some(50),
+                body: RequestBody::Place { hint: None },
+            },
+            Request {
+                id: 2,
+                deadline_ms: None,
+                body: RequestBody::Ping,
+            },
+            Request {
+                id: 3,
+                deadline_ms: None,
+                body: RequestBody::Fault {
+                    event: FaultEvent {
+                        time: 0.0,
+                        kind: chainnet_qsim::faults::FaultKind::DeviceCrash { device: 2 },
+                    },
+                },
+            },
+        ];
+        for r in &reqs {
+            let line = serde_json::to_string(r).expect("serialize");
+            assert!(!line.contains('\n'));
+            let back: Request = serde_json::from_str(&line).expect("parse");
+            assert_eq!(back.id, r.id);
+            assert_eq!(back.deadline_ms, r.deadline_ms);
+        }
+    }
+
+    #[test]
+    fn deadline_defaults_to_none() {
+        let r: Request = serde_json::from_str(r#"{"id":9,"body":"Ping"}"#).expect("parse");
+        assert_eq!(r.deadline_ms, None);
+        assert!(matches!(r.body, RequestBody::Ping));
+    }
+
+    #[test]
+    fn degradation_ladder_ranks_are_ordered() {
+        assert!(DegradationLevel::FullSearch.rank() < DegradationLevel::LocalRepair.rank());
+        assert!(DegradationLevel::LocalRepair.rank() < DegradationLevel::Cached.rank());
+        let json = serde_json::to_string(&DegradationLevel::Cached).expect("serialize");
+        let back: DegradationLevel = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, DegradationLevel::Cached);
+    }
+
+    #[test]
+    fn rejection_responses_are_typed() {
+        let resp = Response::rejected(4, RejectKind::Overloaded, "queue full");
+        let line = serde_json::to_string(&resp).expect("serialize");
+        let back: Response = serde_json::from_str(&line).expect("parse");
+        match back.outcome {
+            Outcome::Rejected { kind, error } => {
+                assert_eq!(kind, RejectKind::Overloaded);
+                assert!(error.contains("queue full"));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+}

@@ -12,6 +12,12 @@ fn main() {
             eprintln!("{msg}");
             std::process::exit(2);
         }
+        Err(CliError::Interrupted(msg)) => {
+            eprintln!("interrupted: {msg}");
+            // SIGTERM/SIGINT wind-down: artifacts and checkpoints were
+            // flushed; exit 5 so scripts know the run is resumable.
+            std::process::exit(5);
+        }
         Err(CliError::Ckpt(e)) => {
             eprintln!("error: checkpoint error: {e}");
             // `--resume` with nothing to resume from is its own exit code

@@ -65,6 +65,12 @@ pub enum CliError {
     /// Checkpoint save/load/resume failure (distinct exit codes: 4 for
     /// a missing checkpoint on `--resume`, 3 otherwise).
     Ckpt(CkptError),
+    /// Cooperative cancellation: SIGTERM/SIGINT arrived and the command
+    /// wound down at a safe boundary, flushing its observability
+    /// artifacts and (when checkpointing) a final checkpoint. Exit
+    /// code 5, so scripts can distinguish "interrupted but resumable"
+    /// from real failures.
+    Interrupted(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -78,6 +84,7 @@ impl std::fmt::Display for CliError {
             CliError::Train(e) => write!(f, "training error: {e}"),
             CliError::Placement(e) => write!(f, "search error: {e}"),
             CliError::Ckpt(e) => write!(f, "checkpoint error: {e}"),
+            CliError::Interrupted(m) => write!(f, "interrupted: {m}"),
         }
     }
 }
@@ -103,6 +110,7 @@ impl From<DatagenError> for CliError {
     fn from(e: DatagenError) -> Self {
         match e {
             DatagenError::Checkpoint(c) => CliError::Ckpt(c),
+            DatagenError::Interrupted { .. } => CliError::Interrupted(e.to_string()),
             other => CliError::Datagen(other),
         }
     }
@@ -303,6 +311,13 @@ CHECKPOINTING (gen-dataset, train, optimize):
                                Exit codes: 4 when no checkpoint exists,
                                3 for any other checkpoint error
 
+SIGNALS (gen-dataset, train, optimize):
+  SIGTERM / SIGINT wind the command down at the next safe boundary
+  (shard, epoch, or search step): metrics and traces are flushed, a
+  final checkpoint is written when --checkpoint-dir is active, and the
+  process exits with code 5 so scripts can tell \"interrupted but
+  resumable\" from a failure.
+
 All files are the library's serde JSON formats; see the crate docs."
         .to_string()
 }
@@ -328,6 +343,17 @@ fn checkpoint_options(
     let every = opt_usize(inv, "checkpoint-every", default_every)?;
     let store = CkptStore::open_observed(Path::new(dir), prefix, schema, obs)?;
     Ok(Some((store, every, resume)))
+}
+
+/// Route SIGTERM/SIGINT to the command's cooperative-cancel flag so the
+/// long-running commands (`train`, `optimize`, `gen-dataset`) wind down
+/// at a safe boundary — flushing metrics, traces, and (when enabled) a
+/// final checkpoint — instead of dying mid-write. Registration failures
+/// are ignored: the command still works, it just cannot be interrupted
+/// gracefully.
+fn register_cancel_signals(obs: &Obs) {
+    let _ = signal_hook::flag::register(signal_hook::consts::SIGTERM, obs.cancel.shared());
+    let _ = signal_hook::flag::register(signal_hook::consts::SIGINT, obs.cancel.shared());
 }
 
 /// Build the telemetry context from `--metrics-out` / `--log-json` /
@@ -553,12 +579,25 @@ fn cmd_gen_dataset(inv: &Invocation) -> Result<String, CliError> {
     };
     let cfg = DatasetConfig::new(samples, seed).with_horizon(horizon);
     let obs = build_obs(inv)?;
+    register_cancel_signals(&obs);
     let ckpt = checkpoint_options(inv, "shard", DATAGEN_CKPT_SCHEMA, 64, &obs)?;
-    let raw = match &ckpt {
+    let generated = match &ckpt {
         Some((store, every, resume)) => {
-            generate_raw_dataset_sharded_observed(params, &cfg, *every, store, *resume, &obs)?
+            generate_raw_dataset_sharded_observed(params, &cfg, *every, store, *resume, &obs)
         }
-        None => generate_raw_dataset_observed(params, &cfg, &obs)?,
+        None => generate_raw_dataset_observed(params, &cfg, &obs),
+    };
+    let raw = match generated {
+        Ok(raw) => raw,
+        Err(e @ DatagenError::Interrupted { .. }) => {
+            // SIGTERM/SIGINT at a shard boundary: the completed shards
+            // are on disk (when checkpointing); flush the telemetry so
+            // the interrupted run still leaves a snapshot, then exit 5.
+            write_metrics(inv, &obs)?;
+            write_trace(inv, &obs)?;
+            return Err(e.into());
+        }
+        Err(e) => return Err(e.into()),
     };
     write_json(out, &raw)?;
     write_metrics(inv, &obs)?;
@@ -584,6 +623,7 @@ fn cmd_train(inv: &Invocation) -> Result<String, CliError> {
     let labeled = to_labeled(&data, model_cfg.feature_mode);
     let trainer = Trainer::new(train_cfg);
     let obs = build_obs(inv)?;
+    register_cancel_signals(&obs);
     let ckpt = checkpoint_options(inv, "train", TRAIN_CKPT_SCHEMA, 1, &obs)?;
     let report = match &ckpt {
         Some((store, every, resume)) => {
@@ -603,6 +643,15 @@ fn cmd_train(inv: &Invocation) -> Result<String, CliError> {
     write_json(out, &model)?;
     write_metrics(inv, &obs)?;
     write_trace(inv, &obs)?;
+    if report.interrupted {
+        // The model written above holds the last completed epoch and the
+        // checkpointed path has already flushed a resumable checkpoint;
+        // the distinct exit code tells scripts to `--resume` later.
+        return Err(CliError::Interrupted(format!(
+            "training stopped after {} completed epoch(s); partial model saved to {out}",
+            report.history.len()
+        )));
+    }
     let mut msg = String::new();
     writeln!(
         msg,
@@ -707,6 +756,7 @@ fn cmd_optimize(inv: &Invocation) -> Result<String, CliError> {
             .with_seed(seed),
     );
     let obs = build_obs(inv)?;
+    register_cancel_signals(&obs);
     let ckpt = checkpoint_options(inv, "sa", SA_CKPT_SCHEMA, 10, &obs)?;
     let result = match inv.options.get("model") {
         Some(path) => {
@@ -741,6 +791,22 @@ fn cmd_optimize(inv: &Invocation) -> Result<String, CliError> {
             }
         }
     };
+    if matches!(
+        result.termination_reason,
+        chainnet_placement::sa::TerminationReason::Cancelled
+    ) {
+        // Best-so-far is still a valid placement; persist everything the
+        // completed run would have, then exit with the interrupted code.
+        if let Some(out) = inv.options.get("out") {
+            write_json(out, &result.best_placement)?;
+        }
+        write_metrics(inv, &obs)?;
+        write_trace(inv, &obs)?;
+        return Err(CliError::Interrupted(format!(
+            "search cancelled after {} evaluation(s); best-so-far objective {:.6}",
+            result.evaluations, result.best_objective
+        )));
+    }
     // Post-process with the simulator as the paper does.
     let model = problem.bind(result.best_placement.clone())?;
     let sim = Simulator::new().run(&model, &SimConfig::new(horizon, seed ^ 0xdead))?;

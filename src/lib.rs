@@ -20,3 +20,4 @@ pub use chainnet_neural as neural;
 pub use chainnet_obs as obs;
 pub use chainnet_placement as placement;
 pub use chainnet_qsim as qsim;
+pub use chainnet_serve as serve;

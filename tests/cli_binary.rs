@@ -39,6 +39,78 @@ fn missing_file_is_an_io_error_not_a_panic() {
 }
 
 #[test]
+fn sigterm_interrupts_gen_dataset_with_exit_5_and_resumable_checkpoints() {
+    let dir = temp("sigterm_ckpts");
+    let out = temp("sigterm_data.json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A sweep far too large to finish: the run must end because of the
+    // signal, not because it ran out of work.
+    let child = bin()
+        .args([
+            "gen-dataset",
+            "--out",
+            out.to_str().unwrap(),
+            "--samples",
+            "2000000",
+            "--horizon",
+            "2000",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "8",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn");
+
+    // Let at least one shard land, then ask for a polite wind-down.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let shard_landed = std::fs::read_dir(&dir)
+            .map(|d| d.filter_map(Result::ok).next().is_some())
+            .unwrap_or(false);
+        if shard_landed {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no shard checkpoint appeared within 60s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+
+    let done = child.wait_with_output().expect("wait");
+    assert_eq!(
+        done.status.code(),
+        Some(5),
+        "SIGTERM must exit with the documented interrupted code, stderr: {}",
+        String::from_utf8_lossy(&done.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&done.stderr);
+    assert!(
+        stderr.contains("interrupted"),
+        "stderr should explain the interruption: {stderr}"
+    );
+
+    // The wind-down left durable shards behind — the resume contract.
+    let ckpts = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+        .count();
+    assert!(ckpts > 0, "completed shards must be checkpointed");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
 fn full_workflow_through_the_binary() {
     let data = temp("wf_data.json");
     let model = temp("wf_model.json");
