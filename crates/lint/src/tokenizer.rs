@@ -14,11 +14,14 @@
 //! * line comments (`//`, `///`, `//!`), captured for
 //!   `lint:allow(...)` annotations;
 //! * block comments (`/* ... */`), including nesting;
-//! * string literals: `"..."`, `b"..."`, raw `r"..."` / `r#"..."#`
-//!   with any number of hashes (and `br` variants), with escape
-//!   handling in the cooked forms;
+//! * string literals: `"..."`, `b"..."`, `c"..."`, raw `r"..."` /
+//!   `r#"..."#` with any number of hashes (and `br` / `cr` variants),
+//!   with escape handling in the cooked forms;
 //! * char literals `'x'` / `'\n'`, distinguished from lifetimes
-//!   (`'a`) by look-ahead.
+//!   (`'a`) by look-ahead;
+//! * raw identifiers (`r#fn`, `r#type`): rewritten to `r_fn` / `r_type`
+//!   in the mask so boundary-sensitive rules see one identifier and a
+//!   raw identifier like `r#unsafe` can never match a banned keyword.
 //!
 //! String literal *values* are additionally recorded with their byte
 //! offset so schema rules (R4) can recover the metric name passed at a
@@ -150,15 +153,31 @@ pub fn mask(src: &str) -> Masked {
             b'"' => {
                 i = cooked_string(src, b, i, &mut out, &mut line, &mut strings);
             }
-            b'r' | b'b' if starts_string_prefix(b, i) => {
-                // r"...", r#"..."#, b"...", br#"..."# — find the quote.
+            b'r' if starts_raw_ident(b, i) => {
+                // Raw identifier `r#name`: rewrite the `#` to `_` so the
+                // masked text reads as a single identifier. Boundary
+                // checks then cannot split it, so `r#unsafe` / `r#fn`
+                // never match a banned keyword and never drift offsets.
+                keep!(i);
+                out[i + 1] = b'_';
+                i += 2;
+                while i < n && is_ident_byte(b[i]) {
+                    keep!(i);
+                    i += 1;
+                }
+            }
+            b'r' | b'b' | b'c' if starts_string_prefix(b, i) => {
+                // r"...", r#"..."#, b"...", br#"..."#, c"...", cr#"..."#
+                // — consume the prefix letters, then find the quote.
                 let mut j = i;
-                while j < n && (b[j] == b'r' || b[j] == b'b') {
+                if b[j] == b'b' || b[j] == b'c' {
                     keep!(j);
                     j += 1;
                 }
-                let raw = src[i..j].contains('r');
+                let raw = j < n && b[j] == b'r';
                 if raw {
+                    keep!(j);
+                    j += 1;
                     let mut hashes = 0usize;
                     while j < n && b[j] == b'#' {
                         keep!(j);
@@ -205,8 +224,9 @@ pub fn mask(src: &str) -> Masked {
     }
 }
 
-/// Does `b[i..]` start a raw/byte string prefix (`r"`, `r#`, `b"`,
-/// `br"`, `rb` is not a thing) as opposed to an identifier like `req`?
+/// Does `b[i..]` start a string-literal prefix — one of `r`, `b`, `c`,
+/// `br`, `cr`, with optional `#`s after a raw `r` — as opposed to an
+/// identifier like `req` or `chains`?
 fn starts_string_prefix(b: &[u8], i: usize) -> bool {
     // Identifier context disqualifies: `var"` cannot occur, but `burn`
     // must not be read as b + urn. Require the previous byte to not be
@@ -216,24 +236,31 @@ fn starts_string_prefix(b: &[u8], i: usize) -> bool {
     }
     let n = b.len();
     let mut j = i;
-    // At most two prefix letters (b, r / br).
-    let mut letters = 0;
-    while j < n && (b[j] == b'r' || b[j] == b'b') && letters < 2 {
+    if j < n && (b[j] == b'b' || b[j] == b'c') {
         j += 1;
-        letters += 1;
     }
-    if j < n && b[j] == b'"' {
-        return true;
-    }
-    // Raw strings may carry hashes: r#"..."#.
-    if j > i && b[j - 1] == b'r' {
-        let mut k = j;
-        while k < n && b[k] == b'#' {
-            k += 1;
+    if j < n && b[j] == b'r' {
+        j += 1;
+        // Raw strings may carry hashes: r#"..."#, cr#"..."#.
+        while j < n && b[j] == b'#' {
+            j += 1;
         }
-        return k > j && k < n && b[k] == b'"';
     }
-    false
+    j > i && j < n && b[j] == b'"'
+}
+
+/// Does `b[i..]` start a raw identifier (`r#name`)? Requires a
+/// non-identifier byte before the `r` and an identifier-start byte
+/// (not a digit, not a quote) after the `#`, so `r#"raw"#` strings and
+/// plain identifiers are excluded.
+fn starts_raw_ident(b: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident_byte(b[i - 1]) {
+        return false;
+    }
+    i + 2 < b.len() && b[i + 1] == b'#' && {
+        let c = b[i + 2];
+        c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+    }
 }
 
 /// Is `c` an identifier byte (`[A-Za-z0-9_]` or any non-ASCII byte)?
@@ -451,9 +478,53 @@ mod tests {
 
     #[test]
     fn identifier_starting_with_r_or_b_is_not_a_string_prefix() {
-        let src = "let run = 1; let bun = 2; let brr = run + bun;";
+        let src = "let run = 1; let bun = 2; let crs = 3; let brr = run + bun + crs;";
         let m = mask(src);
         assert_eq!(m.code, src);
         assert!(m.strings.is_empty());
+    }
+
+    #[test]
+    fn c_string_literals_are_masked() {
+        let src = r#"let c = c"panic! and .unwrap() inside"; let n = c.len();"#;
+        let m = mask(src);
+        assert!(!m.code.contains("panic"));
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.contains("let n = c.len();"));
+        assert_eq!(m.strings.len(), 1);
+        assert_eq!(m.strings[0].value, "panic! and .unwrap() inside");
+    }
+
+    #[test]
+    fn raw_c_string_literals_do_not_drift_on_embedded_quotes() {
+        // An embedded `"` inside cr#"..."# must not terminate the
+        // literal early (that would leave the tail unmasked).
+        let src = "let s = cr#\"raw \"q\" thread_rng HashMap\"#; let tail = 9;";
+        let m = mask(src);
+        assert!(!m.code.contains("thread_rng"));
+        assert!(!m.code.contains("HashMap"));
+        assert!(m.code.contains("let tail = 9;"));
+        assert_eq!(m.strings.len(), 1);
+        assert_eq!(m.strings[0].value, "raw \"q\" thread_rng HashMap");
+    }
+
+    #[test]
+    fn raw_identifiers_become_single_identifiers() {
+        let src = "fn r#type(r#fn: u8) -> u8 { r#fn + r#unsafe }";
+        let m = mask(src);
+        assert_eq!(m.code, "fn r_type(r_fn: u8) -> u8 { r_fn + r_unsafe }");
+        assert!(m.strings.is_empty());
+        // Same byte length: offsets are stable.
+        assert_eq!(m.code.len(), src.len());
+    }
+
+    #[test]
+    fn raw_identifier_does_not_eat_a_raw_string() {
+        let src = "let a = r#unsafe; let b = r#\"panic! body\"#;";
+        let m = mask(src);
+        assert!(m.code.contains("r_unsafe"));
+        assert!(!m.code.contains("panic"));
+        assert_eq!(m.strings.len(), 1);
+        assert_eq!(m.strings[0].value, "panic! body");
     }
 }
