@@ -17,6 +17,9 @@ pub enum LintError {
     BadWorkspace(String),
     /// The JSON report could not be serialised.
     Report(serde_json::Error),
+    /// The determinism sanitizer could not drive the CLI or parse an
+    /// artifact (a *divergence* is not an error — it is a finding).
+    Sanitize(String),
 }
 
 impl LintError {
@@ -34,6 +37,7 @@ impl fmt::Display for LintError {
             LintError::Io { path, source } => write!(f, "io error at {path}: {source}"),
             LintError::BadWorkspace(msg) => write!(f, "bad workspace: {msg}"),
             LintError::Report(e) => write!(f, "report serialisation failed: {e}"),
+            LintError::Sanitize(msg) => write!(f, "sanitize: {msg}"),
         }
     }
 }
@@ -43,7 +47,7 @@ impl std::error::Error for LintError {
         match self {
             LintError::Io { source, .. } => Some(source),
             LintError::Report(e) => Some(e),
-            LintError::BadWorkspace(_) => None,
+            LintError::BadWorkspace(_) | LintError::Sanitize(_) => None,
         }
     }
 }

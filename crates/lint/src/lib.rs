@@ -45,8 +45,10 @@
 //! in a doc comment or an error message never false-positives.
 
 pub mod error;
+pub mod items;
 pub mod report;
 pub mod rules;
+pub mod sanitize;
 pub mod tokenizer;
 pub mod workspace;
 

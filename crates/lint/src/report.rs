@@ -18,6 +18,17 @@ pub enum Rule {
     ObsSchema,
     /// R5 — typed errors on public `Result` APIs.
     ErrorHygiene,
+    /// R6 — no heap allocation inside `// lint:zero_alloc` functions.
+    AllocHygiene,
+    /// R7 — RNG discipline: seeded construction only, no ambient RNG,
+    /// no cloning of RNG values (workspace-wide).
+    RngDiscipline,
+    /// R8 — float ordering through `total_cmp`, never
+    /// `partial_cmp(..).unwrap()` (workspace-wide).
+    FloatOrder,
+    /// R9 — shared-state prep: `Rc`/`RefCell`/`Cell`/`static mut`/
+    /// `thread_local!` flagged in crates slated for thread-sharding.
+    SharedState,
     /// Meta — malformed `lint:allow` annotation (unknown rule or
     /// missing reason). A broken suppression must not pass silently.
     AllowSyntax,
@@ -32,6 +43,10 @@ impl Rule {
             Rule::UnsafeCode => "unsafe",
             Rule::ObsSchema => "obs_schema",
             Rule::ErrorHygiene => "error_hygiene",
+            Rule::AllocHygiene => "alloc_hygiene",
+            Rule::RngDiscipline => "rng_discipline",
+            Rule::FloatOrder => "float_order",
+            Rule::SharedState => "shared_state",
             Rule::AllowSyntax => "allow_syntax",
         }
     }
@@ -44,11 +59,15 @@ impl Rule {
             "unsafe" => Rule::UnsafeCode,
             "obs_schema" => Rule::ObsSchema,
             "error_hygiene" => Rule::ErrorHygiene,
+            "alloc_hygiene" => Rule::AllocHygiene,
+            "rng_discipline" => Rule::RngDiscipline,
+            "float_order" => Rule::FloatOrder,
+            "shared_state" => Rule::SharedState,
             _ => return None,
         })
     }
 
-    /// Paper-facing rule id (R1..R5) for diagnostics.
+    /// Paper-facing rule id (R1..R9) for diagnostics.
     pub fn id(self) -> &'static str {
         match self {
             Rule::Panic => "R1",
@@ -56,6 +75,10 @@ impl Rule {
             Rule::UnsafeCode => "R3",
             Rule::ObsSchema => "R4",
             Rule::ErrorHygiene => "R5",
+            Rule::AllocHygiene => "R6",
+            Rule::RngDiscipline => "R7",
+            Rule::FloatOrder => "R8",
+            Rule::SharedState => "R9",
             Rule::AllowSyntax => "R0",
         }
     }
@@ -70,7 +93,7 @@ impl fmt::Display for Rule {
 /// One unsuppressed rule violation.
 #[derive(Debug, Clone, Serialize)]
 pub struct Violation {
-    /// Paper-facing rule id: `R1`..`R5` (`R0` for annotation syntax).
+    /// Paper-facing rule id: `R1`..`R9` (`R0` for annotation syntax).
     pub rule: String,
     /// Annotation slug for the rule (what `lint:allow` would take).
     pub slug: String,

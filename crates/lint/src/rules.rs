@@ -1,10 +1,14 @@
-//! The rule set (R1–R5) and the `lint:allow` suppression machinery.
+//! The rule set (R1–R9) and the `lint:allow` suppression machinery.
 //!
 //! All rules run on [`Masked`](crate::tokenizer::Masked) text, so
 //! banned patterns inside comments and string literals never fire.
-//! Code under a `#[cfg(test)]` attribute (the attribute through the
-//! close of the following brace block) is skipped by every rule.
+//! Region scoping comes from the [`ItemTree`](crate::items::ItemTree)
+//! built per file: code inside a `#[cfg(test)]` item (directly
+//! attributed or inherited from an enclosing `mod`/`impl`) is skipped
+//! by every rule, and R6 applies only inside function bodies annotated
+//! `// lint:zero_alloc`.
 
+use crate::items::ItemTree;
 use crate::report::{Rule, Violation};
 use crate::tokenizer::{is_ident_byte, Masked};
 use crate::workspace::{CrateKind, CrateSpec, SourceFile};
@@ -21,14 +25,14 @@ const PANIC_PATTERNS: &[(&str, bool)] = &[
 ];
 
 /// R2 — sources of nondeterminism banned in hot-path crates. The wall
-/// clock breaks replayability; `thread_rng` is ambient (unseeded)
-/// randomness; `HashMap`/`HashSet` have nondeterministic iteration
-/// order (use `BTreeMap`/`BTreeSet`, or annotate a keyed-lookup-only
-/// use with `lint:allow(determinism)`).
+/// clock breaks replayability; `HashMap`/`HashSet` have
+/// nondeterministic iteration order (use `BTreeMap`/`BTreeSet`, or
+/// annotate a keyed-lookup-only use with `lint:allow(determinism)`).
+/// Ambient RNG (`thread_rng`, `from_entropy`) is R7's job — it is
+/// banned workspace-wide, not just in hot-path crates.
 const DETERMINISM_PATTERNS: &[(&str, &str)] = &[
     ("Instant::now", "wall-clock read in a hot path"),
     ("SystemTime::now", "wall-clock read in a hot path"),
-    ("thread_rng", "ambient (unseeded) RNG"),
     (
         "HashMap",
         "unordered map (iteration order is nondeterministic)",
@@ -39,21 +43,67 @@ const DETERMINISM_PATTERNS: &[(&str, &str)] = &[
     ),
 ];
 
+/// R6 — allocation/heap patterns banned inside `// lint:zero_alloc`
+/// function bodies. `Vec::with_capacity` is deliberately absent: the
+/// sanctioned idiom is pre-reserving outside the hot loop.
+const ALLOC_PATTERNS: &[(&str, bool)] = &[
+    // (pattern, needs identifier boundary before first byte)
+    ("Vec::new", true),
+    ("vec!", true),
+    ("Box::new", true),
+    ("String::new", true),
+    ("String::from", true),
+    ("format!", true),
+    (".push(", false),
+    (".collect", false),
+    (".to_string(", false),
+    (".to_owned(", false),
+    (".to_vec(", false),
+    (".clone(", false),
+];
+
+/// R7 — ambient/unseeded RNG construction, banned workspace-wide.
+/// (RNG cloning is detected separately: it forks a stream into two
+/// identical ones, which silently correlates draws.)
+const RNG_PATTERNS: &[(&str, &str)] = &[
+    ("thread_rng", "ambient (unseeded) RNG"),
+    ("from_entropy", "entropy-seeded RNG construction"),
+];
+
+/// R9 — shared-ownership / interior-mutability / global-state types
+/// flagged in the crates slated for thread-sharding. None of these are
+/// `Send`-friendly, so they would block the ROADMAP's multi-core qsim
+/// and portfolio-SA work.
+const SHARED_STATE_PATTERNS: &[(&str, &str)] = &[
+    ("Rc", "`Rc` is not `Send`"),
+    ("RefCell", "`RefCell` is not `Sync`"),
+    ("Cell", "`Cell` is not `Sync`"),
+    ("static mut", "mutable global state"),
+    (
+        "thread_local!",
+        "per-thread global state breaks seeded replay across thread counts",
+    ),
+];
+
 /// A parsed `lint:allow(<rule>): <reason>` annotation.
 #[derive(Debug, Clone)]
 struct Allow {
     line: usize,
     rule: Rule,
-    /// A comment-only line covers the next line too; a trailing
-    /// annotation covers only its own line.
-    standalone: bool,
+    /// The line this annotation covers besides its own: for a
+    /// standalone comment line, the first non-comment line after the
+    /// comment block (so a multi-line reason keeps its coverage); for
+    /// a trailing annotation, the annotation's own line.
+    covers: usize,
     used: bool,
 }
 
 /// Scan state for one source file.
 pub struct FileScan<'a> {
     masked: &'a Masked,
-    /// Byte ranges covered by `#[cfg(test)]` items.
+    /// The file's item tree (scopes for R6 and `#[cfg(test)]`).
+    items: ItemTree,
+    /// Byte ranges covered by `#[cfg(test)]` items, from the tree.
     test_regions: Vec<(usize, usize)>,
     allows: Vec<Allow>,
     /// Violations before suppression.
@@ -63,11 +113,14 @@ pub struct FileScan<'a> {
 }
 
 impl<'a> FileScan<'a> {
-    /// Prepare a scan: locate test regions and parse annotations.
+    /// Prepare a scan: itemize the file and parse annotations.
     pub fn new(masked: &'a Masked) -> Self {
+        let items = ItemTree::build(masked);
+        let test_regions = items.test_regions();
         let mut scan = FileScan {
             masked,
-            test_regions: test_regions(&masked.code),
+            items,
+            test_regions,
             allows: Vec::new(),
             candidates: Vec::new(),
             syntax_errors: Vec::new(),
@@ -103,11 +156,24 @@ impl<'a> FileScan<'a> {
                 let reason = after.strip_prefix(':')?.trim();
                 (!reason.is_empty()).then_some(rule)
             })();
+            let standalone = line_blank.get(c.line - 1).copied().unwrap_or(false);
+            let covers = if standalone {
+                // Skip the rest of the comment block (continuation
+                // lines of the reason mask to blank) to the code line
+                // the annotation covers.
+                let mut idx = c.line; // 0-based index of the next line
+                while line_blank.get(idx).copied().unwrap_or(false) {
+                    idx += 1;
+                }
+                idx + 1
+            } else {
+                c.line
+            };
             match parsed {
                 Some(rule) => self.allows.push(Allow {
                     line: c.line,
                     rule,
-                    standalone: line_blank.get(c.line - 1).copied().unwrap_or(false),
+                    covers,
                     used: false,
                 }),
                 None => self.syntax_errors.push((
@@ -311,14 +377,169 @@ impl<'a> FileScan<'a> {
         }
     }
 
+    /// R6 — allocation hygiene inside `// lint:zero_alloc` functions.
+    pub fn rule_alloc_hygiene(&mut self) {
+        let code = &self.masked.code;
+        let mut hits = Vec::new();
+        for ((bs, be), name) in self.items.zero_alloc_bodies() {
+            for &(pat, boundary) in ALLOC_PATTERNS {
+                for off in find_all(code, pat, boundary) {
+                    if off < bs || off >= be {
+                        continue;
+                    }
+                    let what = pat.trim_start_matches('.').trim_end_matches('(');
+                    hits.push((
+                        off,
+                        format!(
+                            "`{what}` allocates inside `// lint:zero_alloc` fn `{name}`; \
+                             hoist the allocation out of the hot path, or \
+                             lint:allow(alloc_hygiene) with capacity/ownership reasoning"
+                        ),
+                    ));
+                }
+            }
+        }
+        hits.sort_by_key(|&(off, _)| off);
+        for (off, message) in hits {
+            self.push(Rule::AllocHygiene, off, message);
+        }
+    }
+
+    /// R7 — RNG discipline (workspace-wide): no ambient/entropy-seeded
+    /// RNG construction, no cloning of RNG values.
+    pub fn rule_rng_discipline(&mut self) {
+        let code = &self.masked.code;
+        for &(pat, why) in RNG_PATTERNS {
+            for off in find_all(code, pat, true) {
+                if self.in_test_region(off) {
+                    continue;
+                }
+                self.push(
+                    Rule::RngDiscipline,
+                    off,
+                    format!(
+                        "`{pat}`: {why}; construct RNGs with `seed_from_u64` (or a \
+                         documented child-stream derivation) so runs replay"
+                    ),
+                );
+            }
+        }
+        // `some_rng.clone()` forks a stream into two identical ones:
+        // both sides then draw the same sequence, silently correlating
+        // results. Derive a child stream from a fresh seed instead.
+        for off in find_all(code, ".clone(", false) {
+            if self.in_test_region(off) {
+                continue;
+            }
+            let Some(recv) = prev_word(code, off) else {
+                continue;
+            };
+            if recv.to_ascii_lowercase().contains("rng") {
+                self.push(
+                    Rule::RngDiscipline,
+                    off,
+                    format!(
+                        "`{recv}.clone()` duplicates an RNG stream (both copies draw \
+                         identical sequences); derive a child RNG from a fresh seed instead"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// R8 — float ordering (workspace-wide): comparator chains must go
+    /// through `total_cmp`, never `partial_cmp(..).unwrap()`.
+    pub fn rule_float_order(&mut self) {
+        let code = &self.masked.code;
+        let bytes = code.as_bytes();
+        // (a) `x.partial_cmp(y).unwrap()` / `.expect(...)`: panics on
+        // NaN, and NaN-poisoned orderings are exactly what `total_cmp`
+        // exists to rule out. The `fn partial_cmp` definition inside a
+        // manual `PartialOrd` impl is not a call site.
+        for off in find_all(code, "partial_cmp", true) {
+            if self.in_test_region(off) || prev_word(code, off) == Some("fn") {
+                continue;
+            }
+            let open = off + "partial_cmp".len();
+            if open >= bytes.len() || bytes[open] != b'(' {
+                continue; // a path/reference, not a call
+            }
+            let Some(close) = match_paren(code, open) else {
+                continue;
+            };
+            let after = &code[close + 1..];
+            if after.starts_with(".unwrap()") || after.starts_with(".expect(") {
+                self.push(
+                    Rule::FloatOrder,
+                    off,
+                    "`partial_cmp(..).unwrap()` panics on NaN and orders floats \
+                     partially; use `total_cmp` for a total order"
+                        .to_string(),
+                );
+            }
+        }
+        // (b) float-keyed comparator calls built on `partial_cmp`
+        // without the unwrap (e.g. `.unwrap_or(Ordering::Equal)`):
+        // NaN keys then compare Equal and the result depends on input
+        // order. Sites already flagged by (a) are skipped so each call
+        // yields exactly one violation.
+        for pat in [".sort_by(", ".sort_unstable_by(", ".max_by(", ".min_by("] {
+            for off in find_all(code, pat, false) {
+                if self.in_test_region(off) {
+                    continue;
+                }
+                let open = off + pat.len() - 1;
+                let Some(close) = match_paren(code, open) else {
+                    continue;
+                };
+                let arg = &code[open..close];
+                if arg.contains("partial_cmp")
+                    && !arg.contains(".unwrap()")
+                    && !arg.contains(".expect(")
+                {
+                    let what = pat.trim_start_matches('.').trim_end_matches('(');
+                    self.push(
+                        Rule::FloatOrder,
+                        off,
+                        format!(
+                            "`{what}` comparator uses `partial_cmp`; NaN keys make the \
+                             order input-dependent — use `total_cmp`"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// R9 — shared-state prep in crates slated for thread-sharding.
+    pub fn rule_shared_state(&mut self) {
+        let code = &self.masked.code;
+        for &(pat, why) in SHARED_STATE_PATTERNS {
+            for off in find_all(code, pat, true) {
+                if self.in_test_region(off) {
+                    continue;
+                }
+                self.push(
+                    Rule::SharedState,
+                    off,
+                    format!(
+                        "`{pat}` in a crate slated for thread-sharding: {why}; keep \
+                         state owned (or annotate with lint:allow(shared_state))"
+                    ),
+                );
+            }
+        }
+    }
+
     /// Apply suppressions and drain results into the caller's buffers.
     /// Returns the number of suppressed violations.
     pub fn finish(mut self, rel_path: &str, out: &mut Vec<Violation>) -> usize {
         let mut suppressed = 0usize;
         for (rule, line, message) in std::mem::take(&mut self.candidates) {
-            let allow = self.allows.iter_mut().find(|a| {
-                a.rule == rule && (a.line == line || (a.standalone && a.line + 1 == line))
-            });
+            let allow = self
+                .allows
+                .iter_mut()
+                .find(|a| a.rule == rule && (a.line == line || a.covers == line));
             if let Some(a) = allow {
                 a.used = true;
                 suppressed += 1;
@@ -359,7 +580,11 @@ pub fn scan_file(
     }
     if spec.hot_path && !file.is_bin {
         scan.rule_determinism();
+        scan.rule_shared_state();
     }
+    scan.rule_alloc_hygiene();
+    scan.rule_rng_discipline();
+    scan.rule_float_order();
     scan.rule_unsafe_tokens();
     if file.is_lib_root {
         scan.rule_forbid_attr(&file.rel_path);
@@ -478,38 +703,23 @@ fn prev_word(code: &str, off: usize) -> Option<&str> {
     (!w.is_empty()).then_some(w)
 }
 
-/// Byte ranges of `#[cfg(test)]` items: from the attribute through the
-/// matching close brace of the next `{` block.
-fn test_regions(code: &str) -> Vec<(usize, usize)> {
-    let mut regions = Vec::new();
-    let bytes = code.as_bytes();
-    let mut start = 0usize;
-    while let Some(rel) = code[start..].find("#[cfg(test)]") {
-        let attr = start + rel;
-        let Some(open_rel) = code[attr..].find('{') else {
-            regions.push((attr, code.len()));
-            break;
-        };
-        let open = attr + open_rel;
-        let mut depth = 0i64;
-        let mut end = code.len();
-        for (k, &b) in bytes[open..].iter().enumerate() {
-            match b {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = open + k + 1;
-                        break;
-                    }
+/// Index of the `)` matching the `(` at `open`, or `None` if the file
+/// ends first. Masked text: parens in strings/chars are blanked.
+fn match_paren(code: &str, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, b) in code.as_bytes()[open..].iter().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + k);
                 }
-                _ => {}
             }
+            _ => {}
         }
-        regions.push((attr, end));
-        start = end;
     }
-    regions
+    None
 }
 
 /// The signature starting at a `pub fn ` match: text up to the first
@@ -649,6 +859,104 @@ mod tests {
         assert_eq!(v.len(), 2);
         let src2 = "use std::collections::BTreeMap;\nstruct MyHashMapLike;";
         assert!(scan_candidates(src2, |s| s.rule_determinism()).is_empty());
+    }
+
+    #[test]
+    fn alloc_hygiene_fires_only_inside_zero_alloc_bodies() {
+        let src = "\
+// lint:zero_alloc
+fn hot(out: &mut Vec<u8>) {
+    out.push(1);
+    let v = Vec::new();
+}
+fn cold() -> Vec<u8> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}
+";
+        let v = scan_candidates(src, |s| s.rule_alloc_hygiene());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].1, 3);
+        assert_eq!(v[1].1, 4);
+        assert!(v[0].2.contains("`hot`"));
+    }
+
+    #[test]
+    fn alloc_hygiene_permits_with_capacity_and_test_fns() {
+        let src = "\
+// lint:zero_alloc
+fn hot(buf: &mut [f64]) { buf[0] = 1.0; }
+#[cfg(test)]
+mod tests {
+    // lint:zero_alloc
+    fn t() { let mut v = Vec::new(); v.push(1); }
+}
+";
+        assert!(scan_candidates(src, |s| s.rule_alloc_hygiene()).is_empty());
+        let src2 = "// lint:zero_alloc\nfn pre() { let v = Vec::with_capacity(8); }\n";
+        assert!(scan_candidates(src2, |s| s.rule_alloc_hygiene()).is_empty());
+    }
+
+    #[test]
+    fn rng_discipline_catches_ambient_and_cloned_rngs() {
+        let src = "\
+fn a() { let mut r = rand::thread_rng(); }
+fn b() { let r = SmallRng::from_entropy(); }
+fn c(rng: &SmallRng) { let fork = rng.clone(); }
+fn d(data: &[u8]) { let copy = data.clone(); }
+fn e() { let r = SmallRng::seed_from_u64(7); }
+";
+        let v = scan_candidates(src, |s| s.rule_rng_discipline());
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert_eq!(v[0].1, 1);
+        assert_eq!(v[1].1, 2);
+        assert_eq!(v[2].1, 3);
+        assert!(v[2].2.contains("rng.clone()"));
+    }
+
+    #[test]
+    fn float_order_flags_each_site_exactly_once() {
+        let src = "\
+fn a(xs: &mut [f64]) {
+    xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    xs.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
+    xs.sort_by(f64::total_cmp);
+    let m = xs.iter().cloned().fold(f64::NAN, f64::max);
+}
+";
+        let v = scan_candidates(src, |s| s.rule_float_order());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].1, 2); // the unwrap form, flagged at partial_cmp
+        assert_eq!(v[1].1, 3); // the unwrap_or form, flagged at sort_by
+    }
+
+    #[test]
+    fn float_order_skips_partial_ord_impls() {
+        let src = "\
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+";
+        assert!(scan_candidates(src, |s| s.rule_float_order()).is_empty());
+    }
+
+    #[test]
+    fn shared_state_flags_interior_mutability_outside_tests() {
+        let src = "\
+use std::rc::Rc;
+fn a() { let c = std::cell::RefCell::new(1); }
+#[cfg(test)]
+mod tests {
+    fn t() { let c = std::cell::Cell::new(1); }
+}
+";
+        let v = scan_candidates(src, |s| s.rule_shared_state());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].1, 1);
+        assert_eq!(v[1].1, 2);
     }
 
     #[test]

@@ -19,3 +19,30 @@ pub fn allowed_clock() -> std::time::Instant {
 pub fn allowed_stringly() -> Result<(), String> {
     Ok(())
 }
+
+// lint:zero_alloc
+pub fn allowed_alloc() -> Vec<u8> {
+    // lint:allow(alloc_hygiene): fixture — a multi-line reason keeps
+    // its coverage through the rest of the comment block
+    let mut v = Vec::new();
+    v.push(1); // lint:allow(alloc_hygiene): fixture — trailing form
+    v
+}
+
+pub fn allowed_rng() -> StdRng {
+    // lint:allow(rng_discipline): fixture — entropy seeding behind explicit opt-in
+    StdRng::from_entropy()
+}
+
+pub fn allowed_float(xs: &mut [f64]) {
+    // lint:allow(panic): fixture — comparator is total on this data
+    // lint:allow(float_order): fixture — stacked annotations each
+    // cover the first code line after the comment block
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+// lint:allow(shared_state): fixture — single-threaded scratch cache
+pub fn allowed_shared() -> std::rc::Rc<u8> {
+    // lint:allow(shared_state): fixture — same cache, constructor site
+    std::rc::Rc::new(7)
+}

@@ -22,7 +22,7 @@ pub fn r1_unimplemented() {
 
 pub fn r2_nondeterminism(m: &HashMap<u8, u8>) -> usize {
     let _t = Instant::now(); // R2
-    let _rng = thread_rng(); // R2
+    let _rng = thread_rng(); // R7: ambient RNG (owned by rng_discipline)
     m.len()
 }
 
@@ -45,6 +45,47 @@ pub fn r5_boxed() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+// lint:zero_alloc
+pub fn r6_allocating_hot_loop(xs: &[u64]) -> u64 {
+    let mut buf = Vec::new(); // R6
+    buf.push(xs.len() as u64); // R6
+    let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect(); // R6
+    let label = format!("{}", doubled.len()); // R6
+    buf[0] + label.len() as u64
+}
+
+pub fn r6_unannotated_fn_allocates_freely() -> Vec<u8> {
+    // Negative case: no `lint:zero_alloc` marker, so R6 stays silent.
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}
+
+pub fn r7_entropy_and_cloned_rng(base_rng: &StdRng) {
+    let _rng = StdRng::from_entropy(); // R7
+    let _fork = base_rng.clone(); // R7: cloned RNG duplicates the stream
+}
+
+pub fn r8_float_order(xs: &mut [f64]) -> Option<f64> {
+    // lint:allow(panic): fixture — R8 still fires alongside the allowed R1
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // R8: one site
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)) // R8: one site
+}
+
+pub fn r8_total_cmp_is_clean(xs: &mut [f64]) {
+    // Negative case: total order comparator, R8 stays silent.
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub static mut R9_COUNTER: u64 = 0; // R9
+
+pub fn r9_interior_mutability() {
+    let _rc = std::rc::Rc::new(1u8); // R9
+    let _cell = std::cell::RefCell::new(2u8); // R9
+}
+
 // lint:allow(panic) missing the colon-reason — R0 malformed annotation
 pub fn r0_bad_annotation() {}
 
@@ -63,5 +104,16 @@ mod tests {
         v.unwrap();
         std::time::Instant::now();
         panic!("tests may panic");
+    }
+
+    // lint:zero_alloc
+    #[test]
+    fn zero_alloc_marker_is_inert_in_tests() {
+        // R6 ignores `#[cfg(test)]` items even when annotated, and R8
+        // and R9 are likewise test-exempt.
+        let mut v = Vec::new();
+        v.push(std::rc::Rc::new(1.5f64));
+        let mut xs = [2.0f64, 1.0];
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     }
 }

@@ -1,0 +1,226 @@
+//! Property tests for the item-tree analyzer: on randomly generated
+//! (well-formed) source, sibling spans are ordered and disjoint,
+//! children nest strictly inside their parent's body, and body spans
+//! sit inside item spans. Braces hidden in strings and comments must
+//! never distort the tree.
+
+use chainnet_lint::items::{Item, ItemTree};
+use chainnet_lint::tokenizer::mask;
+use proptest::prelude::*;
+
+/// Statement filler for function bodies; some lines hide braces in
+/// masked positions to try to desynchronise the itemizer.
+const STMTS: &[&str] = &[
+    "let a = 1;\n",
+    "let s = \"} } {\";\n",
+    "// unmatched in a comment: { { {\n",
+    "let r = r#\"raw } { \"#;\n",
+    "if a > 0 { let _ = a; }\n",
+    "let c = '{';\n",
+    "let arr = [1, 2, 3];\n",
+];
+
+#[derive(Debug, Clone)]
+enum Node {
+    Fn {
+        name: usize,
+        stmts: Vec<usize>,
+        cfg_test: bool,
+        zero_alloc: bool,
+    },
+    Mod {
+        name: usize,
+        cfg_test: bool,
+        children: Vec<Node>,
+    },
+    Impl {
+        name: usize,
+        children: Vec<Node>,
+    },
+}
+
+/// One generator instruction: (op, name, flag_a, flag_b). Op 0 emits a
+/// fn; 1 opens a mod; 2 opens an impl; 3 closes the innermost open
+/// container. The vendored proptest shim has no recursive strategies,
+/// so nesting is driven by this flat op stream instead.
+type Op = (u8, usize, bool, bool);
+
+fn build_forest(ops: &[Op]) -> Vec<Node> {
+    const MAX_DEPTH: usize = 4;
+    let mut roots: Vec<Node> = Vec::new();
+    let mut stack: Vec<Node> = Vec::new();
+
+    fn attach(stack: &mut [Node], roots: &mut Vec<Node>, node: Node) {
+        match stack.last_mut() {
+            Some(Node::Mod { children, .. }) | Some(Node::Impl { children, .. }) => {
+                children.push(node)
+            }
+            _ => roots.push(node),
+        }
+    }
+
+    for &(op, name, flag_a, flag_b) in ops {
+        match op {
+            0 => {
+                let stmts = (0..name % 4).map(|i| (name + i) % STMTS.len()).collect();
+                let node = Node::Fn {
+                    name,
+                    stmts,
+                    cfg_test: flag_a,
+                    zero_alloc: flag_b,
+                };
+                attach(&mut stack, &mut roots, node);
+            }
+            1 if stack.len() < MAX_DEPTH => stack.push(Node::Mod {
+                name,
+                cfg_test: flag_a,
+                children: Vec::new(),
+            }),
+            2 if stack.len() < MAX_DEPTH => stack.push(Node::Impl {
+                name,
+                children: Vec::new(),
+            }),
+            _ => {
+                if let Some(done) = stack.pop() {
+                    attach(&mut stack, &mut roots, done);
+                }
+            }
+        }
+    }
+    while let Some(done) = stack.pop() {
+        attach(&mut stack, &mut roots, done);
+    }
+    roots
+}
+
+fn render(node: &Node, out: &mut String) {
+    match node {
+        Node::Fn {
+            name,
+            stmts,
+            cfg_test,
+            zero_alloc,
+        } => {
+            if *cfg_test {
+                out.push_str("#[cfg(test)]\n");
+            }
+            if *zero_alloc {
+                out.push_str("// lint:zero_alloc\n");
+            }
+            out.push_str(&format!("fn f{name}() {{\n"));
+            for s in stmts {
+                out.push_str(STMTS[*s]);
+            }
+            out.push_str("}\n");
+        }
+        Node::Mod {
+            name,
+            cfg_test,
+            children,
+        } => {
+            if *cfg_test {
+                out.push_str("#[cfg(test)]\n");
+            }
+            out.push_str(&format!("mod m{name} {{\n"));
+            for c in children {
+                render(c, out);
+            }
+            out.push_str("}\n");
+        }
+        Node::Impl { name, children } => {
+            out.push_str(&format!("impl T{name} {{\n"));
+            for c in children {
+                render(c, out);
+            }
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Check the structural invariants of a sibling list, recursively.
+fn check_items(items: &[Item], bound: (usize, usize), src_len: usize) -> Result<(), String> {
+    let mut prev_end = bound.0;
+    for item in items {
+        let (start, end) = item.span;
+        if start < prev_end {
+            return Err(format!(
+                "sibling spans overlap or are unordered: {:?} starts before {prev_end}",
+                item.span
+            ));
+        }
+        if end > bound.1 || end > src_len || start >= end {
+            return Err(format!("span {:?} escapes bound {bound:?}", item.span));
+        }
+        prev_end = end;
+        if let Some(body) = item.body {
+            if body.0 < start || body.1 > end {
+                return Err(format!("body {body:?} outside item span {:?}", item.span));
+            }
+            check_items(&item.children, body, src_len)?;
+        } else if !item.children.is_empty() {
+            return Err(format!("bodyless item {:?} has children", item.name));
+        }
+    }
+    Ok(())
+}
+
+fn count_nodes(nodes: &[Node]) -> usize {
+    nodes
+        .iter()
+        .map(|n| match n {
+            Node::Fn { .. } => 1,
+            Node::Mod { children, .. } | Node::Impl { children, .. } => 1 + count_nodes(children),
+        })
+        .sum()
+}
+
+fn count_items(items: &[Item]) -> usize {
+    items.iter().map(|i| 1 + count_items(&i.children)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn spans_tile_and_nest(ops in proptest::collection::vec((0u8..4, 0usize..32, proptest::bool::ANY, proptest::bool::ANY), 0..32)) {
+        let nodes = build_forest(&ops);
+        let mut src = String::new();
+        for n in &nodes {
+            render(n, &mut src);
+        }
+        let masked = mask(&src);
+        let tree = ItemTree::build(&masked);
+        // Every generated node is modeled, none invented.
+        let (got, want) = (count_items(&tree.items), count_nodes(&nodes));
+        prop_assert!(got == want, "item count {got} != {want} in:\n{src}");
+        if let Err(msg) = check_items(&tree.items, (0, src.len()), src.len()) {
+            prop_assert!(false, "{msg}\nin:\n{src}");
+        }
+    }
+
+    #[test]
+    fn test_regions_cover_all_cfg_test_items(ops in proptest::collection::vec((0u8..4, 0usize..32, proptest::bool::ANY, proptest::bool::ANY), 0..32)) {
+        let nodes = build_forest(&ops);
+        let mut src = String::new();
+        for n in &nodes {
+            render(n, &mut src);
+        }
+        let masked = mask(&src);
+        let tree = ItemTree::build(&masked);
+        let regions = tree.test_regions();
+        // Regions are ordered and disjoint.
+        for w in regions.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlapping test regions {:?} in:\n{}", regions, src);
+        }
+        // Every cfg_test item's span is inside some region.
+        let mut ok = true;
+        tree.for_each(&mut |item| {
+            if item.cfg_test
+                && !regions.iter().any(|&(s, e)| s <= item.span.0 && item.span.1 <= e)
+            {
+                ok = false;
+            }
+        });
+        prop_assert!(ok, "cfg_test item not covered by test_regions in:\n{src}");
+    }
+}

@@ -21,7 +21,9 @@ const MASKED_FRAGMENTS: &[&str] = &[
     "let r2 = r\"raw no-hash thread_rng HashMap\";\n",
     "let b = b\"byte string with panic! inside\";\n",
     "let multi = \"line one\n.unwrap() on line two\npanic! on three\";\n",
-    "let msg = format!(\"metric {} .expect( {}\", name, value);\n",
+    "let cs = c\"panic! .unwrap() inside a c-string\";\n",
+    "let crs = cr#\"raw c \"quoted\" .expect( thread_rng from_entropy\"#;\n",
+    "let cb = c\"RefCell Rc static mut partial_cmp\";\n",
 ];
 
 /// Benign code fragments (no banned patterns at all) used as filler,
@@ -36,6 +38,9 @@ const CLEAN_FRAGMENTS: &[&str] = &[
     "let map = std::collections::BTreeMap::<u8, u8>::new();\n",
     "struct MyHashMapAdapter;\n",
     "if depth > 0 { depth -= 1; }\n",
+    "let r#unsafe = 1; let shadow = r#unsafe + 1;\n",
+    "let r#fn = 2; let keyword_named = r#fn * 2;\n",
+    "let xs = [2.0f64, 1.0]; let _s = xs[0].total_cmp(&xs[1]);\n",
 ];
 
 fn assemble(choices: &[(bool, usize)]) -> String {
@@ -51,12 +56,16 @@ fn assemble(choices: &[(bool, usize)]) -> String {
     src
 }
 
-/// Count the violations the panic/determinism/unsafe rules produce.
+/// Count the violations the region-insensitive rules produce
+/// (panic, determinism, RNG, float-order, shared-state, unsafe).
 fn violation_count(src: &str) -> usize {
     let masked = mask(src);
     let mut scan = FileScan::new(&masked);
     scan.rule_panic();
     scan.rule_determinism();
+    scan.rule_rng_discipline();
+    scan.rule_float_order();
+    scan.rule_shared_state();
     scan.rule_unsafe_tokens();
     let mut out = Vec::new();
     scan.finish("generated.rs", &mut out);

@@ -339,6 +339,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics unless `self` is `(m, k)` and `bt` is `(n, k)`.
+    // lint:zero_alloc
     pub fn matmul_bt(&self, bt: &Tensor) -> Tensor {
         assert!(
             self.is_matrix() && bt.is_matrix(),
@@ -347,6 +348,9 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, btk) = (bt.shape[0], bt.shape[1]);
         assert_eq!(k, btk, "matmul_bt: inner dims {k} != {btk}");
+        // lint:allow(alloc_hygiene): the single output buffer, sized
+        // exactly once up front and amortized over O(m*n*k) work; the
+        // tile loops below never allocate
         let mut out = vec![0.0; m * n];
 
         // Tile sizes chosen so one A tile + one B tile of rows fit in a
@@ -434,6 +438,7 @@ impl Tensor {
 /// Ascending-order dot product of two equal-length slices: a single
 /// accumulator updated left to right, matching the naive kernels' (and
 /// `matvec`'s) summation order exactly.
+// lint:zero_alloc
 #[inline]
 fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());

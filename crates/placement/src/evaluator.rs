@@ -204,6 +204,7 @@ impl<S: Surrogate> BatchEvaluator for GnnEvaluator<S> {
     /// (bit-identical to the per-candidate loop — see
     /// [`Surrogate::predict_batch`]). Candidates that fail to bind get a
     /// per-slot error; the rest are still evaluated together.
+    // lint:zero_alloc
     fn total_throughput_batch(
         &mut self,
         problem: &PlacementProblem,
@@ -214,13 +215,21 @@ impl<S: Surrogate> BatchEvaluator for GnnEvaluator<S> {
         let mut graphs = Vec::with_capacity(placements.len());
         let bind_errs: Vec<Option<PlacementError>> = placements
             .iter()
+            // lint:allow(alloc_hygiene): bind takes the placement by
+            // value, so one small assignment-vec clone per candidate
+            // is the API minimum
             .map(|p| match problem.bind(p.clone()) {
                 Ok(model) => {
+                    // lint:allow(alloc_hygiene): graphs is pre-reserved
+                    // to placements.len() above; this push cannot
+                    // reallocate
                     graphs.push(PlacementGraph::from_model(&model, mode));
                     None
                 }
                 Err(e) => Some(e.into()),
             })
+            // lint:allow(alloc_hygiene): one bind-error vec per batch,
+            // amortized over the whole candidate set
             .collect();
         // The stacked blocked-matmul kernel phase of batched inference.
         let matmul_span = self.tracer.span("neural.matmul");
@@ -241,12 +250,17 @@ impl<S: Surrogate> BatchEvaluator for GnnEvaluator<S> {
                         Ok(total)
                     } else {
                         Err(PlacementError::NonFiniteObjective {
+                            // lint:allow(alloc_hygiene): cold error
+                            // path — a non-finite objective aborts the
+                            // search anyway
                             evaluator: self.model.name().to_string(),
                             value: total,
                         })
                     }
                 }
             })
+            // lint:allow(alloc_hygiene): the batch's result vec — the
+            // function's return value, one allocation per batch
             .collect()
     }
 }

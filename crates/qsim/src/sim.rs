@@ -878,6 +878,7 @@ impl Simulator {
     }
 
     /// Offer a job to the station executing its fragment; drop on overflow.
+    // lint:zero_alloc
     #[allow(clippy::too_many_arguments)]
     fn offer(
         tables: &RunTables,
@@ -898,6 +899,7 @@ impl Simulator {
         // A crashed device drops every offer, like a full buffer.
         if !station.up || station.used_mem + mem > capacity + 1e-12 {
             station.drops += 1;
+            // lint:allow(alloc_hygiene): Trace::push is capacity-bounded
             trace.push(
                 now,
                 TraceKind::Drop {
@@ -915,6 +917,7 @@ impl Simulator {
         if in_window {
             station.admitted += 1;
         }
+        // lint:allow(alloc_hygiene): Trace::push is capacity-bounded
         trace.push(
             now,
             TraceKind::Admit {
@@ -929,6 +932,7 @@ impl Simulator {
     }
 
     /// If the station is idle and has queued work, begin serving.
+    // lint:zero_alloc
     fn start_service(
         tables: &RunTables,
         stations: &mut [Station],
@@ -958,10 +962,14 @@ impl Simulator {
                 }
             };
             station.busy += 1;
+            // lint:allow(alloc_hygiene): in_service is pre-reserved to
+            // the server count and busy < servers here, so this push
+            // can never reallocate
             station.in_service.push(job);
             station
                 .busy_signal
                 .update(now, station.busy as f64 / servers as f64);
+            // lint:allow(alloc_hygiene): Trace::push is capacity-bounded
             trace.push(
                 now,
                 TraceKind::StartService {
@@ -998,8 +1006,12 @@ impl EventQueue {
         }
     }
 
+    // lint:zero_alloc
     fn schedule(&mut self, time: f64, kind: EventKind) {
         self.seq += 1;
+        // lint:allow(alloc_hygiene): the heap is pre-reserved for the
+        // worst case (one arrival per chain + one departure per server
+        // + the fault schedule), so this push can never reallocate
         self.heap.push(Event {
             time,
             seq: self.seq,
@@ -1007,6 +1019,7 @@ impl EventQueue {
         });
     }
 
+    // lint:zero_alloc
     fn pop(&mut self) -> Option<Event> {
         self.heap.pop()
     }
