@@ -1,22 +1,28 @@
 //! The transport layer: JSON-lines over stdin/stdout (serial, for
-//! tests and scripting) or TCP (bounded-queue admission control, one
-//! worker thread owning the engine).
+//! tests and scripting) or TCP (bounded-queue admission control), in
+//! front of either backend — the single-process [`Engine`] or the
+//! multi-process [`Supervisor`].
 //!
 //! Threading model (TCP mode): one reader thread per connection parses
 //! request lines and *tries* to enqueue them on a bounded
 //! [`std::sync::mpsc::sync_channel`]. A full queue sheds the request
 //! immediately with a typed `Overloaded` rejection — admission control
 //! never buffers unboundedly, so load spikes cost latency and shed
-//! requests, not memory. A single worker thread owns the [`Engine`]
-//! and answers accepted requests in admission order; on shutdown
-//! (SIGTERM/SIGINT via `obs.cancel`, or a `Shutdown` request) it
-//! **drains every already-accepted request** before flushing the
-//! checkpoint and observability artifacts — accepted work is never
-//! dropped.
+//! requests, not memory. A single consumer owns the backend and answers
+//! accepted requests in admission order; on shutdown (SIGTERM/SIGINT
+//! via `obs.cancel`, or a `Shutdown` request) it **drains
+//! already-accepted requests under a bounded drain deadline** before
+//! flushing the checkpoint and observability artifacts — accepted work
+//! gets a real answer when the budget allows, and a typed
+//! `ShuttingDown` rejection when it does not. Shutdown can never hang
+//! on a backlog.
+//!
+//! [`Supervisor`]: crate::supervisor::Supervisor
 
 use crate::engine::Engine;
 use crate::error::ServeError;
-use crate::protocol::{Outcome, RejectKind, Request, RequestBody, Response};
+use crate::protocol::{parse_request_line, Outcome, RejectKind, Request, RequestBody, Response};
+use crate::supervisor::Supervisor;
 use chainnet_ckpt::atomic_write;
 use chainnet_obs::{CancelFlag, Obs};
 use parking_lot::Mutex;
@@ -32,43 +38,87 @@ use std::time::{Duration, Instant};
 const POLL: Duration = Duration::from_millis(50);
 
 /// One accepted unit of work: the parsed request, its admission
-/// timestamp (deadlines include queue wait), and the connection to
-/// answer on.
-struct Job {
-    request: Request,
-    received: Instant,
-    out: SharedWriter,
+/// timestamp (deadlines include queue wait), and where to send the
+/// answer line.
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    pub(crate) received: Instant,
+    pub(crate) out: Reply,
 }
 
 /// A connection's write half, shared between its reader thread (for
-/// shed rejections) and the worker (for real answers).
+/// shed rejections) and the consumer (for real answers).
 type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
-/// Serialize one response as a JSON line onto a shared writer.
-fn write_response(out: &SharedWriter, resp: &Response) -> Result<(), ServeError> {
-    let mut line = serde_json::to_string(resp)
+/// Where a job's answer line goes: straight onto a connection's shared
+/// writer (TCP mode), or into a one-shot mailbox the serial loop is
+/// waiting on (stdin mode).
+#[derive(Clone)]
+pub(crate) enum Reply {
+    Writer(SharedWriter),
+    Mailbox(SyncSender<String>),
+}
+
+impl Reply {
+    /// Deliver one response line (no trailing newline). A client that
+    /// hung up forfeits its answer; that is not a serving failure.
+    pub(crate) fn send_line(&self, line: &str) {
+        match self {
+            Self::Writer(out) => {
+                let mut w = out.lock();
+                let _ = w.write_all(line.as_bytes());
+                let _ = w.write_all(b"\n");
+                let _ = w.flush();
+            }
+            Self::Mailbox(tx) => {
+                let _ = tx.try_send(line.to_string());
+            }
+        }
+    }
+}
+
+/// Serialize one response as a JSON line into a reply target.
+fn write_response(out: &Reply, resp: &Response) -> Result<(), ServeError> {
+    let line = serde_json::to_string(resp)
         .map_err(|e| ServeError::InvalidRequest(format!("unserializable response: {e}")))?;
-    line.push('\n');
-    let mut w = out.lock();
-    w.write_all(line.as_bytes())?;
-    w.flush()?;
+    out.send_line(&line);
     Ok(())
 }
 
-/// The long-running daemon wrapping an [`Engine`].
+/// What answers the requests behind the transport.
+enum Backend {
+    /// Single-process: the deterministic engine, in this process.
+    Engine(Engine),
+    /// Multi-process: the supervised worker pool.
+    Supervisor(Supervisor),
+}
+
+/// The long-running daemon wrapping a backend.
 pub struct Daemon {
-    engine: Engine,
+    backend: Backend,
     queue_capacity: usize,
     artifacts_dir: Option<PathBuf>,
+    drain: Duration,
 }
 
 impl Daemon {
     /// Wrap an engine with the default queue capacity (64).
     pub fn new(engine: Engine) -> Self {
         Self {
-            engine,
+            backend: Backend::Engine(engine),
             queue_capacity: 64,
             artifacts_dir: None,
+            drain: Duration::from_secs(5),
+        }
+    }
+
+    /// Wrap a supervised worker pool instead of an in-process engine.
+    pub fn supervised(supervisor: Supervisor) -> Self {
+        Self {
+            backend: Backend::Supervisor(supervisor),
+            queue_capacity: 64,
+            artifacts_dir: None,
+            drain: Duration::from_secs(5),
         }
     }
 
@@ -77,6 +127,15 @@ impl Daemon {
     #[must_use]
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Bound the shutdown drain: accepted requests still unanswered
+    /// this long after shutdown starts get typed `ShuttingDown`
+    /// rejections instead of holding the process open.
+    #[must_use]
+    pub fn with_drain(mut self, drain: Duration) -> Self {
+        self.drain = drain;
         self
     }
 
@@ -90,51 +149,26 @@ impl Daemon {
     }
 
     /// Serial stdin/stdout mode: read request lines from `input`,
-    /// answer on `output`, stop at EOF, a `Shutdown` request, or
-    /// cancellation. No queue — admission control does not apply.
+    /// answer on `output` in order, stop at EOF, a `Shutdown` request,
+    /// or cancellation. No queue — admission control does not apply.
     ///
     /// # Errors
     ///
     /// Propagates transport I/O and final-flush failures.
-    pub fn run_lines(
-        mut self,
-        input: impl BufRead,
-        mut output: impl Write,
-    ) -> Result<(), ServeError> {
-        let cancel = self.engine.obs().cancel.clone();
-        for line in input.lines() {
-            if cancel.is_set() {
-                break;
+    pub fn run_lines(self, input: impl BufRead, output: impl Write) -> Result<(), ServeError> {
+        match self.backend {
+            Backend::Engine(engine) => run_lines_engine(engine, self.artifacts_dir, input, output),
+            Backend::Supervisor(sup) => {
+                run_lines_supervised(sup, self.queue_capacity, self.artifacts_dir, input, output)
             }
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let received = Instant::now();
-            let resp = match serde_json::from_str::<Request>(&line) {
-                Ok(req) => {
-                    let shutdown = matches!(req.body, RequestBody::Shutdown);
-                    let resp = self.engine.handle(&req, received);
-                    if shutdown {
-                        cancel.set();
-                    }
-                    resp
-                }
-                Err(e) => Response::rejected(0, RejectKind::Invalid, format!("bad request: {e}")),
-            };
-            let mut text = serde_json::to_string(&resp)
-                .map_err(|e| ServeError::InvalidRequest(format!("unserializable response: {e}")))?;
-            text.push('\n');
-            output.write_all(text.as_bytes())?;
-            output.flush()?;
         }
-        self.shutdown_flush()
     }
 
     /// TCP mode: bind `addr` (use port 0 for an ephemeral port), write
     /// one `chainnet-serve listening on <addr>` line to `announce`, and
-    /// serve until cancelled. Returns after the worker has drained all
-    /// accepted requests and flushed state + artifacts.
+    /// serve until cancelled. Returns after the consumer has drained
+    /// accepted requests (within the drain budget) and flushed state +
+    /// artifacts.
     ///
     /// # Errors
     ///
@@ -147,22 +181,31 @@ impl Daemon {
         listener.set_nonblocking(true)?;
 
         let Daemon {
-            engine,
+            backend,
             queue_capacity,
             artifacts_dir,
+            drain,
         } = self;
-        let obs = engine.obs().clone();
+        let obs = match &backend {
+            Backend::Engine(engine) => engine.obs().clone(),
+            Backend::Supervisor(sup) => sup.obs().clone(),
+        };
         let cancel = obs.cancel.clone();
         let depth = Arc::new(AtomicU64::new(0));
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(queue_capacity);
 
-        let mut worker_result: Result<(), ServeError> = Ok(());
+        let mut consumer_result: Result<(), ServeError> = Ok(());
         std::thread::scope(|scope| {
-            let worker = scope.spawn({
+            let consumer = scope.spawn({
                 let obs = obs.clone();
                 let depth = Arc::clone(&depth);
                 let artifacts_dir = artifacts_dir.clone();
-                move || worker_loop(engine, rx, &obs, &depth, artifacts_dir.as_deref())
+                move || match backend {
+                    Backend::Engine(engine) => {
+                        worker_loop(engine, rx, &obs, &depth, artifacts_dir.as_deref(), drain)
+                    }
+                    Backend::Supervisor(sup) => sup.run(rx, artifacts_dir, Some(depth)),
+                }
             });
             loop {
                 if cancel.is_set() {
@@ -194,21 +237,118 @@ impl Daemon {
                 }
             }
             drop(tx);
-            if let Ok(result) = worker.join() {
-                worker_result = result;
+            if let Ok(result) = consumer.join() {
+                consumer_result = result;
             }
         });
-        worker_result
+        consumer_result
     }
+}
 
-    /// Final flush shared by both modes: persist serving state and
-    /// write observability artifacts.
-    fn shutdown_flush(&mut self) -> Result<(), ServeError> {
-        self.engine.flush()?;
-        if let Some(dir) = self.artifacts_dir.clone() {
-            write_obs_artifacts(self.engine.obs(), &dir)?;
+/// Serial engine mode: one request, one answer, in order.
+fn run_lines_engine(
+    mut engine: Engine,
+    artifacts_dir: Option<PathBuf>,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> Result<(), ServeError> {
+    let cancel = engine.obs().cancel.clone();
+    for line in input.lines() {
+        if cancel.is_set() {
+            break;
         }
-        Ok(())
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let received = Instant::now();
+        let resp = match parse_request_line(&line) {
+            Ok(req) => {
+                let shutdown = matches!(req.body, RequestBody::Shutdown);
+                let resp = engine.handle(&req, received);
+                if shutdown {
+                    cancel.set();
+                }
+                resp
+            }
+            Err(e) => Response::rejected(0, e.kind(), e.to_string()),
+        };
+        let mut text = serde_json::to_string(&resp)
+            .map_err(|e| ServeError::InvalidRequest(format!("unserializable response: {e}")))?;
+        text.push('\n');
+        output.write_all(text.as_bytes())?;
+        output.flush()?;
+    }
+    engine.flush()?;
+    if let Some(dir) = artifacts_dir {
+        write_obs_artifacts(engine.obs(), &dir)?;
+    }
+    Ok(())
+}
+
+/// Serial supervised mode: the pool runs on its own thread; the serial
+/// loop feeds it one request at a time through a one-shot mailbox and
+/// writes each answer in order.
+fn run_lines_supervised(
+    sup: Supervisor,
+    queue_capacity: usize,
+    artifacts_dir: Option<PathBuf>,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> Result<(), ServeError> {
+    let cancel = sup.obs().cancel.clone();
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(queue_capacity);
+    let pool = std::thread::spawn(move || sup.run(rx, artifacts_dir, None));
+    for line in input.lines() {
+        if cancel.is_set() {
+            break;
+        }
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let received = Instant::now();
+        let mut shutdown = false;
+        let answer = match parse_request_line(&line) {
+            Ok(request) => {
+                shutdown = matches!(request.body, RequestBody::Shutdown);
+                let (mail_tx, mail_rx) = std::sync::mpsc::sync_channel::<String>(1);
+                let job = Job {
+                    request,
+                    received,
+                    out: Reply::Mailbox(mail_tx),
+                };
+                if tx.send(job).is_err() {
+                    break; // the pool is gone; stop accepting
+                }
+                // Wait for this request's answer (the supervisor always
+                // answers accepted requests — the drain deadline bounds
+                // the wait).
+                loop {
+                    match mail_rx.recv_timeout(POLL) {
+                        Ok(line) => break Some(line),
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break None,
+                    }
+                }
+            }
+            Err(e) => serde_json::to_string(&Response::rejected(0, e.kind(), e.to_string())).ok(),
+        };
+        let Some(answer) = answer else { break };
+        output.write_all(answer.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        if shutdown {
+            // Stop here rather than block on the next stdin read: the
+            // ShuttingDown ack is the last line of the conversation,
+            // exactly as in the engine path above.
+            break;
+        }
+    }
+    drop(tx); // JobsClosed → the pool drains and stops
+    match pool.join() {
+        Ok(result) => result,
+        Err(_) => Err(ServeError::Worker("supervisor thread panicked".to_string())),
     }
 }
 
@@ -235,33 +375,56 @@ pub fn write_obs_artifacts(obs: &Obs, dir: &Path) -> Result<(), ServeError> {
 }
 
 /// The single worker that owns the engine: answers accepted requests
-/// in admission order, and on cancellation drains the queue before
-/// flushing state — accepted requests are never dropped.
+/// in admission order; on cancellation it drains the queue under the
+/// drain deadline — late stragglers get typed `ShuttingDown`
+/// rejections, never silence, and shutdown never hangs on a backlog.
 fn worker_loop(
     mut engine: Engine,
     rx: Receiver<Job>,
     obs: &Obs,
     depth: &AtomicU64,
     artifacts_dir: Option<&Path>,
+    drain: Duration,
 ) -> Result<(), ServeError> {
     let cancel = obs.cancel.clone();
     loop {
+        // Checked before every job, not just on an empty queue: once
+        // shutdown starts, a backlog belongs to the bounded drain below,
+        // not to an unbounded full-speed catch-up.
+        if cancel.is_set() {
+            break;
+        }
         match rx.recv_timeout(POLL) {
             Ok(job) => {
                 handle_job(&mut engine, job, obs, depth, &cancel);
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if cancel.is_set() {
-                    break;
-                }
-            }
+            Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    // Drain: everything admitted before (or racing with) cancellation
-    // still gets its answer.
+    // Bounded drain: everything admitted before (or racing with)
+    // cancellation gets a real answer while the budget lasts, then a
+    // typed rejection.
+    let deadline = Instant::now() + drain;
     while let Ok(job) = rx.try_recv() {
-        handle_job(&mut engine, job, obs, depth, &cancel);
+        if Instant::now() < deadline {
+            handle_job(&mut engine, job, obs, depth, &cancel);
+        } else {
+            let d = depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+            if obs.is_enabled() {
+                obs.registry.gauge("serve.queue_depth").set(d as f64);
+                obs.registry.counter("serve.requests_total").inc();
+                obs.registry.counter("serve.drain_sheds").inc();
+                obs.registry.counter("serve.responses_total").inc();
+            }
+            let _ = write_response(
+                &job.out,
+                &Response {
+                    id: job.request.id,
+                    outcome: Outcome::ShuttingDown,
+                },
+            );
+        }
     }
     engine.flush()?;
     if let Some(dir) = artifacts_dir {
@@ -285,8 +448,6 @@ fn handle_job(engine: &mut Engine, job: Job, obs: &Obs, depth: &AtomicU64, cance
         cancel.set();
     }
     let resp = engine.handle(&job.request, job.received);
-    // A client that hung up forfeits its answer; that is not a serving
-    // failure.
     let _ = write_response(&job.out, &resp);
 }
 
@@ -307,7 +468,9 @@ fn reader_loop(
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let out: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
+    let out = Reply::Writer(Arc::new(Mutex::new(
+        Box::new(write_half) as Box<dyn Write + Send>
+    )));
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
@@ -349,15 +512,12 @@ fn admit(
     cancel: &CancelFlag,
     capacity: usize,
     depth: &AtomicU64,
-    out: &SharedWriter,
+    out: &Reply,
 ) {
-    let request = match serde_json::from_str::<Request>(line) {
+    let request = match parse_request_line(line) {
         Ok(r) => r,
         Err(e) => {
-            let _ = write_response(
-                out,
-                &Response::rejected(0, RejectKind::Invalid, format!("bad request: {e}")),
-            );
+            let _ = write_response(out, &Response::rejected(0, e.kind(), e.to_string()));
             return;
         }
     };
@@ -375,7 +535,7 @@ fn admit(
     let job = Job {
         request,
         received: Instant::now(),
-        out: Arc::clone(out),
+        out: out.clone(),
     };
     // Count the job before it becomes visible to the worker: the worker
     // decrements after recv, and recv happens-after try_send, so the
@@ -505,5 +665,33 @@ mod tests {
         assert!(prom.contains("serve_requests_total") || prom.contains("serve.requests_total"));
         assert!(dir.join("serve-metrics.json").is_file());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_lines_are_shed_with_a_typed_rejection() {
+        let engine = Engine::new(cfg(), Obs::enabled());
+        let daemon = Daemon::new(engine);
+        let oversized = format!(
+            "{{\"id\":1,\"body\":\"Ping\"{}}}\n{{\"id\":2,\"body\":\"Ping\"}}\n",
+            " ".repeat(crate::protocol::MAX_LINE_BYTES)
+        );
+        let mut output = Vec::new();
+        daemon
+            .run_lines(std::io::Cursor::new(oversized), &mut output)
+            .expect("run");
+        let lines: Vec<Response> = String::from_utf8(output)
+            .expect("utf8")
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("response line"))
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert!(matches!(
+            lines[0].outcome,
+            Outcome::Rejected {
+                kind: RejectKind::Invalid,
+                ..
+            }
+        ));
+        assert!(matches!(lines[1].outcome, Outcome::Pong));
     }
 }

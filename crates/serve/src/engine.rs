@@ -267,9 +267,10 @@ impl Engine {
                     ServeError::InvalidRequest(_) | ServeError::Fault(_) => RejectKind::Invalid,
                     ServeError::NoTopology => RejectKind::NoTopology,
                     ServeError::NoPlacement => RejectKind::NoPlacement,
-                    ServeError::Placement(_) | ServeError::Checkpoint(_) | ServeError::Io(_) => {
-                        RejectKind::Internal
-                    }
+                    ServeError::Placement(_)
+                    | ServeError::Checkpoint(_)
+                    | ServeError::Io(_)
+                    | ServeError::Worker(_) => RejectKind::Internal,
                 };
                 Outcome::Rejected {
                     kind,
@@ -300,6 +301,8 @@ impl Engine {
                 requests_handled: self.state.requests_handled,
                 crashed_devices: self.state.crashed.len(),
                 has_cached_placement: self.state.last_good.is_some(),
+                topology_installed: self.state.nominal.is_some(),
+                workers: Vec::new(),
             }),
             RequestBody::Topology { problem } => self.install_topology(problem),
             RequestBody::Fault { event } => self.apply_fault(event),
@@ -394,83 +397,15 @@ impl Engine {
 
     fn apply_fault_inner(&mut self, event: &FaultEvent) -> Result<Outcome, ServeError> {
         let nominal = self.state.nominal.as_ref().ok_or(ServeError::NoTopology)?;
-        let num_devices = nominal.num_devices();
-        let num_chains = nominal.num_chains();
-        let check_device = |k: usize| -> Result<(), ServeError> {
-            if k >= num_devices {
-                return Err(ServeError::InvalidRequest(format!(
-                    "device {k} out of range (topology has {num_devices} devices)"
-                )));
-            }
-            Ok(())
-        };
-        let check_chain = |c: usize| -> Result<(), ServeError> {
-            if c >= num_chains {
-                return Err(ServeError::InvalidRequest(format!(
-                    "chain {c} out of range (topology has {num_chains} chains)"
-                )));
-            }
-            Ok(())
-        };
-        let check_factor = |f: f64| -> Result<(), ServeError> {
-            if !f.is_finite() || f <= 0.0 {
-                return Err(ServeError::InvalidRequest(format!(
-                    "factor must be finite and positive, got {f}"
-                )));
-            }
-            Ok(())
-        };
-        // Apply idempotently (FaultSchedule normalization semantics: a
-        // crash of a crashed device, or a restore at nominal, is a
-        // no-op, not an error).
-        match event.kind {
-            FaultKind::DeviceCrash { device } => {
-                check_device(device)?;
-                if let Err(pos) = self.state.crashed.binary_search(&device) {
-                    self.state.crashed.insert(pos, device);
-                }
-            }
-            FaultKind::DeviceRecover { device } => {
-                check_device(device)?;
-                if let Ok(pos) = self.state.crashed.binary_search(&device) {
-                    self.state.crashed.remove(pos);
-                }
-            }
-            FaultKind::ServiceDegrade { device, factor } => {
-                check_device(device)?;
-                check_factor(factor)?;
-                match self.state.degraded.iter_mut().find(|e| e.idx == device) {
-                    Some(e) => e.factor = factor,
-                    None => self.state.degraded.push(FactorEntry {
-                        idx: device,
-                        factor,
-                    }),
-                }
-            }
-            FaultKind::ServiceRestore { device } => {
-                check_device(device)?;
-                self.state.degraded.retain(|e| e.idx != device);
-            }
-            FaultKind::ArrivalBurst { chain, factor } => {
-                check_chain(chain)?;
-                check_factor(factor)?;
-                match self.state.bursts.iter_mut().find(|e| e.idx == chain) {
-                    Some(e) => e.factor = factor,
-                    None => self.state.bursts.push(FactorEntry { idx: chain, factor }),
-                }
-            }
-            FaultKind::ArrivalCalm { chain } => {
-                check_chain(chain)?;
-                self.state.bursts.retain(|e| e.idx != chain);
-            }
-            // `FaultKind` is non-exhaustive: a fault vocabulary this
-            // build does not know is an invalid request, not a crash.
-            _ => {
-                return Err(ServeError::InvalidRequest(
-                    "unsupported fault kind".to_string(),
-                ))
-            }
-        }
+        let (num_devices, num_chains) = (nominal.num_devices(), nominal.num_chains());
+        apply_fault_to_parts(
+            event,
+            num_devices,
+            num_chains,
+            &mut self.state.crashed,
+            &mut self.state.degraded,
+            &mut self.state.bursts,
+        )?;
         self.state.faults_applied += 1;
         if self.obs.is_enabled() {
             self.obs.registry.counter("serve.fault_events").inc();
@@ -871,6 +806,104 @@ impl Engine {
             evaluations,
         })
     }
+}
+
+/// Apply one fault event to a materialized fault state (`crashed` /
+/// `degraded` / `bursts`), idempotently, with full validation against
+/// the topology's dimensions. Shared between the single-process
+/// [`Engine`] and the supervisor, so both sides agree exactly on what a
+/// fault means and which events are invalid.
+///
+/// Idempotence follows FaultSchedule normalization semantics: a crash
+/// of a crashed device, or a restore at nominal, is a no-op, not an
+/// error.
+///
+/// # Errors
+///
+/// [`ServeError::InvalidRequest`] when the event references a device or
+/// chain outside the topology, carries a non-finite or non-positive
+/// factor, or uses a fault vocabulary this build does not know.
+pub fn apply_fault_to_parts(
+    event: &FaultEvent,
+    num_devices: usize,
+    num_chains: usize,
+    crashed: &mut Vec<usize>,
+    degraded: &mut Vec<FactorEntry>,
+    bursts: &mut Vec<FactorEntry>,
+) -> Result<(), ServeError> {
+    let check_device = |k: usize| -> Result<(), ServeError> {
+        if k >= num_devices {
+            return Err(ServeError::InvalidRequest(format!(
+                "device {k} out of range (topology has {num_devices} devices)"
+            )));
+        }
+        Ok(())
+    };
+    let check_chain = |c: usize| -> Result<(), ServeError> {
+        if c >= num_chains {
+            return Err(ServeError::InvalidRequest(format!(
+                "chain {c} out of range (topology has {num_chains} chains)"
+            )));
+        }
+        Ok(())
+    };
+    let check_factor = |f: f64| -> Result<(), ServeError> {
+        if !f.is_finite() || f <= 0.0 {
+            return Err(ServeError::InvalidRequest(format!(
+                "factor must be finite and positive, got {f}"
+            )));
+        }
+        Ok(())
+    };
+    match event.kind {
+        FaultKind::DeviceCrash { device } => {
+            check_device(device)?;
+            if let Err(pos) = crashed.binary_search(&device) {
+                crashed.insert(pos, device);
+            }
+        }
+        FaultKind::DeviceRecover { device } => {
+            check_device(device)?;
+            if let Ok(pos) = crashed.binary_search(&device) {
+                crashed.remove(pos);
+            }
+        }
+        FaultKind::ServiceDegrade { device, factor } => {
+            check_device(device)?;
+            check_factor(factor)?;
+            match degraded.iter_mut().find(|e| e.idx == device) {
+                Some(e) => e.factor = factor,
+                None => degraded.push(FactorEntry {
+                    idx: device,
+                    factor,
+                }),
+            }
+        }
+        FaultKind::ServiceRestore { device } => {
+            check_device(device)?;
+            degraded.retain(|e| e.idx != device);
+        }
+        FaultKind::ArrivalBurst { chain, factor } => {
+            check_chain(chain)?;
+            check_factor(factor)?;
+            match bursts.iter_mut().find(|e| e.idx == chain) {
+                Some(e) => e.factor = factor,
+                None => bursts.push(FactorEntry { idx: chain, factor }),
+            }
+        }
+        FaultKind::ArrivalCalm { chain } => {
+            check_chain(chain)?;
+            bursts.retain(|e| e.idx != chain);
+        }
+        // `FaultKind` is non-exhaustive: a fault vocabulary this
+        // build does not know is an invalid request, not a crash.
+        _ => {
+            return Err(ServeError::InvalidRequest(
+                "unsupported fault kind".to_string(),
+            ))
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -42,6 +42,9 @@ pub enum ServeError {
     Checkpoint(CkptError),
     /// Transport-level I/O failed.
     Io(std::io::Error),
+    /// The supervisor could not manage a worker process (spawn
+    /// failure, broken pipe to a shard, malformed worker output…).
+    Worker(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -65,6 +68,7 @@ impl std::fmt::Display for ServeError {
             Self::Placement(e) => write!(f, "placement failure: {e}"),
             Self::Checkpoint(e) => write!(f, "state persistence failure: {e}"),
             Self::Io(e) => write!(f, "transport I/O failure: {e}"),
+            Self::Worker(msg) => write!(f, "worker management failure: {msg}"),
         }
     }
 }

@@ -1,0 +1,263 @@
+//! Worker health tracking: a pure, clock-parameterized state machine
+//! the supervisor polls every tick.
+//!
+//! ```text
+//!            spawn                warmup acked
+//!   (down) ────────▶ Starting ────────────────▶ Ready
+//!                        │                       │ ▲
+//!                        │ warmup silent         │ │ any output
+//!                        │ > wedge window        ▼ │
+//!                        │                     Suspect
+//!                        │                       │ silence > wedge window
+//!                        ▼                       ▼
+//!                      Dead ◀──────────────── (kill + respawn → Starting)
+//!                        ▲  reader EOF / exit
+//! ```
+//!
+//! All transitions are driven by millisecond timestamps supplied by
+//! the caller, so the machine is deterministic under test: feed it a
+//! synthetic clock and the exact same kill decisions come out. The
+//! supervisor maps `DeclareWedged` to SIGKILL + respawn + in-flight
+//! replay.
+
+/// Health tuning, all in milliseconds of the supervisor's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Idle heartbeat interval: after this much silence the supervisor
+    /// pings an idle worker.
+    pub heartbeat_ms: u64,
+    /// Consecutive heartbeat intervals of silence before a worker is
+    /// declared wedged. Applies to busy workers too — a SIGSTOPped or
+    /// livelocked worker goes silent whether or not it owes answers.
+    pub miss_limit: u32,
+    /// Re-issue an in-flight request to a sibling shard once it has
+    /// waited this long without an answer (slow-worker hedging).
+    pub hedge_after_ms: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_ms: 250,
+            miss_limit: 4,
+            hedge_after_ms: 150,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// The silence window after which a worker is presumed wedged:
+    /// `miss_limit` heartbeat intervals.
+    pub fn wedge_window_ms(&self) -> u64 {
+        self.heartbeat_ms
+            .saturating_mul(u64::from(self.miss_limit.max(1)))
+    }
+}
+
+/// Worker lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerPhase {
+    /// Spawned, warmup (ping + topology/fault replay) not yet acked.
+    Starting,
+    /// Answering; requests may be routed to it.
+    Ready,
+    /// Ready but silent past one heartbeat interval with a ping
+    /// outstanding — still routable, but under suspicion.
+    Suspect,
+    /// Exited or killed; awaiting respawn.
+    Dead,
+}
+
+impl WorkerPhase {
+    /// Lowercase name for `Stats` reporting.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Starting => "starting",
+            Self::Ready => "ready",
+            Self::Suspect => "suspect",
+            Self::Dead => "dead",
+        }
+    }
+}
+
+/// What the supervisor should do after a poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthAction {
+    /// Send a heartbeat ping to this worker.
+    SendPing,
+    /// Silence exceeded the wedge window: kill and respawn.
+    DeclareWedged,
+}
+
+/// Per-worker health state. Timestamps are caller-supplied
+/// milliseconds from an arbitrary monotonic origin.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    phase: WorkerPhase,
+    last_seen_ms: u64,
+    ping_sent_ms: Option<u64>,
+    busy: bool,
+}
+
+impl HealthTracker {
+    /// A fresh tracker for a worker spawned at `now_ms`.
+    pub fn spawned(now_ms: u64) -> Self {
+        Self {
+            phase: WorkerPhase::Starting,
+            last_seen_ms: now_ms,
+            ping_sent_ms: None,
+            busy: false,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> WorkerPhase {
+        self.phase
+    }
+
+    /// Whether requests may be routed to this worker.
+    pub fn is_routable(&self) -> bool {
+        matches!(self.phase, WorkerPhase::Ready | WorkerPhase::Suspect)
+    }
+
+    /// Any output line arrived from the worker at `now_ms`.
+    pub fn on_output(&mut self, now_ms: u64) {
+        self.last_seen_ms = now_ms;
+        self.ping_sent_ms = None;
+        if self.phase == WorkerPhase::Suspect {
+            self.phase = WorkerPhase::Ready;
+        }
+    }
+
+    /// Warmup completed at `now_ms`.
+    pub fn on_ready(&mut self, now_ms: u64) {
+        self.last_seen_ms = now_ms;
+        self.ping_sent_ms = None;
+        self.phase = WorkerPhase::Ready;
+    }
+
+    /// The worker currently owes at least one answer. Busy workers are
+    /// not pinged (they are single-threaded and legitimately heads-down
+    /// in a search); the wedge window covers them instead.
+    pub fn set_busy(&mut self, busy: bool) {
+        self.busy = busy;
+    }
+
+    /// The worker's process exited or its pipe closed.
+    pub fn on_exit(&mut self) {
+        self.phase = WorkerPhase::Dead;
+        self.ping_sent_ms = None;
+    }
+
+    /// A heartbeat ping was sent at `now_ms`.
+    pub fn on_ping_sent(&mut self, now_ms: u64) {
+        self.ping_sent_ms = Some(now_ms);
+        if self.phase == WorkerPhase::Ready {
+            self.phase = WorkerPhase::Suspect;
+        }
+    }
+
+    /// Poll at `now_ms`: what, if anything, should the supervisor do?
+    pub fn poll(&self, now_ms: u64, cfg: &HealthConfig) -> Option<HealthAction> {
+        if matches!(self.phase, WorkerPhase::Dead) {
+            return None;
+        }
+        let silent_for = now_ms.saturating_sub(self.last_seen_ms);
+        if silent_for >= cfg.wedge_window_ms() {
+            // A Starting worker that never spoke, a busy worker gone
+            // quiet mid-request, or an idle worker ignoring its pings:
+            // all wedged once the window elapses.
+            return Some(HealthAction::DeclareWedged);
+        }
+        if self.phase == WorkerPhase::Starting {
+            return None; // warmup in progress, give it the full window
+        }
+        if !self.busy && self.ping_sent_ms.is_none() && silent_for >= cfg.heartbeat_ms {
+            return Some(HealthAction::SendPing);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            heartbeat_ms: 100,
+            miss_limit: 3,
+            hedge_after_ms: 50,
+        }
+    }
+
+    #[test]
+    fn idle_worker_is_pinged_then_wedged_on_silence() {
+        let cfg = cfg();
+        let mut h = HealthTracker::spawned(0);
+        h.on_ready(0);
+        assert_eq!(h.poll(50, &cfg), None, "fresh output, nothing to do");
+        assert_eq!(h.poll(100, &cfg), Some(HealthAction::SendPing));
+        h.on_ping_sent(100);
+        assert_eq!(h.phase(), WorkerPhase::Suspect);
+        assert!(h.is_routable(), "suspect workers still serve");
+        assert_eq!(h.poll(150, &cfg), None, "ping outstanding, wait");
+        // Silence reaches heartbeat * miss_limit = 300ms → wedged.
+        assert_eq!(h.poll(300, &cfg), Some(HealthAction::DeclareWedged));
+    }
+
+    #[test]
+    fn pong_resets_suspicion() {
+        let cfg = cfg();
+        let mut h = HealthTracker::spawned(0);
+        h.on_ready(0);
+        h.on_ping_sent(100);
+        h.on_output(120);
+        assert_eq!(h.phase(), WorkerPhase::Ready);
+        assert_eq!(h.poll(150, &cfg), None);
+        assert_eq!(h.poll(220, &cfg), Some(HealthAction::SendPing));
+    }
+
+    #[test]
+    fn busy_worker_is_not_pinged_but_still_wedges() {
+        let cfg = cfg();
+        let mut h = HealthTracker::spawned(0);
+        h.on_ready(0);
+        h.set_busy(true);
+        assert_eq!(h.poll(200, &cfg), None, "busy: no pings");
+        assert_eq!(
+            h.poll(300, &cfg),
+            Some(HealthAction::DeclareWedged),
+            "busy silence past the wedge window is a SIGSTOP signature"
+        );
+    }
+
+    #[test]
+    fn starting_worker_gets_the_full_window_then_wedges() {
+        let cfg = cfg();
+        let h = HealthTracker::spawned(1000);
+        assert_eq!(h.poll(1100, &cfg), None);
+        assert_eq!(h.poll(1300, &cfg), Some(HealthAction::DeclareWedged));
+    }
+
+    #[test]
+    fn dead_worker_needs_nothing() {
+        let cfg = cfg();
+        let mut h = HealthTracker::spawned(0);
+        h.on_ready(0);
+        h.on_exit();
+        assert_eq!(h.phase(), WorkerPhase::Dead);
+        assert!(!h.is_routable());
+        assert_eq!(h.poll(10_000, &cfg), None);
+    }
+
+    #[test]
+    fn wedge_window_is_miss_limit_heartbeats() {
+        assert_eq!(cfg().wedge_window_ms(), 300);
+        let zero = HealthConfig {
+            miss_limit: 0,
+            ..cfg()
+        };
+        assert_eq!(zero.wedge_window_ms(), 100, "miss_limit clamps to 1");
+    }
+}

@@ -22,6 +22,68 @@ use chainnet_qsim::faults::FaultEvent;
 use chainnet_qsim::model::Placement;
 use serde::{Deserialize, Serialize};
 
+/// Upper bound on one request line, in bytes. A line longer than this
+/// is rejected with a typed [`RejectKind::Invalid`] before any parsing
+/// happens, so a hostile or broken client cannot make the daemon chew
+/// on (or buffer further) an arbitrarily large request. One mebibyte
+/// comfortably fits a multi-hundred-device topology.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Why a request line was refused before reaching the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineError {
+    /// The line exceeds [`MAX_LINE_BYTES`].
+    Oversized {
+        /// Actual length in bytes.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The line is not a valid request (bad JSON, wrong shape,
+    /// truncated mid-value, unknown variant…).
+    Malformed(String),
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Oversized { len, max } => {
+                write!(f, "request line of {len} bytes exceeds the {max}-byte cap")
+            }
+            Self::Malformed(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LineError {}
+
+impl LineError {
+    /// The typed rejection category this parse failure maps to.
+    pub fn kind(&self) -> RejectKind {
+        RejectKind::Invalid
+    }
+}
+
+/// Parse one request line with the protocol-hardening checks applied:
+/// the size cap first, then strict typed deserialization. Every
+/// failure is a typed [`LineError`] — malformed, truncated, or
+/// oversized input can never panic or abort the process (the fuzz
+/// test `tests/protocol_fuzz.rs` holds this line).
+///
+/// # Errors
+///
+/// [`LineError::Oversized`] for lines past [`MAX_LINE_BYTES`],
+/// [`LineError::Malformed`] for anything serde refuses.
+pub fn parse_request_line(line: &str) -> Result<Request, LineError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(LineError::Oversized {
+            len: line.len(),
+            max: MAX_LINE_BYTES,
+        });
+    }
+    serde_json::from_str(line).map_err(|e| LineError::Malformed(e.to_string()))
+}
+
 /// One client request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Request {
@@ -85,6 +147,12 @@ pub enum DegradationLevel {
     /// Nothing could be computed in time; the cached last-known-good
     /// placement was returned as-is (it may predate recent faults).
     Cached,
+    /// The supervisor answered from its own last-known-good ledger
+    /// because no worker was available (the whole pool was dead or
+    /// still warming up). The placement may predate both recent faults
+    /// and recent searches — the deepest rung that still beats
+    /// dropping the request.
+    Stale,
 }
 
 impl DegradationLevel {
@@ -95,6 +163,7 @@ impl DegradationLevel {
             Self::FullSearch => 0,
             Self::LocalRepair => 1,
             Self::Cached => 2,
+            Self::Stale => 3,
         }
     }
 }
@@ -105,6 +174,7 @@ impl std::fmt::Display for DegradationLevel {
             Self::FullSearch => "full_search",
             Self::LocalRepair => "local_repair",
             Self::Cached => "cached",
+            Self::Stale => "stale",
         })
     }
 }
@@ -125,6 +195,19 @@ pub enum RejectKind {
     NoPlacement,
     /// An internal failure (placement layer, persistence, …).
     Internal,
+}
+
+/// One supervised worker process, as reported by `Stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerInfo {
+    /// The shard (chain cluster) this worker owns.
+    pub shard: usize,
+    /// Its OS process id (0 when the worker is currently down).
+    pub pid: u32,
+    /// Lifecycle phase: `starting`, `ready`, `suspect`, or `dead`.
+    pub phase: String,
+    /// How many times the supervisor has restarted this shard.
+    pub restarts: u64,
 }
 
 /// One response line.
@@ -179,6 +262,12 @@ pub enum Outcome {
         crashed_devices: usize,
         /// Whether a last-known-good placement is cached.
         has_cached_placement: bool,
+        /// Whether a topology is installed (placements can be served).
+        topology_installed: bool,
+        /// Per-shard worker processes (empty in single-process mode).
+        /// Exposes pids so chaos tooling and operators can target
+        /// individual shards.
+        workers: Vec<WorkerInfo>,
     },
     /// Liveness answer.
     Pong,
@@ -256,9 +345,33 @@ mod tests {
     fn degradation_ladder_ranks_are_ordered() {
         assert!(DegradationLevel::FullSearch.rank() < DegradationLevel::LocalRepair.rank());
         assert!(DegradationLevel::LocalRepair.rank() < DegradationLevel::Cached.rank());
-        let json = serde_json::to_string(&DegradationLevel::Cached).expect("serialize");
-        let back: DegradationLevel = serde_json::from_str(&json).expect("parse");
-        assert_eq!(back, DegradationLevel::Cached);
+        assert!(DegradationLevel::Cached.rank() < DegradationLevel::Stale.rank());
+        for level in [DegradationLevel::Cached, DegradationLevel::Stale] {
+            let json = serde_json::to_string(&level).expect("serialize");
+            let back: DegradationLevel = serde_json::from_str(&json).expect("parse");
+            assert_eq!(back, level);
+        }
+    }
+
+    #[test]
+    fn parse_request_line_is_typed_on_bad_input() {
+        assert!(parse_request_line(r#"{"id":1,"body":"Ping"}"#).is_ok());
+        let oversized = format!(
+            "{{\"id\":1,\"body\":\"Ping\"{}}}",
+            " ".repeat(MAX_LINE_BYTES)
+        );
+        match parse_request_line(&oversized) {
+            Err(LineError::Oversized { len, max }) => {
+                assert!(len > max);
+                assert_eq!(max, MAX_LINE_BYTES);
+            }
+            other => panic!("expected oversized rejection, got {other:?}"),
+        }
+        for bad in ["", "{", "not json", r#"{"id":"x","body":"Ping"}"#, "\u{0}"] {
+            let err = parse_request_line(bad).expect_err("must reject");
+            assert_eq!(err.kind(), RejectKind::Invalid);
+            assert!(!err.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Deterministic chain-cluster shard routing.
+//!
+//! The supervisor partitions the topology's service chains into `N`
+//! contiguous **chain clusters**, one per worker shard — the same
+//! decomposition the edge-cluster partitioning literature uses as its
+//! unit of isolation. A request is routed by a pure function of the
+//! request and the installed topology, so:
+//!
+//! * retries of the same request land on the same shard (replay and
+//!   ledger dedup stay coherent);
+//! * a restarted supervisor routes identically to its predecessor
+//!   (bit-identical resume);
+//! * no shared mutable routing state exists to corrupt under churn.
+//!
+//! `Place` requests hash their id onto a chain (FNV-1a — stable, no
+//! `DefaultHasher` seed nondeterminism) and follow that chain's
+//! cluster. Topology and fault requests broadcast: every worker is a
+//! full replica of serving state, so one worker's death degrades one
+//! shard's latency, never the pool's correctness.
+
+use crate::protocol::RequestBody;
+
+/// 64-bit FNV-1a: tiny, stable across runs and platforms, good enough
+/// dispersion for shard choice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The contiguous chain-cluster a chain index belongs to when
+/// `num_chains` chains are split across `workers` shards: cluster `s`
+/// owns chains `[s*num_chains/workers, (s+1)*num_chains/workers)`,
+/// balanced to within one chain.
+pub fn chain_cluster(chain: usize, num_chains: usize, workers: usize) -> usize {
+    if workers <= 1 || num_chains == 0 {
+        return 0;
+    }
+    let chain = chain.min(num_chains - 1);
+    // Inverse of the contiguous block partition; saturates into range.
+    (chain * workers / num_chains).min(workers - 1)
+}
+
+/// The shard owning a `Place` request: its id picks a chain, the
+/// chain's cluster picks the worker. With no topology installed the id
+/// hashes directly onto a shard.
+pub fn place_shard(id: u64, num_chains: Option<usize>, workers: usize) -> usize {
+    if workers <= 1 {
+        return 0;
+    }
+    let h = fnv1a(&id.to_le_bytes());
+    match num_chains {
+        Some(n) if n > 0 => chain_cluster((h % n as u64) as usize, n, workers),
+        _ => (h % workers as u64) as usize,
+    }
+}
+
+/// Where a request goes in the supervised pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Answered by the supervisor itself, no worker involved.
+    Local,
+    /// Sent to every worker; the supervisor merges the answers.
+    Broadcast,
+    /// Owned by one shard.
+    Shard(usize),
+}
+
+/// The deterministic routing function. `num_chains` is the installed
+/// topology's chain count, when one is installed.
+pub fn route(body: &RequestBody, id: u64, num_chains: Option<usize>, workers: usize) -> Route {
+    match body {
+        RequestBody::Ping | RequestBody::Stats | RequestBody::Shutdown => Route::Local,
+        RequestBody::Topology { .. } | RequestBody::Fault { .. } => Route::Broadcast,
+        RequestBody::Place { .. } => Route::Shard(place_shard(id, num_chains, workers)),
+    }
+}
+
+/// The deterministic hedge sibling: the next shard (cyclically) after
+/// `primary` for which `ready` answers true, skipping `primary`
+/// itself. `None` when no other shard is ready.
+pub fn hedge_sibling(
+    primary: usize,
+    workers: usize,
+    ready: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    (1..workers)
+        .map(|step| (primary + step) % workers)
+        .find(|&s| ready(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chain_clusters_are_contiguous_balanced_and_total() {
+        for workers in 1..6 {
+            for num_chains in 1..40 {
+                let mut sizes = vec![0usize; workers];
+                let mut last = 0usize;
+                for c in 0..num_chains {
+                    let s = chain_cluster(c, num_chains, workers);
+                    assert!(s < workers, "cluster out of range");
+                    assert!(s >= last, "clusters must be monotone in the chain index");
+                    last = s;
+                    sizes[s] += 1;
+                }
+                if num_chains >= workers {
+                    assert!(
+                        sizes.iter().all(|&n| n > 0),
+                        "every shard owns at least one chain ({num_chains} chains, {workers} workers)"
+                    );
+                }
+                let (min, max) = (
+                    sizes.iter().copied().filter(|&n| n > 0).min().unwrap_or(0),
+                    sizes.iter().copied().max().unwrap_or(0),
+                );
+                assert!(
+                    max - min <= 1 + num_chains / workers,
+                    "balance within a block"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn place_routing_is_stable_and_covers_all_shards() {
+        let workers = 4;
+        let mut hit = vec![false; workers];
+        for id in 0..256u64 {
+            let a = place_shard(id, Some(8), workers);
+            let b = place_shard(id, Some(8), workers);
+            assert_eq!(a, b, "routing must be a pure function of the request");
+            hit[a] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "256 ids must cover 4 shards");
+        // No topology installed: still deterministic and in range.
+        for id in 0..64u64 {
+            assert!(place_shard(id, None, workers) < workers);
+        }
+    }
+
+    #[test]
+    fn routes_match_the_request_vocabulary() {
+        assert_eq!(route(&RequestBody::Ping, 1, None, 4), Route::Local);
+        assert_eq!(route(&RequestBody::Stats, 1, None, 4), Route::Local);
+        assert_eq!(route(&RequestBody::Shutdown, 1, None, 4), Route::Local);
+        assert!(matches!(
+            route(&RequestBody::Place { hint: None }, 9, Some(3), 4),
+            Route::Shard(s) if s < 4
+        ));
+    }
+
+    #[test]
+    fn hedge_sibling_skips_primary_and_not_ready_shards() {
+        assert_eq!(hedge_sibling(1, 4, |s| s != 1), Some(2));
+        assert_eq!(hedge_sibling(1, 4, |s| s == 0), Some(0));
+        assert_eq!(hedge_sibling(1, 4, |_| false), None);
+        assert_eq!(hedge_sibling(0, 1, |_| true), None, "no sibling exists");
+    }
+}

@@ -1,0 +1,1707 @@
+//! The supervision layer: crash-isolated worker shards under one
+//! parent process.
+//!
+//! The supervisor accepts the same JSON-lines protocol as the
+//! single-process daemon, but instead of owning an [`Engine`] it owns a
+//! pool of **worker processes** — each one running `chainnet-serve`
+//! with the hidden `--worker-shard K` flag, speaking the same protocol
+//! over its stdin/stdout pipes. A panic, OOM kill, or SIGKILL in one
+//! worker costs that worker's in-flight requests a replay, never the
+//! daemon.
+//!
+//! * **Routing** is the pure function in [`crate::shard`]: `Place`
+//!   requests hash onto a chain cluster, topology and fault requests
+//!   broadcast (every worker is a full replica), `Ping`/`Stats`/
+//!   `Shutdown` are answered locally.
+//! * **Health** is the pure state machine in [`crate::health`]: idle
+//!   workers are pinged every heartbeat, a worker silent past the wedge
+//!   window (busy or idle — a SIGSTOP looks the same either way) is
+//!   killed and respawned from its shard's checkpoint.
+//! * **Hedging**: a `Place` still unanswered after `hedge_after_ms` is
+//!   re-issued once to a deterministic sibling shard; the first answer
+//!   wins and the loser's answer is discarded by construction (its
+//!   internal id no longer resolves to a live ticket).
+//! * **Degradation**: when no worker can take a request, the supervisor
+//!   answers from its own last-known-good placement with the
+//!   [`DegradationLevel::Stale`] rung — the deepest rung of the ladder,
+//!   still better than dropping an accepted request.
+//! * **Resume**: the supervisor checkpoints its own state (topology,
+//!   materialized fault state, a bounded ledger of final answer lines)
+//!   through `chainnet-ckpt`. After a SIGKILL of the whole process, a
+//!   restart respawns the pool from the per-shard checkpoints and
+//!   re-sent request ids are answered **bit-identically** from the
+//!   ledger.
+//!
+//! [`Engine`]: crate::engine::Engine
+
+use crate::daemon::{write_obs_artifacts, Job, Reply};
+use crate::engine::{apply_fault_to_parts, FactorEntry, REQUEST_SECONDS_BUCKETS};
+use crate::error::ServeError;
+use crate::health::{HealthAction, HealthConfig, HealthTracker, WorkerPhase};
+use crate::protocol::{
+    DegradationLevel, Outcome, RejectKind, Request, RequestBody, Response, WorkerInfo,
+};
+use crate::shard::{hedge_sibling, route, Route};
+use chainnet_ckpt::{CkptError, CkptStore};
+use chainnet_obs::{labeled, Obs};
+use chainnet_placement::problem::PlacementProblem;
+use chainnet_qsim::faults::{FaultEvent, FaultKind};
+use chainnet_qsim::model::Placement;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Schema version of serialized [`SupervisorState`] payloads; bump on
+/// any layout change so stale checkpoints are quarantined, not misread.
+pub const SUPERVISOR_CKPT_SCHEMA: u32 = 1;
+
+/// Fallback poll interval of the event loop (the ticker normally wakes
+/// it sooner).
+const POLL: Duration = Duration::from_millis(50);
+
+/// Bound on each worker's stdin queue. A wedged worker's queue fills
+/// and further sends fail fast instead of blocking the event loop.
+const STDIN_QUEUE: usize = 256;
+
+/// How long stopped workers get to exit gracefully on drain before
+/// being killed.
+const STOP_GRACE: Duration = Duration::from_secs(2);
+
+/// Tuning of the supervised worker pool.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Number of worker shards (minimum 1).
+    pub workers: usize,
+    /// Heartbeat / wedge-detection / hedging thresholds.
+    pub health: HealthConfig,
+    /// The worker executable (normally `std::env::current_exe()`).
+    pub worker_program: PathBuf,
+    /// Arguments passed to every worker before the per-shard ones
+    /// (`--worker-shard K` and the shard's `--state-dir` are appended
+    /// by the supervisor).
+    pub worker_args: Vec<String>,
+    /// Base state directory; shard `K` persists under `shard-K/` and
+    /// the supervisor itself under `supervisor/`. `None` disables
+    /// persistence (workers restart cold, the pool replays topology and
+    /// fault state from the supervisor's memory).
+    pub state_dir: Option<PathBuf>,
+    /// Per-shard in-flight cap and global wait-queue bound; beyond it
+    /// requests are shed with a typed `Overloaded` rejection.
+    pub queue_capacity: usize,
+    /// Drain budget on graceful shutdown: in-flight requests still
+    /// unanswered past this deadline receive typed `ShuttingDown`
+    /// responses instead of holding shutdown hostage.
+    pub drain: Duration,
+    /// Ledger size: the last this-many final answer lines are kept for
+    /// bit-identical replay of re-sent request ids.
+    pub ledger_cap: usize,
+    /// Checkpoint the supervisor state every this many answered
+    /// placements. `1` (the default) makes the bit-identical-resume
+    /// guarantee cover every answered request; raising it trades that
+    /// window for throughput.
+    pub ledger_every: u64,
+    /// Event-loop tick driving heartbeats, hedges, and deadlines.
+    pub tick: Duration,
+    /// Delay before respawning a dead worker (restart storms back off).
+    pub respawn_backoff: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            health: HealthConfig::default(),
+            worker_program: PathBuf::new(),
+            worker_args: Vec::new(),
+            state_dir: None,
+            queue_capacity: 64,
+            drain: Duration::from_secs(5),
+            ledger_cap: 256,
+            ledger_every: 1,
+            tick: Duration::from_millis(20),
+            respawn_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// One remembered final answer line, for bit-identical replay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// The client's request id.
+    pub id: u64,
+    /// The exact response line that was sent (without the newline).
+    pub line: String,
+}
+
+/// The last-known-good placement the supervisor can serve as a
+/// [`DegradationLevel::Stale`] answer when no worker is available.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StalePlacement {
+    /// The placement.
+    pub placement: Placement,
+    /// Its objective when it was produced.
+    pub objective: f64,
+    /// Its loss probability when it was produced.
+    pub loss: f64,
+}
+
+/// The supervisor's durable state, persisted through `chainnet-ckpt`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupervisorState {
+    /// Schema version ([`SUPERVISOR_CKPT_SCHEMA`]).
+    pub schema: u32,
+    /// The installed nominal topology, if any (broadcast to workers on
+    /// warmup).
+    pub nominal: Option<PlacementProblem>,
+    /// Devices currently crashed (sorted, deduplicated).
+    pub crashed: Vec<usize>,
+    /// Active service-rate degradations by device.
+    pub degraded: Vec<FactorEntry>,
+    /// Active arrival-rate bursts by chain.
+    pub bursts: Vec<FactorEntry>,
+    /// Last-known-good placement for Stale answers.
+    pub last_placed: Option<StalePlacement>,
+    /// Bounded FIFO of final answer lines, newest last.
+    pub ledger: Vec<LedgerEntry>,
+    /// Placement requests answered over the state's lifetime.
+    pub requests_handled: u64,
+}
+
+impl Default for SupervisorState {
+    fn default() -> Self {
+        Self {
+            schema: SUPERVISOR_CKPT_SCHEMA,
+            nominal: None,
+            crashed: Vec::new(),
+            degraded: Vec::new(),
+            bursts: Vec::new(),
+            last_placed: None,
+            ledger: Vec::new(),
+            requests_handled: 0,
+        }
+    }
+}
+
+impl SupervisorState {
+    /// Remember a final answer line, evicting the oldest past `cap`.
+    fn remember(&mut self, id: u64, line: &str, cap: usize) {
+        self.ledger.retain(|e| e.id != id);
+        self.ledger.push(LedgerEntry {
+            id,
+            line: line.to_string(),
+        });
+        if self.ledger.len() > cap.max(1) {
+            let excess = self.ledger.len() - cap.max(1);
+            self.ledger.drain(..excess);
+        }
+    }
+
+    /// The remembered answer line for a request id, if still ledgered.
+    fn replay(&self, id: u64) -> Option<&str> {
+        self.ledger
+            .iter()
+            .rev()
+            .find(|e| e.id == id)
+            .map(|e| e.line.as_str())
+    }
+
+    /// Synthesize the fault events that recreate the materialized fault
+    /// state on a fresh worker (warmup replay).
+    fn replay_faults(&self) -> Vec<FaultEvent> {
+        let mut events = Vec::new();
+        for &device in &self.crashed {
+            events.push(FaultEvent {
+                time: 0.0,
+                kind: FaultKind::DeviceCrash { device },
+            });
+        }
+        for e in &self.degraded {
+            events.push(FaultEvent {
+                time: 0.0,
+                kind: FaultKind::ServiceDegrade {
+                    device: e.idx,
+                    factor: e.factor,
+                },
+            });
+        }
+        for e in &self.bursts {
+            events.push(FaultEvent {
+                time: 0.0,
+                kind: FaultKind::ArrivalBurst {
+                    chain: e.idx,
+                    factor: e.factor,
+                },
+            });
+        }
+        events
+    }
+}
+
+/// Internal events multiplexed onto the supervisor's single-threaded
+/// loop.
+enum Event {
+    /// An accepted client request.
+    Job(Job),
+    /// The job source disconnected (listener stopped / stdin EOF).
+    JobsClosed,
+    /// One stdout line from worker `shard`, spawn generation `gen`.
+    Line {
+        shard: usize,
+        gen: u64,
+        line: String,
+    },
+    /// Worker `shard`'s stdout reached EOF (process died or exited).
+    Gone { shard: usize, gen: u64 },
+    /// Periodic wake-up from the ticker thread.
+    Tick,
+}
+
+/// One worker slot (fixed shard, changing process).
+struct WorkerSlot {
+    shard: usize,
+    /// Spawn generation; events from older generations are ignored.
+    gen: u64,
+    child: Option<Child>,
+    pid: u32,
+    stdin_tx: Option<SyncSender<String>>,
+    health: HealthTracker,
+    restarts: u64,
+    respawn_at: Option<Instant>,
+    /// Internal ids of warmup requests still awaiting their ack.
+    warmup_pending: BTreeSet<u64>,
+    warmup_started: Instant,
+    /// Copies (requests) currently owned by this worker.
+    inflight: usize,
+    /// One heartbeat miss already counted for the current silence.
+    miss_noted: bool,
+}
+
+/// One in-flight broadcast copy (keyed by its internal request id;
+/// the owning shard is recoverable through `iid_map`).
+struct BCopy {
+    iid: u64,
+    outcome: Option<Outcome>,
+    dead: bool,
+}
+
+/// What a ticket is waiting for.
+enum TicketKind {
+    /// A sharded placement request.
+    Place {
+        hint: Option<Placement>,
+        primary: usize,
+        /// Active copies as `(shard, internal id)`; at most two (the
+        /// current owner and one hedge).
+        copies: Vec<(usize, u64)>,
+        hedge_iid: Option<u64>,
+    },
+    /// A topology or fault request fanned out to every live worker.
+    /// Carries the original body so the supervisor can commit its own
+    /// state view once the pool confirms.
+    Broadcast {
+        body: RequestBody,
+        copies: Vec<BCopy>,
+    },
+}
+
+/// One accepted client request in flight through the pool.
+struct Ticket {
+    client_id: u64,
+    reply: Reply,
+    received: Instant,
+    deadline: Option<Instant>,
+    /// The client already has its answer (kept only so a broadcast can
+    /// still commit its state change when late copies resolve).
+    replied: bool,
+    kind: TicketKind,
+}
+
+/// The supervising parent. Construct with [`Supervisor::new`], attach
+/// persistence with [`Supervisor::with_store`] + [`Supervisor::resume`],
+/// then hand it to [`Daemon::supervised`](crate::daemon::Daemon::supervised).
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    obs: Obs,
+    state: SupervisorState,
+    store: Option<CkptStore>,
+    next_seq: u64,
+    slots: Vec<WorkerSlot>,
+    tickets: HashMap<u64, Ticket>,
+    /// Internal id → (owning shard, ticket id).
+    iid_map: HashMap<u64, (usize, u64)>,
+    wait_queue: VecDeque<u64>,
+    next_iid: u64,
+    next_ticket: u64,
+    events_tx: Sender<Event>,
+    events_rx: Receiver<Event>,
+    epoch: Instant,
+    drain_deadline: Option<Instant>,
+    answers_since_flush: u64,
+    depth: Option<Arc<AtomicU64>>,
+}
+
+impl Supervisor {
+    /// A fresh supervisor for `cfg.workers` shards. Workers are spawned
+    /// lazily when the daemon starts running it.
+    pub fn new(mut cfg: SupervisorConfig, obs: Obs) -> Self {
+        cfg.workers = cfg.workers.max(1);
+        cfg.queue_capacity = cfg.queue_capacity.max(1);
+        let (events_tx, events_rx) = channel();
+        let epoch = Instant::now();
+        let slots = (0..cfg.workers)
+            .map(|shard| WorkerSlot {
+                shard,
+                gen: 0,
+                child: None,
+                pid: 0,
+                stdin_tx: None,
+                health: HealthTracker::spawned(0),
+                restarts: 0,
+                respawn_at: None,
+                warmup_pending: BTreeSet::new(),
+                warmup_started: epoch,
+                inflight: 0,
+                miss_noted: false,
+            })
+            .collect();
+        let mut slots: Vec<WorkerSlot> = slots;
+        for slot in &mut slots {
+            slot.health.on_exit(); // not spawned yet
+        }
+        Self {
+            cfg,
+            obs,
+            state: SupervisorState::default(),
+            store: None,
+            next_seq: 1,
+            slots,
+            tickets: HashMap::new(),
+            iid_map: HashMap::new(),
+            wait_queue: VecDeque::new(),
+            next_iid: 1,
+            next_ticket: 1,
+            events_tx,
+            events_rx,
+            epoch,
+            drain_deadline: None,
+            answers_since_flush: 0,
+            depth: None,
+        }
+    }
+
+    /// Attach a checkpoint store for the supervisor's own durable
+    /// state.
+    #[must_use]
+    pub fn with_store(mut self, store: CkptStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Restore supervisor state from the newest verified checkpoint.
+    /// Returns `true` when state was restored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures other than "no checkpoint", including
+    /// [`CkptError::ResumeMismatch`] for a state written under a
+    /// different schema version.
+    pub fn resume(&mut self) -> Result<bool, ServeError> {
+        let Some(store) = &self.store else {
+            return Ok(false);
+        };
+        match store.load_latest_state::<SupervisorState>() {
+            Ok(Some((seq, state))) => {
+                if state.schema != SUPERVISOR_CKPT_SCHEMA {
+                    return Err(ServeError::Checkpoint(CkptError::ResumeMismatch {
+                        reason: format!(
+                            "supervisor state schema {} != supported {SUPERVISOR_CKPT_SCHEMA}",
+                            state.schema
+                        ),
+                    }));
+                }
+                store.note_resume();
+                self.next_seq = seq + 1;
+                self.state = state;
+                Ok(true)
+            }
+            Ok(None) => Ok(false),
+            Err(e) => Err(ServeError::Checkpoint(e)),
+        }
+    }
+
+    /// The supervisor's observability context.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Read-only view of the supervisor's durable state.
+    pub fn state(&self) -> &SupervisorState {
+        &self.state
+    }
+
+    /// Milliseconds since the supervisor's epoch (the health clock).
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Persist the supervisor state now.
+    fn flush(&mut self) -> Result<(), ServeError> {
+        if let Some(store) = &self.store {
+            store.save_state(self.next_seq, &self.state)?;
+            self.next_seq += 1;
+            self.answers_since_flush = 0;
+        }
+        Ok(())
+    }
+
+    fn counter(&self, name: &str, value: u64) {
+        if self.obs.is_enabled() {
+            self.obs.registry.counter(name).add(value);
+        }
+    }
+
+    /// Run the pool: spawn the workers, consume `jobs` until the source
+    /// closes or a shutdown is requested, then drain and stop the pool.
+    /// This call owns the calling thread until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates final state-flush and artifact-write failures; worker
+    /// failures are handled (restart + replay), not propagated.
+    pub(crate) fn run(
+        mut self,
+        jobs: Receiver<Job>,
+        artifacts_dir: Option<PathBuf>,
+        depth: Option<Arc<AtomicU64>>,
+    ) -> Result<(), ServeError> {
+        self.depth = depth;
+        for shard in 0..self.cfg.workers {
+            self.spawn_worker(shard);
+        }
+        // Forward accepted jobs into the event stream.
+        let forward_tx = self.events_tx.clone();
+        std::thread::spawn(move || {
+            for job in jobs {
+                if forward_tx.send(Event::Job(job)).is_err() {
+                    return;
+                }
+            }
+            let _ = forward_tx.send(Event::JobsClosed);
+        });
+        // Tick the loop for heartbeats, hedges, deadlines, respawns.
+        let tick_tx = self.events_tx.clone();
+        let tick = self.cfg.tick;
+        std::thread::spawn(move || loop {
+            std::thread::sleep(tick);
+            if tick_tx.send(Event::Tick).is_err() {
+                return;
+            }
+        });
+
+        loop {
+            match self.events_rx.recv_timeout(POLL) {
+                Ok(Event::Job(job)) => self.on_job(job),
+                Ok(Event::Line { shard, gen, line }) => self.on_line(shard, gen, &line),
+                Ok(Event::Gone { shard, gen }) => self.on_gone(shard, gen),
+                Ok(Event::JobsClosed) => self.begin_drain(),
+                Ok(Event::Tick) | Err(RecvTimeoutError::Timeout) => self.on_tick(),
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if self.drain_deadline.is_none() && self.obs.cancel.is_set() {
+                self.begin_drain();
+            }
+            if let Some(deadline) = self.drain_deadline {
+                let outstanding =
+                    self.tickets.values().any(|t| !t.replied) || !self.wait_queue.is_empty();
+                if !outstanding || Instant::now() >= deadline {
+                    break;
+                }
+            }
+        }
+        self.finish_drain(artifacts_dir.as_deref())
+    }
+
+    // ------------------------------------------------------------------
+    // Worker lifecycle
+    // ------------------------------------------------------------------
+
+    /// Spawn (or respawn) the worker for `shard` and start its warmup.
+    fn spawn_worker(&mut self, shard: usize) {
+        let restarting = {
+            let slot = &mut self.slots[shard];
+            slot.gen += 1;
+            slot.respawn_at = None;
+            // gen counts spawns: anything past the first is a restart
+            // (the dead child was already reaped by fail_worker).
+            slot.gen > 1
+        };
+        let mut cmd = Command::new(&self.cfg.worker_program);
+        cmd.args(&self.cfg.worker_args)
+            .arg("--worker-shard")
+            .arg(shard.to_string());
+        if let Some(base) = &self.cfg.state_dir {
+            cmd.arg("--state-dir")
+                .arg(base.join(format!("shard-{shard}")));
+        }
+        cmd.stdin(Stdio::piped()).stdout(Stdio::piped());
+        let mut child = match cmd.spawn() {
+            Ok(c) => c,
+            Err(_) => {
+                self.counter("supervisor.spawn_failures", 1);
+                let slot = &mut self.slots[shard];
+                slot.health.on_exit();
+                slot.respawn_at = Some(Instant::now() + self.cfg.respawn_backoff);
+                return;
+            }
+        };
+        let pid = child.id();
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take();
+        let gen = self.slots[shard].gen;
+
+        // Writer thread: feed the worker's stdin from a bounded queue
+        // so a wedged worker can never block the event loop.
+        let (stdin_tx, stdin_rx) = sync_channel::<String>(STDIN_QUEUE);
+        if let Some(mut sink) = stdin {
+            std::thread::spawn(move || {
+                for line in stdin_rx {
+                    if sink.write_all(line.as_bytes()).is_err() || sink.flush().is_err() {
+                        return;
+                    }
+                }
+                // Channel closed: dropping `sink` closes the worker's
+                // stdin, which is its graceful-exit signal.
+            });
+        }
+        // Reader thread: every stdout line becomes an event; EOF means
+        // the process is gone.
+        if let Some(source) = stdout {
+            let tx = self.events_tx.clone();
+            std::thread::spawn(move || {
+                let reader = BufReader::new(source);
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if tx.send(Event::Line { shard, gen, line }).is_err() {
+                        return;
+                    }
+                }
+                let _ = tx.send(Event::Gone { shard, gen });
+            });
+        }
+
+        let now_ms = self.now_ms();
+        {
+            let slot = &mut self.slots[shard];
+            slot.child = Some(child);
+            slot.pid = pid;
+            slot.stdin_tx = Some(stdin_tx);
+            slot.health = HealthTracker::spawned(now_ms);
+            slot.warmup_started = Instant::now();
+            slot.warmup_pending.clear();
+            slot.inflight = 0;
+            slot.miss_noted = false;
+            if restarting {
+                slot.restarts += 1;
+            }
+        }
+        if restarting {
+            self.counter("supervisor.restarts", 1);
+        }
+        self.send_warmup(shard);
+        self.update_pool_gauges();
+    }
+
+    /// Queue the warmup conversation: a ping, then (when installed) the
+    /// topology and the synthesized fault history. The worker is Ready
+    /// once every warmup request is acknowledged.
+    fn send_warmup(&mut self, shard: usize) {
+        let mut requests = vec![Request {
+            id: 0,
+            deadline_ms: None,
+            body: RequestBody::Ping,
+        }];
+        if let Some(problem) = &self.state.nominal {
+            requests.push(Request {
+                id: 0,
+                deadline_ms: None,
+                body: RequestBody::Topology {
+                    problem: problem.clone(),
+                },
+            });
+            for event in self.state.replay_faults() {
+                requests.push(Request {
+                    id: 0,
+                    deadline_ms: None,
+                    body: RequestBody::Fault { event },
+                });
+            }
+        }
+        for mut req in requests {
+            let iid = self.next_iid;
+            self.next_iid += 1;
+            req.id = iid;
+            self.slots[shard].warmup_pending.insert(iid);
+            if !self.send_to(shard, &req) {
+                // The worker died before warmup finished; the reader's
+                // EOF event will handle it.
+                break;
+            }
+        }
+    }
+
+    /// Serialize and queue one request line for `shard`. Returns false
+    /// when the worker cannot take it (dead, or stdin queue full).
+    fn send_to(&mut self, shard: usize, req: &Request) -> bool {
+        let Ok(mut line) = serde_json::to_string(req) else {
+            return false;
+        };
+        line.push('\n');
+        match &self.slots[shard].stdin_tx {
+            Some(tx) => tx.try_send(line).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Kill `shard`'s process (if any) and schedule a respawn; its
+    /// in-flight copies are replayed to siblings or re-queued.
+    fn fail_worker(&mut self, shard: usize) {
+        let span = self.obs.tracer.span("supervisor.restart");
+        {
+            let slot = &mut self.slots[shard];
+            if let Some(child) = &mut slot.child {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            slot.child = None;
+            slot.pid = 0;
+            slot.stdin_tx = None;
+            slot.warmup_pending.clear();
+            slot.inflight = 0;
+            slot.health.on_exit();
+            if self.drain_deadline.is_none() {
+                slot.respawn_at = Some(Instant::now() + self.cfg.respawn_backoff);
+            }
+        }
+        self.update_pool_gauges();
+
+        // Reassign every copy the dead worker owned.
+        let owned: Vec<(u64, u64)> = self
+            .iid_map
+            .iter()
+            .filter(|(_, (s, _))| *s == shard)
+            .map(|(iid, (_, t))| (*iid, *t))
+            .collect();
+        for (iid, ticket_id) in owned {
+            self.iid_map.remove(&iid);
+            let Some(ticket) = self.tickets.get_mut(&ticket_id) else {
+                continue;
+            };
+            match &mut ticket.kind {
+                TicketKind::Place { copies, .. } => {
+                    copies.retain(|&(_, i)| i != iid);
+                    if copies.is_empty() && !ticket.replied {
+                        self.counter("supervisor.replays", 1);
+                        self.route_place(ticket_id);
+                    }
+                }
+                TicketKind::Broadcast { copies, .. } => {
+                    if let Some(c) = copies.iter_mut().find(|c| c.iid == iid) {
+                        c.dead = true;
+                    }
+                    self.maybe_merge(ticket_id);
+                }
+            }
+        }
+        span.close();
+    }
+
+    /// A warmup conversation completed: the worker is Ready.
+    fn mark_ready(&mut self, shard: usize) {
+        let now_ms = self.now_ms();
+        let warmup = {
+            let slot = &mut self.slots[shard];
+            slot.health.on_ready(now_ms);
+            slot.warmup_started.elapsed()
+        };
+        if self.obs.is_enabled() {
+            self.obs
+                .registry
+                .histogram("supervisor.warmup_seconds", REQUEST_SECONDS_BUCKETS)
+                .observe(warmup.as_secs_f64());
+        }
+        self.update_pool_gauges();
+        self.pump_queue();
+    }
+
+    fn routable(&self, shard: usize) -> bool {
+        self.slots[shard].health.is_routable() && self.slots[shard].stdin_tx.is_some()
+    }
+
+    /// Whether any worker could become routable without outside help
+    /// (starting up or awaiting respawn).
+    fn pool_recovering(&self) -> bool {
+        self.slots
+            .iter()
+            .any(|s| matches!(s.health.phase(), WorkerPhase::Starting) || s.respawn_at.is_some())
+    }
+
+    fn update_pool_gauges(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let ready = self.slots.iter().filter(|s| s.health.is_routable()).count();
+        self.obs
+            .registry
+            .gauge("supervisor.workers_ready")
+            .set(ready as f64);
+        for slot in &self.slots {
+            let key = slot.shard.to_string();
+            self.obs
+                .registry
+                .gauge(&labeled("supervisor.shard_queue_depth", &[("shard", &key)]))
+                .set(slot.inflight as f64);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client requests
+    // ------------------------------------------------------------------
+
+    /// Serialize a response and write it to the client, maintaining the
+    /// parent-side request metrics.
+    fn send_line(&mut self, reply: &Reply, received: Instant, line: &str) {
+        reply.send_line(line);
+        if self.obs.is_enabled() {
+            self.obs.registry.counter("serve.responses_total").inc();
+            self.obs
+                .registry
+                .histogram("serve.request_seconds", REQUEST_SECONDS_BUCKETS)
+                .observe(received.elapsed().as_secs_f64());
+        }
+    }
+
+    fn send_outcome(&mut self, reply: &Reply, received: Instant, id: u64, outcome: Outcome) {
+        if let Ok(line) = serde_json::to_string(&Response { id, outcome }) {
+            self.send_line(&reply.clone(), received, &line);
+        }
+    }
+
+    fn on_job(&mut self, job: Job) {
+        let span = self.obs.tracer.span("supervisor.route");
+        if let Some(depth) = &self.depth {
+            let d = depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+            if self.obs.is_enabled() {
+                self.obs.registry.gauge("serve.queue_depth").set(d as f64);
+            }
+        }
+        if self.obs.is_enabled() {
+            self.obs.registry.counter("serve.requests_total").inc();
+            self.obs
+                .registry
+                .histogram("serve.queue_wait_seconds", REQUEST_SECONDS_BUCKETS)
+                .observe(job.received.elapsed().as_secs_f64());
+        }
+        if self.drain_deadline.is_some() {
+            let (id, received, reply) = (job.request.id, job.received, job.out);
+            self.send_outcome(&reply, received, id, Outcome::ShuttingDown);
+            span.close();
+            return;
+        }
+        let num_chains = self
+            .state
+            .nominal
+            .as_ref()
+            .map(PlacementProblem::num_chains);
+        match route(
+            &job.request.body,
+            job.request.id,
+            num_chains,
+            self.cfg.workers,
+        ) {
+            Route::Local => self.handle_local(job),
+            Route::Broadcast => self.handle_broadcast(job),
+            Route::Shard(primary) => self.handle_place(job, primary),
+        }
+        span.close();
+    }
+
+    fn handle_local(&mut self, job: Job) {
+        let id = job.request.id;
+        let received = job.received;
+        let outcome = match &job.request.body {
+            RequestBody::Ping => Outcome::Pong,
+            RequestBody::Stats => Outcome::Stats {
+                snapshot: self.obs.registry.snapshot(),
+                requests_handled: self.state.requests_handled,
+                crashed_devices: self.state.crashed.len(),
+                has_cached_placement: self.state.last_placed.is_some(),
+                topology_installed: self.state.nominal.is_some(),
+                workers: self
+                    .slots
+                    .iter()
+                    .map(|s| WorkerInfo {
+                        shard: s.shard,
+                        pid: s.pid,
+                        phase: s.health.phase().name().to_string(),
+                        restarts: s.restarts,
+                    })
+                    .collect(),
+            },
+            RequestBody::Shutdown => Outcome::ShuttingDown,
+            _ => Outcome::Rejected {
+                kind: RejectKind::Internal,
+                error: "request routed Local without a local handler".to_string(),
+            },
+        };
+        let shutdown = matches!(job.request.body, RequestBody::Shutdown);
+        self.send_outcome(&job.out, received, id, outcome);
+        if shutdown {
+            self.begin_drain();
+        }
+    }
+
+    /// Validate a broadcast request against the supervisor's own state,
+    /// then fan it out to every live worker.
+    fn handle_broadcast(&mut self, job: Job) {
+        let id = job.request.id;
+        let received = job.received;
+        // Pre-validate locally so replicas can never diverge: a request
+        // one worker would reject is rejected for all of them, before
+        // any worker sees it.
+        match &job.request.body {
+            RequestBody::Topology { problem } => {
+                if let Err(e) =
+                    PlacementProblem::new(problem.devices.clone(), problem.chains.clone())
+                {
+                    self.send_outcome(
+                        &job.out,
+                        received,
+                        id,
+                        Outcome::Rejected {
+                            kind: RejectKind::Invalid,
+                            error: format!("invalid request: {e}"),
+                        },
+                    );
+                    return;
+                }
+            }
+            RequestBody::Fault { event } => {
+                let Some(nominal) = &self.state.nominal else {
+                    self.send_outcome(
+                        &job.out,
+                        received,
+                        id,
+                        Outcome::Rejected {
+                            kind: RejectKind::NoTopology,
+                            error: ServeError::NoTopology.to_string(),
+                        },
+                    );
+                    return;
+                };
+                let mut crashed = self.state.crashed.clone();
+                let mut degraded = self.state.degraded.clone();
+                let mut bursts = self.state.bursts.clone();
+                if let Err(e) = apply_fault_to_parts(
+                    event,
+                    nominal.num_devices(),
+                    nominal.num_chains(),
+                    &mut crashed,
+                    &mut degraded,
+                    &mut bursts,
+                ) {
+                    let kind = match &e {
+                        ServeError::InvalidRequest(_) => RejectKind::Invalid,
+                        _ => RejectKind::Internal,
+                    };
+                    self.send_outcome(
+                        &job.out,
+                        received,
+                        id,
+                        Outcome::Rejected {
+                            kind,
+                            error: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            }
+            _ => {}
+        }
+
+        let live: Vec<usize> = self
+            .slots
+            .iter()
+            .filter(|s| s.stdin_tx.is_some() && s.health.phase() != WorkerPhase::Dead)
+            .map(|s| s.shard)
+            .collect();
+        if live.is_empty() {
+            self.send_outcome(
+                &job.out,
+                received,
+                id,
+                Outcome::Rejected {
+                    kind: RejectKind::Internal,
+                    error: ServeError::Worker("no live worker to apply the request".to_string())
+                        .to_string(),
+                },
+            );
+            return;
+        }
+        let ticket_id = self.next_ticket;
+        self.next_ticket += 1;
+        let deadline = job
+            .request
+            .deadline_ms
+            .map(|ms| received + Duration::from_millis(ms));
+        let mut copies = Vec::new();
+        for shard in live {
+            let iid = self.next_iid;
+            self.next_iid += 1;
+            let fwd = Request {
+                id: iid,
+                deadline_ms: job.request.deadline_ms,
+                body: job.request.body.clone(),
+            };
+            let sent = self.send_to(shard, &fwd);
+            if sent {
+                self.iid_map.insert(iid, (shard, ticket_id));
+                self.slots[shard].inflight += 1;
+            }
+            copies.push(BCopy {
+                iid,
+                outcome: None,
+                dead: !sent,
+            });
+        }
+        self.tickets.insert(
+            ticket_id,
+            Ticket {
+                client_id: id,
+                reply: job.out,
+                received,
+                deadline,
+                replied: false,
+                kind: TicketKind::Broadcast {
+                    body: job.request.body,
+                    copies,
+                },
+            },
+        );
+        self.maybe_merge(ticket_id);
+    }
+
+    fn handle_place(&mut self, job: Job, primary: usize) {
+        let id = job.request.id;
+        let received = job.received;
+        // Bit-identical replay for a re-sent request id: the ledger
+        // remembers the exact line the first answer used.
+        if let Some(line) = self.state.replay(id).map(String::from) {
+            self.counter("supervisor.ledger_replays", 1);
+            self.send_line(&job.out, received, &line);
+            return;
+        }
+        let hint = match &job.request.body {
+            RequestBody::Place { hint } => hint.clone(),
+            _ => None,
+        };
+        let ticket_id = self.next_ticket;
+        self.next_ticket += 1;
+        let deadline = job
+            .request
+            .deadline_ms
+            .map(|ms| received + Duration::from_millis(ms));
+        self.tickets.insert(
+            ticket_id,
+            Ticket {
+                client_id: id,
+                reply: job.out,
+                received,
+                deadline,
+                replied: false,
+                kind: TicketKind::Place {
+                    hint,
+                    primary,
+                    copies: Vec::new(),
+                    hedge_iid: None,
+                },
+            },
+        );
+        self.route_place(ticket_id);
+    }
+
+    /// Route (or re-route) a placement ticket: primary shard first,
+    /// then any routable sibling, then the Stale rung, then the wait
+    /// queue. Consumes the ticket on any terminal answer.
+    fn route_place(&mut self, ticket_id: u64) {
+        let Some(ticket) = self.tickets.get(&ticket_id) else {
+            return;
+        };
+        // Deadline check before spending a worker on it.
+        if let Some(deadline) = ticket.deadline {
+            if Instant::now() >= deadline {
+                self.reject_ticket(ticket_id, RejectKind::DeadlineExceeded);
+                return;
+            }
+        }
+        let TicketKind::Place { primary, .. } = &ticket.kind else {
+            return;
+        };
+        let primary = *primary;
+        // Candidate order: primary, then siblings cyclically.
+        let n = self.cfg.workers;
+        for step in 0..n {
+            let shard = (primary + step) % n;
+            if !self.routable(shard) {
+                continue;
+            }
+            if self.slots[shard].inflight >= self.cfg.queue_capacity {
+                self.counter("supervisor.shard_sheds", 1);
+                continue;
+            }
+            if self.forward_place(ticket_id, shard) {
+                if shard != primary {
+                    self.counter("supervisor.reroutes", 1);
+                }
+                return;
+            }
+        }
+        // No worker can take it right now.
+        if self.state.last_placed.is_some() {
+            self.serve_stale(ticket_id);
+        } else if self.pool_recovering() && self.wait_queue.len() < self.cfg.queue_capacity {
+            self.wait_queue.push_back(ticket_id);
+        } else {
+            self.counter("supervisor.shard_sheds", 1);
+            self.reject_ticket(ticket_id, RejectKind::Overloaded);
+        }
+    }
+
+    /// Forward one copy of a placement ticket to `shard`. Returns false
+    /// when the worker's stdin cannot take it.
+    fn forward_place(&mut self, ticket_id: u64, shard: usize) -> bool {
+        let Some(ticket) = self.tickets.get(&ticket_id) else {
+            return false;
+        };
+        let remaining_ms = match ticket.deadline {
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return false;
+                }
+                Some(
+                    u64::try_from((deadline - now).as_millis())
+                        .unwrap_or(u64::MAX)
+                        .max(1),
+                )
+            }
+            None => None,
+        };
+        let TicketKind::Place { hint, .. } = &ticket.kind else {
+            return false;
+        };
+        let iid = self.next_iid;
+        self.next_iid += 1;
+        let fwd = Request {
+            id: iid,
+            deadline_ms: remaining_ms,
+            body: RequestBody::Place { hint: hint.clone() },
+        };
+        if !self.send_to(shard, &fwd) {
+            return false;
+        }
+        self.iid_map.insert(iid, (shard, ticket_id));
+        self.slots[shard].inflight += 1;
+        if let Some(ticket) = self.tickets.get_mut(&ticket_id) {
+            if let TicketKind::Place { copies, .. } = &mut ticket.kind {
+                copies.push((shard, iid));
+            }
+        }
+        true
+    }
+
+    /// Answer a placement from the supervisor's last-known-good cache:
+    /// the Stale rung of the degradation ladder.
+    fn serve_stale(&mut self, ticket_id: u64) {
+        let Some(ticket) = self.tickets.remove(&ticket_id) else {
+            return;
+        };
+        let Some(stale) = self.state.last_placed.clone() else {
+            return;
+        };
+        self.counter("supervisor.stale_served", 1);
+        if self.obs.is_enabled() {
+            self.obs.registry.counter("serve.degraded_total").inc();
+            self.obs
+                .registry
+                .gauge("serve.degradation_level")
+                .set(f64::from(DegradationLevel::Stale.rank()));
+        }
+        let outcome = Outcome::Placed {
+            placement: stale.placement,
+            objective: stale.objective,
+            loss: stale.loss,
+            degradation: DegradationLevel::Stale,
+            evaluations: 0,
+        };
+        let resp = Response {
+            id: ticket.client_id,
+            outcome,
+        };
+        if let Ok(line) = serde_json::to_string(&resp) {
+            self.state
+                .remember(ticket.client_id, &line, self.cfg.ledger_cap);
+            self.state.requests_handled += 1;
+            // Ledger durability before visibility, as in finish_place.
+            self.note_answer();
+            self.send_line(&ticket.reply, ticket.received, &line);
+        }
+    }
+
+    /// Answer a ticket with a typed rejection and consume it.
+    fn reject_ticket(&mut self, ticket_id: u64, kind: RejectKind) {
+        let Some(ticket) = self.tickets.remove(&ticket_id) else {
+            return;
+        };
+        let error = match kind {
+            RejectKind::DeadlineExceeded => {
+                if self.obs.is_enabled() {
+                    self.obs
+                        .registry
+                        .counter("serve.deadline_exceeded_total")
+                        .inc();
+                }
+                let ms = ticket
+                    .deadline
+                    .map(|d| {
+                        u64::try_from(d.saturating_duration_since(ticket.received).as_millis())
+                            .unwrap_or(u64::MAX)
+                    })
+                    .unwrap_or(0);
+                ServeError::DeadlineExceeded { deadline_ms: ms }.to_string()
+            }
+            RejectKind::Overloaded => {
+                if self.obs.is_enabled() {
+                    self.obs.registry.counter("serve.overloaded_total").inc();
+                }
+                ServeError::Overloaded {
+                    capacity: self.cfg.queue_capacity,
+                }
+                .to_string()
+            }
+            _ => ServeError::Worker("request could not be served by the pool".to_string())
+                .to_string(),
+        };
+        self.send_outcome(
+            &ticket.reply,
+            ticket.received,
+            ticket.client_id,
+            Outcome::Rejected { kind, error },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Worker output
+    // ------------------------------------------------------------------
+
+    fn on_line(&mut self, shard: usize, gen: u64, line: &str) {
+        if self.slots[shard].gen != gen {
+            return; // stale reader from a killed generation
+        }
+        let now_ms = self.now_ms();
+        self.slots[shard].health.on_output(now_ms);
+        self.slots[shard].miss_noted = false;
+        let Ok(resp) = serde_json::from_str::<Response>(line) else {
+            return; // not a protocol line; ignore
+        };
+        // Warmup acks don't resolve tickets.
+        if self.slots[shard].warmup_pending.remove(&resp.id) {
+            if self.slots[shard].warmup_pending.is_empty() {
+                self.mark_ready(shard);
+            }
+            return;
+        }
+        let Some((owner, ticket_id)) = self.iid_map.remove(&resp.id) else {
+            return; // heartbeat pong, or the loser of a settled race
+        };
+        {
+            let slot = &mut self.slots[owner];
+            slot.inflight = slot.inflight.saturating_sub(1);
+        }
+        let Some(ticket) = self.tickets.get_mut(&ticket_id) else {
+            return; // ticket already answered (hedge loser, late answer)
+        };
+        match &mut ticket.kind {
+            TicketKind::Place {
+                copies, hedge_iid, ..
+            } => {
+                let from_hedge = *hedge_iid == Some(resp.id);
+                copies.retain(|&(_, i)| i != resp.id);
+                self.finish_place(ticket_id, resp.outcome, from_hedge);
+            }
+            TicketKind::Broadcast { copies, .. } => {
+                if let Some(c) = copies.iter_mut().find(|c| c.iid == resp.id) {
+                    c.outcome = Some(resp.outcome);
+                }
+                self.maybe_merge(ticket_id);
+            }
+        }
+    }
+
+    /// First worker answer for a placement ticket: rewrite the id back
+    /// to the client's, remember the exact line, update the stale
+    /// cache, and answer.
+    fn finish_place(&mut self, ticket_id: u64, outcome: Outcome, from_hedge: bool) {
+        let Some(ticket) = self.tickets.remove(&ticket_id) else {
+            return;
+        };
+        if from_hedge {
+            self.counter("supervisor.hedge_wins", 1);
+        }
+        if let Outcome::Placed {
+            placement,
+            objective,
+            loss,
+            ..
+        } = &outcome
+        {
+            self.state.last_placed = Some(StalePlacement {
+                placement: placement.clone(),
+                objective: *objective,
+                loss: *loss,
+            });
+        }
+        let resp = Response {
+            id: ticket.client_id,
+            outcome,
+        };
+        let Ok(line) = serde_json::to_string(&resp) else {
+            return;
+        };
+        if matches!(resp.outcome, Outcome::Placed { .. }) {
+            self.state
+                .remember(ticket.client_id, &line, self.cfg.ledger_cap);
+            self.state.requests_handled += 1;
+        }
+        // Flush the ledger *before* the client can see the answer:
+        // once a line is visible, a crash-and-restart must be able to
+        // replay it bit for bit.
+        self.note_answer();
+        self.send_line(&ticket.reply, ticket.received, &line);
+    }
+
+    /// Flush the supervisor state at the configured answer cadence.
+    fn note_answer(&mut self) {
+        self.answers_since_flush += 1;
+        if self.answers_since_flush >= self.cfg.ledger_every.max(1) {
+            let _ = self.flush();
+        }
+    }
+
+    /// Resolve a broadcast once every copy has answered or died: merge
+    /// the outcomes, commit the state change, answer the client.
+    fn maybe_merge(&mut self, ticket_id: u64) {
+        let done = match self.tickets.get(&ticket_id) {
+            Some(Ticket {
+                kind: TicketKind::Broadcast { copies, .. },
+                ..
+            }) => copies.iter().all(|c| c.outcome.is_some() || c.dead),
+            _ => false,
+        };
+        if !done {
+            return;
+        }
+        let Some(ticket) = self.tickets.remove(&ticket_id) else {
+            return;
+        };
+        let TicketKind::Broadcast { body, copies } = ticket.kind else {
+            return;
+        };
+        let outcomes: Vec<Outcome> = copies.into_iter().filter_map(|c| c.outcome).collect();
+
+        // Merge: any success wins (replicas are deterministic, so
+        // successes agree up to timing); all-rejected propagates the
+        // first rejection; everyone-died is an internal failure.
+        let mut merged: Option<Outcome> = None;
+        let mut affected_max = 0usize;
+        let mut any_repaired = false;
+        for o in &outcomes {
+            match o {
+                Outcome::TopologyInstalled { .. } if merged.is_none() => {
+                    merged = Some(o.clone());
+                }
+                Outcome::FaultApplied {
+                    affected_chains,
+                    repaired,
+                } => {
+                    affected_max = affected_max.max(*affected_chains);
+                    any_repaired |= *repaired;
+                    merged = Some(Outcome::FaultApplied {
+                        affected_chains: affected_max,
+                        repaired: any_repaired,
+                    });
+                }
+                _ => {}
+            }
+        }
+        let outcome = merged.unwrap_or_else(|| {
+            outcomes.first().cloned().unwrap_or(Outcome::Rejected {
+                kind: RejectKind::Internal,
+                error: ServeError::Worker("every worker died before applying the request".into())
+                    .to_string(),
+            })
+        });
+
+        // Commit the supervisor's own view on success, so warmup
+        // replay, routing, and Stats stay truthful. This runs even if
+        // the client already got a deadline rejection: the workers
+        // applied the change, so the supervisor's mirror must follow.
+        match (&outcome, body) {
+            (Outcome::TopologyInstalled { .. }, RequestBody::Topology { problem }) => {
+                self.state.nominal = Some(problem);
+                self.state.crashed.clear();
+                self.state.degraded.clear();
+                self.state.bursts.clear();
+                self.state.last_placed = None;
+                let _ = self.flush();
+            }
+            (Outcome::FaultApplied { .. }, RequestBody::Fault { event }) => {
+                let (nd, nc) = match &self.state.nominal {
+                    Some(n) => (n.num_devices(), n.num_chains()),
+                    None => (0, 0),
+                };
+                let _ = apply_fault_to_parts(
+                    &event,
+                    nd,
+                    nc,
+                    &mut self.state.crashed,
+                    &mut self.state.degraded,
+                    &mut self.state.bursts,
+                );
+                let _ = self.flush();
+            }
+            _ => {}
+        }
+        if !ticket.replied {
+            self.send_outcome(&ticket.reply, ticket.received, ticket.client_id, outcome);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ticks: heartbeats, hedges, deadlines, respawns
+    // ------------------------------------------------------------------
+
+    fn on_tick(&mut self) {
+        let now_ms = self.now_ms();
+        let now = Instant::now();
+
+        // Health: ping idle workers, kill wedged ones, respawn dead
+        // ones whose backoff elapsed.
+        for shard in 0..self.cfg.workers {
+            let action = {
+                let slot = &mut self.slots[shard];
+                slot.health.set_busy(slot.inflight > 0);
+                slot.health.poll(now_ms, &self.cfg.health)
+            };
+            match action {
+                Some(HealthAction::SendPing) => {
+                    let iid = self.next_iid;
+                    self.next_iid += 1;
+                    let ping = Request {
+                        id: iid,
+                        deadline_ms: None,
+                        body: RequestBody::Ping,
+                    };
+                    let _ = self.send_to(shard, &ping);
+                    self.slots[shard].health.on_ping_sent(now_ms);
+                }
+                Some(HealthAction::DeclareWedged) => {
+                    if !self.slots[shard].miss_noted {
+                        self.counter("supervisor.heartbeat_misses", 1);
+                        self.slots[shard].miss_noted = true;
+                    }
+                    self.counter("supervisor.worker_exits", 1);
+                    self.fail_worker(shard);
+                }
+                None => {}
+            }
+            let respawn_due = self.slots[shard]
+                .respawn_at
+                .map(|at| now >= at)
+                .unwrap_or(false);
+            if respawn_due && self.drain_deadline.is_none() {
+                self.spawn_worker(shard);
+            }
+        }
+
+        // Deadlines: answer expired tickets with a typed rejection; the
+        // worker's late answer (if any) is discarded on arrival.
+        let expired: Vec<u64> = self
+            .tickets
+            .iter()
+            .filter(|(_, t)| !t.replied && t.deadline.map(|d| now >= d).unwrap_or(false))
+            .map(|(id, _)| *id)
+            .collect();
+        for ticket_id in expired {
+            self.reject_ticket(ticket_id, RejectKind::DeadlineExceeded);
+        }
+        let expired_waiting: Vec<u64> = self
+            .wait_queue
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.tickets
+                    .get(id)
+                    .and_then(|t| t.deadline)
+                    .map(|d| now >= d)
+                    .unwrap_or(false)
+            })
+            .collect();
+        for ticket_id in &expired_waiting {
+            self.wait_queue.retain(|id| id != ticket_id);
+            self.reject_ticket(*ticket_id, RejectKind::DeadlineExceeded);
+        }
+
+        // Hedging: a placement waiting past the hedge threshold gets
+        // one copy on a deterministic sibling; first answer wins.
+        let hedge_after = Duration::from_millis(self.cfg.health.hedge_after_ms);
+        let hedge_candidates: Vec<(u64, usize)> = self
+            .tickets
+            .iter()
+            .filter_map(|(id, t)| match &t.kind {
+                TicketKind::Place {
+                    copies, hedge_iid, ..
+                } if !t.replied
+                    && hedge_iid.is_none()
+                    && copies.len() == 1
+                    && t.received.elapsed() >= hedge_after =>
+                {
+                    Some((*id, copies[0].0))
+                }
+                _ => None,
+            })
+            .collect();
+        for (ticket_id, current_shard) in hedge_candidates {
+            let sibling = hedge_sibling(current_shard, self.cfg.workers, |s| {
+                self.routable(s) && self.slots[s].inflight < self.cfg.queue_capacity
+            });
+            let Some(sibling) = sibling else { continue };
+            if self.forward_place(ticket_id, sibling) {
+                self.counter("supervisor.hedges", 1);
+                if let Some(Ticket {
+                    kind:
+                        TicketKind::Place {
+                            copies, hedge_iid, ..
+                        },
+                    ..
+                }) = self.tickets.get_mut(&ticket_id)
+                {
+                    if let Some(&(_, iid)) = copies.last() {
+                        *hedge_iid = Some(iid);
+                    }
+                }
+            }
+        }
+
+        self.pump_queue();
+        self.update_pool_gauges();
+    }
+
+    /// Re-route queued tickets now that a worker may be available.
+    fn pump_queue(&mut self) {
+        if self.wait_queue.is_empty() || !self.slots.iter().any(|s| s.health.is_routable()) {
+            return;
+        }
+        let queued: Vec<u64> = self.wait_queue.drain(..).collect();
+        for ticket_id in queued {
+            self.route_place(ticket_id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shutdown
+    // ------------------------------------------------------------------
+
+    fn begin_drain(&mut self) {
+        if self.drain_deadline.is_some() {
+            return;
+        }
+        self.drain_deadline = Some(Instant::now() + self.cfg.drain);
+        self.obs.cancel.set();
+        for slot in &mut self.slots {
+            slot.respawn_at = None;
+        }
+    }
+
+    /// Drain expired: answer whatever is still pending with typed
+    /// `ShuttingDown`, stop the pool, flush state and artifacts.
+    fn finish_drain(&mut self, artifacts_dir: Option<&std::path::Path>) -> Result<(), ServeError> {
+        let span = self.obs.tracer.span("supervisor.drain");
+        let pending: Vec<u64> = self
+            .tickets
+            .iter()
+            .filter(|(_, t)| !t.replied)
+            .map(|(id, _)| *id)
+            .collect();
+        for ticket_id in pending {
+            if let Some(ticket) = self.tickets.remove(&ticket_id) {
+                self.send_outcome(
+                    &ticket.reply,
+                    ticket.received,
+                    ticket.client_id,
+                    Outcome::ShuttingDown,
+                );
+            }
+        }
+        while let Some(ticket_id) = self.wait_queue.pop_front() {
+            if let Some(ticket) = self.tickets.remove(&ticket_id) {
+                self.send_outcome(
+                    &ticket.reply,
+                    ticket.received,
+                    ticket.client_id,
+                    Outcome::ShuttingDown,
+                );
+            }
+        }
+        self.stop_workers();
+        let flush_result = self.flush();
+        span.close();
+        flush_result?;
+        if let Some(dir) = artifacts_dir {
+            write_obs_artifacts(&self.obs, dir)?;
+        }
+        Ok(())
+    }
+
+    /// Ask every worker to exit (Shutdown line + stdin EOF), give them
+    /// a grace window, then kill the stragglers.
+    fn stop_workers(&mut self) {
+        for shard in 0..self.cfg.workers {
+            let iid = self.next_iid;
+            self.next_iid += 1;
+            let bye = Request {
+                id: iid,
+                deadline_ms: None,
+                body: RequestBody::Shutdown,
+            };
+            let _ = self.send_to(shard, &bye);
+            // Dropping the sender lets the writer thread drain the
+            // queue and close the worker's stdin.
+            self.slots[shard].stdin_tx = None;
+        }
+        let grace = Instant::now() + STOP_GRACE;
+        for slot in &mut self.slots {
+            let Some(child) = &mut slot.child else {
+                continue;
+            };
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) => {
+                        if Instant::now() >= grace {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+            slot.child = None;
+            slot.pid = 0;
+            slot.health.on_exit();
+        }
+    }
+
+    /// The worker for `shard` disappeared (stdout EOF).
+    fn on_gone(&mut self, shard: usize, gen: u64) {
+        if self.slots[shard].gen != gen {
+            return;
+        }
+        if self.slots[shard].health.phase() == WorkerPhase::Dead {
+            return; // already handled (we killed it ourselves)
+        }
+        self.counter("supervisor.worker_exits", 1);
+        self.fail_worker(shard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_is_bounded_and_replayable() {
+        let mut s = SupervisorState::default();
+        for id in 0..10u64 {
+            s.remember(id, &format!("line-{id}"), 4);
+        }
+        assert_eq!(s.ledger.len(), 4);
+        assert_eq!(s.replay(9), Some("line-9"));
+        assert_eq!(s.replay(0), None, "oldest entries evicted");
+        // Re-remembering an id replaces, not duplicates.
+        s.remember(9, "line-9b", 4);
+        assert_eq!(s.replay(9), Some("line-9b"));
+        assert_eq!(s.ledger.iter().filter(|e| e.id == 9).count(), 1);
+    }
+
+    #[test]
+    fn state_roundtrips_through_serde() {
+        let mut s = SupervisorState {
+            crashed: vec![1, 3],
+            degraded: vec![FactorEntry {
+                idx: 2,
+                factor: 0.5,
+            }],
+            bursts: vec![FactorEntry {
+                idx: 0,
+                factor: 2.0,
+            }],
+            ..SupervisorState::default()
+        };
+        s.remember(7, r#"{"id":7,"outcome":"Pong"}"#, 8);
+        s.requests_handled = 42;
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: SupervisorState = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.schema, SUPERVISOR_CKPT_SCHEMA);
+        assert_eq!(back.crashed, vec![1, 3]);
+        assert_eq!(back.requests_handled, 42);
+        assert_eq!(back.replay(7), Some(r#"{"id":7,"outcome":"Pong"}"#));
+    }
+
+    #[test]
+    fn replay_faults_reconstructs_the_materialized_state() {
+        let s = SupervisorState {
+            crashed: vec![0, 4],
+            degraded: vec![FactorEntry {
+                idx: 1,
+                factor: 0.25,
+            }],
+            bursts: vec![FactorEntry {
+                idx: 2,
+                factor: 3.0,
+            }],
+            ..SupervisorState::default()
+        };
+        let events = s.replay_faults();
+        assert_eq!(events.len(), 4);
+        assert!(matches!(
+            events[0].kind,
+            FaultKind::DeviceCrash { device: 0 }
+        ));
+        assert!(matches!(
+            events[2].kind,
+            FaultKind::ServiceDegrade { device: 1, .. }
+        ));
+        assert!(matches!(
+            events[3].kind,
+            FaultKind::ArrivalBurst { chain: 2, .. }
+        ));
+    }
+}

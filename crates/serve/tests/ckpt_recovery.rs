@@ -1,0 +1,183 @@
+//! End-to-end corrupted-checkpoint recovery for the serving state: a
+//! bit-flipped or truncated newest checkpoint must be quarantined (to
+//! `*.corrupt`), counted on `ckpt.corrupt_detected`, and silently
+//! **fallen back past** — the engine resumes from the newest older
+//! good checkpoint instead of refusing to start or loading garbage.
+
+use chainnet_ckpt::{CkptStore, CORRUPT_SUFFIX};
+use chainnet_obs::Obs;
+use chainnet_placement::problem::PlacementProblem;
+use chainnet_qsim::model::{Device, Fragment, ServiceChain};
+use chainnet_serve::engine::{Engine, EngineConfig, SERVE_CKPT_SCHEMA};
+use chainnet_serve::protocol::{Outcome, Request, RequestBody};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn problem() -> PlacementProblem {
+    let devices = vec![
+        Device::new(8.0, 4.0).expect("device"),
+        Device::new(8.0, 3.0).expect("device"),
+        Device::new(8.0, 2.0).expect("device"),
+    ];
+    let chains = vec![ServiceChain::new(
+        0.6,
+        vec![
+            Fragment::new(1.0, 1.0).expect("frag"),
+            Fragment::new(1.0, 1.0).expect("frag"),
+        ],
+    )
+    .expect("chain")];
+    PlacementProblem::new(devices, chains).expect("problem")
+}
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        sa_steps: 8,
+        trials: 1,
+        repair_steps: 4,
+        ..EngineConfig::default()
+    }
+}
+
+fn req(id: u64, body: RequestBody) -> Request {
+    Request {
+        id,
+        deadline_ms: None,
+        body,
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("serve-ckpt-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Seed a store with two checkpoints: seq A (topology installed,
+/// 0 requests) and seq B (one placement handled). Returns the newest
+/// checkpoint's path.
+fn seed_two_checkpoints(dir: &Path) -> PathBuf {
+    let store = CkptStore::open(dir, "serve", SERVE_CKPT_SCHEMA).expect("open store");
+    let mut engine = Engine::new(cfg(), Obs::enabled()).with_store(store);
+    // install_topology flushes internally → first checkpoint.
+    let r = engine.handle(
+        &req(1, RequestBody::Topology { problem: problem() }),
+        Instant::now(),
+    );
+    assert!(matches!(r.outcome, Outcome::TopologyInstalled { .. }));
+    let r = engine.handle(&req(2, RequestBody::Place { hint: None }), Instant::now());
+    assert!(matches!(r.outcome, Outcome::Placed { .. }));
+    engine.flush().expect("flush second checkpoint");
+
+    let store = CkptStore::open(dir, "serve", SERVE_CKPT_SCHEMA).expect("reopen");
+    let seqs = store.list().expect("list");
+    assert!(seqs.len() >= 2, "expected two checkpoints, got {seqs:?}");
+    store.path_of(*seqs.last().expect("newest seq"))
+}
+
+fn resume_observed(dir: &Path) -> (Engine, Obs) {
+    let obs = Obs::enabled();
+    let store =
+        CkptStore::open_observed(dir, "serve", SERVE_CKPT_SCHEMA, &obs).expect("open observed");
+    let mut engine = Engine::new(cfg(), obs.clone()).with_store(store);
+    assert!(
+        engine.resume().expect("resume must not error"),
+        "an older good checkpoint must be restored"
+    );
+    (engine, obs)
+}
+
+#[test]
+fn bit_flipped_newest_checkpoint_falls_back_to_older_good_state() {
+    let dir = tmp_dir("bitflip");
+    let newest = seed_two_checkpoints(&dir);
+
+    // Flip one payload byte of the newest checkpoint.
+    let mut bytes = std::fs::read(&newest).expect("read newest");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).expect("write corrupted");
+
+    let (engine, obs) = resume_observed(&dir);
+    // The fallback is the post-topology checkpoint: topology present,
+    // but the placement that only the corrupted checkpoint knew about
+    // is gone.
+    assert!(engine.state().nominal.is_some(), "topology must survive");
+    assert_eq!(
+        engine.state().requests_handled,
+        0,
+        "the corrupted newest state must not leak through"
+    );
+    let snap = obs.registry.snapshot();
+    assert_eq!(
+        snap.counters.get("ckpt.corrupt_detected").copied(),
+        Some(1),
+        "the corruption must be counted"
+    );
+    // And quarantined, preserving the evidence.
+    let quarantined = newest.with_file_name(format!(
+        "{}{CORRUPT_SUFFIX}",
+        newest.file_name().and_then(|n| n.to_str()).expect("name")
+    ));
+    assert!(
+        quarantined.is_file(),
+        "corrupt checkpoint must be renamed, not deleted"
+    );
+    assert!(!newest.is_file(), "the corrupt original must be gone");
+
+    // The resumed engine still serves from the fallback state.
+    let mut engine = engine;
+    let r = engine.handle(&req(3, RequestBody::Place { hint: None }), Instant::now());
+    assert!(
+        matches!(r.outcome, Outcome::Placed { .. }),
+        "{:?}",
+        r.outcome
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_newest_checkpoint_falls_back_to_older_good_state() {
+    let dir = tmp_dir("truncate");
+    let newest = seed_two_checkpoints(&dir);
+
+    // Truncate the envelope mid-payload.
+    let bytes = std::fs::read(&newest).expect("read newest");
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).expect("truncate");
+
+    let (engine, obs) = resume_observed(&dir);
+    assert!(engine.state().nominal.is_some());
+    assert_eq!(engine.state().requests_handled, 0);
+    let snap = obs.registry.snapshot();
+    assert_eq!(snap.counters.get("ckpt.corrupt_detected").copied(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_checkpoint_corrupt_is_a_clean_fresh_start() {
+    let dir = tmp_dir("all-bad");
+    seed_two_checkpoints(&dir);
+    let store = CkptStore::open(&dir, "serve", SERVE_CKPT_SCHEMA).expect("open");
+    for seq in store.list().expect("list") {
+        let path = store.path_of(seq);
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..4.min(bytes.len())]).expect("truncate");
+    }
+
+    let obs = Obs::enabled();
+    let store =
+        CkptStore::open_observed(&dir, "serve", SERVE_CKPT_SCHEMA, &obs).expect("open observed");
+    let mut engine = Engine::new(cfg(), obs.clone()).with_store(store);
+    assert!(
+        !engine.resume().expect("resume must not error"),
+        "all-corrupt must look like a fresh start, not an error"
+    );
+    let snap = obs.registry.snapshot();
+    assert_eq!(
+        snap.counters.get("ckpt.corrupt_detected").copied(),
+        Some(2),
+        "both corrupt checkpoints must be counted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

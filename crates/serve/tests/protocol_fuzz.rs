@@ -1,0 +1,144 @@
+//! Protocol-hardening property tests: `parse_request_line` must map
+//! every hostile input — arbitrary bytes, truncated valid requests,
+//! bit-flipped JSON, oversized lines — to a typed [`LineError`], and
+//! must never panic. The daemon feeds untrusted network input straight
+//! into this function, so panic-freedom here is process-survival there.
+
+use chainnet_serve::protocol::{
+    parse_request_line, LineError, RejectKind, Request, RequestBody, MAX_LINE_BYTES,
+};
+use proptest::prelude::*;
+
+/// A generator of syntactically valid request lines across the whole
+/// request vocabulary (placement hints and topologies are exercised by
+/// integration tests; here the parser's shape-checking is the target).
+fn valid_request(id: u64, deadline_ms: Option<u64>, which: u8) -> Request {
+    let body = match which % 4 {
+        0 => RequestBody::Ping,
+        1 => RequestBody::Stats,
+        2 => RequestBody::Shutdown,
+        _ => RequestBody::Place { hint: None },
+    };
+    Request {
+        id,
+        deadline_ms,
+        body,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary raw bytes forced through lossy UTF-8: never panics,
+    /// and anything that is not a valid request maps to a typed
+    /// Invalid rejection.
+    #[test]
+    fn arbitrary_bytes_are_typed_or_parsed(
+        bytes in proptest::collection::vec(0u16..256, 0..256)
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let line = String::from_utf8_lossy(&bytes);
+        match parse_request_line(&line) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert_eq!(e.kind(), RejectKind::Invalid);
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Every valid request round-trips; truncating it anywhere strictly
+    /// inside the line is a typed error, never a panic and never a
+    /// silently different request.
+    #[test]
+    fn truncated_valid_requests_are_rejected(
+        id in 0u64..u64::MAX,
+        deadline_seed in 0u64..200_000,
+        which in 0u8..8,
+        cut_seed in 0u64..u64::MAX
+    ) {
+        // Half the seed range means no deadline: the optional field is
+        // exercised both present and absent.
+        let deadline = (deadline_seed < 100_000).then_some(deadline_seed);
+        let req = valid_request(id, deadline, which);
+        let line = serde_json::to_string(&req).expect("serialize");
+        let parsed = parse_request_line(&line).expect("valid line parses");
+        prop_assert_eq!(parsed.id, id);
+        prop_assert_eq!(parsed.deadline_ms, deadline);
+
+        let cut = (cut_seed % line.len() as u64) as usize;
+        if cut > 0 {
+            // Cut on a char boundary (ASCII JSON here, but stay safe).
+            let mut cut = cut;
+            while !line.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            if cut > 0 {
+                let err = parse_request_line(&line[..cut]).expect_err("truncation must fail");
+                prop_assert_eq!(err.kind(), RejectKind::Invalid);
+            }
+        }
+    }
+
+    /// Flipping one byte of a valid request line either still parses
+    /// (JSON has don't-care bytes, e.g. digits of the id) or fails with
+    /// a typed error — never a panic.
+    #[test]
+    fn bitflipped_valid_requests_never_panic(
+        id in 0u64..u64::MAX,
+        which in 0u8..8,
+        pos_seed in 0u64..u64::MAX,
+        mask in 1u16..256
+    ) {
+        let req = valid_request(id, None, which);
+        let line = serde_json::to_string(&req).expect("serialize");
+        let mut bytes = line.into_bytes();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= mask as u8;
+        let mutated = String::from_utf8_lossy(&bytes);
+        let _ = parse_request_line(&mutated);
+    }
+}
+
+#[test]
+fn oversized_lines_are_rejected_before_parsing() {
+    // A line just under the cap parses (whitespace padding is legal
+    // JSON); one past the cap is rejected with the Oversized error even
+    // though it would otherwise be valid.
+    let base = r#"{"id":1,"body":"Ping"}"#;
+    let padded_ok = format!("{}{}", " ".repeat(MAX_LINE_BYTES - base.len()), base);
+    assert_eq!(padded_ok.len(), MAX_LINE_BYTES);
+    assert!(parse_request_line(&padded_ok).is_ok());
+
+    let padded_over = format!("{} {}", " ".repeat(MAX_LINE_BYTES - base.len()), base);
+    match parse_request_line(&padded_over) {
+        Err(LineError::Oversized { len, max }) => {
+            assert_eq!(len, MAX_LINE_BYTES + 1);
+            assert_eq!(max, MAX_LINE_BYTES);
+        }
+        other => panic!("expected oversized rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_shapes_are_typed() {
+    for bad in [
+        "",
+        "{",
+        "}",
+        "null",
+        "42",
+        "[]",
+        r#"{"id":null,"body":"Ping"}"#,
+        r#"{"id":-1,"body":"Ping"}"#,
+        r#"{"id":1}"#,
+        r#"{"id":1,"body":"NoSuchVariant"}"#,
+        r#"{"id":1,"body":{"Place":{"hint":3}}}"#,
+        r#"{"id":1,"deadline_ms":"soon","body":"Ping"}"#,
+        "\u{0}\u{1}\u{2}",
+        r#"{"id":1,"body":"Ping"}{"id":2,"body":"Ping"}"#,
+    ] {
+        let err = parse_request_line(bad).expect_err("must reject");
+        assert_eq!(err.kind(), RejectKind::Invalid, "input: {bad:?}");
+    }
+}

@@ -1,0 +1,423 @@
+//! Process-level tests of supervised mode (`--workers N`): worker
+//! crash isolation + restart, bounded drain-on-shutdown, and
+//! bit-identical ledger replay across a supervisor SIGKILL. The
+//! full-scale chaos versions (kill storms, SIGSTOP wedging) live in
+//! `examples/soak.rs`; these are the fast deterministic cores.
+
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Kills the daemon on drop so a panicking test never leaks a process.
+struct DaemonGuard(Child);
+
+impl DaemonGuard {
+    fn wait(&mut self) -> std::process::ExitStatus {
+        self.0.wait().expect("wait")
+    }
+
+    fn kill(&mut self) {
+        let _ = self.0.kill();
+    }
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_daemon(state_dir: &Path, extra: &[&str]) -> (DaemonGuard, String) {
+    let stderr_log = std::fs::File::create(state_dir.join(format!(
+        "supervisor-stderr-{}.log",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    )))
+    .expect("create stderr log");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_chainnet-serve"));
+    cmd.arg("--bind")
+        .arg("127.0.0.1:0")
+        .arg("--state-dir")
+        .arg(state_dir)
+        .arg("--sa-steps")
+        .arg("8")
+        .arg("--trials")
+        .arg("1")
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::from(stderr_log));
+    let mut child = cmd.spawn().expect("spawn daemon");
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read announce line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("announce line has an address")
+        .to_string();
+    (DaemonGuard(child), addr)
+}
+
+fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (reader, stream)
+}
+
+fn send(stream: &mut TcpStream, line: &str) {
+    stream.write_all(line.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send newline");
+    stream.flush().expect("flush");
+}
+
+fn recv_raw(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    line.trim_end().to_string()
+}
+
+fn recv(reader: &mut BufReader<TcpStream>) -> Value {
+    serde_json::from_str(&recv_raw(reader)).expect("parse response")
+}
+
+/// Four devices / two chains, the same shape the daemon tests use.
+fn topology_line(id: u64) -> String {
+    use chainnet_placement::problem::PlacementProblem;
+    use chainnet_qsim::model::{Device, Fragment, ServiceChain};
+    let devices = vec![
+        Device::new(10.0, 4.0).expect("device"),
+        Device::new(10.0, 3.0).expect("device"),
+        Device::new(10.0, 2.0).expect("device"),
+        Device::new(10.0, 2.0).expect("device"),
+    ];
+    let chains = vec![
+        ServiceChain::new(
+            0.8,
+            vec![
+                Fragment::new(2.0, 1.0).expect("frag"),
+                Fragment::new(2.0, 1.0).expect("frag"),
+            ],
+        )
+        .expect("chain"),
+        ServiceChain::new(
+            0.5,
+            vec![
+                Fragment::new(1.0, 1.0).expect("frag"),
+                Fragment::new(1.0, 1.0).expect("frag"),
+            ],
+        )
+        .expect("chain"),
+    ];
+    let problem = PlacementProblem::new(devices, chains).expect("problem");
+    let problem = serde_json::to_string(&problem).expect("serialize problem");
+    format!("{{\"id\":{id},\"body\":{{\"Topology\":{{\"problem\":{problem}}}}}}}")
+}
+
+/// Walk a field path, panicking with the missing key's name.
+fn field<'a>(v: &'a Value, path: &[&str]) -> &'a Value {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing field {key} in {cur:?}"));
+    }
+    cur
+}
+
+/// The externally-tagged outcome variant name ("Placed", "Pong", …).
+fn outcome_key(v: &Value) -> String {
+    match field(v, &["outcome"]) {
+        Value::Str(s) => s.clone(),
+        Value::Map(m) => m
+            .first()
+            .map(|(k, _)| k.clone())
+            .expect("non-empty outcome object"),
+        other => panic!("unexpected outcome shape: {other:?}"),
+    }
+}
+
+fn worker_pids(stats: &Value) -> Vec<u64> {
+    field(stats, &["outcome", "Stats", "workers"])
+        .as_seq()
+        .expect("workers array")
+        .iter()
+        .map(|w| field(w, &["pid"]).as_u64().expect("worker pid"))
+        .collect()
+}
+
+fn sigkill(pid: u64) {
+    let status = Command::new("kill")
+        .arg("-KILL")
+        .arg(pid.to_string())
+        .status()
+        .expect("send SIGKILL");
+    assert!(status.success(), "kill -KILL {pid}");
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve-sup-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn worker_sigkill_is_survived_and_the_shard_restarts() {
+    let dir = tmp_dir("kill");
+    let (mut child, addr) = spawn_daemon(&dir, &["--workers", "2", "--heartbeat-ms", "100"]);
+    let (mut reader, mut stream) = connect(&addr);
+
+    send(&mut stream, &topology_line(1));
+    assert_eq!(outcome_key(&recv(&mut reader)), "TopologyInstalled");
+    send(&mut stream, r#"{"id":2,"body":{"Place":{"hint":null}}}"#);
+    assert_eq!(outcome_key(&recv(&mut reader)), "Placed");
+
+    send(&mut stream, r#"{"id":3,"body":"Stats"}"#);
+    let stats = recv(&mut reader);
+    assert_eq!(outcome_key(&stats), "Stats");
+    let pids = worker_pids(&stats);
+    assert_eq!(pids.len(), 2, "two shard workers reported");
+    assert!(
+        pids.iter().all(|&p| p > 0),
+        "live workers have pids: {pids:?}"
+    );
+    assert_ne!(pids[0], pids[1], "distinct worker processes");
+
+    // Murder one shard. Every request sent afterwards must still get a
+    // placement answer — rerouted, hedged, or served by the respawned
+    // worker — and never be silently dropped.
+    sigkill(pids[0]);
+    for id in 10..30u64 {
+        send(
+            &mut stream,
+            &format!("{{\"id\":{id},\"body\":{{\"Place\":{{\"hint\":null}}}}}}"),
+        );
+        let resp = recv(&mut reader);
+        assert_eq!(
+            field(&resp, &["id"]).as_u64(),
+            Some(id),
+            "answers stay in request order"
+        );
+        assert_eq!(
+            outcome_key(&resp),
+            "Placed",
+            "request {id} lost to the crash"
+        );
+    }
+
+    // The supervisor must notice the death and respawn the shard.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut restarted = false;
+    let mut probe = 100u64;
+    while Instant::now() < deadline {
+        send(
+            &mut stream,
+            &format!("{{\"id\":{probe},\"body\":\"Stats\"}}"),
+        );
+        probe += 1;
+        let stats = recv(&mut reader);
+        let restarts: u64 = field(&stats, &["outcome", "Stats", "workers"])
+            .as_seq()
+            .expect("workers array")
+            .iter()
+            .map(|w| field(w, &["restarts"]).as_u64().expect("restarts"))
+            .sum();
+        if restarts >= 1 {
+            restarted = true;
+            // The restart is also visible on the supervisor counters.
+            let counted = field(&stats, &["outcome", "Stats", "snapshot", "counters"])
+                .get("supervisor.restarts")
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            assert!(counted >= 1, "supervisor.restarts counter must record it");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(restarted, "killed shard never restarted");
+
+    send(&mut stream, r#"{"id":999,"body":"Shutdown"}"#);
+    loop {
+        let resp = recv(&mut reader);
+        if field(&resp, &["id"]).as_u64() == Some(999) {
+            break;
+        }
+    }
+    assert_eq!(child.wait().code(), Some(0), "graceful shutdown exits 0");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_drain_budget_sheds_queued_requests_with_typed_shutdown() {
+    let dir = tmp_dir("drain");
+    // Slow placements (big search budget) + zero drain budget: anything
+    // still queued when SIGTERM lands must be answered `ShuttingDown`,
+    // not silently dropped, and the daemon must still exit 0.
+    let (mut child, addr) = spawn_daemon(
+        &dir,
+        &["--sa-steps", "20000", "--trials", "8", "--drain-ms", "0"],
+    );
+    let (mut reader, mut stream) = connect(&addr);
+    send(&mut stream, &topology_line(1));
+    assert_eq!(outcome_key(&recv(&mut reader)), "TopologyInstalled");
+
+    const N: u64 = 16;
+    for id in 100..100 + N {
+        send(
+            &mut stream,
+            &format!("{{\"id\":{id},\"body\":{{\"Place\":{{\"hint\":null}}}}}}"),
+        );
+    }
+    // Let the requests be admitted, then pull the plug.
+    std::thread::sleep(Duration::from_millis(150));
+    let pid = child.0.id();
+    let status = Command::new("kill")
+        .arg("-TERM")
+        .arg(pid.to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+
+    let mut seen = std::collections::BTreeSet::new();
+    let mut shed = 0u64;
+    for _ in 0..N {
+        let resp = recv(&mut reader);
+        let id = field(&resp, &["id"]).as_u64().expect("response id");
+        assert!(seen.insert(id), "duplicate response for id {id}");
+        if outcome_key(&resp) == "ShuttingDown" {
+            shed += 1;
+        }
+    }
+    assert_eq!(seen.len() as u64, N, "every admitted request got an answer");
+    assert!(
+        shed >= 1,
+        "a zero drain budget must shed at least one queued request"
+    );
+    assert_eq!(child.wait().code(), Some(0), "drain shutdown still exits 0");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervisor_sigkill_then_restart_replays_bit_identical_answers() {
+    let dir = tmp_dir("replay");
+    let (mut child, addr) = spawn_daemon(&dir, &["--workers", "2"]);
+    let (mut reader, mut stream) = connect(&addr);
+
+    send(&mut stream, &topology_line(1));
+    assert_eq!(outcome_key(&recv(&mut reader)), "TopologyInstalled");
+    let place_line = r#"{"id":42,"body":{"Place":{"hint":null}}}"#;
+    send(&mut stream, place_line);
+    let first = recv_raw(&mut reader);
+    assert_eq!(
+        outcome_key(&serde_json::from_str::<Value>(&first).expect("parse")),
+        "Placed"
+    );
+
+    // SIGKILL the supervisor: no flush, no goodbye. The answer ledger
+    // checkpoints on every answer, so a restart from the same state dir
+    // must replay the recorded line byte for byte.
+    child.kill();
+    child.wait();
+
+    let (mut child2, addr2) = spawn_daemon(&dir, &["--workers", "2"]);
+    let (mut reader2, mut stream2) = connect(&addr2);
+    send(&mut stream2, place_line);
+    let replayed = recv_raw(&mut reader2);
+    assert_eq!(
+        replayed, first,
+        "a re-sent request id must get the bit-identical recorded answer"
+    );
+
+    // The replay is observable, and the resumed pool still computes
+    // fresh placements for new ids.
+    send(&mut stream2, r#"{"id":50,"body":"Stats"}"#);
+    let stats = recv(&mut reader2);
+    assert_eq!(
+        field(&stats, &["outcome", "Stats", "snapshot", "counters"])
+            .get("supervisor.ledger_replays")
+            .and_then(Value::as_u64),
+        Some(1),
+        "the replay must be counted"
+    );
+    assert_eq!(
+        field(&stats, &["outcome", "Stats", "topology_installed"]).as_bool(),
+        Some(true),
+        "topology survives the supervisor crash via its checkpoint"
+    );
+    send(&mut stream2, r#"{"id":51,"body":{"Place":{"hint":null}}}"#);
+    assert_eq!(outcome_key(&recv(&mut reader2)), "Placed");
+
+    send(&mut stream2, r#"{"id":52,"body":"Shutdown"}"#);
+    loop {
+        let resp = recv(&mut reader2);
+        if field(&resp, &["id"]).as_u64() == Some(52) {
+            break;
+        }
+    }
+    assert_eq!(child2.wait().code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stdin_mode_shutdown_exits_without_waiting_for_eof() {
+    let dir = tmp_dir("stdin");
+    let mut child = DaemonGuard(
+        Command::new(env!("CARGO_BIN_EXE_chainnet-serve"))
+            .arg("--state-dir")
+            .arg(&dir)
+            .args(["--sa-steps", "8", "--trials", "1", "--workers", "2"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn daemon"),
+    );
+    let mut stdin = child.0.stdin.take().expect("daemon stdin");
+    let mut reader = BufReader::new(child.0.stdout.take().expect("daemon stdout"));
+
+    let mut send_line = |line: &str| {
+        stdin.write_all(line.as_bytes()).expect("write");
+        stdin.write_all(b"\n").expect("newline");
+        stdin.flush().expect("flush");
+    };
+    let recv_line = |reader: &mut BufReader<std::process::ChildStdout>| -> Value {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        serde_json::from_str(line.trim_end()).expect("parse response")
+    };
+
+    send_line(&topology_line(1));
+    assert_eq!(outcome_key(&recv_line(&mut reader)), "TopologyInstalled");
+    send_line(r#"{"id":2,"body":{"Place":{"hint":null}}}"#);
+    assert_eq!(outcome_key(&recv_line(&mut reader)), "Placed");
+    send_line(r#"{"id":3,"body":"Shutdown"}"#);
+    assert_eq!(outcome_key(&recv_line(&mut reader)), "ShuttingDown");
+
+    // Stdin stays open on purpose: the ShuttingDown ack must be enough
+    // for the process to exit — it must not block on another read.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let code = loop {
+        match child.0.try_wait().expect("try_wait") {
+            Some(status) => break status.code(),
+            None if Instant::now() > deadline => {
+                panic!("daemon still running 20s after the ShuttingDown ack")
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    assert_eq!(code, Some(0), "graceful stdin-mode shutdown exits 0");
+    drop(stdin);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -17,6 +17,18 @@
 //!    require the resumed process to remember its fault state;
 //! 5. **recovery** — lift the faults and require full-capacity service.
 //!
+//! With `SOAK_WORKERS=N` (N ≥ 2) three supervised-pool phases follow,
+//! against a fresh `--workers N` daemon:
+//!
+//! 6. **worker-kill storm** — SIGKILL ≥ 3 shard workers (pids from
+//!    `Stats`) interleaved with queries; every query must still be
+//!    answered `Placed` and the supervisor must restart every victim;
+//! 7. **wedged worker** — SIGSTOP one worker and require hedging to
+//!    keep every deadline query answered below its deadline;
+//! 8. **supervisor kill + replay** — SIGKILL the supervisor itself,
+//!    restart it on the same state dir, re-send recorded request lines,
+//!    and require byte-identical answers from the ledger.
+//!
 //! Gates (process exits non-zero when any fails):
 //!
 //! * zero lost accepted requests across the whole run, restarts
@@ -34,7 +46,8 @@
 //! Run with `cargo run --release --example soak`. Environment knobs:
 //! `SOAK_QUERIES` (default 20000; CI smoke uses a few hundred),
 //! `SOAK_DAEMON` (path to the `chainnet-serve` binary, default derived
-//! from this executable's target dir), `SOAK_DIR` (state dir).
+//! from this executable's target dir), `SOAK_DIR` (state dir),
+//! `SOAK_WORKERS` (supervised-pool size for phases 6–8; 0 = skip).
 
 use chainnet_suite::obs::Snapshot;
 use chainnet_suite::placement::problem::PlacementProblem;
@@ -74,7 +87,17 @@ impl Drop for Daemon {
 }
 
 impl Daemon {
-    fn spawn(binary: &Path, state_dir: &Path, queue: usize) -> SoakResult<Self> {
+    fn spawn(binary: &Path, state_dir: &Path, queue: usize, extra: &[&str]) -> SoakResult<Self> {
+        // Daemon stderr goes to a log file in the state dir so a CI
+        // failure can upload what the supervisor saw, not a null sink.
+        let stderr_log = std::fs::File::create(state_dir.join(format!(
+            "daemon-stderr-{}.log",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        )))
+        .map_err(|e| format!("create stderr log: {e}"))?;
         let mut child = Command::new(binary)
             .arg("--bind")
             .arg("127.0.0.1:0")
@@ -87,8 +110,9 @@ impl Daemon {
             .arg("--queue")
             .arg(queue.to_string())
             .arg("--quiet")
+            .args(extra)
             .stdout(Stdio::piped())
-            .stderr(Stdio::null())
+            .stderr(Stdio::from(stderr_log))
             .spawn()
             .map_err(|e| format!("spawn {}: {e}", binary.display()))?;
         let stdout = child.stdout.take().ok_or("daemon stdout missing")?;
@@ -123,18 +147,17 @@ impl Daemon {
             .map_err(|e| format!("send: {e}"))
     }
 
-    /// Read one response line; `Ok(None)` means the connection died
-    /// (daemon killed) — the caller decides whether that was expected.
-    fn recv(&mut self) -> SoakResult<Option<Value>> {
+    /// Read one raw response line (trailing newline stripped);
+    /// `Ok(None)` means the connection died (daemon killed) — the
+    /// caller decides whether that was expected.
+    fn recv_raw(&mut self) -> SoakResult<Option<String>> {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             Ok(0) => Ok(None),
             // No trailing newline means EOF cut the response short: the
             // daemon was killed mid-write. Treat it as a dead peer.
             Ok(_) if !line.ends_with('\n') => Ok(None),
-            Ok(_) => serde_json::from_str(&line)
-                .map(Some)
-                .map_err(|e| format!("parse response: {e} in {line:?}")),
+            Ok(_) => Ok(Some(line.trim_end().to_string())),
             Err(e)
                 if e.kind() == std::io::ErrorKind::ConnectionReset
                     || e.kind() == std::io::ErrorKind::BrokenPipe =>
@@ -145,10 +168,26 @@ impl Daemon {
         }
     }
 
+    /// Read and parse one response line; `Ok(None)` on a dead peer.
+    fn recv(&mut self) -> SoakResult<Option<Value>> {
+        match self.recv_raw()? {
+            None => Ok(None),
+            Some(line) => serde_json::from_str(&line)
+                .map(Some)
+                .map_err(|e| format!("parse response: {e} in {line:?}")),
+        }
+    }
+
     /// Serial request/response; `Ok(None)` when the daemon vanished.
     fn call(&mut self, line: &str) -> SoakResult<Option<Value>> {
         self.send(line)?;
         self.recv()
+    }
+
+    /// Serial request/response keeping the raw response line.
+    fn call_raw(&mut self, line: &str) -> SoakResult<Option<String>> {
+        self.send(line)?;
+        self.recv_raw()
     }
 
     fn kill9(&mut self) {
@@ -276,7 +315,7 @@ fn soak() -> SoakResult<String> {
     let mut next_id: u64 = 1;
     let wall = Instant::now();
 
-    let mut daemon = Daemon::spawn(&binary, &dir, QUEUE)?;
+    let mut daemon = Daemon::spawn(&binary, &dir, QUEUE, &[])?;
 
     // ---- phase 1: topology + warmup --------------------------------
     let topo = topology_json();
@@ -427,7 +466,7 @@ fn soak() -> SoakResult<String> {
     }
     drop(daemon);
 
-    let mut daemon = Daemon::spawn(&binary, &dir, QUEUE)?;
+    let mut daemon = Daemon::spawn(&binary, &dir, QUEUE, &[])?;
     let stats = daemon
         .call(&format!("{{\"id\":{next_id},\"body\":\"Stats\"}}"))?
         .ok_or("restarted daemon died on Stats")?;
@@ -513,6 +552,17 @@ fn soak() -> SoakResult<String> {
         }
     }
     daemon.shutdown(next_id)?;
+
+    // ---- phases 6–8: supervised pool (opt-in via SOAK_WORKERS) -----
+    let workers: usize = std::env::var("SOAK_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let supervised_report = if workers >= 2 {
+        Some(supervised_soak(&binary, &dir, workers)?)
+    } else {
+        None
+    };
     let elapsed = wall.elapsed().as_secs_f64();
 
     // ---- gates ------------------------------------------------------
@@ -559,7 +609,7 @@ fn soak() -> SoakResult<String> {
     };
 
     let answered = ledger.len() as u64;
-    Ok(format!(
+    let mut report = format!(
         "soak: PASS\n\
          queries answered       {answered} (0 lost; {retried} retried across restart)\n\
          tight-deadline storm   {tight_placed} degraded placements, {tight_rejected} deadline rejections\n\
@@ -570,6 +620,228 @@ fn soak() -> SoakResult<String> {
         quantile(0.99),
         hist.count,
         answered as f64 / elapsed.max(1e-9),
+    );
+    if let Some(s) = supervised_report {
+        report.push('\n');
+        report.push_str(&s);
+    }
+    Ok(report)
+}
+
+/// Live worker pids from a supervised daemon's `Stats` answer.
+fn stats_pids(stats: &Value) -> SoakResult<Vec<u64>> {
+    let workers = get(stats, &["outcome", "Stats", "workers"])?
+        .as_seq()
+        .ok_or("workers is not an array")?;
+    Ok(workers
+        .iter()
+        .filter_map(|w| w.get("pid").and_then(Value::as_u64))
+        .filter(|&p| p > 0)
+        .collect())
+}
+
+/// A counter from the `Stats` answer's embedded metrics snapshot.
+fn stats_counter(stats: &Value, name: &str) -> u64 {
+    get(stats, &["outcome", "Stats", "snapshot", "counters"])
+        .ok()
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn signal(pid: u64, sig: &str) -> SoakResult<()> {
+    let status = Command::new("kill")
+        .arg(sig)
+        .arg(pid.to_string())
+        .status()
+        .map_err(|e| format!("kill {sig} {pid}: {e}"))?;
+    if !status.success() {
+        return Err(format!("kill {sig} {pid} failed"));
+    }
+    Ok(())
+}
+
+/// Phases 6–8 against a `--workers N` supervised pool, in a fresh
+/// state dir under the soak dir. Returns the report lines.
+fn supervised_soak(binary: &Path, dir: &Path, workers: usize) -> SoakResult<String> {
+    let sdir = dir.join("supervised");
+    let _ = std::fs::remove_dir_all(&sdir);
+    std::fs::create_dir_all(&sdir).map_err(|e| format!("mkdir {}: {e}", sdir.display()))?;
+    let flags = [
+        "--workers",
+        &workers.to_string(),
+        "--heartbeat-ms",
+        "250",
+        "--hedge-after-ms",
+        "100",
+    ]
+    .map(String::from);
+    let flag_refs: Vec<&str> = flags.iter().map(String::as_str).collect();
+
+    let mut daemon = Daemon::spawn(binary, &sdir, 32, &flag_refs)?;
+    let mut next_id: u64 = 1;
+    let topo = topology_json();
+    let resp = daemon
+        .call(&format!(
+            "{{\"id\":0,\"body\":{{\"Topology\":{{\"problem\":{topo}}}}}}}"
+        ))?
+        .ok_or("supervised daemon died installing topology")?;
+    if outcome_key(&resp)? != "TopologyInstalled" {
+        return Err(format!("supervised topology rejected: {resp:?}"));
+    }
+
+    // A serial Placed query; the degradation string must be one of the
+    // ladder's rungs (Stale included — a recovering pool may serve it).
+    let place = |daemon: &mut Daemon, next_id: &mut u64, deadline| -> SoakResult<String> {
+        let id = *next_id;
+        *next_id += 1;
+        let resp = daemon
+            .call(&place_line(id, deadline))?
+            .ok_or(format!("supervised daemon died answering id {id}"))?;
+        if outcome_key(&resp)? != "Placed" {
+            return Err(format!("supervised id {id} not Placed: {resp:?}"));
+        }
+        let degradation = get(&resp, &["outcome", "Placed", "degradation"])?
+            .as_str()
+            .unwrap_or("?")
+            .to_string();
+        if !["FullSearch", "LocalRepair", "Cached", "Stale"].contains(&degradation.as_str()) {
+            return Err(format!(
+                "supervised id {id}: unknown degradation {degradation}"
+            ));
+        }
+        Ok(degradation)
+    };
+
+    for _ in 0..8 {
+        place(&mut daemon, &mut next_id, None)?;
+    }
+
+    // ---- phase 6: worker-kill storm --------------------------------
+    // Three rounds: SIGKILL a live worker, then keep querying. Every
+    // query must be answered Placed — rerouted, hedged, served stale,
+    // or handled by the respawned shard.
+    let mut kills = 0u64;
+    for _round in 0..3 {
+        let stats = daemon
+            .call(&format!("{{\"id\":{next_id},\"body\":\"Stats\"}}"))?
+            .ok_or("supervised daemon died on Stats")?;
+        next_id += 1;
+        let pids = stats_pids(&stats)?;
+        if pids.is_empty() {
+            return Err("no live workers reported before a kill round".into());
+        }
+        signal(pids[kills as usize % pids.len()], "-KILL")?;
+        kills += 1;
+        for _ in 0..20 {
+            place(&mut daemon, &mut next_id, None)?;
+        }
+    }
+    // The supervisor must have restarted every victim.
+    let restart_deadline = Instant::now() + Duration::from_secs(20);
+    let restarts = loop {
+        let stats = daemon
+            .call(&format!("{{\"id\":{next_id},\"body\":\"Stats\"}}"))?
+            .ok_or("supervised daemon died polling restarts")?;
+        next_id += 1;
+        let restarts = stats_counter(&stats, "supervisor.restarts");
+        if restarts >= kills {
+            break restarts;
+        }
+        if Instant::now() >= restart_deadline {
+            return Err(format!(
+                "kill storm: only {restarts}/{kills} restarts observed within 20s"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+
+    // ---- phase 7: wedged worker + hedging --------------------------
+    // SIGSTOP one worker: requests routed to it must be hedged to a
+    // sibling and still answered within the client deadline.
+    let stats = daemon
+        .call(&format!("{{\"id\":{next_id},\"body\":\"Stats\"}}"))?
+        .ok_or("supervised daemon died before the wedge")?;
+    next_id += 1;
+    let pids = stats_pids(&stats)?;
+    let wedged = *pids.first().ok_or("no live worker to wedge")?;
+    signal(wedged, "-STOP")?;
+    const WEDGE_DEADLINE_MS: u64 = 2_000;
+    let mut worst_ms = 0.0f64;
+    for _ in 0..40 {
+        let started = Instant::now();
+        place(&mut daemon, &mut next_id, Some(WEDGE_DEADLINE_MS))?;
+        worst_ms = worst_ms.max(started.elapsed().as_secs_f64() * 1e3);
+    }
+    // Defensive: the supervisor normally SIGKILLs the wedged worker
+    // once its heartbeats go silent, but never leave a stopped orphan.
+    // (Racing that cleanup is fine — hence no status check, no stderr.)
+    let _ = Command::new("kill")
+        .arg("-CONT")
+        .arg(wedged.to_string())
+        .stderr(Stdio::null())
+        .status();
+    let stats = daemon
+        .call(&format!("{{\"id\":{next_id},\"body\":\"Stats\"}}"))?
+        .ok_or("supervised daemon died after the wedge")?;
+    next_id += 1;
+    let hedges = stats_counter(&stats, "supervisor.hedges");
+    if hedges == 0 {
+        return Err("wedged worker never triggered a hedge (supervisor.hedges = 0)".into());
+    }
+    if worst_ms >= WEDGE_DEADLINE_MS as f64 {
+        return Err(format!(
+            "wedged-shard worst latency {worst_ms:.0}ms breached the {WEDGE_DEADLINE_MS}ms deadline"
+        ));
+    }
+
+    // ---- phase 8: supervisor SIGKILL + bit-identical replay --------
+    // Record raw answers, SIGKILL the supervisor itself, restart the
+    // pool from the same state dir, and re-send the recorded lines:
+    // the ledger must replay them byte for byte.
+    let mut recorded: Vec<(String, String)> = Vec::new();
+    for _ in 0..6 {
+        let id = next_id;
+        next_id += 1;
+        let line = place_line(id, None);
+        let answer = daemon
+            .call_raw(&line)?
+            .ok_or("supervised daemon died while recording replays")?;
+        recorded.push((line, answer));
+    }
+    daemon.kill9();
+    drop(daemon);
+
+    let mut daemon = Daemon::spawn(binary, &sdir, 32, &flag_refs)?;
+    for (line, want) in &recorded {
+        let got = daemon
+            .call_raw(line)?
+            .ok_or("restarted supervisor died on replay")?;
+        if got != *want {
+            return Err(format!(
+                "replay diverged after supervisor restart:\n sent {line}\n want {want}\n got  {got}"
+            ));
+        }
+    }
+    let stats = daemon
+        .call(&format!("{{\"id\":{next_id},\"body\":\"Stats\"}}"))?
+        .ok_or("restarted supervisor died on Stats")?;
+    next_id += 1;
+    let replays = stats_counter(&stats, "supervisor.ledger_replays");
+    if replays < recorded.len() as u64 {
+        return Err(format!(
+            "only {replays}/{} replays served from the ledger",
+            recorded.len()
+        ));
+    }
+    // The resumed pool still computes fresh placements.
+    place(&mut daemon, &mut next_id, None)?;
+    daemon.shutdown(next_id)?;
+
+    Ok(format!(
+        "supervised pool        {workers} workers: {kills} SIGKILLs survived ({restarts} restarts), \
+         {hedges} hedges kept wedged-shard worst latency {worst_ms:.0}ms < {WEDGE_DEADLINE_MS}ms, \
+         {replays} bit-identical replays after supervisor SIGKILL",
     ))
 }
 
