@@ -1,0 +1,271 @@
+//! PR-10 training-throughput report: measures the per-graph f64
+//! training loop against the padded batched-tape path (f64 and f32),
+//! plus the f32-vs-f64 blocked matmul kernel, and emits a
+//! machine-readable `BENCH_PR10.json` continuing the PR-5 trajectory
+//! (events/sec, GFLOP/s, evals/sec, and the new samples/sec and
+//! epochs/sec rows).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p chainnet-bench --bin train_report -- \
+//!     [--quick] [--out <path>] [--pr5 <path>]
+//! ```
+//!
+//! `--quick` shrinks the workload (CI smoke mode). `--pr5` points at a
+//! prior `BENCH_PR5.json`; its event-loop, matmul, and SA numbers are
+//! embedded as the `trajectory` section so one file tells the whole
+//! perf story. Like `hotpath_report`, CI runs this record-only — the
+//! committed `BENCH_PR10.json` is the reference measurement.
+
+use chainnet::config::{ModelConfig, TrainConfig};
+use chainnet::data::{ChainTargets, LabeledGraph};
+use chainnet::graph::PlacementGraph;
+use chainnet::model::ChainNet;
+use chainnet::train::Trainer;
+use chainnet_neural::scalar::Scalar;
+use chainnet_neural::tensor::Tensor;
+use chainnet_obs::Obs;
+use chainnet_qsim::model::{Device, Fragment, Placement, ServiceChain, SystemModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Heterogeneous synthetic dataset: mixed chain counts, chain lengths,
+/// and device sharing, so batches pack graphs of different shapes (the
+/// realistic case for the padded path).
+fn dataset(n: usize) -> Vec<LabeledGraph> {
+    let placements = [
+        vec![vec![0, 1], vec![1, 2, 0]],
+        vec![vec![1, 0, 2]],
+        vec![vec![0, 1], vec![2, 1], vec![1, 1, 0]],
+        vec![vec![2, 2]],
+    ];
+    (0..n)
+        .map(|s| {
+            let placement = placements[s % placements.len()].clone();
+            let devices = vec![
+                Device::new(20.0, 1.0).unwrap(),
+                Device::new(20.0, 2.0).unwrap(),
+                Device::new(20.0, 1.5).unwrap(),
+            ];
+            let chains = placement
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let frags = (0..p.len())
+                        .map(|j| Fragment::new(1.0, 1.0 + 0.3 * j as f64).unwrap())
+                        .collect();
+                    ServiceChain::new(0.3 + 0.05 * ((s + i) % 7) as f64, frags).unwrap()
+                })
+                .collect();
+            let model = SystemModel::new(devices, chains, Placement::new(placement)).unwrap();
+            let graph = PlacementGraph::from_model(&model, ModelConfig::small().feature_mode);
+            let targets = graph
+                .chains
+                .iter()
+                .map(|c| ChainTargets {
+                    throughput: c.arrival_rate * 0.8,
+                    latency: c.total_processing * 1.6,
+                })
+                .collect();
+            LabeledGraph { graph, targets }
+        })
+        .collect()
+}
+
+/// (samples/sec, epochs/sec, final loss) of a full training run.
+fn measure_train(
+    data: &[LabeledGraph],
+    epochs: usize,
+    run: impl FnOnce(&Trainer, &mut ChainNet, &[LabeledGraph]) -> f64,
+) -> (f64, f64, f64) {
+    let trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 32,
+        learning_rate: 1e-3,
+        lr_decay: 0.9,
+        lr_decay_period: 10,
+        seed: 5,
+    });
+    // The CLI's default training shape (hidden 32, 4 iterations) — the
+    // workload the throughput claim is about.
+    let mut cfg = ModelConfig::paper_chainnet();
+    cfg.hidden = 32;
+    cfg.iterations = 4;
+    let mut model = ChainNet::new(cfg, 3);
+    let start = Instant::now();
+    let final_loss = run(&trainer, &mut model, data);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    assert!(final_loss.is_finite());
+    (
+        (data.len() * epochs) as f64 / secs,
+        epochs as f64 / secs,
+        final_loss,
+    )
+}
+
+/// GFLOP/s of the blocked kernel in a given dtype, plus the single-call
+/// wall time in nanoseconds (the `neural.matmul_ns` /
+/// `neural.matmul_f32_ns` gauges).
+fn measure_matmul<S: Scalar>(n: usize, reps: usize) -> (f64, f64) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mk = |rng: &mut SmallRng| -> Tensor<S> {
+        Tensor::matrix(
+            n,
+            n,
+            (0..n * n)
+                .map(|_| S::from_f64(rng.gen_range(-1.0..1.0)))
+                .collect(),
+        )
+    };
+    let a = mk(&mut rng);
+    let b = mk(&mut rng);
+    let _ = a.matmul(&b); // warm-up
+    let single = Instant::now();
+    let c = a.matmul(&b);
+    let single_ns = single.elapsed().as_nanos() as f64;
+    assert!(c.data()[0].to_f64().is_finite());
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..reps {
+        sink += a.matmul(&b).data()[0].to_f64();
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    assert!(sink.is_finite());
+    ((2.0 * (n * n * n * reps) as f64) / secs / 1e9, single_ns)
+}
+
+/// Pull `"key": <number>` out of a JSON string without a parser dep.
+fn extract_number(s: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = s.find(&pat)? + pat.len();
+    let rest = &s[at..];
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse::<f64>().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_PR10.json".to_string());
+    let pr5_path = flag_value("--pr5").unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let obs = Obs::enabled();
+
+    let (samples, epochs) = if quick { (16, 2) } else { (64, 5) };
+    let data = dataset(samples);
+    eprintln!("measuring training throughput ({samples} graphs x {epochs} epochs) ...");
+    let (seq_sps, seq_eps, seq_loss) = measure_train(&data, epochs, |tr, m, d| {
+        tr.train(m, d, None).final_train_loss().unwrap_or(f64::NAN)
+    });
+    eprintln!("  sequential f64: {seq_sps:.1} samples/sec ({seq_eps:.2} epochs/sec)");
+    let (b64_sps, b64_eps, b64_loss) = measure_train(&data, epochs, |tr, m, d| {
+        tr.train_batched::<f64>(m, d, None, &Obs::disabled())
+            .final_train_loss()
+            .unwrap_or(f64::NAN)
+    });
+    eprintln!("  batched f64:    {b64_sps:.1} samples/sec ({b64_eps:.2} epochs/sec)");
+    let (b32_sps, b32_eps, b32_loss) = measure_train(&data, epochs, |tr, m, d| {
+        tr.train_batched::<f32>(m, d, None, &Obs::disabled())
+            .final_train_loss()
+            .unwrap_or(f64::NAN)
+    });
+    eprintln!("  batched f32:    {b32_sps:.1} samples/sec ({b32_eps:.2} epochs/sec)");
+    let loss_drift = ((b64_loss - seq_loss) / seq_loss.abs().max(1e-30)).abs();
+    assert!(
+        loss_drift < 1e-2,
+        "batched f64 final loss drifted from sequential: {seq_loss} vs {b64_loss}"
+    );
+    obs.registry.gauge("train.samples_per_sec").set(b32_sps);
+
+    let (n, reps) = if quick { (96, 3) } else { (256, 8) };
+    eprintln!("measuring blocked matmul f64 vs f32 ({reps} x {n}x{n}) ...");
+    let (gflops64, matmul_ns) = measure_matmul::<f64>(n, reps);
+    let (gflops32, matmul_f32_ns) = measure_matmul::<f32>(n, reps);
+    eprintln!("  f64 {gflops64:.3} GFLOP/s, f32 {gflops32:.3} GFLOP/s");
+    obs.registry.gauge("neural.matmul_ns").set(matmul_ns);
+    obs.registry
+        .gauge("neural.matmul_f32_ns")
+        .set(matmul_f32_ns);
+
+    // Continue the PR-5 trajectory when its report is present.
+    let pr5 = std::fs::read_to_string(&pr5_path).ok();
+    let traj = |key: &str| {
+        pr5.as_deref()
+            .and_then(|s| {
+                // Keys repeat across groups ("after"), so scope to the
+                // group block first.
+                let at = s.find(&format!("\"{key}\""))?;
+                extract_number(&s[at..], "after")
+            })
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "null".to_string())
+    };
+    let sim_eps = traj("sim_event_loop");
+    let sa_evals = traj("sa_evaluation");
+    let pr5_gflops = traj("matmul");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"chainnet-bench-pr10/v1\",\n",
+            "  \"quick\": {quick},\n",
+            "  \"groups\": {{\n",
+            "    \"train_throughput\": {{\n",
+            "      \"unit\": \"samples/sec\",\n",
+            "      \"graphs\": {samples},\n",
+            "      \"epochs\": {epochs},\n",
+            "      \"before\": {seq_sps:.2},\n",
+            "      \"batched_f64\": {b64_sps:.2},\n",
+            "      \"after\": {b32_sps:.2},\n",
+            "      \"speedup\": {speedup:.3},\n",
+            "      \"epochs_per_sec_before\": {seq_eps:.3},\n",
+            "      \"epochs_per_sec_after\": {b32_eps:.3},\n",
+            "      \"final_loss_sequential\": {seq_loss:.6},\n",
+            "      \"final_loss_batched_f64\": {b64_loss:.6},\n",
+            "      \"final_loss_batched_f32\": {b32_loss:.6}\n",
+            "    }},\n",
+            "    \"matmul_dtype\": {{\n",
+            "      \"unit\": \"GFLOP/s\",\n",
+            "      \"size\": {n},\n",
+            "      \"f64\": {gflops64:.4},\n",
+            "      \"f32\": {gflops32:.4},\n",
+            "      \"speedup\": {mm_speedup:.3}\n",
+            "    }}\n",
+            "  }},\n",
+            "  \"trajectory\": {{\n",
+            "    \"sim_events_per_sec\": {sim_eps},\n",
+            "    \"matmul_gflops_f64_pr5\": {pr5_gflops},\n",
+            "    \"sa_evals_per_sec\": {sa_evals}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        quick = quick,
+        samples = samples,
+        epochs = epochs,
+        seq_sps = seq_sps,
+        b64_sps = b64_sps,
+        b32_sps = b32_sps,
+        speedup = b32_sps / seq_sps,
+        seq_eps = seq_eps,
+        b32_eps = b32_eps,
+        seq_loss = seq_loss,
+        b64_loss = b64_loss,
+        b32_loss = b32_loss,
+        n = n,
+        gflops64 = gflops64,
+        gflops32 = gflops32,
+        mm_speedup = gflops32 / gflops64,
+        sim_eps = sim_eps,
+        pr5_gflops = pr5_gflops,
+        sa_evals = sa_evals,
+    );
+    std::fs::write(&out, &json).expect("write report");
+    eprintln!("report written to {out}");
+    println!("{json}");
+}

@@ -49,6 +49,7 @@ pub mod config;
 pub mod data;
 pub mod dot;
 pub mod graph;
+pub mod graph_batch;
 pub mod metrics;
 pub mod model;
 pub mod train;
@@ -59,6 +60,7 @@ pub use calibrate::{AffineCorrection, CalibratedSurrogate};
 pub use config::{FeatureMode, ModelConfig, TargetMode, TrainConfig};
 pub use data::{ChainTargets, LabeledGraph};
 pub use graph::PlacementGraph;
+pub use graph_batch::GraphBatch;
 pub use metrics::{ApeCollector, ApeSummary};
 pub use model::{AttentionRecord, ChainNet, ForwardTrace, PerfPrediction, Surrogate};
 pub use train::{GuardConfig, TrainError, TrainReport, Trainer};

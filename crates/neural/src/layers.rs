@@ -1,7 +1,20 @@
 //! Neural layers used by ChainNet and the baseline GNNs: linear maps,
 //! multi-layer perceptrons, and GRU cells.
+//!
+//! Layer structs hold only [`ParamId`]s (and dimensions) — the dtype
+//! lives in the [`ParamStore`]/[`Tape`] they run against, so one layer
+//! value drives `f64` reference passes and `f32` training passes alike.
+//! Each layer has three forward flavours:
+//!
+//! * `forward` — per-sample tape pass (vector inputs), the reference.
+//! * `forward_rows` — row-batched tape pass: `(B, in)` matrices flow
+//!   through one `matmul_bt` per weight instead of `B` matvecs, for
+//!   mini-batch training. Row `b` is bit-identical to `forward` on
+//!   row `b`.
+//! * `forward_batched` — tape-free row-batched inference (no gradients).
 
 use crate::params::{ParamId, ParamStore};
+use crate::scalar::Scalar;
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
 use rand::Rng;
@@ -26,12 +39,12 @@ pub enum Activation {
 
 impl Activation {
     /// Apply the activation on the tape.
-    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+    pub fn apply<S: Scalar>(self, tape: &mut Tape<S>, x: Var) -> Var {
         match self {
             Activation::Relu => tape.relu(x),
             Activation::Tanh => tape.tanh(x),
             Activation::Sigmoid => tape.sigmoid(x),
-            Activation::LeakyRelu => tape.leaky_relu(x, 0.01),
+            Activation::LeakyRelu => tape.leaky_relu(x, S::from_f64(0.01)),
             Activation::Identity => x,
         }
     }
@@ -39,11 +52,11 @@ impl Activation {
     /// Apply the activation elementwise in place (tape-free batched
     /// inference). Uses the exact same expressions as the tape ops, so
     /// results are bit-identical to [`Activation::apply`].
-    pub fn apply_batched(self, x: &mut Tensor) {
+    pub fn apply_batched<S: Scalar>(self, x: &mut Tensor<S>) {
         match self {
             Activation::Relu => {
                 for v in x.data_mut() {
-                    *v = v.max(0.0);
+                    *v = v.max(S::ZERO);
                 }
             }
             Activation::Tanh => {
@@ -53,13 +66,13 @@ impl Activation {
             }
             Activation::Sigmoid => {
                 for v in x.data_mut() {
-                    *v = 1.0 / (1.0 + (-*v).exp());
+                    *v = S::ONE / (S::ONE + (-*v).exp());
                 }
             }
             Activation::LeakyRelu => {
                 for v in x.data_mut() {
-                    if *v <= 0.0 {
-                        *v *= 0.01;
+                    if *v <= S::ZERO {
+                        *v *= S::from_f64(0.01);
                     }
                 }
             }
@@ -97,8 +110,8 @@ pub struct Linear {
 
 impl Linear {
     /// Create a Glorot-initialized linear layer.
-    pub fn new<R: Rng + ?Sized>(
-        store: &mut ParamStore,
+    pub fn new<S: Scalar, R: Rng + ?Sized>(
+        store: &mut ParamStore<S>,
         name: &str,
         in_dim: usize,
         out_dim: usize,
@@ -125,18 +138,33 @@ impl Linear {
     }
 
     /// Forward pass on the tape.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+    pub fn forward<S: Scalar>(&self, tape: &mut Tape<S>, store: &ParamStore<S>, x: Var) -> Var {
         let w = tape.param(store, self.w);
         let b = tape.param(store, self.b);
         let wx = tape.matvec(w, x);
         tape.add(wx, b)
     }
 
+    /// Row-batched tape forward: `x` is a `(B, in_dim)` matrix node;
+    /// returns `(B, out_dim)` through one `matmul_bt` + broadcast bias.
+    /// Row `b` is bit-identical to [`Linear::forward`] on that row.
+    pub fn forward_rows<S: Scalar>(
+        &self,
+        tape: &mut Tape<S>,
+        store: &ParamStore<S>,
+        x: Var,
+    ) -> Var {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let wx = tape.matmul_bt(x, w);
+        tape.add_rows(wx, b)
+    }
+
     /// Tape-free batched forward: `x` is `(B, in_dim)` with one input per
     /// row; returns `(B, out_dim)`. One blocked matmul replaces B
     /// matvecs; each output row is bit-identical to
     /// [`Linear::forward`] on the corresponding input row.
-    pub fn forward_batched(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+    pub fn forward_batched<S: Scalar>(&self, store: &ParamStore<S>, x: &Tensor<S>) -> Tensor<S> {
         let mut out = x.matmul_bt(store.value(self.w));
         let b = store.value(self.b).data();
         for row in out.data_mut().chunks_exact_mut(b.len()) {
@@ -163,8 +191,8 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if fewer than two sizes are given.
-    pub fn new<R: Rng + ?Sized>(
-        store: &mut ParamStore,
+    pub fn new<S: Scalar, R: Rng + ?Sized>(
+        store: &mut ParamStore<S>,
         name: &str,
         sizes: &[usize],
         activation: Activation,
@@ -183,10 +211,28 @@ impl Mlp {
     }
 
     /// Forward pass; activation on all but the last layer.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, mut x: Var) -> Var {
+    pub fn forward<S: Scalar>(&self, tape: &mut Tape<S>, store: &ParamStore<S>, mut x: Var) -> Var {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             x = layer.forward(tape, store, x);
+            if i < last {
+                x = self.activation.apply(tape, x);
+            }
+        }
+        x
+    }
+
+    /// Row-batched tape forward over a `(B, in_dim)` matrix node;
+    /// row-for-row bit-identical to [`Mlp::forward`].
+    pub fn forward_rows<S: Scalar>(
+        &self,
+        tape: &mut Tape<S>,
+        store: &ParamStore<S>,
+        mut x: Var,
+    ) -> Var {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward_rows(tape, store, x);
             if i < last {
                 x = self.activation.apply(tape, x);
             }
@@ -206,7 +252,7 @@ impl Mlp {
 
     /// Tape-free batched forward over `(B, in_dim)` rows; row-for-row
     /// bit-identical to [`Mlp::forward`].
-    pub fn forward_batched(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+    pub fn forward_batched<S: Scalar>(&self, store: &ParamStore<S>, x: &Tensor<S>) -> Tensor<S> {
         let last = self.layers.len() - 1;
         let mut cur = self.layers[0].forward_batched(store, x);
         if last > 0 {
@@ -250,16 +296,17 @@ pub struct GruCell {
 
 impl GruCell {
     /// Create a Glorot-initialized GRU cell.
-    pub fn new<R: Rng + ?Sized>(
-        store: &mut ParamStore,
+    pub fn new<S: Scalar, R: Rng + ?Sized>(
+        store: &mut ParamStore<S>,
         name: &str,
         input_dim: usize,
         hidden_dim: usize,
         rng: &mut R,
     ) -> Self {
-        let mat = |suffix: &str, rows: usize, cols: usize, store: &mut ParamStore, rng: &mut R| {
-            store.add_glorot(format!("{name}.{suffix}"), rows, cols, rng)
-        };
+        let mat =
+            |suffix: &str, rows: usize, cols: usize, store: &mut ParamStore<S>, rng: &mut R| {
+                store.add_glorot(format!("{name}.{suffix}"), rows, cols, rng)
+            };
         let w_z = mat("w_z", hidden_dim, input_dim, store, rng);
         let u_z = mat("u_z", hidden_dim, hidden_dim, store, rng);
         let b_z = store.add_zeros(format!("{name}.b_z"), hidden_dim);
@@ -295,8 +342,14 @@ impl GruCell {
     }
 
     /// One recurrence step: `(x, h) -> h'`.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var) -> Var {
-        let gate = |tape: &mut Tape, w: ParamId, u: ParamId, b: ParamId, hx: Var| {
+    pub fn forward<S: Scalar>(
+        &self,
+        tape: &mut Tape<S>,
+        store: &ParamStore<S>,
+        x: Var,
+        h: Var,
+    ) -> Var {
+        let gate = |tape: &mut Tape<S>, w: ParamId, u: ParamId, b: ParamId, hx: Var| {
             let wp = tape.param(store, w);
             let up = tape.param(store, u);
             let bp = tape.param(store, b);
@@ -312,7 +365,42 @@ impl GruCell {
         let rh = tape.mul(r, h);
         let n_pre = gate(tape, self.w_n, self.u_n, self.b_n, rh);
         let n = tape.tanh(n_pre);
-        let one_minus_z = tape.affine(z, -1.0, 1.0);
+        let one_minus_z = tape.affine(z, S::from_f64(-1.0), S::ONE);
+        let a = tape.mul(one_minus_z, n);
+        let b = tape.mul(z, h);
+        tape.add(a, b)
+    }
+
+    /// Row-batched tape recurrence: `x` is `(B, input_dim)` and `h` is
+    /// `(B, hidden_dim)` matrix nodes, one independent cell step per
+    /// row. Gate preactivations run as two `matmul_bt`s plus a
+    /// broadcast bias, in the exact per-element order of
+    /// [`GruCell::forward`], so row `b` is bit-identical to the
+    /// per-sample path on that row.
+    pub fn forward_rows<S: Scalar>(
+        &self,
+        tape: &mut Tape<S>,
+        store: &ParamStore<S>,
+        x: Var,
+        h: Var,
+    ) -> Var {
+        let gate = |tape: &mut Tape<S>, w: ParamId, u: ParamId, b: ParamId, hx: Var| {
+            let wp = tape.param(store, w);
+            let up = tape.param(store, u);
+            let bp = tape.param(store, b);
+            let wx = tape.matmul_bt(x, wp);
+            let uh = tape.matmul_bt(hx, up);
+            let s = tape.add(wx, uh);
+            tape.add_rows(s, bp)
+        };
+        let z_pre = gate(tape, self.w_z, self.u_z, self.b_z, h);
+        let z = tape.sigmoid(z_pre);
+        let r_pre = gate(tape, self.w_r, self.u_r, self.b_r, h);
+        let r = tape.sigmoid(r_pre);
+        let rh = tape.mul(r, h);
+        let n_pre = gate(tape, self.w_n, self.u_n, self.b_n, rh);
+        let n = tape.tanh(n_pre);
+        let one_minus_z = tape.affine(z, S::from_f64(-1.0), S::ONE);
         let a = tape.mul(one_minus_z, n);
         let b = tape.mul(z, h);
         tape.add(a, b)
@@ -323,8 +411,13 @@ impl GruCell {
     /// intermediate uses the exact expressions (and evaluation order) of
     /// [`GruCell::forward`], so each output row is bit-identical to the
     /// tape path on that row.
-    pub fn forward_batched(&self, store: &ParamStore, x: &Tensor, h: &Tensor) -> Tensor {
-        let gate = |w: ParamId, u: ParamId, b: ParamId, hx: &Tensor| -> Tensor {
+    pub fn forward_batched<S: Scalar>(
+        &self,
+        store: &ParamStore<S>,
+        x: &Tensor<S>,
+        h: &Tensor<S>,
+    ) -> Tensor<S> {
+        let gate = |w: ParamId, u: ParamId, b: ParamId, hx: &Tensor<S>| -> Tensor<S> {
             let wx = x.matmul_bt(store.value(w));
             let uh = hx.matmul_bt(store.value(u));
             let mut s = wx.zip_map(&uh, |p, q| p + q);
@@ -338,11 +431,11 @@ impl GruCell {
         };
         let mut z = gate(self.w_z, self.u_z, self.b_z, h);
         for v in z.data_mut() {
-            *v = 1.0 / (1.0 + (-*v).exp());
+            *v = S::ONE / (S::ONE + (-*v).exp());
         }
         let mut r = gate(self.w_r, self.u_r, self.b_r, h);
         for v in r.data_mut() {
-            *v = 1.0 / (1.0 + (-*v).exp());
+            *v = S::ONE / (S::ONE + (-*v).exp());
         }
         let rh = r.zip_map(h, |a, b| a * b);
         let mut n = gate(self.w_n, self.u_n, self.b_n, &rh);
@@ -352,8 +445,8 @@ impl GruCell {
         // h' = (1 - z) ⊙ n + z ⊙ h, in the tape's exact op order:
         // affine(z, -1, 1), two muls, one add. The literal `-1.0 * v`
         // replicates the tape's `alpha * x` term bitwise.
-        #[allow(clippy::neg_multiply)]
-        let one_minus_z = z.map(|v| -1.0 * v + 1.0);
+        let neg_one = S::from_f64(-1.0);
+        let one_minus_z = z.map(|v| neg_one * v + S::ONE);
         let a = one_minus_z.zip_map(&n, |p, q| p * q);
         let b = z.zip_map(h, |p, q| p * q);
         a.zip_map(&b, |p, q| p + q)
@@ -451,7 +544,7 @@ mod tests {
         let mlp = Mlp::new(&mut store, "mlp", &[4, 4, 1], Activation::Relu, &mut rng);
         let gru = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
 
-        let xs = [
+        let xs: [Vec<f64>; 3] = [
             vec![0.4, -1.2, 0.9],
             vec![-0.3, 0.0, 2.5],
             vec![1.0, 1.0, -1.0],
@@ -483,6 +576,77 @@ mod tests {
             }
             assert_eq!(tape.value(my).item().to_bits(), mlp_b.data()[row].to_bits());
         }
+    }
+
+    /// Row-batched tape forwards (`forward_rows`) must also reproduce the
+    /// per-sample tape path bit for bit, and route gradients to every
+    /// parameter.
+    #[test]
+    fn forward_rows_matches_sequential_tape_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "lin", 3, 4, &mut rng);
+        let mlp = Mlp::new(&mut store, "mlp", &[3, 4, 2], Activation::Tanh, &mut rng);
+        let gru = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
+
+        let xs: [Vec<f64>; 3] = [
+            vec![0.4, -1.2, 0.9],
+            vec![-0.3, 0.0, 2.5],
+            vec![1.0, 1.0, -1.0],
+        ];
+        let hs = [
+            vec![0.1, -0.2, 0.3, -0.4],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.9, -0.9, 0.5, 0.25],
+        ];
+
+        let mut batch = Tape::new();
+        let xb = batch.leaf(Tensor::matrix(3, 3, xs.concat()));
+        let hb = batch.leaf(Tensor::matrix(3, 4, hs.concat()));
+        let lin_b = lin.forward_rows(&mut batch, &store, xb);
+        let mlp_b = mlp.forward_rows(&mut batch, &store, xb);
+        let gru_b = gru.forward_rows(&mut batch, &store, xb, hb);
+
+        for (row, (x0, h0)) in xs.iter().zip(&hs).enumerate() {
+            let mut tape = Tape::new();
+            let x = tape.leaf(Tensor::from_vec(x0.clone()));
+            let h = tape.leaf(Tensor::from_vec(h0.clone()));
+            let ly = lin.forward(&mut tape, &store, x);
+            let my = mlp.forward(&mut tape, &store, x);
+            let gy = gru.forward(&mut tape, &store, x, h);
+            for (c, &v) in tape.value(ly).data().iter().enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    batch.value(lin_b).data()[row * 4 + c].to_bits()
+                );
+            }
+            for (c, &v) in tape.value(my).data().iter().enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    batch.value(mlp_b).data()[row * 2 + c].to_bits()
+                );
+            }
+            for (c, &v) in tape.value(gy).data().iter().enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    batch.value(gru_b).data()[row * 4 + c].to_bits()
+                );
+            }
+        }
+
+        // Gradients flow to all parameters through the batched ops.
+        let gsum = batch.sum(gru_b);
+        let msum_pre = batch.sum(mlp_b);
+        let lsum = batch.sum(lin_b);
+        let t1 = batch.add(gsum, msum_pre);
+        let loss = batch.add(t1, lsum);
+        batch.backward(loss);
+        batch.accumulate_param_grads(&mut store);
+        let nonzero = store
+            .ids()
+            .filter(|&id| store.grad(id).data().iter().any(|&g| g != 0.0))
+            .count();
+        assert_eq!(nonzero, store.ids().count());
     }
 
     #[test]

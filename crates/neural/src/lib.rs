@@ -6,15 +6,23 @@
 //!
 //! The paper's models are small — 64-unit GRU cells and MLPs, at most a
 //! dozen message-passing iterations over graphs with tens of nodes — so a
-//! dense `f64` define-by-run tape is both simple and fast enough. The
-//! stack provides exactly what ChainNet, GIN and GAT need:
+//! dense define-by-run tape is both simple and fast enough. The whole
+//! stack is generic over a [`scalar::Scalar`] element type with `f64` as
+//! the default (reference arithmetic, bit-identical to the original
+//! concrete-`f64` code) and `f32` as the high-throughput training dtype.
+//! The stack provides exactly what ChainNet, GIN and GAT need:
 //!
-//! * [`tensor::Tensor`] — dense vectors/matrices;
+//! * [`scalar::Scalar`] — the `f32`/`f64` element-type abstraction;
+//! * [`tensor::Tensor`] — dense vectors/matrices with lane-blocked
+//!   matmul kernels the autovectorizer can widen;
 //! * [`tape::Tape`] — reverse-mode autodiff with graph-NN-oriented ops
-//!   (concat, softmax, attention-style weighted sums);
+//!   (concat, softmax, attention-style weighted sums) plus row-batched
+//!   variants (`matmul_bt`, `add_rows`, `select_rows`, ...) for
+//!   mini-batch training;
 //! * [`params::ParamStore`] — persistent trainable weights shared across
 //!   per-sample tapes, with Glorot initialization;
-//! * [`layers`] — `Linear`, `Mlp`, `GruCell`;
+//! * [`layers`] — `Linear`, `Mlp`, `GruCell` (each with per-sample and
+//!   row-batched forwards);
 //! * [`optim`] — Adam plus the paper's step-decay schedule.
 //!
 //! # Example: fit y = 2x with one linear layer
@@ -55,11 +63,13 @@ pub mod gradcheck;
 pub mod layers;
 pub mod optim;
 pub mod params;
+pub mod scalar;
 pub mod tape;
 pub mod tensor;
 
 pub use layers::{Activation, GruCell, Linear, Mlp};
 pub use optim::{Adam, StepDecay};
 pub use params::{ParamId, ParamStore};
+pub use scalar::Scalar;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -2,9 +2,15 @@
 //! (initial 1e-3, multiplied by 0.9 every 10 epochs — Table IV).
 
 use crate::params::ParamStore;
+use crate::scalar::Scalar;
 use serde::{Deserialize, Serialize};
 
 /// Adam optimizer (Kingma & Ba, 2014) over every parameter of a store.
+///
+/// The hyperparameters are stored as `f64` regardless of the training
+/// dtype `S` (keeping checkpoint serialization stable); each step casts
+/// them to `S` once up front. For `S = f64` the casts are the identity,
+/// so updates are bit-identical to the original concrete-`f64` code.
 ///
 /// # Examples
 ///
@@ -13,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// use chainnet_neural::params::ParamStore;
 /// use chainnet_neural::tensor::Tensor;
 ///
-/// let mut store = ParamStore::new();
+/// let mut store: ParamStore = ParamStore::new();
 /// let id = store.add("w", Tensor::from_vec(vec![1.0]));
 /// let mut adam = Adam::new(0.1);
 /// // Pretend the gradient of the loss wrt w is 2w (loss = w^2).
@@ -25,17 +31,17 @@ use serde::{Deserialize, Serialize};
 /// assert!(store.value(id).data()[0].abs() < 0.05);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Adam {
+pub struct Adam<S: Scalar = f64> {
     lr: f64,
     beta1: f64,
     beta2: f64,
     eps: f64,
     t: u64,
-    m: Vec<Vec<f64>>,
-    v: Vec<Vec<f64>>,
+    m: Vec<Vec<S>>,
+    v: Vec<Vec<S>>,
 }
 
-impl Adam {
+impl<S: Scalar> Adam<S> {
     /// Create Adam with the given learning rate and default betas
     /// `(0.9, 0.999)`.
     pub fn new(lr: f64) -> Self {
@@ -61,28 +67,41 @@ impl Adam {
     }
 
     /// Apply one update from the accumulated gradients, then zero them.
-    pub fn step(&mut self, store: &mut ParamStore) {
+    ///
+    /// Steady-state steps touch no heap: moment buffers are sized once
+    /// (lazily, below), values and gradients are borrowed in place via
+    /// the store's split accessor, and the inner loop is a straight
+    /// four-way zip over slices.
+    // lint:zero_alloc
+    pub fn step(&mut self, store: &mut ParamStore<S>) {
         // Lazily size the moment buffers on first use (or if the store grew).
         let sized = self.m.len();
         for id in store.ids().skip(sized) {
             let n = store.value(id).len();
-            self.m.push(vec![0.0; n]);
-            self.v.push(vec![0.0; n]);
+            // lint:allow(alloc_hygiene): one-time lazy sizing of the
+            // moment buffers — steady-state steps skip these pushes
+            self.m.push(vec![S::ZERO; n]);
+            // lint:allow(alloc_hygiene): same one-time sizing as above
+            self.v.push(vec![S::ZERO; n]);
         }
         self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for (i, id) in store.ids().enumerate().collect::<Vec<_>>() {
-            let grad = store.grad(id).data().to_vec();
-            let value = store.value_mut(id);
-            for (j, g) in grad.iter().enumerate() {
-                let m = &mut self.m[i][j];
-                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
-                let v = &mut self.v[i][j];
-                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+        let lr = S::from_f64(self.lr);
+        let b1 = S::from_f64(self.beta1);
+        let b2 = S::from_f64(self.beta2);
+        let omb1 = S::from_f64(1.0 - self.beta1);
+        let omb2 = S::from_f64(1.0 - self.beta2);
+        let eps = S::from_f64(self.eps);
+        let b1t = S::from_f64(1.0 - self.beta1.powi(self.t as i32));
+        let b2t = S::from_f64(1.0 - self.beta2.powi(self.t as i32));
+        for i in 0..store.len() {
+            let (value, grad) = store.value_grad_mut(i);
+            let moments = self.m[i].iter_mut().zip(self.v[i].iter_mut());
+            for ((w, &g), (m, v)) in value.data_mut().iter_mut().zip(grad.data()).zip(moments) {
+                *m = b1 * *m + omb1 * g;
+                *v = b2 * *v + omb2 * g * g;
                 let m_hat = *m / b1t;
                 let v_hat = *v / b2t;
-                value.data_mut()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                *w -= lr * m_hat / (v_hat.sqrt() + eps);
             }
         }
         store.zero_grads();
@@ -138,6 +157,21 @@ mod tests {
     }
 
     #[test]
+    fn adam_f32_minimizes_quadratic_bowl() {
+        let mut store: ParamStore<f32> = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(vec![3.0f32, -4.0]));
+        let mut adam = Adam::new(0.05);
+        for _ in 0..500 {
+            let g: Vec<f32> = store.value(id).data().iter().map(|w| 2.0 * w).collect();
+            store.accumulate_grad(id, &Tensor::from_vec(g));
+            adam.step(&mut store);
+        }
+        for &w in store.value(id).data() {
+            assert!(w.abs() < 1e-2, "did not converge: {w}");
+        }
+    }
+
+    #[test]
     fn adam_handles_params_added_later() {
         let mut store = ParamStore::new();
         let a = store.add("a", Tensor::from_vec(vec![1.0]));
@@ -171,7 +205,7 @@ mod tests {
 
     #[test]
     fn lr_setter_roundtrips() {
-        let mut adam = Adam::new(0.001);
+        let mut adam: Adam = Adam::new(0.001);
         adam.set_lr(0.5);
         assert_eq!(adam.lr(), 0.5);
     }

@@ -3,8 +3,12 @@
 //! Layers hold [`ParamId`]s into a [`ParamStore`]; forward passes copy
 //! parameter values into the autodiff tape, and the backward pass
 //! accumulates gradients back into the store. This separation lets a batch
-//! of independently-shaped graphs (define-by-run) share one set of weights.
+//! of independently-shaped graphs (define-by-run) share one set of weights,
+//! and lets the same layer structs drive either dtype: a store can be
+//! [`cast`](ParamStore::cast) between `f64` (reference) and `f32`
+//! (training) without disturbing the ids the layers hold.
 
+use crate::scalar::Scalar;
 use crate::tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -15,11 +19,11 @@ pub struct ParamId(pub(crate) usize);
 
 /// One trainable tensor with its gradient accumulator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Param {
+pub struct Param<S: Scalar = f64> {
     /// Current value.
-    pub value: Tensor,
+    pub value: Tensor<S>,
     /// Accumulated gradient (zeroed by the optimizer after each step).
-    pub grad: Tensor,
+    pub grad: Tensor<S>,
     /// Human-readable name for debugging and serialization.
     pub name: String,
 }
@@ -36,19 +40,25 @@ pub struct Param {
 /// let id = store.add("w", Tensor::from_vec(vec![0.5, -0.5]));
 /// assert_eq!(store.value(id).data(), &[0.5, -0.5]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct ParamStore {
-    params: Vec<Param>,
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamStore<S: Scalar = f64> {
+    params: Vec<Param<S>>,
 }
 
-impl ParamStore {
+impl<S: Scalar> Default for ParamStore<S> {
+    fn default() -> Self {
+        Self { params: Vec::new() }
+    }
+}
+
+impl<S: Scalar> ParamStore<S> {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Register a parameter and return its handle.
-    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor<S>) -> ParamId {
         let grad = value.zeros_like();
         self.params.push(Param {
             value,
@@ -61,7 +71,9 @@ impl ParamStore {
     /// Register a Glorot-uniform-initialized matrix parameter.
     ///
     /// The Glorot (Xavier) limit is `sqrt(6 / (fan_in + fan_out))`, the
-    /// initialization the paper uses for all five networks.
+    /// initialization the paper uses for all five networks. Sampling is
+    /// always done in `f64` and then cast, so an `f32` store draws the
+    /// exact same random sequence (rounded) as its `f64` twin.
     pub fn add_glorot<R: Rng + ?Sized>(
         &mut self,
         name: impl Into<String>,
@@ -71,7 +83,7 @@ impl ParamStore {
     ) -> ParamId {
         let limit = (6.0 / (rows + cols) as f64).sqrt();
         let data = (0..rows * cols)
-            .map(|_| rng.gen_range(-limit..limit))
+            .map(|_| S::from_f64(rng.gen_range(-limit..limit)))
             .collect();
         self.add(name, Tensor::matrix(rows, cols, data))
     }
@@ -82,18 +94,28 @@ impl ParamStore {
     }
 
     /// Current value of a parameter.
-    pub fn value(&self, id: ParamId) -> &Tensor {
+    pub fn value(&self, id: ParamId) -> &Tensor<S> {
         &self.params[id.0].value
     }
 
     /// Mutable value (used by optimizers).
-    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor<S> {
         &mut self.params[id.0].value
     }
 
     /// Accumulated gradient of a parameter.
-    pub fn grad(&self, id: ParamId) -> &Tensor {
+    pub fn grad(&self, id: ParamId) -> &Tensor<S> {
         &self.params[id.0].grad
+    }
+
+    /// Mutable value plus shared gradient of the `i`-th parameter in
+    /// registration order, borrowed simultaneously.
+    ///
+    /// This split borrow is what lets `Adam::step` walk values against
+    /// gradients in place, without cloning either side per step.
+    pub(crate) fn value_grad_mut(&mut self, i: usize) -> (&mut Tensor<S>, &Tensor<S>) {
+        let p = &mut self.params[i];
+        (&mut p.value, &p.grad)
     }
 
     /// Add `g` into the gradient accumulator of `id`.
@@ -101,14 +123,21 @@ impl ParamStore {
     /// # Panics
     ///
     /// Panics if `g` has a different shape than the parameter.
-    pub fn accumulate_grad(&mut self, id: ParamId, g: &Tensor) {
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Tensor<S>) {
         self.params[id.0].grad.add_assign(g);
     }
 
-    /// Zero every gradient accumulator.
+    /// Zero every gradient accumulator in place.
+    ///
+    /// Writes `0` over the existing buffers rather than allocating fresh
+    /// zero tensors — bit-identical (IEEE `+0.0` either way) and free of
+    /// per-step allocation on the optimizer hot path.
+    // lint:zero_alloc
     pub fn zero_grads(&mut self) {
         for p in &mut self.params {
-            p.grad = p.value.zeros_like();
+            for g in p.grad.data_mut() {
+                *g = S::ZERO;
+            }
         }
     }
 
@@ -132,12 +161,59 @@ impl ParamStore {
         (0..self.params.len()).map(ParamId)
     }
 
+    /// A copy of the store with every tensor cast to another dtype.
+    ///
+    /// Ids are positional, so every [`ParamId`] handed out by this store
+    /// remains valid on the cast copy — layers built against an `f64`
+    /// store drive its `f32` cast unchanged. Gradients are cast along
+    /// with values (they are normally zero between steps anyway).
+    pub fn cast<T: Scalar>(&self) -> ParamStore<T> {
+        ParamStore {
+            params: self
+                .params
+                .iter()
+                .map(|p| Param {
+                    value: p.value.cast(),
+                    grad: p.grad.cast(),
+                    name: p.name.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Copy parameter values (not gradients) from a same-layout store of
+    /// another dtype, casting each element. Used to fold trained `f32`
+    /// weights back into the canonical `f64` store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two stores have different layouts.
+    pub fn assign_values_cast<T: Scalar>(&mut self, src: &ParamStore<T>) {
+        assert_eq!(
+            self.params.len(),
+            src.params.len(),
+            "assign_values_cast: store layouts differ"
+        );
+        for (dst, s) in self.params.iter_mut().zip(&src.params) {
+            assert_eq!(
+                dst.value.shape(),
+                s.value.shape(),
+                "assign_values_cast: shape mismatch on {}",
+                dst.name
+            );
+            dst.value = s.value.cast();
+        }
+    }
+
     /// L2 norm of the concatenated gradient (diagnostic).
+    ///
+    /// Always accumulated in `f64` regardless of the store dtype, so the
+    /// divergence guards see the same scale either way.
     pub fn grad_norm(&self) -> f64 {
         self.params
             .iter()
             .flat_map(|p| p.grad.data())
-            .map(|g| g * g)
+            .map(|g| g.to_f64() * g.to_f64())
             .sum::<f64>()
             .sqrt()
     }
@@ -164,7 +240,7 @@ impl ParamStore {
     pub fn clip_grad_norm(&mut self, max_norm: f64) -> f64 {
         let norm = self.grad_norm();
         if norm.is_finite() && norm > max_norm && max_norm > 0.0 {
-            let scale = max_norm / norm;
+            let scale = S::from_f64(max_norm / norm);
             for p in &mut self.params {
                 for g in p.grad.data_mut() {
                     *g *= scale;
@@ -202,7 +278,7 @@ mod tests {
     #[test]
     fn glorot_respects_limit() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         let id = store.add_glorot("w", 8, 8, &mut rng);
         let limit = (6.0_f64 / 16.0).sqrt();
         for &x in store.value(id).data() {
@@ -222,6 +298,19 @@ mod tests {
     }
 
     #[test]
+    fn glorot_f32_draws_the_same_sequence_rounded() {
+        let mut rng64 = SmallRng::seed_from_u64(3);
+        let mut rng32 = SmallRng::seed_from_u64(3);
+        let mut s64 = ParamStore::<f64>::new();
+        let mut s32 = ParamStore::<f32>::new();
+        let a = s64.add_glorot("w", 4, 4, &mut rng64);
+        let b = s32.add_glorot("w", 4, 4, &mut rng32);
+        for (&x, &y) in s64.value(a).data().iter().zip(s32.value(b).data()) {
+            assert_eq!(y.to_bits(), (x as f32).to_bits());
+        }
+    }
+
+    #[test]
     fn grad_accumulation_and_zeroing() {
         let mut store = ParamStore::new();
         let id = store.add("w", Tensor::from_vec(vec![1.0, 2.0]));
@@ -230,6 +319,20 @@ mod tests {
         assert_eq!(store.grad(id).data(), &[1.0, 1.0]);
         store.zero_grads();
         assert_eq!(store.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn cast_preserves_ids_and_layout() {
+        let mut store = ParamStore::<f64>::new();
+        let a = store.add("a", Tensor::from_vec(vec![1.5, -0.25]));
+        let b = store.add("b", Tensor::zeros_matrix(2, 3));
+        let cast: ParamStore<f32> = store.cast();
+        assert_eq!(cast.value(a).data(), &[1.5f32, -0.25]);
+        assert_eq!(cast.value(b).shape(), &[2, 3]);
+        // Round-trip the values back into the f64 store.
+        let mut back = store.clone();
+        back.assign_values_cast(&cast);
+        assert_eq!(back.value(a).data(), &[1.5, -0.25]);
     }
 
     #[test]
@@ -288,7 +391,7 @@ mod tests {
 
     #[test]
     fn num_scalars_counts_all_weights() {
-        let mut store = ParamStore::new();
+        let mut store = ParamStore::<f64>::new();
         store.add("a", Tensor::zeros(3));
         store.add("b", Tensor::zeros_matrix(2, 2));
         assert_eq!(store.num_scalars(), 7);

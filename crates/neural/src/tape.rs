@@ -15,11 +15,21 @@
 //! arithmetic (and therefore every value and gradient, bit for bit) is
 //! identical to a fresh tape.
 //!
+//! The tape is generic over the [`Scalar`] element type: `Tape` (i.e.
+//! `Tape<f64>`) is the reference path used by gradcheck and the golden
+//! tests; `Tape<f32>` drives batched training through the same ops. The
+//! row-batched operations ([`Tape::matmul_bt`], [`Tape::add_rows`],
+//! [`Tape::concat_cols`], [`Tape::select_rows`],
+//! [`Tape::masked_softmax_rows`], [`Tape::weighted_sum_rows`]) exist so
+//! a mini-batch of graphs can run its GRU steps, attention and readout
+//! as a few large matrix products instead of `B` small per-graph ones.
+//!
 //! All operations panic on shape mismatch: shapes are structural
 //! invariants of the model code, not runtime inputs.
 
 use crate::params::{ParamId, ParamStore};
-use crate::tensor::Tensor;
+use crate::scalar::Scalar;
+use crate::tensor::{matmul_bt_into, Tensor};
 use chainnet_obs::Tracer;
 use std::collections::BTreeMap;
 
@@ -28,20 +38,20 @@ use std::collections::BTreeMap;
 pub struct Var(usize);
 
 #[derive(Debug, Clone)]
-enum Op {
+enum Op<S: Scalar> {
     Leaf,
     Add(usize, usize),
     Sub(usize, usize),
     Mul(usize, usize),
     /// `alpha * a + beta` elementwise.
-    Affine(usize, f64, f64),
+    Affine(usize, S, S),
     /// `w (m,n) * x (n)`.
     MatVec(usize, usize),
     Concat(Vec<usize>),
     Sigmoid(usize),
     Tanh(usize),
     Relu(usize),
-    LeakyRelu(usize, f64),
+    LeakyRelu(usize, S),
     Softmax(usize),
     /// Sum of all elements to a scalar.
     Sum(usize),
@@ -52,12 +62,24 @@ enum Op {
     WeightedSum(usize, Vec<usize>),
     /// Elementwise mean of equal-shaped vectors.
     MeanVecs(Vec<usize>),
+    /// `x (B,k) * w^T` where `w` is `(n,k)` — the batched linear kernel.
+    MatMulBt(usize, usize),
+    /// Broadcast-add a vector node to every row of a matrix node.
+    AddRows(usize, usize),
+    /// Column-concatenation of equal-row-count matrix nodes.
+    ConcatCols(Vec<usize>),
+    /// Row `b` of the output is row `b` of `sources[choice[b]]`.
+    SelectRows(Vec<usize>, Vec<u32>),
+    /// Row-wise softmax restricted to mask-valid columns.
+    MaskedSoftmaxRows(usize, Vec<bool>),
+    /// `y[b,:] = Σ_t w[b,t] * items[t][b,:]` for `(B,T)` weights.
+    WeightedSumRows(usize, Vec<usize>),
 }
 
 #[derive(Debug, Clone)]
-struct Node {
-    value: Tensor,
-    op: Op,
+struct Node<S: Scalar> {
+    value: Tensor<S>,
+    op: Op<S>,
     param: Option<ParamId>,
 }
 
@@ -76,20 +98,32 @@ struct Node {
 /// tape.backward(loss);
 /// assert_eq!(tape.grad(x).data(), &[2.0, 4.0]); // d/dx = 2x
 /// ```
-#[derive(Debug, Default)]
-pub struct Tape {
-    nodes: Vec<Node>,
-    grads: Vec<Option<Tensor>>,
+#[derive(Debug)]
+pub struct Tape<S: Scalar = f64> {
+    nodes: Vec<Node<S>>,
+    grads: Vec<Option<Tensor<S>>>,
     param_cache: BTreeMap<ParamId, Var>,
-    /// Recycled `f64` buffers harvested by [`Tape::reset`] and the
+    /// Recycled scalar buffers harvested by [`Tape::reset`] and the
     /// backward pass; every op draws its output storage from here.
-    pool: Vec<Vec<f64>>,
+    pool: Vec<Vec<S>>,
     /// Span tracer for the backward pass; disabled (one branch) unless
     /// installed with [`Tape::set_tracer`].
     tracer: Tracer,
 }
 
-impl Tape {
+impl<S: Scalar> Default for Tape<S> {
+    fn default() -> Self {
+        Self {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            param_cache: BTreeMap::new(),
+            pool: Vec::new(),
+            tracer: Tracer::default(),
+        }
+    }
+}
+
+impl<S: Scalar> Tape<S> {
     /// An empty tape.
     pub fn new() -> Self {
         Self::default()
@@ -134,14 +168,14 @@ impl Tape {
     }
 
     /// An empty buffer, recycled from the pool when one is available.
-    fn take_buf(&mut self) -> Vec<f64> {
+    fn take_buf(&mut self) -> Vec<S> {
         let mut buf = self.pool.pop().unwrap_or_default();
         buf.clear();
         buf
     }
 
     /// Return a temporary tensor's storage to the pool.
-    fn recycle(&mut self, t: Tensor) {
+    fn recycle(&mut self, t: Tensor<S>) {
         let (_, data) = t.into_parts();
         if data.capacity() > 0 {
             self.pool.push(data);
@@ -149,7 +183,7 @@ impl Tape {
     }
 
     /// Pooled elementwise zip of two node values.
-    fn pooled_zip_nodes(&mut self, a: usize, b: usize, f: impl Fn(f64, f64) -> f64) -> Tensor {
+    fn pooled_zip_nodes(&mut self, a: usize, b: usize, f: impl Fn(S, S) -> S) -> Tensor<S> {
         let mut buf = self.take_buf();
         let x = &self.nodes[a].value;
         let y = &self.nodes[b].value;
@@ -159,7 +193,7 @@ impl Tape {
     }
 
     /// Pooled elementwise zip of a node value with an external tensor.
-    fn pooled_zip_node(&mut self, node: usize, t: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+    fn pooled_zip_node(&mut self, node: usize, t: &Tensor<S>, f: impl Fn(S, S) -> S) -> Tensor<S> {
         let mut buf = self.take_buf();
         let x = &self.nodes[node].value;
         assert_eq!(x.shape(), t.shape(), "shape mismatch in zip_map");
@@ -168,7 +202,7 @@ impl Tape {
     }
 
     /// Pooled elementwise map of a node value.
-    fn pooled_map_node(&mut self, node: usize, f: impl Fn(f64) -> f64) -> Tensor {
+    fn pooled_map_node(&mut self, node: usize, f: impl Fn(S) -> S) -> Tensor<S> {
         let mut buf = self.take_buf();
         let x = &self.nodes[node].value;
         buf.extend(x.data().iter().map(|&p| f(p)));
@@ -176,13 +210,13 @@ impl Tape {
     }
 
     /// Pooled elementwise map of an external tensor (gradient temporaries).
-    fn pooled_map(&mut self, src: &Tensor, f: impl Fn(f64) -> f64) -> Tensor {
+    fn pooled_map(&mut self, src: &Tensor<S>, f: impl Fn(S) -> S) -> Tensor<S> {
         let mut buf = self.take_buf();
         buf.extend(src.data().iter().map(|&x| f(x)));
         Tensor::from_shape_data(src.shape().to_vec(), buf)
     }
 
-    fn push(&mut self, value: Tensor, op: Op) -> Var {
+    fn push(&mut self, value: Tensor<S>, op: Op<S>) -> Var {
         self.nodes.push(Node {
             value,
             op,
@@ -202,13 +236,13 @@ impl Tape {
     }
 
     /// Insert a constant (non-parameter) leaf.
-    pub fn leaf(&mut self, value: Tensor) -> Var {
+    pub fn leaf(&mut self, value: Tensor<S>) -> Var {
         self.push(value, Op::Leaf)
     }
 
     /// Insert (or reuse) a leaf for a trainable parameter. Repeated calls
     /// with the same id return the same node, so gradients accumulate.
-    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+    pub fn param(&mut self, store: &ParamStore<S>, id: ParamId) -> Var {
         if let Some(&v) = self.param_cache.get(&id) {
             return v;
         }
@@ -223,7 +257,7 @@ impl Tape {
     }
 
     /// The forward value of a node.
-    pub fn value(&self, v: Var) -> &Tensor {
+    pub fn value(&self, v: Var) -> &Tensor<S> {
         &self.nodes[v.0].value
     }
 
@@ -246,7 +280,7 @@ impl Tape {
     }
 
     /// Elementwise affine map `alpha * a + beta`.
-    pub fn affine(&mut self, a: Var, alpha: f64, beta: f64) -> Var {
+    pub fn affine(&mut self, a: Var, alpha: S, beta: S) -> Var {
         let v = self.pooled_map_node(a.0, |x| alpha * x + beta);
         self.push(v, Op::Affine(a.0, alpha, beta))
     }
@@ -268,9 +302,235 @@ impl Tape {
         buf.extend(
             wv.data()
                 .chunks_exact(n)
-                .map(|row| row.iter().zip(xv.data()).map(|(a, b)| a * b).sum::<f64>()),
+                .map(|row| row.iter().zip(xv.data()).map(|(&a, &b)| a * b).sum::<S>()),
         );
         self.push(Tensor::from_shape_data(vec![m], buf), Op::MatVec(w.0, x.0))
+    }
+
+    /// Batched linear kernel `x (B, k) * w^T` where `w` is `(n, k)`,
+    /// yielding `(B, n)` — one differentiable node wrapping the
+    /// lane-blocked `matmul_bt` kernel, so a whole mini-batch of rows
+    /// goes through the weight matrix as one large product.
+    ///
+    /// Row `b` of the output is bit-identical to
+    /// `matvec(w_as_rows, x_row_b)`: both reduce ascending-`k` into a
+    /// single accumulator per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x` is `(B, k)` and `w` is `(n, k)`.
+    pub fn matmul_bt(&mut self, x: Var, w: Var) -> Var {
+        let mut buf = self.take_buf();
+        let (m, n) = {
+            let xv = &self.nodes[x.0].value;
+            let wv = &self.nodes[w.0].value;
+            assert!(xv.is_matrix() && wv.is_matrix(), "matmul_bt on non-matrix");
+            let (m, k) = (xv.rows(), xv.cols());
+            let (n, wk) = (wv.rows(), wv.cols());
+            assert_eq!(k, wk, "matmul_bt: inner dims {k} != {wk}");
+            buf.resize(m * n, S::ZERO);
+            matmul_bt_into(xv.data(), wv.data(), m, k, n, &mut buf);
+            (m, n)
+        };
+        self.push(
+            Tensor::from_shape_data(vec![m, n], buf),
+            Op::MatMulBt(x.0, w.0),
+        )
+    }
+
+    /// Broadcast-add a vector node `bias (n)` to every row of a matrix
+    /// node `x (B, n)` — the batched counterpart of `add` after a
+    /// linear layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x` is a matrix whose column count equals
+    /// `bias.len()`.
+    pub fn add_rows(&mut self, x: Var, bias: Var) -> Var {
+        let mut buf = self.take_buf();
+        let rows = {
+            let xv = &self.nodes[x.0].value;
+            let bv = &self.nodes[bias.0].value;
+            assert!(xv.is_matrix(), "add_rows on non-matrix");
+            let n = xv.cols();
+            assert_eq!(
+                bv.len(),
+                n,
+                "add_rows: matrix cols {n} != bias len {}",
+                bv.len()
+            );
+            for row in xv.data().chunks_exact(n) {
+                buf.extend(row.iter().zip(bv.data()).map(|(&a, &b)| a + b));
+            }
+            xv.rows()
+        };
+        let n = buf.len() / rows.max(1);
+        self.push(
+            Tensor::from_shape_data(vec![rows, n], buf),
+            Op::AddRows(x.0, bias.0),
+        )
+    }
+
+    /// Concatenate matrix nodes along columns: all parts must share one
+    /// row count `B`; the result is `(B, Σ cols)`. Row `b` of the output
+    /// is the concatenation of row `b` of every part — the batched
+    /// counterpart of `concat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let mut buf = self.take_buf();
+        let rows = self.nodes[parts[0].0].value.rows();
+        for p in parts {
+            assert_eq!(
+                self.nodes[p.0].value.rows(),
+                rows,
+                "concat_cols: row count mismatch"
+            );
+        }
+        for b in 0..rows {
+            for p in parts {
+                let pv = &self.nodes[p.0].value;
+                let w = pv.cols();
+                buf.extend_from_slice(&pv.data()[b * w..(b + 1) * w]);
+            }
+        }
+        let total = buf.len() / rows.max(1);
+        self.push(
+            Tensor::from_shape_data(vec![rows, total], buf),
+            Op::ConcatCols(parts.iter().map(|p| p.0).collect()),
+        )
+    }
+
+    /// Per-row gather: row `b` of the output is row `b` of
+    /// `sources[choice[b]]`. All sources must be `(B, w)` matrices with
+    /// `B == choice.len()`. This is how a batch of graphs, each with its
+    /// own device wiring, selects per-graph rows out of shared
+    /// batch-stacked hidden states.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or an out-of-range choice.
+    pub fn select_rows(&mut self, sources: &[Var], choice: &[u32]) -> Var {
+        assert!(!sources.is_empty(), "select_rows needs at least one source");
+        let mut buf = self.take_buf();
+        let w = self.nodes[sources[0].0].value.cols();
+        for s in sources {
+            let sv = &self.nodes[s.0].value;
+            assert_eq!(sv.cols(), w, "select_rows: column count mismatch");
+            assert_eq!(
+                sv.rows(),
+                choice.len(),
+                "select_rows: source rows != choice len"
+            );
+        }
+        for (b, &c) in choice.iter().enumerate() {
+            let sv = &self.nodes[sources[c as usize].0].value;
+            buf.extend_from_slice(&sv.data()[b * w..(b + 1) * w]);
+        }
+        self.push(
+            Tensor::from_shape_data(vec![choice.len(), w], buf),
+            Op::SelectRows(sources.iter().map(|s| s.0).collect(), choice.to_vec()),
+        )
+    }
+
+    /// Row-wise numerically stable softmax over the mask-valid columns
+    /// of `x (B, T)`; masked-out entries get weight `0`. A row with no
+    /// valid entry yields all zeros (instead of `0/0`), which keeps
+    /// padded attention slots inert. A row with exactly one valid entry
+    /// yields exactly `1` there.
+    ///
+    /// Per row, the exponentials accumulate in ascending column order —
+    /// the same order as the vector `softmax` op — so a fully-valid row
+    /// is bit-identical to `softmax` of that row.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mask.len() == B * T`.
+    pub fn masked_softmax_rows(&mut self, x: Var, mask: &[bool]) -> Var {
+        let mut buf = self.take_buf();
+        let (rows, cols) = {
+            let xv = &self.nodes[x.0].value;
+            assert!(xv.is_matrix(), "masked_softmax_rows on non-matrix");
+            let (rows, cols) = (xv.rows(), xv.cols());
+            assert_eq!(mask.len(), rows * cols, "mask length != rows * cols");
+            for b in 0..rows {
+                let row = &xv.data()[b * cols..(b + 1) * cols];
+                let mrow = &mask[b * cols..(b + 1) * cols];
+                let mut max = S::NEG_INFINITY;
+                for (&v, &m) in row.iter().zip(mrow) {
+                    if m {
+                        max = max.max(v);
+                    }
+                }
+                let start = buf.len();
+                buf.extend(row.iter().zip(mrow).map(
+                    |(&v, &m)| {
+                        if m {
+                            (v - max).exp()
+                        } else {
+                            S::ZERO
+                        }
+                    },
+                ));
+                let z: S = buf[start..].iter().copied().sum();
+                if z != S::ZERO {
+                    for e in &mut buf[start..] {
+                        *e /= z;
+                    }
+                }
+            }
+            (rows, cols)
+        };
+        self.push(
+            Tensor::from_shape_data(vec![rows, cols], buf),
+            Op::MaskedSoftmaxRows(x.0, mask.to_vec()),
+        )
+    }
+
+    /// Row-batched weighted sum: `weights` is `(B, T)` and every item is
+    /// `(B, w)`; the result `(B, w)` has
+    /// `y[b, :] = Σ_t weights[b, t] * items[t][b, :]` with the sum over
+    /// `t` ascending — the batched counterpart of `weighted_sum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len()` differs from the weight columns or shapes
+    /// mismatch.
+    pub fn weighted_sum_rows(&mut self, weights: Var, items: &[Var]) -> Var {
+        assert!(
+            !items.is_empty(),
+            "weighted_sum_rows needs at least one item"
+        );
+        let mut buf = self.take_buf();
+        let (bsz, w) = {
+            let wv = &self.nodes[weights.0].value;
+            assert!(wv.is_matrix(), "weighted_sum_rows weights non-matrix");
+            let (bsz, t) = (wv.rows(), wv.cols());
+            assert_eq!(t, items.len(), "weights cols != item count");
+            let w = self.nodes[items[0].0].value.cols();
+            buf.resize(bsz * w, S::ZERO);
+            for (tt, item) in items.iter().enumerate() {
+                let iv = &self.nodes[item.0].value;
+                assert_eq!(iv.rows(), bsz, "weighted_sum_rows: item rows != B");
+                assert_eq!(iv.cols(), w, "weighted_sum_rows: item cols mismatch");
+                for b in 0..bsz {
+                    let alpha = wv.data()[b * t + tt];
+                    let dst = &mut buf[b * w..(b + 1) * w];
+                    let src = &iv.data()[b * w..(b + 1) * w];
+                    for (o, &v) in dst.iter_mut().zip(src) {
+                        *o += alpha * v;
+                    }
+                }
+            }
+            (bsz, w)
+        };
+        self.push(
+            Tensor::from_shape_data(vec![bsz, w], buf),
+            Op::WeightedSumRows(weights.0, items.iter().map(|p| p.0).collect()),
+        )
     }
 
     /// Concatenate vector nodes.
@@ -285,25 +545,25 @@ impl Tape {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.pooled_map_node(a.0, |x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.pooled_map_node(a.0, |x| S::ONE / (S::ONE + (-x).exp()));
         self.push(v, Op::Sigmoid(a.0))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.pooled_map_node(a.0, f64::tanh);
+        let v = self.pooled_map_node(a.0, S::tanh);
         self.push(v, Op::Tanh(a.0))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.pooled_map_node(a.0, |x| x.max(0.0));
+        let v = self.pooled_map_node(a.0, |x| x.max(S::ZERO));
         self.push(v, Op::Relu(a.0))
     }
 
     /// Leaky ReLU with negative slope `slope`.
-    pub fn leaky_relu(&mut self, a: Var, slope: f64) -> Var {
-        let v = self.pooled_map_node(a.0, |x| if x > 0.0 { x } else { slope * x });
+    pub fn leaky_relu(&mut self, a: Var, slope: S) -> Var {
+        let v = self.pooled_map_node(a.0, |x| if x > S::ZERO { x } else { slope * x });
         self.push(v, Op::LeakyRelu(a.0, slope))
     }
 
@@ -311,9 +571,9 @@ impl Tape {
     pub fn softmax(&mut self, a: Var) -> Var {
         let mut buf = self.take_buf();
         let x = &self.nodes[a.0].value;
-        let max = x.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = x.data().iter().copied().fold(S::NEG_INFINITY, S::max);
         buf.extend(x.data().iter().map(|&v| (v - max).exp()));
-        let z: f64 = buf.iter().sum();
+        let z: S = buf.iter().copied().sum();
         for e in &mut buf {
             *e /= z;
         }
@@ -359,12 +619,12 @@ impl Tape {
         let w = &self.nodes[weights.0].value;
         assert_eq!(w.len(), items.len(), "weights/items length mismatch");
         let shape = self.nodes[items[0].0].value.shape().to_vec();
-        buf.resize(self.nodes[items[0].0].value.len(), 0.0);
+        buf.resize(self.nodes[items[0].0].value.len(), S::ZERO);
         for (t, item) in items.iter().enumerate() {
             let it = &self.nodes[item.0].value;
             assert_eq!(it.shape(), &shape[..], "shape mismatch in add_scaled");
             let alpha = w.data()[t];
-            for (a, b) in buf.iter_mut().zip(it.data()) {
+            for (a, &b) in buf.iter_mut().zip(it.data()) {
                 *a += alpha * b;
             }
         }
@@ -383,15 +643,15 @@ impl Tape {
         assert!(!items.is_empty(), "mean_vecs needs at least one item");
         let mut buf = self.take_buf();
         let shape = self.nodes[items[0].0].value.shape().to_vec();
-        buf.resize(self.nodes[items[0].0].value.len(), 0.0);
+        buf.resize(self.nodes[items[0].0].value.len(), S::ZERO);
         for item in items {
             let it = &self.nodes[item.0].value;
             assert_eq!(it.shape(), &shape[..], "shape mismatch in add_assign");
-            for (a, b) in buf.iter_mut().zip(it.data()) {
+            for (a, &b) in buf.iter_mut().zip(it.data()) {
                 *a += b;
             }
         }
-        let n = items.len() as f64;
+        let n = S::from_f64(items.len() as f64);
         for x in &mut buf {
             *x /= n;
         }
@@ -431,7 +691,7 @@ impl Tape {
         }
         self.grads.resize(self.nodes.len(), None);
         let mut seed = self.take_buf();
-        seed.push(1.0);
+        seed.push(S::ONE);
         self.grads[loss.0] = Some(Tensor::from_shape_data(vec![1], seed));
 
         for idx in (0..self.nodes.len()).rev() {
@@ -485,10 +745,10 @@ impl Tape {
                         let mut buf = self.take_buf();
                         let wv = &self.nodes[*w].value;
                         let (m, n) = (wv.rows(), wv.cols());
-                        buf.resize(n, 0.0);
+                        buf.resize(n, S::ZERO);
                         for i in 0..m {
                             let gi = g.data()[i];
-                            if gi == 0.0 {
+                            if gi == S::ZERO {
                                 continue;
                             }
                             let row = &wv.data()[i * n..(i + 1) * n];
@@ -503,6 +763,152 @@ impl Tape {
                     self.recycle(dw);
                     self.recycle(dx);
                 }
+                Op::MatMulBt(x, w) => {
+                    // y (m,n) = x (m,k) * w^T with w (n,k):
+                    //   dx (m,k) += g (m,n) * w      (row-axpy over n)
+                    //   dw (n,k) += g^T * x          (outer accumulation over m)
+                    let (m, n) = (g.rows(), g.cols());
+                    let k = self.nodes[*w].value.cols();
+                    let dx = {
+                        let mut buf = self.take_buf();
+                        buf.resize(m * k, S::ZERO);
+                        let wv = self.nodes[*w].value.data();
+                        for b in 0..m {
+                            let g_row = &g.data()[b * n..(b + 1) * n];
+                            let out_row = &mut buf[b * k..(b + 1) * k];
+                            for (j, &gj) in g_row.iter().enumerate() {
+                                if gj == S::ZERO {
+                                    continue;
+                                }
+                                let w_row = &wv[j * k..(j + 1) * k];
+                                for (o, &wv_) in out_row.iter_mut().zip(w_row) {
+                                    *o += gj * wv_;
+                                }
+                            }
+                        }
+                        Tensor::from_shape_data(vec![m, k], buf)
+                    };
+                    let dw = {
+                        let mut buf = self.take_buf();
+                        buf.resize(n * k, S::ZERO);
+                        let xv = self.nodes[*x].value.data();
+                        for b in 0..m {
+                            let g_row = &g.data()[b * n..(b + 1) * n];
+                            let x_row = &xv[b * k..(b + 1) * k];
+                            for (j, &gj) in g_row.iter().enumerate() {
+                                if gj == S::ZERO {
+                                    continue;
+                                }
+                                let out_row = &mut buf[j * k..(j + 1) * k];
+                                for (o, &xx) in out_row.iter_mut().zip(x_row) {
+                                    *o += gj * xx;
+                                }
+                            }
+                        }
+                        Tensor::from_shape_data(vec![n, k], buf)
+                    };
+                    self.bump(*x, &dx);
+                    self.bump(*w, &dw);
+                    self.recycle(dx);
+                    self.recycle(dw);
+                }
+                Op::AddRows(x, bias) => {
+                    let n = self.nodes[*bias].value.len();
+                    let db = {
+                        let mut buf = self.take_buf();
+                        buf.resize(n, S::ZERO);
+                        for row in g.data().chunks_exact(n) {
+                            for (o, &v) in buf.iter_mut().zip(row) {
+                                *o += v;
+                            }
+                        }
+                        Tensor::from_shape_data(vec![n], buf)
+                    };
+                    self.bump(*x, &g);
+                    self.bump(*bias, &db);
+                    self.recycle(db);
+                }
+                Op::ConcatCols(parts) => {
+                    let total = g.cols();
+                    let mut off = 0;
+                    for &p in parts {
+                        let (rows, w) = {
+                            let pv = &self.nodes[p].value;
+                            (pv.rows(), pv.cols())
+                        };
+                        let mut buf = self.take_buf();
+                        for b in 0..rows {
+                            buf.extend_from_slice(&g.data()[b * total + off..b * total + off + w]);
+                        }
+                        let dp = Tensor::from_shape_data(vec![rows, w], buf);
+                        self.bump(p, &dp);
+                        self.recycle(dp);
+                        off += w;
+                    }
+                }
+                Op::SelectRows(sources, choice) => {
+                    let w = g.cols();
+                    for (b, &c) in choice.iter().enumerate() {
+                        self.bump_row(sources[c as usize], b, &g.data()[b * w..(b + 1) * w]);
+                    }
+                }
+                Op::MaskedSoftmaxRows(a, _mask) => {
+                    // Masked-out columns have y = 0, which zeroes both
+                    // their contribution to gy and their own da — the
+                    // regular softmax Jacobian applied row-wise suffices.
+                    let (rows, cols) = (g.rows(), g.cols());
+                    let da = {
+                        let mut buf = self.take_buf();
+                        for b in 0..rows {
+                            let yrow = &self.nodes[idx].value.data()[b * cols..(b + 1) * cols];
+                            let grow = &g.data()[b * cols..(b + 1) * cols];
+                            let gy: S = yrow.iter().zip(grow).map(|(&yy, &gg)| yy * gg).sum();
+                            buf.extend(yrow.iter().zip(grow).map(|(&yy, &gg)| yy * (gg - gy)));
+                        }
+                        Tensor::from_shape_data(vec![rows, cols], buf)
+                    };
+                    self.bump(*a, &da);
+                    self.recycle(da);
+                }
+                Op::WeightedSumRows(w, items) => {
+                    let (bsz, t) = {
+                        let wv = &self.nodes[*w].value;
+                        (wv.rows(), wv.cols())
+                    };
+                    let width = g.cols();
+                    let mut dw = self.take_buf();
+                    dw.resize(bsz * t, S::ZERO);
+                    for (tt, &item) in items.iter().enumerate() {
+                        let di = {
+                            let mut buf = self.take_buf();
+                            let wv = &self.nodes[*w].value;
+                            for b in 0..bsz {
+                                let alpha = wv.data()[b * t + tt];
+                                buf.extend(
+                                    g.data()[b * width..(b + 1) * width]
+                                        .iter()
+                                        .map(|&x| alpha * x),
+                                );
+                            }
+                            Tensor::from_shape_data(vec![bsz, width], buf)
+                        };
+                        {
+                            let iv = &self.nodes[item].value;
+                            for b in 0..bsz {
+                                dw[b * t + tt] = iv.data()[b * width..(b + 1) * width]
+                                    .iter()
+                                    .zip(&g.data()[b * width..(b + 1) * width])
+                                    .map(|(&x, &gg)| x * gg)
+                                    .sum();
+                            }
+                        }
+                        self.bump(item, &di);
+                        self.recycle(di);
+                    }
+                    let dw = Tensor::from_shape_data(vec![bsz, t], dw);
+                    self.bump(*w, &dw);
+                    self.recycle(dw);
+                }
                 Op::Concat(parts) => {
                     let mut offset = 0;
                     for &p in parts {
@@ -516,27 +922,32 @@ impl Tape {
                     }
                 }
                 Op::Sigmoid(a) => {
-                    let da = self.pooled_zip_node(idx, &g, |yy, gg| yy * (1.0 - yy) * gg);
+                    let da = self.pooled_zip_node(idx, &g, |yy, gg| yy * (S::ONE - yy) * gg);
                     self.bump(*a, &da);
                     self.recycle(da);
                 }
                 Op::Tanh(a) => {
-                    let da = self.pooled_zip_node(idx, &g, |yy, gg| (1.0 - yy * yy) * gg);
+                    let da = self.pooled_zip_node(idx, &g, |yy, gg| (S::ONE - yy * yy) * gg);
                     self.bump(*a, &da);
                     self.recycle(da);
                 }
                 Op::Relu(a) => {
-                    let da = self.pooled_zip_node(*a, &g, |xx, gg| if xx > 0.0 { gg } else { 0.0 });
+                    let da = self.pooled_zip_node(
+                        *a,
+                        &g,
+                        |xx, gg| if xx > S::ZERO { gg } else { S::ZERO },
+                    );
                     self.bump(*a, &da);
                     self.recycle(da);
                 }
                 Op::LeakyRelu(a, slope) => {
                     let slope = *slope;
-                    let da = self.pooled_zip_node(
-                        *a,
-                        &g,
-                        |xx, gg| if xx > 0.0 { gg } else { slope * gg },
-                    );
+                    let da =
+                        self.pooled_zip_node(
+                            *a,
+                            &g,
+                            |xx, gg| if xx > S::ZERO { gg } else { slope * gg },
+                        );
                     self.bump(*a, &da);
                     self.recycle(da);
                 }
@@ -574,7 +985,7 @@ impl Tape {
                     let mut wvals = self.take_buf();
                     wvals.extend_from_slice(self.nodes[*w].value.data());
                     let mut dw = self.take_buf();
-                    dw.resize(items.len(), 0.0);
+                    dw.resize(items.len(), S::ZERO);
                     for (t, &item) in items.iter().enumerate() {
                         let wt = wvals[t];
                         let di = self.pooled_map(&g, |x| wt * x);
@@ -588,7 +999,7 @@ impl Tape {
                     self.pool.push(wvals);
                 }
                 Op::MeanVecs(items) => {
-                    let n = items.len() as f64;
+                    let n = S::from_f64(items.len() as f64);
                     let di = self.pooled_map(&g, |x| x / n);
                     for &item in items {
                         self.bump(item, &di);
@@ -601,7 +1012,7 @@ impl Tape {
         }
     }
 
-    fn bump(&mut self, node: usize, g: &Tensor) {
+    fn bump(&mut self, node: usize, g: &Tensor<S>) {
         if let Some(acc) = &mut self.grads[node] {
             acc.add_assign(g);
         } else {
@@ -611,13 +1022,34 @@ impl Tape {
         }
     }
 
+    /// Accumulate a gradient slice into one row of a node's gradient,
+    /// materializing a zeroed accumulator on first touch (scatter-add
+    /// backward of [`Tape::select_rows`]).
+    fn bump_row(&mut self, node: usize, b: usize, g_row: &[S]) {
+        if self.grads[node].is_none() {
+            let (shape, len) = {
+                let v = &self.nodes[node].value;
+                (v.shape().to_vec(), v.len())
+            };
+            let mut buf = self.take_buf();
+            buf.resize(len, S::ZERO);
+            self.grads[node] = Some(Tensor::from_shape_data(shape, buf));
+        }
+        if let Some(acc) = &mut self.grads[node] {
+            let w = g_row.len();
+            for (o, &v) in acc.data_mut()[b * w..(b + 1) * w].iter_mut().zip(g_row) {
+                *o += v;
+            }
+        }
+    }
+
     /// Gradient of a node after [`Tape::backward`]. Nodes unreachable from
     /// the loss have zero gradient.
     ///
     /// # Panics
     ///
     /// Panics if `backward` has not been called.
-    pub fn grad(&self, v: Var) -> Tensor {
+    pub fn grad(&self, v: Var) -> Tensor<S> {
         assert!(!self.grads.is_empty(), "call backward() first");
         self.grads[v.0]
             .clone()
@@ -629,7 +1061,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `backward` has not been called.
-    pub fn accumulate_param_grads(&self, store: &mut ParamStore) {
+    pub fn accumulate_param_grads(&self, store: &mut ParamStore<S>) {
         assert!(!self.grads.is_empty(), "call backward() first");
         for (&id, &var) in &self.param_cache {
             if let Some(g) = &self.grads[var.0] {
@@ -701,6 +1133,206 @@ mod tests {
         let mut ana = tape.grad(w).data().to_vec();
         ana.extend_from_slice(tape.grad(x).data());
         assert_close(&ana, &num, 1e-5);
+    }
+
+    #[test]
+    fn matmul_bt_forward_matches_tensor_kernel_bitwise() {
+        let x0: Vec<f64> = vec![0.3, -0.2, 0.5, 0.1, 0.4, -0.6];
+        let w0: Vec<f64> = vec![1.0, -1.5, 0.7, 0.2, 0.9, -0.3];
+        let xt = Tensor::matrix(2, 3, x0.clone());
+        let wt = Tensor::matrix(2, 3, w0.clone());
+        let expect = xt.matmul_bt(&wt);
+        let mut tape = Tape::new();
+        let x = tape.leaf(xt);
+        let w = tape.leaf(wt);
+        let y = tape.matmul_bt(x, w);
+        assert_eq!(tape.value(y).shape(), &[2, 2]);
+        for (a, b) in tape.value(y).data().iter().zip(expect.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_bt_gradient_matches_finite_difference() {
+        // x (2,3), w (2,3): loss = Σ (x w^T)^2.
+        let flat0 = vec![
+            0.3, -0.2, 0.5, 0.1, 0.4, -0.6, 1.0, -1.5, 0.7, 0.2, 0.9, -0.3,
+        ];
+        let f = |v: &[f64]| {
+            let x = Tensor::matrix(2, 3, v[..6].to_vec());
+            let w = Tensor::matrix(2, 3, v[6..].to_vec());
+            x.matmul_bt(&w).data().iter().map(|y| y * y).sum::<f64>()
+        };
+        let num = finite_diff(f, &flat0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::matrix(2, 3, flat0[..6].to_vec()));
+        let w = tape.leaf(Tensor::matrix(2, 3, flat0[6..].to_vec()));
+        let y = tape.matmul_bt(x, w);
+        let sq = tape.mul(y, y);
+        let loss = tape.sum(sq);
+        tape.backward(loss);
+        let mut ana = tape.grad(x).data().to_vec();
+        ana.extend_from_slice(tape.grad(w).data());
+        assert_close(&ana, &num, 1e-5);
+    }
+
+    #[test]
+    fn add_rows_gradient_sums_bias_columns() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        let b = tape.leaf(Tensor::from_vec(vec![10., 20., 30.]));
+        let y = tape.add_rows(x, b);
+        assert_eq!(tape.value(y).data(), &[11., 22., 33., 14., 25., 36.]);
+        let sc = tape.leaf(Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        let m = tape.mul(y, sc);
+        let loss = tape.sum(m);
+        tape.backward(loss);
+        assert_close(tape.grad(x).data(), &[1., 2., 3., 4., 5., 6.], 1e-12);
+        assert_close(tape.grad(b).data(), &[5., 7., 9.], 1e-12);
+    }
+
+    #[test]
+    fn concat_cols_routes_gradients_per_column_block() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::matrix(2, 2, vec![1., 2., 3., 4.]));
+        let b = tape.leaf(Tensor::matrix(2, 1, vec![5., 6.]));
+        let c = tape.concat_cols(&[a, b]);
+        assert_eq!(tape.value(c).shape(), &[2, 3]);
+        assert_eq!(tape.value(c).data(), &[1., 2., 5., 3., 4., 6.]);
+        let w = tape.leaf(Tensor::matrix(2, 3, vec![10., 20., 30., 40., 50., 60.]));
+        let m = tape.mul(c, w);
+        let loss = tape.sum(m);
+        tape.backward(loss);
+        assert_close(tape.grad(a).data(), &[10., 20., 40., 50.], 1e-12);
+        assert_close(tape.grad(b).data(), &[30., 60.], 1e-12);
+    }
+
+    #[test]
+    fn select_rows_gathers_and_scatters() {
+        let mut tape = Tape::new();
+        let s0 = tape.leaf(Tensor::matrix(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        let s1 = tape.leaf(Tensor::matrix(3, 2, vec![10., 20., 30., 40., 50., 60.]));
+        let y = tape.select_rows(&[s0, s1], &[1, 0, 1]);
+        assert_eq!(tape.value(y).data(), &[10., 20., 3., 4., 50., 60.]);
+        let w = tape.leaf(Tensor::matrix(3, 2, vec![1., 1., 2., 2., 3., 3.]));
+        let m = tape.mul(y, w);
+        let loss = tape.sum(m);
+        tape.backward(loss);
+        // Rows picked from s1 leave zero gradient on s0 and vice versa.
+        assert_close(tape.grad(s0).data(), &[0., 0., 2., 2., 0., 0.], 1e-12);
+        assert_close(tape.grad(s1).data(), &[1., 1., 0., 0., 3., 3.], 1e-12);
+    }
+
+    #[test]
+    fn masked_softmax_rows_matches_vector_softmax_on_valid_rows() {
+        let mut tape = Tape::<f64>::new();
+        let x = tape.leaf(Tensor::matrix(2, 3, vec![0.5, -0.5, 1.5, 2.0, 0.0, -1.0]));
+        let y = tape.masked_softmax_rows(x, &[true; 6]);
+        let xv0 = tape.leaf(Tensor::from_vec(vec![0.5, -0.5, 1.5]));
+        let sm0 = tape.softmax(xv0);
+        for (a, b) in tape.value(y).data()[..3].iter().zip(tape.value(sm0).data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn masked_softmax_rows_handles_masks_and_empty_rows() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::matrix(
+            3,
+            3,
+            vec![5.0, 1.0, 9.0, 2.0, 3.0, 4.0, 7.0, 8.0, 6.0],
+        ));
+        // Row 0: only col 0 and 1 valid; row 1: only col 2; row 2: none.
+        let mask = [true, true, false, false, false, true, false, false, false];
+        let y = tape.masked_softmax_rows(x, &mask);
+        let yv = tape.value(y).data().to_vec();
+        // Row 0 softmaxes over {5, 1}; the masked 9 must not leak in.
+        let z = (0.0f64).exp() + (-4.0f64).exp();
+        assert!((yv[0] - 1.0 / z).abs() < 1e-12);
+        assert!((yv[1] - (-4.0f64).exp() / z).abs() < 1e-12);
+        assert_eq!(yv[2], 0.0);
+        // Row 1: single valid entry is exactly 1.
+        assert_eq!(yv[5], 1.0);
+        // Row 2: all masked → all zeros, no NaN.
+        assert_eq!(&yv[6..], &[0.0, 0.0, 0.0]);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert!(tape.grad(x).data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn masked_softmax_rows_gradient_matches_finite_difference() {
+        let x0 = vec![0.5, -0.5, 1.5, 2.0, 0.3, -0.8];
+        let mask = [true, true, false, true, true, true];
+        let target = [0.6, 0.4, 0.0, 0.1, 0.5, 0.4];
+        let f = |x: &[f64]| {
+            let mut total = 0.0;
+            for b in 0..2 {
+                let row = &x[b * 3..(b + 1) * 3];
+                let mrow = &mask[b * 3..(b + 1) * 3];
+                let max = row
+                    .iter()
+                    .zip(mrow)
+                    .filter(|(_, &m)| m)
+                    .map(|(&v, _)| v)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let exps: Vec<f64> = row
+                    .iter()
+                    .zip(mrow)
+                    .map(|(&v, &m)| if m { (v - max).exp() } else { 0.0 })
+                    .collect();
+                let z: f64 = exps.iter().sum();
+                for (j, e) in exps.iter().enumerate() {
+                    total += (e / z - target[b * 3 + j]).powi(2);
+                }
+            }
+            total
+        };
+        let num = finite_diff(f, &x0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::matrix(2, 3, x0));
+        let y = tape.masked_softmax_rows(x, &mask);
+        let t = tape.leaf(Tensor::matrix(2, 3, target.to_vec()));
+        let loss = tape.squared_error(y, t);
+        tape.backward(loss);
+        assert_close(tape.grad(x).data(), &num, 1e-6);
+    }
+
+    #[test]
+    fn weighted_sum_rows_gradient_matches_finite_difference() {
+        // B=2 rows, T=2 items of width 2, plus a (2,2) weight matrix.
+        let flat0 = vec![
+            0.2, -0.3, 0.5, 1.0, // item 0 (2x2)
+            0.8, -0.1, 0.6, 0.4, // item 1 (2x2)
+            0.7, 0.3, -0.2, 0.9, // weights (2x2)
+        ];
+        let f = |v: &[f64]| {
+            let i0 = &v[0..4];
+            let i1 = &v[4..8];
+            let w = &v[8..12];
+            let mut total = 0.0;
+            for b in 0..2 {
+                for d in 0..2 {
+                    let s = w[b * 2] * i0[b * 2 + d] + w[b * 2 + 1] * i1[b * 2 + d];
+                    total += s * s;
+                }
+            }
+            total
+        };
+        let num = finite_diff(f, &flat0);
+        let mut tape = Tape::new();
+        let i0 = tape.leaf(Tensor::matrix(2, 2, flat0[0..4].to_vec()));
+        let i1 = tape.leaf(Tensor::matrix(2, 2, flat0[4..8].to_vec()));
+        let w = tape.leaf(Tensor::matrix(2, 2, flat0[8..12].to_vec()));
+        let ws = tape.weighted_sum_rows(w, &[i0, i1]);
+        let sq = tape.mul(ws, ws);
+        let loss = tape.sum(sq);
+        tape.backward(loss);
+        let mut ana = tape.grad(i0).data().to_vec();
+        ana.extend_from_slice(tape.grad(i1).data());
+        ana.extend_from_slice(tape.grad(w).data());
+        assert_close(&ana, &num, 1e-6);
     }
 
     #[test]
@@ -925,5 +1557,15 @@ mod tests {
         let loss = tape.sum(x);
         tape.backward(loss);
         assert_eq!(tape.grad(y).data(), &[0.0]);
+    }
+
+    #[test]
+    fn f32_tape_runs_the_same_graph() {
+        let mut tape = Tape::<f32>::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0f32, -2.0, 3.0]));
+        let y = tape.mul(x, x);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).data(), &[2.0f32, -4.0, 6.0]);
     }
 }

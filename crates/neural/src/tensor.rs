@@ -1,6 +1,9 @@
-//! A minimal dense tensor over `f64`, sufficient for the small recurrent
-//! GNNs of the paper (vectors and matrices; no broadcasting).
+//! A minimal dense tensor over a [`Scalar`] element type (`f64` by
+//! default, `f32` for the batched training path), sufficient for the
+//! small recurrent GNNs of the paper (vectors and matrices; no
+//! broadcasting).
 
+use crate::scalar::Scalar;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -9,6 +12,10 @@ use std::fmt;
 /// Supported ranks are 1 (vectors) and 2 (row-major matrices); that covers
 /// every operation ChainNet needs. All arithmetic helpers panic on shape
 /// mismatch — shape errors are programming bugs, not runtime conditions.
+///
+/// The element type defaults to `f64`, the reference arithmetic used by
+/// gradcheck and the golden tests; `Tensor<f32>` runs the same kernels
+/// with twice the SIMD width for batched training.
 ///
 /// # Examples
 ///
@@ -22,14 +29,14 @@ use std::fmt;
 /// assert_eq!(mv.data(), &[14.0, 32.0]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Tensor {
+pub struct Tensor<S: Scalar = f64> {
     shape: Vec<usize>,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl Tensor {
+impl<S: Scalar> Tensor<S> {
     /// A vector tensor from raw data.
-    pub fn from_vec(data: Vec<f64>) -> Self {
+    pub fn from_vec(data: Vec<S>) -> Self {
         Self {
             shape: vec![data.len()],
             data,
@@ -38,11 +45,11 @@ impl Tensor {
 
     /// A vector of `n` zeros.
     pub fn zeros(n: usize) -> Self {
-        Self::from_vec(vec![0.0; n])
+        Self::from_vec(vec![S::ZERO; n])
     }
 
     /// A scalar tensor (shape `[1]`).
-    pub fn scalar(x: f64) -> Self {
+    pub fn scalar(x: S) -> Self {
         Self::from_vec(vec![x])
     }
 
@@ -51,7 +58,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
-    pub fn matrix(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn matrix(rows: usize, cols: usize, data: Vec<S>) -> Self {
         assert_eq!(
             data.len(),
             rows * cols,
@@ -66,14 +73,14 @@ impl Tensor {
 
     /// A `rows x cols` matrix of zeros.
     pub fn zeros_matrix(rows: usize, cols: usize) -> Self {
-        Self::matrix(rows, cols, vec![0.0; rows * cols])
+        Self::matrix(rows, cols, vec![S::ZERO; rows * cols])
     }
 
     /// A zero tensor with the same shape as `self`.
     pub fn zeros_like(&self) -> Self {
         Self {
             shape: self.shape.clone(),
-            data: vec![0.0; self.data.len()],
+            data: vec![S::ZERO; self.data.len()],
         }
     }
 
@@ -83,12 +90,12 @@ impl Tensor {
     }
 
     /// The flat data buffer.
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable access to the flat data buffer.
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [S] {
         &mut self.data
     }
 
@@ -107,7 +114,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the tensor has more than one element.
-    pub fn item(&self) -> f64 {
+    pub fn item(&self) -> S {
         assert_eq!(
             self.data.len(),
             1,
@@ -147,14 +154,14 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics unless `self` is `(m, n)` and `x` has length `n`.
-    pub fn matvec(&self, x: &Tensor) -> Tensor {
+    pub fn matvec(&self, x: &Tensor<S>) -> Tensor<S> {
         assert!(self.is_matrix(), "matvec on non-matrix");
         let (m, n) = (self.shape[0], self.shape[1]);
         assert_eq!(x.len(), n, "matvec: matrix cols {n} != vec len {}", x.len());
-        let mut out = vec![0.0; m];
+        let mut out = vec![S::ZERO; m];
         for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * n..(i + 1) * n];
-            *o = row.iter().zip(&x.data).map(|(a, b)| a * b).sum();
+            *o = row.iter().zip(&x.data).map(|(&a, &b)| a * b).sum();
         }
         Tensor::from_vec(out)
     }
@@ -164,7 +171,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics unless `self` is `(m, n)` and `x` has length `m`.
-    pub fn matvec_t(&self, x: &Tensor) -> Tensor {
+    pub fn matvec_t(&self, x: &Tensor<S>) -> Tensor<S> {
         assert!(self.is_matrix(), "matvec_t on non-matrix");
         let (m, n) = (self.shape[0], self.shape[1]);
         assert_eq!(
@@ -173,10 +180,10 @@ impl Tensor {
             "matvec_t: matrix rows {m} != vec len {}",
             x.len()
         );
-        let mut out = vec![0.0; n];
+        let mut out = vec![S::ZERO; n];
         for i in 0..m {
             let xi = x.data[i];
-            if xi == 0.0 {
+            if xi == S::ZERO {
                 continue;
             }
             let row = &self.data[i * n..(i + 1) * n];
@@ -188,7 +195,7 @@ impl Tensor {
     }
 
     /// Outer product `x * y^T` as an `(x.len, y.len)` matrix.
-    pub fn outer(x: &Tensor, y: &Tensor) -> Tensor {
+    pub fn outer(x: &Tensor<S>, y: &Tensor<S>) -> Tensor<S> {
         let mut data = Vec::with_capacity(x.len() * y.len());
         for &a in &x.data {
             for &b in &y.data {
@@ -203,7 +210,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+    pub fn zip_map(&self, other: &Tensor<S>, f: impl Fn(S, S) -> S) -> Tensor<S> {
         assert_eq!(self.shape, other.shape, "shape mismatch in zip_map");
         Tensor {
             shape: self.shape.clone(),
@@ -217,7 +224,7 @@ impl Tensor {
     }
 
     /// Elementwise unary map.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+    pub fn map(&self, f: impl Fn(S) -> S) -> Tensor<S> {
         Tensor {
             shape: self.shape.clone(),
             data: self.data.iter().map(|&a| f(a)).collect(),
@@ -229,9 +236,9 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn add_assign(&mut self, other: &Tensor) {
+    pub fn add_assign(&mut self, other: &Tensor<S>) {
         assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
     }
@@ -241,9 +248,9 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn add_scaled(&mut self, alpha: f64, other: &Tensor) {
+    pub fn add_scaled(&mut self, alpha: S, other: &Tensor<S>) {
         assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
     }
@@ -253,18 +260,22 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics on length mismatch.
-    pub fn dot(&self, other: &Tensor) -> f64 {
+    pub fn dot(&self, other: &Tensor<S>) -> S {
         assert_eq!(self.len(), other.len(), "length mismatch in dot");
-        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Sum of all elements.
-    pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+    pub fn sum(&self) -> S {
+        self.data.iter().copied().sum()
     }
 
     /// Concatenate vectors.
-    pub fn concat(parts: &[&Tensor]) -> Tensor {
+    pub fn concat(parts: &[&Tensor<S>]) -> Tensor<S> {
         let mut data = Vec::with_capacity(parts.iter().map(|t| t.len()).sum());
         for p in parts {
             data.extend_from_slice(&p.data);
@@ -278,7 +289,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `data.len()` does not match the shape's element count.
-    pub fn from_shape_data(shape: Vec<usize>, data: Vec<f64>) -> Self {
+    pub fn from_shape_data(shape: Vec<usize>, data: Vec<S>) -> Self {
         assert_eq!(
             shape.iter().product::<usize>(),
             data.len(),
@@ -289,8 +300,20 @@ impl Tensor {
     }
 
     /// Decompose into `(shape, data)`, surrendering both allocations.
-    pub fn into_parts(self) -> (Vec<usize>, Vec<f64>) {
+    pub fn into_parts(self) -> (Vec<usize>, Vec<S>) {
         (self.shape, self.data)
+    }
+
+    /// Convert every element to another scalar type through `f64`.
+    ///
+    /// `f64 -> f64` and `f32 -> f32` are the identity; `f32 -> f64` is
+    /// exact; `f64 -> f32` rounds to nearest. Used to move parameter
+    /// stores between the training dtype and the `f64` reference path.
+    pub fn cast<T: Scalar>(&self) -> Tensor<T> {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| T::from_f64(x.to_f64())).collect(),
+        }
     }
 
     /// Reference matrix product `self * b` via the textbook triple loop.
@@ -302,7 +325,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics unless `self` is `(m, k)` and `b` is `(k, n)`.
-    pub fn matmul_naive(&self, b: &Tensor) -> Tensor {
+    pub fn matmul_naive(&self, b: &Tensor<S>) -> Tensor<S> {
         assert!(
             self.is_matrix() && b.is_matrix(),
             "matmul_naive on non-matrix"
@@ -310,12 +333,12 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (bk, n) = (b.shape[0], b.shape[1]);
         assert_eq!(k, bk, "matmul_naive: inner dims {k} != {bk}");
-        let mut out = vec![0.0; m * n];
+        let mut out = vec![S::ZERO; m * n];
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out[i * n..(i + 1) * n];
             for (j, o) in out_row.iter_mut().enumerate() {
-                let mut acc = 0.0;
+                let mut acc = S::ZERO;
                 for (kk, &a) in a_row.iter().enumerate() {
                     acc += a * b.data[kk * n + j];
                 }
@@ -332,7 +355,9 @@ impl Tensor {
     /// row of `bt`, so the inner dot product streams both operands
     /// sequentially. The `(i, j)` space is walked in cache-sized tiles
     /// so the active rows of `bt` stay resident while a tile of A rows
-    /// is swept. Each output element is still one ascending-`k`
+    /// is swept, and each tile row is computed [`LANES`] output columns
+    /// at a time so the FP pipeline sees independent accumulator
+    /// chains. Each output element is still one ascending-`k`
     /// accumulation into a single scalar — bit-identical to
     /// [`matmul_naive`](Self::matmul_naive).
     ///
@@ -340,7 +365,7 @@ impl Tensor {
     ///
     /// Panics unless `self` is `(m, k)` and `bt` is `(n, k)`.
     // lint:zero_alloc
-    pub fn matmul_bt(&self, bt: &Tensor) -> Tensor {
+    pub fn matmul_bt(&self, bt: &Tensor<S>) -> Tensor<S> {
         assert!(
             self.is_matrix() && bt.is_matrix(),
             "matmul_bt on non-matrix"
@@ -351,42 +376,8 @@ impl Tensor {
         // lint:allow(alloc_hygiene): the single output buffer, sized
         // exactly once up front and amortized over O(m*n*k) work; the
         // tile loops below never allocate
-        let mut out = vec![0.0; m * n];
-
-        // Tile sizes chosen so one A tile + one B tile of rows fit in a
-        // typical 32 KiB L1d: 32 rows x 64 columns x 8 bytes = 16 KiB each
-        // when k <= 64; larger k simply spills to L2, which still beats
-        // the naive kernel's column-strided walk of B.
-        const TILE_I: usize = 32;
-        const TILE_J: usize = 64;
-
-        // Small-matrix fast path: when everything fits in a couple of
-        // cache lines the tiling bookkeeping costs more than it saves.
-        if m * k <= 64 * 64 && n * k <= 64 * 64 {
-            for i in 0..m {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, b_row) in out_row.iter_mut().zip(bt.data.chunks_exact(k)) {
-                    *o = dot_slices(a_row, b_row);
-                }
-            }
-            return Tensor::matrix(m, n, out);
-        }
-
-        for i0 in (0..m).step_by(TILE_I) {
-            let i1 = (i0 + TILE_I).min(m);
-            for j0 in (0..n).step_by(TILE_J) {
-                let j1 = (j0 + TILE_J).min(n);
-                for i in i0..i1 {
-                    let a_row = &self.data[i * k..(i + 1) * k];
-                    let out_row = &mut out[i * n + j0..i * n + j1];
-                    let bt_rows = &bt.data[j0 * k..j1 * k];
-                    for (o, b_row) in out_row.iter_mut().zip(bt_rows.chunks_exact(k)) {
-                        *o = dot_slices(a_row, b_row);
-                    }
-                }
-            }
-        }
+        let mut out = vec![S::ZERO; m * n];
+        matmul_bt_into(&self.data, &bt.data, m, k, n, &mut out);
         Tensor::matrix(m, n, out)
     }
 
@@ -400,7 +391,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics unless `self` is `(m, k)` and `b` is `(k, n)`.
-    pub fn matmul(&self, b: &Tensor) -> Tensor {
+    pub fn matmul(&self, b: &Tensor<S>) -> Tensor<S> {
         assert!(self.is_matrix() && b.is_matrix(), "matmul on non-matrix");
         let (k, n) = (b.shape[0], b.shape[1]);
         assert_eq!(
@@ -408,7 +399,7 @@ impl Tensor {
             "matmul: inner dims {} != {k}",
             self.shape[1]
         );
-        let mut bt = vec![0.0; n * k];
+        let mut bt = vec![S::ZERO; n * k];
         for (kk, b_row) in b.data.chunks_exact(n).enumerate() {
             for (j, &v) in b_row.iter().enumerate() {
                 bt[j * k + kk] = v;
@@ -422,10 +413,10 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the tensor is not a matrix.
-    pub fn transposed(&self) -> Tensor {
+    pub fn transposed(&self) -> Tensor<S> {
         assert!(self.is_matrix(), "transposed() on non-matrix");
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0; n * m];
+        let mut out = vec![S::ZERO; n * m];
         for (i, row) in self.data.chunks_exact(n).enumerate() {
             for (j, &v) in row.iter().enumerate() {
                 out[j * m + i] = v;
@@ -435,21 +426,153 @@ impl Tensor {
     }
 }
 
+/// Output columns computed together by the lane-blocked dot kernel: 8
+/// independent accumulator chains hide the FP-add latency that a single
+/// running sum serializes on, and give the autovectorizer/out-of-order
+/// core parallel work without reassociating any individual sum.
+const LANES: usize = 8;
+
+/// The `matmul_bt` inner kernel over raw slices: `a (m, k) * bt^T`
+/// where `bt` is `(n, k)` row-major, written into `out (m, n)`.
+///
+/// Exposed at the slice level (crate-internal) so the tape's batched
+/// ops can run it into pooled buffers without constructing tensors.
+/// Summation order per output element is a single ascending-`k`
+/// accumulator — the bit-identity contract shared with `matmul_naive`,
+/// `matvec` and the tape's `MatVec` op.
+///
+/// # Panics
+///
+/// Panics (in debug) unless the slice lengths match the given dims.
+// lint:zero_alloc
+pub(crate) fn matmul_bt_into<S: Scalar>(
+    a: &[S],
+    bt: &[S],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [S],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bt.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+
+    // Wide-A path: march [`LANES`] rows of A together. A k-tile of those
+    // rows is repacked into column-interleaved layout (`ap[kk][l]`, one
+    // 8 KiB stack panel), so the inner loop is a contiguous LANES-wide
+    // load, a broadcast of one `bt` element, and LANES independent
+    // multiply-adds — a shape the autovectorizer turns into genuine
+    // SIMD, unlike the lane-per-column layout whose loads straddle
+    // `LANES` different rows. Each accumulator still sums its products
+    // in ascending `kk` (resuming from the stored partial across
+    // k-tiles, which re-reads the exact bits it wrote), so every output
+    // element keeps the single ascending-`k` accumulation contract.
+    const TILE_K: usize = 128;
+    let mut i0 = 0;
+    while i0 + LANES <= m {
+        let mut ap = [S::ZERO; LANES * TILE_K];
+        let mut k0 = 0;
+        while k0 < k {
+            let kt = TILE_K.min(k - k0);
+            for kk in 0..kt {
+                for (l, slot) in ap[kk * LANES..(kk + 1) * LANES].iter_mut().enumerate() {
+                    *slot = a[(i0 + l) * k + k0 + kk];
+                }
+            }
+            for j in 0..n {
+                let b_row = &bt[j * k + k0..j * k + k0 + kt];
+                let mut acc = [S::ZERO; LANES];
+                if k0 > 0 {
+                    for (l, acc_l) in acc.iter_mut().enumerate() {
+                        *acc_l = out[(i0 + l) * n + j];
+                    }
+                }
+                for (kk, &b) in b_row.iter().enumerate() {
+                    let a_lanes = &ap[kk * LANES..(kk + 1) * LANES];
+                    for (acc_l, &a_l) in acc.iter_mut().zip(a_lanes) {
+                        *acc_l += a_l * b;
+                    }
+                }
+                for (l, &acc_l) in acc.iter().enumerate() {
+                    out[(i0 + l) * n + j] = acc_l;
+                }
+            }
+            k0 += kt;
+        }
+        i0 += LANES;
+    }
+
+    // Leftover rows (m % LANES, or all of a short matrix): the
+    // lane-per-column row kernel.
+    for i in i0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        dot_row_block(a_row, bt, k, out_row);
+    }
+}
+
+/// One output row (or tile row) of `matmul_bt_into`: dot `a_row`
+/// against every length-`k` row of `bt_rows`, [`LANES`] columns at a
+/// time, falling back to the single-lane [`dot_slices`] for the tail.
+// lint:zero_alloc
+#[inline]
+fn dot_row_block<S: Scalar>(a_row: &[S], bt_rows: &[S], k: usize, out_row: &mut [S]) {
+    debug_assert_eq!(bt_rows.len(), out_row.len() * k);
+    let n = out_row.len();
+    let mut j = 0;
+    while j + LANES <= n {
+        dot_lanes(
+            a_row,
+            &bt_rows[j * k..(j + LANES) * k],
+            &mut out_row[j..j + LANES],
+        );
+        j += LANES;
+    }
+    for (o, b_row) in out_row[j..]
+        .iter_mut()
+        .zip(bt_rows[j * k..].chunks_exact(k))
+    {
+        *o = dot_slices(a_row, b_row);
+    }
+}
+
+/// [`LANES`] simultaneous ascending-order dot products: one accumulator
+/// per output column, all swept by a single pass over `a`. Every
+/// accumulator sees exactly the summation order of [`dot_slices`] —
+/// per-element bit-identical — but the chains are independent, so the
+/// core retires [`LANES`] fused multiply-adds per FP-add latency
+/// instead of one.
+// lint:zero_alloc
+#[inline]
+fn dot_lanes<S: Scalar>(a: &[S], bt_rows: &[S], out: &mut [S]) {
+    let k = a.len();
+    debug_assert_eq!(bt_rows.len(), LANES * k);
+    debug_assert_eq!(out.len(), LANES);
+    let mut acc = [S::ZERO; LANES];
+    for (i, &x) in a.iter().enumerate() {
+        let col = &bt_rows[i..];
+        for (l, acc_l) in acc.iter_mut().enumerate() {
+            *acc_l += x * col[l * k];
+        }
+    }
+    out.copy_from_slice(&acc);
+}
+
 /// Ascending-order dot product of two equal-length slices: a single
 /// accumulator updated left to right, matching the naive kernels' (and
 /// `matvec`'s) summation order exactly.
 // lint:zero_alloc
 #[inline]
-fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
+fn dot_slices<S: Scalar>(a: &[S], b: &[S]) -> S {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0;
-    for (x, y) in a.iter().zip(b) {
+    let mut acc = S::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
         acc += x * y;
     }
     acc
 }
 
-impl fmt::Display for Tensor {
+impl<S: Scalar> fmt::Display for Tensor<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}{:?}", self.shape, self.data)
     }
@@ -523,5 +646,41 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Tensor = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn f32_kernels_match_f64_within_tolerance() {
+        // Same pseudo-random inputs through both dtypes; the f32 result
+        // must track the f64 reference to f32 rounding accuracy.
+        let k = 37;
+        let (m, n) = (5, 13);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a64: Vec<f64> = (0..m * k).map(|_| next()).collect();
+        let b64: Vec<f64> = (0..n * k).map(|_| next()).collect();
+        let a32: Vec<f32> = a64.iter().map(|&x| x as f32).collect();
+        let b32: Vec<f32> = b64.iter().map(|&x| x as f32).collect();
+        let y64 = Tensor::matrix(m, k, a64).matmul_bt(&Tensor::matrix(n, k, b64));
+        let y32 = Tensor::<f32>::matrix(m, k, a32).matmul_bt(&Tensor::matrix(n, k, b32));
+        for (&a, &b) in y64.data().iter().zip(y32.data()) {
+            assert!((a - f64::from(b)).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cast_round_trip_f64_is_identity() {
+        let t = Tensor::matrix(2, 2, vec![1.5, -2.25, 3.0, 0.1]);
+        let back: Tensor<f64> = t.cast::<f32>().cast();
+        // 1.5/-2.25/3.0 are exact in f32; 0.1 is not.
+        assert_eq!(back.data()[0], 1.5);
+        assert_eq!(back.data()[1], -2.25);
+        assert!((back.data()[3] - 0.1).abs() < 1e-7);
+        let exact: Tensor<f64> = t.cast::<f64>();
+        assert_eq!(exact, t);
     }
 }

@@ -1,0 +1,211 @@
+//! Cross-dtype gradient checks: every layer's *f32* analytic gradient
+//! against the retained *f64* central-finite-difference oracle
+//! ([`chainnet_neural::gradcheck::check_cross_dtype`]).
+//!
+//! # Tolerances
+//!
+//! An f32 forward/backward carries ~1e-7 relative rounding per op, and
+//! the finite-difference oracle itself contributes O(eps²) truncation
+//! plus O(ulp/eps) cancellation error. With weights and activations of
+//! magnitude O(1) and a handful of ops per layer, gradients land within
+//! `1e-4` absolute for the shallow layers; the GRU's three gate chains
+//! and the MLP's composition accumulate a little more, so those use
+//! `1e-3`. These bounds are ~100x above observed deviations (to stay
+//! seed-robust) and ~100x below any real gradient bug, which shows up
+//! at O(1e-1) or as a sign flip.
+
+use chainnet_neural::gradcheck::check_cross_dtype;
+use chainnet_neural::layers::{Activation, GruCell, Linear, Mlp};
+use chainnet_neural::params::ParamStore;
+use chainnet_neural::scalar::Scalar;
+use chainnet_neural::tape::{Tape, Var};
+use chainnet_neural::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A fixed pseudo-random input vector, cast into the tape's dtype.
+fn input<S: Scalar>(tape: &mut Tape<S>, dim: usize, seed: u64) -> Var {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data: Vec<S> = (0..dim)
+        .map(|_| S::from_f64(rng.gen_range(-1.0..1.0)))
+        .collect();
+    tape.leaf(Tensor::from_shape_data(vec![dim], data))
+}
+
+/// Like [`input`], but as a `(1, dim)` matrix leaf for the row-batched
+/// forwards.
+fn input_row<S: Scalar>(tape: &mut Tape<S>, dim: usize, seed: u64) -> Var {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data: Vec<S> = (0..dim)
+        .map(|_| S::from_f64(rng.gen_range(-1.0..1.0)))
+        .collect();
+    tape.leaf(Tensor::matrix(1, dim, data))
+}
+
+/// Scalar loss = sum of squares of the layer output, a smooth function
+/// with nonzero gradient through every output coordinate.
+fn sum_sq<S: Scalar>(tape: &mut Tape<S>, y: Var) -> Var {
+    let sq = tape.mul(y, y);
+    tape.sum(sq)
+}
+
+#[test]
+fn linear_f32_gradients_match_f64_oracle() {
+    let mut store: ParamStore = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let layer = Linear::new(&mut store, "lin", 5, 4, &mut rng);
+    let l32 = layer;
+    let l64 = layer;
+    let report = check_cross_dtype(
+        &mut store,
+        &mut |tape, store| {
+            let x = input(tape, 5, 42);
+            let y = l32.forward(tape, store, x);
+            sum_sq(tape, y)
+        },
+        &mut |tape, store| {
+            let x = input(tape, 5, 42);
+            let y = l64.forward(tape, store, x);
+            sum_sq(tape, y)
+        },
+        usize::MAX,
+        1e-4,
+    );
+    assert!(report.checked > 0);
+    assert!(
+        report.passes(1e-4),
+        "linear: max abs error {:.3e} at {:?}",
+        report.max_abs_error,
+        report.worst
+    );
+}
+
+#[test]
+fn mlp_f32_gradients_match_f64_oracle() {
+    let mut store: ParamStore = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(13);
+    let mlp = Mlp::new(&mut store, "mlp", &[6, 8, 1], Activation::Relu, &mut rng);
+    let m32 = mlp.clone();
+    let m64 = mlp;
+    let report = check_cross_dtype(
+        &mut store,
+        &mut |tape, store| {
+            let x = input_row(tape, 6, 7);
+            let y = m32.forward_rows(tape, store, x);
+            sum_sq(tape, y)
+        },
+        &mut |tape, store| {
+            let x = input_row(tape, 6, 7);
+            let y = m64.forward_rows(tape, store, x);
+            sum_sq(tape, y)
+        },
+        usize::MAX,
+        1e-4,
+    );
+    assert!(report.checked > 0);
+    assert!(
+        report.passes(1e-3),
+        "mlp: max abs error {:.3e} at {:?}",
+        report.max_abs_error,
+        report.worst
+    );
+}
+
+#[test]
+fn gru_f32_gradients_match_f64_oracle() {
+    let mut store: ParamStore = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(17);
+    let gru = GruCell::new(&mut store, "gru", 4, 6, &mut rng);
+    let g32 = gru;
+    let g64 = gru;
+    let report = check_cross_dtype(
+        &mut store,
+        &mut |tape, store| {
+            let x = input(tape, 4, 3);
+            let h = input(tape, 6, 5);
+            let h1 = g32.forward(tape, store, x, h);
+            // Two chained steps exercise the recurrence gradient.
+            let h2 = g32.forward(tape, store, x, h1);
+            sum_sq(tape, h2)
+        },
+        &mut |tape, store| {
+            let x = input(tape, 4, 3);
+            let h = input(tape, 6, 5);
+            let h1 = g64.forward(tape, store, x, h);
+            let h2 = g64.forward(tape, store, x, h1);
+            sum_sq(tape, h2)
+        },
+        usize::MAX,
+        1e-4,
+    );
+    assert!(report.checked > 0);
+    assert!(
+        report.passes(1e-3),
+        "gru: max abs error {:.3e} at {:?}",
+        report.max_abs_error,
+        report.worst
+    );
+}
+
+#[test]
+fn batched_row_ops_f32_gradients_match_f64_oracle() {
+    // The batched-training op set (matmul_bt / select_rows /
+    // masked_softmax_rows / weighted_sum_rows) under one loss.
+    let mut store: ParamStore = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(19);
+    let layer = Linear::new(&mut store, "proj", 3, 3, &mut rng);
+    let l32 = layer;
+    let l64 = layer;
+    // (2 rows × 6 score columns), one padded slot per row.
+    let mask = [
+        true, true, false, true, true, true, true, false, true, true, true, true,
+    ];
+    let choice = [0u32, 1u32];
+
+    fn build<S: Scalar>(
+        tape: &mut Tape<S>,
+        store: &ParamStore<S>,
+        layer: &Linear,
+        mask: &[bool],
+        choice: &[u32],
+    ) -> Var {
+        let a = {
+            let mut rng = SmallRng::seed_from_u64(23);
+            let data: Vec<S> = (0..6)
+                .map(|_| S::from_f64(rng.gen_range(-1.0..1.0)))
+                .collect();
+            tape.leaf(Tensor::matrix(2, 3, data))
+        };
+        let b = {
+            let mut rng = SmallRng::seed_from_u64(29);
+            let data: Vec<S> = (0..6)
+                .map(|_| S::from_f64(rng.gen_range(-1.0..1.0)))
+                .collect();
+            tape.leaf(Tensor::matrix(2, 3, data))
+        };
+        let pa = layer.forward_rows(tape, store, a);
+        let pb = layer.forward_rows(tape, store, b);
+        let sel = tape.select_rows(&[pa, pb], choice);
+        let cat = tape.concat_cols(&[pa, pb]);
+        let w = tape.masked_softmax_rows(cat, mask);
+        let items: Vec<Var> = (0..6).map(|_| sel).collect();
+        let y = tape.weighted_sum_rows(w, &items);
+        let sq = tape.mul(y, y);
+        tape.sum(sq)
+    }
+
+    let report = check_cross_dtype(
+        &mut store,
+        &mut |tape, store| build(tape, store, &l32, &mask, &choice),
+        &mut |tape, store| build(tape, store, &l64, &mask, &choice),
+        usize::MAX,
+        1e-4,
+    );
+    assert!(report.checked > 0);
+    assert!(
+        report.passes(1e-3),
+        "row ops: max abs error {:.3e} at {:?}",
+        report.max_abs_error,
+        report.worst
+    );
+}

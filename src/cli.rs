@@ -173,6 +173,7 @@ fn allowed_options(command: &str) -> Option<&'static [&'static str]> {
             "hidden",
             "iterations",
             "batch",
+            "dtype",
             "lr",
             "seed",
             "metrics-out",
@@ -273,7 +274,9 @@ COMMANDS:
                [--sim-deadline SECS]
   gen-dataset  --out d.json --samples 100 [--type i|ii] [--horizon 2000] [--seed 0]
   train        --data d.json --out model.json [--epochs 40] [--hidden 32]
-               [--iterations 4] [--batch 32] [--lr 0.001] [--seed 0]
+               [--iterations 4] [--batch 32] [--dtype f32|f64] [--lr 0.001]
+               [--seed 0]  --dtype packs each mini-batch into one padded
+               tape pass in that precision (fast path; no checkpointing)
   predict      --model model.json --system s.json
   optimize     --problem p.json [--model model.json] [--steps 100]
                [--trials 5] [--horizon 2000] [--seed 0] [--out placement.json]
@@ -606,6 +609,28 @@ fn cmd_gen_dataset(inv: &Invocation) -> Result<String, CliError> {
 }
 
 fn cmd_train(inv: &Invocation) -> Result<String, CliError> {
+    // --dtype selects the packed mini-batch path (one padded tape pass
+    // per batch) in the requested precision. Without it, training runs
+    // the original per-graph loop, bit-identical to earlier releases.
+    // Validated before any file I/O so usage errors surface first.
+    let dtype = inv.options.get("dtype").map(String::as_str);
+    if let Some(d) = dtype {
+        if d != "f32" && d != "f64" {
+            return Err(CliError::Usage(format!(
+                "--dtype must be f32 or f64, got `{d}`"
+            )));
+        }
+        if inv.options.contains_key("checkpoint-dir")
+            || inv.options.contains_key("checkpoint-every")
+            || inv.options.contains_key("resume")
+        {
+            return Err(CliError::Usage(
+                "--dtype (batched training) does not support checkpointing yet; \
+                 drop --checkpoint-dir/--checkpoint-every/--resume"
+                    .into(),
+            ));
+        }
+    }
     let data: Vec<RawSample> = read_json(required(inv, "data")?)?;
     let out = required(inv, "out")?;
     let mut model_cfg = ModelConfig::paper_chainnet();
@@ -625,20 +650,24 @@ fn cmd_train(inv: &Invocation) -> Result<String, CliError> {
     let obs = build_obs(inv)?;
     register_cancel_signals(&obs);
     let ckpt = checkpoint_options(inv, "train", TRAIN_CKPT_SCHEMA, 1, &obs)?;
-    let report = match &ckpt {
-        Some((store, every, resume)) => {
-            // No gradient clipping (max_grad_norm = 0), so a healthy
-            // checkpointed run stays bit-identical to the plain path; the
-            // guard still rolls back on non-finite loss/grads/params.
-            let guard = GuardConfig {
-                max_grad_norm: 0.0,
-                max_trips: 3,
-            };
-            trainer.train_checkpointed_observed(
-                &mut model, &labeled, None, &guard, store, *every, *resume, &obs,
-            )?
-        }
-        None => trainer.train_observed(&mut model, &labeled, None, &obs),
+    let report = match dtype {
+        Some("f32") => trainer.train_batched::<f32>(&mut model, &labeled, None, &obs),
+        Some(_) => trainer.train_batched::<f64>(&mut model, &labeled, None, &obs),
+        None => match &ckpt {
+            Some((store, every, resume)) => {
+                // No gradient clipping (max_grad_norm = 0), so a healthy
+                // checkpointed run stays bit-identical to the plain path; the
+                // guard still rolls back on non-finite loss/grads/params.
+                let guard = GuardConfig {
+                    max_grad_norm: 0.0,
+                    max_trips: 3,
+                };
+                trainer.train_checkpointed_observed(
+                    &mut model, &labeled, None, &guard, store, *every, *resume, &obs,
+                )?
+            }
+            None => trainer.train_observed(&mut model, &labeled, None, &obs),
+        },
     };
     write_json(out, &model)?;
     write_metrics(inv, &obs)?;
@@ -1128,6 +1157,77 @@ mod tests {
         for p in [&data_path, &model_path, &sys_path] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn train_dtype_routes_batched_path() {
+        let data_path = temp("dtype_data.json");
+        let inv = parse_args(&args(&[
+            "gen-dataset",
+            "--out",
+            &data_path,
+            "--samples",
+            "6",
+            "--horizon",
+            "150",
+            "--seed",
+            "4",
+        ]))
+        .unwrap();
+        run(&inv).unwrap();
+        for dtype in ["f32", "f64"] {
+            let model_path = temp(&format!("dtype_model_{dtype}.json"));
+            let inv = parse_args(&args(&[
+                "train",
+                "--data",
+                &data_path,
+                "--out",
+                &model_path,
+                "--epochs",
+                "2",
+                "--hidden",
+                "8",
+                "--iterations",
+                "2",
+                "--batch",
+                "4",
+                "--dtype",
+                dtype,
+            ]))
+            .unwrap();
+            let msg = run(&inv).unwrap();
+            assert!(msg.contains("model saved"), "dtype {dtype}: {msg}");
+            // The saved model round-trips through predict.
+            let model: ChainNet =
+                serde_json::from_str(&std::fs::read_to_string(&model_path).unwrap()).unwrap();
+            assert!(model.params().values_all_finite());
+            let _ = std::fs::remove_file(&model_path);
+        }
+        let _ = std::fs::remove_file(&data_path);
+    }
+
+    #[test]
+    fn train_dtype_rejects_bad_values_and_checkpointing() {
+        let inv = parse_args(&args(&[
+            "train", "--data", "d.json", "--out", "m.json", "--dtype", "f16",
+        ]))
+        .unwrap();
+        let err = run(&inv).unwrap_err();
+        assert!(matches!(err, CliError::Usage(ref m) if m.contains("f32 or f64")));
+        let inv = parse_args(&args(&[
+            "train",
+            "--data",
+            "d.json",
+            "--out",
+            "m.json",
+            "--dtype",
+            "f32",
+            "--checkpoint-dir",
+            "ckpts",
+        ]))
+        .unwrap();
+        let err = run(&inv).unwrap_err();
+        assert!(matches!(err, CliError::Usage(ref m) if m.contains("checkpoint")));
     }
 
     #[test]

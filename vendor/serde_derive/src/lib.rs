@@ -10,7 +10,9 @@
 //! * enums with unit, newtype, tuple, and struct variants, using
 //!   serde's externally tagged representation;
 //! * plain type parameters (`struct Trained<M>`), which receive a
-//!   `Serialize`/`Deserialize` bound;
+//!   `Serialize`/`Deserialize` bound; declared trait bounds
+//!   (`struct Tensor<S: Scalar>`) are replicated on the generated impl,
+//!   and parameter defaults (`= f64`) are dropped there;
 //! * field attributes `#[serde(default)]` and
 //!   `#[serde(default = "path")]`.
 //!
@@ -63,10 +65,18 @@ enum Kind {
 }
 
 #[derive(Debug)]
+struct GenericParam {
+    name: String,
+    /// Declared trait bounds (`Scalar`, `Clone + Debug`, ...), rendered
+    /// as source text; empty when the parameter is unbounded.
+    bounds: String,
+}
+
+#[derive(Debug)]
 struct Input {
     name: String,
-    /// Type parameter identifiers, in declaration order.
-    generics: Vec<String>,
+    /// Type parameters, in declaration order.
+    generics: Vec<GenericParam>,
     kind: Kind,
 }
 
@@ -233,16 +243,44 @@ fn parse_input(stream: TokenStream) -> Input {
     };
     let name = c.expect_ident();
 
-    let mut generics = Vec::new();
+    let mut generics: Vec<GenericParam> = Vec::new();
     if c.eat_punct('<') {
         let mut depth = 1usize;
         let mut expecting_param = true;
+        // After a param's `:` we collect its bound tokens (replicated on
+        // generated impls); after `=` we are in a default and drop tokens.
+        let mut in_bounds = false;
+        let mut in_default = false;
+        let mut bound_tokens: Vec<String> = Vec::new();
         while depth > 0 {
+            let collecting = in_bounds && !in_default;
             match c.next() {
-                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
-                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    if collecting {
+                        bound_tokens.push("<".to_string());
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth >= 1 && collecting {
+                        bound_tokens.push(">".to_string());
+                    }
+                }
                 Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    if let Some(last) = generics.last_mut() {
+                        last.bounds = bound_tokens.join(" ");
+                    }
+                    bound_tokens.clear();
                     expecting_param = true;
+                    in_bounds = false;
+                    in_default = false;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 1 && !in_default => {
+                    in_bounds = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' && depth == 1 => {
+                    in_default = true;
                 }
                 Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
                     panic!("serde shim derive: lifetimes are not supported ({name})");
@@ -252,11 +290,23 @@ fn parse_input(stream: TokenStream) -> Input {
                     if word == "const" {
                         panic!("serde shim derive: const generics are not supported ({name})");
                     }
-                    generics.push(word);
+                    generics.push(GenericParam {
+                        name: word,
+                        bounds: String::new(),
+                    });
                     expecting_param = false;
                 }
-                Some(_) => {}
+                Some(tok) => {
+                    if collecting {
+                        bound_tokens.push(tok.to_string());
+                    }
+                }
                 None => panic!("serde shim derive: unterminated generics on {name}"),
+            }
+        }
+        if let Some(last) = generics.last_mut() {
+            if last.bounds.is_empty() {
+                last.bounds = bound_tokens.join(" ");
             }
         }
     }
@@ -379,11 +429,18 @@ fn impl_header(input: &Input, trait_path: &str) -> (String, String) {
         let bounded: Vec<String> = input
             .generics
             .iter()
-            .map(|g| format!("{g}: {trait_path}"))
+            .map(|g| {
+                if g.bounds.is_empty() {
+                    format!("{}: {trait_path}", g.name)
+                } else {
+                    format!("{}: {} + {trait_path}", g.name, g.bounds)
+                }
+            })
             .collect();
+        let names: Vec<&str> = input.generics.iter().map(|g| g.name.as_str()).collect();
         (
             format!("<{}>", bounded.join(", ")),
-            format!("<{}>", input.generics.join(", ")),
+            format!("<{}>", names.join(", ")),
         )
     }
 }
